@@ -1,0 +1,166 @@
+//! Competitive-ratio measurement harness (Appendix B, executable).
+//!
+//! `A(σ) ≤ c·OPT(σ) + B`: we measure `A(σ)` and the exact `OPT(σ)` and
+//! report the realized ratio against the theorem's bound, with the
+//! additive constant `B` (which absorbs initialization effects — at most
+//! one join plus a full counter, ≤ `2K + λ`) handled explicitly.
+
+use serde::Serialize;
+
+use crate::model::{run_strategy, Event, ModelParams, Strategy};
+use crate::opt::optimum;
+
+/// One measured data point of online-vs-optimal cost.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct RatioReport {
+    /// Online algorithm's total cost `A(σ)`.
+    pub online: u64,
+    /// Exact optimum `OPT(σ)`.
+    pub opt: u64,
+    /// Realized ratio `A(σ)/OPT(σ)` (∞ → reported as `f64::INFINITY`
+    /// when `OPT = 0` and `A > 0`).
+    pub ratio: f64,
+    /// The theoretical bound for the parameters used.
+    pub bound: f64,
+    /// Additive constant allowed by the definition of competitiveness.
+    pub additive: u64,
+    /// `A(σ) ≤ bound·OPT(σ) + additive`?
+    pub within_bound: bool,
+}
+
+/// Measures a strategy against the exact optimum on one request sequence.
+pub fn measure<S: Strategy + ?Sized>(
+    strategy: &mut S,
+    events: &[Event],
+    params: &ModelParams,
+) -> RatioReport {
+    strategy.reset();
+    let online = run_strategy(strategy, events);
+    let opt = optimum(events, params).cost;
+    let bound = params.competitive_bound();
+    let additive = 2 * params.k_join + params.lambda;
+    let ratio = if opt == 0 {
+        if online == 0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        online as f64 / opt as f64
+    };
+    RatioReport {
+        online,
+        opt,
+        ratio,
+        bound,
+        additive,
+        within_bound: online as f64 <= bound * opt as f64 + additive as f64,
+    }
+}
+
+/// The adversarial sequence for counter algorithms: alternate read bursts
+/// (just enough to trigger a join) with update runs (just enough to force
+/// the leave), `rounds` times. Drives the realized ratio toward the
+/// theorem's bound.
+pub fn oscillation_adversary(params: &ModelParams, rounds: usize) -> Vec<Event> {
+    let mut events = Vec::new();
+    let r = params.remote_read_cost(0);
+    let reads_to_join = params.k_join.div_ceil(r).max(1);
+    for _ in 0..rounds {
+        for _ in 0..reads_to_join {
+            events.push(Event::READ);
+        }
+        for _ in 0..params.k_join {
+            events.push(Event::Insert);
+        }
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counter::BasicStrategy;
+    use crate::model::{AlwaysIn, NeverIn};
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn basic_is_within_theorem2_bound_on_random_sequences() {
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        for lambda in [0u64, 2, 5] {
+            for k in [1u64, 4, 16] {
+                let params = ModelParams::uniform(lambda, k);
+                let mut s = BasicStrategy::new(params);
+                for trial in 0..15 {
+                    let events: Vec<Event> = (0..400)
+                        .map(|_| match rng.gen_range(0..10) {
+                            0..=4 => Event::READ,
+                            5 => Event::Read {
+                                failed: rng.gen_range(0..=lambda),
+                            },
+                            6 | 7 => Event::Insert,
+                            _ => Event::Delete,
+                        })
+                        .collect();
+                    let r = measure(&mut s, &events, &params);
+                    assert!(r.within_bound, "λ={lambda} K={k} trial={trial}: {r:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn qcost_variant_within_extended_bound() {
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let params = ModelParams::with_query_cost(3, 12, 4);
+        let mut s = BasicStrategy::new(params);
+        for _ in 0..20 {
+            let events: Vec<Event> = (0..500)
+                .map(|_| {
+                    if rng.gen_bool(0.6) {
+                        Event::READ
+                    } else {
+                        Event::Insert
+                    }
+                })
+                .collect();
+            let r = measure(&mut s, &events, &params);
+            assert!(r.within_bound, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn adversary_approaches_the_bound() {
+        let params = ModelParams::uniform(4, 8);
+        let events = oscillation_adversary(&params, 200);
+        let mut s = BasicStrategy::new(params);
+        let r = measure(&mut s, &events, &params);
+        assert!(r.within_bound, "{r:?}");
+        // The oscillation should cost Basic ≥ 2× OPT (the bound is 3.5).
+        assert!(r.ratio > 2.0, "adversarial ratio too low: {r:?}");
+    }
+
+    #[test]
+    fn static_strategies_can_be_arbitrarily_bad() {
+        let params = ModelParams::uniform(3, 4);
+        // All updates: AlwaysIn pays every one, OPT pays none.
+        let updates = vec![Event::Insert; 1000];
+        let r = measure(&mut AlwaysIn::new(params), &updates, &params);
+        assert!(r.ratio.is_infinite());
+        assert!(!r.within_bound);
+        // All reads: NeverIn pays λ+1 each, OPT pays 1 after a join.
+        let reads = vec![Event::READ; 1000];
+        let r = measure(&mut NeverIn::new(params), &reads, &params);
+        assert!(r.ratio > 3.5, "{r:?}");
+    }
+
+    #[test]
+    fn empty_sequence_is_trivially_within_bound() {
+        let params = ModelParams::uniform(1, 2);
+        let mut s = BasicStrategy::new(params);
+        let r = measure(&mut s, &[], &params);
+        assert_eq!(r.ratio, 1.0);
+        assert!(r.within_bound);
+    }
+}

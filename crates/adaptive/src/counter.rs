@@ -1,0 +1,298 @@
+//! The Basic algorithm (§5.1).
+//!
+//! A machine `M ∉ B(C)` keeps a cost counter `c` per class:
+//!
+//! - serving a **local** read (while in the group) reinforces membership:
+//!   `c ← min(c + q, K)`;
+//! - serving a **remote** read (while out) accumulates the remote cost:
+//!   `c ← c + q·(λ+1−|F|)`; when `c ≥ K` the machine joins and `c ← K`;
+//! - serving an **update** (insert/read&del, only felt while in the group)
+//!   decays it: `c ← max(c − 1, 0)`; at `c = 0` the machine leaves.
+//!
+//! *Erratum note:* the TR prints the first and third rules with `max`/`min`
+//! swapped (`max{c+1, K}` and `min{c−1, 0}`), which would make `c` jump to
+//! `K` on the first local read and leave after a single update. The
+//! analysis (and the snoopy-caching algorithm it cites) require the
+//! capped/floored forms implemented here; DESIGN.md records the correction.
+//!
+//! [`BasicCounter`] is the algorithm kernel shared by the abstract
+//! competitive-analysis harness *and* the full PASO memory server, so the
+//! system's adaptive behaviour is literally the analyzed algorithm.
+
+use serde::{Deserialize, Serialize};
+
+use crate::model::{Event, Membership, ModelParams, Strategy};
+
+/// What the counter tells the machine to do after serving a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Advice {
+    /// Keep the current membership.
+    Stay,
+    /// `g-join` the class's write group.
+    Join,
+    /// `g-leave` the class's write group.
+    Leave,
+}
+
+/// The Basic counter for one (machine, class) pair.
+///
+/// # Examples
+///
+/// ```
+/// use paso_adaptive::{Advice, BasicCounter, ModelParams};
+///
+/// let mut c = BasicCounter::new(ModelParams::uniform(1, 4));
+/// // Two remote reads at cost 2 each reach K=4: join.
+/// assert_eq!(c.record_remote_read(0), Advice::Stay);
+/// assert_eq!(c.record_remote_read(0), Advice::Join);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BasicCounter {
+    params: ModelParams,
+    c: u64,
+    member: bool,
+}
+
+impl BasicCounter {
+    /// Creates a counter in the out-of-group state with `c = 0`.
+    pub fn new(params: ModelParams) -> Self {
+        BasicCounter {
+            params,
+            c: 0,
+            member: false,
+        }
+    }
+
+    /// The current counter value.
+    pub fn value(&self) -> u64 {
+        self.c
+    }
+
+    /// The model parameters.
+    pub fn params(&self) -> ModelParams {
+        self.params
+    }
+
+    /// Is the machine currently (advised to be) in the write group?
+    pub fn is_member(&self) -> bool {
+        self.member
+    }
+
+    /// Updates `K` (used by the doubling/halving wrapper when `ℓ` drifts).
+    /// The counter is clamped into the new range.
+    pub fn set_k(&mut self, k: u64) {
+        self.params.k_join = k.max(1);
+        self.c = self.c.min(self.params.k_join);
+    }
+
+    /// Forces the membership state (used when the real `g-join`/`g-leave`
+    /// completes asynchronously in the full system, or fails).
+    pub fn set_member(&mut self, member: bool) {
+        self.member = member;
+        if member {
+            self.c = self.c.max(1).min(self.params.k_join);
+        }
+    }
+
+    /// A read was served from the local replica (machine in group).
+    pub fn record_local_read(&mut self) -> Advice {
+        debug_assert!(self.member);
+        self.c = (self.c + self.params.q).min(self.params.k_join);
+        Advice::Stay
+    }
+
+    /// A read was served remotely by the read group (machine out of
+    /// group); `failed` is `|F(C)|`.
+    pub fn record_remote_read(&mut self, failed: u64) -> Advice {
+        debug_assert!(!self.member);
+        self.c += self.params.remote_read_cost(failed);
+        if self.c >= self.params.k_join {
+            self.c = self.params.k_join;
+            self.member = true;
+            Advice::Join
+        } else {
+            Advice::Stay
+        }
+    }
+
+    /// An update (insert or read&del) was applied to the local replica.
+    pub fn record_update(&mut self) -> Advice {
+        debug_assert!(self.member);
+        self.c = self.c.saturating_sub(1);
+        if self.c == 0 {
+            self.member = false;
+            Advice::Leave
+        } else {
+            Advice::Stay
+        }
+    }
+}
+
+/// [`BasicCounter`] as an abstract [`Strategy`] for competitive
+/// experiments: serves events, pays the model costs, obeys its own advice.
+#[derive(Debug, Clone)]
+pub struct BasicStrategy {
+    counter: BasicCounter,
+}
+
+impl BasicStrategy {
+    /// Creates the strategy in the initial out state.
+    pub fn new(params: ModelParams) -> Self {
+        BasicStrategy {
+            counter: BasicCounter::new(params),
+        }
+    }
+
+    /// The current counter value (for the potential-function checker).
+    pub fn counter(&self) -> u64 {
+        self.counter.value()
+    }
+}
+
+impl Strategy for BasicStrategy {
+    fn membership(&self) -> Membership {
+        if self.counter.is_member() {
+            Membership::In
+        } else {
+            Membership::Out
+        }
+    }
+
+    fn serve(&mut self, ev: Event) -> u64 {
+        let p = self.counter.params();
+        match ev {
+            Event::Read { failed } => {
+                if self.counter.is_member() {
+                    self.counter.record_local_read();
+                    p.local_read_cost()
+                } else {
+                    let cost = p.remote_read_cost(failed);
+                    match self.counter.record_remote_read(failed) {
+                        Advice::Join => cost + p.k_join,
+                        _ => cost,
+                    }
+                }
+            }
+            Event::Insert | Event::Delete => {
+                if self.counter.is_member() {
+                    self.counter.record_update();
+                    1
+                } else {
+                    0
+                }
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        self.counter = BasicCounter::new(self.counter.params());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::run_strategy;
+
+    fn params(lambda: u64, k: u64) -> ModelParams {
+        ModelParams::uniform(lambda, k)
+    }
+
+    #[test]
+    fn joins_after_k_worth_of_remote_reads() {
+        let mut c = BasicCounter::new(params(0, 3));
+        // Remote read cost is 1 (λ=0): needs 3 reads.
+        assert_eq!(c.record_remote_read(0), Advice::Stay);
+        assert_eq!(c.record_remote_read(0), Advice::Stay);
+        assert_eq!(c.record_remote_read(0), Advice::Join);
+        assert!(c.is_member());
+        assert_eq!(c.value(), 3);
+    }
+
+    #[test]
+    fn leaves_after_k_updates() {
+        let mut c = BasicCounter::new(params(0, 2));
+        c.record_remote_read(0);
+        c.record_remote_read(0);
+        assert!(c.is_member());
+        assert_eq!(c.record_update(), Advice::Stay);
+        assert_eq!(c.record_update(), Advice::Leave);
+        assert!(!c.is_member());
+    }
+
+    #[test]
+    fn local_reads_cap_at_k() {
+        let mut c = BasicCounter::new(params(0, 3));
+        for _ in 0..3 {
+            c.record_remote_read(0);
+        }
+        for _ in 0..10 {
+            c.record_local_read();
+        }
+        assert_eq!(c.value(), 3, "counter must cap at K");
+    }
+
+    #[test]
+    fn failures_slow_accumulation() {
+        // λ=3: remote read costs 4 normally, 2 with two failures.
+        let mut a = BasicCounter::new(params(3, 8));
+        a.record_remote_read(0);
+        assert_eq!(a.value(), 4);
+        let mut b = BasicCounter::new(params(3, 8));
+        b.record_remote_read(2);
+        assert_eq!(b.value(), 2);
+    }
+
+    #[test]
+    fn set_k_clamps_counter() {
+        let mut c = BasicCounter::new(params(0, 10));
+        for _ in 0..8 {
+            c.record_remote_read(0);
+        }
+        assert_eq!(c.value(), 8);
+        c.set_k(4);
+        assert_eq!(c.value(), 4);
+        c.set_k(0);
+        assert_eq!(c.params().k_join, 1, "K is floored at 1");
+    }
+
+    #[test]
+    fn strategy_costs_match_model() {
+        let p = params(1, 4);
+        let mut s = BasicStrategy::new(p);
+        // Two remote reads at cost 2: the second triggers a join (cost K).
+        let seq = [Event::READ, Event::READ];
+        assert_eq!(run_strategy(&mut s, &seq), 2 + 2 + 4);
+        assert_eq!(s.membership(), Membership::In);
+        // Local read now costs 1.
+        assert_eq!(s.serve(Event::READ), 1);
+        // Updates cost 1 each while in; after counter drains, out.
+        let mut total = 0;
+        for _ in 0..10 {
+            total += s.serve(Event::Insert);
+        }
+        assert_eq!(s.membership(), Membership::Out);
+        assert_eq!(total, 4, "only the 4 in-group updates cost anything");
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut s = BasicStrategy::new(params(0, 2));
+        s.serve(Event::READ);
+        s.serve(Event::READ);
+        assert_eq!(s.membership(), Membership::In);
+        s.reset();
+        assert_eq!(s.membership(), Membership::Out);
+        assert_eq!(s.counter(), 0);
+    }
+
+    #[test]
+    fn qcost_variant_accumulates_faster() {
+        let p = ModelParams::with_query_cost(1, 8, 3);
+        let mut c = BasicCounter::new(p);
+        // Remote read: q(λ+1) = 6.
+        c.record_remote_read(0);
+        assert_eq!(c.value(), 6);
+        assert_eq!(c.record_remote_read(0), Advice::Join);
+    }
+}

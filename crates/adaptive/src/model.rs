@@ -1,0 +1,241 @@
+//! The normalized cost model of §5.
+//!
+//! §5 studies the management of a single object class `C` from the point of
+//! view of one machine `M ∉ B(C)` deciding whether to belong to `wg(C)`.
+//! Costs are normalized so that a local read or an update costs one time
+//! unit, joining costs `K` units, and a read served remotely costs one unit
+//! at each of the `λ + 1 − |F(C)|` read-group members that process it.
+//!
+//! A request sequence is a stream of [`Event`]s; an [`Strategy`] decides
+//! membership online; [`run_strategy`] totals the §5 `work` measure.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the single-class model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelParams {
+    /// Fault-tolerance degree λ: the read group has `λ + 1 − |F|` live
+    /// members.
+    pub lambda: u64,
+    /// Join cost `K` (time units to `g-join` the class).
+    pub k_join: u64,
+    /// Query cost `q` relative to update cost 1 (`q = 1` for hash tables;
+    /// larger for trees/lists — the §5.1 extension).
+    pub q: u64,
+}
+
+impl ModelParams {
+    /// Hash-table parameters: `I = D = Q = 1`.
+    pub fn uniform(lambda: u64, k_join: u64) -> Self {
+        ModelParams {
+            lambda,
+            k_join,
+            q: 1,
+        }
+    }
+
+    /// Parameters with query cost `q > 1` (tree / list storage).
+    pub fn with_query_cost(lambda: u64, k_join: u64, q: u64) -> Self {
+        ModelParams { lambda, k_join, q }
+    }
+
+    /// Cost of a read served remotely when `failed` machines are down:
+    /// `q · (λ + 1 − |F|)`.
+    pub fn remote_read_cost(&self, failed: u64) -> u64 {
+        self.q * (self.lambda + 1).saturating_sub(failed).max(1)
+    }
+
+    /// Cost of a read served locally.
+    pub fn local_read_cost(&self) -> u64 {
+        self.q
+    }
+
+    /// The Theorem 2 competitive bound `3 + λ/K` (for `q = 1`), and the
+    /// §5.1 extension bound `3 + 2λ/K` (for `q > 1`).
+    pub fn competitive_bound(&self) -> f64 {
+        if self.q <= 1 {
+            3.0 + self.lambda as f64 / self.k_join as f64
+        } else {
+            3.0 + 2.0 * self.lambda as f64 / self.k_join as f64
+        }
+    }
+}
+
+/// One request in the §5 single-class model, as seen by machine `M`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Event {
+    /// A `mem-read` issued by a process on `M`; `failed` is `|F(C)|` at
+    /// that moment.
+    Read {
+        /// Number of currently failed basic-support machines.
+        failed: u64,
+    },
+    /// An `insert` into the class (grows `ℓ`). In-group members pay 1 to
+    /// update their replica.
+    Insert,
+    /// A `read&del` from the class (shrinks `ℓ`). In-group members pay 1.
+    Delete,
+}
+
+impl Event {
+    /// Shorthand for a read with no failures.
+    pub const READ: Event = Event::Read { failed: 0 };
+}
+
+/// Whether `M` currently replicates the class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Membership {
+    /// `M ∈ wg(C)`.
+    In,
+    /// `M ∉ wg(C)`.
+    Out,
+}
+
+/// An online membership strategy for one machine and one class.
+pub trait Strategy {
+    /// Current membership.
+    fn membership(&self) -> Membership;
+
+    /// Serves one event, updating membership; returns the cost incurred
+    /// (serving cost plus any join cost).
+    fn serve(&mut self, ev: Event) -> u64;
+
+    /// Resets to the initial (out-of-group, zero-counter) state.
+    fn reset(&mut self);
+}
+
+/// Runs a strategy over a request sequence; returns the total cost.
+pub fn run_strategy<S: Strategy + ?Sized>(strategy: &mut S, events: &[Event]) -> u64 {
+    events.iter().map(|ev| strategy.serve(*ev)).sum()
+}
+
+/// A static strategy that is always in the write group (the
+/// "replicate everywhere" baseline of full replication).
+#[derive(Debug, Clone, Default)]
+pub struct AlwaysIn {
+    params: ModelParams,
+    joined: bool,
+}
+
+impl Default for ModelParams {
+    fn default() -> Self {
+        ModelParams::uniform(1, 16)
+    }
+}
+
+impl AlwaysIn {
+    /// Creates the always-replicate strategy.
+    pub fn new(params: ModelParams) -> Self {
+        AlwaysIn {
+            params,
+            joined: false,
+        }
+    }
+}
+
+impl Strategy for AlwaysIn {
+    fn membership(&self) -> Membership {
+        Membership::In
+    }
+
+    fn serve(&mut self, ev: Event) -> u64 {
+        let join = if self.joined {
+            0
+        } else {
+            self.joined = true;
+            self.params.k_join
+        };
+        join + match ev {
+            Event::Read { .. } => self.params.local_read_cost(),
+            Event::Insert | Event::Delete => 1,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.joined = false;
+    }
+}
+
+/// A static strategy that never joins (the "no replication" baseline).
+#[derive(Debug, Clone, Default)]
+pub struct NeverIn {
+    params: ModelParams,
+}
+
+impl NeverIn {
+    /// Creates the never-replicate strategy.
+    pub fn new(params: ModelParams) -> Self {
+        NeverIn { params }
+    }
+}
+
+impl Strategy for NeverIn {
+    fn membership(&self) -> Membership {
+        Membership::Out
+    }
+
+    fn serve(&mut self, ev: Event) -> u64 {
+        match ev {
+            Event::Read { failed } => self.params.remote_read_cost(failed),
+            Event::Insert | Event::Delete => 0,
+        }
+    }
+
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remote_read_cost_shrinks_with_failures() {
+        let p = ModelParams::uniform(3, 8);
+        assert_eq!(p.remote_read_cost(0), 4);
+        assert_eq!(p.remote_read_cost(2), 2);
+        // Never below 1: at least one live member answers.
+        assert_eq!(p.remote_read_cost(9), 1);
+    }
+
+    #[test]
+    fn qcost_scales_reads() {
+        let p = ModelParams::with_query_cost(1, 8, 5);
+        assert_eq!(p.local_read_cost(), 5);
+        assert_eq!(p.remote_read_cost(0), 10);
+    }
+
+    #[test]
+    fn competitive_bounds() {
+        assert_eq!(ModelParams::uniform(4, 4).competitive_bound(), 4.0);
+        assert_eq!(
+            ModelParams::with_query_cost(4, 4, 2).competitive_bound(),
+            5.0
+        );
+    }
+
+    #[test]
+    fn always_in_pays_join_once_then_updates() {
+        let p = ModelParams::uniform(1, 10);
+        let mut s = AlwaysIn::new(p);
+        let cost = run_strategy(&mut s, &[Event::READ, Event::Insert, Event::Delete]);
+        assert_eq!(cost, 10 + 1 + 1 + 1);
+        s.reset();
+        assert_eq!(s.serve(Event::Insert), 11, "join is paid again after reset");
+    }
+
+    #[test]
+    fn never_in_pays_only_remote_reads() {
+        let p = ModelParams::uniform(2, 10);
+        let mut s = NeverIn::new(p);
+        let cost = run_strategy(
+            &mut s,
+            &[
+                Event::READ,
+                Event::Insert,
+                Event::Delete,
+                Event::Read { failed: 1 },
+            ],
+        );
+        assert_eq!(cost, 3 + 2);
+    }
+}

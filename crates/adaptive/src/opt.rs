@@ -1,0 +1,229 @@
+//! Exact offline optimum for the single-class membership problem.
+//!
+//! Competitive analysis compares an online algorithm against "the minimum
+//! possible cost had the algorithm made all the right decisions at the
+//! right time" (Appendix B). For one machine deciding in/out membership of
+//! one write group, the optimum is a textbook two-state dynamic program:
+//! state = membership before serving the request, transitions = join
+//! (cost `K`) / leave (free), request costs as in
+//! [`ModelParams`](crate::ModelParams).
+
+use crate::model::{Event, Membership, ModelParams};
+
+/// The offline optimum: total cost and the membership schedule achieving
+/// it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OptSchedule {
+    /// Minimum total cost over the sequence.
+    pub cost: u64,
+    /// `state[i]` is OPT's membership *while serving* event `i`.
+    pub schedule: Vec<Membership>,
+}
+
+/// Computes the exact offline optimum for `events`, starting out of the
+/// group.
+///
+/// The DP allows OPT to change membership immediately before each request:
+/// joining costs `K`, leaving is free (a `g-leave` sends no state). This is
+/// the same power the online algorithm has, so the comparison is fair.
+pub fn optimum(events: &[Event], params: &ModelParams) -> OptSchedule {
+    let k = params.k_join;
+    // cost_out[i] / cost_in[i]: min cost to serve events[..i] ending
+    // out/in. Parent pointers for schedule reconstruction.
+    let n = events.len();
+    let inf = u64::MAX / 4;
+    let mut out_cost = 0u64;
+    let mut in_cost = k; // joining before any request
+    let mut choices: Vec<(Membership, Membership)> = Vec::with_capacity(n);
+    // choices[i] = (best predecessor state if we serve i while Out,
+    //               best predecessor state if we serve i while In)
+
+    // We model: state chosen BEFORE serving event i (paying join if
+    // switching out→in), then pay the request cost in that state.
+    let mut prev_out = 0u64;
+    let mut prev_in = inf; // cannot "start" in the group without joining
+    for ev in events {
+        let (serve_out, serve_in) = match ev {
+            Event::Read { failed } => (params.remote_read_cost(*failed), params.local_read_cost()),
+            Event::Insert | Event::Delete => (0, 1),
+        };
+        // Serve while Out: predecessor Out (stay) or In (leave, free).
+        let (out_from, out_base) = if prev_out <= prev_in {
+            (Membership::Out, prev_out)
+        } else {
+            (Membership::In, prev_in)
+        };
+        // Serve while In: predecessor In (stay) or Out (join, cost K).
+        let join_path = prev_out.saturating_add(k);
+        let (in_from, in_base) = if prev_in <= join_path {
+            (Membership::In, prev_in)
+        } else {
+            (Membership::Out, join_path)
+        };
+        choices.push((out_from, in_from));
+        out_cost = out_base + serve_out;
+        in_cost = in_base + serve_in;
+        prev_out = out_cost;
+        prev_in = in_cost;
+    }
+
+    // Reconstruct the schedule backwards.
+    let mut schedule = vec![Membership::Out; n];
+    let mut state = if out_cost <= in_cost {
+        Membership::Out
+    } else {
+        Membership::In
+    };
+    let cost = out_cost.min(in_cost);
+    for i in (0..n).rev() {
+        schedule[i] = state;
+        state = match state {
+            Membership::Out => choices[i].0,
+            Membership::In => choices[i].1,
+        };
+    }
+    OptSchedule { cost, schedule }
+}
+
+/// Replays an [`OptSchedule`] and returns its total cost — used to verify
+/// the DP against brute force and to drive the potential-function checker.
+pub fn schedule_cost(events: &[Event], schedule: &[Membership], params: &ModelParams) -> u64 {
+    assert_eq!(events.len(), schedule.len());
+    let mut cost = 0u64;
+    let mut state = Membership::Out;
+    for (ev, s) in events.iter().zip(schedule) {
+        if state == Membership::Out && *s == Membership::In {
+            cost += params.k_join;
+        }
+        state = *s;
+        cost += match ev {
+            Event::Read { failed } => match s {
+                Membership::In => params.local_read_cost(),
+                Membership::Out => params.remote_read_cost(*failed),
+            },
+            Event::Insert | Event::Delete => match s {
+                Membership::In => 1,
+                Membership::Out => 0,
+            },
+        };
+    }
+    cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Event::{Delete, Insert};
+    const READ: Event = Event::READ;
+
+    fn brute_force(events: &[Event], params: &ModelParams) -> u64 {
+        // Enumerate all 2^n membership schedules.
+        let n = events.len();
+        assert!(n <= 16);
+        let mut best = u64::MAX;
+        for mask in 0u32..(1 << n) {
+            let schedule: Vec<Membership> = (0..n)
+                .map(|i| {
+                    if mask >> i & 1 == 1 {
+                        Membership::In
+                    } else {
+                        Membership::Out
+                    }
+                })
+                .collect();
+            best = best.min(schedule_cost(events, &schedule, params));
+        }
+        best
+    }
+
+    #[test]
+    fn all_reads_joins_once_if_cheap() {
+        let p = ModelParams::uniform(3, 4); // remote read costs 4
+        let events = vec![READ; 10];
+        let opt = optimum(&events, &p);
+        // Join immediately (4) + 10 local reads (10) = 14; staying out
+        // would cost 40.
+        assert_eq!(opt.cost, 14);
+        assert!(opt.schedule.iter().all(|m| *m == Membership::In));
+    }
+
+    #[test]
+    fn all_updates_stays_out() {
+        let p = ModelParams::uniform(3, 4);
+        let events = vec![Insert, Delete, Insert, Delete];
+        let opt = optimum(&events, &p);
+        assert_eq!(opt.cost, 0);
+        assert!(opt.schedule.iter().all(|m| *m == Membership::Out));
+    }
+
+    #[test]
+    fn mixed_sequence_switches() {
+        let p = ModelParams::uniform(3, 2); // join cheap, remote read 4
+        let events = vec![READ, Insert, Insert, Insert, Insert, Insert, READ];
+        let opt = optimum(&events, &p);
+        // In for the reads (join 2 + read 1), out for the updates, rejoin.
+        assert_eq!(opt.schedule[0], Membership::In);
+        assert_eq!(opt.schedule[3], Membership::Out);
+        assert_eq!(opt.schedule[6], Membership::In);
+        assert_eq!(opt.cost, 2 + 1 + 2 + 1);
+    }
+
+    #[test]
+    fn dp_matches_brute_force_exhaustively() {
+        // Every event sequence of length ≤ 7 over a small alphabet.
+        let p = ModelParams::uniform(1, 3);
+        let alphabet = [READ, Event::Read { failed: 1 }, Insert, Delete];
+        let mut checked = 0;
+        for len in 0..=5usize {
+            let mut idx = vec![0usize; len];
+            loop {
+                let events: Vec<Event> = idx.iter().map(|i| alphabet[*i]).collect();
+                let dp = optimum(&events, &p);
+                let bf = brute_force(&events, &p);
+                assert_eq!(dp.cost, bf, "DP diverged on {events:?}");
+                // The reconstructed schedule must achieve the DP cost.
+                assert_eq!(schedule_cost(&events, &dp.schedule, &p), dp.cost);
+                checked += 1;
+                // Advance the odometer.
+                let mut i = 0;
+                loop {
+                    if i == len {
+                        break;
+                    }
+                    idx[i] += 1;
+                    if idx[i] < alphabet.len() {
+                        break;
+                    }
+                    idx[i] = 0;
+                    i += 1;
+                }
+                if i == len {
+                    break;
+                }
+            }
+        }
+        assert!(checked > 1000);
+    }
+
+    #[test]
+    fn opt_is_lower_bound_for_basic() {
+        use crate::counter::BasicStrategy;
+        use crate::model::run_strategy;
+        let p = ModelParams::uniform(2, 5);
+        let events: Vec<Event> = (0..200)
+            .map(|i| match i % 7 {
+                0..=3 => READ,
+                4 => Event::Read { failed: 1 },
+                5 => Insert,
+                _ => Delete,
+            })
+            .collect();
+        let opt = optimum(&events, &p);
+        let mut basic = BasicStrategy::new(p);
+        let online = run_strategy(&mut basic, &events);
+        assert!(
+            opt.cost <= online,
+            "OPT must lower-bound any online strategy"
+        );
+    }
+}

@@ -1,0 +1,472 @@
+//! The virtual paging problem (§5.2).
+//!
+//! "A machine has a virtual memory of n pages, but a physical cache can
+//! only hold k < n pages at a time. ... The goal ... is to choose the
+//! pages to eject so that the total number of page faults is minimized."
+//!
+//! Support selection is at least as hard as paging (Theorem 4), so this
+//! module provides the paging side of the reduction: classic online
+//! policies (LRU, FIFO, the randomized Marker algorithm, random eviction),
+//! Belady's optimal offline MIN, and the deterministic adversary that
+//! forces any online policy to fault every step — the `k` lower bound
+//! of Sleator–Tarjan that Theorem 4 transfers to support selection.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// A page identifier.
+pub type Page = u32;
+
+/// An online paging policy over a cache of fixed capacity.
+pub trait PagePolicy {
+    /// Cache capacity `k`.
+    fn capacity(&self) -> usize;
+
+    /// Accesses `page`; returns `true` on a fault (page was not cached).
+    fn access(&mut self, page: Page) -> bool;
+
+    /// Current cache contents (used by adversaries and tests).
+    fn cached(&self) -> Vec<Page>;
+
+    /// Empties the cache.
+    fn reset(&mut self);
+}
+
+/// Runs a policy over a request sequence; returns the number of faults.
+pub fn run_paging<P: PagePolicy + ?Sized>(policy: &mut P, requests: &[Page]) -> u64 {
+    requests.iter().filter(|p| policy.access(**p)).count() as u64
+}
+
+/// Least-recently-used eviction.
+#[derive(Debug, Clone)]
+pub struct Lru {
+    k: usize,
+    /// Pages in recency order: front = least recently used.
+    order: VecDeque<Page>,
+}
+
+impl Lru {
+    /// Creates an LRU cache of capacity `k`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0);
+        Lru {
+            k,
+            order: VecDeque::new(),
+        }
+    }
+}
+
+impl PagePolicy for Lru {
+    fn capacity(&self) -> usize {
+        self.k
+    }
+
+    fn access(&mut self, page: Page) -> bool {
+        if let Some(pos) = self.order.iter().position(|p| *p == page) {
+            self.order.remove(pos);
+            self.order.push_back(page);
+            return false;
+        }
+        if self.order.len() == self.k {
+            self.order.pop_front();
+        }
+        self.order.push_back(page);
+        true
+    }
+
+    fn cached(&self) -> Vec<Page> {
+        self.order.iter().copied().collect()
+    }
+
+    fn reset(&mut self) {
+        self.order.clear();
+    }
+}
+
+/// First-in-first-out eviction.
+#[derive(Debug, Clone)]
+pub struct Fifo {
+    k: usize,
+    queue: VecDeque<Page>,
+}
+
+impl Fifo {
+    /// Creates a FIFO cache of capacity `k`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0);
+        Fifo {
+            k,
+            queue: VecDeque::new(),
+        }
+    }
+}
+
+impl PagePolicy for Fifo {
+    fn capacity(&self) -> usize {
+        self.k
+    }
+
+    fn access(&mut self, page: Page) -> bool {
+        if self.queue.contains(&page) {
+            return false;
+        }
+        if self.queue.len() == self.k {
+            self.queue.pop_front();
+        }
+        self.queue.push_back(page);
+        true
+    }
+
+    fn cached(&self) -> Vec<Page> {
+        self.queue.iter().copied().collect()
+    }
+
+    fn reset(&mut self) {
+        self.queue.clear();
+    }
+}
+
+/// The randomized Marker algorithm — `O(log k)`-competitive, matching the
+/// randomized lower bound of Theorem 4 up to constants.
+#[derive(Debug, Clone)]
+pub struct Marker {
+    k: usize,
+    cache: BTreeSet<Page>,
+    marked: BTreeSet<Page>,
+    rng: ChaCha8Rng,
+}
+
+impl Marker {
+    /// Creates a Marker cache of capacity `k` with a deterministic seed.
+    pub fn new(k: usize, seed: u64) -> Self {
+        use rand::SeedableRng;
+        assert!(k > 0);
+        Marker {
+            k,
+            cache: BTreeSet::new(),
+            marked: BTreeSet::new(),
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl PagePolicy for Marker {
+    fn capacity(&self) -> usize {
+        self.k
+    }
+
+    fn access(&mut self, page: Page) -> bool {
+        if self.cache.contains(&page) {
+            self.marked.insert(page);
+            return false;
+        }
+        if self.cache.len() == self.k {
+            // New phase when everything is marked.
+            if self.marked.len() == self.k {
+                self.marked.clear();
+            }
+            let unmarked: Vec<Page> = self.cache.difference(&self.marked).copied().collect();
+            let victim = unmarked[self.rng.gen_range(0..unmarked.len())];
+            self.cache.remove(&victim);
+        }
+        self.cache.insert(page);
+        self.marked.insert(page);
+        true
+    }
+
+    fn cached(&self) -> Vec<Page> {
+        self.cache.iter().copied().collect()
+    }
+
+    fn reset(&mut self) {
+        self.cache.clear();
+        self.marked.clear();
+    }
+}
+
+/// Uniformly random eviction.
+#[derive(Debug, Clone)]
+pub struct RandomEvict {
+    k: usize,
+    cache: Vec<Page>,
+    rng: ChaCha8Rng,
+}
+
+impl RandomEvict {
+    /// Creates a random-eviction cache of capacity `k`.
+    pub fn new(k: usize, seed: u64) -> Self {
+        use rand::SeedableRng;
+        assert!(k > 0);
+        RandomEvict {
+            k,
+            cache: Vec::new(),
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl PagePolicy for RandomEvict {
+    fn capacity(&self) -> usize {
+        self.k
+    }
+
+    fn access(&mut self, page: Page) -> bool {
+        if self.cache.contains(&page) {
+            return false;
+        }
+        if self.cache.len() == self.k {
+            let i = self.rng.gen_range(0..self.cache.len());
+            self.cache.swap_remove(i);
+        }
+        self.cache.push(page);
+        true
+    }
+
+    fn cached(&self) -> Vec<Page> {
+        self.cache.clone()
+    }
+
+    fn reset(&mut self) {
+        self.cache.clear();
+    }
+}
+
+/// Belady's MIN: the offline optimum fault count — on a fault, evict the
+/// cached page whose next use lies farthest in the future.
+pub fn min_faults(requests: &[Page], k: usize) -> u64 {
+    assert!(k > 0);
+    // Precompute next-use indices.
+    let n = requests.len();
+    let mut next_use = vec![usize::MAX; n];
+    let mut last: HashMap<Page, usize> = HashMap::new();
+    for i in (0..n).rev() {
+        next_use[i] = last.get(&requests[i]).copied().unwrap_or(usize::MAX);
+        last.insert(requests[i], i);
+    }
+    let mut cache: HashMap<Page, usize> = HashMap::new(); // page → next use
+    let mut faults = 0;
+    for (i, p) in requests.iter().enumerate() {
+        if cache.remove(p).is_some() {
+            cache.insert(*p, next_use[i]);
+            continue;
+        }
+        faults += 1;
+        if cache.len() == k {
+            // Evict the page used farthest in the future (ties: largest id
+            // for determinism).
+            let victim = *cache
+                .iter()
+                .max_by_key(|(page, nu)| (**nu, **page))
+                .map(|(page, _)| page)
+                .expect("cache non-empty");
+            cache.remove(&victim);
+        }
+        cache.insert(*p, next_use[i]);
+    }
+    faults
+}
+
+/// The oblivious adversary of the randomized `H_k` lower bound: uniform
+/// random requests over `k + 1` pages. Any online policy (randomized or
+/// not) faults with probability `1/(k+1)` per request, while MIN faults
+/// only ~once per `H_k·k` requests — so every policy's ratio approaches
+/// the harmonic number `H_k ≈ ln k`, matching Theorem 4's randomized
+/// bound from below.
+pub fn uniform_random_adversary(k: usize, steps: usize, seed: u64) -> Vec<Page> {
+    use rand::SeedableRng;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..steps).map(|_| rng.gen_range(0..=k as Page)).collect()
+}
+
+/// The `k`-th harmonic number `H_k = 1 + 1/2 + … + 1/k`.
+pub fn harmonic(k: usize) -> f64 {
+    (1..=k).map(|i| 1.0 / i as f64).sum()
+}
+
+/// The deterministic adversary of the Sleator–Tarjan lower bound: over a
+/// universe of `k + 1` pages, always request one the policy does not have
+/// cached. Every request faults the online policy, while MIN faults at
+/// most once every `k` requests — forcing competitive ratio ≥ `k`.
+pub fn deterministic_adversary<P: PagePolicy + ?Sized>(policy: &mut P, steps: usize) -> Vec<Page> {
+    let k = policy.capacity();
+    let universe: Vec<Page> = (0..=k as Page).collect();
+    let mut requests = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        let cached: BTreeSet<Page> = policy.cached().into_iter().collect();
+        let missing = universe
+            .iter()
+            .find(|p| !cached.contains(p))
+            .copied()
+            .expect("k+1 pages cannot all be cached");
+        policy.access(missing);
+        requests.push(missing);
+    }
+    requests
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policies(k: usize) -> Vec<(&'static str, Box<dyn PagePolicy>)> {
+        vec![
+            ("lru", Box::new(Lru::new(k))),
+            ("fifo", Box::new(Fifo::new(k))),
+            ("marker", Box::new(Marker::new(k, 1))),
+            ("random", Box::new(RandomEvict::new(k, 1))),
+        ]
+    }
+
+    #[test]
+    fn no_faults_when_working_set_fits() {
+        let requests: Vec<Page> = (0..100).map(|i| i % 3).collect();
+        for (name, mut p) in policies(4) {
+            let first = run_paging(p.as_mut(), &requests[..3]);
+            let rest = run_paging(p.as_mut(), &requests[3..]);
+            assert_eq!(first, 3, "{name}: cold misses");
+            assert_eq!(rest, 0, "{name}: working set fits, no more faults");
+        }
+    }
+
+    #[test]
+    fn lru_exploits_locality_better_than_fifo_on_loops() {
+        // Sequential loop over k+1 pages: the classic LRU worst case —
+        // sanity check that our adversary intuition is right.
+        let k = 4;
+        let requests: Vec<Page> = (0..200).map(|i| i % (k as u32 + 1)).collect();
+        let mut lru = Lru::new(k);
+        let lru_faults = run_paging(&mut lru, &requests);
+        assert_eq!(lru_faults, 200, "LRU faults every time on the loop");
+        assert!(min_faults(&requests, k) <= 200 / k as u64 + k as u64);
+    }
+
+    #[test]
+    fn min_is_a_lower_bound_for_all_policies() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        for trial in 0..20 {
+            let requests: Vec<Page> = (0..300).map(|_| rng.gen_range(0..12)).collect();
+            let k = 2 + trial % 5;
+            let opt = min_faults(&requests, k);
+            for (name, mut p) in policies(k) {
+                let f = run_paging(p.as_mut(), &requests);
+                assert!(opt <= f, "{name}: MIN={opt} > {f} (k={k})");
+            }
+        }
+    }
+
+    #[test]
+    fn min_matches_brute_force_on_tiny_instances() {
+        // Exhaustive check of MIN against DP-free brute force (search over
+        // eviction choices) on tiny instances.
+        fn brute(requests: &[Page], cache: BTreeSet<Page>, k: usize) -> u64 {
+            match requests.split_first() {
+                None => 0,
+                Some((p, rest)) => {
+                    if cache.contains(p) {
+                        brute(rest, cache, k)
+                    } else if cache.len() < k {
+                        let mut c = cache.clone();
+                        c.insert(*p);
+                        1 + brute(rest, c, k)
+                    } else {
+                        let mut best = u64::MAX;
+                        for v in &cache {
+                            let mut c = cache.clone();
+                            c.remove(v);
+                            c.insert(*p);
+                            best = best.min(brute(rest, c, k));
+                        }
+                        1 + best
+                    }
+                }
+            }
+        }
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..30 {
+            let requests: Vec<Page> = (0..9).map(|_| rng.gen_range(0..5)).collect();
+            for k in 1..=3 {
+                assert_eq!(
+                    min_faults(&requests, k),
+                    brute(&requests, BTreeSet::new(), k),
+                    "requests {requests:?} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adversary_forces_every_request_to_fault() {
+        for (name, mut p) in policies(5) {
+            let requests = deterministic_adversary(p.as_mut(), 200);
+            // Re-run on a fresh instance to count faults.
+            let mut fresh: Box<dyn PagePolicy> = match name {
+                "lru" => Box::new(Lru::new(5)),
+                "fifo" => Box::new(Fifo::new(5)),
+                "marker" => Box::new(Marker::new(5, 1)),
+                _ => Box::new(RandomEvict::new(5, 1)),
+            };
+            let faults = run_paging(fresh.as_mut(), &requests);
+            assert_eq!(faults, 200, "{name}: adversary must fault every step");
+            // While MIN pays ≤ 1 per k requests (plus warmup).
+            let opt = min_faults(&requests, 5);
+            assert!(opt <= 200 / 5 + 5, "{name}: opt={opt}");
+        }
+    }
+
+    #[test]
+    fn marker_beats_deterministic_policies_on_their_adversary() {
+        // Build the adversary against LRU, then let Marker (whose
+        // randomness the oblivious adversary cannot see) run it.
+        let k = 8;
+        let mut lru = Lru::new(k);
+        let requests = deterministic_adversary(&mut lru, 2000);
+        let mut lru2 = Lru::new(k);
+        let lru_faults = run_paging(&mut lru2, &requests);
+        let mut marker = Marker::new(k, 42);
+        let marker_faults = run_paging(&mut marker, &requests);
+        assert_eq!(lru_faults, 2000);
+        assert!(
+            marker_faults < lru_faults / 2,
+            "marker ({marker_faults}) should far outperform LRU ({lru_faults}) here"
+        );
+    }
+
+    #[test]
+    fn uniform_random_trace_realizes_the_harmonic_bound() {
+        // On uniform random requests over k+1 pages, EVERY policy's
+        // fault rate is ~1/(k+1) while MIN's is ~1/((k+1)·H_k) — the
+        // measured ratio must straddle H_k (within sampling noise).
+        for k in [4usize, 8, 16] {
+            let requests = uniform_random_adversary(k, 60_000, 7);
+            let opt = min_faults(&requests, k).max(1);
+            let hk = harmonic(k);
+            for (name, mut p) in policies(k) {
+                let faults = run_paging(p.as_mut(), &requests);
+                let ratio = faults as f64 / opt as f64;
+                assert!(
+                    ratio > 0.6 * hk && ratio < 1.8 * hk,
+                    "{name} k={k}: ratio {ratio:.2} should be ≈ H_k = {hk:.2}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn harmonic_values() {
+        assert!((harmonic(1) - 1.0).abs() < 1e-12);
+        assert!((harmonic(4) - (1.0 + 0.5 + 1.0 / 3.0 + 0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_empties_caches() {
+        for (_, mut p) in policies(3) {
+            p.access(1);
+            p.reset();
+            assert!(p.cached().is_empty());
+        }
+    }
+}

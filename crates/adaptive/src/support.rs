@@ -1,0 +1,362 @@
+//! The Support Selection Problem (§5.2).
+//!
+//! "Choose on-line a set of machines for `wg(C)` so as to minimize total
+//! work subject to the constraint `|wg(C)| = min(λ+1, n−f)`": when a
+//! write-group member fails it must be replaced immediately, paying the
+//! state-copy cost `g(ℓ)`. Theorem 4 reduces virtual paging to this
+//! problem — page `i` in cache ⟺ machine `Mᵢ ∉ wg(C)`, a reference to
+//! page `i` ⟺ a transient failure of `Mᵢ` — transferring the
+//! `k = n − λ − 1` deterministic and `log k` randomized lower bounds.
+//! The paper proposes **LRF** ("replace it by the least recently failed
+//! machine"), the image of LRU under the reduction.
+
+use std::collections::BTreeSet;
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::paging::{min_faults, Page};
+
+/// A machine index in `0..n`.
+pub type Machine = usize;
+
+/// An online replacement policy: which live non-member replaces a failed
+/// write-group member.
+pub trait ReplacementPolicy {
+    /// Chooses the replacement from `candidates` (non-empty, sorted).
+    fn choose(&mut self, candidates: &[Machine]) -> Machine;
+
+    /// Observes that `m` failed at logical time `t` (called for every
+    /// failure, member or not).
+    fn observe_failure(&mut self, m: Machine, t: u64);
+}
+
+/// LRF: replace by the least recently failed machine (≙ LRU).
+#[derive(Debug, Clone)]
+pub struct Lrf {
+    last_failed: Vec<u64>,
+}
+
+impl Lrf {
+    /// Creates LRF over `n` machines (none has ever failed).
+    pub fn new(n: usize) -> Self {
+        Lrf {
+            last_failed: vec![0; n],
+        }
+    }
+}
+
+impl ReplacementPolicy for Lrf {
+    fn choose(&mut self, candidates: &[Machine]) -> Machine {
+        *candidates
+            .iter()
+            .min_by_key(|m| (self.last_failed[**m], **m))
+            .expect("candidates must be non-empty")
+    }
+
+    fn observe_failure(&mut self, m: Machine, t: u64) {
+        self.last_failed[m] = t;
+    }
+}
+
+/// MRF: most recently failed — the pessimal mirror of LRF, included as a
+/// negative control.
+#[derive(Debug, Clone)]
+pub struct Mrf {
+    last_failed: Vec<u64>,
+}
+
+impl Mrf {
+    /// Creates MRF over `n` machines.
+    pub fn new(n: usize) -> Self {
+        Mrf {
+            last_failed: vec![0; n],
+        }
+    }
+}
+
+impl ReplacementPolicy for Mrf {
+    fn choose(&mut self, candidates: &[Machine]) -> Machine {
+        *candidates
+            .iter()
+            .max_by_key(|m| (self.last_failed[**m], **m))
+            .expect("candidates must be non-empty")
+    }
+
+    fn observe_failure(&mut self, m: Machine, t: u64) {
+        self.last_failed[m] = t;
+    }
+}
+
+/// Uniformly random replacement.
+#[derive(Debug, Clone)]
+pub struct RandomReplace {
+    rng: ChaCha8Rng,
+}
+
+impl RandomReplace {
+    /// Creates a random policy with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        use rand::SeedableRng;
+        RandomReplace {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl ReplacementPolicy for RandomReplace {
+    fn choose(&mut self, candidates: &[Machine]) -> Machine {
+        candidates[self.rng.gen_range(0..candidates.len())]
+    }
+
+    fn observe_failure(&mut self, _m: Machine, _t: u64) {}
+}
+
+/// Fewest-failures-so-far ("the longer a machine stays up, the more
+/// reliable it is" carried to statistics over the whole run).
+#[derive(Debug, Clone)]
+pub struct MostReliable {
+    failures: Vec<u64>,
+}
+
+impl MostReliable {
+    /// Creates the policy over `n` machines.
+    pub fn new(n: usize) -> Self {
+        MostReliable {
+            failures: vec![0; n],
+        }
+    }
+}
+
+impl ReplacementPolicy for MostReliable {
+    fn choose(&mut self, candidates: &[Machine]) -> Machine {
+        *candidates
+            .iter()
+            .min_by_key(|m| (self.failures[**m], **m))
+            .expect("candidates must be non-empty")
+    }
+
+    fn observe_failure(&mut self, m: Machine, _t: u64) {
+        self.failures[m] += 1;
+    }
+}
+
+/// Outcome of a support-selection run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupportRun {
+    /// Number of state copies performed (each costs `g(ℓ)`).
+    pub copies: u64,
+    /// Total work: `copies · g(ℓ)`.
+    pub work: u64,
+}
+
+/// Simulates support selection under transient failures (the Theorem 4
+/// model: a failed machine restarts immediately, outside the write group).
+///
+/// `failures` is the sequence of failing machines; the write group starts
+/// as `{0, …, λ}`. Returns the number of copies and total work at
+/// state-copy cost `g_ell` each.
+///
+/// # Panics
+///
+/// Panics unless `n ≥ λ + 2` (otherwise there is never a replacement
+/// candidate) or if a failure index is out of range.
+pub fn run_support<P: ReplacementPolicy + ?Sized>(
+    policy: &mut P,
+    failures: &[Machine],
+    n: usize,
+    lambda: usize,
+    g_ell: u64,
+) -> SupportRun {
+    assert!(n >= lambda + 2, "need at least λ+2 machines");
+    let mut wg: BTreeSet<Machine> = (0..=lambda).collect();
+    let mut copies = 0u64;
+    for (t, m) in failures.iter().enumerate() {
+        assert!(*m < n, "failure of unknown machine {m}");
+        policy.observe_failure(*m, t as u64 + 1);
+        if wg.remove(m) {
+            // A member failed: replace immediately (fault-tolerance
+            // condition). The failed machine itself restarts outside the
+            // group, so candidates are all non-members except m.
+            let candidates: Vec<Machine> = (0..n).filter(|x| !wg.contains(x) && x != m).collect();
+            let pick = policy.choose(&candidates);
+            wg.insert(pick);
+            copies += 1;
+        }
+    }
+    SupportRun {
+        copies,
+        work: copies * g_ell,
+    }
+}
+
+/// The offline optimum number of copies for a failure sequence, via the
+/// Theorem 4 reduction to paging and Belady's MIN.
+///
+/// Cache size is `k = n − λ − 1` (pages = machines, cached ⟺ out of the
+/// write group); each failure of `Mᵢ` is a request for page `i`; MIN's
+/// faults are exactly the unavoidable copies.
+pub fn optimal_copies(failures: &[Machine], n: usize, lambda: usize) -> u64 {
+    let k = n - lambda - 1;
+    let requests: Vec<Page> = failures.iter().map(|m| *m as Page).collect();
+    // MIN starts with an empty cache; the support group starts with
+    // machines {0..λ} *in* the group, i.e. pages {λ+1..n} cached. Warmup
+    // differences are bounded by k; we account exactly by pre-requesting
+    // the initially cached pages, which costs MIN k warmup faults that we
+    // subtract.
+    let mut seq: Vec<Page> = ((lambda + 1) as Page..n as Page).collect();
+    let warmup = seq.len() as u64;
+    seq.extend_from_slice(&requests);
+    min_faults(&seq, k) - warmup
+}
+
+/// Maps a paging request sequence onto a support-selection failure
+/// sequence (the literal Theorem 4 reduction: request page `i` ↦ fail
+/// machine `i`).
+pub fn paging_to_failures(requests: &[Page]) -> Vec<Machine> {
+    requests.iter().map(|p| *p as Machine).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paging::{deterministic_adversary, run_paging, Lru, PagePolicy};
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn nonmember_failures_cost_nothing() {
+        let mut lrf = Lrf::new(6);
+        // λ=1 → wg = {0,1}; machines 4,5 failing never triggers copies.
+        let run = run_support(&mut lrf, &[4, 5, 4, 5, 4], 6, 1, 10);
+        assert_eq!(run.copies, 0);
+        assert_eq!(run.work, 0);
+    }
+
+    #[test]
+    fn member_failure_triggers_exactly_one_copy() {
+        let mut lrf = Lrf::new(4);
+        let run = run_support(&mut lrf, &[0], 4, 1, 7);
+        assert_eq!(run.copies, 1);
+        assert_eq!(run.work, 7);
+    }
+
+    #[test]
+    fn group_size_is_maintained() {
+        // Drive many failures and check (via a wrapper policy) that the
+        // candidate list never includes current members.
+        struct Checker(Lrf);
+        impl ReplacementPolicy for Checker {
+            fn choose(&mut self, c: &[Machine]) -> Machine {
+                assert!(!c.is_empty());
+                self.0.choose(c)
+            }
+            fn observe_failure(&mut self, m: Machine, t: u64) {
+                self.0.observe_failure(m, t);
+            }
+        }
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+        let failures: Vec<Machine> = (0..500).map(|_| rng.gen_range(0..8)).collect();
+        let mut p = Checker(Lrf::new(8));
+        let run = run_support(&mut p, &failures, 8, 2, 1);
+        assert!(run.copies > 0);
+    }
+
+    #[test]
+    fn lrf_equals_lru_under_the_reduction() {
+        // Theorem 4's mapping is exact: LRF's copies on the mapped
+        // failure sequence equal LRU's faults on the paging sequence
+        // (after aligning the initial configurations).
+        let n = 6;
+        let lambda = 1;
+        let k = n - lambda - 1; // 4 pages cached
+                                // Align: LRU starts with pages {λ+1..n} = {2..5} cached.
+        let warm: Vec<Page> = (2..6).collect();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
+        let body: Vec<Page> = (0..400).map(|_| rng.gen_range(0..6)).collect();
+
+        let mut lru = Lru::new(k);
+        run_paging(&mut lru, &warm);
+        let lru_faults = run_paging(&mut lru, &body);
+
+        // LRF must see the same warmup history: machines 0..=λ "failed
+        // never", pages 2..5 were "referenced" — i.e. machines 2..5 failed
+        // in that order before the body.
+        let mut lrf = Lrf::new(n);
+        let mut failures = paging_to_failures(&warm);
+        failures.extend(paging_to_failures(&body));
+        let run = run_support(&mut lrf, &failures, n, lambda, 1);
+        assert_eq!(run.copies, lru_faults, "LRF ≙ LRU under the reduction");
+    }
+
+    #[test]
+    fn adversary_forces_linear_copies_while_opt_pays_a_fraction() {
+        // Theorem 4's lower bound, realized: build the paging adversary
+        // against LRU with k = n−λ−1, map it to failures, and compare LRF
+        // against the offline optimum.
+        let n = 8;
+        let lambda = 2;
+        let k = n - lambda - 1; // 5
+        let mut lru = Lru::new(k);
+        // Align initial config as in the reduction.
+        for p in (lambda + 1) as Page..n as Page {
+            lru.access(p);
+        }
+        let requests = deterministic_adversary(&mut lru, 600);
+        let failures = paging_to_failures(&requests);
+
+        let mut lrf = Lrf::new(n);
+        // Warm LRF identically.
+        let mut full = paging_to_failures(&((lambda + 1) as Page..n as Page).collect::<Vec<_>>());
+        full.extend(failures.clone());
+        let online = run_support(&mut lrf, &full, n, lambda, 1);
+
+        let opt = optimal_copies(&full, n, lambda);
+        assert!(online.copies >= 600, "adversary forces a copy per failure");
+        assert!(
+            opt <= online.copies / (k as u64 - 1),
+            "opt {} vs online {} should show a ~k gap",
+            opt,
+            online.copies
+        );
+    }
+
+    #[test]
+    fn lrf_beats_mrf_on_localized_failures() {
+        // A flaky pair of machines fails over and over; LRF learns to
+        // avoid them, MRF keeps inviting them back.
+        let n = 8;
+        let lambda = 1; // wg = {0, 1}
+        let mut failures = vec![0, 1]; // push the flaky pair out of the group
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(4);
+        for _ in 0..300 {
+            failures.push(rng.gen_range(0..2)); // machines 0/1 keep failing
+        }
+        let lrf = run_support(&mut Lrf::new(n), &failures, n, lambda, 1);
+        let mrf = run_support(&mut Mrf::new(n), &failures, n, lambda, 1);
+        assert!(
+            lrf.copies * 5 < mrf.copies,
+            "LRF ({}) should crush MRF ({}) on flaky-subset traces",
+            lrf.copies,
+            mrf.copies
+        );
+    }
+
+    #[test]
+    fn optimal_copies_lower_bounds_every_policy() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+        for trial in 0..10 {
+            let n = 6 + trial % 3;
+            let lambda = 1 + trial % 2;
+            let failures: Vec<Machine> = (0..200).map(|_| rng.gen_range(0..n)).collect();
+            let opt = optimal_copies(&failures, n, lambda);
+            for run in [
+                run_support(&mut Lrf::new(n), &failures, n, lambda, 1),
+                run_support(&mut Mrf::new(n), &failures, n, lambda, 1),
+                run_support(&mut RandomReplace::new(1), &failures, n, lambda, 1),
+                run_support(&mut MostReliable::new(n), &failures, n, lambda, 1),
+            ] {
+                assert!(opt <= run.copies, "opt {} > policy {}", opt, run.copies);
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Criterion bench — throughput of the adaptive algorithms and the exact
+//! optimum DP (supporting experiments E2/E3: the harness itself must be
+//! fast enough to sweep millions of events).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use paso_adaptive::{optimum, run_strategy, BasicStrategy, ModelParams};
+use paso_workload::requests;
+
+fn bench_basic(c: &mut Criterion) {
+    let params = ModelParams::uniform(3, 8);
+    let events = requests::uniform_mix(10_000, 0.6, 3, 1);
+    c.bench_function("basic_strategy/10k_events", |b| {
+        b.iter_batched(
+            || BasicStrategy::new(params),
+            |mut s| black_box(run_strategy(&mut s, &events)),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_opt_dp(c: &mut Criterion) {
+    let params = ModelParams::uniform(3, 8);
+    let mut group = c.benchmark_group("optimum_dp");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let events = requests::uniform_mix(n, 0.6, 3, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(optimum(&events, &params).cost));
+        });
+    }
+    group.finish();
+}
+
+fn bench_paging_min(c: &mut Criterion) {
+    use paso_adaptive::paging::min_faults;
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+    let requests: Vec<u32> = (0..50_000).map(|_| rng.gen_range(0..64)).collect();
+    c.bench_function("belady_min/50k_requests", |b| {
+        b.iter(|| black_box(min_faults(&requests, 16)));
+    });
+}
+
+criterion_group!(benches, bench_basic, bench_opt_dp, bench_paging_min);
+criterion_main!(benches);

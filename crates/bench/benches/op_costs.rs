@@ -1,0 +1,86 @@
+//! Criterion bench E1 — end-to-end latency/throughput of the PASO
+//! primitives on the simulated cluster (one full protocol round per
+//! iteration, including the vsync gcast, dones, and response).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use paso_core::{PasoConfig, SimSystem};
+use paso_simnet::CostModel;
+use paso_types::{FieldMatcher, SearchCriterion, Template, Value};
+
+fn system(n: usize, lambda: usize) -> SimSystem {
+    let mut sys = SimSystem::new(
+        PasoConfig::builder(n, lambda)
+            .seed(1)
+            .cost_model(CostModel::new(100.0, 0.5))
+            .adaptive(false)
+            .build(),
+    );
+    for i in 0..50 {
+        sys.insert(0, vec![Value::symbol("item"), Value::Int(i)]);
+    }
+    sys
+}
+
+fn sc_any() -> SearchCriterion {
+    SearchCriterion::from(Template::new(vec![
+        FieldMatcher::Exact(Value::symbol("item")),
+        FieldMatcher::Any,
+    ]))
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paso_op");
+    for &lambda in &[1usize, 3] {
+        let n = 2 * (lambda + 1) + 1;
+        group.bench_with_input(BenchmarkId::new("insert", lambda), &lambda, |b, _| {
+            let mut sys = system(n, lambda);
+            let mut i = 1000;
+            b.iter(|| {
+                i += 1;
+                black_box(sys.insert(1, vec![Value::symbol("item"), Value::Int(i)]))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("read_remote", lambda), &lambda, |b, _| {
+            let mut sys = system(n, lambda);
+            // Find a non-member to read from.
+            let class = paso_types::ClassId(2);
+            let outsider = (0..n as u32)
+                .find(|m| !sys.server(*m).is_basic(class))
+                .unwrap();
+            b.iter(|| black_box(sys.read(outsider, sc_any())));
+        });
+        group.bench_with_input(BenchmarkId::new("read_local", lambda), &lambda, |b, _| {
+            let mut sys = system(n, lambda);
+            let class = paso_types::ClassId(2);
+            let member = (0..n as u32)
+                .find(|m| sys.server(*m).is_basic(class))
+                .unwrap();
+            b.iter(|| black_box(sys.read(member, sc_any())));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("insert_take_pair", lambda),
+            &lambda,
+            |b, _| {
+                let mut sys = system(n, lambda);
+                let mut i = 10_000;
+                b.iter(|| {
+                    i += 1;
+                    sys.insert(1, vec![Value::symbol("item"), Value::Int(i)]);
+                    black_box(sys.read_del(
+                        2,
+                        SearchCriterion::from(Template::exact(vec![
+                            Value::symbol("item"),
+                            Value::Int(i),
+                        ])),
+                    ))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Criterion bench E7 — per-class store costs (`I/D/Q`, §5) and the
+//! `Θ(ℓ)` snapshot (state-transfer) cost.
+//!
+//! Expected shape: hash dictionary lookups flat in ℓ; ordered range
+//! queries logarithmic; scan linear; snapshot linear (the `time(g-join) =
+//! O(ℓ)` assumption of §5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use paso_storage::{AutoStore, ClassStore, StoreKind};
+use paso_types::{FieldMatcher, ObjectId, PasoObject, ProcessId, SearchCriterion, Template, Value};
+
+fn filled(kind: StoreKind, n: usize) -> AutoStore {
+    let mut s = AutoStore::for_kind(kind);
+    for i in 0..n {
+        s.store(PasoObject::new(
+            ObjectId::new(ProcessId(0), i as u64),
+            vec![Value::symbol("k"), Value::Int(i as i64)],
+        ));
+    }
+    s
+}
+
+fn dict_sc(i: i64) -> SearchCriterion {
+    SearchCriterion::from(Template::exact(vec![Value::symbol("k"), Value::Int(i)]))
+}
+
+fn range_sc(lo: i64, hi: i64) -> SearchCriterion {
+    SearchCriterion::from(Template::new(vec![
+        FieldMatcher::Exact(Value::symbol("k")),
+        FieldMatcher::between(lo, hi),
+    ]))
+}
+
+fn bench_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mem_read");
+    for &n in &[100usize, 1000, 10_000] {
+        let hash = filled(StoreKind::Hash, n);
+        group.bench_with_input(BenchmarkId::new("hash/dictionary", n), &n, |b, &n| {
+            let sc = dict_sc((n - 1) as i64);
+            b.iter(|| black_box(hash.mem_read(&sc)));
+        });
+        let ordered = filled(StoreKind::Ordered, n);
+        group.bench_with_input(BenchmarkId::new("ordered/range", n), &n, |b, &n| {
+            let sc = range_sc((n / 2) as i64, (n / 2 + 3) as i64);
+            b.iter(|| black_box(ordered.mem_read(&sc)));
+        });
+        let scan = filled(StoreKind::Scan, n);
+        group.bench_with_input(BenchmarkId::new("scan/last", n), &n, |b, &n| {
+            let sc = dict_sc((n - 1) as i64);
+            b.iter(|| black_box(scan.mem_read(&sc)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_store_and_remove(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_remove_cycle");
+    for kind in [StoreKind::Hash, StoreKind::Ordered, StoreKind::Scan] {
+        group.bench_function(format!("{kind}/1000"), |b| {
+            b.iter_batched(
+                || filled(kind, 1000),
+                |mut s| {
+                    s.store(PasoObject::new(
+                        ObjectId::new(ProcessId(1), 0),
+                        vec![Value::symbol("k"), Value::Int(-1)],
+                    ));
+                    black_box(s.remove(&dict_sc(-1)))
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snapshot");
+    for &n in &[100usize, 1000, 10_000] {
+        let s = filled(StoreKind::Hash, n);
+        group.bench_with_input(BenchmarkId::new("hash", n), &n, |b, _| {
+            b.iter(|| black_box(s.snapshot().len()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query, bench_store_and_remove, bench_snapshot);
+criterion_main!(benches);

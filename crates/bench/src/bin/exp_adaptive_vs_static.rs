@@ -1,0 +1,84 @@
+//! Experiment E8 — the paper's headline claim: **adaptive replication
+//! combines the best of both static extremes**.
+//!
+//! Full replication is ideal for read-heavy traffic, no replication for
+//! update-heavy traffic; either is unboundedly bad on the wrong mix. The
+//! Basic algorithm stays within its competitive factor of the optimum on
+//! *every* mix. We sweep the read fraction and report total work in the
+//! §5 model for Basic, AlwaysIn, NeverIn and OPT — the crossover of the
+//! static strategies and Basic hugging the minimum is the paper's story.
+//!
+//! Usage: `cargo run --release -p paso-bench --bin exp_adaptive_vs_static`
+
+use paso_adaptive::{optimum, run_strategy, AlwaysIn, BasicStrategy, ModelParams, NeverIn};
+use paso_bench::{f2, Table};
+use paso_workload::requests;
+
+fn main() {
+    println!("E8 — adaptive (Basic) vs static replication across read/update mixes");
+    let lambda = 3u64;
+    let k = 8u64;
+    let params = ModelParams::uniform(lambda, k);
+    println!("λ = {lambda}, K = {k}, 4000 events per mix, bursty locality phases\n");
+
+    let mut table = Table::new([
+        "read-frac",
+        "OPT",
+        "Basic",
+        "AlwaysIn",
+        "NeverIn",
+        "Basic/OPT",
+        "best-static/OPT",
+    ]);
+    let mut basic_always_within = true;
+    for read_pct in [0u32, 10, 25, 50, 75, 90, 100] {
+        let frac = read_pct as f64 / 100.0;
+        // Bursty mixes with the target read share: burst lengths in the
+        // ratio frac : (1-frac).
+        let events = if read_pct == 0 {
+            requests::uniform_mix(4000, 0.0, 0, 1)
+        } else if read_pct == 100 {
+            requests::uniform_mix(4000, 1.0, 0, 1)
+        } else {
+            let reads = (frac * 40.0).round() as usize;
+            let updates = 40 - reads;
+            requests::bursty(reads.max(1), updates.max(1), 100)
+        };
+        let opt = optimum(&events, &params).cost.max(1);
+        let mut basic = BasicStrategy::new(params);
+        let basic_cost = run_strategy(&mut basic, &events);
+        let mut always = AlwaysIn::new(params);
+        let always_cost = run_strategy(&mut always, &events);
+        let mut never = NeverIn::new(params);
+        let never_cost = run_strategy(&mut never, &events);
+
+        let basic_ratio = basic_cost as f64 / opt as f64;
+        let best_static = always_cost.min(never_cost) as f64 / opt as f64;
+        basic_always_within &= (basic_cost as f64)
+            <= params.competitive_bound() * opt as f64 + (2 * k + lambda) as f64;
+
+        table.row([
+            format!("{read_pct}%"),
+            opt.to_string(),
+            basic_cost.to_string(),
+            always_cost.to_string(),
+            never_cost.to_string(),
+            f2(basic_ratio),
+            f2(best_static),
+        ]);
+    }
+    table.print();
+
+    println!(
+        "\nBasic within its (3+λ/K) bound on every mix: {}",
+        if basic_always_within {
+            "YES"
+        } else {
+            "NO — REPRODUCTION FAILURE"
+        }
+    );
+    println!("expected shape: AlwaysIn explodes at low read fractions, NeverIn at");
+    println!("high ones (the crossover sits mid-sweep); Basic tracks OPT within its");
+    println!("competitive factor everywhere — adaptivity gives fault tolerance");
+    println!("without paying the static worst case.");
+}

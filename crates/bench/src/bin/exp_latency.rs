@@ -1,0 +1,148 @@
+//! Experiment E10 (extension) — **response time**, the paper's third cost
+//! measure ("Response time is a valid concern, and a load-balancing scheme
+//! designed to reduce response time is described in \[13\]. It remains an
+//! open problem to design a system with guaranteed good behavior in all
+//! three cost measures.")
+//!
+//! We measure per-operation latency distributions on the simulated bus
+//! (1 cost unit = 1 µs of bus occupancy) for each read path — local,
+//! group-cast to `rg`, group-cast to `wg`, and the anycast extension — and
+//! for inserts across λ. The ordering local < anycast < rg-cast < wg-cast
+//! is the response-time side of the message-cost story told by E1/E6.
+//!
+//! Usage: `cargo run --release -p paso-bench --bin exp_latency`
+
+use paso_bench::{f1, Table};
+use paso_core::{PasoConfig, ReadMode, SimSystem};
+use paso_simnet::{CostModel, SimTime};
+use paso_types::{ClassId, FieldMatcher, SearchCriterion, Template, Value};
+
+const OPS: usize = 60;
+
+fn sc_any() -> SearchCriterion {
+    SearchCriterion::from(Template::new(vec![
+        FieldMatcher::Exact(Value::symbol("kv")),
+        FieldMatcher::Any,
+    ]))
+}
+
+struct Sample {
+    mean: f64,
+    p99: u64,
+}
+
+fn run_reads(lambda: usize, mode: ReadMode, read_groups: bool, local: bool) -> Sample {
+    let n = 2 * (lambda + 1) + 2;
+    let mut sys = SimSystem::new(
+        PasoConfig::builder(n, lambda)
+            .seed(42)
+            .cost_model(CostModel::new(100.0, 0.5))
+            .adaptive(false)
+            .read_mode(mode)
+            .read_groups(read_groups)
+            .build(),
+    );
+    for i in 0..10 {
+        sys.insert(0, vec![Value::symbol("kv"), Value::Int(i)]);
+    }
+    sys.run_for(SimTime::from_millis(10));
+    let class = ClassId(2);
+    let issuer = if local {
+        (0..n as u32)
+            .find(|m| sys.server(*m).is_basic(class))
+            .unwrap()
+    } else {
+        (0..n as u32)
+            .find(|m| !sys.server(*m).is_basic(class))
+            .unwrap()
+    };
+    let mark = sys.run_log().len() as u64;
+    for _ in 0..OPS {
+        let op = sys.issue_read(issuer, sc_any(), false);
+        let r = sys.wait(op, 1_000_000).expect("read completes");
+        assert!(r.is_success());
+        sys.run_for(SimTime::from_millis(2));
+    }
+    // Only the reads issued after `mark` count.
+    let lats: Vec<u64> = sys
+        .run_log()
+        .records()
+        .filter(|r| r.op_id >= mark)
+        .filter_map(|r| Some(r.returned?.saturating_since(r.issued).as_micros()))
+        .collect();
+    let mean = lats.iter().sum::<u64>() as f64 / lats.len() as f64;
+    let p99 = *lats.iter().max().unwrap();
+    Sample { mean, p99 }
+}
+
+fn run_inserts(lambda: usize) -> Sample {
+    let n = 2 * (lambda + 1) + 2;
+    let mut sys = SimSystem::new(
+        PasoConfig::builder(n, lambda)
+            .seed(42)
+            .cost_model(CostModel::new(100.0, 0.5))
+            .adaptive(false)
+            .build(),
+    );
+    for i in 0..OPS {
+        sys.insert(
+            (i % n) as u32,
+            vec![Value::symbol("kv"), Value::Int(i as i64)],
+        );
+        sys.run_for(SimTime::from_millis(2));
+    }
+    let stats = sys.run_log().latency_stats(Some("insert"));
+    Sample {
+        mean: stats.mean_micros,
+        p99: stats.p99_micros,
+    }
+}
+
+fn main() {
+    println!("E10 — response time per operation path (µs of simulated time)");
+    println!("bus model α = 100, β = 0.5; {OPS} ops per cell\n");
+
+    let mut table = Table::new(["λ", "path", "mean (µs)", "worst (µs)"]);
+    for lambda in [1usize, 2, 4] {
+        let local = run_reads(lambda, ReadMode::GroupCast, true, true);
+        table.row([
+            lambda.to_string(),
+            "read local".into(),
+            f1(local.mean),
+            local.p99.to_string(),
+        ]);
+        let any = run_reads(lambda, ReadMode::Anycast, true, false);
+        table.row([
+            lambda.to_string(),
+            "read anycast".into(),
+            f1(any.mean),
+            any.p99.to_string(),
+        ]);
+        let rg = run_reads(lambda, ReadMode::GroupCast, true, false);
+        table.row([
+            lambda.to_string(),
+            "read gcast rg".into(),
+            f1(rg.mean),
+            rg.p99.to_string(),
+        ]);
+        let wg = run_reads(lambda, ReadMode::GroupCast, false, false);
+        table.row([
+            lambda.to_string(),
+            "read gcast wg".into(),
+            f1(wg.mean),
+            wg.p99.to_string(),
+        ]);
+        let ins = run_inserts(lambda);
+        table.row([
+            lambda.to_string(),
+            "insert".into(),
+            f1(ins.mean),
+            ins.p99.to_string(),
+        ]);
+    }
+    table.print();
+
+    println!("\nexpected shape: local ≈ 0; anycast ≈ 2 one-way message times and");
+    println!("independent of λ; gcast paths grow with |g| = λ+1 (fan-out + done");
+    println!("collection before the single response, §3.3); insert ≈ gcast wg.");
+}

@@ -1,0 +1,127 @@
+//! # paso-bench
+//!
+//! Experiment harness regenerating every table and figure of *Adaptive
+//! Algorithms for PASO Systems*. Each experiment is a binary printing a
+//! paper-style table (see EXPERIMENTS.md for the index and recorded
+//! outputs):
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `exp_fig1` | Figure 1 — costs of the PASO operations |
+//! | `exp_thm2` | Theorem 2 — Basic is (3+λ/K)-competitive (`--qcost` for the §5.1 extension) |
+//! | `exp_thm3` | Theorem 3 — doubling/halving is (6+2λ/K)-competitive |
+//! | `exp_thm4` | Theorem 4 — support-selection lower bounds via paging |
+//! | `exp_lrf`  | §5.2 — LRF vs other replacement heuristics |
+//! | `exp_readgroup` | §4.3 — the read-group optimization |
+//! | `exp_adaptive_vs_static` | §1/§5 — adaptive beats static replication |
+//! | `exp_correctness` | Theorem 1 — semantics under crash storms |
+//!
+//! Criterion micro-benchmarks: `op_costs`, `storage`, `competitive`.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+
+/// A fixed-width ASCII table printer for paper-style output.
+#[derive(Debug, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<I: IntoIterator<Item = S>, S: Into<String>>(headers: I) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row<I: IntoIterator<Item = S>, S: Display>(&mut self, cells: I) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(|c| c.to_string()).collect();
+        assert_eq!(row.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(row);
+        self
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for (c, w) in cells.iter().zip(widths) {
+                line.push_str(&format!(" {c:>w$} |"));
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        let mut sep = String::from("|");
+        for w in &widths {
+            sep.push_str(&format!("{}|", "-".repeat(w + 2)));
+        }
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a float with 1 decimal.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(["a", "long-header"]);
+        t.row(["1", "2"]);
+        t.row(["100", "20000"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(
+            lines.iter().all(|l| l.len() == lines[0].len()),
+            "aligned:\n{s}"
+        );
+        assert!(s.contains("long-header"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f2(1.23456), "1.23");
+        assert_eq!(f1(1.23456), "1.2");
+    }
+}

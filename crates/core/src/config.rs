@@ -1,0 +1,345 @@
+//! System configuration.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use paso_simnet::{CostModel, SimTime};
+use paso_storage::StoreKind;
+use paso_types::{
+    ArityClassifier, Classifier, FirstFieldClassifier, SignatureClassifier, ValueType,
+};
+
+/// Which classifier (`obj-clss` / `sc-list`) the system uses. Kept as a
+/// serializable description so every machine constructs the *same*
+/// classifier — the partition must be agreed upon globally (§4.1).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClassifierKind {
+    /// Classify by tuple arity, up to a maximum.
+    Arity(usize),
+    /// Classify by a stable hash of field 0 into `buckets`.
+    FirstField(u32),
+    /// Classify by registered type signatures.
+    Signature(Vec<Vec<ValueType>>),
+}
+
+impl ClassifierKind {
+    /// Builds the classifier.
+    pub fn build(&self) -> Box<dyn Classifier> {
+        match self {
+            ClassifierKind::Arity(max) => Box::new(ArityClassifier::new(*max)),
+            ClassifierKind::FirstField(buckets) => Box::new(FirstFieldClassifier::new(*buckets)),
+            ClassifierKind::Signature(sigs) => Box::new(SignatureClassifier::new(sigs.clone())),
+        }
+    }
+}
+
+/// How non-member reads reach the read group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReadMode {
+    /// gcast to the whole read group (the paper's §4.3 macro expansion):
+    /// `|rg|` fan-out copies + done-empties + one response.
+    GroupCast,
+    /// Send the query to a *single* read-group member (rotating for load
+    /// spread) and fall back to a gcast if it is down or answers
+    /// non-authoritatively. Safe because `insert` completes only after
+    /// every member acknowledged the store (done-collection), so any one
+    /// replica is current for objects whose insert has returned — the
+    /// natural endpoint of §4.3's "reads entail no changes" observation,
+    /// and a response-time optimization toward the open problem the paper
+    /// cites (\[13\], load balancing).
+    Anycast,
+}
+
+/// How blocking `read`/`read&del` waits are implemented (§4.3): busy-wait
+/// cycling, or read-markers left at the write-group members with an
+/// expiry (the "hybrid approach" the paper sketches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BlockingMode {
+    /// Re-run the whole non-blocking operation every `interval_micros`.
+    BusyWait {
+        /// Poll interval in microseconds.
+        interval_micros: u64,
+    },
+    /// Leave markers at the servers; they notify the origin when a
+    /// matching insert arrives. Markers expire after `expiry_micros` and
+    /// are re-placed by the origin (together with a safety re-poll at the
+    /// same interval).
+    Markers {
+        /// Marker lifetime in microseconds.
+        expiry_micros: u64,
+    },
+}
+
+/// Configuration of a PASO system.
+///
+/// # Examples
+///
+/// ```
+/// use paso_core::PasoConfig;
+///
+/// let cfg = PasoConfig::builder(6, 1).k_join(8).adaptive(true).build();
+/// assert_eq!(cfg.n, 6);
+/// assert_eq!(cfg.lambda, 1);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PasoConfig {
+    /// Number of machines `n = |Mach|`.
+    pub n: usize,
+    /// Fault-tolerance degree `λ < n`: the system survives up to `λ`
+    /// simultaneous crashes.
+    pub lambda: usize,
+    /// The LAN cost model `(α, β)`.
+    pub cost_model: CostModel,
+    /// Simulation seed.
+    pub seed: u64,
+    /// The global object-class partition.
+    pub classifier: ClassifierKind,
+    /// Default per-class store structure.
+    pub default_store: StoreKind,
+    /// The adaptive join threshold `K` (time units to join a class).
+    pub k_join: u64,
+    /// Query cost `q` relative to update cost (§5.1's extension for
+    /// tree/list-backed classes where `Q(·)` exceeds `I(·)/D(·)`). The
+    /// Basic counter accumulates `q·(λ+1−|F|)` per remote read; the
+    /// competitive bound becomes `3 + 2λ/K`.
+    pub q_cost: u64,
+    /// Run the Basic algorithm (adaptive replication)? When false, write
+    /// groups stay at the basic support.
+    pub adaptive: bool,
+    /// Direct reads to the bounded read group `rg(C)` instead of the full
+    /// write group (§4.3's optimization).
+    pub use_read_groups: bool,
+    /// How non-member reads are routed.
+    pub read_mode: ReadMode,
+    /// Blocking-operation strategy.
+    pub blocking: BlockingMode,
+    /// Per-operation deadline for blocking operations, after which they
+    /// report `TimedOut`.
+    pub blocking_deadline_micros: u64,
+    /// Re-initialization phase bounds (§3.1).
+    pub init_min: SimTime,
+    /// Upper bound of the initialization phase.
+    pub init_max: SimTime,
+}
+
+impl PasoConfig {
+    /// Starts building a configuration for `n` machines tolerating `λ`
+    /// simultaneous crashes.
+    pub fn builder(n: usize, lambda: usize) -> PasoConfigBuilder {
+        PasoConfigBuilder {
+            cfg: PasoConfig {
+                n,
+                lambda,
+                cost_model: CostModel::new(50.0, 0.5),
+                seed: 0,
+                classifier: ClassifierKind::Arity(4),
+                default_store: StoreKind::Scan,
+                k_join: 16,
+                q_cost: 1,
+                adaptive: true,
+                use_read_groups: true,
+                read_mode: ReadMode::GroupCast,
+                blocking: BlockingMode::BusyWait {
+                    interval_micros: 5_000,
+                },
+                blocking_deadline_micros: 10_000_000,
+                init_min: SimTime::from_millis(5),
+                init_max: SimTime::from_millis(10),
+            },
+        }
+    }
+
+    /// Validates the configuration invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first violated invariant.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.n == 0 {
+            return Err(ConfigError::new("n must be positive"));
+        }
+        if self.lambda >= self.n {
+            return Err(ConfigError::new("λ must be < n (fault model, §3.1)"));
+        }
+        if self.k_join == 0 {
+            return Err(ConfigError::new("K must be positive"));
+        }
+        if self.q_cost == 0 {
+            return Err(ConfigError::new("q must be positive"));
+        }
+        if self.init_min > self.init_max {
+            return Err(ConfigError::new("init_min must be ≤ init_max"));
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`PasoConfig`].
+#[derive(Debug, Clone)]
+pub struct PasoConfigBuilder {
+    cfg: PasoConfig,
+}
+
+impl PasoConfigBuilder {
+    /// Sets the `(α, β)` cost model.
+    pub fn cost_model(mut self, m: CostModel) -> Self {
+        self.cfg.cost_model = m;
+        self
+    }
+
+    /// Sets the simulation seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Sets the classifier.
+    pub fn classifier(mut self, c: ClassifierKind) -> Self {
+        self.cfg.classifier = c;
+        self
+    }
+
+    /// Sets the default store structure.
+    pub fn default_store(mut self, k: StoreKind) -> Self {
+        self.cfg.default_store = k;
+        self
+    }
+
+    /// Sets the adaptive join threshold `K`.
+    pub fn k_join(mut self, k: u64) -> Self {
+        self.cfg.k_join = k;
+        self
+    }
+
+    /// Sets the query cost `q` (§5.1's extension).
+    pub fn q_cost(mut self, q: u64) -> Self {
+        self.cfg.q_cost = q;
+        self
+    }
+
+    /// Enables or disables adaptive replication.
+    pub fn adaptive(mut self, on: bool) -> Self {
+        self.cfg.adaptive = on;
+        self
+    }
+
+    /// Enables or disables the read-group optimization.
+    pub fn read_groups(mut self, on: bool) -> Self {
+        self.cfg.use_read_groups = on;
+        self
+    }
+
+    /// Sets the read routing mode.
+    pub fn read_mode(mut self, mode: ReadMode) -> Self {
+        self.cfg.read_mode = mode;
+        self
+    }
+
+    /// Sets the blocking-wait mode.
+    pub fn blocking(mut self, mode: BlockingMode) -> Self {
+        self.cfg.blocking = mode;
+        self
+    }
+
+    /// Sets the blocking-operation deadline in microseconds.
+    pub fn blocking_deadline_micros(mut self, d: u64) -> Self {
+        self.cfg.blocking_deadline_micros = d;
+        self
+    }
+
+    /// Sets the initialization-phase bounds.
+    pub fn init_bounds(mut self, min: SimTime, max: SimTime) -> Self {
+        self.cfg.init_min = min;
+        self.cfg.init_max = max;
+        self
+    }
+
+    /// Finishes the build.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`PasoConfig::validate`]).
+    pub fn build(self) -> PasoConfig {
+        self.cfg.validate().expect("invalid PasoConfig");
+        self.cfg
+    }
+}
+
+/// An invalid configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    msg: String,
+}
+
+impl ConfigError {
+    fn new(m: impl Into<String>) -> Self {
+        ConfigError { msg: m.into() }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid configuration: {}", self.msg)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_are_valid() {
+        let cfg = PasoConfig::builder(4, 1).build();
+        assert!(cfg.validate().is_ok());
+        assert!(cfg.adaptive);
+        assert!(cfg.use_read_groups);
+    }
+
+    #[test]
+    fn validation_rejects_bad_lambda() {
+        let mut cfg = PasoConfig::builder(4, 1).build();
+        cfg.lambda = 4;
+        assert!(cfg.validate().is_err());
+        cfg.lambda = 3;
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_zero_k() {
+        let mut cfg = PasoConfig::builder(4, 1).build();
+        cfg.k_join = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid PasoConfig")]
+    fn builder_panics_on_invalid() {
+        let _ = PasoConfig::builder(2, 5).build();
+    }
+
+    #[test]
+    fn classifier_kinds_build() {
+        assert!(ClassifierKind::Arity(3).build().classes().len() == 4);
+        assert!(ClassifierKind::FirstField(5).build().classes().len() == 5);
+        assert!(
+            ClassifierKind::Signature(vec![vec![ValueType::Int]])
+                .build()
+                .classes()
+                .len()
+                == 2
+        );
+    }
+
+    #[test]
+    fn config_serde_round_trip() {
+        let cfg = PasoConfig::builder(5, 2).k_join(4).build();
+        let s = serde_json::to_string(&cfg).unwrap();
+        let back: PasoConfig = serde_json::from_str(&s).unwrap();
+        assert_eq!(back.n, 5);
+        assert_eq!(back.k_join, 4);
+    }
+}

@@ -1,0 +1,153 @@
+//! Write groups, read groups, and basic support (§4.1, §5.1).
+//!
+//! Every object class `C` has two vsync groups: the **write group**
+//! `wg(C)` whose members replicate every live `C`-object, and the bounded
+//! **read group** `rg(C) ⊆ wg(C)` that answers reads (§4.3). The paper's
+//! *basic support* `B(C)` is a fixed set of `λ + 1` machines that always
+//! belong to `wg(C)` while operational; other machines join and leave
+//! adaptively (§5.1).
+
+use paso_simnet::NodeId;
+use paso_types::ClassId;
+use paso_vsync::GroupId;
+
+/// Which of a class's two groups a `GroupId` denotes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupKind {
+    /// The write group `wg(C)`.
+    Write,
+    /// The read group `rg(C)`.
+    Read,
+}
+
+/// The vsync group id of `wg(C)`.
+pub fn wg_group(class: ClassId) -> GroupId {
+    GroupId(class.0 as u64 * 2)
+}
+
+/// The vsync group id of `rg(C)`.
+pub fn rg_group(class: ClassId) -> GroupId {
+    GroupId(class.0 as u64 * 2 + 1)
+}
+
+/// Inverse of [`wg_group`]/[`rg_group`].
+pub fn group_class(g: GroupId) -> (ClassId, GroupKind) {
+    let class = ClassId((g.0 / 2) as u32);
+    if g.0.is_multiple_of(2) {
+        (class, GroupKind::Write)
+    } else {
+        (class, GroupKind::Read)
+    }
+}
+
+/// Assigns the basic support `B(C)` for every class: `λ + 1` machines per
+/// class, spread round-robin so load balances across the ensemble.
+///
+/// # Panics
+///
+/// Panics unless `n ≥ λ + 1`.
+pub fn assign_basic_support(
+    n: usize,
+    lambda: usize,
+    classes: &[ClassId],
+) -> Vec<(ClassId, Vec<NodeId>)> {
+    assert!(n > lambda, "need at least λ+1 machines for basic support");
+    let size = lambda + 1;
+    classes
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let members: Vec<NodeId> = (0..size)
+                .map(|j| NodeId(((i * size + j) % n) as u32))
+                .collect();
+            (*c, members)
+        })
+        .collect()
+}
+
+/// The initial vsync group table: for each class, its write group and read
+/// group both start as the basic support.
+pub fn initial_groups(support: &[(ClassId, Vec<NodeId>)]) -> Vec<(GroupId, Vec<NodeId>)> {
+    let mut out = Vec::with_capacity(support.len() * 2);
+    for (c, members) in support {
+        out.push((wg_group(*c), members.clone()));
+        out.push((rg_group(*c), members.clone()));
+    }
+    out
+}
+
+/// The fault-tolerance condition (§4.1): with `k ≤ λ` failed servers,
+/// every class must keep more than `λ − k` live write-group members.
+pub fn fault_tolerance_ok(live_wg_members: usize, failed: usize, lambda: usize) -> bool {
+    failed > lambda || live_wg_members > lambda - failed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_ids_round_trip() {
+        for c in [0u32, 1, 7, 1000] {
+            let class = ClassId(c);
+            assert_eq!(group_class(wg_group(class)), (class, GroupKind::Write));
+            assert_eq!(group_class(rg_group(class)), (class, GroupKind::Read));
+            assert_ne!(wg_group(class), rg_group(class));
+        }
+    }
+
+    #[test]
+    fn basic_support_has_lambda_plus_one_members() {
+        let classes: Vec<ClassId> = (0..5).map(ClassId).collect();
+        let support = assign_basic_support(6, 2, &classes);
+        for (_, members) in &support {
+            assert_eq!(members.len(), 3);
+            let mut dedup = members.clone();
+            dedup.sort();
+            dedup.dedup();
+            assert_eq!(dedup.len(), 3, "members must be distinct");
+        }
+    }
+
+    #[test]
+    fn basic_support_spreads_load() {
+        let classes: Vec<ClassId> = (0..8).map(ClassId).collect();
+        let support = assign_basic_support(8, 0, &classes);
+        // λ=0 → one machine per class, round robin: every machine gets one.
+        let mut counts = [0; 8];
+        for (_, m) in &support {
+            counts[m[0].index()] += 1;
+        }
+        assert!(counts.iter().all(|c| *c == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least")]
+    fn basic_support_requires_enough_machines() {
+        let _ = assign_basic_support(2, 2, &[ClassId(0)]);
+    }
+
+    #[test]
+    fn initial_groups_cover_both_kinds() {
+        let support = assign_basic_support(4, 1, &[ClassId(0), ClassId(1)]);
+        let groups = initial_groups(&support);
+        assert_eq!(groups.len(), 4);
+        assert_eq!(groups[0].0, wg_group(ClassId(0)));
+        assert_eq!(groups[1].0, rg_group(ClassId(0)));
+        assert_eq!(groups[0].1, groups[1].1);
+    }
+
+    #[test]
+    fn fault_tolerance_condition() {
+        // λ=2, no failures: need > 2 live members.
+        assert!(fault_tolerance_ok(3, 0, 2));
+        assert!(!fault_tolerance_ok(2, 0, 2));
+        // One failure: need > 1.
+        assert!(fault_tolerance_ok(2, 1, 2));
+        assert!(!fault_tolerance_ok(1, 1, 2));
+        // λ failures: need > 0.
+        assert!(fault_tolerance_ok(1, 2, 2));
+        // Beyond λ the condition is vacuous (the paper assumes ≤ λ).
+        assert!(fault_tolerance_ok(0, 3, 2));
+    }
+}

@@ -1,0 +1,705 @@
+//! Executable PASO semantics (§2) — the Theorem 1 checker.
+//!
+//! A [`RunLog`] records the issue and return of every PASO operation with
+//! simulated timestamps. [`check_run`] then verifies the §2 rules:
+//!
+//! - **A2 uniqueness** — at most one `insert(o)` and at most one consuming
+//!   `read&del` returning `o`;
+//! - **lifecycle** — objects returned by reads were plausibly *live* at
+//!   some instant inside the read's `[issue, return]` window (an object's
+//!   maximal live window is `[insert.issue, read&del.return]`);
+//! - **matching** — returned objects satisfy the search criterion;
+//! - **fail legality** — a `read`/`read&del` "may return fail only when
+//!   there is no object that satisfies the search criterion and is
+//!   consistently alive from the time the read is issued until the read
+//!   returns": an object *certainly continuously live* through
+//!   `[issue, return]` (inserted-and-returned before, not yet being
+//!   deleted after) makes the fail illegal.
+//!
+//! These are sound (never flag a legal run): live windows are bounded
+//! outward by issue/return times, exactly as §2's interval semantics
+//! allows.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use paso_simnet::{NodeId, SimTime};
+use paso_types::{ObjectId, PasoObject, SearchCriterion};
+
+use crate::wire::{ClientOp, ClientResult};
+
+/// One operation's recorded lifetime.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OpRecord {
+    /// The operation id.
+    pub op_id: u64,
+    /// The machine whose server executed it.
+    pub node: NodeId,
+    /// The operation.
+    pub op: ClientOp,
+    /// Issue time.
+    pub issued: SimTime,
+    /// Return time (`None` while outstanding).
+    pub returned: Option<SimTime>,
+    /// The result (`None` while outstanding).
+    pub result: Option<ClientResult>,
+}
+
+/// A recorded run: every operation issued against the memory.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RunLog {
+    ops: BTreeMap<u64, OpRecord>,
+}
+
+impl RunLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        RunLog::default()
+    }
+
+    /// Records an operation issue.
+    pub fn issued(&mut self, op_id: u64, node: NodeId, op: ClientOp, at: SimTime) {
+        self.ops.insert(
+            op_id,
+            OpRecord {
+                op_id,
+                node,
+                op,
+                issued: at,
+                returned: None,
+                result: None,
+            },
+        );
+    }
+
+    /// Records an operation return.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the op was never issued or returns twice.
+    pub fn returned(&mut self, op_id: u64, result: ClientResult, at: SimTime) {
+        let rec = self.ops.get_mut(&op_id).expect("return of unknown op");
+        assert!(rec.returned.is_none(), "op {op_id} returned twice");
+        rec.returned = Some(at);
+        rec.result = Some(result);
+    }
+
+    /// All records, by op id.
+    pub fn records(&self) -> impl Iterator<Item = &OpRecord> {
+        self.ops.values()
+    }
+
+    /// Number of recorded operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True iff nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// Response-time statistics over completed operations (the paper's third
+/// cost measure, §5: "Response time is a valid concern").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// Completed operations measured.
+    pub count: usize,
+    /// Mean latency in microseconds.
+    pub mean_micros: f64,
+    /// Median (p50) latency in microseconds.
+    pub p50_micros: u64,
+    /// 99th-percentile latency in microseconds.
+    pub p99_micros: u64,
+    /// Maximum latency in microseconds.
+    pub max_micros: u64,
+}
+
+impl RunLog {
+    /// Computes response-time statistics over completed operations,
+    /// optionally filtered by operation kind (`"insert"`, `"read"`,
+    /// `"readdel"`, or `None` for all). Blocking operations are included;
+    /// filter them out upstream if undesired.
+    pub fn latency_stats(&self, kind: Option<&str>) -> LatencyStats {
+        let mut lats: Vec<u64> = self
+            .ops
+            .values()
+            .filter(|r| {
+                matches!(
+                    (kind, &r.op),
+                    (None, _)
+                        | (Some("insert"), ClientOp::Insert { .. })
+                        | (Some("read"), ClientOp::Read { .. })
+                        | (Some("readdel"), ClientOp::ReadDel { .. })
+                )
+            })
+            .filter_map(|r| Some(r.returned?.saturating_since(r.issued).as_micros()))
+            .collect();
+        lats.sort_unstable();
+        let count = lats.len();
+        if count == 0 {
+            return LatencyStats {
+                count: 0,
+                mean_micros: 0.0,
+                p50_micros: 0,
+                p99_micros: 0,
+                max_micros: 0,
+            };
+        }
+        let sum: u64 = lats.iter().sum();
+        let pct = |p: f64| lats[(((count - 1) as f64) * p).round() as usize];
+        LatencyStats {
+            count,
+            mean_micros: sum as f64 / count as f64,
+            p50_micros: pct(0.50),
+            p99_micros: pct(0.99),
+            max_micros: *lats.last().unwrap(),
+        }
+    }
+}
+
+/// A violation of the PASO semantics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Violation {
+    /// The same object was inserted twice (A2).
+    DuplicateInsert {
+        /// The object.
+        object: ObjectId,
+    },
+    /// The same object was returned by two consuming `read&del`s (A2).
+    DoubleConsume {
+        /// The object.
+        object: ObjectId,
+        /// The two read&del ops.
+        ops: (u64, u64),
+    },
+    /// A read/read&del returned an object that was never inserted.
+    ReturnedUninserted {
+        /// The op.
+        op: u64,
+        /// The object.
+        object: ObjectId,
+    },
+    /// A returned object could not have been live during the operation.
+    ReturnedOutsideLiveWindow {
+        /// The op.
+        op: u64,
+        /// The object.
+        object: ObjectId,
+    },
+    /// A returned object does not satisfy the criterion.
+    CriterionMismatch {
+        /// The op.
+        op: u64,
+        /// The object.
+        object: ObjectId,
+    },
+    /// A fail was returned although a matching object was continuously
+    /// live throughout the operation — i.e. **data loss or a missed
+    /// object**.
+    IllegalFail {
+        /// The failing op.
+        op: u64,
+        /// A witness object that was continuously live.
+        witness: ObjectId,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::DuplicateInsert { object } => write!(f, "object {object} inserted twice"),
+            Violation::DoubleConsume { object, ops } => {
+                write!(
+                    f,
+                    "object {object} consumed by both op {} and op {}",
+                    ops.0, ops.1
+                )
+            }
+            Violation::ReturnedUninserted { op, object } => {
+                write!(f, "op {op} returned never-inserted object {object}")
+            }
+            Violation::ReturnedOutsideLiveWindow { op, object } => {
+                write!(
+                    f,
+                    "op {op} returned object {object} outside its live window"
+                )
+            }
+            Violation::CriterionMismatch { op, object } => {
+                write!(
+                    f,
+                    "op {op} returned object {object} that does not match its criterion"
+                )
+            }
+            Violation::IllegalFail { op, witness } => {
+                write!(f, "op {op} failed although {witness} was continuously live")
+            }
+        }
+    }
+}
+
+/// Summary of a semantics check.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SemanticsReport {
+    /// Operations checked.
+    pub ops_checked: usize,
+    /// Successful reads/read&dels.
+    pub found: usize,
+    /// Fails checked for legality.
+    pub fails: usize,
+    /// All discovered violations.
+    pub violations: Vec<Violation>,
+}
+
+impl SemanticsReport {
+    /// Did the run satisfy the semantics?
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+struct ObjectInfo<'a> {
+    object: &'a PasoObject,
+    insert_issue: SimTime,
+    insert_return: Option<SimTime>,
+    consume: Option<(u64, SimTime, SimTime)>, // (op, issue, return)
+}
+
+/// Checks a completed run against the §2 semantics.
+pub fn check_run(log: &RunLog) -> SemanticsReport {
+    let mut report = SemanticsReport::default();
+    let mut objects: BTreeMap<ObjectId, ObjectInfo<'_>> = BTreeMap::new();
+
+    // Pass 1: inserts.
+    for rec in log.records() {
+        if let ClientOp::Insert { object } = &rec.op {
+            if objects.contains_key(&object.id()) {
+                report.violations.push(Violation::DuplicateInsert {
+                    object: object.id(),
+                });
+                continue;
+            }
+            objects.insert(
+                object.id(),
+                ObjectInfo {
+                    object,
+                    insert_issue: rec.issued,
+                    insert_return: rec.returned,
+                    consume: None,
+                },
+            );
+        }
+    }
+
+    // Pass 2: consuming read&dels.
+    for rec in log.records() {
+        if let ClientOp::ReadDel { .. } = &rec.op {
+            if let Some(ClientResult::Found(obj)) = &rec.result {
+                let ret = rec.returned.expect("result implies return");
+                match objects.get_mut(&obj.id()) {
+                    None => report.violations.push(Violation::ReturnedUninserted {
+                        op: rec.op_id,
+                        object: obj.id(),
+                    }),
+                    Some(info) => {
+                        if let Some((other, _, _)) = info.consume {
+                            report.violations.push(Violation::DoubleConsume {
+                                object: obj.id(),
+                                ops: (other, rec.op_id),
+                            });
+                        } else {
+                            info.consume = Some((rec.op_id, rec.issued, ret));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Pass 3: per-op checks.
+    for rec in log.records() {
+        let Some(result) = &rec.result else {
+            continue; // outstanding ops are not judged
+        };
+        let ret = rec.returned.expect("result implies return");
+        report.ops_checked += 1;
+        let sc: Option<&SearchCriterion> = match &rec.op {
+            ClientOp::Read { sc, .. } | ClientOp::ReadDel { sc, .. } => Some(sc),
+            ClientOp::Insert { .. } => None,
+        };
+        match result {
+            ClientResult::Found(obj) => {
+                report.found += 1;
+                if let Some(sc) = sc {
+                    if !sc.matches(obj) {
+                        report.violations.push(Violation::CriterionMismatch {
+                            op: rec.op_id,
+                            object: obj.id(),
+                        });
+                    }
+                }
+                match objects.get(&obj.id()) {
+                    None => report.violations.push(Violation::ReturnedUninserted {
+                        op: rec.op_id,
+                        object: obj.id(),
+                    }),
+                    Some(info) => {
+                        // Maximal live window: [insert.issue, consume.return]
+                        // (∞ if never consumed). The op's [issue, return]
+                        // must intersect it.
+                        let live_from = info.insert_issue;
+                        let live_to = match info.consume {
+                            // This op itself being the consumer is fine.
+                            Some((op, _, _)) if op == rec.op_id => None,
+                            Some((_, _, consume_ret)) => Some(consume_ret),
+                            None => None,
+                        };
+                        let before_ok = ret >= live_from;
+                        let after_ok = live_to.is_none_or(|t| rec.issued <= t);
+                        if !(before_ok && after_ok) {
+                            report
+                                .violations
+                                .push(Violation::ReturnedOutsideLiveWindow {
+                                    op: rec.op_id,
+                                    object: obj.id(),
+                                });
+                        }
+                    }
+                }
+            }
+            ClientResult::Fail => {
+                report.fails += 1;
+                let Some(sc) = sc else { continue };
+                // Look for a witness that was CERTAINLY continuously live
+                // through [issued, ret]: insert returned before the op was
+                // issued, and any consuming read&del was issued after the
+                // op returned.
+                for info in objects.values() {
+                    if !sc.matches(info.object) {
+                        continue;
+                    }
+                    let inserted_before = info.insert_return.is_some_and(|t| t <= rec.issued);
+                    let alive_after = match info.consume {
+                        None => true,
+                        Some((_, consume_issue, _)) => consume_issue >= ret,
+                    };
+                    if inserted_before && alive_after {
+                        report.violations.push(Violation::IllegalFail {
+                            op: rec.op_id,
+                            witness: info.object.id(),
+                        });
+                        break;
+                    }
+                }
+            }
+            // Inserted / TimedOut / Unavailable carry no further
+            // obligations here (TimedOut is a blocking deadline, not a
+            // semantic fail; Unavailable means >λ faults, outside the
+            // model).
+            _ => {}
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paso_types::{ObjectId, ProcessId, Template, Value};
+
+    fn obj(seq: u64, v: i64) -> PasoObject {
+        PasoObject::new(ObjectId::new(ProcessId(1), seq), vec![Value::Int(v)])
+    }
+
+    fn sc(v: i64) -> SearchCriterion {
+        SearchCriterion::from(Template::exact(vec![Value::Int(v)]))
+    }
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    fn legal_base() -> RunLog {
+        let mut log = RunLog::new();
+        log.issued(1, NodeId(0), ClientOp::Insert { object: obj(1, 5) }, t(0));
+        log.returned(1, ClientResult::Inserted, t(10));
+        log
+    }
+
+    #[test]
+    fn legal_read_passes() {
+        let mut log = legal_base();
+        log.issued(
+            2,
+            NodeId(1),
+            ClientOp::Read {
+                sc: sc(5),
+                blocking: false,
+            },
+            t(20),
+        );
+        log.returned(2, ClientResult::Found(obj(1, 5)), t(30));
+        let r = check_run(&log);
+        assert!(r.ok(), "{:?}", r.violations);
+        assert_eq!(r.found, 1);
+    }
+
+    #[test]
+    fn duplicate_insert_detected() {
+        let mut log = legal_base();
+        log.issued(2, NodeId(0), ClientOp::Insert { object: obj(1, 5) }, t(20));
+        log.returned(2, ClientResult::Inserted, t(30));
+        let r = check_run(&log);
+        assert!(matches!(r.violations[0], Violation::DuplicateInsert { .. }));
+    }
+
+    #[test]
+    fn double_consume_detected() {
+        let mut log = legal_base();
+        for (op, t0) in [(2u64, 20u64), (3, 40)] {
+            log.issued(
+                op,
+                NodeId(1),
+                ClientOp::ReadDel {
+                    sc: sc(5),
+                    blocking: false,
+                },
+                t(t0),
+            );
+            log.returned(op, ClientResult::Found(obj(1, 5)), t(t0 + 5));
+        }
+        let r = check_run(&log);
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::DoubleConsume { .. })));
+    }
+
+    #[test]
+    fn read_after_consume_detected() {
+        let mut log = legal_base();
+        log.issued(
+            2,
+            NodeId(1),
+            ClientOp::ReadDel {
+                sc: sc(5),
+                blocking: false,
+            },
+            t(20),
+        );
+        log.returned(2, ClientResult::Found(obj(1, 5)), t(25));
+        // Read strictly after the consume completed.
+        log.issued(
+            3,
+            NodeId(2),
+            ClientOp::Read {
+                sc: sc(5),
+                blocking: false,
+            },
+            t(50),
+        );
+        log.returned(3, ClientResult::Found(obj(1, 5)), t(60));
+        let r = check_run(&log);
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::ReturnedOutsideLiveWindow { op: 3, .. })));
+    }
+
+    #[test]
+    fn concurrent_read_and_consume_is_legal() {
+        let mut log = legal_base();
+        // Read overlaps the read&del: both may return the object.
+        log.issued(
+            2,
+            NodeId(1),
+            ClientOp::ReadDel {
+                sc: sc(5),
+                blocking: false,
+            },
+            t(20),
+        );
+        log.returned(2, ClientResult::Found(obj(1, 5)), t(40));
+        log.issued(
+            3,
+            NodeId(2),
+            ClientOp::Read {
+                sc: sc(5),
+                blocking: false,
+            },
+            t(25),
+        );
+        log.returned(3, ClientResult::Found(obj(1, 5)), t(35));
+        let r = check_run(&log);
+        assert!(r.ok(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn returned_uninserted_detected() {
+        let mut log = RunLog::new();
+        log.issued(
+            1,
+            NodeId(0),
+            ClientOp::Read {
+                sc: sc(5),
+                blocking: false,
+            },
+            t(0),
+        );
+        log.returned(1, ClientResult::Found(obj(9, 5)), t(10));
+        let r = check_run(&log);
+        assert!(matches!(
+            r.violations[0],
+            Violation::ReturnedUninserted { .. }
+        ));
+    }
+
+    #[test]
+    fn criterion_mismatch_detected() {
+        let mut log = legal_base();
+        log.issued(
+            2,
+            NodeId(1),
+            ClientOp::Read {
+                sc: sc(7),
+                blocking: false,
+            },
+            t(20),
+        );
+        log.returned(2, ClientResult::Found(obj(1, 5)), t(30));
+        let r = check_run(&log);
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::CriterionMismatch { .. })));
+    }
+
+    #[test]
+    fn illegal_fail_detected() {
+        let mut log = legal_base();
+        // Object 5 live since t=10, never consumed; a read at t=100 fails.
+        log.issued(
+            2,
+            NodeId(1),
+            ClientOp::Read {
+                sc: sc(5),
+                blocking: false,
+            },
+            t(100),
+        );
+        log.returned(2, ClientResult::Fail, t(110));
+        let r = check_run(&log);
+        assert!(matches!(
+            r.violations[0],
+            Violation::IllegalFail { op: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn fail_during_racy_insert_is_legal() {
+        let mut log = RunLog::new();
+        // Insert completes at t=30; read runs t=0..10 and fails: legal.
+        log.issued(1, NodeId(0), ClientOp::Insert { object: obj(1, 5) }, t(5));
+        log.returned(1, ClientResult::Inserted, t(30));
+        log.issued(
+            2,
+            NodeId(1),
+            ClientOp::Read {
+                sc: sc(5),
+                blocking: false,
+            },
+            t(0),
+        );
+        log.returned(2, ClientResult::Fail, t(10));
+        let r = check_run(&log);
+        assert!(r.ok(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn fail_overlapping_consume_is_legal() {
+        let mut log = legal_base();
+        // read&del issued at t=20 (may have deleted the object early);
+        // another read at t=25..35 fails: legal because the object was not
+        // continuously live (its deletion was already in flight).
+        log.issued(
+            2,
+            NodeId(1),
+            ClientOp::ReadDel {
+                sc: sc(5),
+                blocking: false,
+            },
+            t(20),
+        );
+        log.returned(2, ClientResult::Found(obj(1, 5)), t(40));
+        log.issued(
+            3,
+            NodeId(2),
+            ClientOp::Read {
+                sc: sc(5),
+                blocking: false,
+            },
+            t(25),
+        );
+        log.returned(3, ClientResult::Fail, t(35));
+        let r = check_run(&log);
+        assert!(r.ok(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn timed_out_is_never_a_violation() {
+        let mut log = legal_base();
+        log.issued(
+            2,
+            NodeId(1),
+            ClientOp::Read {
+                sc: sc(5),
+                blocking: true,
+            },
+            t(20),
+        );
+        log.returned(2, ClientResult::TimedOut, t(1000));
+        let r = check_run(&log);
+        assert!(r.ok());
+    }
+
+    #[test]
+    fn outstanding_ops_are_skipped() {
+        let mut log = legal_base();
+        log.issued(
+            2,
+            NodeId(1),
+            ClientOp::Read {
+                sc: sc(5),
+                blocking: true,
+            },
+            t(20),
+        );
+        let r = check_run(&log);
+        assert!(r.ok());
+        assert_eq!(r.ops_checked, 1, "only the insert completed");
+    }
+
+    #[test]
+    fn report_counts() {
+        let mut log = legal_base();
+        log.issued(
+            2,
+            NodeId(1),
+            ClientOp::Read {
+                sc: sc(9),
+                blocking: false,
+            },
+            t(20),
+        );
+        log.returned(2, ClientResult::Fail, t(25));
+        let r = check_run(&log);
+        assert!(r.ok());
+        assert_eq!(r.fails, 1);
+        assert_eq!(r.ops_checked, 2);
+        assert!(!log.is_empty());
+        assert_eq!(log.len(), 2);
+    }
+}

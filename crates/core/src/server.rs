@@ -1,0 +1,771 @@
+//! The PASO memory server (§4.2–§4.3).
+//!
+//! One [`MemoryServer`] runs on every machine as the [`GroupApp`] layered
+//! over virtual synchrony. It:
+//!
+//! - manages the per-class [`ClassStore`]s for the classes whose write
+//!   group it belongs to (`store`/`mem-read`/`remove`, §4.2);
+//! - executes the Appendix-A **macro expansions** of `insert`, `read` and
+//!   `read&del` for client requests issued by processes on its machine,
+//!   including the blocking variants via busy-wait or read-markers (§4.3);
+//! - runs the **Basic algorithm** ([`BasicCounter`]) per class to decide
+//!   adaptive `g-join`/`g-leave` of write groups (§5.1) — the very same
+//!   kernel analyzed in the competitive experiments;
+//! - serves state snapshots for joining servers and erases state on leave.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use paso_adaptive::{Advice, BasicCounter, ModelParams};
+use paso_simnet::NodeId;
+use paso_storage::{AutoStore, ClassStore, Rank, Snapshot};
+use paso_types::{ClassId, Classifier, PasoObject, SearchCriterion};
+use paso_vsync::{Delivery, GcastError, GroupApp, GroupId, View, VsyncOps};
+
+use crate::config::{BlockingMode, PasoConfig, ReadMode};
+use crate::groups::{group_class, rg_group, wg_group, GroupKind};
+use crate::wire::{decode, encode, AppMsg, ClientDone, ClientOp, ClientResult, OpResponse, ReplOp};
+
+/// Token used for fire-and-forget gcasts (marker placement).
+const FIRE_AND_FORGET: u64 = u64::MAX;
+
+/// How long an anycast read waits for its single-target answer before
+/// falling back to a group cast (covers one crash-detection round).
+const ANYCAST_FALLBACK_MICROS: u64 = 100_000;
+
+/// A read-marker left at a write-group member (§4.3's alternative to
+/// busy-waiting).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+struct MarkerEntry {
+    sc: SearchCriterion,
+    origin: NodeId,
+    op_id: u64,
+    expires_micros: u64,
+}
+
+/// Serialized write-group state for `g-join` transfer: the class store
+/// plus the outstanding markers (a joiner must also notify waiters).
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+struct ClassState {
+    store: Vec<u8>,
+    markers: Vec<MarkerEntry>,
+}
+
+#[derive(Debug)]
+struct PendingOp {
+    op: ClientOp,
+    classes: Vec<ClassId>,
+    idx: usize,
+    start_micros: u64,
+    /// A gcast for this op is in flight; wakeups must not re-enter.
+    waiting: bool,
+    /// An anycast point-query is in flight; its timer falls back to a
+    /// group cast if no answer arrives.
+    anycast_waiting: bool,
+    /// The current class attempt must use a group cast (anycast already
+    /// failed or was declined).
+    force_gcast: bool,
+}
+
+/// The per-machine PASO memory server.
+#[derive(Debug)]
+pub struct MemoryServer {
+    id: NodeId,
+    cfg: Arc<PasoConfig>,
+    classifier: Box<dyn Classifier>,
+    /// `B(C)` — identical on every machine.
+    basic: BTreeMap<ClassId, Vec<NodeId>>,
+    stores: BTreeMap<ClassId, AutoStore>,
+    markers: BTreeMap<ClassId, Vec<MarkerEntry>>,
+    counters: BTreeMap<ClassId, BasicCounter>,
+    pending: BTreeMap<u64, PendingOp>,
+    up: BTreeSet<NodeId>,
+    /// Logical clock for object age ranks.
+    clock: u64,
+    /// Round-robin cursor for anycast target selection (load spreading).
+    anycast_cursor: u64,
+}
+
+impl MemoryServer {
+    /// Creates the server for machine `id` under a shared configuration
+    /// and basic-support table.
+    pub fn new(id: NodeId, cfg: Arc<PasoConfig>, basic: BTreeMap<ClassId, Vec<NodeId>>) -> Self {
+        let classifier = cfg.classifier.build();
+        MemoryServer {
+            id,
+            cfg,
+            classifier,
+            basic,
+            stores: BTreeMap::new(),
+            markers: BTreeMap::new(),
+            counters: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            up: BTreeSet::new(),
+            clock: 0,
+            anycast_cursor: 0,
+        }
+    }
+
+    /// Picks a live basic member of `class` for an anycast read, rotating
+    /// across calls to spread load.
+    fn anycast_target(&mut self, class: ClassId) -> Option<NodeId> {
+        let candidates: Vec<NodeId> = self
+            .basic
+            .get(&class)?
+            .iter()
+            .copied()
+            .filter(|m| self.up.contains(m) && *m != self.id)
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        let pick = candidates[(self.anycast_cursor as usize) % candidates.len()];
+        self.anycast_cursor += 1;
+        Some(pick)
+    }
+
+    /// Number of live objects this server holds for `class`.
+    pub fn store_len(&self, class: ClassId) -> usize {
+        self.stores.get(&class).map_or(0, |s| s.len())
+    }
+
+    /// All objects this server holds for `class` (oldest first).
+    pub fn objects(&self, class: ClassId) -> Vec<PasoObject> {
+        self.stores
+            .get(&class)
+            .map_or_else(Vec::new, |s| s.objects())
+    }
+
+    /// Is this machine part of `B(C)`?
+    pub fn is_basic(&self, class: ClassId) -> bool {
+        self.basic.get(&class).is_some_and(|m| m.contains(&self.id))
+    }
+
+    /// Outstanding (blocked or in-flight) client operations.
+    pub fn pending_ops(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The Basic-algorithm counter value for `class` (experiments observe
+    /// adaptation through this).
+    pub fn counter_value(&self, class: ClassId) -> Option<u64> {
+        self.counters.get(&class).map(|c| c.value())
+    }
+
+    fn failed_of(&self, class: ClassId) -> u64 {
+        self.basic.get(&class).map_or(0, |m| {
+            m.iter().filter(|n| !self.up.contains(n)).count() as u64
+        })
+    }
+
+    fn counter(&mut self, class: ClassId) -> &mut BasicCounter {
+        let params =
+            ModelParams::with_query_cost(self.cfg.lambda as u64, self.cfg.k_join, self.cfg.q_cost);
+        self.counters
+            .entry(class)
+            .or_insert_with(|| BasicCounter::new(params))
+    }
+
+    fn read_target(&self, class: ClassId) -> GroupId {
+        if self.cfg.use_read_groups {
+            rg_group(class)
+        } else {
+            wg_group(class)
+        }
+    }
+
+    fn finish(&mut self, vs: &mut dyn VsyncOps<ClientDone>, op_id: u64, result: ClientResult) {
+        self.pending.remove(&op_id);
+        vs.emit(ClientDone { op_id, result });
+    }
+
+    /// Runs (or resumes) the Appendix-A macro expansion for a pending op.
+    fn drive(&mut self, vs: &mut dyn VsyncOps<ClientDone>, op_id: u64) {
+        let Some(p) = self.pending.get(&op_id) else {
+            return;
+        };
+        if p.waiting || p.anycast_waiting {
+            return;
+        }
+        match &p.op {
+            ClientOp::Insert { object } => {
+                let class = self.classifier.classify(object);
+                // Rank times ride the simulation clock so they (a) order
+                // cross-machine inserts by real age and (b) never repeat
+                // across crash incarnations of this server.
+                self.clock = (self.clock + 1).max(vs.now_micros());
+                let rank = Rank::new(self.clock, self.id.0 as u16);
+                let payload = encode(&ReplOp::Store {
+                    class,
+                    object: object.clone(),
+                    rank,
+                });
+                self.pending.get_mut(&op_id).unwrap().waiting = true;
+                vs.count("op.insert.gcast", 1.0);
+                vs.gcast(wg_group(class), payload, op_id);
+            }
+            ClientOp::Read { sc, .. } => {
+                let sc = sc.clone();
+                // Walk classes; serve locally where we are a member.
+                loop {
+                    let Some(p) = self.pending.get(&op_id) else {
+                        return;
+                    };
+                    let Some(&class) = p.classes.get(p.idx) else {
+                        self.handle_exhausted(vs, op_id);
+                        return;
+                    };
+                    if vs.is_member(wg_group(class)) {
+                        let (found, cost) = self
+                            .stores
+                            .get(&class)
+                            .map_or((None, paso_storage::Cost(1)), |s| s.mem_read(&sc));
+                        vs.charge_work(cost.0);
+                        vs.count("op.read.local", 1.0);
+                        if self.cfg.adaptive && !self.is_basic(class) {
+                            self.counter(class).record_local_read();
+                        }
+                        match found {
+                            Some(obj) => {
+                                self.finish(vs, op_id, ClientResult::Found(obj));
+                                return;
+                            }
+                            None => {
+                                self.pending.get_mut(&op_id).unwrap().idx += 1;
+                                continue;
+                            }
+                        }
+                    }
+                    // Remote: anycast point-query or group cast.
+                    let force = self.pending.get(&op_id).is_some_and(|p| p.force_gcast);
+                    if self.cfg.read_mode == ReadMode::Anycast && !force {
+                        if let Some(target) = self.anycast_target(class) {
+                            let msg = AppMsg::RemoteRead {
+                                op_id,
+                                class,
+                                sc: sc.clone(),
+                            };
+                            self.pending.get_mut(&op_id).unwrap().anycast_waiting = true;
+                            vs.count("op.read.anycast", 1.0);
+                            vs.send_app(target, encode(&msg));
+                            // Fall back to a gcast if no answer arrives.
+                            vs.set_app_timer(ANYCAST_FALLBACK_MICROS, op_id);
+                            return;
+                        }
+                    }
+                    let payload = encode(&ReplOp::MemRead {
+                        class,
+                        sc: sc.clone(),
+                    });
+                    self.pending.get_mut(&op_id).unwrap().waiting = true;
+                    vs.count("op.read.remote", 1.0);
+                    vs.gcast(self.read_target(class), payload, op_id);
+                    return;
+                }
+            }
+            ClientOp::ReadDel { sc, .. } => {
+                let sc = sc.clone();
+                let Some(p) = self.pending.get(&op_id) else {
+                    return;
+                };
+                let Some(&class) = p.classes.get(p.idx) else {
+                    self.handle_exhausted(vs, op_id);
+                    return;
+                };
+                // "There is no reason to deal with requests locally" —
+                // every remove goes through the write group (§4.3).
+                let payload = encode(&ReplOp::Remove { class, sc });
+                self.pending.get_mut(&op_id).unwrap().waiting = true;
+                vs.count("op.readdel.gcast", 1.0);
+                vs.gcast(wg_group(class), payload, op_id);
+            }
+        }
+    }
+
+    /// All classes failed: apply blocking semantics or report `fail`.
+    fn handle_exhausted(&mut self, vs: &mut dyn VsyncOps<ClientDone>, op_id: u64) {
+        let Some(p) = self.pending.get(&op_id) else {
+            return;
+        };
+        let blocking = match &p.op {
+            ClientOp::Insert { .. } => false,
+            ClientOp::Read { blocking, .. } | ClientOp::ReadDel { blocking, .. } => *blocking,
+        };
+        if !blocking {
+            self.finish(vs, op_id, ClientResult::Fail);
+            return;
+        }
+        let now = vs.now_micros();
+        if now >= p.start_micros + self.cfg.blocking_deadline_micros {
+            self.finish(vs, op_id, ClientResult::TimedOut);
+            return;
+        }
+        // Re-arm: busy-wait poll, or markers plus a safety re-poll.
+        let (interval, place_markers) = match self.cfg.blocking {
+            BlockingMode::BusyWait { interval_micros } => (interval_micros, false),
+            BlockingMode::Markers { expiry_micros } => (expiry_micros, true),
+        };
+        if place_markers {
+            let (sc, classes) = {
+                let p = self.pending.get(&op_id).unwrap();
+                let sc = match &p.op {
+                    ClientOp::Read { sc, .. } | ClientOp::ReadDel { sc, .. } => sc.clone(),
+                    ClientOp::Insert { .. } => unreachable!("inserts never block"),
+                };
+                (sc, p.classes.clone())
+            };
+            for class in classes {
+                let payload = encode(&ReplOp::PlaceMarker {
+                    class,
+                    sc: sc.clone(),
+                    origin: self.id,
+                    op_id,
+                    expires_micros: now + interval,
+                });
+                vs.count("op.marker.place", 1.0);
+                vs.gcast(wg_group(class), payload, FIRE_AND_FORGET);
+            }
+        }
+        self.pending.get_mut(&op_id).unwrap().idx = 0;
+        vs.set_app_timer(interval, op_id);
+    }
+
+    /// Adaptive bookkeeping when this member applies an update (§5.1,
+    /// third rule). Never lets basic-support machines leave.
+    fn record_member_update(&mut self, vs: &mut dyn VsyncOps<ClientDone>, class: ClassId) {
+        if !self.cfg.adaptive || self.is_basic(class) {
+            return;
+        }
+        if !vs.is_member(wg_group(class)) {
+            return;
+        }
+        let counter = self.counter(class);
+        if !counter.is_member() {
+            counter.set_member(true);
+        }
+        if counter.record_update() == Advice::Leave {
+            vs.count("adaptive.leave", 1.0);
+            vs.leave(wg_group(class));
+        }
+    }
+
+    /// Adaptive bookkeeping when a read completed remotely (§5.1, second
+    /// rule). The `failed` count was piggybacked on the response.
+    fn record_remote_read(
+        &mut self,
+        vs: &mut dyn VsyncOps<ClientDone>,
+        class: ClassId,
+        failed: u64,
+    ) {
+        if !self.cfg.adaptive || self.is_basic(class) || vs.is_member(wg_group(class)) {
+            return;
+        }
+        let counter = self.counter(class);
+        if counter.is_member() {
+            // A join is already in flight; don't double-count.
+            return;
+        }
+        if counter.record_remote_read(failed) == Advice::Join {
+            vs.count("adaptive.join", 1.0);
+            vs.join(wg_group(class));
+        }
+    }
+}
+
+impl GroupApp for MemoryServer {
+    type Output = ClientDone;
+
+    fn on_start(&mut self, vs: &mut dyn VsyncOps<ClientDone>) {
+        self.up = (0..vs.n() as u32).map(NodeId).collect();
+    }
+
+    fn on_recovered(&mut self, vs: &mut dyn VsyncOps<ClientDone>) {
+        self.up = (0..vs.n() as u32).map(NodeId).collect();
+        // §4.2: "when a machine is restarted, the memory server residing
+        // on it should determine which groups it belongs to, and, one by
+        // one, g-join these groups." The write group comes first; the
+        // read group is joined only once the write-group state transfer
+        // has installed (see `on_view`) — otherwise this server could
+        // become the read group's leader and answer queries from an
+        // empty store.
+        let mine: Vec<ClassId> = self
+            .basic
+            .iter()
+            .filter(|(_, m)| m.contains(&self.id))
+            .map(|(c, _)| *c)
+            .collect();
+        for class in mine {
+            vs.join(wg_group(class));
+        }
+    }
+
+    fn on_peer_crashed(&mut self, _vs: &mut dyn VsyncOps<ClientDone>, peer: NodeId) {
+        self.up.remove(&peer);
+    }
+
+    fn on_peer_recovered(&mut self, _vs: &mut dyn VsyncOps<ClientDone>, peer: NodeId) {
+        self.up.insert(peer);
+    }
+
+    fn on_app_message(&mut self, vs: &mut dyn VsyncOps<ClientDone>, _from: NodeId, bytes: &[u8]) {
+        match decode::<AppMsg>(bytes) {
+            Some(AppMsg::Client(req)) => {
+                let classes = match &req.op {
+                    ClientOp::Insert { object } => vec![self.classifier.classify(object)],
+                    ClientOp::Read { sc, .. } | ClientOp::ReadDel { sc, .. } => {
+                        self.classifier.sc_list(sc)
+                    }
+                };
+                self.pending.insert(
+                    req.op_id,
+                    PendingOp {
+                        op: req.op,
+                        classes,
+                        idx: 0,
+                        start_micros: vs.now_micros(),
+                        waiting: false,
+                        anycast_waiting: false,
+                        force_gcast: false,
+                    },
+                );
+                self.drive(vs, req.op_id);
+            }
+            Some(AppMsg::MarkerWake { op_id }) => {
+                if let Some(p) = self.pending.get_mut(&op_id) {
+                    if p.anycast_waiting {
+                        // Let the in-flight point query conclude.
+                        return;
+                    }
+                    p.idx = 0;
+                    vs.count("op.marker.wake", 1.0);
+                    self.drive(vs, op_id);
+                }
+            }
+            Some(AppMsg::RemoteRead { op_id, class, sc }) => {
+                // Serve the point query iff we are an installed member
+                // (snapshot applied); otherwise decline so the origin
+                // falls back to the group.
+                let served = vs.is_member(wg_group(class));
+                let (found, cost) = if served {
+                    self.stores
+                        .get(&class)
+                        .map_or((None, paso_storage::Cost(1)), |s| s.mem_read(&sc))
+                } else {
+                    (None, paso_storage::Cost(1))
+                };
+                vs.charge_work(cost.0);
+                let failed = self.failed_of(class);
+                vs.send_app(
+                    _from,
+                    encode(&AppMsg::RemoteReadResp {
+                        op_id,
+                        served,
+                        found,
+                        failed,
+                    }),
+                );
+            }
+            Some(AppMsg::RemoteReadResp {
+                op_id,
+                served,
+                found,
+                failed,
+            }) => {
+                let Some(p) = self.pending.get_mut(&op_id) else {
+                    return;
+                };
+                if !p.anycast_waiting {
+                    return; // stale answer (we already fell back)
+                }
+                p.anycast_waiting = false;
+                let class = p.classes.get(p.idx).copied();
+                if !served {
+                    // Target was not authoritative: group-cast this class.
+                    p.force_gcast = true;
+                    self.drive(vs, op_id);
+                    return;
+                }
+                match found {
+                    Some(obj) => {
+                        if let Some(c) = class {
+                            self.record_remote_read(vs, c, failed);
+                        }
+                        self.finish(vs, op_id, ClientResult::Found(obj));
+                    }
+                    None => {
+                        if let Some(c) = class {
+                            self.record_remote_read(vs, c, failed);
+                        }
+                        if let Some(p) = self.pending.get_mut(&op_id) {
+                            p.idx += 1;
+                            p.force_gcast = false;
+                        }
+                        self.drive(vs, op_id);
+                    }
+                }
+            }
+            None => {}
+        }
+    }
+
+    fn on_timer(&mut self, vs: &mut dyn VsyncOps<ClientDone>, tag: u64) {
+        let Some(p) = self.pending.get_mut(&tag) else {
+            return;
+        };
+        if p.anycast_waiting {
+            // Anycast answer never came (target crashed?): retry the same
+            // class with a group cast.
+            p.anycast_waiting = false;
+            p.force_gcast = true;
+            self.drive(vs, tag);
+            return;
+        }
+        // Blocking-op re-poll. Non-blocking ops can also see stale timers
+        // here (an anycast fallback that was answered in time); restarting
+        // the class walk for those would only duplicate work.
+        let blocking = match &p.op {
+            ClientOp::Read { blocking, .. } | ClientOp::ReadDel { blocking, .. } => *blocking,
+            ClientOp::Insert { .. } => false,
+        };
+        if blocking {
+            p.idx = 0;
+            p.force_gcast = false;
+            self.drive(vs, tag);
+        }
+    }
+
+    fn deliver(
+        &mut self,
+        vs: &mut dyn VsyncOps<ClientDone>,
+        group: GroupId,
+        _origin: NodeId,
+        payload: &[u8],
+    ) -> Delivery {
+        let (class_of_group, _kind) = group_class(group);
+        let Some(op) = decode::<ReplOp>(payload) else {
+            return Delivery::default();
+        };
+        match op {
+            ReplOp::Store {
+                class,
+                object,
+                rank,
+            } => {
+                debug_assert_eq!(class, class_of_group);
+                let store = self
+                    .stores
+                    .entry(class)
+                    .or_insert_with(|| AutoStore::for_kind(self.cfg.default_store));
+                let cost = store.store_ranked(object.clone(), rank);
+                // Fire read-markers matching the new object.
+                let now = vs.now_micros();
+                if let Some(ms) = self.markers.get_mut(&class) {
+                    let mut fired = Vec::new();
+                    ms.retain(|m| {
+                        if m.expires_micros < now {
+                            return false;
+                        }
+                        if m.sc.matches(&object) {
+                            fired.push((m.origin, m.op_id));
+                            return false;
+                        }
+                        true
+                    });
+                    for (origin, op_id) in fired {
+                        vs.send_app(origin, encode(&AppMsg::MarkerWake { op_id }));
+                    }
+                }
+                self.record_member_update(vs, class);
+                let failed = self.failed_of(class);
+                Delivery {
+                    response: encode(&OpResponse {
+                        object: None,
+                        failed,
+                    }),
+                    work: cost.0,
+                }
+            }
+            ReplOp::MemRead { class, sc } => {
+                let (found, cost) = self
+                    .stores
+                    .get(&class)
+                    .map_or((None, paso_storage::Cost(1)), |s| s.mem_read(&sc));
+                let failed = self.failed_of(class);
+                Delivery {
+                    response: encode(&OpResponse {
+                        object: found,
+                        failed,
+                    }),
+                    work: cost.0,
+                }
+            }
+            ReplOp::Remove { class, sc } => {
+                let (removed, cost) = self
+                    .stores
+                    .get_mut(&class)
+                    .map(|s| s.remove(&sc))
+                    .unwrap_or((None, paso_storage::Cost(1)));
+                self.record_member_update(vs, class);
+                let failed = self.failed_of(class);
+                Delivery {
+                    response: encode(&OpResponse {
+                        object: removed,
+                        failed,
+                    }),
+                    work: cost.0,
+                }
+            }
+            ReplOp::PlaceMarker {
+                class,
+                sc,
+                origin,
+                op_id,
+                expires_micros,
+            } => {
+                let now = vs.now_micros();
+                let ms = self.markers.entry(class).or_default();
+                ms.retain(|m| m.expires_micros >= now);
+                // Fire immediately if a match is already present (insert
+                // raced the marker placement).
+                let already = self.stores.get(&class).and_then(|s| s.mem_read(&sc).0);
+                if already.is_some() {
+                    vs.send_app(origin, encode(&AppMsg::MarkerWake { op_id }));
+                } else {
+                    ms.push(MarkerEntry {
+                        sc,
+                        origin,
+                        op_id,
+                        expires_micros,
+                    });
+                }
+                let failed = self.failed_of(class);
+                Delivery {
+                    response: encode(&OpResponse {
+                        object: None,
+                        failed,
+                    }),
+                    work: 1,
+                }
+            }
+        }
+    }
+
+    fn on_gcast_complete(
+        &mut self,
+        vs: &mut dyn VsyncOps<ClientDone>,
+        token: u64,
+        result: Result<Vec<u8>, GcastError>,
+    ) {
+        if token == FIRE_AND_FORGET {
+            return;
+        }
+        let op_id = token;
+        let Some(p) = self.pending.get_mut(&op_id) else {
+            return;
+        };
+        p.waiting = false;
+        let class = p.classes.get(p.idx).copied();
+        match result {
+            Err(GcastError::Unavailable) => {
+                self.finish(vs, op_id, ClientResult::Unavailable);
+            }
+            Ok(bytes) => {
+                let resp: OpResponse = decode(&bytes).unwrap_or(OpResponse {
+                    object: None,
+                    failed: 0,
+                });
+                let op_kind_insert = matches!(p.op, ClientOp::Insert { .. });
+                if op_kind_insert {
+                    self.finish(vs, op_id, ClientResult::Inserted);
+                    return;
+                }
+                let is_read = matches!(p.op, ClientOp::Read { .. });
+                match resp.object {
+                    Some(obj) => {
+                        if is_read {
+                            if let Some(c) = class {
+                                self.record_remote_read(vs, c, resp.failed);
+                            }
+                        }
+                        self.finish(vs, op_id, ClientResult::Found(obj));
+                    }
+                    None => {
+                        if is_read {
+                            if let Some(c) = class {
+                                self.record_remote_read(vs, c, resp.failed);
+                            }
+                        }
+                        if let Some(p) = self.pending.get_mut(&op_id) {
+                            p.idx += 1;
+                            p.force_gcast = false;
+                        }
+                        self.drive(vs, op_id);
+                    }
+                }
+            }
+        }
+    }
+
+    fn snapshot(&self, group: GroupId) -> Vec<u8> {
+        let (class, kind) = group_class(group);
+        match kind {
+            GroupKind::Write => {
+                let store_bytes = self
+                    .stores
+                    .get(&class)
+                    .map(|s| s.snapshot().as_bytes().to_vec())
+                    .unwrap_or_default();
+                encode(&ClassState {
+                    store: store_bytes,
+                    markers: self.markers.get(&class).cloned().unwrap_or_default(),
+                })
+            }
+            GroupKind::Read => Vec::new(),
+        }
+    }
+
+    fn install(&mut self, _vs: &mut dyn VsyncOps<ClientDone>, group: GroupId, state: &[u8]) {
+        let (class, kind) = group_class(group);
+        if kind != GroupKind::Write {
+            return;
+        }
+        let Some(cs) = decode::<ClassState>(state) else {
+            return;
+        };
+        let mut store = AutoStore::for_kind(self.cfg.default_store);
+        if !cs.store.is_empty() {
+            let _ = store.restore(&Snapshot::from_bytes(cs.store));
+        }
+        self.stores.insert(class, store);
+        self.markers.insert(class, cs.markers);
+    }
+
+    fn erase(&mut self, group: GroupId) {
+        let (class, kind) = group_class(group);
+        if kind != GroupKind::Write {
+            return;
+        }
+        self.stores.remove(&class);
+        self.markers.remove(&class);
+        if let Some(c) = self.counters.get_mut(&class) {
+            c.set_member(false);
+        }
+    }
+
+    fn on_view(&mut self, vs: &mut dyn VsyncOps<ClientDone>, group: GroupId, view: &View) {
+        let (class, kind) = group_class(group);
+        if kind != GroupKind::Write {
+            return;
+        }
+        let member = view.contains(self.id);
+        if self.cfg.adaptive && !self.is_basic(class) {
+            self.counter(class).set_member(member);
+        }
+        // Basic members re-enter the read group only once their write-
+        // group state is installed, so rg answers are never served from a
+        // blank store.
+        if member && self.is_basic(class) && !vs.is_member(rg_group(class)) {
+            vs.join(rg_group(class));
+        }
+    }
+}

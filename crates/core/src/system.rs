@@ -1,0 +1,398 @@
+//! The simulated PASO system: machines + servers + vsync + faults, under
+//! one deterministic harness.
+//!
+//! [`SimSystem`] is the top-level entry point for experiments and tests:
+//! it wires a [`MemoryServer`] per machine into the virtual-synchrony
+//! layer, runs them over the discrete-event bus LAN, injects client
+//! operations, collects results, and records everything in a
+//! [`RunLog`] for the semantics checker.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use paso_simnet::{Engine, EngineConfig, FaultScript, MachineStatus, NodeId, SimTime, Stats};
+use paso_types::{ClassId, Classifier, ObjectId, PasoObject, ProcessId, SearchCriterion, Value};
+use paso_vsync::{VsyncConfig, VsyncNode};
+
+use crate::config::PasoConfig;
+use crate::groups::{assign_basic_support, initial_groups, wg_group};
+use crate::semantics::{check_run, RunLog, SemanticsReport};
+use crate::server::MemoryServer;
+use crate::wire::{encode, AppMsg, ClientDone, ClientOp, ClientRequest, ClientResult};
+
+/// Per-class snapshot of replication state (observability).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassReport {
+    /// The class.
+    pub class: paso_types::ClassId,
+    /// Machines currently replicating the class (holding its store).
+    pub replicas: Vec<u32>,
+    /// The configured basic support `B(C)`.
+    pub basic: Vec<u32>,
+    /// Live objects in the class (as seen by the first replica).
+    pub live: usize,
+}
+
+/// A whole-system snapshot: replication state per class plus machine
+/// health — what an operator's dashboard would show.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SystemReport {
+    /// Per-class state.
+    pub classes: Vec<ClassReport>,
+    /// Machines currently up.
+    pub up: Vec<u32>,
+    /// Does the §4.1 fault-tolerance condition hold?
+    pub fault_tolerance_ok: bool,
+}
+
+impl std::fmt::Display for SystemReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "up: {:?}  fault-tolerance: {}",
+            self.up,
+            if self.fault_tolerance_ok {
+                "OK"
+            } else {
+                "VIOLATED"
+            }
+        )?;
+        for c in &self.classes {
+            writeln!(
+                f,
+                "  {}: ℓ={} replicas={:?} basic={:?}",
+                c.class, c.live, c.replicas, c.basic
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// A complete simulated PASO deployment.
+///
+/// # Examples
+///
+/// ```
+/// use paso_core::{PasoConfig, SimSystem};
+/// use paso_types::{SearchCriterion, Template, Value};
+///
+/// let mut sys = SimSystem::new(PasoConfig::builder(4, 1).build());
+/// sys.insert(0, vec![Value::symbol("job"), Value::Int(1)]);
+/// let sc = SearchCriterion::from(Template::exact(vec![
+///     Value::symbol("job"),
+///     Value::Int(1),
+/// ]));
+/// let got = sys.read(2, sc).expect("object is visible from any machine");
+/// assert_eq!(got.field(1), Some(&Value::Int(1)));
+/// assert!(sys.check_semantics().ok());
+/// ```
+pub struct SimSystem {
+    engine: Engine<VsyncNode<MemoryServer>>,
+    cfg: Arc<PasoConfig>,
+    classifier: Box<dyn Classifier>,
+    next_op: u64,
+    next_obj: u64,
+    log: RunLog,
+    done: BTreeMap<u64, ClientResult>,
+}
+
+impl std::fmt::Debug for SimSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimSystem")
+            .field("n", &self.cfg.n)
+            .field("now", &self.engine.now())
+            .field("ops_issued", &self.next_op)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SimSystem {
+    /// Builds and starts the system.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration.
+    pub fn new(cfg: PasoConfig) -> Self {
+        cfg.validate().expect("invalid PasoConfig");
+        let cfg = Arc::new(cfg);
+        let classifier = cfg.classifier.build();
+        let classes = classifier.classes();
+        let support = assign_basic_support(cfg.n, cfg.lambda, &classes);
+        let groups = initial_groups(&support);
+        let basic: BTreeMap<ClassId, Vec<NodeId>> = support.into_iter().collect();
+        let vcfg = VsyncConfig {
+            initial_groups: groups,
+            ..VsyncConfig::default()
+        };
+        let engine_cfg = EngineConfig {
+            n: cfg.n,
+            cost_model: cfg.cost_model,
+            seed: cfg.seed,
+            init_min: cfg.init_min,
+            init_max: cfg.init_max,
+            record_trace: false,
+        };
+        let cfg_for_factory = Arc::clone(&cfg);
+        let engine = Engine::new(engine_cfg, move |id| {
+            VsyncNode::new(
+                id,
+                vcfg.clone(),
+                MemoryServer::new(id, Arc::clone(&cfg_for_factory), basic.clone()),
+            )
+        });
+        SimSystem {
+            engine,
+            cfg,
+            classifier,
+            next_op: 0,
+            next_obj: 0,
+            log: RunLog::new(),
+            done: BTreeMap::new(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &PasoConfig {
+        &self.cfg
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    /// Simulation statistics (message cost, work, faults…).
+    pub fn stats(&self) -> &Stats {
+        self.engine.stats()
+    }
+
+    /// The run log for semantics checking.
+    pub fn run_log(&self) -> &RunLog {
+        &self.log
+    }
+
+    /// The memory server on `node` (for state assertions).
+    pub fn server(&self, node: u32) -> &MemoryServer {
+        self.engine.actor(NodeId(node)).app()
+    }
+
+    /// The classifier (the global `obj-clss` / `sc-list`).
+    pub fn classifier(&self) -> &dyn Classifier {
+        self.classifier.as_ref()
+    }
+
+    /// Machine status (up / crashed / initializing).
+    pub fn status(&self, node: u32) -> MachineStatus {
+        self.engine.status(NodeId(node))
+    }
+
+    fn inject_request(&mut self, node: u32, op: ClientOp) -> u64 {
+        assert!(
+            self.engine.status(NodeId(node)).is_up(),
+            "m{node} is down: processes on crashed machines are halted (§3.1) and cannot issue requests"
+        );
+        let op_id = self.next_op;
+        self.next_op += 1;
+        self.log
+            .issued(op_id, NodeId(node), op.clone(), self.engine.now());
+        let req = ClientRequest { op_id, op };
+        self.engine.inject(
+            self.engine.now(),
+            NodeId(node),
+            paso_vsync::NetMsg::App(encode(&AppMsg::Client(req))),
+        );
+        op_id
+    }
+
+    /// Issues an `insert` of a fresh object with the given fields from a
+    /// process on `node`; returns `(op id, object id)`.
+    pub fn issue_insert(&mut self, node: u32, fields: Vec<Value>) -> (u64, ObjectId) {
+        let id = ObjectId::new(ProcessId(node as u64), self.next_obj);
+        self.next_obj += 1;
+        let object = PasoObject::new(id, fields);
+        (self.inject_request(node, ClientOp::Insert { object }), id)
+    }
+
+    /// Issues a non-blocking (or blocking) `read`.
+    pub fn issue_read(&mut self, node: u32, sc: SearchCriterion, blocking: bool) -> u64 {
+        self.inject_request(node, ClientOp::Read { sc, blocking })
+    }
+
+    /// Issues a non-blocking (or blocking) `read&del`.
+    pub fn issue_read_del(&mut self, node: u32, sc: SearchCriterion, blocking: bool) -> u64 {
+        self.inject_request(node, ClientOp::ReadDel { sc, blocking })
+    }
+
+    fn pump(&mut self) {
+        for (time, _node, ClientDone { op_id, result }) in self.engine.take_outputs() {
+            self.log.returned(op_id, result.clone(), time);
+            self.done.insert(op_id, result);
+        }
+    }
+
+    /// Has `op` completed? Returns its result if so.
+    pub fn poll(&mut self, op: u64) -> Option<ClientResult> {
+        self.pump();
+        self.done.get(&op).cloned()
+    }
+
+    /// Steps the simulation until `op` completes. Returns `None` if the
+    /// event queue drains or `max_events` are processed first (which, for
+    /// a non-blocking op, indicates a protocol bug).
+    pub fn wait(&mut self, op: u64, max_events: u64) -> Option<ClientResult> {
+        let mut processed = 0u64;
+        loop {
+            self.pump();
+            if let Some(r) = self.done.get(&op) {
+                return Some(r.clone());
+            }
+            if processed >= max_events || !self.engine.step() {
+                self.pump();
+                return self.done.get(&op).cloned();
+            }
+            processed += 1;
+        }
+    }
+
+    /// Synchronous `insert`: issues and waits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operation does not complete (protocol bug).
+    pub fn insert(&mut self, node: u32, fields: Vec<Value>) -> ObjectId {
+        let (op, id) = self.issue_insert(node, fields);
+        let r = self.wait(op, 1_000_000).expect("insert must complete");
+        assert!(matches!(r, ClientResult::Inserted), "insert failed: {r:?}");
+        id
+    }
+
+    /// Synchronous non-blocking `read`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operation does not complete.
+    pub fn read(&mut self, node: u32, sc: SearchCriterion) -> Option<PasoObject> {
+        let op = self.issue_read(node, sc, false);
+        let r = self.wait(op, 1_000_000).expect("read must complete");
+        match r {
+            ClientResult::Found(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Synchronous non-blocking `read&del`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operation does not complete.
+    pub fn read_del(&mut self, node: u32, sc: SearchCriterion) -> Option<PasoObject> {
+        let op = self.issue_read_del(node, sc, false);
+        let r = self.wait(op, 1_000_000).expect("read&del must complete");
+        match r {
+            ClientResult::Found(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Runs the simulation for `d` of simulated time.
+    pub fn run_for(&mut self, d: SimTime) {
+        let until = self.engine.now() + d;
+        self.engine.run_until(until);
+        self.pump();
+    }
+
+    /// Runs until the event queue drains (panics after `max_events`).
+    pub fn settle(&mut self, max_events: u64) {
+        self.engine.run_to_quiescence(max_events);
+        self.pump();
+    }
+
+    /// Crashes a machine now (memory erased, §3.1).
+    pub fn crash(&mut self, node: u32) {
+        self.engine.crash_now(NodeId(node));
+    }
+
+    /// Repairs a machine now; it rejoins after its initialization phase.
+    pub fn repair(&mut self, node: u32) {
+        self.engine.repair_now(NodeId(node));
+    }
+
+    /// Applies a pre-built fault script.
+    pub fn apply_faults(&mut self, script: &FaultScript) {
+        self.engine.apply_faults(script);
+    }
+
+    /// Checks the recorded run against the §2 semantics (Theorem 1,
+    /// executable).
+    pub fn check_semantics(&self) -> SemanticsReport {
+        check_run(&self.log)
+    }
+
+    /// Takes a whole-system observability snapshot.
+    pub fn report(&self) -> SystemReport {
+        let up: Vec<u32> = (0..self.cfg.n as u32)
+            .filter(|m| self.engine.status(NodeId(*m)).is_up())
+            .collect();
+        let classes = self
+            .classifier
+            .classes()
+            .into_iter()
+            .map(|class| {
+                let replicas: Vec<u32> = up
+                    .iter()
+                    .copied()
+                    .filter(|m| self.engine.actor(NodeId(*m)).is_member_of(wg_group(class)))
+                    .collect();
+                let live = replicas
+                    .first()
+                    .map_or(0, |m| self.server(*m).store_len(class));
+                let basic: Vec<u32> = (0..self.cfg.n as u32)
+                    .filter(|m| self.server(*m).is_basic(class))
+                    .collect();
+                ClassReport {
+                    class,
+                    replicas,
+                    basic,
+                    live,
+                }
+            })
+            .collect();
+        SystemReport {
+            classes,
+            up,
+            fault_tolerance_ok: self.fault_tolerance_ok(),
+        }
+    }
+
+    /// Verifies the fault-tolerance condition (§4.1) for every class, as
+    /// seen by the lowest live machine: with `k` failed machines, every
+    /// write group must keep more than `λ − k` live members.
+    pub fn fault_tolerance_ok(&self) -> bool {
+        let up: Vec<NodeId> = (0..self.cfg.n as u32)
+            .map(NodeId)
+            .filter(|m| self.engine.status(*m).is_up())
+            .collect();
+        let failed = self.cfg.n - up.len();
+        if failed > self.cfg.lambda {
+            return true; // outside the model's assumption; vacuous
+        }
+        for class in self.classifier.classes() {
+            // Observe the view from a live *member* — non-members hold
+            // only stale contact caches.
+            let group = wg_group(class);
+            let live = up
+                .iter()
+                .find(|m| self.engine.actor(**m).is_member_of(group))
+                .map_or(0, |observer| {
+                    self.engine
+                        .actor(*observer)
+                        .view_of(group)
+                        .map_or(0, |v| v.members().filter(|m| up.contains(m)).count())
+                });
+            if live + failed <= self.cfg.lambda {
+                return false;
+            }
+        }
+        true
+    }
+}

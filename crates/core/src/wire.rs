@@ -1,0 +1,284 @@
+//! Wire formats: client requests, replicated operations, responses.
+
+use serde::{Deserialize, Serialize};
+
+use paso_simnet::NodeId;
+use paso_storage::Rank;
+use paso_types::{ClassId, PasoObject, SearchCriterion};
+
+/// A PASO operation issued by a compute process (§2's primitives).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ClientOp {
+    /// `insert(o)`.
+    Insert {
+        /// The object to insert (with its unique id already assigned).
+        object: PasoObject,
+    },
+    /// `read(sc)`; `blocking` selects the §4.3 blocking variant.
+    Read {
+        /// The search criterion.
+        sc: SearchCriterion,
+        /// Blocking or non-blocking semantics.
+        blocking: bool,
+    },
+    /// `read&del(sc)`.
+    ReadDel {
+        /// The search criterion.
+        sc: SearchCriterion,
+        /// Blocking or non-blocking semantics.
+        blocking: bool,
+    },
+}
+
+/// A request injected at a machine's memory server.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClientRequest {
+    /// Operation id, unique per system run.
+    pub op_id: u64,
+    /// The operation.
+    pub op: ClientOp,
+}
+
+/// Result of a client operation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ClientResult {
+    /// The insert was applied at every write-group member.
+    Inserted,
+    /// A matching object (read or read&del).
+    Found(PasoObject),
+    /// Non-blocking read/read&del found nothing.
+    Fail,
+    /// Blocking operation hit its deadline.
+    TimedOut,
+    /// The write group was unreachable (fault-tolerance condition
+    /// violated — more than λ failures).
+    Unavailable,
+}
+
+impl ClientResult {
+    /// The returned object, if any.
+    pub fn object(&self) -> Option<&PasoObject> {
+        match self {
+            ClientResult::Found(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Did the operation conclusively succeed?
+    pub fn is_success(&self) -> bool {
+        matches!(self, ClientResult::Inserted | ClientResult::Found(_))
+    }
+}
+
+/// A completed operation, emitted by the memory server as simulation
+/// output (and sent back to clients in the live runtime).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClientDone {
+    /// The operation id.
+    pub op_id: u64,
+    /// The outcome.
+    pub result: ClientResult,
+}
+
+/// Replicated operations, carried as gcast payloads to write/read groups
+/// (the `store`/`mem-read`/`remove` messages of §4.3's macro expansions).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ReplOp {
+    /// Store an object at every member, under a globally agreed age rank.
+    Store {
+        /// The object class (precomputed by the origin).
+        class: ClassId,
+        /// The object.
+        object: PasoObject,
+        /// Global age rank.
+        rank: Rank,
+    },
+    /// `mem-read(sc, C)`: respond with some matching object.
+    MemRead {
+        /// The class to search.
+        class: ClassId,
+        /// The criterion.
+        sc: SearchCriterion,
+    },
+    /// `remove(sc, C)`: delete and respond with the oldest match.
+    Remove {
+        /// The class to search.
+        class: ClassId,
+        /// The criterion.
+        sc: SearchCriterion,
+    },
+    /// Leave a read-marker: members will notify `origin` when a matching
+    /// object is stored (blocking-read support, §4.3).
+    PlaceMarker {
+        /// The class to watch.
+        class: ClassId,
+        /// The criterion to match.
+        sc: SearchCriterion,
+        /// The machine waiting.
+        origin: NodeId,
+        /// The blocked operation.
+        op_id: u64,
+        /// Absolute expiry (µs of simulated time).
+        expires_micros: u64,
+    },
+}
+
+/// Response to a [`ReplOp::MemRead`] / [`ReplOp::Remove`]: the §2 "object
+/// or fail" result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpResponse {
+    /// The object found, if any.
+    pub object: Option<PasoObject>,
+    /// Piggybacked `|F(C)|` — the §5.1 mechanism by which non-members
+    /// learn the current failure count for their counter updates.
+    pub failed: u64,
+}
+
+/// Application-level messages between servers (non-gcast traffic).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AppMsg {
+    /// A client request (injected at this machine by a local process).
+    Client(ClientRequest),
+    /// A marker fired at a server: a matching object was inserted, retry.
+    MarkerWake {
+        /// The blocked operation to retry.
+        op_id: u64,
+    },
+    /// Anycast-mode point query to a single read-group member.
+    RemoteRead {
+        /// The origin's operation awaiting this answer.
+        op_id: u64,
+        /// The class to search.
+        class: ClassId,
+        /// The criterion.
+        sc: SearchCriterion,
+    },
+    /// Answer to a [`AppMsg::RemoteRead`].
+    RemoteReadResp {
+        /// The operation being answered.
+        op_id: u64,
+        /// Whether the answering server was an authoritative (installed)
+        /// member; if false the origin falls back to a group cast.
+        served: bool,
+        /// The object found, if any.
+        found: Option<PasoObject>,
+        /// Piggybacked `|F(C)|` (§5.1).
+        failed: u64,
+    },
+}
+
+/// Encodes any serde message into gcast/app payload bytes.
+pub fn encode<T: Serialize>(msg: &T) -> Vec<u8> {
+    serde_json::to_vec(msg).expect("wire types always serialize")
+}
+
+/// Decodes payload bytes.
+pub fn decode<'a, T: Deserialize<'a>>(bytes: &'a [u8]) -> Option<T> {
+    serde_json::from_slice(bytes).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paso_types::{ObjectId, ProcessId, Template, Value};
+
+    fn obj() -> PasoObject {
+        PasoObject::new(ObjectId::new(ProcessId(7), 1), vec![Value::Int(3)])
+    }
+
+    #[test]
+    fn result_accessors() {
+        assert!(ClientResult::Inserted.is_success());
+        assert!(ClientResult::Found(obj()).is_success());
+        assert!(!ClientResult::Fail.is_success());
+        assert!(!ClientResult::TimedOut.is_success());
+        assert!(ClientResult::Found(obj()).object().is_some());
+        assert!(ClientResult::Fail.object().is_none());
+    }
+
+    #[test]
+    fn round_trip_all_wire_types() {
+        let sc = SearchCriterion::from(Template::wildcard(1));
+        let msgs = vec![
+            ReplOp::Store {
+                class: ClassId(1),
+                object: obj(),
+                rank: Rank::new(5, 2),
+            },
+            ReplOp::MemRead {
+                class: ClassId(1),
+                sc: sc.clone(),
+            },
+            ReplOp::Remove {
+                class: ClassId(1),
+                sc: sc.clone(),
+            },
+            ReplOp::PlaceMarker {
+                class: ClassId(1),
+                sc: sc.clone(),
+                origin: NodeId(3),
+                op_id: 9,
+                expires_micros: 100,
+            },
+        ];
+        for m in msgs {
+            let bytes = encode(&m);
+            let back: ReplOp = decode(&bytes).unwrap();
+            assert_eq!(m, back);
+        }
+        let req = ClientRequest {
+            op_id: 4,
+            op: ClientOp::Read { sc, blocking: true },
+        };
+        let back: ClientRequest = decode(&encode(&AppMsg::Client(req.clone())))
+            .map(|m: AppMsg| match m {
+                AppMsg::Client(r) => r,
+                _ => panic!(),
+            })
+            .unwrap();
+        assert_eq!(req, back);
+    }
+
+    #[test]
+    fn anycast_messages_round_trip() {
+        let sc = SearchCriterion::from(Template::wildcard(2));
+        for m in [
+            AppMsg::RemoteRead {
+                op_id: 3,
+                class: ClassId(1),
+                sc,
+            },
+            AppMsg::RemoteReadResp {
+                op_id: 3,
+                served: true,
+                found: Some(obj()),
+                failed: 1,
+            },
+            AppMsg::RemoteReadResp {
+                op_id: 4,
+                served: false,
+                found: None,
+                failed: 0,
+            },
+            AppMsg::MarkerWake { op_id: 9 },
+        ] {
+            let back: AppMsg = decode(&encode(&m)).unwrap();
+            assert_eq!(m, back);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode::<ReplOp>(&[1, 2, 3]).is_none());
+    }
+
+    #[test]
+    fn op_response_round_trip() {
+        let r = OpResponse {
+            object: Some(obj()),
+            failed: 2,
+        };
+        let back: OpResponse = decode(&encode(&r)).unwrap();
+        assert_eq!(r, back);
+    }
+}

@@ -1,0 +1,186 @@
+//! Anycast read mode: point queries to a single read-group member, with
+//! fall-back to the §4.3 group cast when the target is down or not yet
+//! authoritative.
+
+use paso_core::{ClientResult, PasoConfig, ReadMode, SimSystem};
+use paso_simnet::SimTime;
+use paso_types::{ClassId, FieldMatcher, SearchCriterion, Template, Value};
+
+const TASK_CLASS: ClassId = ClassId(2);
+
+fn task(n: i64) -> Vec<Value> {
+    vec![Value::symbol("task"), Value::Int(n)]
+}
+
+fn sc_any() -> SearchCriterion {
+    SearchCriterion::from(Template::new(vec![
+        FieldMatcher::Exact(Value::symbol("task")),
+        FieldMatcher::Any,
+    ]))
+}
+
+fn sc_eq(n: i64) -> SearchCriterion {
+    SearchCriterion::from(Template::exact(vec![Value::symbol("task"), Value::Int(n)]))
+}
+
+fn anycast_sys(seed: u64) -> SimSystem {
+    SimSystem::new(
+        PasoConfig::builder(6, 1)
+            .seed(seed)
+            .read_mode(ReadMode::Anycast)
+            .adaptive(false)
+            .build(),
+    )
+}
+
+#[test]
+fn anycast_read_finds_objects() {
+    let mut sys = anycast_sys(1);
+    sys.insert(0, task(7));
+    for node in 0..6 {
+        let got = sys.read(node, sc_eq(7));
+        assert!(got.is_some(), "anycast read from m{node} failed");
+    }
+    assert!(
+        sys.stats().counter("op.read.anycast") >= 1.0,
+        "non-member reads must use the anycast path"
+    );
+    assert!(sys.check_semantics().ok());
+}
+
+#[test]
+fn anycast_is_cheaper_than_groupcast() {
+    // Measure one remote read in both modes on identical systems.
+    let measure = |mode: ReadMode| {
+        let mut sys = SimSystem::new(
+            PasoConfig::builder(6, 2) // |rg| = 3 members
+                .seed(2)
+                .read_mode(mode)
+                .adaptive(false)
+                .build(),
+        );
+        sys.insert(0, task(1));
+        sys.run_for(SimTime::from_millis(10));
+        let class = ClassId(2);
+        let outsider = (0..6u32).find(|m| !sys.server(*m).is_basic(class)).unwrap();
+        let before_msgs = sys.stats().msgs_sent;
+        let op = sys.issue_read(outsider, sc_eq(1), false);
+        let r = sys.wait(op, 1_000_000).unwrap();
+        assert!(matches!(r, ClientResult::Found(_)));
+        sys.settle(1_000_000);
+        sys.stats().msgs_sent - before_msgs
+    };
+    let anycast_msgs = measure(ReadMode::Anycast);
+    let gcast_msgs = measure(ReadMode::GroupCast);
+    assert_eq!(anycast_msgs, 2, "anycast is one query + one answer");
+    assert!(
+        gcast_msgs >= 6,
+        "group cast pays fan-out + dones + response ({gcast_msgs})"
+    );
+}
+
+#[test]
+fn anycast_falls_back_when_target_crashes() {
+    let mut sys = anycast_sys(3);
+    sys.insert(0, task(5));
+    sys.run_for(SimTime::from_millis(10));
+    let members: Vec<u32> = (0..6)
+        .filter(|m| sys.server(*m).is_basic(TASK_CLASS))
+        .collect();
+    // Crash one of the two basic members; anycast targets rotate, so some
+    // reads would have hit the dead one — the up-set filter or the
+    // fallback must still deliver every answer.
+    sys.crash(members[0]);
+    sys.run_for(SimTime::from_millis(20));
+    let outsider = (0..6u32).find(|m| !members.contains(m)).unwrap();
+    for _ in 0..6 {
+        let got = sys.read(outsider, sc_eq(5));
+        assert!(got.is_some(), "reads must survive the target crash");
+    }
+    assert!(sys.check_semantics().ok());
+}
+
+#[test]
+fn anycast_declined_by_unauthoritative_member_falls_back() {
+    // Crash + repair a member; during its re-initialization window it is
+    // not an installed member and must decline point queries rather than
+    // answer from a blank store.
+    let mut sys = anycast_sys(4);
+    sys.insert(0, task(9));
+    sys.run_for(SimTime::from_millis(10));
+    let members: Vec<u32> = (0..6)
+        .filter(|m| sys.server(*m).is_basic(TASK_CLASS))
+        .collect();
+    sys.crash(members[1]);
+    sys.run_for(SimTime::from_millis(30));
+    sys.repair(members[1]);
+    // Read storm while the repair/state-transfer is racing.
+    let outsider = (0..6u32).find(|m| !members.contains(m)).unwrap();
+    for _ in 0..10 {
+        let got = sys.read(outsider, sc_eq(9));
+        assert!(got.is_some(), "no read may observe the blank store");
+        sys.run_for(SimTime::from_millis(5));
+    }
+    sys.run_for(SimTime::from_secs(2));
+    let report = sys.check_semantics();
+    assert!(report.ok(), "{:?}", report.violations);
+}
+
+#[test]
+fn anycast_spreads_load_across_members() {
+    let mut sys = SimSystem::new(
+        PasoConfig::builder(8, 3) // 4 basic members to rotate over
+            .seed(5)
+            .read_mode(ReadMode::Anycast)
+            .adaptive(false)
+            .build(),
+    );
+    sys.insert(0, task(1));
+    sys.run_for(SimTime::from_millis(10));
+    let class = ClassId(2);
+    let outsider = (0..8u32).find(|m| !sys.server(*m).is_basic(class)).unwrap();
+    let work_before: Vec<u64> = (0..8)
+        .map(|m| sys.stats().node_work(paso_simnet::NodeId(m)))
+        .collect();
+    for _ in 0..12 {
+        sys.read(outsider, sc_any()).expect("found");
+    }
+    sys.settle(1_000_000);
+    // Every basic member served some queries (round-robin rotation).
+    let mut served = 0;
+    for m in 0..8u32 {
+        if sys.server(m).is_basic(class) && m != outsider {
+            let delta = sys.stats().node_work(paso_simnet::NodeId(m)) - work_before[m as usize];
+            if delta > 0 {
+                served += 1;
+            }
+        }
+    }
+    assert!(
+        served >= 3,
+        "rotation must spread queries ({served} members served)"
+    );
+}
+
+#[test]
+fn semantics_hold_with_anycast_under_churn() {
+    let mut sys = anycast_sys(6);
+    for round in 0..5i64 {
+        sys.insert((round % 6) as u32, task(round));
+        let victim = ((round + 2) % 6) as u32;
+        sys.crash(victim);
+        sys.run_for(SimTime::from_millis(20));
+        let reader = ((round + 4) % 6) as u32;
+        let reader = if reader == victim {
+            (reader + 1) % 6
+        } else {
+            reader
+        };
+        let _ = sys.read(reader, sc_any());
+        let _ = sys.read_del(reader, sc_eq(round));
+        sys.repair(victim);
+        sys.run_for(SimTime::from_secs(1));
+    }
+    let report = sys.check_semantics();
+    assert!(report.ok(), "{:?}", report.violations);
+}

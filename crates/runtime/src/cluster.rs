@@ -1,0 +1,355 @@
+//! The live PASO cluster: one thread per machine, a membership-oracle
+//! controller, and a synchronous client API.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver};
+use parking_lot::Mutex;
+
+use paso_core::{
+    assign_basic_support, encode, initial_groups, AppMsg, ClientDone, ClientOp, ClientRequest,
+    ClientResult, MemoryServer, PasoConfig,
+};
+use paso_simnet::NodeId;
+use paso_types::{ClassId, ObjectId, PasoObject, ProcessId, SearchCriterion, Value};
+use paso_vsync::{NetMsg, VsyncConfig, VsyncNode};
+
+use crate::node::{run_node, NodeStats};
+use crate::transport::{ChannelTransport, Envelope, Postman, TcpTransport};
+
+/// Which transport the cluster runs over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportKind {
+    /// In-process crossbeam channels (fast, default for tests).
+    Channel,
+    /// Real localhost TCP sockets (the "local multi-process" evaluation).
+    Tcp,
+}
+
+/// Errors from the synchronous client API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// The target machine is crashed; its processes are halted (§3.1).
+    NodeDown,
+    /// No response within the client-side timeout.
+    Timeout,
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::NodeDown => write!(f, "machine is down"),
+            ClusterError::Timeout => write!(f, "no response within the timeout"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// A running PASO ensemble on live threads.
+///
+/// # Examples
+///
+/// ```
+/// use paso_runtime::{Cluster, TransportKind};
+/// use paso_core::PasoConfig;
+/// use paso_types::{SearchCriterion, Template, Value};
+///
+/// let cluster = Cluster::start(PasoConfig::builder(3, 1).build(), TransportKind::Channel);
+/// cluster.insert(0, vec![Value::symbol("greeting"), Value::from("hi")]).unwrap();
+/// let sc = SearchCriterion::from(Template::new(vec![
+///     paso_types::FieldMatcher::Exact(Value::symbol("greeting")),
+///     paso_types::FieldMatcher::Any,
+/// ]));
+/// let got = cluster.read(2, sc).unwrap().expect("replicated");
+/// assert_eq!(got.field(1), Some(&Value::from("hi")));
+/// cluster.shutdown();
+/// ```
+pub struct Cluster {
+    n: usize,
+    postman: Arc<dyn Postman>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    outputs: Receiver<(NodeId, ClientDone)>,
+    done: Mutex<BTreeMap<u64, ClientResult>>,
+    down: Mutex<BTreeSet<NodeId>>,
+    next_op: Mutex<u64>,
+    next_obj: Mutex<u64>,
+    stats: Vec<Arc<NodeStats>>,
+    op_timeout: Duration,
+}
+
+impl fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Cluster")
+            .field("n", &self.n)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Cluster {
+    /// Starts `cfg.n` node threads over the chosen transport.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration or if TCP listeners cannot bind.
+    pub fn start(cfg: PasoConfig, kind: TransportKind) -> Self {
+        cfg.validate().expect("invalid PasoConfig");
+        let n = cfg.n;
+        let cfg = Arc::new(cfg);
+        let classifier = cfg.classifier.build();
+        let classes = classifier.classes();
+        let support = assign_basic_support(n, cfg.lambda, &classes);
+        let groups = initial_groups(&support);
+        let basic: BTreeMap<ClassId, Vec<NodeId>> = support.into_iter().collect();
+        let vcfg = VsyncConfig {
+            initial_groups: groups,
+            ..VsyncConfig::default()
+        };
+
+        let (postman, mailboxes): (Arc<dyn Postman>, Vec<_>) = match kind {
+            TransportKind::Channel => {
+                let (p, m) = ChannelTransport::new(n);
+                (p, m)
+            }
+            TransportKind::Tcp => {
+                let (p, m) = TcpTransport::new(n);
+                (p, m)
+            }
+        };
+        let (out_tx, out_rx) = unbounded();
+        let mut handles = Vec::with_capacity(n);
+        let mut stats = Vec::with_capacity(n);
+        for (i, mailbox) in mailboxes.into_iter().enumerate() {
+            let node = NodeId(i as u32);
+            let cfg = Arc::clone(&cfg);
+            let vcfg = vcfg.clone();
+            let basic = basic.clone();
+            let postman = Arc::clone(&postman);
+            let out_tx = out_tx.clone();
+            let st = Arc::new(NodeStats::default());
+            stats.push(Arc::clone(&st));
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("paso-node-{i}"))
+                    .spawn(move || {
+                        let factory = move |id: NodeId| {
+                            VsyncNode::new(
+                                id,
+                                vcfg.clone(),
+                                MemoryServer::new(id, Arc::clone(&cfg), basic.clone()),
+                            )
+                        };
+                        run_node(node, n, factory, mailbox, postman, out_tx, st);
+                    })
+                    .expect("spawn node thread"),
+            );
+        }
+        Cluster {
+            n,
+            postman,
+            handles: Mutex::new(handles),
+            outputs: out_rx,
+            done: Mutex::new(BTreeMap::new()),
+            down: Mutex::new(BTreeSet::new()),
+            next_op: Mutex::new(0),
+            next_obj: Mutex::new(0),
+            stats,
+            op_timeout: Duration::from_secs(10),
+        }
+    }
+
+    /// Number of machines.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Total messages sent by all nodes.
+    pub fn msgs_sent(&self) -> u64 {
+        self.stats
+            .iter()
+            .map(|s| s.msgs_sent.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Total bytes put on the transport.
+    pub fn bytes_sent(&self) -> u64 {
+        self.postman.bytes_sent()
+    }
+
+    /// Total work units charged across all servers.
+    pub fn total_work(&self) -> u64 {
+        self.stats
+            .iter()
+            .map(|s| s.work.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    fn issue(&self, node: u32, op: ClientOp) -> Result<u64, ClusterError> {
+        if self.down.lock().contains(&NodeId(node)) {
+            return Err(ClusterError::NodeDown);
+        }
+        let op_id = {
+            let mut next = self.next_op.lock();
+            let id = *next;
+            *next += 1;
+            id
+        };
+        let req = ClientRequest { op_id, op };
+        self.postman.send(
+            NodeId(node),
+            Envelope::Net {
+                from: NodeId(node),
+                msg: NetMsg::App(encode(&AppMsg::Client(req))),
+            },
+        );
+        Ok(op_id)
+    }
+
+    fn wait(&self, op: u64) -> Result<ClientResult, ClusterError> {
+        let deadline = Instant::now() + self.op_timeout;
+        loop {
+            if let Some(r) = self.done.lock().remove(&op) {
+                return Ok(r);
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(ClusterError::Timeout);
+            }
+            if let Ok((_, ClientDone { op_id, result })) = self
+                .outputs
+                .recv_timeout(remaining.min(Duration::from_millis(50)))
+            {
+                if op_id == op {
+                    return Ok(result);
+                }
+                self.done.lock().insert(op_id, result);
+            }
+        }
+    }
+
+    /// Inserts a fresh object from a process on `node`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::NodeDown`] if the machine is crashed;
+    /// [`ClusterError::Timeout`] if no response arrives in time.
+    pub fn insert(&self, node: u32, fields: Vec<Value>) -> Result<ObjectId, ClusterError> {
+        let id = {
+            let mut next = self.next_obj.lock();
+            let seq = *next;
+            *next += 1;
+            ObjectId::new(ProcessId(node as u64), seq)
+        };
+        let object = PasoObject::new(id, fields);
+        let op = self.issue(node, ClientOp::Insert { object })?;
+        match self.wait(op)? {
+            ClientResult::Inserted => Ok(id),
+            other => panic!("insert returned {other:?}"),
+        }
+    }
+
+    /// Non-blocking `read` from a process on `node`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Cluster::insert`].
+    pub fn read(&self, node: u32, sc: SearchCriterion) -> Result<Option<PasoObject>, ClusterError> {
+        let op = self.issue(
+            node,
+            ClientOp::Read {
+                sc,
+                blocking: false,
+            },
+        )?;
+        Ok(self.wait(op)?.object().cloned())
+    }
+
+    /// Non-blocking `read&del` from a process on `node`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Cluster::insert`].
+    pub fn read_del(
+        &self,
+        node: u32,
+        sc: SearchCriterion,
+    ) -> Result<Option<PasoObject>, ClusterError> {
+        let op = self.issue(
+            node,
+            ClientOp::ReadDel {
+                sc,
+                blocking: false,
+            },
+        )?;
+        Ok(self.wait(op)?.object().cloned())
+    }
+
+    /// Blocking `read&del` (waits server-side until a match appears or the
+    /// configured deadline passes).
+    ///
+    /// # Errors
+    ///
+    /// See [`Cluster::insert`].
+    pub fn take_blocking(
+        &self,
+        node: u32,
+        sc: SearchCriterion,
+    ) -> Result<Option<PasoObject>, ClusterError> {
+        let op = self.issue(node, ClientOp::ReadDel { sc, blocking: true })?;
+        Ok(self.wait(op)?.object().cloned())
+    }
+
+    /// Crashes a machine: its thread erases all server state and drops
+    /// traffic until recovered. Peers are notified by the membership
+    /// oracle (this controller).
+    pub fn crash(&self, node: u32) {
+        let target = NodeId(node);
+        self.down.lock().insert(target);
+        self.postman.send(target, Envelope::Crash);
+        for i in 0..self.n as u32 {
+            if i != node {
+                self.postman.send(NodeId(i), Envelope::PeerCrashed(target));
+            }
+        }
+    }
+
+    /// Recovers a crashed machine: fresh state, then re-join with state
+    /// transfer. The oracle briefs it about still-down peers.
+    pub fn recover(&self, node: u32) {
+        let target = NodeId(node);
+        self.down.lock().remove(&target);
+        self.postman.send(target, Envelope::Recover);
+        let down = self.down.lock().clone();
+        for d in down {
+            self.postman.send(target, Envelope::PeerCrashed(d));
+        }
+        for i in 0..self.n as u32 {
+            if i != node {
+                self.postman
+                    .send(NodeId(i), Envelope::PeerRecovered(target));
+            }
+        }
+    }
+
+    /// Stops all node threads and joins them.
+    pub fn shutdown(&self) {
+        for i in 0..self.n as u32 {
+            self.postman.send(NodeId(i), Envelope::Shutdown);
+        }
+        let mut handles = self.handles.lock();
+        for h in handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

@@ -1,0 +1,145 @@
+//! The per-machine node thread.
+//!
+//! Runs the *same* sans-I/O actor (vsync + memory server) as the
+//! simulator, but driven by wall-clock time and a real transport. Crash
+//! commands replace the actor wholesale (memory erasure, §3.1); recovery
+//! constructs a fresh one that re-joins its groups through state transfer.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::Sender;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use paso_simnet::{drive_actor, Action, Actor, NodeEvent, NodeId, SimTime};
+use paso_vsync::NetMsg;
+
+use crate::transport::{Envelope, Mailbox, Postman};
+
+/// Shared counters for one node thread.
+#[derive(Debug, Default)]
+pub struct NodeStats {
+    /// Network messages sent.
+    pub msgs_sent: AtomicU64,
+    /// Local work units charged by the server.
+    pub work: AtomicU64,
+    /// Events handled.
+    pub events: AtomicU64,
+}
+
+/// Runs a node until [`Envelope::Shutdown`]. `factory` builds the fresh
+/// actor at start and after every crash.
+#[allow(clippy::collapsible_match, clippy::collapsible_else_if)]
+pub(crate) fn run_node<A, F>(
+    node: NodeId,
+    n: usize,
+    factory: F,
+    mailbox: impl Mailbox,
+    postman: Arc<dyn Postman>,
+    outputs: Sender<(NodeId, A::Output)>,
+    stats: Arc<NodeStats>,
+) where
+    A: Actor<Msg = NetMsg>,
+    A::Output: Send + 'static,
+    F: Fn(NodeId) -> A,
+{
+    let start = Instant::now();
+    let now = || SimTime::from_micros(start.elapsed().as_micros() as u64);
+    let mut rng = ChaCha8Rng::seed_from_u64(node.0 as u64 + 1);
+    let mut actor = factory(node);
+    let mut down = false;
+    let mut timers: BinaryHeap<Reverse<(SimTime, u64)>> = BinaryHeap::new();
+    let mut local: VecDeque<NetMsg> = VecDeque::new();
+
+    // Closure-free dispatch helper (borrows everything it needs).
+    macro_rules! dispatch {
+        ($event:expr) => {{
+            stats.events.fetch_add(1, Ordering::Relaxed);
+            let actions = drive_actor(&mut actor, node, n, now(), &mut rng, $event);
+            for action in actions {
+                match action {
+                    Action::Send { to, msg } => {
+                        stats.msgs_sent.fetch_add(1, Ordering::Relaxed);
+                        postman.send(to, Envelope::Net { from: node, msg });
+                    }
+                    Action::SendLocal { msg } => local.push_back(msg),
+                    Action::SetTimer { delay, tag } => {
+                        timers.push(Reverse((now() + delay, tag)));
+                    }
+                    Action::Emit(out) => {
+                        let _ = outputs.send((node, out));
+                    }
+                    Action::Work(units) => {
+                        stats.work.fetch_add(units, Ordering::Relaxed);
+                    }
+                    Action::Count(_, _) => {}
+                }
+            }
+        }};
+    }
+
+    dispatch!(NodeEvent::Start);
+
+    loop {
+        // Drain self-sends first: they are "already delivered".
+        while let Some(msg) = local.pop_front() {
+            if !down {
+                dispatch!(NodeEvent::Message { from: node, msg });
+            }
+        }
+        // Fire due timers.
+        while let Some(Reverse((deadline, tag))) = timers.peek().copied() {
+            if deadline > now() {
+                break;
+            }
+            timers.pop();
+            if !down {
+                dispatch!(NodeEvent::Timer { tag });
+            }
+        }
+        // Wait for traffic until the next timer (or a short poll).
+        let timeout = timers
+            .peek()
+            .map(|Reverse((deadline, _))| {
+                Duration::from_micros(deadline.saturating_since(now()).as_micros())
+                    .max(Duration::from_micros(200))
+            })
+            .unwrap_or(Duration::from_millis(10));
+        match mailbox.recv_timeout(timeout) {
+            Some(Envelope::Net { from, msg }) => {
+                if !down {
+                    dispatch!(NodeEvent::Message { from, msg });
+                }
+            }
+            Some(Envelope::Crash) => {
+                down = true;
+                actor = factory(node); // memory erased
+                timers.clear();
+                local.clear();
+            }
+            Some(Envelope::Recover) => {
+                if down {
+                    down = false;
+                    actor = factory(node);
+                    dispatch!(NodeEvent::Recovered);
+                }
+            }
+            Some(Envelope::PeerCrashed(p)) => {
+                if !down {
+                    dispatch!(NodeEvent::PeerCrashed(p));
+                }
+            }
+            Some(Envelope::PeerRecovered(p)) => {
+                if !down {
+                    dispatch!(NodeEvent::PeerRecovered(p));
+                }
+            }
+            Some(Envelope::Shutdown) => return,
+            None => {}
+        }
+    }
+}

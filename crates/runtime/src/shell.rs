@@ -1,0 +1,397 @@
+//! Command language for the interactive `paso-shell` binary.
+//!
+//! A tiny, line-oriented syntax for driving a live cluster:
+//!
+//! ```text
+//! insert 0 :task 42 "payload"     # insert (:task, 42, "payload") at machine 0
+//! read 2 :task ? ?                # read by template from machine 2
+//! take 1 :task 40..50 ?           # read&del, range-matching field 1
+//! take! 1 :task ? ?               # blocking take
+//! crash 3 / recover 3             # fault injection
+//! stats / help / quit
+//! ```
+//!
+//! Values: integers, floats, `true`/`false`, `"strings"`, `:symbols`.
+//! Matchers: any value (exact), `?` (wildcard), `?int`/`?str`/… (typed),
+//! `lo..hi` (inclusive range), `^prefix` and `~substring` (string match).
+
+use std::fmt;
+
+use paso_types::{FieldMatcher, SearchCriterion, Template, Value, ValueType};
+
+/// A parsed shell command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Insert a tuple at a machine.
+    Insert {
+        /// Target machine.
+        node: u32,
+        /// Tuple fields.
+        fields: Vec<Value>,
+    },
+    /// Non-blocking read by template.
+    Read {
+        /// Issuing machine.
+        node: u32,
+        /// The criterion.
+        sc: SearchCriterion,
+    },
+    /// `read&del` by template; `blocking` for `take!`.
+    Take {
+        /// Issuing machine.
+        node: u32,
+        /// The criterion.
+        sc: SearchCriterion,
+        /// Blocking semantics?
+        blocking: bool,
+    },
+    /// Crash a machine.
+    Crash(
+        /// The machine.
+        u32,
+    ),
+    /// Recover a machine.
+    Recover(
+        /// The machine.
+        u32,
+    ),
+    /// Print cluster statistics.
+    Stats,
+    /// Print the help text.
+    Help,
+    /// Exit the shell.
+    Quit,
+}
+
+/// A parse error with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError(msg.into()))
+}
+
+/// Splits a line into tokens, honoring double-quoted strings.
+fn tokenize(line: &str) -> Result<Vec<String>, ParseError> {
+    let mut tokens = Vec::new();
+    let mut chars = line.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        if c.is_whitespace() {
+            chars.next();
+        } else if c == '"' {
+            chars.next();
+            let mut s = String::from("\"");
+            let mut closed = false;
+            for c in chars.by_ref() {
+                if c == '"' {
+                    closed = true;
+                    break;
+                }
+                s.push(c);
+            }
+            if !closed {
+                return err("unterminated string");
+            }
+            s.push('"');
+            tokens.push(s);
+        } else {
+            let mut s = String::new();
+            while let Some(&c) = chars.peek() {
+                if c.is_whitespace() {
+                    break;
+                }
+                s.push(c);
+                chars.next();
+            }
+            tokens.push(s);
+        }
+    }
+    Ok(tokens)
+}
+
+/// Parses a value token.
+pub fn parse_value(tok: &str) -> Result<Value, ParseError> {
+    if let Some(body) = tok.strip_prefix('"') {
+        return Ok(Value::from(body.trim_end_matches('"')));
+    }
+    if let Some(sym) = tok.strip_prefix(':') {
+        if sym.is_empty() {
+            return err("empty symbol");
+        }
+        return Ok(Value::symbol(sym));
+    }
+    match tok {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    if let Ok(i) = tok.parse::<i64>() {
+        return Ok(Value::Int(i));
+    }
+    if let Ok(x) = tok.parse::<f64>() {
+        return Ok(Value::Float(x));
+    }
+    err(format!(
+        "cannot parse value {tok:?} (quote strings, prefix symbols with ':')"
+    ))
+}
+
+/// Parses a matcher token (superset of value syntax).
+pub fn parse_matcher(tok: &str) -> Result<FieldMatcher, ParseError> {
+    if tok == "?" {
+        return Ok(FieldMatcher::Any);
+    }
+    if let Some(ty) = tok.strip_prefix('?') {
+        let t = match ty {
+            "int" => ValueType::Int,
+            "float" => ValueType::Float,
+            "bool" => ValueType::Bool,
+            "str" => ValueType::Str,
+            "sym" | "symbol" => ValueType::Symbol,
+            "bytes" => ValueType::Bytes,
+            "tuple" => ValueType::Tuple,
+            other => return err(format!("unknown type wildcard ?{other}")),
+        };
+        return Ok(FieldMatcher::AnyOf(t));
+    }
+    if let Some(p) = tok.strip_prefix('^') {
+        return Ok(FieldMatcher::Prefix(p.to_string()));
+    }
+    if let Some(p) = tok.strip_prefix('~') {
+        return Ok(FieldMatcher::Contains(p.to_string()));
+    }
+    if let Some((lo, hi)) = tok.split_once("..") {
+        if !lo.is_empty() && !hi.is_empty() {
+            if let (Ok(lo), Ok(hi)) = (lo.parse::<i64>(), hi.parse::<i64>()) {
+                if lo > hi {
+                    return err(format!("empty range {tok}"));
+                }
+                return Ok(FieldMatcher::between(lo, hi));
+            }
+        }
+        return err(format!("bad range {tok:?} (use lo..hi with integers)"));
+    }
+    Ok(FieldMatcher::Exact(parse_value(tok)?))
+}
+
+fn parse_node(tok: Option<&String>, n: u32) -> Result<u32, ParseError> {
+    let tok = tok.ok_or_else(|| ParseError("missing machine number".into()))?;
+    let node: u32 = tok
+        .parse()
+        .map_err(|_| ParseError(format!("bad machine number {tok:?}")))?;
+    if node >= n {
+        return err(format!("machine {node} out of range (n = {n})"));
+    }
+    Ok(node)
+}
+
+/// Parses one shell line against an `n`-machine cluster. Returns `None`
+/// for blank lines and comments.
+pub fn parse_command(line: &str, n: u32) -> Result<Option<Command>, ParseError> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let tokens = tokenize(line)?;
+    let cmd = tokens[0].as_str();
+    let parse_sc = |from: usize| -> Result<SearchCriterion, ParseError> {
+        if tokens.len() <= from {
+            return err("template needs at least one field");
+        }
+        let ms: Result<Vec<FieldMatcher>, ParseError> =
+            tokens[from..].iter().map(|t| parse_matcher(t)).collect();
+        Ok(SearchCriterion::from(Template::new(ms?)))
+    };
+    let out = match cmd {
+        "insert" | "out" => {
+            let node = parse_node(tokens.get(1), n)?;
+            if tokens.len() <= 2 {
+                return err("insert needs at least one field");
+            }
+            let fields: Result<Vec<Value>, ParseError> =
+                tokens[2..].iter().map(|t| parse_value(t)).collect();
+            Command::Insert {
+                node,
+                fields: fields?,
+            }
+        }
+        "read" | "rd" => {
+            let node = parse_node(tokens.get(1), n)?;
+            Command::Read {
+                node,
+                sc: parse_sc(2)?,
+            }
+        }
+        "take" | "in" => {
+            let node = parse_node(tokens.get(1), n)?;
+            Command::Take {
+                node,
+                sc: parse_sc(2)?,
+                blocking: false,
+            }
+        }
+        "take!" | "in!" => {
+            let node = parse_node(tokens.get(1), n)?;
+            Command::Take {
+                node,
+                sc: parse_sc(2)?,
+                blocking: true,
+            }
+        }
+        "crash" => Command::Crash(parse_node(tokens.get(1), n)?),
+        "recover" => Command::Recover(parse_node(tokens.get(1), n)?),
+        "stats" => Command::Stats,
+        "help" | "?" => Command::Help,
+        "quit" | "exit" | "q" => Command::Quit,
+        other => return err(format!("unknown command {other:?} (try 'help')")),
+    };
+    Ok(Some(out))
+}
+
+/// The help text printed by `help`.
+pub const HELP: &str = "\
+commands:
+  insert <m> <v>...        insert a tuple at machine m   (alias: out)
+  read   <m> <t>...        read by template               (alias: rd)
+  take   <m> <t>...        read&del by template           (alias: in)
+  take!  <m> <t>...        blocking read&del              (alias: in!)
+  crash <m> | recover <m>  fault injection
+  stats | help | quit
+values:   42  3.14  true  \"text\"  :symbol
+matchers: ?  ?int ?str …  lo..hi  ^prefix  ~substring  or any value";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_values() {
+        assert_eq!(parse_value("42").unwrap(), Value::Int(42));
+        assert_eq!(parse_value("-7").unwrap(), Value::Int(-7));
+        assert_eq!(parse_value("2.5").unwrap(), Value::Float(2.5));
+        assert_eq!(parse_value("true").unwrap(), Value::Bool(true));
+        assert_eq!(
+            parse_value("\"hi there\"").unwrap(),
+            Value::from("hi there")
+        );
+        assert_eq!(parse_value(":task").unwrap(), Value::symbol("task"));
+        assert!(parse_value(":").is_err());
+        assert!(parse_value("bare-word").is_err());
+    }
+
+    #[test]
+    fn parses_matchers() {
+        assert_eq!(parse_matcher("?").unwrap(), FieldMatcher::Any);
+        assert_eq!(
+            parse_matcher("?int").unwrap(),
+            FieldMatcher::AnyOf(ValueType::Int)
+        );
+        assert_eq!(parse_matcher("3..9").unwrap(), FieldMatcher::between(3, 9));
+        assert_eq!(
+            parse_matcher("^ab").unwrap(),
+            FieldMatcher::Prefix("ab".into())
+        );
+        assert_eq!(
+            parse_matcher("~xy").unwrap(),
+            FieldMatcher::Contains("xy".into())
+        );
+        assert_eq!(
+            parse_matcher(":t").unwrap(),
+            FieldMatcher::Exact(Value::symbol("t"))
+        );
+        assert!(parse_matcher("9..3").is_err());
+        assert!(parse_matcher("?nope").is_err());
+    }
+
+    #[test]
+    fn parses_insert_command() {
+        let cmd = parse_command("insert 0 :task 42 \"x y\"", 4)
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Insert {
+                node: 0,
+                fields: vec![Value::symbol("task"), Value::Int(42), Value::from("x y")],
+            }
+        );
+    }
+
+    #[test]
+    fn parses_read_take_with_templates() {
+        let cmd = parse_command("read 2 :task ? ?", 4).unwrap().unwrap();
+        match cmd {
+            Command::Read { node: 2, sc } => assert_eq!(sc.arity(), 3),
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse_command("take! 1 :task 0..9", 4).unwrap().unwrap();
+        match cmd {
+            Command::Take {
+                node: 1,
+                blocking: true,
+                ..
+            } => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn linda_style_aliases() {
+        assert!(matches!(
+            parse_command("out 0 :x 1", 2).unwrap().unwrap(),
+            Command::Insert { .. }
+        ));
+        assert!(matches!(
+            parse_command("in 1 :x ?", 2).unwrap().unwrap(),
+            Command::Take {
+                blocking: false,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse_command("in! 1 :x ?", 2).unwrap().unwrap(),
+            Command::Take { blocking: true, .. }
+        ));
+    }
+
+    #[test]
+    fn control_commands() {
+        assert_eq!(
+            parse_command("crash 3", 4).unwrap(),
+            Some(Command::Crash(3))
+        );
+        assert_eq!(
+            parse_command("recover 3", 4).unwrap(),
+            Some(Command::Recover(3))
+        );
+        assert_eq!(parse_command("stats", 4).unwrap(), Some(Command::Stats));
+        assert_eq!(parse_command("quit", 4).unwrap(), Some(Command::Quit));
+        assert_eq!(parse_command("help", 4).unwrap(), Some(Command::Help));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(
+            parse_command("insert 9 :x 1", 4).is_err(),
+            "machine out of range"
+        );
+        assert!(parse_command("insert 0", 4).is_err(), "no fields");
+        assert!(parse_command("read 0", 4).is_err(), "no template");
+        assert!(parse_command("frobnicate", 4).is_err());
+        assert!(parse_command("insert 0 \"unterminated", 4).is_err());
+    }
+
+    #[test]
+    fn blank_lines_and_comments_skip() {
+        assert_eq!(parse_command("", 4).unwrap(), None);
+        assert_eq!(parse_command("   # a comment", 4).unwrap(), None);
+    }
+}

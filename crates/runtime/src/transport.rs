@@ -1,0 +1,353 @@
+//! Transports for the live cluster.
+//!
+//! The runtime runs one OS thread per machine; threads exchange
+//! length-delimited serde frames either over in-process crossbeam channels
+//! ([`ChannelTransport`]) or over real localhost TCP sockets
+//! ([`TcpTransport`]) — the "local multi-process evaluation" substitute
+//! for the paper's Ethernet LAN. Both present the same [`Mailbox`] /
+//! [`Postman`] interface to the node loop.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use paso_simnet::NodeId;
+use paso_vsync::NetMsg;
+
+/// An envelope routed between nodes (or from the cluster controller).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Envelope {
+    /// Network traffic from a peer node.
+    Net {
+        /// Sender.
+        from: NodeId,
+        /// Payload.
+        msg: NetMsg,
+    },
+    /// Controller command: crash this node (erase state).
+    Crash,
+    /// Controller command: recover this node (fresh state, rejoin).
+    Recover,
+    /// Membership-oracle notification.
+    PeerCrashed(
+        /// The crashed peer.
+        NodeId,
+    ),
+    /// Membership-oracle notification.
+    PeerRecovered(
+        /// The recovered peer.
+        NodeId,
+    ),
+    /// Controller command: exit the node thread.
+    Shutdown,
+}
+
+/// Receiving side owned by one node thread.
+pub trait Mailbox: Send {
+    /// Blocks up to `timeout` for the next envelope.
+    fn recv_timeout(&self, timeout: Duration) -> Option<Envelope>;
+}
+
+/// Sending side, cloneable, shared by all node threads and the controller.
+pub trait Postman: Send + Sync {
+    /// Delivers an envelope to `to`'s mailbox. Delivery to a live node is
+    /// reliable and per-sender FIFO; errors are swallowed (a crashed node
+    /// drops traffic, exactly as the simulator's bus does).
+    fn send(&self, to: NodeId, envelope: Envelope);
+
+    /// Bytes-on-the-wire estimate for stats.
+    fn bytes_sent(&self) -> u64;
+}
+
+/// In-process channel transport.
+#[derive(Debug)]
+pub struct ChannelTransport {
+    senders: Vec<Sender<Envelope>>,
+    bytes: Arc<std::sync::atomic::AtomicU64>,
+}
+
+/// Mailbox for [`ChannelTransport`].
+#[derive(Debug)]
+pub struct ChannelMailbox {
+    rx: Receiver<Envelope>,
+}
+
+impl ChannelTransport {
+    /// Creates mailboxes for `n` nodes plus the shared postman.
+    pub fn new(n: usize) -> (Arc<Self>, Vec<ChannelMailbox>) {
+        let mut senders = Vec::with_capacity(n);
+        let mut mailboxes = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            mailboxes.push(ChannelMailbox { rx });
+        }
+        (
+            Arc::new(ChannelTransport {
+                senders,
+                bytes: Arc::new(std::sync::atomic::AtomicU64::new(0)),
+            }),
+            mailboxes,
+        )
+    }
+}
+
+impl Mailbox for ChannelMailbox {
+    fn recv_timeout(&self, timeout: Duration) -> Option<Envelope> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+}
+
+impl Postman for ChannelTransport {
+    fn send(&self, to: NodeId, envelope: Envelope) {
+        if let Envelope::Net { .. } = &envelope {
+            // Rough size accounting mirroring the simulator's.
+            let sz = serde_json::to_vec(&envelope).map(|v| v.len()).unwrap_or(0);
+            self.bytes
+                .fetch_add(sz as u64, std::sync::atomic::Ordering::Relaxed);
+        }
+        if let Some(tx) = self.senders.get(to.index()) {
+            let _ = tx.send(envelope);
+        }
+    }
+
+    fn bytes_sent(&self) -> u64 {
+        self.bytes.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+/// Localhost TCP transport: every node listens on `127.0.0.1:base+i`;
+/// senders keep persistent connections. A reader thread per accepted
+/// connection decodes frames into the node's channel, so the node loop is
+/// identical for both transports.
+#[derive(Debug)]
+pub struct TcpTransport {
+    ports: Vec<u16>,
+    conns: Mutex<HashMap<(NodeId, NodeId), TcpStream>>,
+    bytes: Arc<std::sync::atomic::AtomicU64>,
+}
+
+impl TcpTransport {
+    /// Binds `n` listeners on consecutive free ports and returns the
+    /// transport plus the mailboxes. Reader threads are detached and exit
+    /// when their peer closes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if binding a listener fails.
+    pub fn new(n: usize) -> (Arc<Self>, Vec<ChannelMailbox>) {
+        let mut ports = Vec::with_capacity(n);
+        let mut mailboxes = Vec::with_capacity(n);
+        for _ in 0..n {
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind listener");
+            let port = listener.local_addr().expect("local addr").port();
+            ports.push(port);
+            let (tx, rx) = unbounded::<Envelope>();
+            mailboxes.push(ChannelMailbox { rx });
+            std::thread::spawn(move || accept_loop(listener, tx));
+        }
+        (
+            Arc::new(TcpTransport {
+                ports,
+                conns: Mutex::new(HashMap::new()),
+                bytes: Arc::new(std::sync::atomic::AtomicU64::new(0)),
+            }),
+            mailboxes,
+        )
+    }
+
+    fn write_frame(stream: &mut TcpStream, bytes: &[u8]) -> std::io::Result<()> {
+        stream.write_all(&(bytes.len() as u32).to_be_bytes())?;
+        stream.write_all(bytes)?;
+        Ok(())
+    }
+}
+
+fn accept_loop(listener: TcpListener, tx: Sender<Envelope>) {
+    for stream in listener.incoming() {
+        let Ok(stream) = stream else { return };
+        let tx = tx.clone();
+        std::thread::spawn(move || read_loop(stream, tx));
+    }
+}
+
+fn read_loop(mut stream: TcpStream, tx: Sender<Envelope>) {
+    loop {
+        let mut len_buf = [0u8; 4];
+        if stream.read_exact(&mut len_buf).is_err() {
+            return;
+        }
+        let len = u32::from_be_bytes(len_buf) as usize;
+        if len > 64 << 20 {
+            return; // insane frame; drop the connection
+        }
+        let mut buf = vec![0u8; len];
+        if stream.read_exact(&mut buf).is_err() {
+            return;
+        }
+        match serde_json::from_slice::<Envelope>(&buf) {
+            Ok(env) => {
+                if tx.send(env).is_err() {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+impl Postman for TcpTransport {
+    fn send(&self, to: NodeId, envelope: Envelope) {
+        let Some(&port) = self.ports.get(to.index()) else {
+            return;
+        };
+        let from = match &envelope {
+            Envelope::Net { from, .. } => *from,
+            // Controller traffic shares one connection slot per target.
+            _ => NodeId(u32::MAX),
+        };
+        let bytes = match serde_json::to_vec(&envelope) {
+            Ok(b) => b,
+            Err(_) => return,
+        };
+        self.bytes
+            .fetch_add(bytes.len() as u64, std::sync::atomic::Ordering::Relaxed);
+        let key = (from, to);
+        let mut conns = self.conns.lock();
+        // Try the cached connection; reconnect once on failure.
+        for attempt in 0..2 {
+            if let std::collections::hash_map::Entry::Vacant(e) = conns.entry(key) {
+                match TcpStream::connect(("127.0.0.1", port)) {
+                    Ok(s) => {
+                        e.insert(s);
+                    }
+                    Err(_) => return,
+                }
+            }
+            let stream = conns.get_mut(&key).expect("just inserted");
+            match Self::write_frame(stream, &bytes) {
+                Ok(()) => return,
+                Err(_) => {
+                    conns.remove(&key);
+                    if attempt == 1 {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    fn bytes_sent(&self) -> u64 {
+        self.bytes.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(from: u32) -> Envelope {
+        Envelope::Net {
+            from: NodeId(from),
+            msg: NetMsg::App(vec![1, 2, 3]),
+        }
+    }
+
+    #[test]
+    fn channel_transport_routes() {
+        let (postman, mailboxes) = ChannelTransport::new(3);
+        postman.send(NodeId(1), net(0));
+        postman.send(NodeId(2), Envelope::Crash);
+        let got = mailboxes[1]
+            .recv_timeout(Duration::from_millis(100))
+            .unwrap();
+        assert!(matches!(
+            got,
+            Envelope::Net {
+                from: NodeId(0),
+                ..
+            }
+        ));
+        let got = mailboxes[2]
+            .recv_timeout(Duration::from_millis(100))
+            .unwrap();
+        assert!(matches!(got, Envelope::Crash));
+        assert!(mailboxes[0]
+            .recv_timeout(Duration::from_millis(10))
+            .is_none());
+        assert!(postman.bytes_sent() > 0);
+    }
+
+    #[test]
+    fn channel_transport_is_fifo_per_sender() {
+        let (postman, mailboxes) = ChannelTransport::new(2);
+        for i in 0..50u8 {
+            postman.send(
+                NodeId(1),
+                Envelope::Net {
+                    from: NodeId(0),
+                    msg: NetMsg::App(vec![i]),
+                },
+            );
+        }
+        for i in 0..50u8 {
+            let got = mailboxes[1]
+                .recv_timeout(Duration::from_millis(100))
+                .unwrap();
+            match got {
+                Envelope::Net {
+                    msg: NetMsg::App(b),
+                    ..
+                } => assert_eq!(b, vec![i]),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn tcp_transport_round_trip() {
+        let (postman, mailboxes) = TcpTransport::new(2);
+        postman.send(NodeId(1), net(0));
+        let got = mailboxes[1]
+            .recv_timeout(Duration::from_secs(2))
+            .expect("frame must arrive over TCP");
+        assert!(matches!(
+            got,
+            Envelope::Net {
+                from: NodeId(0),
+                msg: NetMsg::App(_)
+            }
+        ));
+        assert!(postman.bytes_sent() > 0);
+    }
+
+    #[test]
+    fn tcp_transport_many_messages_in_order() {
+        let (postman, mailboxes) = TcpTransport::new(2);
+        for i in 0..100u8 {
+            postman.send(
+                NodeId(1),
+                Envelope::Net {
+                    from: NodeId(0),
+                    msg: NetMsg::App(vec![i]),
+                },
+            );
+        }
+        for i in 0..100u8 {
+            let got = mailboxes[1].recv_timeout(Duration::from_secs(2)).unwrap();
+            match got {
+                Envelope::Net {
+                    msg: NetMsg::App(b),
+                    ..
+                } => assert_eq!(b, vec![i]),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+}

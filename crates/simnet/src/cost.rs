@@ -1,0 +1,162 @@
+//! The paper's communication cost model (§3.3).
+//!
+//! `msg-cost(msg) = α + β·|msg|`: a startup cost `α` plus a per-byte cost
+//! `β`. There is no hardware multicast, so
+//!
+//! ```text
+//! msg-cost(gcast(g, msg, resp)) = |g|·(α + β|msg|)   // fan-out
+//!                               + |g|·α              // done-empties to the leader
+//!                               + α + β|resp|        // one response back
+//!                               ≈ |g|·(2α + β(|msg| + |resp|))
+//! ```
+//!
+//! Costs are measured in abstract *cost units*; the simulator equates one
+//! cost unit with one microsecond of bus occupancy, making total message
+//! cost a lower bound on completion time exactly as §5 argues for bus LANs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+
+/// The `(α, β)` parameters of the LAN.
+///
+/// # Examples
+///
+/// ```
+/// use paso_simnet::CostModel;
+///
+/// let m = CostModel::new(100.0, 0.5);
+/// assert_eq!(m.msg_cost(200), 200.0);
+/// // gcast to 4 members, 200-byte message, 40-byte response:
+/// let exact = m.gcast_cost(4, 200, 40);
+/// let approx = m.gcast_cost_approx(4, 200, 40);
+/// assert!((exact - approx).abs() / exact < 0.25);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Per-message startup cost `α`.
+    pub alpha: f64,
+    /// Per-byte cost `β`.
+    pub beta: f64,
+}
+
+impl CostModel {
+    /// Creates a cost model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is negative or non-finite.
+    pub fn new(alpha: f64, beta: f64) -> Self {
+        assert!(alpha.is_finite() && alpha >= 0.0, "alpha must be ≥ 0");
+        assert!(beta.is_finite() && beta >= 0.0, "beta must be ≥ 0");
+        CostModel { alpha, beta }
+    }
+
+    /// A model loosely calibrated to 1990s Ethernet: ~1 ms startup,
+    /// ~1 µs/byte (10 Mbit/s).
+    pub fn ethernet_1994() -> Self {
+        CostModel::new(1000.0, 1.0)
+    }
+
+    /// `msg-cost(msg) = α + β·|msg|`.
+    pub fn msg_cost(&self, msg_bytes: usize) -> f64 {
+        self.alpha + self.beta * msg_bytes as f64
+    }
+
+    /// Exact gcast cost: fan-out + done-empties + one response (§3.3).
+    pub fn gcast_cost(&self, group_size: usize, msg_bytes: usize, resp_bytes: usize) -> f64 {
+        let g = group_size as f64;
+        g * self.msg_cost(msg_bytes) + g * self.alpha + self.msg_cost(resp_bytes)
+    }
+
+    /// The paper's approximation `|g|·(2α + β(|msg| + |resp|))`.
+    pub fn gcast_cost_approx(&self, group_size: usize, msg_bytes: usize, resp_bytes: usize) -> f64 {
+        group_size as f64 * (2.0 * self.alpha + self.beta * (msg_bytes + resp_bytes) as f64)
+    }
+
+    /// Bus occupancy time for one message: one cost unit = 1 µs.
+    pub fn tx_time(&self, msg_bytes: usize) -> SimTime {
+        SimTime::from_micros(self.msg_cost(msg_bytes).ceil() as u64)
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::ethernet_1994()
+    }
+}
+
+/// Anything that can report its wire size (the `|msg|` of the cost model).
+pub trait WireSized {
+    /// Size of the encoded message in bytes.
+    fn wire_size(&self) -> usize;
+}
+
+impl WireSized for Vec<u8> {
+    fn wire_size(&self) -> usize {
+        self.len()
+    }
+}
+
+impl WireSized for () {
+    fn wire_size(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn msg_cost_formula() {
+        let m = CostModel::new(10.0, 2.0);
+        assert_eq!(m.msg_cost(0), 10.0);
+        assert_eq!(m.msg_cost(5), 20.0);
+    }
+
+    #[test]
+    fn gcast_exact_formula() {
+        let m = CostModel::new(10.0, 1.0);
+        // |g|(α+β|msg|) + |g|α + α + β|resp|
+        // = 3·(10+100) + 3·10 + 10 + 20 = 330 + 30 + 30 = 390
+        assert_eq!(m.gcast_cost(3, 100, 20), 390.0);
+    }
+
+    #[test]
+    fn approximation_close_when_alpha_beta_balanced() {
+        let m = CostModel::new(100.0, 1.0);
+        for g in [1usize, 2, 8, 32] {
+            let exact = m.gcast_cost(g, 500, 100);
+            let approx = m.gcast_cost_approx(g, 500, 100);
+            let rel = (exact - approx).abs() / exact;
+            assert!(rel < 0.35, "g={g}: rel error {rel}");
+        }
+    }
+
+    #[test]
+    fn gcast_scales_linearly_in_group() {
+        let m = CostModel::default();
+        let c2 = m.gcast_cost(2, 100, 10);
+        let c4 = m.gcast_cost(4, 100, 10);
+        assert!(c4 > 1.8 * c2 && c4 < 2.2 * c2);
+    }
+
+    #[test]
+    fn tx_time_rounds_up() {
+        let m = CostModel::new(0.5, 0.0);
+        assert_eq!(m.tx_time(0), SimTime::from_micros(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn rejects_negative_alpha() {
+        let _ = CostModel::new(-1.0, 0.0);
+    }
+
+    #[test]
+    fn wire_sized_impls() {
+        assert_eq!(vec![0u8; 7].wire_size(), 7);
+        assert_eq!(().wire_size(), 0);
+    }
+}

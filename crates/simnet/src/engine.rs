@@ -1,0 +1,936 @@
+//! The discrete-event simulation engine.
+//!
+//! Drives a homogeneous ensemble of [`Actor`] nodes over a shared bus LAN
+//! with the §3.3 cost model, crash faults with memory erasure and bounded
+//! re-initialization (§3.1), and a perfect membership oracle (the ISIS
+//! failure-detection layer of §3.2, surfaced as `PeerCrashed` /
+//! `PeerRecovered` events).
+//!
+//! Determinism: all randomness flows from one seeded ChaCha stream, and the
+//! event queue breaks time ties by insertion sequence, so the same
+//! configuration and inputs always produce the same trace.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::actor::{Action, Actor, Context, NodeEvent, NodeId};
+use crate::cost::{CostModel, WireSized};
+use crate::fault::{Fault, FaultScript};
+use crate::stats::Stats;
+use crate::time::SimTime;
+
+/// Engine configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Number of machines in the ensemble.
+    pub n: usize,
+    /// The LAN cost model.
+    pub cost_model: CostModel,
+    /// Seed for all simulation randomness.
+    pub seed: u64,
+    /// Lower bound on the re-initialization phase (§3.1: "bounded above
+    /// and below").
+    pub init_min: SimTime,
+    /// Upper bound on the re-initialization phase.
+    pub init_max: SimTime,
+    /// Record a [`Trace`] of everything that happens.
+    pub record_trace: bool,
+}
+
+impl EngineConfig {
+    /// A small, fast configuration for tests: `n` nodes, cheap messages,
+    /// 1 ms ≤ init ≤ 2 ms.
+    pub fn for_tests(n: usize) -> Self {
+        EngineConfig {
+            n,
+            cost_model: CostModel::new(10.0, 0.1),
+            seed: 0,
+            init_min: SimTime::from_millis(1),
+            init_max: SimTime::from_millis(2),
+            record_trace: false,
+        }
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            n: 4,
+            cost_model: CostModel::default(),
+            seed: 0,
+            // "Both upper and lower bounds ... are expected to be several
+            // minutes" — scaled down so simulations stay fast while keeping
+            // init ≫ message latency, which is the property that matters.
+            init_min: SimTime::from_secs(2),
+            init_max: SimTime::from_secs(5),
+            record_trace: false,
+        }
+    }
+}
+
+/// Machine status (§3.1: a machine is "considered faulty while in its
+/// initialization phase").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MachineStatus {
+    /// Operational and past initialization.
+    Up,
+    /// Crashed; memory erased.
+    Crashed,
+    /// Repaired, running its initialization phase.
+    Initializing,
+}
+
+impl MachineStatus {
+    /// True iff the machine counts as non-faulty.
+    pub fn is_up(self) -> bool {
+        self == MachineStatus::Up
+    }
+}
+
+/// One recorded trace entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceEntry {
+    /// A message was delivered.
+    Deliver {
+        /// Delivery time.
+        time: SimTime,
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+        /// Wire size in bytes.
+        bytes: usize,
+    },
+    /// A message was dropped (destination down).
+    Drop {
+        /// Drop time.
+        time: SimTime,
+        /// Intended receiver.
+        to: NodeId,
+    },
+    /// A machine crashed.
+    Crash {
+        /// Crash time.
+        time: SimTime,
+        /// The machine.
+        node: NodeId,
+    },
+    /// A machine completed recovery.
+    Recover {
+        /// Completion time.
+        time: SimTime,
+        /// The machine.
+        node: NodeId,
+    },
+}
+
+/// The full event trace of a run (when enabled in [`EngineConfig`]).
+pub type Trace = Vec<TraceEntry>;
+
+enum Event<M> {
+    Deliver {
+        to: NodeId,
+        from: NodeId,
+        msg: M,
+        bytes: usize,
+        via_bus: bool,
+    },
+    Timer {
+        node: NodeId,
+        tag: u64,
+        epoch: u64,
+    },
+    Crash {
+        node: NodeId,
+    },
+    Repair {
+        node: NodeId,
+    },
+    InitDone {
+        node: NodeId,
+        epoch: u64,
+    },
+}
+
+struct Queued<M> {
+    time: SimTime,
+    seq: u64,
+    event: Event<M>,
+}
+
+impl<M> PartialEq for Queued<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<M> Eq for Queued<M> {}
+
+impl<M> PartialOrd for Queued<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for Queued<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+struct Slot<A> {
+    actor: A,
+    status: MachineStatus,
+    /// Incarnation counter: bumped on crash so stale timers die with the
+    /// incarnation that set them.
+    epoch: u64,
+}
+
+/// The discrete-event engine driving `n` copies of an [`Actor`].
+///
+/// # Examples
+///
+/// See the crate-level documentation for a complete ping-pong example.
+pub struct Engine<A: Actor> {
+    config: EngineConfig,
+    nodes: Vec<Slot<A>>,
+    factory: Box<dyn Fn(NodeId) -> A>,
+    queue: BinaryHeap<Reverse<Queued<A::Msg>>>,
+    seq: u64,
+    now: SimTime,
+    bus_free_at: SimTime,
+    rng: ChaCha8Rng,
+    stats: Stats,
+    outputs: Vec<(SimTime, NodeId, A::Output)>,
+    trace: Trace,
+    concurrent_failures: usize,
+}
+
+impl<A: Actor> std::fmt::Debug for Engine<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("n", &self.config.n)
+            .field("now", &self.now)
+            .field("pending_events", &self.queue.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<A: Actor> Engine<A> {
+    /// Creates an engine; `factory` builds the (fresh) actor for a machine,
+    /// both at startup and after each crash (modeling full memory erasure).
+    pub fn new(config: EngineConfig, factory: impl Fn(NodeId) -> A + 'static) -> Self {
+        assert!(config.n > 0, "need at least one machine");
+        assert!(config.init_min <= config.init_max);
+        let nodes = (0..config.n)
+            .map(|i| Slot {
+                actor: factory(NodeId(i as u32)),
+                status: MachineStatus::Up,
+                epoch: 0,
+            })
+            .collect();
+        let rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let stats = Stats::new(config.n);
+        let mut engine = Engine {
+            nodes,
+            factory: Box::new(factory),
+            queue: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            bus_free_at: SimTime::ZERO,
+            rng,
+            stats,
+            outputs: Vec::new(),
+            trace: Vec::new(),
+            concurrent_failures: 0,
+            config,
+        };
+        // Start events for every node at t=0.
+        for i in 0..engine.config.n {
+            engine.dispatch_now(NodeId(i as u32), NodeEvent::Start);
+        }
+        engine
+    }
+
+    /// Number of machines.
+    pub fn n(&self) -> usize {
+        self.config.n
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Status of a machine.
+    pub fn status(&self, node: NodeId) -> MachineStatus {
+        self.nodes[node.index()].status
+    }
+
+    /// Run statistics so far.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// The recorded trace (empty unless `record_trace` was set).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Immutable access to a node's actor (for assertions in tests and for
+    /// the harness to inspect server state).
+    pub fn actor(&self, node: NodeId) -> &A {
+        &self.nodes[node.index()].actor
+    }
+
+    /// Drains the outputs emitted since the last call.
+    pub fn take_outputs(&mut self) -> Vec<(SimTime, NodeId, A::Output)> {
+        std::mem::take(&mut self.outputs)
+    }
+
+    /// Schedules delivery of `msg` to `node` at absolute time `at` without
+    /// bus cost — the injection point for client requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the simulated past.
+    pub fn inject(&mut self, at: SimTime, node: NodeId, msg: A::Msg) {
+        assert!(at >= self.now, "cannot inject into the past");
+        let bytes = msg.wire_size();
+        self.push(
+            at,
+            Event::Deliver {
+                to: node,
+                from: node,
+                msg,
+                bytes,
+                via_bus: false,
+            },
+        );
+    }
+
+    /// Applies a fault script (crashes and repairs become engine events).
+    pub fn apply_faults(&mut self, script: &FaultScript) {
+        for (t, ev) in script.events() {
+            match ev {
+                Fault::Crash(m) => self.push(*t, Event::Crash { node: *m }),
+                Fault::Repair(m) => self.push(*t, Event::Repair { node: *m }),
+            }
+        }
+    }
+
+    /// Crashes a machine right now (test convenience).
+    pub fn crash_now(&mut self, node: NodeId) {
+        self.push(self.now, Event::Crash { node });
+    }
+
+    /// Repairs a machine right now; it completes initialization after the
+    /// configured bounded delay (test convenience).
+    pub fn repair_now(&mut self, node: NodeId) {
+        self.push(self.now, Event::Repair { node });
+    }
+
+    fn push(&mut self, time: SimTime, event: Event<A::Msg>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Queued { time, seq, event }));
+    }
+
+    /// Runs the actor's handler for one event and applies its actions.
+    fn dispatch_now(&mut self, node: NodeId, event: NodeEvent<A::Msg>) {
+        let slot = &mut self.nodes[node.index()];
+        if !slot.status.is_up() {
+            return;
+        }
+        let mut ctx = Context {
+            node,
+            n: self.config.n,
+            now: self.now,
+            rng: &mut self.rng,
+            actions: Vec::new(),
+        };
+        slot.actor.handle(&mut ctx, event);
+        let actions = ctx.actions;
+        let epoch = slot.epoch;
+        for action in actions {
+            match action {
+                Action::Send { to, msg } => {
+                    let bytes = msg.wire_size();
+                    let cost = self.config.cost_model.msg_cost(bytes);
+                    let tx = self.config.cost_model.tx_time(bytes);
+                    let start = self.now.max(self.bus_free_at);
+                    let deliver_at = start + tx;
+                    self.bus_free_at = deliver_at;
+                    self.stats.bus_busy_micros += tx.as_micros();
+                    self.stats.msgs_sent += 1;
+                    self.stats.total_msg_cost += cost;
+                    self.stats.total_bytes += bytes as u64;
+                    self.push(
+                        deliver_at,
+                        Event::Deliver {
+                            to,
+                            from: node,
+                            msg,
+                            bytes,
+                            via_bus: true,
+                        },
+                    );
+                }
+                Action::SendLocal { msg } => {
+                    let bytes = msg.wire_size();
+                    self.push(
+                        self.now,
+                        Event::Deliver {
+                            to: node,
+                            from: node,
+                            msg,
+                            bytes,
+                            via_bus: false,
+                        },
+                    );
+                }
+                Action::SetTimer { delay, tag } => {
+                    self.push(self.now + delay, Event::Timer { node, tag, epoch });
+                }
+                Action::Emit(out) => self.outputs.push((self.now, node, out)),
+                Action::Work(units) => {
+                    self.stats.work[node.index()] += units;
+                }
+                Action::Count(name, delta) => self.stats.bump(name, delta),
+            }
+        }
+    }
+
+    /// Notifies every up node (other than `about`) of a membership change.
+    fn notify_peers(&mut self, about: NodeId, crashed: bool) {
+        for i in 0..self.config.n {
+            let peer = NodeId(i as u32);
+            if peer != about && self.nodes[i].status.is_up() {
+                let ev = if crashed {
+                    NodeEvent::PeerCrashed(about)
+                } else {
+                    NodeEvent::PeerRecovered(about)
+                };
+                self.dispatch_now(peer, ev);
+            }
+        }
+    }
+
+    /// Processes one event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Reverse(q) = match self.queue.pop() {
+            Some(q) => q,
+            None => return false,
+        };
+        debug_assert!(q.time >= self.now);
+        self.now = q.time;
+        match q.event {
+            Event::Deliver {
+                to,
+                from,
+                msg,
+                bytes,
+                via_bus,
+            } => {
+                let up = self.nodes[to.index()].status.is_up();
+                if up {
+                    if self.config.record_trace {
+                        self.trace.push(TraceEntry::Deliver {
+                            time: self.now,
+                            from,
+                            to,
+                            bytes,
+                        });
+                    }
+                    self.dispatch_now(to, NodeEvent::Message { from, msg });
+                } else {
+                    if via_bus {
+                        self.stats.dropped_msgs += 1;
+                    }
+                    if self.config.record_trace {
+                        self.trace.push(TraceEntry::Drop { time: self.now, to });
+                    }
+                }
+            }
+            Event::Timer { node, tag, epoch } => {
+                let slot = &self.nodes[node.index()];
+                if slot.status.is_up() && slot.epoch == epoch {
+                    self.dispatch_now(node, NodeEvent::Timer { tag });
+                }
+            }
+            Event::Crash { node } => {
+                let slot = &mut self.nodes[node.index()];
+                if slot.status == MachineStatus::Crashed {
+                    return true; // already down; ignore
+                }
+                slot.status = MachineStatus::Crashed;
+                slot.epoch += 1;
+                // Memory erasure: replace the actor with a blank one now so
+                // no state survives even if inspected.
+                slot.actor = (self.factory)(node);
+                self.concurrent_failures += 1;
+                self.stats.crashes += 1;
+                self.stats.max_concurrent_failures = self
+                    .stats
+                    .max_concurrent_failures
+                    .max(self.concurrent_failures);
+                if self.config.record_trace {
+                    self.trace.push(TraceEntry::Crash {
+                        time: self.now,
+                        node,
+                    });
+                }
+                self.notify_peers(node, true);
+            }
+            Event::Repair { node } => {
+                let slot = &mut self.nodes[node.index()];
+                if slot.status != MachineStatus::Crashed {
+                    return true; // spurious repair; ignore
+                }
+                slot.status = MachineStatus::Initializing;
+                let epoch = slot.epoch;
+                let lo = self.config.init_min.as_micros();
+                let hi = self.config.init_max.as_micros().max(lo + 1);
+                let d = SimTime::from_micros(self.rng.gen_range(lo..hi));
+                self.push(self.now + d, Event::InitDone { node, epoch });
+            }
+            Event::InitDone { node, epoch } => {
+                let slot = &mut self.nodes[node.index()];
+                if slot.status != MachineStatus::Initializing || slot.epoch != epoch {
+                    return true;
+                }
+                slot.status = MachineStatus::Up;
+                self.concurrent_failures -= 1;
+                self.stats.recoveries += 1;
+                if self.config.record_trace {
+                    self.trace.push(TraceEntry::Recover {
+                        time: self.now,
+                        node,
+                    });
+                }
+                self.dispatch_now(node, NodeEvent::Recovered);
+                // Brief the fresh incarnation on peers that are currently
+                // down, so its view of the ensemble matches the oracle's.
+                let down: Vec<NodeId> = (0..self.config.n)
+                    .map(|i| NodeId(i as u32))
+                    .filter(|p| *p != node && !self.nodes[p.index()].status.is_up())
+                    .collect();
+                for p in down {
+                    self.dispatch_now(node, NodeEvent::PeerCrashed(p));
+                }
+                self.notify_peers(node, false);
+            }
+        }
+        true
+    }
+
+    /// Runs until the queue is empty or simulated time would exceed
+    /// `until`. Returns the time of the last processed event.
+    pub fn run_until(&mut self, until: SimTime) -> SimTime {
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.time > until {
+                break;
+            }
+            self.step();
+        }
+        self.now = self.now.max(until.min(self.now + SimTime::ZERO));
+        self.now
+    }
+
+    /// Runs to quiescence (empty queue), with a safety cap on event count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `max_events` events are processed — which almost
+    /// always means an actor is rescheduling timers forever.
+    pub fn run_to_quiescence(&mut self, max_events: u64) -> SimTime {
+        let mut processed = 0u64;
+        while self.step() {
+            processed += 1;
+            assert!(
+                processed <= max_events,
+                "no quiescence after {max_events} events — livelock?"
+            );
+        }
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy actor: forwards a counter around the ring `k` times.
+    struct Ring {
+        id: NodeId,
+        received: Vec<u32>,
+    }
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Token(u32);
+
+    impl WireSized for Token {
+        fn wire_size(&self) -> usize {
+            64
+        }
+    }
+
+    impl Actor for Ring {
+        type Msg = Token;
+        type Output = u32;
+
+        fn handle(&mut self, ctx: &mut Context<'_, Token, u32>, event: NodeEvent<Token>) {
+            if let NodeEvent::Message { msg, .. } = event {
+                self.received.push(msg.0);
+                ctx.emit(msg.0);
+                ctx.charge_work(1);
+                if msg.0 > 0 {
+                    let next = NodeId((self.id.0 + 1) % ctx.n() as u32);
+                    ctx.send(next, Token(msg.0 - 1));
+                }
+            }
+        }
+    }
+
+    fn ring_engine(n: usize) -> Engine<Ring> {
+        Engine::new(EngineConfig::for_tests(n), |id| Ring {
+            id,
+            received: Vec::new(),
+        })
+    }
+
+    #[test]
+    fn token_travels_the_ring() {
+        let mut e = ring_engine(4);
+        e.inject(SimTime::ZERO, NodeId(0), Token(7));
+        e.run_to_quiescence(1000);
+        let outputs = e.take_outputs();
+        assert_eq!(outputs.len(), 8); // 7..=0
+        assert_eq!(outputs[0].2, 7);
+        assert_eq!(outputs.last().unwrap().2, 0);
+        // Each hop after the injection used the bus.
+        assert_eq!(e.stats().msgs_sent, 7);
+        assert_eq!(e.stats().total_bytes, 7 * 64);
+        assert_eq!(e.stats().total_work(), 8);
+    }
+
+    #[test]
+    fn bus_serializes_transmissions() {
+        // Two simultaneous sends: the second is delayed behind the first.
+        struct Burst;
+        #[derive(Debug, Clone)]
+        struct B;
+        impl WireSized for B {
+            fn wire_size(&self) -> usize {
+                100
+            }
+        }
+        impl Actor for Burst {
+            type Msg = B;
+            type Output = SimTime;
+            fn handle(&mut self, ctx: &mut Context<'_, B, SimTime>, event: NodeEvent<B>) {
+                match event {
+                    NodeEvent::Start if ctx.id() == NodeId(0) => {
+                        ctx.send(NodeId(1), B);
+                        ctx.send(NodeId(1), B);
+                    }
+                    NodeEvent::Message { .. } => {
+                        let t = ctx.now();
+                        ctx.emit(t);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let mut e = Engine::new(EngineConfig::for_tests(2), |_| Burst);
+        e.run_to_quiescence(100);
+        let outs = e.take_outputs();
+        assert_eq!(outs.len(), 2);
+        let tx = CostModel::new(10.0, 0.1).tx_time(100);
+        assert_eq!(outs[0].0, tx);
+        assert_eq!(outs[1].0, tx + tx, "second message waits for the bus");
+    }
+
+    #[test]
+    fn crash_erases_state_and_notifies_peers() {
+        struct Watch {
+            saw_crash: Vec<NodeId>,
+            counter: u32,
+        }
+        #[derive(Debug, Clone)]
+        struct Nop;
+        impl WireSized for Nop {
+            fn wire_size(&self) -> usize {
+                1
+            }
+        }
+        impl Actor for Watch {
+            type Msg = Nop;
+            type Output = (Vec<NodeId>, u32);
+            fn handle(&mut self, ctx: &mut Context<'_, Nop, Self::Output>, event: NodeEvent<Nop>) {
+                match event {
+                    NodeEvent::Message { .. } => self.counter += 1,
+                    NodeEvent::PeerCrashed(p) => {
+                        self.saw_crash.push(p);
+                        let report = (self.saw_crash.clone(), self.counter);
+                        ctx.emit(report);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let mut e = Engine::new(EngineConfig::for_tests(3), |_| Watch {
+            saw_crash: Vec::new(),
+            counter: 0,
+        });
+        e.inject(SimTime::ZERO, NodeId(1), Nop);
+        e.run_to_quiescence(100);
+        e.crash_now(NodeId(1));
+        e.run_to_quiescence(100);
+        // Peers 0 and 2 observed the crash.
+        let outs = e.take_outputs();
+        assert_eq!(outs.len(), 2);
+        assert_eq!(e.status(NodeId(1)), MachineStatus::Crashed);
+        // Node 1's counter was erased with its actor.
+        assert_eq!(e.actor(NodeId(1)).counter, 0);
+        assert_eq!(e.stats().crashes, 1);
+        assert_eq!(e.stats().max_concurrent_failures, 1);
+    }
+
+    #[test]
+    fn messages_to_down_nodes_are_dropped_but_paid_for() {
+        let mut e = ring_engine(3);
+        e.crash_now(NodeId(1));
+        e.run_to_quiescence(10);
+        e.inject(SimTime::from_millis(1), NodeId(0), Token(2));
+        e.run_to_quiescence(100);
+        // Token: 0 →(bus) 1 (dropped). One send, one drop.
+        assert_eq!(e.stats().msgs_sent, 1);
+        assert_eq!(e.stats().dropped_msgs, 1);
+    }
+
+    #[test]
+    fn recovery_goes_through_initializing() {
+        let mut e = ring_engine(2);
+        e.crash_now(NodeId(0));
+        e.run_to_quiescence(10);
+        e.repair_now(NodeId(0));
+        assert!(e.step()); // process the repair
+        assert_eq!(e.status(NodeId(0)), MachineStatus::Initializing);
+        e.run_to_quiescence(10);
+        assert_eq!(e.status(NodeId(0)), MachineStatus::Up);
+        assert_eq!(e.stats().recoveries, 1);
+    }
+
+    #[test]
+    fn timers_die_with_crash() {
+        struct T {
+            fired: bool,
+        }
+        #[derive(Debug, Clone)]
+        struct Nop;
+        impl WireSized for Nop {
+            fn wire_size(&self) -> usize {
+                1
+            }
+        }
+        impl Actor for T {
+            type Msg = Nop;
+            type Output = ();
+            fn handle(&mut self, ctx: &mut Context<'_, Nop, ()>, event: NodeEvent<Nop>) {
+                match event {
+                    NodeEvent::Start => ctx.set_timer(SimTime::from_millis(10), 1),
+                    NodeEvent::Timer { .. } => {
+                        self.fired = true;
+                        ctx.emit(());
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let mut e = Engine::new(EngineConfig::for_tests(1), |_| T { fired: false });
+        e.crash_now(NodeId(0));
+        e.run_to_quiescence(100);
+        assert!(
+            e.take_outputs().is_empty(),
+            "timer from dead incarnation must not fire"
+        );
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let run = |seed| {
+            let mut cfg = EngineConfig::for_tests(4);
+            cfg.seed = seed;
+            cfg.record_trace = true;
+            let mut e = Engine::new(cfg, |id| Ring {
+                id,
+                received: Vec::new(),
+            });
+            e.inject(SimTime::ZERO, NodeId(0), Token(20));
+            e.crash_now(NodeId(2));
+            e.repair_now(NodeId(2));
+            e.run_to_quiescence(10_000);
+            (e.trace().clone(), e.stats().total_msg_cost)
+        };
+        assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon() {
+        let mut e = ring_engine(2);
+        e.inject(SimTime::from_secs(10), NodeId(0), Token(1));
+        let t = e.run_until(SimTime::from_secs(1));
+        assert!(t <= SimTime::from_secs(1));
+        // The injected event is still pending.
+        e.run_to_quiescence(100);
+        assert_eq!(e.take_outputs().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "livelock")]
+    fn quiescence_cap_detects_livelock() {
+        struct Loop;
+        #[derive(Debug, Clone)]
+        struct Nop;
+        impl WireSized for Nop {
+            fn wire_size(&self) -> usize {
+                1
+            }
+        }
+        impl Actor for Loop {
+            type Msg = Nop;
+            type Output = ();
+            fn handle(&mut self, ctx: &mut Context<'_, Nop, ()>, event: NodeEvent<Nop>) {
+                match event {
+                    NodeEvent::Start | NodeEvent::Timer { .. } => {
+                        ctx.set_timer(SimTime::from_micros(1), 0)
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let mut e = Engine::new(EngineConfig::for_tests(1), |_| Loop);
+        e.run_to_quiescence(100);
+    }
+
+    #[test]
+    fn fault_script_application() {
+        let script = FaultScript::scripted(vec![
+            (SimTime::from_millis(5), Fault::Crash(NodeId(0))),
+            (SimTime::from_millis(50), Fault::Repair(NodeId(0))),
+        ]);
+        let mut e = ring_engine(2);
+        e.apply_faults(&script);
+        e.run_to_quiescence(100);
+        assert_eq!(e.stats().crashes, 1);
+        assert_eq!(e.stats().recoveries, 1);
+        assert_eq!(e.status(NodeId(0)), MachineStatus::Up);
+    }
+}
+
+#[cfg(test)]
+mod drive_actor_tests {
+    //! The external-driver API used by the live runtime.
+
+    use super::*;
+    use crate::actor::{drive_actor, Action};
+    use rand::SeedableRng;
+
+    struct Echo;
+
+    #[derive(Debug, Clone)]
+    struct Ping(u8);
+
+    impl WireSized for Ping {
+        fn wire_size(&self) -> usize {
+            8
+        }
+    }
+
+    impl Actor for Echo {
+        type Msg = Ping;
+        type Output = u8;
+
+        fn handle(&mut self, ctx: &mut crate::Context<'_, Ping, u8>, ev: NodeEvent<Ping>) {
+            match ev {
+                NodeEvent::Start => ctx.set_timer(SimTime::from_millis(1), 9),
+                NodeEvent::Message { from, msg } => {
+                    ctx.emit(msg.0);
+                    if msg.0 > 0 {
+                        ctx.send(from, Ping(msg.0 - 1));
+                        ctx.send_local(Ping(0));
+                        ctx.charge_work(3);
+                        ctx.count("echo", 1.0);
+                    }
+                }
+                NodeEvent::Timer { tag } => ctx.emit(tag as u8),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn drive_actor_returns_all_actions_in_order() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+        let mut actor = Echo;
+        let actions = drive_actor(
+            &mut actor,
+            NodeId(1),
+            4,
+            SimTime::from_millis(5),
+            &mut rng,
+            NodeEvent::Message {
+                from: NodeId(2),
+                msg: Ping(7),
+            },
+        );
+        assert_eq!(actions.len(), 5);
+        assert!(matches!(actions[0], Action::Emit(7)));
+        assert!(matches!(
+            actions[1],
+            Action::Send {
+                to: NodeId(2),
+                msg: Ping(6)
+            }
+        ));
+        assert!(matches!(actions[2], Action::SendLocal { msg: Ping(0) }));
+        assert!(matches!(actions[3], Action::Work(3)));
+        assert!(matches!(actions[4], Action::Count("echo", _)));
+    }
+
+    #[test]
+    fn drive_actor_timers_surface_as_actions() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+        let mut actor = Echo;
+        let actions = drive_actor(
+            &mut actor,
+            NodeId(0),
+            1,
+            SimTime::ZERO,
+            &mut rng,
+            NodeEvent::Start,
+        );
+        assert_eq!(actions.len(), 1);
+        assert!(
+            matches!(actions[0], Action::SetTimer { delay, tag: 9 } if delay == SimTime::from_millis(1))
+        );
+    }
+
+    #[test]
+    fn bus_busy_accumulates_transmission_time() {
+        let mut e = Engine::new(EngineConfig::for_tests(2), |_| Echo);
+        e.inject(SimTime::ZERO, NodeId(0), Ping(1));
+        e.run_to_quiescence(1000);
+        // One bus send (the echo back to self was local; the reply to the
+        // injector's own node used the bus: from == to == NodeId(0) inject,
+        // reply goes to NodeId(0) itself → via bus).
+        assert!(e.stats().bus_busy_micros > 0);
+        assert!(e.stats().bus_busy_micros <= e.now().as_micros());
+    }
+}

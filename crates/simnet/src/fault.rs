@@ -1,0 +1,313 @@
+//! Crash-fault injection (§3.1).
+//!
+//! "Machines may crash and leave the system, and then be fixed and re-join
+//! the system. ... When a machine crashes, all its local memory is erased."
+//! A [`FaultScript`] is a timed sequence of crash/repair events applied by
+//! the engine; generators produce scripted, Poisson, and flaky-subset
+//! failure processes while (optionally) respecting the `≤ λ` simultaneous-
+//! failure assumption.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::actor::NodeId;
+use crate::time::SimTime;
+
+/// One fault event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Fault {
+    /// The machine halts and its memory is erased.
+    Crash(NodeId),
+    /// The machine is fixed and begins its initialization phase.
+    Repair(NodeId),
+}
+
+/// A timed fault schedule, sorted by time.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultScript {
+    events: Vec<(SimTime, Fault)>,
+}
+
+/// Error validating a [`FaultScript`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultScriptError {
+    msg: String,
+}
+
+impl std::fmt::Display for FaultScriptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid fault script: {}", self.msg)
+    }
+}
+
+impl std::error::Error for FaultScriptError {}
+
+impl FaultScript {
+    /// An empty (fault-free) script.
+    pub fn none() -> Self {
+        FaultScript::default()
+    }
+
+    /// Builds a script from explicit events; sorts them by time.
+    pub fn scripted(mut events: Vec<(SimTime, Fault)>) -> Self {
+        events.sort_by_key(|(t, _)| *t);
+        FaultScript { events }
+    }
+
+    /// The events, in time order.
+    pub fn events(&self) -> &[(SimTime, Fault)] {
+        &self.events
+    }
+
+    /// True iff the script has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Checks well-formedness against an `n`-machine ensemble: node ids in
+    /// range, crash only up machines, repair only crashed machines, and at
+    /// most `lambda` simultaneous failures.
+    ///
+    /// Note: a machine is failed from its crash until its *repair plus
+    /// initialization*; validation here uses repair time, so pass the
+    /// engine's *recovery-complete* semantics by padding repairs if you
+    /// need a strict bound (the generators below do).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FaultScriptError`] describing the first violation.
+    pub fn validate(&self, n: usize, lambda: usize) -> Result<(), FaultScriptError> {
+        let mut down = vec![false; n];
+        let mut count = 0usize;
+        let mut last = SimTime::ZERO;
+        for (t, ev) in &self.events {
+            if *t < last {
+                return Err(FaultScriptError {
+                    msg: "events out of order".into(),
+                });
+            }
+            last = *t;
+            let node = match ev {
+                Fault::Crash(m) | Fault::Repair(m) => *m,
+            };
+            if node.index() >= n {
+                return Err(FaultScriptError {
+                    msg: format!("node {node} out of range (n={n})"),
+                });
+            }
+            match ev {
+                Fault::Crash(m) => {
+                    if down[m.index()] {
+                        return Err(FaultScriptError {
+                            msg: format!("{m} crashed while already down at {t}"),
+                        });
+                    }
+                    down[m.index()] = true;
+                    count += 1;
+                    if count > lambda {
+                        return Err(FaultScriptError {
+                            msg: format!("{count} simultaneous failures exceed λ={lambda} at {t}"),
+                        });
+                    }
+                }
+                Fault::Repair(m) => {
+                    if !down[m.index()] {
+                        return Err(FaultScriptError {
+                            msg: format!("{m} repaired while up at {t}"),
+                        });
+                    }
+                    down[m.index()] = false;
+                    count -= 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// A Poisson crash/repair process: each up machine crashes at rate
+    /// `crash_rate_hz`; each down machine is repaired after an exponential
+    /// downtime with mean `mean_downtime`. Crashes that would exceed
+    /// `lambda` simultaneous failures are suppressed (the paper *assumes*
+    /// at most λ; the generator enforces it). The `init_slack` is added to
+    /// each downtime so that the machine's initialization phase also
+    /// finishes before the λ budget frees up.
+    pub fn poisson(
+        n: usize,
+        lambda: usize,
+        crash_rate_hz: f64,
+        mean_downtime: SimTime,
+        init_slack: SimTime,
+        horizon: SimTime,
+        seed: u64,
+    ) -> Self {
+        assert!(n > 0 && crash_rate_hz > 0.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut events = Vec::new();
+        // Per-machine next event: Some(time) of next crash for up machines,
+        // repair time for down machines.
+        let mut down = vec![false; n];
+        let exp = |rng: &mut ChaCha8Rng, mean_us: f64| -> u64 {
+            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            (-u.ln() * mean_us) as u64
+        };
+        let mean_up_us = 1e6 / crash_rate_hz;
+        let mut next: Vec<SimTime> = (0..n)
+            .map(|_| SimTime::from_micros(exp(&mut rng, mean_up_us)))
+            .collect();
+        let mut failed = 0usize;
+        // Earliest pending event (deterministic tie-break by index).
+        while let Some((i, t)) = next
+            .iter()
+            .copied()
+            .enumerate()
+            .min_by_key(|(i, t)| (*t, *i))
+        {
+            if t > horizon {
+                break;
+            }
+            if down[i] {
+                down[i] = false;
+                failed -= 1;
+                events.push((t, Fault::Repair(NodeId(i as u32))));
+                next[i] = t + SimTime::from_micros(exp(&mut rng, mean_up_us));
+            } else if failed < lambda {
+                down[i] = true;
+                failed += 1;
+                events.push((t, Fault::Crash(NodeId(i as u32))));
+                let downtime =
+                    SimTime::from_micros(exp(&mut rng, mean_downtime.as_micros() as f64));
+                next[i] = t + downtime + init_slack;
+            } else {
+                // λ budget exhausted: postpone this machine's crash.
+                next[i] = t + SimTime::from_micros(exp(&mut rng, mean_up_us));
+            }
+        }
+        FaultScript { events }
+    }
+
+    /// A "flaky subset" process: only the first `flaky` machines crash,
+    /// repeatedly, round-robin with the given period and downtime. Models
+    /// the workstation-reclaim pattern of adaptive parallelism (§1) where
+    /// the same desks empty every day. Requires `lambda ≥ 1`.
+    pub fn flaky_subset(
+        flaky: usize,
+        period: SimTime,
+        downtime: SimTime,
+        horizon: SimTime,
+    ) -> Self {
+        assert!(flaky > 0);
+        assert!(
+            downtime < period,
+            "downtime must be shorter than the period"
+        );
+        let mut events = Vec::new();
+        let mut t = period;
+        let mut i = 0usize;
+        while t + downtime <= horizon {
+            let m = NodeId((i % flaky) as u32);
+            events.push((t, Fault::Crash(m)));
+            events.push((t + downtime, Fault::Repair(m)));
+            i += 1;
+            t += period;
+        }
+        FaultScript { events }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripted_sorts_by_time() {
+        let s = FaultScript::scripted(vec![
+            (SimTime::from_secs(2), Fault::Repair(NodeId(0))),
+            (SimTime::from_secs(1), Fault::Crash(NodeId(0))),
+        ]);
+        assert_eq!(s.events()[0].1, Fault::Crash(NodeId(0)));
+        assert!(s.validate(1, 1).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_double_crash() {
+        let s = FaultScript::scripted(vec![
+            (SimTime::from_secs(1), Fault::Crash(NodeId(0))),
+            (SimTime::from_secs(2), Fault::Crash(NodeId(0))),
+        ]);
+        assert!(s.validate(2, 2).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_lambda_violation() {
+        let s = FaultScript::scripted(vec![
+            (SimTime::from_secs(1), Fault::Crash(NodeId(0))),
+            (SimTime::from_secs(1), Fault::Crash(NodeId(1))),
+        ]);
+        assert!(s.validate(3, 1).is_err());
+        assert!(s.validate(3, 2).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_and_spurious_repair() {
+        let s = FaultScript::scripted(vec![(SimTime::ZERO, Fault::Crash(NodeId(5)))]);
+        assert!(s.validate(3, 3).is_err());
+        let s = FaultScript::scripted(vec![(SimTime::ZERO, Fault::Repair(NodeId(0)))]);
+        assert!(s.validate(3, 3).is_err());
+    }
+
+    #[test]
+    fn poisson_respects_lambda() {
+        let s = FaultScript::poisson(
+            8,
+            2,
+            0.5,
+            SimTime::from_secs(2),
+            SimTime::from_secs(1),
+            SimTime::from_secs(200),
+            42,
+        );
+        assert!(!s.is_empty(), "expected some faults over 200s at 0.5 Hz");
+        s.validate(8, 2).expect("generator must respect λ");
+    }
+
+    #[test]
+    fn poisson_is_deterministic() {
+        let mk = || {
+            FaultScript::poisson(
+                4,
+                1,
+                1.0,
+                SimTime::from_secs(1),
+                SimTime::ZERO,
+                SimTime::from_secs(50),
+                7,
+            )
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn flaky_subset_only_touches_subset() {
+        let s = FaultScript::flaky_subset(
+            2,
+            SimTime::from_secs(10),
+            SimTime::from_secs(3),
+            SimTime::from_secs(100),
+        );
+        s.validate(5, 1).unwrap();
+        for (_, ev) in s.events() {
+            let m = match ev {
+                Fault::Crash(m) | Fault::Repair(m) => *m,
+            };
+            assert!(m.index() < 2);
+        }
+    }
+
+    #[test]
+    fn empty_script() {
+        assert!(FaultScript::none().is_empty());
+        assert!(FaultScript::none().validate(1, 0).is_ok());
+    }
+}

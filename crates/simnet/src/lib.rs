@@ -1,0 +1,62 @@
+//! # paso-simnet
+//!
+//! A deterministic discrete-event simulator of the paper's physical model
+//! (§3): an ensemble of `n` machines on a **bus LAN** (one message at a
+//! time, cost `α + β·|m|` per message, no hardware multicast), **crash
+//! faults** that erase all local memory, repaired machines that pass
+//! through a **bounded initialization phase**, and a membership oracle
+//! standing in for the ISIS failure-detection layer.
+//!
+//! Protocol logic is written against the sans-I/O [`Actor`] trait and can
+//! run both here (deterministically, with exact cost accounting) and under
+//! the live threaded runtime in `paso-runtime`.
+//!
+//! # Examples
+//!
+//! ```
+//! use paso_simnet::{
+//!     Actor, Context, Engine, EngineConfig, NodeEvent, NodeId, SimTime, WireSized,
+//! };
+//!
+//! // A one-message ping-pong.
+//! #[derive(Debug, Clone)]
+//! enum Msg { Ping, Pong }
+//! impl WireSized for Msg {
+//!     fn wire_size(&self) -> usize { 32 }
+//! }
+//!
+//! struct Node;
+//! impl Actor for Node {
+//!     type Msg = Msg;
+//!     type Output = &'static str;
+//!     fn handle(&mut self, ctx: &mut Context<'_, Msg, &'static str>, ev: NodeEvent<Msg>) {
+//!         match ev {
+//!             NodeEvent::Start if ctx.id() == NodeId(0) => ctx.send(NodeId(1), Msg::Ping),
+//!             NodeEvent::Message { from, msg: Msg::Ping } => ctx.send(from, Msg::Pong),
+//!             NodeEvent::Message { msg: Msg::Pong, .. } => ctx.emit("done"),
+//!             _ => {}
+//!         }
+//!     }
+//! }
+//!
+//! let mut engine = Engine::new(EngineConfig::for_tests(2), |_| Node);
+//! engine.run_to_quiescence(100);
+//! assert_eq!(engine.take_outputs().len(), 1);
+//! assert_eq!(engine.stats().msgs_sent, 2);
+//! ```
+
+#![warn(missing_docs)]
+
+mod actor;
+mod cost;
+mod engine;
+mod fault;
+mod stats;
+mod time;
+
+pub use actor::{drive_actor, Action, Actor, Context, NodeEvent, NodeId};
+pub use cost::{CostModel, WireSized};
+pub use engine::{Engine, EngineConfig, MachineStatus, Trace, TraceEntry};
+pub use fault::{Fault, FaultScript, FaultScriptError};
+pub use stats::Stats;
+pub use time::SimTime;

@@ -1,0 +1,115 @@
+//! Simulation statistics: the three cost measures of §4.3.
+//!
+//! - `msg-cost` — total `α + β·|m|` over all bus transmissions;
+//! - `work` — per-node processing units (summed for the global measure);
+//! - `time` — simulated wall-clock, read off the engine clock.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::actor::NodeId;
+
+/// Aggregated statistics for one simulation run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Stats {
+    /// Number of bus messages transmitted.
+    pub msgs_sent: u64,
+    /// Total message cost in cost units (`Σ α + β·|m|`).
+    pub total_msg_cost: f64,
+    /// Total bytes put on the bus.
+    pub total_bytes: u64,
+    /// Messages paid for but dropped because the destination was down.
+    pub dropped_msgs: u64,
+    /// Total microseconds the shared bus was transmitting. Divided by the
+    /// final simulated time this gives bus utilization — §5's observation
+    /// that "total message cost is a lower bound on the time to complete
+    /// the run" on a bus LAN, measurable.
+    pub bus_busy_micros: u64,
+    /// Per-node processing work units.
+    pub work: Vec<u64>,
+    /// Number of crash events executed.
+    pub crashes: u64,
+    /// Number of completed recoveries.
+    pub recoveries: u64,
+    /// Peak number of simultaneously failed machines (to check the `≤ λ`
+    /// assumption held).
+    pub max_concurrent_failures: usize,
+    /// Free-form labeled counters bumped by actors.
+    pub counters: BTreeMap<String, f64>,
+}
+
+impl Stats {
+    /// Creates zeroed statistics for `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Stats {
+            work: vec![0; n],
+            ..Stats::default()
+        }
+    }
+
+    /// Total work over all nodes (the paper's global `work` measure).
+    pub fn total_work(&self) -> u64 {
+        self.work.iter().sum()
+    }
+
+    /// Work performed by one node.
+    pub fn node_work(&self, node: NodeId) -> u64 {
+        self.work.get(node.index()).copied().unwrap_or(0)
+    }
+
+    /// Value of a labeled counter (0 if never bumped).
+    pub fn counter(&self, name: &str) -> f64 {
+        self.counters.get(name).copied().unwrap_or(0.0)
+    }
+
+    pub(crate) fn bump(&mut self, name: &str, delta: f64) {
+        *self.counters.entry(name.to_owned()).or_insert(0.0) += delta;
+    }
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "msgs={} cost={:.0} bytes={} dropped={} work={} crashes={} recoveries={}",
+            self.msgs_sent,
+            self.total_msg_cost,
+            self.total_bytes,
+            self.dropped_msgs,
+            self.total_work(),
+            self.crashes,
+            self.recoveries
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals() {
+        let mut s = Stats::new(3);
+        s.work[0] = 5;
+        s.work[2] = 7;
+        assert_eq!(s.total_work(), 12);
+        assert_eq!(s.node_work(NodeId(2)), 7);
+        assert_eq!(s.node_work(NodeId(9)), 0);
+    }
+
+    #[test]
+    fn counters_default_to_zero() {
+        let mut s = Stats::new(1);
+        assert_eq!(s.counter("absent"), 0.0);
+        s.bump("x", 1.5);
+        s.bump("x", 1.0);
+        assert_eq!(s.counter("x"), 2.5);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!Stats::new(2).to_string().is_empty());
+    }
+}

@@ -1,0 +1,338 @@
+//! Multi-index store — "In fact, several such data structures may be used
+//! for a single class" (§5).
+//!
+//! Maintains a hash index (dictionary queries in O(1)) *and* an ordered
+//! index (range queries in O(log ℓ)) over one shared set of entries, so a
+//! class serving mixed query shapes pays the best `Q(·)` for each, at the
+//! price of a higher `I(·)`/`D(·)` (both indexes must be maintained — the
+//! §5 trade-off made concrete and measurable).
+
+use std::collections::{BTreeSet, HashMap};
+use std::ops::Bound;
+
+use paso_types::{PasoObject, QueryKind, SearchCriterion, Value};
+
+use crate::entries::Entries;
+use crate::store::{ClassStore, Cost, Rank, Snapshot, SnapshotError, StoreKind};
+
+/// A store with both hash and ordered indexes over the same entries.
+///
+/// # Examples
+///
+/// ```
+/// use paso_storage::{ClassStore, MultiStore};
+/// use paso_types::{FieldMatcher, ObjectId, PasoObject, ProcessId, SearchCriterion, Template, Value};
+///
+/// let mut s = MultiStore::new();
+/// for i in 0..100 {
+///     s.store(PasoObject::new(ObjectId::new(ProcessId(0), i), vec![Value::Int(i as i64)]));
+/// }
+/// // Dictionary query: O(1).
+/// let (found, cost) = s.mem_read(&SearchCriterion::from(Template::exact(vec![Value::Int(99)])));
+/// assert!(found.is_some());
+/// assert_eq!(cost.0, 1);
+/// // Range query: O(log ℓ + matches).
+/// let sc = SearchCriterion::from(Template::new(vec![FieldMatcher::between(40, 42)]));
+/// let (found, cost) = s.mem_read(&sc);
+/// assert!(found.is_some());
+/// assert!(cost.0 < 20);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MultiStore {
+    entries: Entries,
+    hash: HashMap<Vec<Value>, BTreeSet<Rank>>,
+    ordered: BTreeSet<(Vec<Value>, Rank)>,
+}
+
+impl MultiStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        MultiStore::default()
+    }
+
+    fn log_len(&self) -> u64 {
+        (self.entries.len().max(1) as f64).log2().ceil() as u64 + 1
+    }
+
+    fn index_insert(&mut self, fields: Vec<Value>, rank: Rank) {
+        self.hash.entry(fields.clone()).or_default().insert(rank);
+        self.ordered.insert((fields, rank));
+    }
+
+    fn index_remove(&mut self, obj: &PasoObject, rank: Rank) {
+        let key = obj.fields().to_vec();
+        if let Some(set) = self.hash.get_mut(&key) {
+            set.remove(&rank);
+            if set.is_empty() {
+                self.hash.remove(&key);
+            }
+        }
+        self.ordered.remove(&(key, rank));
+    }
+
+    fn rebuild(&mut self) {
+        self.hash.clear();
+        self.ordered.clear();
+        let pairs: Vec<(Rank, Vec<Value>)> = self
+            .entries
+            .iter()
+            .map(|(r, o)| (r, o.fields().to_vec()))
+            .collect();
+        for (rank, key) in pairs {
+            self.index_insert(key, rank);
+        }
+    }
+
+    /// Range-shape lookup via the ordered index (exact prefix + one range
+    /// + trailing wildcards, as classified by `QueryKind::Range`).
+    fn find_range(&self, sc: &SearchCriterion) -> (Option<Rank>, Cost) {
+        let ms = sc.template().matchers();
+        let mut prefix = Vec::new();
+        for m in ms {
+            if let Some(v) = m.exact_value() {
+                prefix.push(v.clone());
+            } else {
+                break;
+            }
+        }
+        let (lo, hi) = match &ms[prefix.len()] {
+            paso_types::FieldMatcher::Range { lo, hi } => (lo, hi),
+            _ => unreachable!("Range kind guarantees a range matcher"),
+        };
+        let k = prefix.len();
+        let start: (Vec<Value>, Rank) = match lo {
+            Bound::Included(v) | Bound::Excluded(v) => {
+                let mut key = prefix.clone();
+                key.push(v.clone());
+                (key, Rank(0))
+            }
+            Bound::Unbounded => (prefix.clone(), Rank(0)),
+        };
+        let mut inspected = 0u64;
+        let mut best: Option<Rank> = None;
+        for (fields, rank) in self.ordered.range(start..) {
+            if fields.len() < k || fields[..k] != prefix[..] {
+                break;
+            }
+            if let Some(v) = fields.get(k) {
+                let beyond = match hi {
+                    Bound::Included(h) => v > h,
+                    Bound::Excluded(h) => v >= h,
+                    Bound::Unbounded => false,
+                };
+                if beyond {
+                    break;
+                }
+            }
+            inspected += 1;
+            let obj = self.entries.get(*rank).expect("indexes in sync");
+            if sc.matches(obj) && best.is_none_or(|b| *rank < b) {
+                best = Some(*rank);
+            }
+        }
+        (best, Cost(self.log_len() + inspected))
+    }
+
+    fn find_oldest(&self, sc: &SearchCriterion) -> (Option<Rank>, Cost) {
+        match sc.query_kind() {
+            QueryKind::Dictionary => {
+                let key: Vec<Value> = sc
+                    .template()
+                    .matchers()
+                    .iter()
+                    .map(|m| m.exact_value().expect("dictionary query").clone())
+                    .collect();
+                let rank = self.hash.get(&key).and_then(|s| s.iter().next().copied());
+                (rank, Cost(1))
+            }
+            QueryKind::Range => self.find_range(sc),
+            QueryKind::Scan => {
+                let mut inspected = 0;
+                for (rank, obj) in self.entries.iter() {
+                    inspected += 1;
+                    if sc.matches(obj) {
+                        return (Some(rank), Cost(inspected));
+                    }
+                }
+                (None, Cost(inspected.max(1)))
+            }
+        }
+    }
+}
+
+impl ClassStore for MultiStore {
+    fn store(&mut self, obj: PasoObject) -> Cost {
+        let key = obj.fields().to_vec();
+        let rank = self.entries.push(obj);
+        self.index_insert(key, rank);
+        // Both indexes are maintained: I = O(1) + O(log ℓ).
+        Cost(1 + self.log_len())
+    }
+
+    fn store_ranked(&mut self, obj: PasoObject, rank: Rank) -> Cost {
+        let key = obj.fields().to_vec();
+        self.entries.push_ranked(obj, rank);
+        self.index_insert(key, rank);
+        Cost(1 + self.log_len())
+    }
+
+    fn mem_read(&self, sc: &SearchCriterion) -> (Option<PasoObject>, Cost) {
+        let (rank, cost) = self.find_oldest(sc);
+        (rank.and_then(|r| self.entries.get(r).cloned()), cost)
+    }
+
+    fn remove(&mut self, sc: &SearchCriterion) -> (Option<PasoObject>, Cost) {
+        let (rank, cost) = self.find_oldest(sc);
+        match rank {
+            Some(r) => {
+                let obj = self.entries.remove(r);
+                if let Some(o) = &obj {
+                    self.index_remove(o, r);
+                }
+                (obj, cost + Cost(1 + self.log_len()))
+            }
+            None => (None, cost),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        self.entries.snapshot()
+    }
+
+    fn restore(&mut self, snapshot: &Snapshot) -> Result<(), SnapshotError> {
+        self.entries.restore(snapshot)?;
+        self.rebuild();
+        Ok(())
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.hash.clear();
+        self.ordered.clear();
+    }
+
+    fn kind(&self) -> StoreKind {
+        StoreKind::Multi
+    }
+
+    fn objects(&self) -> Vec<PasoObject> {
+        self.entries.objects()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paso_types::{FieldMatcher, ObjectId, ProcessId, Template};
+
+    fn obj(seq: u64, k: i64, v: i64) -> PasoObject {
+        PasoObject::new(
+            ObjectId::new(ProcessId(0), seq),
+            vec![Value::symbol("m"), Value::Int(k), Value::Int(v)],
+        )
+    }
+
+    fn fill(n: i64) -> MultiStore {
+        let mut s = MultiStore::new();
+        for i in 0..n {
+            s.store(obj(i as u64, i, i * 10));
+        }
+        s
+    }
+
+    #[test]
+    fn dictionary_cost_is_constant() {
+        let s = fill(1000);
+        let sc = SearchCriterion::from(Template::exact(vec![
+            Value::symbol("m"),
+            Value::Int(997),
+            Value::Int(9970),
+        ]));
+        let (found, cost) = s.mem_read(&sc);
+        assert!(found.is_some());
+        assert_eq!(cost, Cost(1));
+    }
+
+    #[test]
+    fn range_cost_is_logarithmic() {
+        let s = fill(1024);
+        let sc = SearchCriterion::from(Template::new(vec![
+            FieldMatcher::Exact(Value::symbol("m")),
+            FieldMatcher::between(500, 504),
+            FieldMatcher::Any,
+        ]));
+        let (found, cost) = s.mem_read(&sc);
+        assert!(found.is_some());
+        assert!(cost.0 <= 20, "range via ordered index, was {cost}");
+    }
+
+    #[test]
+    fn insert_cost_reflects_both_indexes() {
+        let mut s = fill(1024);
+        let cost = s.store(obj(5000, 5000, 0));
+        assert!(cost.0 > 1, "must pay for the ordered index too");
+    }
+
+    #[test]
+    fn remove_keeps_both_indexes_in_sync() {
+        let mut s = fill(50);
+        let sc_all = SearchCriterion::from(Template::new(vec![
+            FieldMatcher::Exact(Value::symbol("m")),
+            FieldMatcher::Any,
+            FieldMatcher::Any,
+        ]));
+        for expected in 0..50i64 {
+            let (got, _) = s.remove(&sc_all);
+            assert_eq!(
+                got.unwrap().field(1).unwrap().as_int().unwrap(),
+                expected,
+                "oldest-first order"
+            );
+        }
+        assert!(s.is_empty());
+        assert!(s.hash.is_empty());
+        assert!(s.ordered.is_empty());
+    }
+
+    #[test]
+    fn restore_rebuilds_both_indexes() {
+        let s = fill(64);
+        let snap = s.snapshot();
+        let mut t = MultiStore::new();
+        t.restore(&snap).unwrap();
+        assert_eq!(t.len(), 64);
+        let dict = SearchCriterion::from(Template::exact(vec![
+            Value::symbol("m"),
+            Value::Int(10),
+            Value::Int(100),
+        ]));
+        assert_eq!(t.mem_read(&dict).1, Cost(1));
+        let range = SearchCriterion::from(Template::new(vec![
+            FieldMatcher::Exact(Value::symbol("m")),
+            FieldMatcher::at_least(60),
+            FieldMatcher::Any,
+        ]));
+        assert!(t.mem_read(&range).0.is_some());
+    }
+
+    #[test]
+    fn scan_fallback_for_patterns() {
+        let mut s = MultiStore::new();
+        s.store(PasoObject::new(
+            ObjectId::new(ProcessId(0), 0),
+            vec![Value::from("find the needle here")],
+        ));
+        let sc =
+            SearchCriterion::from(Template::new(vec![FieldMatcher::Contains("needle".into())]));
+        assert!(s.mem_read(&sc).0.is_some());
+    }
+
+    #[test]
+    fn kind_is_multi() {
+        assert_eq!(MultiStore::new().kind(), StoreKind::Multi);
+    }
+}

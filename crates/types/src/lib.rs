@@ -1,0 +1,66 @@
+//! # paso-types
+//!
+//! Core data model for **PASO** — *Persistent, Associative, Shared Object*
+//! memory (Westbrook & Zuck, *Adaptive Algorithms for PASO Systems*, 1994).
+//!
+//! A PASO memory stores immutable tuple-shaped [`PasoObject`]s that are
+//! accessed associatively through [`SearchCriterion`]s (predicate
+//! templates). Objects are partitioned into [`ClassId`] object classes by a
+//! [`Classifier`], and every class is replicated by a *write group* of
+//! machines (see the `paso-core` crate). This crate contains only the pure
+//! data model:
+//!
+//! - [`Value`] / [`ValueType`] — dynamically typed tuple fields with a total
+//!   order and stable hash;
+//! - [`PasoObject`] / [`ObjectId`] — uniquely identified immutable tuples;
+//! - [`Lifecycle`] — the prenatal → live → dead automaton of the paper's
+//!   semantics (§2, axioms A1–A2);
+//! - [`Template`] / [`FieldMatcher`] — the associative matching language;
+//! - [`SearchCriterion`] / [`QueryKind`] — query predicates and their cost
+//!   shape;
+//! - [`Classifier`] implementations — the paper's `obj-clss` and `sc-list`
+//!   functions with the exhaustiveness (soundness) law.
+//!
+//! # Examples
+//!
+//! ```
+//! use paso_types::{
+//!     ArityClassifier, Classifier, FieldMatcher, ObjectId, PasoObject, ProcessId,
+//!     SearchCriterion, Template, Value,
+//! };
+//!
+//! // An object: ("job", 17).
+//! let o = PasoObject::new(
+//!     ObjectId::new(ProcessId(1), 0),
+//!     vec![Value::symbol("job"), Value::Int(17)],
+//! );
+//!
+//! // A criterion: ("job", 10 ≤ x ≤ 20).
+//! let sc = SearchCriterion::from(Template::new(vec![
+//!     FieldMatcher::Exact(Value::symbol("job")),
+//!     FieldMatcher::between(10, 20),
+//! ]));
+//! assert!(sc.matches(&o));
+//!
+//! // The classifier routes the object to a class that sc-list covers.
+//! let classifier = ArityClassifier::new(4);
+//! assert!(classifier.sc_list(&sc).contains(&classifier.classify(&o)));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod class;
+mod criteria;
+mod object;
+mod template;
+mod value;
+
+pub use class::{
+    sc_list_tightness, ArityClassifier, ClassId, Classifier, FirstFieldClassifier,
+    SignatureClassifier,
+};
+pub use criteria::{QueryKind, SearchCriterion};
+pub use object::{Lifecycle, LifecycleError, LifecycleEvent, ObjectId, PasoObject, ProcessId};
+pub use template::{FieldMatcher, Template};
+pub use value::{Value, ValueType};

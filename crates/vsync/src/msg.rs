@@ -1,0 +1,294 @@
+//! Wire messages of the virtual synchrony protocol.
+
+use serde::{Deserialize, Serialize};
+
+use paso_simnet::{NodeId, WireSized};
+
+use crate::group::{GroupId, View, ViewId};
+
+/// A gcast request id, unique per origin node: `(origin, seq)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ReqId {
+    /// The issuing node.
+    pub origin: NodeId,
+    /// Per-origin sequence number.
+    pub seq: u64,
+}
+
+impl std::fmt::Display for ReqId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.origin, self.seq)
+    }
+}
+
+/// Protocol messages. `App` payloads are opaque byte strings owned by the
+/// layered application (the PASO memory server).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum VsyncMsg {
+    /// Fan-out copy of a gcast to one group member.
+    Gcast {
+        /// Target group.
+        group: GroupId,
+        /// View the origin believed current when sending.
+        view: ViewId,
+        /// Request identity (for dedup and retries).
+        req: ReqId,
+        /// Application payload.
+        payload: Vec<u8>,
+    },
+    /// "Each of g-name's members sends an empty message to ... g-name's
+    /// 'leader' indicating that it has finished processing" (§3.3).
+    GcastDone {
+        /// Target group.
+        group: GroupId,
+        /// The request being acknowledged.
+        req: ReqId,
+    },
+    /// The single response the leader sends back to the origin once all
+    /// members are done.
+    GcastResp {
+        /// Target group.
+        group: GroupId,
+        /// The request being answered.
+        req: ReqId,
+        /// The leader's application response.
+        payload: Vec<u8>,
+    },
+    /// A non-member rejects a gcast addressed to it; the origin merges the
+    /// rejecter's (possibly stale) view knowledge and retries elsewhere.
+    GcastNack {
+        /// Target group.
+        group: GroupId,
+        /// The rejected request.
+        req: ReqId,
+        /// The rejecting node's cached view of the group.
+        view: View,
+    },
+    /// Ask the group manager (leader) to admit `joiner`.
+    JoinReq {
+        /// Target group.
+        group: GroupId,
+        /// The node wishing to join.
+        joiner: NodeId,
+    },
+    /// Ask the group manager to remove `leaver`.
+    LeaveReq {
+        /// Target group.
+        group: GroupId,
+        /// The node wishing to leave.
+        leaver: NodeId,
+    },
+    /// Manager-broadcast view installation.
+    NewView {
+        /// Target group.
+        group: GroupId,
+        /// The view to install.
+        view: View,
+        /// If this view admits a joiner, the member designated to send it
+        /// the state snapshot (the "donor", §4.2).
+        donor: Option<NodeId>,
+        /// The joiner awaiting state, if any.
+        joiner: Option<NodeId>,
+    },
+    /// A joiner that knows no live member asks every node what it knows
+    /// about the group before concluding it is dead.
+    ProbeReq {
+        /// Target group.
+        group: GroupId,
+        /// The probing joiner.
+        joiner: NodeId,
+    },
+    /// Answer to a [`VsyncMsg::ProbeReq`].
+    ProbeResp {
+        /// Target group.
+        group: GroupId,
+        /// Is the responder itself an installed member? (Authoritative —
+        /// hearsay about *other* members is never trusted.)
+        member: bool,
+        /// Formation grant: the responder promises not to grant another
+        /// joiner for a short window, so at most one prober can collect a
+        /// unanimous set of grants and re-form a dead group (no split
+        /// brain between concurrent probers).
+        grant: bool,
+    },
+    /// State snapshot sent by the donor to a joiner.
+    StateXfer {
+        /// Target group.
+        group: GroupId,
+        /// View in which the snapshot was taken.
+        view: ViewId,
+        /// Serialized application state for the group's classes.
+        state: Vec<u8>,
+    },
+}
+
+impl VsyncMsg {
+    /// The group this message concerns.
+    pub fn group(&self) -> GroupId {
+        match self {
+            VsyncMsg::Gcast { group, .. }
+            | VsyncMsg::GcastDone { group, .. }
+            | VsyncMsg::GcastResp { group, .. }
+            | VsyncMsg::GcastNack { group, .. }
+            | VsyncMsg::JoinReq { group, .. }
+            | VsyncMsg::LeaveReq { group, .. }
+            | VsyncMsg::NewView { group, .. }
+            | VsyncMsg::ProbeReq { group, .. }
+            | VsyncMsg::ProbeResp { group, .. }
+            | VsyncMsg::StateXfer { group, .. } => *group,
+        }
+    }
+}
+
+impl WireSized for VsyncMsg {
+    fn wire_size(&self) -> usize {
+        // A fixed header per message kind plus variable payload, matching
+        // the paper's cost accounting: dones are "empty messages" (header
+        // only), gcasts carry |msg|, responses carry |resp|.
+        const HDR: usize = 24;
+        match self {
+            VsyncMsg::Gcast { payload, .. } => HDR + payload.len(),
+            VsyncMsg::GcastDone { .. } => HDR,
+            VsyncMsg::GcastResp { payload, .. } => HDR + payload.len(),
+            VsyncMsg::GcastNack { view, .. } => HDR + view.wire_size(),
+            VsyncMsg::JoinReq { .. } | VsyncMsg::LeaveReq { .. } => HDR,
+            VsyncMsg::ProbeReq { .. } | VsyncMsg::ProbeResp { .. } => HDR,
+            VsyncMsg::NewView { view, .. } => HDR + view.wire_size(),
+            VsyncMsg::StateXfer { state, .. } => HDR + state.len(),
+        }
+    }
+}
+
+/// Top-level network message: vsync protocol traffic or opaque
+/// application-to-application bytes (e.g. client requests injected at a
+/// node, or marker notifications between servers).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum NetMsg {
+    /// Virtual-synchrony protocol message.
+    Vsync(VsyncMsg),
+    /// Application message, delivered to the [`GroupApp`](crate::GroupApp)
+    /// directly.
+    App(Vec<u8>),
+}
+
+impl WireSized for NetMsg {
+    fn wire_size(&self) -> usize {
+        match self {
+            NetMsg::Vsync(m) => m.wire_size(),
+            NetMsg::App(b) => 8 + b.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::ViewId;
+
+    #[test]
+    fn req_id_orders_by_origin_then_seq() {
+        let a = ReqId {
+            origin: NodeId(0),
+            seq: 9,
+        };
+        let b = ReqId {
+            origin: NodeId(1),
+            seq: 0,
+        };
+        assert!(a < b);
+        assert_eq!(a.to_string(), "m0:9");
+    }
+
+    #[test]
+    fn wire_sizes() {
+        let req = ReqId {
+            origin: NodeId(0),
+            seq: 0,
+        };
+        let gcast = VsyncMsg::Gcast {
+            group: GroupId(1),
+            view: ViewId(0),
+            req,
+            payload: vec![0; 100],
+        };
+        assert_eq!(gcast.wire_size(), 124);
+        let done = VsyncMsg::GcastDone {
+            group: GroupId(1),
+            req,
+        };
+        assert_eq!(done.wire_size(), 24, "dones are empty messages");
+        assert_eq!(NetMsg::App(vec![0; 10]).wire_size(), 18);
+        assert_eq!(NetMsg::Vsync(done).wire_size(), 24);
+    }
+
+    #[test]
+    fn group_accessor_covers_all_variants() {
+        let req = ReqId {
+            origin: NodeId(0),
+            seq: 0,
+        };
+        let g = GroupId(7);
+        let msgs = vec![
+            VsyncMsg::Gcast {
+                group: g,
+                view: ViewId(0),
+                req,
+                payload: vec![],
+            },
+            VsyncMsg::GcastDone { group: g, req },
+            VsyncMsg::GcastResp {
+                group: g,
+                req,
+                payload: vec![],
+            },
+            VsyncMsg::GcastNack {
+                group: g,
+                req,
+                view: View::new(ViewId(1), [NodeId(0)]),
+            },
+            VsyncMsg::ProbeReq {
+                group: g,
+                joiner: NodeId(1),
+            },
+            VsyncMsg::ProbeResp {
+                group: g,
+                member: false,
+                grant: true,
+            },
+            VsyncMsg::JoinReq {
+                group: g,
+                joiner: NodeId(0),
+            },
+            VsyncMsg::LeaveReq {
+                group: g,
+                leaver: NodeId(0),
+            },
+            VsyncMsg::NewView {
+                group: g,
+                view: View::new(ViewId(1), [NodeId(0)]),
+                donor: None,
+                joiner: None,
+            },
+            VsyncMsg::StateXfer {
+                group: g,
+                view: ViewId(1),
+                state: vec![],
+            },
+        ];
+        for m in msgs {
+            assert_eq!(m.group(), g);
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = NetMsg::Vsync(VsyncMsg::StateXfer {
+            group: GroupId(3),
+            view: ViewId(2),
+            state: vec![1, 2, 3],
+        });
+        let s = serde_json::to_string(&m).unwrap();
+        let back: NetMsg = serde_json::from_str(&s).unwrap();
+        assert_eq!(m, back);
+    }
+}

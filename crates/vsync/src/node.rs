@@ -1,0 +1,1291 @@
+//! The virtual-synchrony protocol node.
+//!
+//! Design (and how it maps to §3.2–§3.3 of the paper):
+//!
+//! - **Total order**: every gcast is routed through the group's *leader*
+//!   (lowest-id member), which fans it out to all members. The leader's
+//!   fan-out order is the group's delivery order. On the simulated bus the
+//!   fan-out is atomic (consecutive bus slots), so all members observe the
+//!   same global order; on the threaded runtime, per-link FIFO channels
+//!   from the leader give the same per-group guarantee.
+//! - **Done-collection**: each member sends an *empty* `GcastDone` to the
+//!   leader after processing; once every member of the fan-out view has
+//!   acknowledged, the leader sends the *single* response to the origin —
+//!   exactly the §3.3 accounting `|g|(α+β|msg|) + |g|α + α+β|resp|`.
+//! - **Membership**: views change by leader-broadcast `NewView` (joins and
+//!   leaves) and by the membership oracle (crashes) — every surviving node
+//!   prunes crashed peers deterministically in the same order, so views
+//!   stay consistent without an explicit flush round.
+//! - **State transfer**: the leader admits a joiner by broadcasting the new
+//!   view and immediately snapshotting its own state (which, because the
+//!   leader is also the sequencer, is exactly the state after all gcasts
+//!   ordered before the view change). The joiner buffers fan-outs that
+//!   arrive before the snapshot and replays them after installing it, so —
+//!   unlike the paper's conservative design — the group never blocks.
+//! - **Fault recovery**: origins retry unanswered gcasts to the current
+//!   leader with exponential patience; members deduplicate by request id
+//!   and re-acknowledge, and every member caches its own response so that
+//!   *any* member that becomes leader can answer a retried request
+//!   ("all responses are equal", §3.2).
+
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+use paso_simnet::{Actor, Context, NodeEvent, NodeId, SimTime};
+
+use crate::app::{Delivery, GcastError, GroupApp, VsyncOps};
+use crate::group::{GroupId, View, ViewId};
+use crate::msg::{NetMsg, ReqId, VsyncMsg};
+
+/// Timer tags with this bit set belong to the vsync layer.
+const VSYNC_TAG_BIT: u64 = 1 << 63;
+
+/// Configuration of the vsync layer.
+#[derive(Debug, Clone)]
+pub struct VsyncConfig {
+    /// How long an origin waits for a gcast response before retrying.
+    pub retry_timeout: SimTime,
+    /// How many retries before a gcast fails with
+    /// [`GcastError::Unavailable`].
+    pub max_retries: u32,
+    /// Statically known initial membership per group (the paper's basic
+    /// support `B(C)`; every node is configured with the same table).
+    pub initial_groups: Vec<(GroupId, Vec<NodeId>)>,
+}
+
+impl Default for VsyncConfig {
+    fn default() -> Self {
+        VsyncConfig {
+            retry_timeout: SimTime::from_millis(50),
+            max_retries: 40,
+            initial_groups: Vec::new(),
+        }
+    }
+}
+
+/// Serialized join-time state: the application snapshot plus the vsync
+/// dedup/response caches, so a joiner that later becomes leader can answer
+/// retried requests and never re-applies a delivery.
+#[derive(Debug, Serialize, Deserialize)]
+struct GroupSnapshot {
+    processed: Vec<ReqId>,
+    resps: Vec<(ReqId, Vec<u8>)>,
+    app: Vec<u8>,
+}
+
+#[derive(Debug, Default)]
+struct GroupState {
+    view: View,
+    member: bool,
+    joining: bool,
+    leaving: bool,
+    awaiting_state: bool,
+    /// A probe round is in flight (joiner looking for any live member).
+    probing: bool,
+    /// Responders that granted this node the right to re-form the group.
+    probe_grants: BTreeSet<NodeId>,
+    /// Responder side: formation grant handed out `(joiner, expires_µs)`.
+    form_grant: Option<(NodeId, u64)>,
+    pending_state: Option<Vec<u8>>,
+    /// Fan-outs buffered while awaiting the join snapshot.
+    buffer: Vec<(NodeId, ReqId, Vec<u8>)>,
+    /// Requests already delivered at this member.
+    processed: HashSet<ReqId>,
+    /// This member's own response per delivered request.
+    resps: BTreeMap<ReqId, Vec<u8>>,
+}
+
+#[derive(Debug)]
+struct Pending {
+    group: GroupId,
+    payload: Vec<u8>,
+    token: u64,
+    retries: u32,
+    /// Contacts already tried (and nacked) for this request; rotated
+    /// through so the origin eventually reaches a real member even when
+    /// its cached view is stale.
+    tried: BTreeSet<NodeId>,
+}
+
+#[derive(Debug)]
+struct Tally {
+    origin: NodeId,
+    /// Members that must acknowledge: the fan-out view, pruned on crashes.
+    expected: BTreeSet<NodeId>,
+    got: BTreeSet<NodeId>,
+    responded: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+#[allow(clippy::enum_variant_names)]
+enum TimerPurpose {
+    RetryGcast(ReqId),
+    RetryJoin(GroupId),
+    RetryLeave(GroupId),
+}
+
+#[derive(Debug)]
+struct Core {
+    id: NodeId,
+    cfg: VsyncConfig,
+    up: BTreeSet<NodeId>,
+    groups: BTreeMap<GroupId, GroupState>,
+    next_req: u64,
+    pending: BTreeMap<ReqId, Pending>,
+    tallies: BTreeMap<(GroupId, ReqId), Tally>,
+    timers: BTreeMap<u64, TimerPurpose>,
+    next_timer: u64,
+}
+
+impl Core {
+    fn new(id: NodeId, cfg: VsyncConfig) -> Self {
+        Core {
+            id,
+            cfg,
+            up: BTreeSet::new(),
+            groups: BTreeMap::new(),
+            next_req: 0,
+            pending: BTreeMap::new(),
+            tallies: BTreeMap::new(),
+            timers: BTreeMap::new(),
+            next_timer: 0,
+        }
+    }
+
+    fn group(&mut self, g: GroupId) -> &mut GroupState {
+        self.groups.entry(g).or_default()
+    }
+
+    fn initial_members(&self, g: GroupId) -> Vec<NodeId> {
+        self.cfg
+            .initial_groups
+            .iter()
+            .find(|(gid, _)| *gid == g)
+            .map(|(_, m)| m.clone())
+            .unwrap_or_default()
+    }
+
+    /// Best node to contact for `g`, skipping `tried`: a live member of
+    /// the cached view, else a live configured basic member, else the
+    /// lowest untried live node. Rotating through `tried` guarantees the
+    /// origin eventually reaches a real member even from a stale cache.
+    fn contact(&self, g: GroupId, tried: &BTreeSet<NodeId>) -> Option<NodeId> {
+        let ok = |m: &NodeId| self.up.contains(m) && !tried.contains(m) && *m != self.id;
+        if let Some(gs) = self.groups.get(&g) {
+            if let Some(m) = gs
+                .view
+                .members()
+                .find(|m| ok(m) || (*m == self.id && !tried.contains(m)))
+            {
+                return Some(m);
+            }
+        }
+        if let Some(m) = self.initial_members(g).into_iter().filter(ok).min() {
+            return Some(m);
+        }
+        self.up.iter().copied().find(ok)
+    }
+
+    fn is_leader(&self, g: GroupId) -> bool {
+        self.groups
+            .get(&g)
+            .is_some_and(|gs| gs.member && gs.view.leader() == Some(self.id))
+    }
+
+    fn arm_timer<O>(
+        &mut self,
+        ctx: &mut Context<'_, NetMsg, O>,
+        delay: SimTime,
+        purpose: TimerPurpose,
+    ) {
+        let id = self.next_timer;
+        self.next_timer += 1;
+        self.timers.insert(id, purpose);
+        ctx.set_timer(delay, VSYNC_TAG_BIT | id);
+    }
+}
+
+/// The vsync layer wrapped around a [`GroupApp`], pluggable into both the
+/// simulator (as a [`paso_simnet::Actor`]) and the live runtime.
+#[derive(Debug)]
+pub struct VsyncNode<A: GroupApp> {
+    app: A,
+    core: Core,
+}
+
+/// `VsyncOps` implementation handed to app callbacks.
+struct Ops<'a, 'b, O> {
+    core: &'a mut Core,
+    ctx: &'a mut Context<'b, NetMsg, O>,
+}
+
+impl<O> VsyncOps<O> for Ops<'_, '_, O> {
+    fn id(&self) -> NodeId {
+        self.core.id
+    }
+
+    fn n(&self) -> usize {
+        self.ctx.n()
+    }
+
+    fn now_micros(&self) -> u64 {
+        self.ctx.now().as_micros()
+    }
+
+    fn gcast(&mut self, group: GroupId, payload: Vec<u8>, token: u64) {
+        let req = ReqId {
+            origin: self.core.id,
+            seq: self.core.next_req,
+        };
+        self.core.next_req += 1;
+        self.core.pending.insert(
+            req,
+            Pending {
+                group,
+                payload: payload.clone(),
+                token,
+                retries: 0,
+                tried: BTreeSet::new(),
+            },
+        );
+        send_gcast_attempt(self.core, self.ctx, group, req, payload);
+        let timeout = self.core.cfg.retry_timeout;
+        self.core
+            .arm_timer(self.ctx, timeout, TimerPurpose::RetryGcast(req));
+    }
+
+    fn join(&mut self, group: GroupId) {
+        start_join(self.core, self.ctx, group);
+    }
+
+    fn leave(&mut self, group: GroupId) {
+        start_leave(self.core, self.ctx, group);
+    }
+
+    fn is_member(&self, group: GroupId) -> bool {
+        self.core.groups.get(&group).is_some_and(|g| g.member)
+    }
+
+    fn view(&self, group: GroupId) -> Option<View> {
+        self.core.groups.get(&group).map(|g| g.view.clone())
+    }
+
+    fn send_app(&mut self, to: NodeId, bytes: Vec<u8>) {
+        if to == self.core.id {
+            self.ctx.send_local(NetMsg::App(bytes));
+        } else {
+            self.ctx.send(to, NetMsg::App(bytes));
+        }
+    }
+
+    fn emit(&mut self, out: O) {
+        self.ctx.emit(out);
+    }
+
+    fn charge_work(&mut self, units: u64) {
+        self.ctx.charge_work(units);
+    }
+
+    fn count(&mut self, counter: &'static str, delta: f64) {
+        self.ctx.count(counter, delta);
+    }
+
+    fn set_app_timer(&mut self, delay_micros: u64, tag: u64) {
+        assert!(
+            tag & VSYNC_TAG_BIT == 0,
+            "application timer tags must not use the top bit"
+        );
+        self.ctx.set_timer(SimTime::from_micros(delay_micros), tag);
+    }
+
+    fn random_u64(&mut self) -> u64 {
+        self.ctx.rng().next_u64()
+    }
+}
+
+/// Sends (or locally enqueues) one gcast attempt toward the current best
+/// leader candidate.
+fn send_gcast_attempt<O>(
+    core: &mut Core,
+    ctx: &mut Context<'_, NetMsg, O>,
+    group: GroupId,
+    req: ReqId,
+    payload: Vec<u8>,
+) {
+    let view_id = core
+        .groups
+        .get(&group)
+        .map(|g| g.view.id())
+        .unwrap_or(ViewId(0));
+    let msg = NetMsg::Vsync(VsyncMsg::Gcast {
+        group,
+        view: view_id,
+        req,
+        payload,
+    });
+    if core.is_leader(group) {
+        // Leader-origin: sequence it via a local event (never re-entrantly,
+        // so app callbacks cannot recurse).
+        ctx.send_local(msg);
+        return;
+    }
+    let tried = core
+        .pending
+        .get(&req)
+        .map(|p| p.tried.clone())
+        .unwrap_or_default();
+    let target = match core.contact(group, &tried) {
+        Some(t) => Some(t),
+        None => {
+            // Every candidate was tried: start the rotation over.
+            if let Some(p) = core.pending.get_mut(&req) {
+                p.tried.clear();
+            }
+            core.contact(group, &BTreeSet::new())
+        }
+    };
+    if let Some(target) = target {
+        if target == core.id {
+            ctx.send_local(msg);
+        } else {
+            ctx.send(target, msg);
+        }
+    }
+    // If no contact exists, the retry timer will try again / give up.
+}
+
+fn start_join<O>(core: &mut Core, ctx: &mut Context<'_, NetMsg, O>, group: GroupId) {
+    let id = core.id;
+    let gs = core.group(group);
+    if gs.member {
+        return;
+    }
+    gs.joining = true;
+    gs.probing = false;
+    gs.probe_grants.clear();
+    // Find a live member to ask; never ask ourselves (a joiner is by
+    // definition not a member).
+    let candidate = {
+        let gs = &core.groups[&group];
+        gs.view.members().find(|m| *m != id && core.up.contains(m))
+    };
+    match candidate {
+        Some(target) => {
+            ctx.send(
+                target,
+                NetMsg::Vsync(VsyncMsg::JoinReq { group, joiner: id }),
+            );
+        }
+        None => {
+            // Our cache knows no live member. Do NOT conclude the group
+            // is dead from one stale cache (that way lies split brain) —
+            // probe every live node for what it knows first.
+            let others: Vec<NodeId> = core.up.iter().copied().filter(|m| *m != id).collect();
+            if others.is_empty() {
+                // Sole live node in the ensemble: re-form around self.
+                let gs = core.group(group);
+                let new_view = View::new(gs.view.id().next(), [id]);
+                gs.view = new_view;
+                gs.member = true;
+                gs.joining = false;
+                return;
+            }
+            core.group(group).probing = true;
+            for m in others {
+                ctx.send(m, NetMsg::Vsync(VsyncMsg::ProbeReq { group, joiner: id }));
+            }
+        }
+    }
+    let timeout = core.cfg.retry_timeout;
+    core.arm_timer(ctx, timeout, TimerPurpose::RetryJoin(group));
+}
+
+fn start_leave<O>(core: &mut Core, ctx: &mut Context<'_, NetMsg, O>, group: GroupId) {
+    let id = core.id;
+    let gs = core.group(group);
+    if !gs.member || gs.leaving {
+        return;
+    }
+    if gs.view.len() <= 1 {
+        // Refuse: leaving as last member would lose the class data and
+        // violate the fault-tolerance condition (§4.1).
+        return;
+    }
+    gs.leaving = true;
+    let leader = gs.view.leader().expect("non-empty view has a leader");
+    let msg = NetMsg::Vsync(VsyncMsg::LeaveReq { group, leaver: id });
+    if leader == id {
+        ctx.send_local(msg);
+    } else {
+        ctx.send(leader, msg);
+    }
+    let timeout = core.cfg.retry_timeout;
+    core.arm_timer(ctx, timeout, TimerPurpose::RetryLeave(group));
+}
+
+impl<A: GroupApp> VsyncNode<A> {
+    /// Creates a node wrapping `app` with the given configuration.
+    pub fn new(id: NodeId, cfg: VsyncConfig, app: A) -> Self {
+        VsyncNode {
+            app,
+            core: Core::new(id, cfg),
+        }
+    }
+
+    /// The wrapped application (for assertions in tests and experiments).
+    pub fn app(&self) -> &A {
+        &self.app
+    }
+
+    /// This node's current view of `group`, if known.
+    pub fn view_of(&self, group: GroupId) -> Option<&View> {
+        self.core.groups.get(&group).map(|g| &g.view)
+    }
+
+    /// Is this node an installed member of `group`?
+    pub fn is_member_of(&self, group: GroupId) -> bool {
+        self.core.groups.get(&group).is_some_and(|g| g.member)
+    }
+
+    fn init_groups(&mut self, fresh: bool) {
+        let id = self.core.id;
+        for (g, members) in self.core.cfg.initial_groups.clone() {
+            let gs = self.core.group(g);
+            // On a cold start every configured basic member is installed
+            // immediately; on recovery we merely remember the *other*
+            // members as contacts — this node crashed out of the group and
+            // must re-join through state transfer, so its own stale entry
+            // must not linger in the cached view (it could otherwise
+            // "redirect-join" via its own cache and skip the transfer).
+            if fresh {
+                gs.view = View::new(ViewId(0), members.iter().copied());
+                gs.member = members.contains(&id);
+            } else {
+                gs.view = View::new(ViewId(0), members.iter().copied().filter(|m| *m != id));
+                gs.member = false;
+            }
+        }
+    }
+
+    /// Delivers `req` at this member: dedup, apply, cache response.
+    /// Returns whether it was newly processed.
+    fn deliver_at_member(
+        &mut self,
+        ctx: &mut Context<'_, NetMsg, A::Output>,
+        group: GroupId,
+        req: ReqId,
+        payload: &[u8],
+    ) -> bool {
+        if self
+            .core
+            .groups
+            .get(&group)
+            .is_some_and(|g| g.processed.contains(&req))
+        {
+            return false;
+        }
+        let Delivery { response, work } = {
+            let mut ops = Ops {
+                core: &mut self.core,
+                ctx,
+            };
+            self.app.deliver(&mut ops, group, req.origin, payload)
+        };
+        ctx.charge_work(work);
+        let gs = self.core.group(group);
+        gs.processed.insert(req);
+        gs.resps.insert(req, response);
+        true
+    }
+
+    fn check_tally(
+        &mut self,
+        ctx: &mut Context<'_, NetMsg, A::Output>,
+        group: GroupId,
+        req: ReqId,
+    ) {
+        let Some(tally) = self.core.tallies.get(&(group, req)) else {
+            return;
+        };
+        // Lazily created tallies (dones arriving before the leader
+        // sequenced the request) have no expectation yet and must wait.
+        if tally.expected.is_empty() || tally.responded || !tally.expected.is_subset(&tally.got) {
+            return;
+        }
+        let origin = tally.origin;
+        self.core.tallies.get_mut(&(group, req)).unwrap().responded = true;
+        let resp = self
+            .core
+            .groups
+            .get(&group)
+            .and_then(|g| g.resps.get(&req).cloned())
+            .unwrap_or_default();
+        if origin == self.core.id {
+            self.complete_pending(ctx, req, Ok(resp));
+        } else {
+            ctx.send(
+                origin,
+                NetMsg::Vsync(VsyncMsg::GcastResp {
+                    group,
+                    req,
+                    payload: resp,
+                }),
+            );
+        }
+    }
+
+    fn complete_pending(
+        &mut self,
+        ctx: &mut Context<'_, NetMsg, A::Output>,
+        req: ReqId,
+        result: Result<Vec<u8>, GcastError>,
+    ) {
+        if let Some(p) = self.core.pending.remove(&req) {
+            let mut ops = Ops {
+                core: &mut self.core,
+                ctx,
+            };
+            self.app.on_gcast_complete(&mut ops, p.token, result);
+        }
+    }
+
+    /// Leader-side processing of a gcast request (fresh or retried).
+    fn lead_gcast(
+        &mut self,
+        ctx: &mut Context<'_, NetMsg, A::Output>,
+        group: GroupId,
+        req: ReqId,
+        payload: Vec<u8>,
+    ) {
+        if let Some(t) = self.core.tallies.get(&(group, req)) {
+            if t.responded {
+                // Retried after completion: resend the cached response.
+                let origin = t.origin;
+                let resp = self
+                    .core
+                    .groups
+                    .get(&group)
+                    .and_then(|g| g.resps.get(&req).cloned())
+                    .unwrap_or_default();
+                if origin == self.core.id {
+                    self.complete_pending(ctx, req, Ok(resp));
+                } else {
+                    ctx.send(
+                        origin,
+                        NetMsg::Vsync(VsyncMsg::GcastResp {
+                            group,
+                            req,
+                            payload: resp,
+                        }),
+                    );
+                }
+                return;
+            }
+            if !t.expected.is_empty() {
+                // In flight: members will re-ack via the origin's retries.
+                return;
+            }
+            // Else: a lazy tally from early dones — fall through and
+            // sequence the request now, keeping the dones already seen.
+        }
+        let (members, view_id): (Vec<NodeId>, ViewId) = {
+            let gs = self.core.group(group);
+            (gs.view.members().collect(), gs.view.id())
+        };
+        // Fan-out to every other member (|g| messages incl. the leader's
+        // own local processing, per the §3.3 accounting).
+        for m in &members {
+            if *m != self.core.id {
+                ctx.send(
+                    *m,
+                    NetMsg::Vsync(VsyncMsg::Gcast {
+                        group,
+                        view: view_id,
+                        req,
+                        payload: payload.clone(),
+                    }),
+                );
+            }
+        }
+        let expected: BTreeSet<NodeId> = members.iter().copied().collect();
+        let tally = self
+            .core
+            .tallies
+            .entry((group, req))
+            .or_insert_with(|| Tally {
+                origin: req.origin,
+                expected: BTreeSet::new(),
+                got: BTreeSet::new(),
+                responded: false,
+            });
+        tally.expected = expected;
+        self.deliver_at_member(ctx, group, req, &payload);
+        self.core
+            .tallies
+            .get_mut(&(group, req))
+            .unwrap()
+            .got
+            .insert(self.core.id);
+        self.check_tally(ctx, group, req);
+    }
+
+    /// Leader-side join admission: broadcast the new view, then snapshot
+    /// and transfer state to the joiner.
+    fn admit_join(
+        &mut self,
+        ctx: &mut Context<'_, NetMsg, A::Output>,
+        group: GroupId,
+        joiner: NodeId,
+    ) {
+        let id = self.core.id;
+        let (new_view, already) = {
+            let gs = self.core.group(group);
+            if gs.view.contains(joiner) {
+                (gs.view.clone(), true)
+            } else {
+                (gs.view.with_member(joiner), false)
+            }
+        };
+        if !already {
+            self.core.group(group).view = new_view.clone();
+        }
+        for m in new_view.members() {
+            if m != id {
+                ctx.send(
+                    m,
+                    NetMsg::Vsync(VsyncMsg::NewView {
+                        group,
+                        view: new_view.clone(),
+                        donor: Some(id),
+                        joiner: Some(joiner),
+                    }),
+                );
+            }
+        }
+        // Snapshot *now*: as sequencer, the leader's state reflects exactly
+        // the deliveries ordered before this view change.
+        let snap = {
+            let gs = self.core.group(group);
+            GroupSnapshot {
+                processed: {
+                    let mut v: Vec<ReqId> = gs.processed.iter().copied().collect();
+                    v.sort_unstable();
+                    v
+                },
+                resps: gs.resps.iter().map(|(k, v)| (*k, v.clone())).collect(),
+                app: self.app.snapshot(group),
+            }
+        };
+        let bytes = serde_json::to_vec(&snap).expect("snapshot serializes");
+        ctx.send(
+            joiner,
+            NetMsg::Vsync(VsyncMsg::StateXfer {
+                group,
+                view: new_view.id(),
+                state: bytes,
+            }),
+        );
+        if !already {
+            let view = new_view;
+            let mut ops = Ops {
+                core: &mut self.core,
+                ctx,
+            };
+            self.app.on_view(&mut ops, group, &view);
+        }
+    }
+
+    /// Installs (or caches) a received view.
+    fn handle_new_view(
+        &mut self,
+        ctx: &mut Context<'_, NetMsg, A::Output>,
+        group: GroupId,
+        view: View,
+        joiner: Option<NodeId>,
+    ) {
+        let id = self.core.id;
+        let up = self.core.up.clone();
+        let gs = self.core.group(group);
+        let eff_id = ViewId(view.id().0.max(gs.view.id().0));
+        let members: Vec<NodeId> = view.members().filter(|m| up.contains(m)).collect();
+        let effective = View::new(eff_id, members);
+        gs.probing = false;
+        if effective.contains(id) {
+            let was_member = gs.member;
+            if !was_member && joiner != Some(id) {
+                // We are listed but were never admitted as the joiner —
+                // e.g. a stale view echoed back after we crashed and
+                // recovered. Adopting membership here would skip state
+                // transfer; treat it as contact information only.
+                gs.view = View::new(effective.id(), effective.members().filter(|m| *m != id));
+                return;
+            }
+            gs.view = effective.clone();
+            gs.member = true;
+            if joiner == Some(id) && !was_member {
+                gs.joining = false;
+                let pending = gs.pending_state.take();
+                match pending {
+                    Some(state) => {
+                        // install_state fires on_view itself.
+                        self.install_state(ctx, group, &state);
+                    }
+                    None => {
+                        gs.awaiting_state = true;
+                        // on_view fires after the snapshot installs.
+                    }
+                }
+                return;
+            }
+            let mut ops = Ops {
+                core: &mut self.core,
+                ctx,
+            };
+            self.app.on_view(&mut ops, group, &effective);
+        } else if gs.member {
+            // Removed (our leave acknowledged, or admin decision).
+            gs.member = false;
+            gs.leaving = false;
+            gs.view = effective;
+            gs.processed.clear();
+            gs.resps.clear();
+            self.app.erase(group);
+        } else {
+            gs.view = effective;
+        }
+    }
+
+    fn install_state(
+        &mut self,
+        ctx: &mut Context<'_, NetMsg, A::Output>,
+        group: GroupId,
+        state: &[u8],
+    ) {
+        let snap: GroupSnapshot = match serde_json::from_slice(state) {
+            Ok(s) => s,
+            Err(_) => return, // corrupt snapshot: keep waiting; retry refetches
+        };
+        {
+            let gs = self.core.group(group);
+            gs.processed = snap.processed.into_iter().collect();
+            gs.resps = snap.resps.into_iter().collect();
+            gs.awaiting_state = false;
+            gs.joining = false;
+        }
+        {
+            let mut ops = Ops {
+                core: &mut self.core,
+                ctx,
+            };
+            self.app.install(&mut ops, group, &snap.app);
+        }
+        // Replay fan-outs that arrived while the snapshot was in flight:
+        // the dedup set from the snapshot filters the ones already covered,
+        // and every one is acknowledged so the leader's tally completes.
+        let buffered = std::mem::take(&mut self.core.group(group).buffer);
+        for (from, req, payload) in buffered {
+            self.deliver_at_member(ctx, group, req, &payload);
+            ctx.send(from, NetMsg::Vsync(VsyncMsg::GcastDone { group, req }));
+        }
+        let view = self.core.group(group).view.clone();
+        let mut ops = Ops {
+            core: &mut self.core,
+            ctx,
+        };
+        self.app.on_view(&mut ops, group, &view);
+    }
+
+    fn handle_vsync(
+        &mut self,
+        ctx: &mut Context<'_, NetMsg, A::Output>,
+        from: NodeId,
+        msg: VsyncMsg,
+    ) {
+        let id = self.core.id;
+        match msg {
+            VsyncMsg::Gcast {
+                group,
+                view,
+                req,
+                payload,
+            } => {
+                let (member, awaiting, from_is_peer_member) = {
+                    let gs = self.core.group(group);
+                    (gs.member, gs.awaiting_state, gs.view.contains(from))
+                };
+                if self.core.is_leader(group) {
+                    self.lead_gcast(ctx, group, req, payload);
+                } else if member {
+                    if !from_is_peer_member && from != id {
+                        // Not a fan-out from the (current or recent)
+                        // leader but a misdirected origin request — relay
+                        // it to the leader we know, which sequences it.
+                        let leader = self.core.group(group).view.leader();
+                        if let Some(l) = leader {
+                            if l == id {
+                                // Shouldn't happen (is_leader above), but
+                                // stay safe.
+                                self.lead_gcast(ctx, group, req, payload);
+                            } else {
+                                ctx.send(
+                                    l,
+                                    NetMsg::Vsync(VsyncMsg::Gcast {
+                                        group,
+                                        view,
+                                        req,
+                                        payload,
+                                    }),
+                                );
+                            }
+                        }
+                        return;
+                    }
+                    if awaiting {
+                        self.core.group(group).buffer.push((from, req, payload));
+                    } else {
+                        self.deliver_at_member(ctx, group, req, &payload);
+                        if from == id {
+                            // Degenerate self-delivery; tally handled above.
+                        } else {
+                            ctx.send(from, NetMsg::Vsync(VsyncMsg::GcastDone { group, req }));
+                        }
+                    }
+                } else {
+                    // Not a member: tell the sender what we know.
+                    let view = self.core.group(group).view.clone();
+                    ctx.send(
+                        from,
+                        NetMsg::Vsync(VsyncMsg::GcastNack { group, req, view }),
+                    );
+                }
+            }
+            VsyncMsg::GcastDone { group, req } => {
+                let t = self
+                    .core
+                    .tallies
+                    .entry((group, req))
+                    .or_insert_with(|| Tally {
+                        origin: req.origin,
+                        expected: BTreeSet::new(),
+                        got: BTreeSet::new(),
+                        responded: false,
+                    });
+                t.got.insert(from);
+                self.check_tally(ctx, group, req);
+            }
+            VsyncMsg::GcastResp { req, payload, .. } => {
+                self.complete_pending(ctx, req, Ok(payload));
+            }
+            VsyncMsg::GcastNack { group, req, view } => {
+                // Stale contact: learn whatever the rejecter knows, mark
+                // it tried, and retry toward a better candidate.
+                {
+                    let up = self.core.up.clone();
+                    let gs = self.core.group(group);
+                    if !gs.member {
+                        if gs.view.contains(from) {
+                            gs.view = gs.view.without_member(from);
+                        }
+                        // Adopt a fresher view if the rejecter had one
+                        // with live members.
+                        if view.id() >= gs.view.id()
+                            && view.members().any(|m| up.contains(&m) && m != from)
+                        {
+                            gs.view = View::new(view.id(), view.members().filter(|m| *m != from));
+                        }
+                    }
+                }
+                if let Some(p) = self.core.pending.get_mut(&req) {
+                    p.tried.insert(from);
+                    p.retries += 1;
+                    let (group, payload, retries) = (p.group, p.payload.clone(), p.retries);
+                    if retries > self.core.cfg.max_retries {
+                        self.complete_pending(ctx, req, Err(GcastError::Unavailable));
+                    } else {
+                        send_gcast_attempt(&mut self.core, ctx, group, req, payload);
+                    }
+                }
+            }
+            VsyncMsg::JoinReq { group, joiner } => {
+                if self.core.is_leader(group) {
+                    self.admit_join(ctx, group, joiner);
+                } else {
+                    // Redirect: share our view so the joiner can find the
+                    // real leader.
+                    let view = self.core.group(group).view.clone();
+                    ctx.send(
+                        joiner,
+                        NetMsg::Vsync(VsyncMsg::NewView {
+                            group,
+                            view,
+                            donor: None,
+                            joiner: None,
+                        }),
+                    );
+                }
+            }
+            VsyncMsg::ProbeReq { group, joiner } => {
+                let now = ctx.now().as_micros();
+                let window = 4 * self.core.cfg.retry_timeout.as_micros();
+                let gs = self.core.group(group);
+                let member = gs.member;
+                let grant = if member {
+                    false
+                } else {
+                    match gs.form_grant {
+                        Some((holder, exp)) if exp > now && holder != joiner => false,
+                        _ => {
+                            gs.form_grant = Some((joiner, now + window));
+                            true
+                        }
+                    }
+                };
+                ctx.send(
+                    joiner,
+                    NetMsg::Vsync(VsyncMsg::ProbeResp {
+                        group,
+                        member,
+                        grant,
+                    }),
+                );
+            }
+            VsyncMsg::ProbeResp {
+                group,
+                member,
+                grant,
+            } => {
+                let up = self.core.up.clone();
+                let gs = self.core.group(group);
+                if !gs.joining || gs.member || !gs.probing {
+                    return;
+                }
+                if member {
+                    // Authoritative: the responder IS a live member.
+                    gs.probing = false;
+                    gs.probe_grants.clear();
+                    if !gs.view.contains(from) {
+                        gs.view = gs.view.with_member(from);
+                    }
+                    ctx.send(from, NetMsg::Vsync(VsyncMsg::JoinReq { group, joiner: id }));
+                    return;
+                }
+                if grant {
+                    gs.probe_grants.insert(from);
+                }
+                let unanimous = up
+                    .iter()
+                    .filter(|m| **m != id)
+                    .all(|m| gs.probe_grants.contains(m));
+                if unanimous {
+                    // Every live node granted: nobody is a member and no
+                    // concurrent prober can also win this window — re-form
+                    // the group with empty state (the >λ data-loss case).
+                    let new_view = View::new(gs.view.id().next(), [id]);
+                    gs.view = new_view.clone();
+                    gs.member = true;
+                    gs.joining = false;
+                    gs.probing = false;
+                    gs.probe_grants.clear();
+                    let mut ops = Ops {
+                        core: &mut self.core,
+                        ctx,
+                    };
+                    self.app.on_view(&mut ops, group, &new_view);
+                }
+                // Otherwise: wait; the RetryJoin timer re-probes.
+            }
+            VsyncMsg::LeaveReq { group, leaver } => {
+                if self.core.is_leader(group) {
+                    let view = self.core.group(group).view.clone();
+                    if !view.contains(leaver) {
+                        if leaver != id {
+                            ctx.send(
+                                leaver,
+                                NetMsg::Vsync(VsyncMsg::NewView {
+                                    group,
+                                    view,
+                                    donor: None,
+                                    joiner: None,
+                                }),
+                            );
+                        }
+                        return;
+                    }
+                    if view.len() <= 1 {
+                        return; // refuse: last member cannot leave
+                    }
+                    let new_view = view.without_member(leaver);
+                    for m in view.members() {
+                        if m != id {
+                            ctx.send(
+                                m,
+                                NetMsg::Vsync(VsyncMsg::NewView {
+                                    group,
+                                    view: new_view.clone(),
+                                    donor: None,
+                                    joiner: None,
+                                }),
+                            );
+                        }
+                    }
+                    // Apply locally (handles the leader-leaves case too).
+                    self.handle_new_view(ctx, group, new_view, None);
+                    self.recheck_group_tallies(ctx, group);
+                } else if leaver != id {
+                    let view = self.core.group(group).view.clone();
+                    ctx.send(
+                        leaver,
+                        NetMsg::Vsync(VsyncMsg::NewView {
+                            group,
+                            view,
+                            donor: None,
+                            joiner: None,
+                        }),
+                    );
+                }
+            }
+            VsyncMsg::NewView {
+                group,
+                view,
+                joiner,
+                ..
+            } => {
+                self.handle_new_view(ctx, group, view, joiner);
+                self.recheck_group_tallies(ctx, group);
+            }
+            VsyncMsg::StateXfer { group, state, .. } => {
+                let gs = self.core.group(group);
+                if gs.awaiting_state {
+                    self.install_state(ctx, group, &state);
+                } else if gs.joining {
+                    gs.pending_state = Some(state);
+                }
+                // Otherwise: stale transfer; ignore.
+            }
+        }
+    }
+
+    fn recheck_group_tallies(&mut self, ctx: &mut Context<'_, NetMsg, A::Output>, group: GroupId) {
+        let reqs: Vec<ReqId> = self
+            .core
+            .tallies
+            .range(
+                (
+                    group,
+                    ReqId {
+                        origin: NodeId(0),
+                        seq: 0,
+                    },
+                )..,
+            )
+            .take_while(|((g, _), _)| *g == group)
+            .map(|((_, r), _)| *r)
+            .collect();
+        for req in reqs {
+            self.check_tally(ctx, group, req);
+        }
+    }
+
+    fn on_peer_crashed(&mut self, ctx: &mut Context<'_, NetMsg, A::Output>, peer: NodeId) {
+        self.core.up.remove(&peer);
+        let groups: Vec<GroupId> = self.core.groups.keys().copied().collect();
+        for g in groups {
+            let (changed, view, member) = {
+                let gs = self.core.group(g);
+                if gs.view.contains(peer) {
+                    gs.view = gs.view.without_member(peer);
+                    (true, gs.view.clone(), gs.member)
+                } else {
+                    (false, gs.view.clone(), gs.member)
+                }
+            };
+            // Prune the crashed member from every outstanding tally.
+            let reqs: Vec<ReqId> = self
+                .core
+                .tallies
+                .range(
+                    (
+                        g,
+                        ReqId {
+                            origin: NodeId(0),
+                            seq: 0,
+                        },
+                    )..,
+                )
+                .take_while(|((gg, _), _)| *gg == g)
+                .map(|((_, r), _)| *r)
+                .collect();
+            for req in &reqs {
+                if let Some(t) = self.core.tallies.get_mut(&(g, *req)) {
+                    t.expected.remove(&peer);
+                }
+            }
+            for req in reqs {
+                self.check_tally(ctx, g, req);
+            }
+            if changed && member {
+                let mut ops = Ops {
+                    core: &mut self.core,
+                    ctx,
+                };
+                self.app.on_view(&mut ops, g, &view);
+            }
+        }
+    }
+
+    fn on_timer_fired(&mut self, ctx: &mut Context<'_, NetMsg, A::Output>, tag: u64) {
+        if tag & VSYNC_TAG_BIT == 0 {
+            let mut ops = Ops {
+                core: &mut self.core,
+                ctx,
+            };
+            self.app.on_timer(&mut ops, tag);
+            return;
+        }
+        let id = tag & !VSYNC_TAG_BIT;
+        let Some(purpose) = self.core.timers.remove(&id) else {
+            return;
+        };
+        match purpose {
+            TimerPurpose::RetryGcast(req) => {
+                let Some(p) = self.core.pending.get_mut(&req) else {
+                    return; // completed
+                };
+                p.retries += 1;
+                let (group, payload, retries) = (p.group, p.payload.clone(), p.retries);
+                if retries > self.core.cfg.max_retries {
+                    self.complete_pending(ctx, req, Err(GcastError::Unavailable));
+                } else {
+                    send_gcast_attempt(&mut self.core, ctx, group, req, payload);
+                    let timeout = self.core.cfg.retry_timeout;
+                    self.core
+                        .arm_timer(ctx, timeout, TimerPurpose::RetryGcast(req));
+                }
+            }
+            TimerPurpose::RetryJoin(group) => {
+                let gs = self.core.group(group);
+                if gs.joining && !gs.member {
+                    gs.joining = false; // start_join re-sets it
+                    gs.probing = false;
+                    start_join(&mut self.core, ctx, group);
+                } else if gs.member && gs.awaiting_state {
+                    // View installed but the snapshot got lost (donor
+                    // crashed mid-transfer): ask the current leader again.
+                    let leader = gs.view.leader();
+                    if let Some(l) = leader {
+                        if l != self.core.id {
+                            ctx.send(
+                                l,
+                                NetMsg::Vsync(VsyncMsg::JoinReq {
+                                    group,
+                                    joiner: self.core.id,
+                                }),
+                            );
+                        } else {
+                            // We became leader while awaiting state — the
+                            // rest of the group has the data; re-join via
+                            // the next member instead.
+                            let me = self.core.id;
+                            let next = self.core.group(group).view.members().find(|m| *m != me);
+                            if let Some(nm) = next {
+                                ctx.send(
+                                    nm,
+                                    NetMsg::Vsync(VsyncMsg::JoinReq {
+                                        group,
+                                        joiner: self.core.id,
+                                    }),
+                                );
+                            } else {
+                                // Sole survivor: adopt empty state.
+                                let gs = self.core.group(group);
+                                gs.awaiting_state = false;
+                                let view = gs.view.clone();
+                                let mut ops = Ops {
+                                    core: &mut self.core,
+                                    ctx,
+                                };
+                                self.app.on_view(&mut ops, group, &view);
+                            }
+                        }
+                    }
+                    let timeout = self.core.cfg.retry_timeout;
+                    self.core
+                        .arm_timer(ctx, timeout, TimerPurpose::RetryJoin(group));
+                }
+            }
+            TimerPurpose::RetryLeave(group) => {
+                let gs = self.core.group(group);
+                if gs.member && gs.leaving {
+                    gs.leaving = false; // start_leave re-sets it
+                    start_leave(&mut self.core, ctx, group);
+                }
+            }
+        }
+    }
+}
+
+impl<A: GroupApp> Actor for VsyncNode<A> {
+    type Msg = NetMsg;
+    type Output = A::Output;
+
+    fn handle(&mut self, ctx: &mut Context<'_, NetMsg, A::Output>, event: NodeEvent<NetMsg>) {
+        match event {
+            NodeEvent::Start => {
+                self.core.up = (0..ctx.n() as u32).map(NodeId).collect();
+                self.init_groups(true);
+                let mut ops = Ops {
+                    core: &mut self.core,
+                    ctx,
+                };
+                self.app.on_start(&mut ops);
+            }
+            NodeEvent::Recovered => {
+                self.core.up = (0..ctx.n() as u32).map(NodeId).collect();
+                self.init_groups(false);
+                // Request ids must never be reused across incarnations —
+                // peers cache responses per ReqId, and a reused id would
+                // be answered with a *stale* cached response. Jump the
+                // counter past anything the previous incarnation (which
+                // lived strictly before `now`) could have issued.
+                self.core.next_req = self
+                    .core
+                    .next_req
+                    .max(ctx.now().as_micros().saturating_mul(1 << 16));
+                let mut ops = Ops {
+                    core: &mut self.core,
+                    ctx,
+                };
+                self.app.on_recovered(&mut ops);
+            }
+            NodeEvent::PeerCrashed(p) => {
+                self.on_peer_crashed(ctx, p);
+                let mut ops = Ops {
+                    core: &mut self.core,
+                    ctx,
+                };
+                self.app.on_peer_crashed(&mut ops, p);
+            }
+            NodeEvent::PeerRecovered(p) => {
+                self.core.up.insert(p);
+                let mut ops = Ops {
+                    core: &mut self.core,
+                    ctx,
+                };
+                self.app.on_peer_recovered(&mut ops, p);
+            }
+            NodeEvent::Timer { tag } => self.on_timer_fired(ctx, tag),
+            NodeEvent::Message { from, msg } => match msg {
+                NetMsg::Vsync(m) => self.handle_vsync(ctx, from, m),
+                NetMsg::App(bytes) => {
+                    let mut ops = Ops {
+                        core: &mut self.core,
+                        ctx,
+                    };
+                    self.app.on_app_message(&mut ops, from, &bytes);
+                }
+            },
+        }
+    }
+}

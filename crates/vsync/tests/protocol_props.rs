@@ -1,0 +1,242 @@
+//! Property tests of the virtual-synchrony protocol: under *randomized*
+//! schedules of gcasts, joins, leaves, crashes and repairs (bounded by λ),
+//! the invariants of §3.2 must hold at quiescence:
+//!
+//! 1. **Replica agreement** — all installed members of a group hold the
+//!    same application state (same log, same order);
+//! 2. **View agreement** — all installed members hold the same view;
+//! 3. **Completion** — every gcast issued by a live, never-crashed node
+//!    terminates (response or explicit failure);
+//! 4. **At-most-once** — no log entry is duplicated at any member.
+
+use proptest::prelude::*;
+
+use paso_simnet::{Engine, EngineConfig, NodeId, SimTime};
+use paso_vsync::{
+    Delivery, GcastError, GroupApp, GroupId, NetMsg, View, VsyncConfig, VsyncNode, VsyncOps,
+};
+
+const G: GroupId = GroupId(1);
+
+/// Replicated log with unique entries; commands via app messages:
+/// `[1, id]` append id, `[2]` join G, `[3]` leave G.
+#[derive(Debug, Default)]
+struct LogApp {
+    log: Vec<u8>,
+    completions: u64,
+}
+
+impl GroupApp for LogApp {
+    type Output = (u64, bool);
+
+    fn on_start(&mut self, _: &mut dyn VsyncOps<Self::Output>) {}
+    fn on_recovered(&mut self, vs: &mut dyn VsyncOps<Self::Output>) {
+        // Recovered nodes always try to rejoin.
+        vs.join(G);
+    }
+    fn on_app_message(&mut self, vs: &mut dyn VsyncOps<Self::Output>, _: NodeId, bytes: &[u8]) {
+        match bytes {
+            [1, id] => vs.gcast(G, vec![*id], *id as u64),
+            [2] => vs.join(G),
+            [3] => vs.leave(G),
+            _ => {}
+        }
+    }
+    fn on_timer(&mut self, _: &mut dyn VsyncOps<Self::Output>, _: u64) {}
+    fn deliver(
+        &mut self,
+        _: &mut dyn VsyncOps<Self::Output>,
+        _: GroupId,
+        _: NodeId,
+        payload: &[u8],
+    ) -> Delivery {
+        self.log.extend_from_slice(payload);
+        Delivery {
+            response: vec![1],
+            work: 1,
+        }
+    }
+    fn on_gcast_complete(
+        &mut self,
+        vs: &mut dyn VsyncOps<Self::Output>,
+        token: u64,
+        result: Result<Vec<u8>, GcastError>,
+    ) {
+        self.completions += 1;
+        vs.emit((token, result.is_ok()));
+    }
+    fn snapshot(&self, _: GroupId) -> Vec<u8> {
+        self.log.clone()
+    }
+    fn install(&mut self, _: &mut dyn VsyncOps<Self::Output>, _: GroupId, s: &[u8]) {
+        self.log = s.to_vec();
+    }
+    fn erase(&mut self, _: GroupId) {
+        self.log.clear();
+    }
+    fn on_view(&mut self, _: &mut dyn VsyncOps<Self::Output>, _: GroupId, _: &View) {}
+}
+
+#[derive(Debug, Clone)]
+enum Step {
+    Gcast { node: u8 },
+    Join { node: u8 },
+    Leave { node: u8 },
+    CrashRepair { node: u8, gap_ms: u8 },
+    Quiet { ms: u8 },
+}
+
+fn arb_step(n: u8) -> impl Strategy<Value = Step> {
+    prop_oneof![
+        4 => (0..n).prop_map(|node| Step::Gcast { node }),
+        1 => (0..n).prop_map(|node| Step::Join { node }),
+        1 => (0..n).prop_map(|node| Step::Leave { node }),
+        1 => ((0..n), (5u8..40)).prop_map(|(node, gap_ms)| Step::CrashRepair { node, gap_ms }),
+        2 => (1u8..20).prop_map(|ms| Step::Quiet { ms }),
+    ]
+}
+
+fn run_schedule(steps: &[Step], seed: u64) -> Engine<VsyncNode<LogApp>> {
+    const N: usize = 5;
+    let cfg = VsyncConfig {
+        initial_groups: vec![(G, vec![NodeId(0), NodeId(1)])],
+        ..VsyncConfig::default()
+    };
+    let mut ecfg = EngineConfig::for_tests(N);
+    ecfg.seed = seed;
+    let mut e = Engine::new(ecfg, move |id| {
+        VsyncNode::new(id, cfg.clone(), LogApp::default())
+    });
+    let mut next_entry: u8 = 0;
+    let down: Option<u32> = None; // at most λ=1 concurrently down
+    for step in steps {
+        let t = e.now() + SimTime::from_millis(1);
+        match step {
+            Step::Gcast { node } => {
+                let node = *node as u32 % N as u32;
+                if Some(node) != down {
+                    next_entry = next_entry.wrapping_add(1);
+                    e.inject(t, NodeId(node), NetMsg::App(vec![1, next_entry]));
+                }
+            }
+            Step::Join { node } => {
+                let node = *node as u32 % N as u32;
+                if Some(node) != down {
+                    e.inject(t, NodeId(node), NetMsg::App(vec![2]));
+                }
+            }
+            Step::Leave { node } => {
+                let node = *node as u32 % N as u32;
+                if Some(node) != down {
+                    e.inject(t, NodeId(node), NetMsg::App(vec![3]));
+                }
+            }
+            Step::CrashRepair { node, gap_ms } => {
+                let node = *node as u32 % N as u32;
+                if down.is_none() {
+                    e.crash_now(NodeId(node));
+                    e.run_until(e.now() + SimTime::from_millis(*gap_ms as u64));
+                    e.repair_now(NodeId(node));
+                    // Let the repair complete so λ=1 is respected (the
+                    // engine counts the init phase as down time).
+                    e.run_until(e.now() + SimTime::from_millis(30));
+                }
+            }
+            Step::Quiet { ms } => {
+                e.run_until(e.now() + SimTime::from_millis(*ms as u64));
+            }
+        }
+        e.run_until(e.now() + SimTime::from_millis(2));
+    }
+    // Drain everything (retry timers etc.).
+    e.run_to_quiescence(3_000_000);
+    e
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn vsync_invariants_hold_under_random_schedules(
+        steps in proptest::collection::vec(arb_step(5), 1..40),
+        seed in 0u64..1000,
+    ) {
+        let e = run_schedule(&steps, seed);
+
+        // Collect installed members and their state.
+        let members: Vec<u32> = (0..5u32)
+            .filter(|m| e.actor(NodeId(*m)).is_member_of(G))
+            .collect();
+        prop_assert!(!members.is_empty(), "the group must never die (λ respected)");
+
+        // (1) Replica agreement.
+        let reference = e.actor(NodeId(members[0])).app().log.clone();
+        for m in &members[1..] {
+            prop_assert_eq!(
+                &e.actor(NodeId(*m)).app().log,
+                &reference,
+                "replica divergence at m{} (members {:?})",
+                m,
+                members
+            );
+        }
+
+        // (4) At-most-once: no duplicate entries in any log.
+        let mut sorted = reference.clone();
+        sorted.sort_unstable();
+        let before = sorted.len();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), before, "duplicate delivery in {:?}", reference);
+
+        // (2) View agreement among installed members.
+        let view0 = e.actor(NodeId(members[0])).view_of(G).unwrap().clone();
+        for m in &members[1..] {
+            let v = e.actor(NodeId(*m)).view_of(G).unwrap();
+            prop_assert_eq!(
+                v.members().collect::<Vec<_>>(),
+                view0.members().collect::<Vec<_>>(),
+                "view divergence at m{}",
+                m
+            );
+        }
+        // The agreed view is exactly the installed-member set.
+        prop_assert_eq!(
+            view0.members().map(|m| m.0).collect::<Vec<_>>(),
+            members.clone(),
+            "view does not match installed membership"
+        );
+    }
+}
+
+#[test]
+fn gcasts_from_stable_nodes_always_complete() {
+    // A deterministic, denser variant of the completion property: node 4
+    // never crashes and issues gcasts throughout a churn storm; every one
+    // must complete.
+    let cfg = VsyncConfig {
+        initial_groups: vec![(G, vec![NodeId(0), NodeId(1)])],
+        ..VsyncConfig::default()
+    };
+    let mut e = Engine::new(EngineConfig::for_tests(5), move |id| {
+        VsyncNode::new(id, cfg.clone(), LogApp::default())
+    });
+    let mut issued = 0u64;
+    for round in 0..12u64 {
+        let t = e.now() + SimTime::from_millis(1);
+        e.inject(t, NodeId(4), NetMsg::App(vec![1, round as u8 + 1]));
+        issued += 1;
+        if round % 3 == 0 {
+            let victim = NodeId((round % 2) as u32);
+            e.crash_now(victim);
+            e.run_until(e.now() + SimTime::from_millis(10));
+            e.repair_now(victim);
+        }
+        e.run_until(e.now() + SimTime::from_millis(40));
+    }
+    e.run_to_quiescence(3_000_000);
+    assert_eq!(
+        e.actor(NodeId(4)).app().completions,
+        issued,
+        "every gcast from the stable node must terminate"
+    );
+}

@@ -1,0 +1,182 @@
+//! Failure-trace generators for the Support Selection experiments (§5.2).
+//!
+//! Traces are sequences of transiently failing machines (the Theorem 4
+//! model). Patterns: uniform background noise, a "flaky subset" (the same
+//! few workstations get reclaimed over and over — the adaptive-parallelism
+//! story of §1), diurnal reclaim waves, and per-machine reliability skew.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use paso_adaptive::support::Machine;
+use paso_simnet::{Fault, FaultScript};
+
+/// Uniformly random failures across all `n` machines.
+pub fn uniform(n: usize, len: usize, seed: u64) -> Vec<Machine> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen_range(0..n)).collect()
+}
+
+/// A flaky subset: machines `0..flaky` produce a `hot_frac` fraction of
+/// all failures; the rest is uniform background.
+pub fn flaky_subset(n: usize, flaky: usize, hot_frac: f64, len: usize, seed: u64) -> Vec<Machine> {
+    assert!(flaky > 0 && flaky <= n);
+    assert!((0.0..=1.0).contains(&hot_frac));
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| {
+            if rng.gen_bool(hot_frac) {
+                rng.gen_range(0..flaky)
+            } else {
+                rng.gen_range(0..n)
+            }
+        })
+        .collect()
+}
+
+/// Diurnal reclaim: failures sweep through machine blocks in waves
+/// (morning desk-by-desk reclaim), with light noise in between.
+pub fn diurnal(n: usize, waves: usize, wave_len: usize, seed: u64) -> Vec<Machine> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    let block = (n / 3).max(1);
+    for w in 0..waves {
+        let start = (w * block) % n;
+        for i in 0..wave_len {
+            out.push((start + i % block) % n);
+        }
+        // Sparse background noise between waves.
+        for _ in 0..wave_len / 4 {
+            out.push(rng.gen_range(0..n));
+        }
+    }
+    out
+}
+
+/// Reliability skew: machine `i` fails proportionally to `weight(i) =
+/// (i+1)^skew` — high indices are flaky, low indices reliable. Tests the
+/// "longer up ⇒ more reliable" assumption behind LRF.
+pub fn skewed(n: usize, skew: f64, len: usize, seed: u64) -> Vec<Machine> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let weights: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(skew)).collect();
+    let total: f64 = weights.iter().sum();
+    (0..len)
+        .map(|_| {
+            let mut u = rng.gen_range(0.0..total);
+            for (i, w) in weights.iter().enumerate() {
+                if u < *w {
+                    return i;
+                }
+                u -= w;
+            }
+            n - 1
+        })
+        .collect()
+}
+
+/// Projects a simulator [`FaultScript`] onto the abstract failure
+/// sequence the §5.2 support-selection model consumes (the order of crash
+/// events; repairs are implicit in the transient-failure model). This lets
+/// the same stochastic process drive both the full simulator (E9) and the
+/// replacement-policy experiments (E5).
+pub fn from_script(script: &FaultScript) -> Vec<Machine> {
+    script
+        .events()
+        .iter()
+        .filter_map(|(_, ev)| match ev {
+            Fault::Crash(m) => Some(m.index()),
+            Fault::Repair(_) => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_covers_machines() {
+        let f = uniform(6, 3000, 1);
+        assert_eq!(f.len(), 3000);
+        for m in 0..6 {
+            assert!(f.contains(&m), "machine {m} never failed");
+        }
+        assert_eq!(f, uniform(6, 3000, 1), "deterministic");
+    }
+
+    #[test]
+    fn flaky_subset_dominates() {
+        let f = flaky_subset(10, 2, 0.9, 5000, 2);
+        let hot = f.iter().filter(|m| **m < 2).count();
+        assert!(hot > 4000, "hot pair should take ~90%+ share: {hot}");
+    }
+
+    #[test]
+    fn diurnal_waves_cluster() {
+        let f = diurnal(9, 3, 40, 3);
+        assert!(!f.is_empty());
+        // First wave hits the first block only (plus trailing noise).
+        let first_wave = &f[0..40];
+        assert!(first_wave.iter().all(|m| *m < 3));
+    }
+
+    #[test]
+    fn skewed_prefers_high_indices() {
+        let f = skewed(10, 2.0, 5000, 4);
+        let low = f.iter().filter(|m| **m < 3).count();
+        let high = f.iter().filter(|m| **m >= 7).count();
+        assert!(
+            high > 3 * low,
+            "high indices must fail far more: {high} vs {low}"
+        );
+    }
+
+    #[test]
+    fn from_script_extracts_crash_order() {
+        use paso_simnet::{NodeId, SimTime};
+        let script = FaultScript::scripted(vec![
+            (SimTime::from_secs(1), Fault::Crash(NodeId(2))),
+            (SimTime::from_secs(2), Fault::Repair(NodeId(2))),
+            (SimTime::from_secs(3), Fault::Crash(NodeId(0))),
+        ]);
+        assert_eq!(from_script(&script), vec![2, 0]);
+    }
+
+    #[test]
+    fn poisson_script_drives_support_selection() {
+        use paso_adaptive::support::{optimal_copies, run_support, Lrf};
+        let script = FaultScript::poisson(
+            8,
+            2,
+            1.0,
+            SimTime::from_millis(500),
+            SimTime::from_millis(100),
+            SimTime::from_secs(300),
+            5,
+        );
+        let trace = from_script(&script);
+        assert!(
+            trace.len() > 20,
+            "expect a meaty trace, got {}",
+            trace.len()
+        );
+        let lrf = run_support(&mut Lrf::new(8), &trace, 8, 2, 1);
+        let opt = optimal_copies(&trace, 8, 2);
+        assert!(opt <= lrf.copies);
+    }
+
+    use paso_simnet::SimTime;
+
+    #[test]
+    fn all_traces_stay_in_range() {
+        for f in [
+            uniform(5, 100, 0),
+            flaky_subset(5, 1, 0.5, 100, 0),
+            diurnal(5, 2, 10, 0),
+            skewed(5, 1.0, 100, 0),
+        ] {
+            assert!(f.iter().all(|m| *m < 5));
+        }
+    }
+}

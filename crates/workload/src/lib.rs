@@ -1,0 +1,39 @@
+//! # paso-workload
+//!
+//! Deterministic workload and failure-trace generators for PASO
+//! experiments:
+//!
+//! - [`requests`] — single-class [`paso_adaptive::Event`] streams for the
+//!   §5 competitive experiments (random mixes, bursty locality, paired
+//!   insert/delete, growth/shrink);
+//! - [`failures`] — machine-failure traces for the §5.2 Support Selection
+//!   experiments (uniform, flaky subset, diurnal reclaim, reliability
+//!   skew);
+//! - [`ops`] — full system-level PASO scripts (bag-of-tasks,
+//!   read-heavy lookup, mixed traffic) replayable against `SimSystem`;
+//! - [`Zipf`] — exact Zipf sampling for skewed popularity.
+//!
+//! Everything is seeded: the same arguments always produce the same
+//! workload.
+//!
+//! # Examples
+//!
+//! ```
+//! use paso_workload::{requests, ops};
+//!
+//! let events = requests::bursty(50, 20, 4);
+//! assert!(!events.is_empty());
+//!
+//! let script = ops::bag_of_tasks(4, 20);
+//! assert!(script.iter().all(|(node, _)| *node <= 4));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod failures;
+pub mod ops;
+pub mod requests;
+mod zipf;
+
+pub use ops::{OpSpec, Script};
+pub use zipf::Zipf;

@@ -1,0 +1,209 @@
+//! System-level operation scripts: full PASO workloads ready to replay
+//! against a `SimSystem` or the live runtime.
+//!
+//! The paper motivates PASO with coordination workloads — master/worker
+//! "bag of tasks" (the application class Bakken & Schlichting's reliable
+//! tuple spaces target), producer/consumer pipelines, and read-mostly
+//! lookup tables. [`Script`]s encode those shapes machine-by-machine.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use paso_types::{FieldMatcher, SearchCriterion, Template, Value};
+
+use crate::zipf::Zipf;
+
+/// One scripted PASO operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpSpec {
+    /// Insert an object with these fields.
+    Insert(Vec<Value>),
+    /// Non-blocking (or blocking) read.
+    Read(SearchCriterion, bool),
+    /// Non-blocking (or blocking) read&del.
+    ReadDel(SearchCriterion, bool),
+}
+
+/// A workload: `(issuing machine, operation)` in program order.
+pub type Script = Vec<(u32, OpSpec)>;
+
+/// Criterion matching `("task", ?, ?)` — any task.
+pub fn sc_any_task() -> SearchCriterion {
+    SearchCriterion::from(Template::new(vec![
+        FieldMatcher::Exact(Value::symbol("task")),
+        FieldMatcher::Any,
+        FieldMatcher::Any,
+    ]))
+}
+
+/// Criterion matching `("result", ?, ?)` — any result.
+pub fn sc_any_result() -> SearchCriterion {
+    SearchCriterion::from(Template::new(vec![
+        FieldMatcher::Exact(Value::symbol("result")),
+        FieldMatcher::Any,
+        FieldMatcher::Any,
+    ]))
+}
+
+/// The classic bag-of-tasks: a master on machine 0 inserts `tasks` task
+/// tuples; `workers` machines each repeatedly `read&del` a task and insert
+/// a result; the master finally collects all results with blocking
+/// `read&del`s.
+pub fn bag_of_tasks(workers: u32, tasks: usize) -> Script {
+    assert!(workers > 0);
+    let mut script = Vec::new();
+    // Master seeds the bag.
+    for i in 0..tasks {
+        script.push((
+            0,
+            OpSpec::Insert(vec![
+                Value::symbol("task"),
+                Value::from(i),
+                Value::from((i * i) as i64),
+            ]),
+        ));
+    }
+    // Workers drain it: each take is a blocking read&del followed by a
+    // result insert. Round-robin across worker machines 1..=workers.
+    for i in 0..tasks {
+        let w = 1 + (i as u32 % workers);
+        script.push((w, OpSpec::ReadDel(sc_any_task(), true)));
+        script.push((
+            w,
+            OpSpec::Insert(vec![
+                Value::symbol("result"),
+                Value::from(i),
+                Value::from(w),
+            ]),
+        ));
+    }
+    // Master collects.
+    for _ in 0..tasks {
+        script.push((0, OpSpec::ReadDel(sc_any_result(), true)));
+    }
+    script
+}
+
+/// A read-mostly lookup workload: `objects` key/value tuples inserted from
+/// machine 0, then `reads` Zipf-popular lookups issued from machines
+/// spread round-robin — the workload where read-group bounding and
+/// adaptive replication pay off.
+pub fn read_heavy(n_machines: u32, objects: usize, reads: usize, theta: f64, seed: u64) -> Script {
+    let mut script = Vec::new();
+    for k in 0..objects {
+        script.push((
+            0,
+            OpSpec::Insert(vec![
+                Value::symbol("kv"),
+                Value::from(k),
+                Value::from(k as i64 * 10),
+            ]),
+        ));
+    }
+    let zipf = Zipf::new(objects, theta);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    for i in 0..reads {
+        let key = zipf.sample(&mut rng);
+        let sc = SearchCriterion::from(Template::new(vec![
+            FieldMatcher::Exact(Value::symbol("kv")),
+            FieldMatcher::Exact(Value::from(key)),
+            FieldMatcher::Any,
+        ]));
+        script.push(((i as u32) % n_machines, OpSpec::Read(sc, false)));
+    }
+    script
+}
+
+/// A mixed update/read workload with tunable read fraction, for the
+/// adaptive-vs-static comparison (experiment E8).
+pub fn mixed(n_machines: u32, len: usize, read_frac: f64, seed: u64) -> Script {
+    assert!((0.0..=1.0).contains(&read_frac));
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut script = Vec::new();
+    let mut live = 0usize;
+    for i in 0..len {
+        let node = (i as u32) % n_machines;
+        if rng.gen_bool(read_frac) || live == 0 {
+            if live == 0 || rng.gen_bool(0.7) {
+                script.push((
+                    node,
+                    OpSpec::Insert(vec![Value::symbol("item"), Value::from(i), Value::Int(0)]),
+                ));
+                live += 1;
+            } else {
+                let sc = SearchCriterion::from(Template::new(vec![
+                    FieldMatcher::Exact(Value::symbol("item")),
+                    FieldMatcher::Any,
+                    FieldMatcher::Any,
+                ]));
+                script.push((node, OpSpec::Read(sc, false)));
+            }
+        } else {
+            let sc = SearchCriterion::from(Template::new(vec![
+                FieldMatcher::Exact(Value::symbol("item")),
+                FieldMatcher::Any,
+                FieldMatcher::Any,
+            ]));
+            script.push((node, OpSpec::ReadDel(sc, false)));
+            live -= 1;
+        }
+    }
+    script
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bag_of_tasks_balances() {
+        let s = bag_of_tasks(3, 9);
+        // 9 inserts + 9×(take+insert) + 9 collects.
+        assert_eq!(s.len(), 9 + 18 + 9);
+        // Every worker takes 3 tasks.
+        for w in 1..=3u32 {
+            let takes = s
+                .iter()
+                .filter(|(n, op)| *n == w && matches!(op, OpSpec::ReadDel(_, _)))
+                .count();
+            assert_eq!(takes, 3);
+        }
+    }
+
+    #[test]
+    fn read_heavy_shape() {
+        let s = read_heavy(4, 10, 50, 1.0, 1);
+        assert_eq!(s.len(), 60);
+        let reads = s
+            .iter()
+            .filter(|(_, op)| matches!(op, OpSpec::Read(_, _)))
+            .count();
+        assert_eq!(reads, 50);
+        assert_eq!(s, read_heavy(4, 10, 50, 1.0, 1), "deterministic");
+    }
+
+    #[test]
+    fn mixed_never_deletes_from_empty() {
+        let s = mixed(4, 300, 0.6, 2);
+        let mut live = 0i64;
+        for (_, op) in &s {
+            match op {
+                OpSpec::Insert(_) => live += 1,
+                OpSpec::ReadDel(_, _) => {
+                    live -= 1;
+                    assert!(live >= 0, "script deletes more than it inserts");
+                }
+                OpSpec::Read(_, _) => {}
+            }
+        }
+    }
+
+    #[test]
+    fn criteria_match_generated_tuples() {
+        assert!(sc_any_task().matches(&paso_types::PasoObject::new(
+            paso_types::ObjectId::new(paso_types::ProcessId(0), 0),
+            vec![Value::symbol("task"), Value::from(3), Value::Int(9)],
+        )));
+    }
+}

@@ -1,0 +1,169 @@
+//! Request-sequence generators for the §5 single-class model.
+//!
+//! These produce [`Event`] streams consumed by the competitive-analysis
+//! harness in `paso-adaptive`: random mixes, bursty locality phases (the
+//! access-pattern shifts adaptive replication exploits), paired
+//! insert/delete traffic (the fixed-`ℓ` assumption of §5.1), and
+//! growth/shrink phases (exercising the Theorem 3 doubling/halving
+//! algorithm).
+
+use paso_adaptive::Event;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A random mix: each event is a read with probability `read_frac`, else
+/// an insert/delete pair member (alternating, so `ℓ` stays bounded).
+/// Reads see a random failure count in `0..=max_failed`.
+pub fn uniform_mix(len: usize, read_frac: f64, max_failed: u64, seed: u64) -> Vec<Event> {
+    assert!((0.0..=1.0).contains(&read_frac));
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut flip = false;
+    (0..len)
+        .map(|_| {
+            if rng.gen_bool(read_frac) {
+                Event::Read {
+                    failed: rng.gen_range(0..=max_failed),
+                }
+            } else {
+                flip = !flip;
+                if flip {
+                    Event::Insert
+                } else {
+                    Event::Delete
+                }
+            }
+        })
+        .collect()
+}
+
+/// Bursty locality: `rounds` alternations of a read burst (length
+/// `read_burst`) and an update burst (length `update_burst`). This is the
+/// workload where adaptive replication shines — joining for read phases,
+/// leaving for update phases.
+pub fn bursty(read_burst: usize, update_burst: usize, rounds: usize) -> Vec<Event> {
+    let mut out = Vec::with_capacity(rounds * (read_burst + update_burst));
+    for _ in 0..rounds {
+        out.extend(std::iter::repeat_n(Event::READ, read_burst));
+        for i in 0..update_burst {
+            out.push(if i % 2 == 0 {
+                Event::Insert
+            } else {
+                Event::Delete
+            });
+        }
+    }
+    out
+}
+
+/// Paired traffic (§5.1's assumption): every delete is preceded by an
+/// insert, interleaved with reads, keeping `ℓ` within ±1 of `base`.
+pub fn paired(len: usize, base: usize, seed: u64) -> Vec<Event> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut out: Vec<Event> = std::iter::repeat_n(Event::Insert, base).collect();
+    let mut pending_delete = false;
+    for _ in 0..len {
+        if pending_delete {
+            out.push(Event::Delete);
+            pending_delete = false;
+        } else if rng.gen_bool(0.5) {
+            out.push(Event::READ);
+        } else {
+            out.push(Event::Insert);
+            pending_delete = true;
+        }
+    }
+    out
+}
+
+/// Growth and shrink phases for the doubling/halving algorithm: `ℓ` ramps
+/// `0 → peak → trough → peak …`, with a read burst after every ramp.
+pub fn growth_shrink(
+    peak: usize,
+    trough: usize,
+    reads_per_phase: usize,
+    cycles: usize,
+) -> Vec<Event> {
+    assert!(trough <= peak);
+    let mut out = Vec::new();
+    out.extend(std::iter::repeat_n(Event::Insert, peak));
+    for _ in 0..cycles {
+        out.extend(std::iter::repeat_n(Event::READ, reads_per_phase));
+        out.extend(std::iter::repeat_n(Event::Delete, peak - trough));
+        out.extend(std::iter::repeat_n(Event::READ, reads_per_phase));
+        out.extend(std::iter::repeat_n(Event::Insert, peak - trough));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ell_after(events: &[Event]) -> i64 {
+        events
+            .iter()
+            .map(|e| match e {
+                Event::Insert => 1,
+                Event::Delete => -1,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    #[test]
+    fn uniform_mix_respects_length_and_balance() {
+        let ev = uniform_mix(1000, 0.5, 2, 1);
+        assert_eq!(ev.len(), 1000);
+        let ell = ell_after(&ev);
+        assert!(ell.abs() <= 1, "insert/delete alternate: ℓ drift {ell}");
+        assert!(ev.iter().any(|e| matches!(e, Event::Read { .. })));
+        // Determinism.
+        assert_eq!(ev, uniform_mix(1000, 0.5, 2, 1));
+        assert_ne!(ev, uniform_mix(1000, 0.5, 2, 2));
+    }
+
+    #[test]
+    fn bursty_shape() {
+        let ev = bursty(3, 4, 2);
+        assert_eq!(ev.len(), 14);
+        assert_eq!(&ev[0..3], &[Event::READ; 3]);
+        assert!(matches!(ev[3], Event::Insert));
+        assert_eq!(ell_after(&ev), 0);
+    }
+
+    #[test]
+    fn paired_keeps_ell_near_base() {
+        let ev = paired(500, 10, 3);
+        let mut ell = 0i64;
+        let mut max = 0;
+        let mut min = i64::MAX;
+        for (i, e) in ev.iter().enumerate() {
+            match e {
+                Event::Insert => ell += 1,
+                Event::Delete => ell -= 1,
+                _ => {}
+            }
+            if i >= 10 {
+                // Skip the seeding ramp; judge only the steady state.
+                max = max.max(ell);
+                min = min.min(ell);
+            }
+        }
+        assert!(min >= 9, "ℓ never drops below base-1: {min}");
+        assert!(max <= 12, "ℓ never exceeds base+2: {max}");
+    }
+
+    #[test]
+    fn growth_shrink_returns_to_peak() {
+        let ev = growth_shrink(20, 5, 10, 3);
+        assert_eq!(ell_after(&ev), 20);
+        assert!(ev.len() > 60);
+    }
+
+    #[test]
+    #[should_panic]
+    fn growth_shrink_rejects_bad_bounds() {
+        let _ = growth_shrink(5, 20, 1, 1);
+    }
+}

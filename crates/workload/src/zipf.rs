@@ -1,0 +1,114 @@
+//! Zipf-distributed sampling (skewed access popularity).
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// A Zipf(θ) sampler over `0..n` using inverse-CDF with a precomputed
+/// table — exact, deterministic, O(log n) per sample.
+///
+/// # Examples
+///
+/// ```
+/// use paso_workload::Zipf;
+/// use rand::SeedableRng;
+///
+/// let zipf = Zipf::new(100, 1.0);
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let x = zipf.sample(&mut rng);
+/// assert!(x < 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a sampler over `0..n` with skew `theta ≥ 0` (`0` =
+    /// uniform; `1` = classic Zipf).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta < 0`.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "need a non-empty domain");
+        assert!(theta >= 0.0, "skew must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 1..=n {
+            acc += 1.0 / (i as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Domain size.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draws one value in `0..n`.
+    pub fn sample(&self, rng: &mut ChaCha8Rng) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        self.cdf.partition_point(|c| *c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_theta_zero() {
+        let z = Zipf::new(4, 0.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut counts = [0u32; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for c in counts {
+            assert!((8_000..12_000).contains(&c), "uniform-ish: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn skewed_prefers_low_ids() {
+        let z = Zipf::new(100, 1.2);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut zero = 0;
+        let mut tail = 0;
+        for _ in 0..10_000 {
+            let x = z.sample(&mut rng);
+            if x == 0 {
+                zero += 1;
+            }
+            if x >= 50 {
+                tail += 1;
+            }
+        }
+        assert!(
+            zero > tail,
+            "head must dominate tail (zero={zero}, tail={tail})"
+        );
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipf::new(3, 2.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 3);
+        }
+        assert_eq!(z.n(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_empty_domain() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

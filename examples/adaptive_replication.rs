@@ -1,0 +1,101 @@
+//! Watch the Basic algorithm (§5.1) adapt replication to the access
+//! pattern, and see why it beats both static extremes.
+//!
+//! Phase 1: machine 7 reads a class repeatedly → its counter climbs by
+//! the remote-read cost λ+1−|F| per read until it reaches K, and the
+//! machine joins the write group (reads become free).
+//! Phase 2: other machines update the class → the counter drains by 1
+//! per update until it hits 0, and the machine leaves (updates stop
+//! costing it anything).
+//!
+//! The same `BasicCounter` kernel drives the abstract competitive
+//! experiments (`exp_thm2`) — the deployed algorithm IS the analyzed one.
+//!
+//! Run with: `cargo run --example adaptive_replication`
+
+use paso::core::{PasoConfig, SimSystem};
+use paso::simnet::SimTime;
+use paso::types::{ClassId, FieldMatcher, SearchCriterion, Template, Value};
+
+const K: u64 = 8;
+const READER: u32 = 7;
+
+fn sc_any() -> SearchCriterion {
+    SearchCriterion::from(Template::new(vec![
+        FieldMatcher::Exact(Value::symbol("stock")),
+        FieldMatcher::Any,
+    ]))
+}
+
+fn run(adaptive: bool) -> (f64, u64) {
+    let mut sys = SimSystem::new(
+        PasoConfig::builder(8, 1)
+            .seed(3)
+            .k_join(K)
+            .adaptive(adaptive)
+            .build(),
+    );
+    let class = ClassId(2);
+    sys.insert(0, vec![Value::symbol("stock"), Value::Int(100)]);
+
+    if adaptive {
+        println!("— phase 1: machine {READER} reads (remote cost λ+1 = 2 per read) —");
+    }
+    for i in 0..8 {
+        sys.read(READER, sc_any()).expect("found");
+        sys.run_for(SimTime::from_millis(20));
+        if adaptive {
+            println!(
+                "  read {i}: counter = {:?}, replica here = {}",
+                sys.server(READER).counter_value(class),
+                sys.server(READER).store_len(class) > 0
+            );
+        }
+    }
+    if adaptive {
+        assert!(
+            sys.server(READER).store_len(class) > 0,
+            "reader must have joined"
+        );
+        println!("  → joined wg(C): subsequent reads are LOCAL (msg-cost 0)\n");
+        println!("— phase 2: machines 0..3 update the class —");
+    }
+    for i in 0..10 {
+        sys.insert(
+            i % 4,
+            vec![Value::symbol("stock"), Value::Int(100 + i as i64)],
+        );
+        sys.run_for(SimTime::from_millis(20));
+        if adaptive {
+            println!(
+                "  update {i}: counter = {:?}, replica here = {}",
+                sys.server(READER).counter_value(class),
+                sys.server(READER).store_len(class) > 0
+            );
+        }
+    }
+    if adaptive {
+        assert_eq!(
+            sys.server(READER).store_len(class),
+            0,
+            "reader must have left"
+        );
+        println!("  → left wg(C): updates no longer touch machine {READER}\n");
+    }
+    (sys.stats().total_msg_cost, sys.stats().total_work())
+}
+
+fn main() {
+    println!("=== Basic algorithm in action (λ=1, K={K}) ===\n");
+    let (adaptive_cost, adaptive_work) = run(true);
+    let (static_cost, static_work) = run(false);
+    println!("=== totals over the same workload ===");
+    println!("adaptive: msg-cost {adaptive_cost:.0}, work {adaptive_work}");
+    println!("static  : msg-cost {static_cost:.0}, work {static_work}");
+    println!("\njoins seen: 1 (after ~K/2 reads)  leaves seen: 1 (after ~K updates)");
+    println!("Theorem 2 guarantees the adaptive policy is never worse than");
+    println!(
+        "(3 + λ/K) = {:.2}× the offline optimum on ANY request sequence.",
+        3.0 + 1.0 / K as f64
+    );
+}

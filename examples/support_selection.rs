@@ -1,0 +1,57 @@
+//! The Support Selection Problem (§5.2) in action: which machine should
+//! replace a failed write-group member?
+//!
+//! Theorem 4 shows the problem is as hard as virtual-memory paging, so no
+//! online policy can be very good in the worst case — but the paper's LRF
+//! heuristic ("replace it by the least recently failed machine", the image
+//! of LRU under the reduction) shines on realistic failure patterns.
+//!
+//! Run with: `cargo run --example support_selection`
+
+use paso::adaptive::support::{optimal_copies, run_support, Lrf, MostReliable, Mrf, RandomReplace};
+use paso::workload::failures;
+
+const N: usize = 10;
+const LAMBDA: usize = 2;
+
+fn main() {
+    println!(
+        "Support selection: n = {N} machines, write groups of λ+1 = {} —",
+        LAMBDA + 1
+    );
+    println!("every member failure forces a state copy (cost g(ℓ)); the policy");
+    println!("chooses the replacement.\n");
+
+    let traces = [
+        ("uniform noise", failures::uniform(N, 4000, 1)),
+        (
+            "two flaky machines",
+            failures::flaky_subset(N, 2, 0.9, 4000, 2),
+        ),
+        ("diurnal reclaim", failures::diurnal(N, 30, 80, 3)),
+        ("skewed reliability", failures::skewed(N, 2.0, 4000, 4)),
+    ];
+
+    println!(
+        "{:<22} {:>6} {:>6} {:>6} {:>8} {:>13}",
+        "failure pattern", "OPT", "LRF", "MRF", "Random", "MostReliable"
+    );
+    for (name, trace) in &traces {
+        let opt = optimal_copies(trace, N, LAMBDA);
+        let lrf = run_support(&mut Lrf::new(N), trace, N, LAMBDA, 1).copies;
+        let mrf = run_support(&mut Mrf::new(N), trace, N, LAMBDA, 1).copies;
+        let rnd = run_support(&mut RandomReplace::new(9), trace, N, LAMBDA, 1).copies;
+        let rel = run_support(&mut MostReliable::new(N), trace, N, LAMBDA, 1).copies;
+        println!("{name:<22} {opt:>6} {lrf:>6} {mrf:>6} {rnd:>8} {rel:>13}");
+    }
+
+    println!("\nreading the table:");
+    println!("- LRF tracks the offline optimum within a small factor everywhere;");
+    println!("- MRF (most-recently-failed — deliberately pessimal) keeps inviting");
+    println!("  flaky machines straight back into the write group;");
+    println!("- MostReliable wins when reliability is a stable trait (skewed),");
+    println!("  but mis-learns transient patterns like diurnal waves.");
+    println!("\nTheorem 4 says no policy avoids a Θ(n−λ−1) worst case — run");
+    println!("`cargo run --release -p paso-bench --bin exp_thm4` for the");
+    println!("adversarial construction that realizes it.");
+}

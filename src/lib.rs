@@ -1,0 +1,46 @@
+//! # paso
+//!
+//! A fault-tolerant, adaptive **Persistent, Associative, Shared Object**
+//! (PASO) memory — a from-scratch Rust reproduction of Westbrook & Zuck,
+//! *Adaptive Algorithms for PASO Systems* (Yale TR-1013 / PODC '94 era),
+//! including every substrate the paper relies on:
+//!
+//! - [`types`] — objects, templates, search criteria, object classes;
+//! - [`storage`] — per-class associative stores (hash / ordered / scan);
+//! - [`simnet`] — a deterministic bus-LAN simulator with crash faults and
+//!   the paper's `α + β|m|` cost model;
+//! - [`vsync`] — virtual synchrony (groups, views, totally-ordered gcast,
+//!   join-time state transfer), built from scratch;
+//! - [`core`] — the PASO memory itself: servers, write/read groups, the
+//!   `insert`/`read`/`read&del` primitives, and the executable §2
+//!   semantics;
+//! - [`adaptive`] — the Basic and doubling/halving algorithms with exact
+//!   offline optima, the paging problem, and support selection;
+//! - [`workload`] — seeded workload and failure-trace generators;
+//! - [`runtime`] — a live threaded cluster (channels or real TCP) running
+//!   the same protocol state machines.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use paso::core::{PasoConfig, SimSystem};
+//! use paso::types::{SearchCriterion, Template, Value};
+//!
+//! let mut sys = SimSystem::new(PasoConfig::builder(4, 1).build());
+//! sys.insert(0, vec![Value::symbol("greeting"), Value::from("hello")]);
+//! let sc = SearchCriterion::from(Template::new(vec![
+//!     paso::types::FieldMatcher::Exact(Value::symbol("greeting")),
+//!     paso::types::FieldMatcher::Any,
+//! ]));
+//! assert!(sys.read_del(3, sc).is_some());
+//! assert!(sys.check_semantics().ok());
+//! ```
+
+pub use paso_adaptive as adaptive;
+pub use paso_core as core;
+pub use paso_runtime as runtime;
+pub use paso_simnet as simnet;
+pub use paso_storage as storage;
+pub use paso_types as types;
+pub use paso_vsync as vsync;
+pub use paso_workload as workload;

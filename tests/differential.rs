@@ -1,0 +1,107 @@
+//! Differential testing: the full distributed system, driven with
+//! *serialized* operations over unique-valued objects, must agree with a
+//! trivial sequential tuple space — not just be "legal", but produce the
+//! exact same answers.
+//!
+//! (With unique values and exact criteria, §2's semantics leaves no
+//! freedom: each read/read&del has exactly one possible result.)
+
+use proptest::prelude::*;
+
+use paso::core::{PasoConfig, SimSystem};
+use paso::types::{PasoObject, SearchCriterion, Template, Value};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u8),
+    Read(u8),
+    Take(u8),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    let v = 0u8..12;
+    prop_oneof![
+        3 => v.clone().prop_map(Op::Insert),
+        2 => v.clone().prop_map(Op::Read),
+        2 => v.prop_map(Op::Take),
+    ]
+}
+
+fn sc_eq(v: u8) -> SearchCriterion {
+    SearchCriterion::from(Template::exact(vec![
+        Value::symbol("d"),
+        Value::Int(v as i64),
+    ]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn system_agrees_with_sequential_reference(
+        ops in proptest::collection::vec(arb_op(), 1..40),
+        seed in 0u64..100,
+        n in 3usize..7,
+    ) {
+        let lambda = 1.min(n - 1);
+        let mut sys = SimSystem::new(
+            PasoConfig::builder(n, lambda).seed(seed).build(),
+        );
+        // Reference: multiset of live values (unique objects per insert,
+        // FIFO within equal values — matched by the system's rank order).
+        let mut reference: Vec<(u8, PasoObject)> = Vec::new();
+        let mut issued = 0u64;
+        for (i, op) in ops.iter().enumerate() {
+            let node = (i % n) as u32;
+            match op {
+                Op::Insert(v) => {
+                    let id = sys.insert(node, vec![Value::symbol("d"), Value::Int(*v as i64)]);
+                    reference.push((
+                        *v,
+                        PasoObject::new(id, vec![Value::symbol("d"), Value::Int(*v as i64)]),
+                    ));
+                    issued += 1;
+                }
+                Op::Read(v) => {
+                    let got = sys.read(node, sc_eq(*v));
+                    let expected = reference.iter().find(|(rv, _)| rv == v);
+                    prop_assert_eq!(
+                        got.is_some(),
+                        expected.is_some(),
+                        "read({}) presence diverged at step {}",
+                        v,
+                        i
+                    );
+                    issued += 1;
+                }
+                Op::Take(v) => {
+                    let got = sys.read_del(node, sc_eq(*v));
+                    let pos = reference.iter().position(|(rv, _)| rv == v);
+                    match (got, pos) {
+                        (Some(obj), Some(p)) => {
+                            let (_, expected) = reference.remove(p);
+                            prop_assert_eq!(
+                                obj.id(),
+                                expected.id(),
+                                "take({}) returned the wrong (non-oldest) object at step {}",
+                                v,
+                                i
+                            );
+                        }
+                        (None, None) => {}
+                        (got, pos) => {
+                            return Err(TestCaseError::fail(format!(
+                                "take({v}) diverged at step {i}: system={got:?} reference={pos:?}"
+                            )));
+                        }
+                    }
+                    issued += 1;
+                }
+            }
+        }
+        prop_assert!(issued > 0);
+        // And of course the run is semantically legal.
+        let report = sys.check_semantics();
+        prop_assert!(report.ok(), "{:?}", report.violations);
+    }
+}
