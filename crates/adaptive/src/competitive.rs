@@ -5,13 +5,11 @@
 //! additive constant `B` (which absorbs initialization effects — at most
 //! one join plus a full counter, ≤ `2K + λ`) handled explicitly.
 
-use serde::Serialize;
-
 use crate::model::{run_strategy, Event, ModelParams, Strategy};
 use crate::opt::optimum;
 
 /// One measured data point of online-vs-optimal cost.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RatioReport {
     /// Online algorithm's total cost `A(σ)`.
     pub online: u64,

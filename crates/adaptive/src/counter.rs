@@ -19,12 +19,10 @@
 //! competitive-analysis harness *and* the full PASO memory server, so the
 //! system's adaptive behaviour is literally the analyzed algorithm.
 
-use serde::{Deserialize, Serialize};
-
 use crate::model::{Event, Membership, ModelParams, Strategy};
 
 /// What the counter tells the machine to do after serving a request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Advice {
     /// Keep the current membership.
     Stay,
@@ -46,7 +44,7 @@ pub enum Advice {
 /// assert_eq!(c.record_remote_read(0), Advice::Stay);
 /// assert_eq!(c.record_remote_read(0), Advice::Join);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BasicCounter {
     params: ModelParams,
     c: u64,

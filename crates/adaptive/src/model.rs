@@ -9,10 +9,8 @@
 //! A request sequence is a stream of [`Event`]s; an [`Strategy`] decides
 //! membership online; [`run_strategy`] totals the §5 `work` measure.
 
-use serde::{Deserialize, Serialize};
-
 /// Parameters of the single-class model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ModelParams {
     /// Fault-tolerance degree λ: the read group has `λ + 1 − |F|` live
     /// members.
@@ -62,7 +60,7 @@ impl ModelParams {
 }
 
 /// One request in the §5 single-class model, as seen by machine `M`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Event {
     /// A `mem-read` issued by a process on `M`; `failed` is `|F(C)|` at
     /// that moment.
@@ -83,7 +81,7 @@ impl Event {
 }
 
 /// Whether `M` currently replicates the class.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Membership {
     /// `M ∈ wg(C)`.
     In,

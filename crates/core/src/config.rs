@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use paso_simnet::{CostModel, SimTime};
 use paso_storage::StoreKind;
 use paso_types::{
@@ -11,9 +9,9 @@ use paso_types::{
 };
 
 /// Which classifier (`obj-clss` / `sc-list`) the system uses. Kept as a
-/// serializable description so every machine constructs the *same*
+/// plain data description so every machine constructs the *same*
 /// classifier — the partition must be agreed upon globally (§4.1).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ClassifierKind {
     /// Classify by tuple arity, up to a maximum.
     Arity(usize),
@@ -35,7 +33,7 @@ impl ClassifierKind {
 }
 
 /// How non-member reads reach the read group.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReadMode {
     /// gcast to the whole read group (the paper's §4.3 macro expansion):
     /// `|rg|` fan-out copies + done-empties + one response.
@@ -54,7 +52,7 @@ pub enum ReadMode {
 /// How blocking `read`/`read&del` waits are implemented (§4.3): busy-wait
 /// cycling, or read-markers left at the write-group members with an
 /// expiry (the "hybrid approach" the paper sketches).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BlockingMode {
     /// Re-run the whole non-blocking operation every `interval_micros`.
     BusyWait {
@@ -82,7 +80,7 @@ pub enum BlockingMode {
 /// assert_eq!(cfg.n, 6);
 /// assert_eq!(cfg.lambda, 1);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PasoConfig {
     /// Number of machines `n = |Mach|`.
     pub n: usize,
@@ -335,11 +333,11 @@ mod tests {
     }
 
     #[test]
-    fn config_serde_round_trip() {
+    fn config_clone_is_structural() {
         let cfg = PasoConfig::builder(5, 2).k_join(4).build();
-        let s = serde_json::to_string(&cfg).unwrap();
-        let back: PasoConfig = serde_json::from_str(&s).unwrap();
+        let back = cfg.clone();
         assert_eq!(back.n, 5);
         assert_eq!(back.k_join, 4);
+        assert_eq!(back.classifier, cfg.classifier);
     }
 }

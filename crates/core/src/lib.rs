@@ -65,5 +65,6 @@ pub use semantics::{check_run, LatencyStats, OpRecord, RunLog, SemanticsReport, 
 pub use server::MemoryServer;
 pub use system::{ClassReport, SimSystem, SystemReport};
 pub use wire::{
-    decode, encode, AppMsg, ClientDone, ClientOp, ClientRequest, ClientResult, OpResponse, ReplOp,
+    decode, encode, try_decode, AppMsg, ClientDone, ClientOp, ClientRequest, ClientResult,
+    OpResponse, ReplOp,
 };

@@ -23,15 +23,13 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use paso_simnet::{NodeId, SimTime};
 use paso_types::{ObjectId, PasoObject, SearchCriterion};
 
 use crate::wire::{ClientOp, ClientResult};
 
 /// One operation's recorded lifetime.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct OpRecord {
     /// The operation id.
     pub op_id: u64,
@@ -48,7 +46,7 @@ pub struct OpRecord {
 }
 
 /// A recorded run: every operation issued against the memory.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct RunLog {
     ops: BTreeMap<u64, OpRecord>,
 }
@@ -104,7 +102,7 @@ impl RunLog {
 
 /// Response-time statistics over completed operations (the paper's third
 /// cost measure, §5: "Response time is a valid concern").
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LatencyStats {
     /// Completed operations measured.
     pub count: usize,
@@ -162,7 +160,7 @@ impl RunLog {
 }
 
 /// A violation of the PASO semantics.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Violation {
     /// The same object was inserted twice (A2).
     DuplicateInsert {
@@ -242,7 +240,7 @@ impl fmt::Display for Violation {
 }
 
 /// Summary of a semantics check.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SemanticsReport {
     /// Operations checked.
     pub ops_checked: usize,

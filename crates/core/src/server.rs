@@ -24,7 +24,9 @@ use paso_vsync::{Delivery, GcastError, GroupApp, GroupId, View, VsyncOps};
 
 use crate::config::{BlockingMode, PasoConfig, ReadMode};
 use crate::groups::{group_class, rg_group, wg_group, GroupKind};
-use crate::wire::{decode, encode, AppMsg, ClientDone, ClientOp, ClientResult, OpResponse, ReplOp};
+use crate::wire::{
+    encode, try_decode, AppMsg, ClientDone, ClientOp, ClientResult, OpResponse, ReplOp,
+};
 
 /// Token used for fire-and-forget gcasts (marker placement).
 const FIRE_AND_FORGET: u64 = u64::MAX;
@@ -35,7 +37,7 @@ const ANYCAST_FALLBACK_MICROS: u64 = 100_000;
 
 /// A read-marker left at a write-group member (§4.3's alternative to
 /// busy-waiting).
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 struct MarkerEntry {
     sc: SearchCriterion,
     origin: NodeId,
@@ -43,12 +45,55 @@ struct MarkerEntry {
     expires_micros: u64,
 }
 
+impl paso_wire::Wire for MarkerEntry {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.sc.encode(out);
+        self.origin.encode(out);
+        paso_wire::put_varint(out, self.op_id);
+        paso_wire::put_varint(out, self.expires_micros);
+    }
+
+    fn decode(r: &mut paso_wire::Reader<'_>) -> Result<Self, paso_wire::WireError> {
+        Ok(MarkerEntry {
+            sc: SearchCriterion::decode(r)?,
+            origin: NodeId::decode(r)?,
+            op_id: r.varint()?,
+            expires_micros: r.varint()?,
+        })
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.sc.encoded_len()
+            + self.origin.encoded_len()
+            + paso_wire::varint_len(self.op_id)
+            + paso_wire::varint_len(self.expires_micros)
+    }
+}
+
 /// Serialized write-group state for `g-join` transfer: the class store
 /// plus the outstanding markers (a joiner must also notify waiters).
-#[derive(Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Debug)]
 struct ClassState {
     store: Vec<u8>,
     markers: Vec<MarkerEntry>,
+}
+
+impl paso_wire::Wire for ClassState {
+    fn encode(&self, out: &mut Vec<u8>) {
+        paso_wire::put_bytes(out, &self.store);
+        self.markers.encode(out);
+    }
+
+    fn decode(r: &mut paso_wire::Reader<'_>) -> Result<Self, paso_wire::WireError> {
+        Ok(ClassState {
+            store: r.byte_string()?.to_vec(),
+            markers: Vec::<MarkerEntry>::decode(r)?,
+        })
+    }
+
+    fn encoded_len(&self) -> usize {
+        paso_wire::bytes_len(&self.store) + self.markers.encoded_len()
+    }
 }
 
 #[derive(Debug)]
@@ -84,7 +129,14 @@ pub struct MemoryServer {
     clock: u64,
     /// Round-robin cursor for anycast target selection (load spreading).
     anycast_cursor: u64,
+    /// Most recent wire-decode failures (source node + cause), kept for
+    /// diagnostics alongside the `wire.decode.error` counter. Bounded so a
+    /// babbling peer cannot grow server state.
+    decode_errors: Vec<(NodeId, paso_wire::WireError)>,
 }
+
+/// How many decode failures [`MemoryServer::decode_errors`] retains.
+const DECODE_ERROR_LOG_CAP: usize = 16;
 
 impl MemoryServer {
     /// Creates the server for machine `id` under a shared configuration
@@ -103,7 +155,29 @@ impl MemoryServer {
             up: BTreeSet::new(),
             clock: 0,
             anycast_cursor: 0,
+            decode_errors: Vec::new(),
         }
+    }
+
+    /// The retained wire-decode failures, newest last: which node sent
+    /// undecodable bytes and why they were rejected.
+    pub fn decode_errors(&self) -> &[(NodeId, paso_wire::WireError)] {
+        &self.decode_errors
+    }
+
+    /// Records a decode failure: bumps the `wire.decode.error` counter and
+    /// logs the offending source node with the rejection cause.
+    fn note_decode_error(
+        &mut self,
+        vs: &mut dyn VsyncOps<ClientDone>,
+        from: NodeId,
+        err: paso_wire::WireError,
+    ) {
+        vs.count("wire.decode.error", 1.0);
+        if self.decode_errors.len() == DECODE_ERROR_LOG_CAP {
+            self.decode_errors.remove(0);
+        }
+        self.decode_errors.push((from, err));
     }
 
     /// Picks a live basic member of `class` for an anycast read, rotating
@@ -407,9 +481,9 @@ impl GroupApp for MemoryServer {
         self.up.insert(peer);
     }
 
-    fn on_app_message(&mut self, vs: &mut dyn VsyncOps<ClientDone>, _from: NodeId, bytes: &[u8]) {
-        match decode::<AppMsg>(bytes) {
-            Some(AppMsg::Client(req)) => {
+    fn on_app_message(&mut self, vs: &mut dyn VsyncOps<ClientDone>, from: NodeId, bytes: &[u8]) {
+        match try_decode::<AppMsg>(bytes) {
+            Ok(AppMsg::Client(req)) => {
                 let classes = match &req.op {
                     ClientOp::Insert { object } => vec![self.classifier.classify(object)],
                     ClientOp::Read { sc, .. } | ClientOp::ReadDel { sc, .. } => {
@@ -430,7 +504,7 @@ impl GroupApp for MemoryServer {
                 );
                 self.drive(vs, req.op_id);
             }
-            Some(AppMsg::MarkerWake { op_id }) => {
+            Ok(AppMsg::MarkerWake { op_id }) => {
                 if let Some(p) = self.pending.get_mut(&op_id) {
                     if p.anycast_waiting {
                         // Let the in-flight point query conclude.
@@ -441,7 +515,7 @@ impl GroupApp for MemoryServer {
                     self.drive(vs, op_id);
                 }
             }
-            Some(AppMsg::RemoteRead { op_id, class, sc }) => {
+            Ok(AppMsg::RemoteRead { op_id, class, sc }) => {
                 // Serve the point query iff we are an installed member
                 // (snapshot applied); otherwise decline so the origin
                 // falls back to the group.
@@ -456,7 +530,7 @@ impl GroupApp for MemoryServer {
                 vs.charge_work(cost.0);
                 let failed = self.failed_of(class);
                 vs.send_app(
-                    _from,
+                    from,
                     encode(&AppMsg::RemoteReadResp {
                         op_id,
                         served,
@@ -465,7 +539,7 @@ impl GroupApp for MemoryServer {
                     }),
                 );
             }
-            Some(AppMsg::RemoteReadResp {
+            Ok(AppMsg::RemoteReadResp {
                 op_id,
                 served,
                 found,
@@ -504,7 +578,7 @@ impl GroupApp for MemoryServer {
                     }
                 }
             }
-            None => {}
+            Err(err) => self.note_decode_error(vs, from, err),
         }
     }
 
@@ -538,12 +612,16 @@ impl GroupApp for MemoryServer {
         &mut self,
         vs: &mut dyn VsyncOps<ClientDone>,
         group: GroupId,
-        _origin: NodeId,
+        origin: NodeId,
         payload: &[u8],
     ) -> Delivery {
         let (class_of_group, _kind) = group_class(group);
-        let Some(op) = decode::<ReplOp>(payload) else {
-            return Delivery::default();
+        let op = match try_decode::<ReplOp>(payload) {
+            Ok(op) => op,
+            Err(err) => {
+                self.note_decode_error(vs, origin, err);
+                return Delivery::default();
+            }
         };
         match op {
             ReplOp::Store {
@@ -670,10 +748,18 @@ impl GroupApp for MemoryServer {
                 self.finish(vs, op_id, ClientResult::Unavailable);
             }
             Ok(bytes) => {
-                let resp: OpResponse = decode(&bytes).unwrap_or(OpResponse {
-                    object: None,
-                    failed: 0,
-                });
+                // A gcast response that fails to decode is counted like any
+                // other corrupt payload; the op then walks on as a miss.
+                let resp: OpResponse = match try_decode(&bytes) {
+                    Ok(r) => r,
+                    Err(_) => {
+                        vs.count("wire.decode.error", 1.0);
+                        OpResponse {
+                            object: None,
+                            failed: 0,
+                        }
+                    }
+                };
                 let op_kind_insert = matches!(p.op, ClientOp::Insert { .. });
                 if op_kind_insert {
                     self.finish(vs, op_id, ClientResult::Inserted);
@@ -724,13 +810,20 @@ impl GroupApp for MemoryServer {
         }
     }
 
-    fn install(&mut self, _vs: &mut dyn VsyncOps<ClientDone>, group: GroupId, state: &[u8]) {
+    fn install(&mut self, vs: &mut dyn VsyncOps<ClientDone>, group: GroupId, state: &[u8]) {
         let (class, kind) = group_class(group);
         if kind != GroupKind::Write {
             return;
         }
-        let Some(cs) = decode::<ClassState>(state) else {
-            return;
+        let cs = match try_decode::<ClassState>(state) {
+            Ok(cs) => cs,
+            Err(err) => {
+                // State transfer arrives via the membership layer, not a
+                // peer message; attribute it to ourselves.
+                let me = self.id;
+                self.note_decode_error(vs, me, err);
+                return;
+            }
         };
         let mut store = AutoStore::for_kind(self.cfg.default_store);
         if !cs.store.is_empty() {

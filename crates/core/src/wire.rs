@@ -1,13 +1,18 @@
 //! Wire formats: client requests, replicated operations, responses.
-
-use serde::{Deserialize, Serialize};
+//!
+//! All message types use the compact binary codec from `paso-wire`: one
+//! tag byte per enum variant, varints for integers and lengths. The
+//! encoded size *is* the `|m|` the `α + β·|m|` cost model charges, and
+//! [`encode`]/[`try_decode`] are the only serialization entry points on
+//! the message path.
 
 use paso_simnet::NodeId;
 use paso_storage::Rank;
 use paso_types::{ClassId, PasoObject, SearchCriterion};
+use paso_wire::{put_varint, Reader, Wire, WireError};
 
 /// A PASO operation issued by a compute process (§2's primitives).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ClientOp {
     /// `insert(o)`.
     Insert {
@@ -30,8 +35,58 @@ pub enum ClientOp {
     },
 }
 
+impl Wire for ClientOp {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ClientOp::Insert { object } => {
+                out.push(0);
+                object.encode(out);
+            }
+            ClientOp::Read { sc, blocking } => {
+                out.push(1);
+                sc.encode(out);
+                blocking.encode(out);
+            }
+            ClientOp::ReadDel { sc, blocking } => {
+                out.push(2);
+                sc.encode(out);
+                blocking.encode(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match r.u8()? {
+            0 => ClientOp::Insert {
+                object: PasoObject::decode(r)?,
+            },
+            1 => ClientOp::Read {
+                sc: SearchCriterion::decode(r)?,
+                blocking: bool::decode(r)?,
+            },
+            2 => ClientOp::ReadDel {
+                sc: SearchCriterion::decode(r)?,
+                blocking: bool::decode(r)?,
+            },
+            tag => {
+                return Err(WireError::InvalidTag {
+                    ty: "ClientOp",
+                    tag,
+                })
+            }
+        })
+    }
+
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            ClientOp::Insert { object } => object.encoded_len(),
+            ClientOp::Read { sc, .. } | ClientOp::ReadDel { sc, .. } => sc.encoded_len() + 1,
+        }
+    }
+}
+
 /// A request injected at a machine's memory server.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClientRequest {
     /// Operation id, unique per system run.
     pub op_id: u64,
@@ -39,8 +94,26 @@ pub struct ClientRequest {
     pub op: ClientOp,
 }
 
+impl Wire for ClientRequest {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_varint(out, self.op_id);
+        self.op.encode(out);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(ClientRequest {
+            op_id: r.varint()?,
+            op: ClientOp::decode(r)?,
+        })
+    }
+
+    fn encoded_len(&self) -> usize {
+        paso_wire::varint_len(self.op_id) + self.op.encoded_len()
+    }
+}
+
 /// Result of a client operation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ClientResult {
     /// The insert was applied at every write-group member.
     Inserted,
@@ -70,9 +143,47 @@ impl ClientResult {
     }
 }
 
+impl Wire for ClientResult {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ClientResult::Inserted => out.push(0),
+            ClientResult::Found(o) => {
+                out.push(1);
+                o.encode(out);
+            }
+            ClientResult::Fail => out.push(2),
+            ClientResult::TimedOut => out.push(3),
+            ClientResult::Unavailable => out.push(4),
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match r.u8()? {
+            0 => ClientResult::Inserted,
+            1 => ClientResult::Found(PasoObject::decode(r)?),
+            2 => ClientResult::Fail,
+            3 => ClientResult::TimedOut,
+            4 => ClientResult::Unavailable,
+            tag => {
+                return Err(WireError::InvalidTag {
+                    ty: "ClientResult",
+                    tag,
+                })
+            }
+        })
+    }
+
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            ClientResult::Found(o) => o.encoded_len(),
+            _ => 0,
+        }
+    }
+}
+
 /// A completed operation, emitted by the memory server as simulation
 /// output (and sent back to clients in the live runtime).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClientDone {
     /// The operation id.
     pub op_id: u64,
@@ -80,9 +191,27 @@ pub struct ClientDone {
     pub result: ClientResult,
 }
 
+impl Wire for ClientDone {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_varint(out, self.op_id);
+        self.result.encode(out);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(ClientDone {
+            op_id: r.varint()?,
+            result: ClientResult::decode(r)?,
+        })
+    }
+
+    fn encoded_len(&self) -> usize {
+        paso_wire::varint_len(self.op_id) + self.result.encoded_len()
+    }
+}
+
 /// Replicated operations, carried as gcast payloads to write/read groups
 /// (the `store`/`mem-read`/`remove` messages of §4.3's macro expansions).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ReplOp {
     /// Store an object at every member, under a globally agreed age rank.
     Store {
@@ -123,9 +252,102 @@ pub enum ReplOp {
     },
 }
 
+impl Wire for ReplOp {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ReplOp::Store {
+                class,
+                object,
+                rank,
+            } => {
+                out.push(0);
+                class.encode(out);
+                object.encode(out);
+                rank.encode(out);
+            }
+            ReplOp::MemRead { class, sc } => {
+                out.push(1);
+                class.encode(out);
+                sc.encode(out);
+            }
+            ReplOp::Remove { class, sc } => {
+                out.push(2);
+                class.encode(out);
+                sc.encode(out);
+            }
+            ReplOp::PlaceMarker {
+                class,
+                sc,
+                origin,
+                op_id,
+                expires_micros,
+            } => {
+                out.push(3);
+                class.encode(out);
+                sc.encode(out);
+                origin.encode(out);
+                put_varint(out, *op_id);
+                put_varint(out, *expires_micros);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match r.u8()? {
+            0 => ReplOp::Store {
+                class: ClassId::decode(r)?,
+                object: PasoObject::decode(r)?,
+                rank: Rank::decode(r)?,
+            },
+            1 => ReplOp::MemRead {
+                class: ClassId::decode(r)?,
+                sc: SearchCriterion::decode(r)?,
+            },
+            2 => ReplOp::Remove {
+                class: ClassId::decode(r)?,
+                sc: SearchCriterion::decode(r)?,
+            },
+            3 => ReplOp::PlaceMarker {
+                class: ClassId::decode(r)?,
+                sc: SearchCriterion::decode(r)?,
+                origin: NodeId::decode(r)?,
+                op_id: r.varint()?,
+                expires_micros: r.varint()?,
+            },
+            tag => return Err(WireError::InvalidTag { ty: "ReplOp", tag }),
+        })
+    }
+
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            ReplOp::Store {
+                class,
+                object,
+                rank,
+            } => class.encoded_len() + object.encoded_len() + rank.encoded_len(),
+            ReplOp::MemRead { class, sc } | ReplOp::Remove { class, sc } => {
+                class.encoded_len() + sc.encoded_len()
+            }
+            ReplOp::PlaceMarker {
+                class,
+                sc,
+                origin,
+                op_id,
+                expires_micros,
+            } => {
+                class.encoded_len()
+                    + sc.encoded_len()
+                    + origin.encoded_len()
+                    + paso_wire::varint_len(*op_id)
+                    + paso_wire::varint_len(*expires_micros)
+            }
+        }
+    }
+}
+
 /// Response to a [`ReplOp::MemRead`] / [`ReplOp::Remove`]: the §2 "object
 /// or fail" result.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OpResponse {
     /// The object found, if any.
     pub object: Option<PasoObject>,
@@ -134,8 +356,26 @@ pub struct OpResponse {
     pub failed: u64,
 }
 
+impl Wire for OpResponse {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.object.encode(out);
+        put_varint(out, self.failed);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(OpResponse {
+            object: Option::<PasoObject>::decode(r)?,
+            failed: r.varint()?,
+        })
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.object.encoded_len() + paso_wire::varint_len(self.failed)
+    }
+}
+
 /// Application-level messages between servers (non-gcast traffic).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum AppMsg {
     /// A client request (injected at this machine by a local process).
     Client(ClientRequest),
@@ -167,14 +407,95 @@ pub enum AppMsg {
     },
 }
 
-/// Encodes any serde message into gcast/app payload bytes.
-pub fn encode<T: Serialize>(msg: &T) -> Vec<u8> {
-    serde_json::to_vec(msg).expect("wire types always serialize")
+impl Wire for AppMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            AppMsg::Client(req) => {
+                out.push(0);
+                req.encode(out);
+            }
+            AppMsg::MarkerWake { op_id } => {
+                out.push(1);
+                put_varint(out, *op_id);
+            }
+            AppMsg::RemoteRead { op_id, class, sc } => {
+                out.push(2);
+                put_varint(out, *op_id);
+                class.encode(out);
+                sc.encode(out);
+            }
+            AppMsg::RemoteReadResp {
+                op_id,
+                served,
+                found,
+                failed,
+            } => {
+                out.push(3);
+                put_varint(out, *op_id);
+                served.encode(out);
+                found.encode(out);
+                put_varint(out, *failed);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match r.u8()? {
+            0 => AppMsg::Client(ClientRequest::decode(r)?),
+            1 => AppMsg::MarkerWake { op_id: r.varint()? },
+            2 => AppMsg::RemoteRead {
+                op_id: r.varint()?,
+                class: ClassId::decode(r)?,
+                sc: SearchCriterion::decode(r)?,
+            },
+            3 => AppMsg::RemoteReadResp {
+                op_id: r.varint()?,
+                served: bool::decode(r)?,
+                found: Option::<PasoObject>::decode(r)?,
+                failed: r.varint()?,
+            },
+            tag => return Err(WireError::InvalidTag { ty: "AppMsg", tag }),
+        })
+    }
+
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            AppMsg::Client(req) => req.encoded_len(),
+            AppMsg::MarkerWake { op_id } => paso_wire::varint_len(*op_id),
+            AppMsg::RemoteRead { op_id, class, sc } => {
+                paso_wire::varint_len(*op_id) + class.encoded_len() + sc.encoded_len()
+            }
+            AppMsg::RemoteReadResp {
+                op_id,
+                found,
+                failed,
+                ..
+            } => {
+                paso_wire::varint_len(*op_id)
+                    + 1
+                    + found.encoded_len()
+                    + paso_wire::varint_len(*failed)
+            }
+        }
+    }
 }
 
-/// Decodes payload bytes.
-pub fn decode<'a, T: Deserialize<'a>>(bytes: &'a [u8]) -> Option<T> {
-    serde_json::from_slice(bytes).ok()
+/// Encodes any wire message into gcast/app payload bytes.
+pub fn encode<T: Wire>(msg: &T) -> Vec<u8> {
+    paso_wire::encode_to_vec(msg)
+}
+
+/// Decodes payload bytes, reporting *why* a decode failed so callers can
+/// surface corruption (see the `wire.decode.error` counter in the memory
+/// server) instead of dropping it silently.
+pub fn try_decode<T: Wire>(bytes: &[u8]) -> Result<T, WireError> {
+    paso_wire::decode_exact(bytes)
+}
+
+/// Decodes payload bytes, discarding the error cause. Prefer
+/// [`try_decode`] on the message path.
+pub fn decode<T: Wire>(bytes: &[u8]) -> Option<T> {
+    try_decode(bytes).ok()
 }
 
 #[cfg(test)]
@@ -223,6 +544,7 @@ mod tests {
         ];
         for m in msgs {
             let bytes = encode(&m);
+            assert_eq!(bytes.len(), m.encoded_len());
             let back: ReplOp = decode(&bytes).unwrap();
             assert_eq!(m, back);
         }
@@ -262,14 +584,63 @@ mod tests {
             },
             AppMsg::MarkerWake { op_id: 9 },
         ] {
-            let back: AppMsg = decode(&encode(&m)).unwrap();
+            let bytes = encode(&m);
+            assert_eq!(bytes.len(), m.encoded_len());
+            let back: AppMsg = decode(&bytes).unwrap();
             assert_eq!(m, back);
         }
     }
 
     #[test]
-    fn decode_rejects_garbage() {
-        assert!(decode::<ReplOp>(&[1, 2, 3]).is_none());
+    fn client_ops_and_results_round_trip() {
+        let sc = SearchCriterion::from(Template::exact(vec![Value::Int(1)]));
+        for op in [
+            ClientOp::Insert { object: obj() },
+            ClientOp::Read {
+                sc: sc.clone(),
+                blocking: false,
+            },
+            ClientOp::ReadDel { sc, blocking: true },
+        ] {
+            let bytes = encode(&op);
+            assert_eq!(decode::<ClientOp>(&bytes).unwrap(), op);
+        }
+        for res in [
+            ClientResult::Inserted,
+            ClientResult::Found(obj()),
+            ClientResult::Fail,
+            ClientResult::TimedOut,
+            ClientResult::Unavailable,
+        ] {
+            let done = ClientDone {
+                op_id: 88,
+                result: res,
+            };
+            let bytes = encode(&done);
+            assert_eq!(bytes.len(), done.encoded_len());
+            assert_eq!(decode::<ClientDone>(&bytes).unwrap(), done);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage_and_reports_cause() {
+        assert!(decode::<ReplOp>(&[200, 2, 3]).is_none());
+        assert!(matches!(
+            try_decode::<ReplOp>(&[200, 2, 3]),
+            Err(WireError::InvalidTag { ty: "ReplOp", .. })
+        ));
+        // Truncation at every prefix is an error, never a panic.
+        let bytes = encode(&AppMsg::MarkerWake { op_id: 300 });
+        for cut in 0..bytes.len() {
+            assert!(try_decode::<AppMsg>(&bytes[..cut]).is_err());
+        }
+        // Trailing bytes are rejected too (frames must be exact).
+        let mut padded = bytes;
+        padded.push(0);
+        assert!(matches!(
+            try_decode::<AppMsg>(&padded),
+            Err(WireError::TrailingBytes { .. })
+        ));
     }
 
     #[test]

@@ -10,23 +10,33 @@
 
 use std::fmt;
 
-use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
-
 use crate::cost::WireSized;
 use crate::time::SimTime;
+use rand_chacha::ChaCha8Rng;
 
 /// Identifier of a machine in the ensemble (an element of the paper's
 /// `Mach`; machines are numbered `0..n`).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
     /// The machine index as a usize.
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+}
+
+impl paso_wire::Wire for NodeId {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+
+    fn decode(r: &mut paso_wire::Reader<'_>) -> Result<Self, paso_wire::WireError> {
+        Ok(NodeId(u32::decode(r)?))
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.0.encoded_len()
     }
 }
 

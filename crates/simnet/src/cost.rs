@@ -14,8 +14,6 @@
 //! cost unit with one microsecond of bus occupancy, making total message
 //! cost a lower bound on completion time exactly as §5 argues for bus LANs.
 
-use serde::{Deserialize, Serialize};
-
 use crate::time::SimTime;
 
 /// The `(α, β)` parameters of the LAN.
@@ -32,7 +30,7 @@ use crate::time::SimTime;
 /// let approx = m.gcast_cost_approx(4, 200, 40);
 /// assert!((exact - approx).abs() / exact < 0.25);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostModel {
     /// Per-message startup cost `α`.
     pub alpha: f64,
@@ -87,6 +85,11 @@ impl Default for CostModel {
 }
 
 /// Anything that can report its wire size (the `|msg|` of the cost model).
+///
+/// Protocol messages implement this by delegating to the binary codec's
+/// `encoded_len()`, so the simulator charges `α + β·|m|` for exactly the
+/// bytes the live transport would put on the wire — shrinking the codec
+/// shrinks simulated cost one-for-one.
 pub trait WireSized {
     /// Size of the encoded message in bytes.
     fn wire_size(&self) -> usize;

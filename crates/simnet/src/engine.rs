@@ -13,19 +13,17 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
-
 use crate::actor::{Action, Actor, Context, NodeEvent, NodeId};
 use crate::cost::{CostModel, WireSized};
 use crate::fault::{Fault, FaultScript};
 use crate::stats::Stats;
 use crate::time::SimTime;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 
 /// Engine configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EngineConfig {
     /// Number of machines in the ensemble.
     pub n: usize,
@@ -75,7 +73,7 @@ impl Default for EngineConfig {
 
 /// Machine status (§3.1: a machine is "considered faulty while in its
 /// initialization phase").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MachineStatus {
     /// Operational and past initialization.
     Up,
@@ -93,7 +91,7 @@ impl MachineStatus {
 }
 
 /// One recorded trace entry.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum TraceEntry {
     /// A message was delivered.
     Deliver {

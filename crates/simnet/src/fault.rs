@@ -7,16 +7,14 @@
 //! failure processes while (optionally) respecting the `≤ λ` simultaneous-
 //! failure assumption.
 
+use crate::actor::NodeId;
+use crate::time::SimTime;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
-
-use crate::actor::NodeId;
-use crate::time::SimTime;
 
 /// One fault event.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Fault {
     /// The machine halts and its memory is erased.
     Crash(NodeId),
@@ -25,7 +23,7 @@ pub enum Fault {
 }
 
 /// A timed fault schedule, sorted by time.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultScript {
     events: Vec<(SimTime, Fault)>,
 }

@@ -7,12 +7,10 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::actor::NodeId;
 
 /// Aggregated statistics for one simulation run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Stats {
     /// Number of bus messages transmitted.
     pub msgs_sent: u64,

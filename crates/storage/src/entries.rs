@@ -9,28 +9,34 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use paso_types::PasoObject;
+use paso_wire::{put_varint, Reader, Wire};
 
 use crate::store::{Rank, Snapshot, SnapshotError};
 
 /// Origin marker for locally auto-assigned ranks.
 const LOCAL_ORIGIN: u16 = u16::MAX;
 
+/// Snapshot header magic: distinguishes the binary format from anything
+/// else (legacy JSON snapshots start with `{` = 0x7B).
+const SNAPSHOT_MAGIC: u8 = 0xB5;
+
+/// Current snapshot format version. Bump on any layout change; old
+/// versions are rejected, not migrated (a joining server just requests a
+/// fresh state transfer).
+const SNAPSHOT_VERSION: u8 = 1;
+
 /// Age-ordered object storage with snapshot support.
+///
+/// Snapshots use the compact binary wire format: a two-byte
+/// `[SNAPSHOT_MAGIC, SNAPSHOT_VERSION]` header followed by the varint
+/// `next_local` counter and a length-prefixed list of `(rank, object)`
+/// pairs. The size remains Θ(ℓ), which is what the `α + β·|m|`
+/// state-transfer cost model needs, at a fraction of the JSON byte count.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub(crate) struct Entries {
     map: BTreeMap<Rank, PasoObject>,
     next_local: u64,
-}
-
-/// Serialized snapshot payload. JSON keeps snapshots debuggable; the size
-/// remains Θ(ℓ), which is all the cost model needs.
-#[derive(Debug, Serialize, Deserialize)]
-struct SnapshotRepr {
-    next_local: u64,
-    entries: Vec<(Rank, PasoObject)>,
 }
 
 impl Entries {
@@ -78,21 +84,61 @@ impl Entries {
     }
 
     pub fn snapshot(&self) -> Snapshot {
-        let repr = SnapshotRepr {
-            next_local: self.next_local,
-            entries: self.map.iter().map(|(s, o)| (*s, o.clone())).collect(),
-        };
-        let bytes = serde_json::to_vec(&repr).expect("snapshot serialization cannot fail");
+        let mut bytes =
+            Vec::with_capacity(16 + self.map.values().map(Wire::encoded_len).sum::<usize>());
+        bytes.push(SNAPSHOT_MAGIC);
+        bytes.push(SNAPSHOT_VERSION);
+        put_varint(&mut bytes, self.next_local);
+        put_varint(&mut bytes, self.map.len() as u64);
+        for (rank, obj) in &self.map {
+            put_varint(&mut bytes, rank.0);
+            obj.encode(&mut bytes);
+        }
         Snapshot::from_bytes(bytes)
     }
 
     pub fn restore(&mut self, snapshot: &Snapshot) -> Result<(), SnapshotError> {
-        let repr: SnapshotRepr = serde_json::from_slice(snapshot.as_bytes())
-            .map_err(|e| SnapshotError::new(e.to_string()))?;
-        self.map = repr.entries.into_iter().collect();
-        self.next_local = repr
-            .next_local
-            .max(self.map.keys().last().map_or(0, |r| r.time() + 1));
+        let bytes = snapshot.as_bytes();
+        match bytes.first() {
+            Some(&SNAPSHOT_MAGIC) => {}
+            Some(&b'{') => {
+                return Err(SnapshotError::new(
+                    "legacy JSON snapshot; re-snapshot with the binary format",
+                ))
+            }
+            Some(&b) => return Err(SnapshotError::new(format!("bad snapshot magic 0x{b:02x}"))),
+            None => return Err(SnapshotError::new("empty snapshot")),
+        }
+        match bytes.get(1) {
+            Some(&SNAPSHOT_VERSION) => {}
+            Some(&v) => {
+                return Err(SnapshotError::new(format!(
+                    "unsupported snapshot version {v} (supported: {SNAPSHOT_VERSION})"
+                )))
+            }
+            None => return Err(SnapshotError::new("truncated snapshot header")),
+        }
+        let mut r = Reader::new(&bytes[2..]);
+        let decoded = (|| -> Result<_, paso_wire::WireError> {
+            let next_local = r.varint()?;
+            let count = r.length()?;
+            let mut map = BTreeMap::new();
+            for _ in 0..count {
+                let rank = Rank(r.varint()?);
+                let obj = PasoObject::decode(&mut r)?;
+                map.insert(rank, obj);
+            }
+            if r.remaining() != 0 {
+                return Err(paso_wire::WireError::TrailingBytes {
+                    count: r.remaining(),
+                });
+            }
+            Ok((next_local, map))
+        })()
+        .map_err(|e| SnapshotError::new(e.to_string()))?;
+        let (next_local, map) = decoded;
+        self.map = map;
+        self.next_local = next_local.max(self.map.keys().last().map_or(0, |r| r.time() + 1));
         Ok(())
     }
 }
@@ -178,6 +224,49 @@ mod tests {
     fn restore_rejects_garbage() {
         let mut e = Entries::default();
         assert!(e.restore(&Snapshot::from_bytes(vec![0xff, 0x00])).is_err());
+        assert!(e.restore(&Snapshot::from_bytes(vec![])).is_err());
+    }
+
+    #[test]
+    fn restore_rejects_legacy_json_with_clear_error() {
+        let mut e = Entries::default();
+        let legacy = br#"{"next_local":3,"entries":[]}"#.to_vec();
+        let err = e.restore(&Snapshot::from_bytes(legacy)).unwrap_err();
+        assert!(err.to_string().contains("legacy JSON"), "{err}");
+    }
+
+    #[test]
+    fn restore_rejects_stale_version() {
+        let mut e = Entries::default();
+        e.push(obj(1));
+        let mut bytes = e.snapshot().as_bytes().to_vec();
+        bytes[1] = SNAPSHOT_VERSION + 1;
+        let err = e.restore(&Snapshot::from_bytes(bytes)).unwrap_err();
+        assert!(
+            err.to_string().contains("unsupported snapshot version"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn restore_rejects_truncation_at_every_cut_without_panicking() {
+        let mut e = Entries::default();
+        e.push(obj(1));
+        e.push(obj(2));
+        let bytes = e.snapshot().as_bytes().to_vec();
+        for cut in 0..bytes.len() {
+            let mut f = Entries::default();
+            assert!(
+                f.restore(&Snapshot::from_bytes(bytes[..cut].to_vec()))
+                    .is_err(),
+                "prefix of {cut} bytes restored"
+            );
+        }
+        // Trailing junk is also rejected.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        let mut f = Entries::default();
+        assert!(f.restore(&Snapshot::from_bytes(padded)).is_err());
     }
 
     #[test]

@@ -11,15 +11,11 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use paso_types::{PasoObject, SearchCriterion};
 
 /// Abstract work units charged by a store operation — the paper's
 /// `I(·)`, `Q(·)`, `D(·)` made concrete. One unit ≈ one data-structure probe.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Cost(pub u64);
 
 impl Cost {
@@ -60,9 +56,7 @@ impl fmt::Display for Cost {
 /// high bits, origin machine in the low 16 bits) and carried with the
 /// object. Replicas keyed by the same ranks always agree on which object
 /// `remove` returns.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Rank(pub u64);
 
 impl Rank {
@@ -93,8 +87,22 @@ impl fmt::Display for Rank {
     }
 }
 
+impl paso_wire::Wire for Rank {
+    fn encode(&self, out: &mut Vec<u8>) {
+        paso_wire::put_varint(out, self.0);
+    }
+
+    fn decode(r: &mut paso_wire::Reader<'_>) -> Result<Self, paso_wire::WireError> {
+        Ok(Rank(r.varint()?))
+    }
+
+    fn encoded_len(&self) -> usize {
+        paso_wire::varint_len(self.0)
+    }
+}
+
 /// Which concrete data structure backs a store.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum StoreKind {
     /// Hash table — O(1) dictionary queries.
     Hash,
@@ -126,7 +134,7 @@ impl fmt::Display for StoreKind {
 /// that it has in classes whose write group is g-name". The snapshot size is
 /// `Θ(ℓ)` in the number and size of live objects, so state-transfer message
 /// cost under the `α + β·|m|` model is linear in `ℓ` as §5 assumes.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Snapshot {
     bytes: Vec<u8>,
 }
@@ -182,6 +190,17 @@ impl std::error::Error for SnapshotError {}
 /// Every operation reports its abstract [`Cost`]; the simulator converts
 /// cost units into simulated time so that experiments can reproduce the
 /// paper's `work`/`time` columns (Figure 1).
+///
+/// # Miss accounting
+///
+/// All stores share one miss-cost rule, asserted by the cross-store suite
+/// in `tests/miss_cost.rs`: a failed `mem_read`/`remove` charges exactly
+/// the probes spent discovering the absence, floored at one unit (even an
+/// empty structure costs one probe to inspect). Concretely, a miss on an
+/// *empty* store costs `Cost(1)` for every store kind and query shape; a
+/// scan-shaped miss on a populated store costs `Cost(ℓ)`; and `remove`
+/// adds its deletion surcharge only on a hit, so a failed `remove` costs
+/// the same as the equivalent failed `mem_read`.
 pub trait ClassStore: Send + fmt::Debug {
     /// Stores an object (the server-side of `insert`) with a locally
     /// assigned age rank. Cost is `I(ℓ)`. Replicated servers should use

@@ -1,0 +1,114 @@
+//! Cross-store miss-cost semantics.
+//!
+//! Every store kind must account misses identically (see the "Miss
+//! accounting" section on [`ClassStore`]): the cost of a failed lookup is
+//! the probes actually spent, floored at one unit, and `remove` charges
+//! its deletion surcharge only on a hit. Keeping all four data structures
+//! on one rule keeps the simulator's `Q(·)`/`D(·)` columns comparable
+//! across adaptive reconfigurations that swap the backing structure.
+
+use paso_storage::{ClassStore, Cost, HashStore, MultiStore, OrderedStore, ScanStore};
+use paso_types::{FieldMatcher, ObjectId, PasoObject, ProcessId, SearchCriterion, Template, Value};
+
+fn all_stores() -> Vec<Box<dyn ClassStore>> {
+    vec![
+        Box::new(HashStore::new()),
+        Box::new(OrderedStore::new()),
+        Box::new(ScanStore::new()),
+        Box::new(MultiStore::new()),
+    ]
+}
+
+fn obj(seq: u64, n: i64) -> PasoObject {
+    PasoObject::new(
+        ObjectId::new(ProcessId(0), seq),
+        vec![Value::symbol("k"), Value::Int(n)],
+    )
+}
+
+/// Dictionary-shaped criterion (fully exact).
+fn dict(n: i64) -> SearchCriterion {
+    SearchCriterion::from(Template::exact(vec![Value::symbol("k"), Value::Int(n)]))
+}
+
+/// Range-shaped criterion (exact prefix + range).
+fn range(lo: i64, hi: i64) -> SearchCriterion {
+    SearchCriterion::from(Template::new(vec![
+        FieldMatcher::Exact(Value::symbol("k")),
+        FieldMatcher::between(lo, hi),
+    ]))
+}
+
+/// Scan-shaped criterion (pattern match forces a linear scan everywhere).
+fn scan_shaped() -> SearchCriterion {
+    SearchCriterion::from(Template::new(vec![
+        FieldMatcher::Contains("nope".into()),
+        FieldMatcher::Any,
+    ]))
+}
+
+#[test]
+fn empty_store_miss_costs_one_probe_for_every_kind_and_shape() {
+    for mut s in all_stores() {
+        let kind = s.kind();
+        for sc in [dict(1), range(0, 9), scan_shaped()] {
+            let (found, cost) = s.mem_read(&sc);
+            assert!(found.is_none());
+            assert_eq!(cost, Cost(1), "{kind} mem_read miss on empty, sc={sc}");
+            let (removed, cost) = s.remove(&sc);
+            assert!(removed.is_none());
+            assert_eq!(cost, Cost(1), "{kind} remove miss on empty, sc={sc}");
+        }
+    }
+}
+
+#[test]
+fn scan_shaped_miss_inspects_every_live_object() {
+    const LEN: u64 = 37;
+    for mut s in all_stores() {
+        let kind = s.kind();
+        for n in 0..LEN {
+            s.store(obj(n, n as i64));
+        }
+        let (found, cost) = s.mem_read(&scan_shaped());
+        assert!(found.is_none());
+        assert_eq!(cost, Cost(LEN), "{kind} scan-shaped miss must cost ℓ");
+    }
+}
+
+#[test]
+fn remove_miss_costs_the_same_as_read_miss() {
+    for mut s in all_stores() {
+        let kind = s.kind();
+        for n in 0..10 {
+            s.store(obj(n, n as i64));
+        }
+        for sc in [dict(-1), range(100, 200), scan_shaped()] {
+            let (_, read_cost) = s.mem_read(&sc);
+            let (removed, remove_cost) = s.remove(&sc);
+            assert!(removed.is_none());
+            assert_eq!(
+                remove_cost, read_cost,
+                "{kind} failed remove must not charge the deletion surcharge, sc={sc}"
+            );
+        }
+    }
+}
+
+#[test]
+fn hit_costs_at_least_the_miss_floor_and_deletion_adds_work() {
+    for mut s in all_stores() {
+        let kind = s.kind();
+        s.store(obj(0, 5));
+        let (found, read_cost) = s.mem_read(&dict(5));
+        assert!(found.is_some());
+        assert!(read_cost >= Cost(1), "{kind}");
+        let (removed, remove_cost) = s.remove(&dict(5));
+        assert!(removed.is_some());
+        assert!(
+            remove_cost > read_cost,
+            "{kind} successful remove must charge the deletion surcharge"
+        );
+        assert_eq!(s.kind(), kind);
+    }
+}

@@ -12,17 +12,13 @@
 use std::fmt;
 use std::hash::{Hash, Hasher};
 
-use serde::{Deserialize, Serialize};
-
 use crate::criteria::SearchCriterion;
 use crate::object::PasoObject;
 use crate::template::FieldMatcher;
 use crate::value::{Value, ValueType};
 
 /// Identifier of an object class (an element of the paper's finite set `C`).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ClassId(pub u32);
 
 impl fmt::Display for ClassId {
@@ -62,7 +58,7 @@ pub trait Classifier: Send + Sync + fmt::Debug {
 ///
 /// The coarsest useful partition; every template names exactly one class, so
 /// `sc-list` is a singleton and searches are single-gcast.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ArityClassifier {
     max_arity: usize,
 }
@@ -95,7 +91,7 @@ impl Classifier for ArityClassifier {
 /// A criterion whose first field is exact maps to one bucket; otherwise it
 /// must list every bucket — showing how general criteria force broader
 /// searches, the paper's motivation for careful class design.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FirstFieldClassifier {
     buckets: u32,
 }
@@ -147,7 +143,7 @@ impl Classifier for FirstFieldClassifier {
 /// signatures are *compatible* with the criterion's per-field type
 /// constraints, plus the catch-all — sound by construction, and tight when
 /// the template constrains types.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SignatureClassifier {
     signatures: Vec<Vec<ValueType>>,
 }

@@ -9,14 +9,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::object::PasoObject;
 use crate::template::{FieldMatcher, Template};
 
 /// The shape of a query, driving data-structure choice and the `Q(·)` cost
 /// function.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum QueryKind {
     /// Every field is an exact value — servable by a hash table in O(1).
     Dictionary,
@@ -49,7 +47,7 @@ impl fmt::Display for QueryKind {
 /// let sc = SearchCriterion::from(Template::exact(vec![Value::symbol("done"), Value::Int(3)]));
 /// assert_eq!(sc.query_kind(), QueryKind::Dictionary);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct SearchCriterion {
     template: Template,
 }

@@ -55,6 +55,7 @@ mod criteria;
 mod object;
 mod template;
 mod value;
+mod wire;
 
 pub use class::{
     sc_list_tightness, ArityClassifier, ClassId, Classifier, FirstFieldClassifier,

@@ -12,14 +12,10 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::value::Value;
 
 /// Identifier of a compute process (the object creator in [`ObjectId`]).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ProcessId(pub u64);
 
 impl fmt::Display for ProcessId {
@@ -31,9 +27,7 @@ impl fmt::Display for ProcessId {
 /// Globally unique object identity: the creating process plus a per-process
 /// sequence number. Signing by the creator (as the paper suggests) reduces to
 /// the creator being the only party that increments its own sequence.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ObjectId {
     /// The creating process.
     pub creator: ProcessId,
@@ -72,7 +66,7 @@ impl fmt::Display for ObjectId {
 /// assert_eq!(o.arity(), 2);
 /// assert_eq!(o.field(1), Some(&Value::Int(42)));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct PasoObject {
     id: ObjectId,
     fields: Vec<Value>,
@@ -105,9 +99,10 @@ impl PasoObject {
         self.fields.get(i)
     }
 
-    /// Approximate wire size in bytes, used by the `α + β·|m|` cost model.
+    /// Exact wire size in bytes under the binary codec, used by the
+    /// `α + β·|m|` cost model.
     pub fn wire_size(&self) -> usize {
-        16 + self.fields.iter().map(Value::wire_size).sum::<usize>()
+        paso_wire::Wire::encoded_len(self)
     }
 
     /// Consumes the object, returning its fields.
@@ -131,9 +126,7 @@ impl fmt::Display for PasoObject {
 
 /// The life of an object (§2): "It is initially prenatal. If inserted, the
 /// object becomes live. If read&deleted, the object becomes dead."
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum Lifecycle {
     /// Not yet inserted.
     #[default]
@@ -190,7 +183,7 @@ impl fmt::Display for Lifecycle {
 }
 
 /// The lifecycle event that was attempted in a [`LifecycleError`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LifecycleEvent {
     /// An `insert` was attempted.
     Insert,
@@ -199,7 +192,7 @@ pub enum LifecycleEvent {
 }
 
 /// An illegal lifecycle transition — i.e. a violation of axioms A1–A2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LifecycleError {
     /// State the object was in.
     pub from: Lifecycle,
@@ -284,7 +277,8 @@ mod tests {
 
     #[test]
     fn wire_size_includes_id_overhead() {
+        // creator varint + seq varint + field count varint + one small int.
         let o = PasoObject::new(ObjectId::new(ProcessId(0), 0), vec![Value::Int(0)]);
-        assert_eq!(o.wire_size(), 16 + 9);
+        assert_eq!(o.wire_size(), 1 + 1 + 1 + 2);
     }
 }

@@ -14,13 +14,11 @@
 use std::fmt;
 use std::ops::Bound;
 
-use serde::{Deserialize, Serialize};
-
 use crate::object::PasoObject;
 use crate::value::{Value, ValueType};
 
 /// A predicate on a single field of an object.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum FieldMatcher {
     /// Matches any value of any type (the Linda "formal" without a type).
     Any,
@@ -118,24 +116,11 @@ impl FieldMatcher {
         }
     }
 
-    /// Approximate wire size in bytes (for the `α + β·|m|` cost model —
-    /// search criteria travel inside `mem-read`/`remove` gcasts).
+    /// Exact wire size in bytes under the binary codec (for the
+    /// `α + β·|m|` cost model — search criteria travel inside
+    /// `mem-read`/`remove` gcasts).
     pub fn wire_size(&self) -> usize {
-        1 + match self {
-            FieldMatcher::Any => 0,
-            FieldMatcher::AnyOf(_) => 1,
-            FieldMatcher::Exact(v) => v.wire_size(),
-            FieldMatcher::Range { lo, hi } => {
-                let side = |b: &Bound<Value>| match b {
-                    Bound::Included(v) | Bound::Excluded(v) => 1 + v.wire_size(),
-                    Bound::Unbounded => 1,
-                };
-                side(lo) + side(hi)
-            }
-            FieldMatcher::Prefix(s) | FieldMatcher::Contains(s) => 4 + s.len(),
-            FieldMatcher::Not(inner) => inner.wire_size(),
-            FieldMatcher::TupleOf(ms) => 4 + ms.iter().map(FieldMatcher::wire_size).sum::<usize>(),
-        }
+        paso_wire::Wire::encoded_len(self)
     }
 }
 
@@ -201,7 +186,7 @@ impl fmt::Display for FieldMatcher {
 /// );
 /// assert!(t.matches(&o));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Template {
     matchers: Vec<FieldMatcher>,
 }
@@ -256,13 +241,9 @@ impl Template {
         self.matchers.iter().all(FieldMatcher::is_exact)
     }
 
-    /// Approximate wire size in bytes.
+    /// Exact wire size in bytes under the binary codec.
     pub fn wire_size(&self) -> usize {
-        4 + self
-            .matchers
-            .iter()
-            .map(FieldMatcher::wire_size)
-            .sum::<usize>()
+        paso_wire::Wire::encoded_len(self)
     }
 }
 

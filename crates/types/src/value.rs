@@ -15,11 +15,9 @@ use std::cmp::Ordering;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 
-use serde::{Deserialize, Serialize};
-
 /// Type tag of a [`Value`], used by templates ("any value of type T") and by
 /// type-signature classifiers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ValueType {
     /// 64-bit signed integer.
     Int,
@@ -64,7 +62,7 @@ impl fmt::Display for ValueType {
 /// assert_eq!(v.value_type(), ValueType::Str);
 /// assert!(Value::Int(3) < Value::Int(10));
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum Value {
     /// 64-bit signed integer.
     Int(i64),
@@ -149,21 +147,13 @@ impl Value {
         }
     }
 
-    /// Approximate wire size of this value in bytes.
+    /// Exact wire size of this value in bytes under the binary codec.
     ///
     /// Used by the `msg-cost(m) = α + β·|m|` cost model (paper §3.3): `|m|`
     /// is measured with this function, so analytical predictions and
-    /// simulator accounting agree exactly.
+    /// simulator accounting agree exactly with what goes on the link.
     pub fn wire_size(&self) -> usize {
-        // One byte of tag plus the payload.
-        1 + match self {
-            Value::Int(_) => 8,
-            Value::Float(_) => 8,
-            Value::Bool(_) => 1,
-            Value::Str(s) | Value::Symbol(s) => 4 + s.len(),
-            Value::Bytes(b) => 4 + b.len(),
-            Value::Tuple(t) => 4 + t.iter().map(Value::wire_size).sum::<usize>(),
-        }
+        paso_wire::Wire::encoded_len(self)
     }
 
     /// Normalized float bits: `-0.0` folds onto `0.0`, all `NaN`s fold onto
@@ -412,10 +402,12 @@ mod tests {
 
     #[test]
     fn wire_size_accounts_for_payload() {
-        assert_eq!(Value::Int(0).wire_size(), 9);
-        assert_eq!(Value::from("abcd").wire_size(), 1 + 4 + 4);
+        // Tag byte + zig-zag varint: a small int costs 2 bytes on the wire.
+        assert_eq!(Value::Int(0).wire_size(), 2);
+        // Tag + 1-byte length + payload.
+        assert_eq!(Value::from("abcd").wire_size(), 1 + 1 + 4);
         let nested = Value::Tuple(vec![Value::Int(0), Value::Int(0)]);
-        assert_eq!(nested.wire_size(), 1 + 4 + 9 + 9);
+        assert_eq!(nested.wire_size(), 1 + 1 + 2 + 2);
     }
 
     #[test]
@@ -441,7 +433,7 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn wire_round_trip() {
         let v = Value::Tuple(vec![
             Value::Int(1),
             Value::Float(2.5),
@@ -450,8 +442,9 @@ mod tests {
             Value::Bytes(vec![0, 1, 2]),
             Value::Bool(false),
         ]);
-        let json = serde_json::to_string(&v).unwrap();
-        let back: Value = serde_json::from_str(&json).unwrap();
+        let bytes = paso_wire::encode_to_vec(&v);
+        assert_eq!(bytes.len(), v.wire_size());
+        let back: Value = paso_wire::decode_exact(&bytes).unwrap();
         assert_eq!(v, back);
     }
 }

@@ -1,0 +1,398 @@
+//! Binary codec impls for the data model.
+//!
+//! Encodings follow the crate-wide convention: one tag byte per enum
+//! variant, varints for integers and lengths (zig-zag for signed), raw
+//! little-endian bits for floats. Tag values are part of the wire format —
+//! append new variants, never renumber.
+
+use std::ops::Bound;
+
+use paso_wire::{put_bytes, put_varint, Reader, Wire, WireError};
+
+use crate::class::ClassId;
+use crate::criteria::SearchCriterion;
+use crate::object::{ObjectId, PasoObject, ProcessId};
+use crate::template::{FieldMatcher, Template};
+use crate::value::{Value, ValueType};
+
+impl Wire for ValueType {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            ValueType::Int => 0,
+            ValueType::Float => 1,
+            ValueType::Bool => 2,
+            ValueType::Str => 3,
+            ValueType::Bytes => 4,
+            ValueType::Symbol => 5,
+            ValueType::Tuple => 6,
+        });
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match r.u8()? {
+            0 => ValueType::Int,
+            1 => ValueType::Float,
+            2 => ValueType::Bool,
+            3 => ValueType::Str,
+            4 => ValueType::Bytes,
+            5 => ValueType::Symbol,
+            6 => ValueType::Tuple,
+            tag => {
+                return Err(WireError::InvalidTag {
+                    ty: "ValueType",
+                    tag,
+                })
+            }
+        })
+    }
+
+    fn encoded_len(&self) -> usize {
+        1
+    }
+}
+
+impl Wire for Value {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Value::Int(i) => {
+                out.push(0);
+                i.encode(out);
+            }
+            Value::Float(x) => {
+                out.push(1);
+                x.encode(out);
+            }
+            Value::Bool(b) => {
+                out.push(2);
+                b.encode(out);
+            }
+            Value::Str(s) => {
+                out.push(3);
+                s.encode(out);
+            }
+            Value::Bytes(b) => {
+                out.push(4);
+                put_bytes(out, b);
+            }
+            Value::Symbol(s) => {
+                out.push(5);
+                s.encode(out);
+            }
+            Value::Tuple(t) => {
+                out.push(6);
+                t.encode(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match r.u8()? {
+            0 => Value::Int(i64::decode(r)?),
+            1 => Value::Float(f64::decode(r)?),
+            2 => Value::Bool(bool::decode(r)?),
+            3 => Value::Str(String::decode(r)?),
+            4 => Value::Bytes(r.byte_string()?.to_vec()),
+            5 => Value::Symbol(String::decode(r)?),
+            6 => Value::Tuple(Vec::<Value>::decode(r)?),
+            tag => return Err(WireError::InvalidTag { ty: "Value", tag }),
+        })
+    }
+
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            Value::Int(i) => i.encoded_len(),
+            Value::Float(_) => 8,
+            Value::Bool(_) => 1,
+            Value::Str(s) | Value::Symbol(s) => s.encoded_len(),
+            Value::Bytes(b) => paso_wire::bytes_len(b),
+            Value::Tuple(t) => t.encoded_len(),
+        }
+    }
+}
+
+impl Wire for ProcessId {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_varint(out, self.0);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(ProcessId(r.varint()?))
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.0.encoded_len()
+    }
+}
+
+impl Wire for ObjectId {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.creator.encode(out);
+        put_varint(out, self.seq);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(ObjectId {
+            creator: ProcessId::decode(r)?,
+            seq: r.varint()?,
+        })
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.creator.encoded_len() + self.seq.encoded_len()
+    }
+}
+
+impl Wire for PasoObject {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.id().encode(out);
+        put_varint(out, self.fields().len() as u64);
+        for v in self.fields() {
+            v.encode(out);
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let id = ObjectId::decode(r)?;
+        let fields = Vec::<Value>::decode(r)?;
+        Ok(PasoObject::new(id, fields))
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.id().encoded_len()
+            + paso_wire::varint_len(self.fields().len() as u64)
+            + self.fields().iter().map(Wire::encoded_len).sum::<usize>()
+    }
+}
+
+impl Wire for ClassId {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(ClassId(u32::decode(r)?))
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.0.encoded_len()
+    }
+}
+
+fn encode_bound(b: &Bound<Value>, out: &mut Vec<u8>) {
+    match b {
+        Bound::Unbounded => out.push(0),
+        Bound::Included(v) => {
+            out.push(1);
+            v.encode(out);
+        }
+        Bound::Excluded(v) => {
+            out.push(2);
+            v.encode(out);
+        }
+    }
+}
+
+fn decode_bound(r: &mut Reader<'_>) -> Result<Bound<Value>, WireError> {
+    Ok(match r.u8()? {
+        0 => Bound::Unbounded,
+        1 => Bound::Included(Value::decode(r)?),
+        2 => Bound::Excluded(Value::decode(r)?),
+        tag => return Err(WireError::InvalidTag { ty: "Bound", tag }),
+    })
+}
+
+fn bound_len(b: &Bound<Value>) -> usize {
+    1 + match b {
+        Bound::Unbounded => 0,
+        Bound::Included(v) | Bound::Excluded(v) => v.encoded_len(),
+    }
+}
+
+impl Wire for FieldMatcher {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            FieldMatcher::Any => out.push(0),
+            FieldMatcher::AnyOf(t) => {
+                out.push(1);
+                t.encode(out);
+            }
+            FieldMatcher::Exact(v) => {
+                out.push(2);
+                v.encode(out);
+            }
+            FieldMatcher::Range { lo, hi } => {
+                out.push(3);
+                encode_bound(lo, out);
+                encode_bound(hi, out);
+            }
+            FieldMatcher::Prefix(s) => {
+                out.push(4);
+                s.encode(out);
+            }
+            FieldMatcher::Contains(s) => {
+                out.push(5);
+                s.encode(out);
+            }
+            FieldMatcher::Not(inner) => {
+                out.push(6);
+                inner.encode(out);
+            }
+            FieldMatcher::TupleOf(ms) => {
+                out.push(7);
+                ms.encode(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match r.u8()? {
+            0 => FieldMatcher::Any,
+            1 => FieldMatcher::AnyOf(ValueType::decode(r)?),
+            2 => FieldMatcher::Exact(Value::decode(r)?),
+            3 => FieldMatcher::Range {
+                lo: decode_bound(r)?,
+                hi: decode_bound(r)?,
+            },
+            4 => FieldMatcher::Prefix(String::decode(r)?),
+            5 => FieldMatcher::Contains(String::decode(r)?),
+            6 => FieldMatcher::Not(Box::new(FieldMatcher::decode(r)?)),
+            7 => FieldMatcher::TupleOf(Vec::<FieldMatcher>::decode(r)?),
+            tag => {
+                return Err(WireError::InvalidTag {
+                    ty: "FieldMatcher",
+                    tag,
+                })
+            }
+        })
+    }
+
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            FieldMatcher::Any => 0,
+            FieldMatcher::AnyOf(_) => 1,
+            FieldMatcher::Exact(v) => v.encoded_len(),
+            FieldMatcher::Range { lo, hi } => bound_len(lo) + bound_len(hi),
+            FieldMatcher::Prefix(s) | FieldMatcher::Contains(s) => s.encoded_len(),
+            FieldMatcher::Not(inner) => inner.encoded_len(),
+            FieldMatcher::TupleOf(ms) => ms.encoded_len(),
+        }
+    }
+}
+
+impl Wire for Template {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_varint(out, self.matchers().len() as u64);
+        for m in self.matchers() {
+            m.encode(out);
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Template::new(Vec::<FieldMatcher>::decode(r)?))
+    }
+
+    fn encoded_len(&self) -> usize {
+        paso_wire::varint_len(self.matchers().len() as u64)
+            + self.matchers().iter().map(Wire::encoded_len).sum::<usize>()
+    }
+}
+
+impl Wire for SearchCriterion {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.template().encode(out);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(SearchCriterion::new(Template::decode(r)?))
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.template().encoded_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paso_wire::{decode_exact, encode_to_vec};
+
+    fn round_trip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = encode_to_vec(&v);
+        assert_eq!(bytes.len(), v.encoded_len(), "encoded_len for {v:?}");
+        assert_eq!(decode_exact::<T>(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn every_value_variant_round_trips() {
+        round_trip(Value::Int(-1));
+        round_trip(Value::Float(f64::MIN_POSITIVE));
+        round_trip(Value::Bool(true));
+        round_trip(Value::from("text"));
+        round_trip(Value::Bytes(vec![0, 255, 1]));
+        round_trip(Value::symbol("job"));
+        round_trip(Value::Tuple(vec![Value::Int(1), Value::Tuple(vec![])]));
+    }
+
+    #[test]
+    fn every_matcher_variant_round_trips() {
+        round_trip(FieldMatcher::Any);
+        round_trip(FieldMatcher::AnyOf(ValueType::Symbol));
+        round_trip(FieldMatcher::Exact(Value::Int(5)));
+        round_trip(FieldMatcher::between(1, 9));
+        round_trip(FieldMatcher::at_least(0));
+        round_trip(FieldMatcher::Range {
+            lo: Bound::Excluded(Value::Int(0)),
+            hi: Bound::Unbounded,
+        });
+        round_trip(FieldMatcher::Prefix("pre".into()));
+        round_trip(FieldMatcher::Contains("mid".into()));
+        round_trip(FieldMatcher::Not(Box::new(FieldMatcher::Any)));
+        round_trip(FieldMatcher::TupleOf(vec![
+            FieldMatcher::Any,
+            FieldMatcher::Exact(Value::Bool(false)),
+        ]));
+    }
+
+    #[test]
+    fn objects_and_criteria_round_trip() {
+        round_trip(PasoObject::new(
+            ObjectId::new(ProcessId(3), 77),
+            vec![Value::symbol("t"), Value::Int(42)],
+        ));
+        round_trip(SearchCriterion::new(Template::exact(vec![
+            Value::symbol("t"),
+            Value::Int(42),
+        ])));
+        round_trip(ClassId(19));
+    }
+
+    #[test]
+    fn truncated_object_is_rejected_not_panicking() {
+        let o = PasoObject::new(ObjectId::new(ProcessId(1), 2), vec![Value::from("abc")]);
+        let bytes = encode_to_vec(&o);
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_exact::<PasoObject>(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_tags_are_rejected() {
+        assert!(matches!(
+            decode_exact::<Value>(&[200]),
+            Err(WireError::InvalidTag {
+                ty: "Value",
+                tag: 200
+            })
+        ));
+        assert!(matches!(
+            decode_exact::<FieldMatcher>(&[99]),
+            Err(WireError::InvalidTag {
+                ty: "FieldMatcher",
+                ..
+            })
+        ));
+    }
+}

@@ -8,8 +8,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use paso_simnet::NodeId;
 
 use crate::group::{GroupId, View};
@@ -26,7 +24,7 @@ pub struct Delivery {
 }
 
 /// Why a gcast could not be completed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GcastError {
     /// No live member could be found after exhausting retries — the
     /// fault-tolerance condition (§4.1) must have been violated.

@@ -8,15 +8,12 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use paso_simnet::NodeId;
+use paso_wire::Wire;
 
 /// Name of a group (an element of the paper's `Names`). PASO maps each
 /// object class's write group and read group to distinct `GroupId`s.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct GroupId(pub u64);
 
 impl fmt::Display for GroupId {
@@ -26,9 +23,7 @@ impl fmt::Display for GroupId {
 }
 
 /// View epoch within a group; strictly increasing.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ViewId(pub u64);
 
 impl ViewId {
@@ -57,7 +52,7 @@ impl fmt::Display for ViewId {
 /// assert!(v.contains(NodeId(2)));
 /// assert_eq!(v.len(), 2);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct View {
     id: ViewId,
     members: BTreeSet<NodeId>,
@@ -129,9 +124,63 @@ impl View {
         }
     }
 
-    /// Approximate wire size in bytes.
+    /// Exact wire size in bytes under the binary codec.
     pub fn wire_size(&self) -> usize {
-        16 + 4 * self.members.len()
+        paso_wire::Wire::encoded_len(self)
+    }
+}
+
+impl Wire for GroupId {
+    fn encode(&self, out: &mut Vec<u8>) {
+        paso_wire::put_varint(out, self.0);
+    }
+
+    fn decode(r: &mut paso_wire::Reader<'_>) -> Result<Self, paso_wire::WireError> {
+        Ok(GroupId(r.varint()?))
+    }
+
+    fn encoded_len(&self) -> usize {
+        paso_wire::varint_len(self.0)
+    }
+}
+
+impl Wire for ViewId {
+    fn encode(&self, out: &mut Vec<u8>) {
+        paso_wire::put_varint(out, self.0);
+    }
+
+    fn decode(r: &mut paso_wire::Reader<'_>) -> Result<Self, paso_wire::WireError> {
+        Ok(ViewId(r.varint()?))
+    }
+
+    fn encoded_len(&self) -> usize {
+        paso_wire::varint_len(self.0)
+    }
+}
+
+impl Wire for View {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.id.encode(out);
+        paso_wire::put_varint(out, self.members.len() as u64);
+        for m in &self.members {
+            m.encode(out);
+        }
+    }
+
+    fn decode(r: &mut paso_wire::Reader<'_>) -> Result<Self, paso_wire::WireError> {
+        let id = ViewId::decode(r)?;
+        let members = Vec::<NodeId>::decode(r)?;
+        Ok(View::new(id, members))
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.id.encoded_len()
+            + paso_wire::varint_len(self.members.len() as u64)
+            + self
+                .members
+                .iter()
+                .map(paso_wire::Wire::encoded_len)
+                .sum::<usize>()
     }
 }
 
@@ -189,6 +238,7 @@ mod tests {
     fn display_and_size() {
         let v = View::new(ViewId(1), [NodeId(0), NodeId(3)]);
         assert_eq!(v.to_string(), "v1{m0,m3}");
-        assert_eq!(v.wire_size(), 24);
+        // id varint + member count varint + one varint per member.
+        assert_eq!(v.wire_size(), 4);
     }
 }

@@ -1,13 +1,12 @@
 //! Wire messages of the virtual synchrony protocol.
 
-use serde::{Deserialize, Serialize};
-
 use paso_simnet::{NodeId, WireSized};
+use paso_wire::{put_bytes, Reader, Wire, WireError};
 
 use crate::group::{GroupId, View, ViewId};
 
 /// A gcast request id, unique per origin node: `(origin, seq)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ReqId {
     /// The issuing node.
     pub origin: NodeId,
@@ -23,7 +22,7 @@ impl std::fmt::Display for ReqId {
 
 /// Protocol messages. `App` payloads are opaque byte strings owned by the
 /// layered application (the PASO memory server).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum VsyncMsg {
     /// Fan-out copy of a gcast to one group member.
     Gcast {
@@ -140,29 +139,222 @@ impl VsyncMsg {
     }
 }
 
-impl WireSized for VsyncMsg {
-    fn wire_size(&self) -> usize {
-        // A fixed header per message kind plus variable payload, matching
-        // the paper's cost accounting: dones are "empty messages" (header
-        // only), gcasts carry |msg|, responses carry |resp|.
-        const HDR: usize = 24;
+impl Wire for ReqId {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.origin.encode(out);
+        paso_wire::put_varint(out, self.seq);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(ReqId {
+            origin: NodeId::decode(r)?,
+            seq: r.varint()?,
+        })
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.origin.encoded_len() + paso_wire::varint_len(self.seq)
+    }
+}
+
+impl Wire for VsyncMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
         match self {
-            VsyncMsg::Gcast { payload, .. } => HDR + payload.len(),
-            VsyncMsg::GcastDone { .. } => HDR,
-            VsyncMsg::GcastResp { payload, .. } => HDR + payload.len(),
-            VsyncMsg::GcastNack { view, .. } => HDR + view.wire_size(),
-            VsyncMsg::JoinReq { .. } | VsyncMsg::LeaveReq { .. } => HDR,
-            VsyncMsg::ProbeReq { .. } | VsyncMsg::ProbeResp { .. } => HDR,
-            VsyncMsg::NewView { view, .. } => HDR + view.wire_size(),
-            VsyncMsg::StateXfer { state, .. } => HDR + state.len(),
+            VsyncMsg::Gcast {
+                group,
+                view,
+                req,
+                payload,
+            } => {
+                out.push(0);
+                group.encode(out);
+                view.encode(out);
+                req.encode(out);
+                put_bytes(out, payload);
+            }
+            VsyncMsg::GcastDone { group, req } => {
+                out.push(1);
+                group.encode(out);
+                req.encode(out);
+            }
+            VsyncMsg::GcastResp {
+                group,
+                req,
+                payload,
+            } => {
+                out.push(2);
+                group.encode(out);
+                req.encode(out);
+                put_bytes(out, payload);
+            }
+            VsyncMsg::GcastNack { group, req, view } => {
+                out.push(3);
+                group.encode(out);
+                req.encode(out);
+                view.encode(out);
+            }
+            VsyncMsg::JoinReq { group, joiner } => {
+                out.push(4);
+                group.encode(out);
+                joiner.encode(out);
+            }
+            VsyncMsg::LeaveReq { group, leaver } => {
+                out.push(5);
+                group.encode(out);
+                leaver.encode(out);
+            }
+            VsyncMsg::NewView {
+                group,
+                view,
+                donor,
+                joiner,
+            } => {
+                out.push(6);
+                group.encode(out);
+                view.encode(out);
+                donor.encode(out);
+                joiner.encode(out);
+            }
+            VsyncMsg::ProbeReq { group, joiner } => {
+                out.push(7);
+                group.encode(out);
+                joiner.encode(out);
+            }
+            VsyncMsg::ProbeResp {
+                group,
+                member,
+                grant,
+            } => {
+                out.push(8);
+                group.encode(out);
+                member.encode(out);
+                grant.encode(out);
+            }
+            VsyncMsg::StateXfer { group, view, state } => {
+                out.push(9);
+                group.encode(out);
+                view.encode(out);
+                put_bytes(out, state);
+            }
         }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match r.u8()? {
+            0 => VsyncMsg::Gcast {
+                group: GroupId::decode(r)?,
+                view: ViewId::decode(r)?,
+                req: ReqId::decode(r)?,
+                payload: r.byte_string()?.to_vec(),
+            },
+            1 => VsyncMsg::GcastDone {
+                group: GroupId::decode(r)?,
+                req: ReqId::decode(r)?,
+            },
+            2 => VsyncMsg::GcastResp {
+                group: GroupId::decode(r)?,
+                req: ReqId::decode(r)?,
+                payload: r.byte_string()?.to_vec(),
+            },
+            3 => VsyncMsg::GcastNack {
+                group: GroupId::decode(r)?,
+                req: ReqId::decode(r)?,
+                view: View::decode(r)?,
+            },
+            4 => VsyncMsg::JoinReq {
+                group: GroupId::decode(r)?,
+                joiner: NodeId::decode(r)?,
+            },
+            5 => VsyncMsg::LeaveReq {
+                group: GroupId::decode(r)?,
+                leaver: NodeId::decode(r)?,
+            },
+            6 => VsyncMsg::NewView {
+                group: GroupId::decode(r)?,
+                view: View::decode(r)?,
+                donor: Option::<NodeId>::decode(r)?,
+                joiner: Option::<NodeId>::decode(r)?,
+            },
+            7 => VsyncMsg::ProbeReq {
+                group: GroupId::decode(r)?,
+                joiner: NodeId::decode(r)?,
+            },
+            8 => VsyncMsg::ProbeResp {
+                group: GroupId::decode(r)?,
+                member: bool::decode(r)?,
+                grant: bool::decode(r)?,
+            },
+            9 => VsyncMsg::StateXfer {
+                group: GroupId::decode(r)?,
+                view: ViewId::decode(r)?,
+                state: r.byte_string()?.to_vec(),
+            },
+            tag => {
+                return Err(WireError::InvalidTag {
+                    ty: "VsyncMsg",
+                    tag,
+                })
+            }
+        })
+    }
+
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            VsyncMsg::Gcast {
+                group,
+                view,
+                req,
+                payload,
+            } => {
+                group.encoded_len()
+                    + view.encoded_len()
+                    + req.encoded_len()
+                    + paso_wire::bytes_len(payload)
+            }
+            VsyncMsg::GcastDone { group, req } => group.encoded_len() + req.encoded_len(),
+            VsyncMsg::GcastResp {
+                group,
+                req,
+                payload,
+            } => group.encoded_len() + req.encoded_len() + paso_wire::bytes_len(payload),
+            VsyncMsg::GcastNack { group, req, view } => {
+                group.encoded_len() + req.encoded_len() + view.encoded_len()
+            }
+            VsyncMsg::JoinReq { group, joiner } => group.encoded_len() + joiner.encoded_len(),
+            VsyncMsg::LeaveReq { group, leaver } => group.encoded_len() + leaver.encoded_len(),
+            VsyncMsg::NewView {
+                group,
+                view,
+                donor,
+                joiner,
+            } => {
+                group.encoded_len()
+                    + view.encoded_len()
+                    + donor.encoded_len()
+                    + joiner.encoded_len()
+            }
+            VsyncMsg::ProbeReq { group, joiner } => group.encoded_len() + joiner.encoded_len(),
+            VsyncMsg::ProbeResp { group, .. } => group.encoded_len() + 2,
+            VsyncMsg::StateXfer { group, view, state } => {
+                group.encoded_len() + view.encoded_len() + paso_wire::bytes_len(state)
+            }
+        }
+    }
+}
+
+impl WireSized for VsyncMsg {
+    /// The exact encoded size — what the `α + β·|m|` model charges is
+    /// what actually crosses the link. Dones stay the paper's "empty
+    /// messages": a tag plus three small varints.
+    fn wire_size(&self) -> usize {
+        self.encoded_len()
     }
 }
 
 /// Top-level network message: vsync protocol traffic or opaque
 /// application-to-application bytes (e.g. client requests injected at a
 /// node, or marker notifications between servers).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum NetMsg {
     /// Virtual-synchrony protocol message.
     Vsync(VsyncMsg),
@@ -171,12 +363,39 @@ pub enum NetMsg {
     App(Vec<u8>),
 }
 
+impl Wire for NetMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            NetMsg::Vsync(m) => {
+                out.push(0);
+                m.encode(out);
+            }
+            NetMsg::App(b) => {
+                out.push(1);
+                put_bytes(out, b);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match r.u8()? {
+            0 => NetMsg::Vsync(VsyncMsg::decode(r)?),
+            1 => NetMsg::App(r.byte_string()?.to_vec()),
+            tag => return Err(WireError::InvalidTag { ty: "NetMsg", tag }),
+        })
+    }
+
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            NetMsg::Vsync(m) => m.encoded_len(),
+            NetMsg::App(b) => paso_wire::bytes_len(b),
+        }
+    }
+}
+
 impl WireSized for NetMsg {
     fn wire_size(&self) -> usize {
-        match self {
-            NetMsg::Vsync(m) => m.wire_size(),
-            NetMsg::App(b) => 8 + b.len(),
-        }
+        self.encoded_len()
     }
 }
 
@@ -211,14 +430,26 @@ mod tests {
             req,
             payload: vec![0; 100],
         };
-        assert_eq!(gcast.wire_size(), 124);
+        // tag + group + view + (origin, seq) + length-prefixed payload.
+        assert_eq!(gcast.wire_size(), 1 + 1 + 1 + 2 + (1 + 100));
         let done = VsyncMsg::GcastDone {
             group: GroupId(1),
             req,
         };
-        assert_eq!(done.wire_size(), 24, "dones are empty messages");
-        assert_eq!(NetMsg::App(vec![0; 10]).wire_size(), 18);
-        assert_eq!(NetMsg::Vsync(done).wire_size(), 24);
+        assert_eq!(done.wire_size(), 4, "dones are (nearly) empty messages");
+        assert_eq!(NetMsg::App(vec![0; 10]).wire_size(), 1 + 1 + 10);
+        assert_eq!(NetMsg::Vsync(done).wire_size(), 5);
+    }
+
+    #[test]
+    fn wire_size_is_the_encoded_length() {
+        let m = NetMsg::Vsync(VsyncMsg::NewView {
+            group: GroupId(3),
+            view: View::new(ViewId(2), [NodeId(0), NodeId(500)]),
+            donor: Some(NodeId(0)),
+            joiner: None,
+        });
+        assert_eq!(m.wire_size(), paso_wire::encode_to_vec(&m).len());
     }
 
     #[test]
@@ -281,14 +512,69 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
-        let m = NetMsg::Vsync(VsyncMsg::StateXfer {
-            group: GroupId(3),
-            view: ViewId(2),
-            state: vec![1, 2, 3],
-        });
-        let s = serde_json::to_string(&m).unwrap();
-        let back: NetMsg = serde_json::from_str(&s).unwrap();
-        assert_eq!(m, back);
+    fn every_variant_round_trips() {
+        let req = ReqId {
+            origin: NodeId(2),
+            seq: 300,
+        };
+        let g = GroupId(7);
+        let view = View::new(ViewId(4), [NodeId(0), NodeId(9)]);
+        let msgs = vec![
+            NetMsg::Vsync(VsyncMsg::Gcast {
+                group: g,
+                view: ViewId(1),
+                req,
+                payload: vec![1, 2, 3],
+            }),
+            NetMsg::Vsync(VsyncMsg::GcastDone { group: g, req }),
+            NetMsg::Vsync(VsyncMsg::GcastResp {
+                group: g,
+                req,
+                payload: vec![],
+            }),
+            NetMsg::Vsync(VsyncMsg::GcastNack {
+                group: g,
+                req,
+                view: view.clone(),
+            }),
+            NetMsg::Vsync(VsyncMsg::JoinReq {
+                group: g,
+                joiner: NodeId(1),
+            }),
+            NetMsg::Vsync(VsyncMsg::LeaveReq {
+                group: g,
+                leaver: NodeId(1),
+            }),
+            NetMsg::Vsync(VsyncMsg::NewView {
+                group: g,
+                view,
+                donor: Some(NodeId(0)),
+                joiner: None,
+            }),
+            NetMsg::Vsync(VsyncMsg::ProbeReq {
+                group: g,
+                joiner: NodeId(3),
+            }),
+            NetMsg::Vsync(VsyncMsg::ProbeResp {
+                group: g,
+                member: true,
+                grant: false,
+            }),
+            NetMsg::Vsync(VsyncMsg::StateXfer {
+                group: g,
+                view: ViewId(2),
+                state: vec![1, 2, 3],
+            }),
+            NetMsg::App(vec![9; 40]),
+        ];
+        for m in msgs {
+            let bytes = paso_wire::encode_to_vec(&m);
+            assert_eq!(bytes.len(), m.wire_size(), "{m:?}");
+            assert_eq!(paso_wire::decode_exact::<NetMsg>(&bytes).unwrap(), m);
+            // Every strict prefix must be rejected, never panic.
+            for cut in 0..bytes.len() {
+                assert!(paso_wire::decode_exact::<NetMsg>(&bytes[..cut]).is_err());
+            }
+        }
     }
 }

@@ -30,10 +30,8 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 
-use rand::RngCore;
-use serde::{Deserialize, Serialize};
-
 use paso_simnet::{Actor, Context, NodeEvent, NodeId, SimTime};
+use rand::RngCore;
 
 use crate::app::{Delivery, GcastError, GroupApp, VsyncOps};
 use crate::group::{GroupId, View, ViewId};
@@ -68,11 +66,40 @@ impl Default for VsyncConfig {
 /// Serialized join-time state: the application snapshot plus the vsync
 /// dedup/response caches, so a joiner that later becomes leader can answer
 /// retried requests and never re-applies a delivery.
-#[derive(Debug, Serialize, Deserialize)]
+#[derive(Debug)]
 struct GroupSnapshot {
     processed: Vec<ReqId>,
     resps: Vec<(ReqId, Vec<u8>)>,
     app: Vec<u8>,
+}
+
+impl paso_wire::Wire for GroupSnapshot {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.processed.encode(out);
+        paso_wire::put_varint(out, self.resps.len() as u64);
+        for (req, resp) in &self.resps {
+            req.encode(out);
+            paso_wire::put_bytes(out, resp);
+        }
+        paso_wire::put_bytes(out, &self.app);
+    }
+
+    fn decode(r: &mut paso_wire::Reader<'_>) -> Result<Self, paso_wire::WireError> {
+        let processed = Vec::<ReqId>::decode(r)?;
+        let n = r.length()?;
+        let mut resps = Vec::with_capacity(n.min(r.remaining()));
+        for _ in 0..n {
+            let req = ReqId::decode(r)?;
+            let resp = r.byte_string()?.to_vec();
+            resps.push((req, resp));
+        }
+        let app = r.byte_string()?.to_vec();
+        Ok(GroupSnapshot {
+            processed,
+            resps,
+            app,
+        })
+    }
 }
 
 #[derive(Debug, Default)]
@@ -678,7 +705,7 @@ impl<A: GroupApp> VsyncNode<A> {
                 app: self.app.snapshot(group),
             }
         };
-        let bytes = serde_json::to_vec(&snap).expect("snapshot serializes");
+        let bytes = paso_wire::encode_to_vec(&snap);
         ctx.send(
             joiner,
             NetMsg::Vsync(VsyncMsg::StateXfer {
@@ -763,7 +790,7 @@ impl<A: GroupApp> VsyncNode<A> {
         group: GroupId,
         state: &[u8],
     ) {
-        let snap: GroupSnapshot = match serde_json::from_slice(state) {
+        let snap: GroupSnapshot = match paso_wire::decode_exact(state) {
             Ok(s) => s,
             Err(_) => return, // corrupt snapshot: keep waiting; retry refetches
         };

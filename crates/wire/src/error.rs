@@ -1,0 +1,79 @@
+//! Decode-side error type.
+
+use std::fmt;
+
+/// Why a decode failed. Malformed input must surface as one of these —
+/// never a panic — because frames arrive from the network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended before the value did.
+    Truncated {
+        /// How many more bytes were needed (best effort).
+        needed: usize,
+    },
+    /// An enum tag byte had no matching variant.
+    InvalidTag {
+        /// The type being decoded.
+        ty: &'static str,
+        /// The offending tag value.
+        tag: u8,
+    },
+    /// A varint ran past 10 bytes (no u64 needs more).
+    VarintOverflow,
+    /// A length prefix exceeded the remaining input.
+    LengthOverrun {
+        /// The claimed length.
+        claimed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// Bytes declared as UTF-8 were not.
+    InvalidUtf8,
+    /// A decoded value violated a domain constraint.
+    Malformed(&'static str),
+    /// The value decoded but bytes were left over (`decode_exact`).
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        count: usize,
+    },
+    /// A versioned payload had an unknown or unsupported version.
+    UnsupportedVersion {
+        /// The version byte found.
+        found: u8,
+        /// The newest version this build understands.
+        supported: u8,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed } => {
+                write!(f, "truncated input: at least {needed} more byte(s) needed")
+            }
+            WireError::InvalidTag { ty, tag } => {
+                write!(f, "invalid tag {tag:#04x} while decoding {ty}")
+            }
+            WireError::VarintOverflow => write!(f, "varint longer than 10 bytes"),
+            WireError::LengthOverrun { claimed, available } => {
+                write!(
+                    f,
+                    "length prefix {claimed} exceeds {available} available byte(s)"
+                )
+            }
+            WireError::InvalidUtf8 => write!(f, "string bytes are not valid UTF-8"),
+            WireError::Malformed(what) => write!(f, "malformed value: {what}"),
+            WireError::TrailingBytes { count } => {
+                write!(f, "{count} trailing byte(s) after value")
+            }
+            WireError::UnsupportedVersion { found, supported } => {
+                write!(
+                    f,
+                    "unsupported format version {found} (this build reads <= {supported})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}

@@ -1,0 +1,139 @@
+//! A tiny JSON *writer* (no parser).
+//!
+//! The binary codec replaced JSON on the wire, but two consumers still need
+//! to emit JSON text: experiment binaries writing result files, and the
+//! codec benchmark, which re-encodes messages the way the old serde_json
+//! path did to measure the byte and CPU savings.
+
+use std::fmt::Write as _;
+
+/// A JSON value tree; call [`Json::render`] to serialize.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Signed integer (rendered without a fraction).
+    Int(i64),
+    /// Unsigned integer (rendered without a fraction).
+    UInt(u64),
+    /// Finite float; NaN/inf render as `null` like serde_json.
+    Num(f64),
+    /// String (escaped on render).
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for object entries.
+    pub fn obj(entries: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.to_owned(), v))
+                .collect(),
+        )
+    }
+
+    /// Serializes to compact JSON text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::UInt(u) => {
+                let _ = write!(out, "{u}");
+            }
+            Json::Num(x) => {
+                if x.is_finite() {
+                    let _ = write!(out, "{x}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => escape_into(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(entries) => {
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structures() {
+        let j = Json::obj([
+            ("name", Json::Str("α/β".into())),
+            (
+                "xs",
+                Json::Arr(vec![Json::Int(-1), Json::UInt(2), Json::Null]),
+            ),
+            ("ok", Json::Bool(true)),
+        ]);
+        assert_eq!(j.render(), r#"{"name":"α/β","xs":[-1,2,null],"ok":true}"#);
+    }
+
+    #[test]
+    fn escapes_control_and_quote_chars() {
+        let j = Json::Str("a\"b\\c\n\u{1}".into());
+        assert_eq!(j.render(), r#""a\"b\\c\n\u0001""#);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+        assert_eq!(Json::Num(1.5).render(), "1.5");
+    }
+}

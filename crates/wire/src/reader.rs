@@ -1,0 +1,154 @@
+//! Borrowing decode cursor.
+
+use crate::error::WireError;
+use crate::varint::unzigzag;
+
+/// A cursor over a byte slice; every read is bounds-checked and reports
+/// [`WireError::Truncated`] instead of panicking.
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Starts a cursor at the beginning of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Current offset from the start of the buffer.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        let b = *self
+            .buf
+            .get(self.pos)
+            .ok_or(WireError::Truncated { needed: 1 })?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Reads a LEB128 varint.
+    pub fn varint(&mut self) -> Result<u64, WireError> {
+        let mut value: u64 = 0;
+        for shift in (0..64).step_by(7) {
+            let b = self.u8()?;
+            value |= ((b & 0x7f) as u64) << shift;
+            if b < 0x80 {
+                // Reject non-canonical overlong encodings in the final byte.
+                if shift == 63 && b > 1 {
+                    return Err(WireError::VarintOverflow);
+                }
+                return Ok(value);
+            }
+        }
+        Err(WireError::VarintOverflow)
+    }
+
+    /// Reads a zig-zag varint.
+    pub fn zigzag(&mut self) -> Result<i64, WireError> {
+        Ok(unzigzag(self.varint()?))
+    }
+
+    /// Reads a varint, checked to fit a length (`usize`) and to not exceed
+    /// the remaining input — so a hostile length prefix cannot trigger a
+    /// huge allocation.
+    pub fn length(&mut self) -> Result<usize, WireError> {
+        let n = self.varint()?;
+        let n = usize::try_from(n).map_err(|_| WireError::LengthOverrun {
+            claimed: usize::MAX,
+            available: self.remaining(),
+        })?;
+        if n > self.remaining() {
+            return Err(WireError::LengthOverrun {
+                claimed: n,
+                available: self.remaining(),
+            });
+        }
+        Ok(n)
+    }
+
+    /// Reads `n` raw bytes as a borrowed slice.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if n > self.remaining() {
+            return Err(WireError::Truncated {
+                needed: n - self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn byte_string(&mut self) -> Result<&'a [u8], WireError> {
+        let n = self.length()?;
+        self.bytes(n)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<&'a str, WireError> {
+        std::str::from_utf8(self.byte_string()?).map_err(|_| WireError::InvalidUtf8)
+    }
+
+    /// Reads an `f64` from its 8-byte little-endian bit pattern.
+    pub fn f64(&mut self) -> Result<f64, WireError> {
+        let raw: [u8; 8] = self.bytes(8)?.try_into().expect("8-byte read");
+        Ok(f64::from_bits(u64::from_le_bytes(raw)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::varint::put_varint;
+
+    #[test]
+    fn varint_round_trip() {
+        for v in [0u64, 1, 127, 128, 300, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            assert_eq!(Reader::new(&buf).varint().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn truncated_varint_is_an_error() {
+        assert_eq!(
+            Reader::new(&[0x80]).varint(),
+            Err(WireError::Truncated { needed: 1 })
+        );
+    }
+
+    #[test]
+    fn overlong_varint_is_rejected() {
+        // 11 continuation bytes can never be a valid u64.
+        let buf = [0xff; 11];
+        assert_eq!(Reader::new(&buf).varint(), Err(WireError::VarintOverflow));
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_rejected_before_allocating() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, u64::MAX);
+        let err = Reader::new(&buf).length().unwrap_err();
+        assert!(matches!(err, WireError::LengthOverrun { .. }));
+    }
+
+    #[test]
+    fn str_rejects_bad_utf8() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 2);
+        buf.extend_from_slice(&[0xff, 0xfe]);
+        assert_eq!(Reader::new(&buf).str(), Err(WireError::InvalidUtf8));
+    }
+}

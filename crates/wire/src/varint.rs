@@ -1,0 +1,72 @@
+//! LEB128 varints and zig-zag mapping.
+
+/// Appends `value` as a LEB128 varint (1–10 bytes; 1 byte below 128).
+pub fn put_varint(out: &mut Vec<u8>, mut value: u64) {
+    while value >= 0x80 {
+        out.push((value as u8 & 0x7f) | 0x80);
+        value >>= 7;
+    }
+    out.push(value as u8);
+}
+
+/// Encoded size of `value` as a varint.
+pub fn varint_len(value: u64) -> usize {
+    // bits / 7, rounded up; 0 still takes one byte.
+    (64 - value.max(1).leading_zeros() as usize).div_ceil(7)
+}
+
+/// Maps a signed value to unsigned so small magnitudes stay small:
+/// 0, -1, 1, -2 → 0, 1, 2, 3.
+pub fn zigzag(value: i64) -> u64 {
+    ((value << 1) ^ (value >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(value: u64) -> i64 {
+    ((value >> 1) as i64) ^ -((value & 1) as i64)
+}
+
+/// Encoded size of `value` as a zig-zag varint.
+pub fn zigzag_len(value: i64) -> usize {
+    varint_len(zigzag(value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_len_matches_encoding() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            assert_eq!(buf.len(), varint_len(v), "value {v}");
+        }
+    }
+
+    #[test]
+    fn zigzag_round_trips_extremes() {
+        for v in [0i64, -1, 1, i64::MIN, i64::MAX, -123456, 123456] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn zigzag_keeps_small_magnitudes_short() {
+        assert_eq!(zigzag_len(0), 1);
+        assert_eq!(zigzag_len(-1), 1);
+        assert_eq!(zigzag_len(63), 1);
+        assert_eq!(zigzag_len(-64), 1);
+        assert_eq!(zigzag_len(64), 2);
+    }
+}

@@ -1,0 +1,333 @@
+//! Minimal offline stand-in for `criterion`.
+//!
+//! Provides the subset of the criterion API this workspace's benches use
+//! (`bench_function`, `benchmark_group`, `bench_with_input`, `iter`,
+//! `iter_batched`, the `criterion_group!`/`criterion_main!` macros) with a
+//! straightforward wall-clock measurement loop: a short warm-up estimates
+//! the per-iteration cost, then batches are sized to fill the measurement
+//! window and the mean/min/max per-iteration times are reported.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost; only a sizing hint here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch.
+    SmallInput,
+    /// Large inputs: few per batch.
+    LargeInput,
+    /// One input per measured iteration.
+    PerIteration,
+}
+
+impl BatchSize {
+    fn batch_len(self) -> u64 {
+        match self {
+            BatchSize::SmallInput => 64,
+            BatchSize::LargeInput => 8,
+            BatchSize::PerIteration => 1,
+        }
+    }
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Identifier that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// One measured sample set, in nanoseconds per iteration.
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    iters: u64,
+}
+
+/// The timing loop driver handed to bench closures.
+pub struct Bencher {
+    measure_for: Duration,
+    sample: Option<Sample>,
+}
+
+impl Bencher {
+    fn new(measure_for: Duration) -> Self {
+        Bencher {
+            measure_for,
+            sample: None,
+        }
+    }
+
+    /// Times `routine` back-to-back.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: find an iteration count that takes ~1/10 of the window.
+        let mut batch: u64 = 1;
+        let per_iter = loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            if dt >= self.measure_for / 10 || batch >= 1 << 30 {
+                break dt.as_nanos() as f64 / batch as f64;
+            }
+            batch *= 4;
+        };
+        let per_batch = (per_iter * batch as f64).max(1.0);
+        let batches =
+            ((self.measure_for.as_nanos() as f64 / per_batch).ceil() as u64).clamp(1, 200);
+
+        let mut total_ns = 0f64;
+        let mut min_ns = f64::INFINITY;
+        let mut max_ns = 0f64;
+        for _ in 0..batches {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let ns = t0.elapsed().as_nanos() as f64 / batch as f64;
+            total_ns += ns;
+            min_ns = min_ns.min(ns);
+            max_ns = max_ns.max(ns);
+        }
+        self.sample = Some(Sample {
+            mean_ns: total_ns / batches as f64,
+            min_ns,
+            max_ns,
+            iters: batch * batches,
+        });
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup is untimed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let batch = size.batch_len();
+        let mut inputs = Vec::with_capacity(batch as usize);
+
+        // Warm-up batch to estimate cost.
+        inputs.extend((0..batch).map(|_| setup()));
+        let t0 = Instant::now();
+        for input in inputs.drain(..) {
+            black_box(routine(input));
+        }
+        let per_iter = (t0.elapsed().as_nanos() as f64 / batch as f64).max(1.0);
+
+        let want = self.measure_for.as_nanos() as f64 / (per_iter * batch as f64);
+        let batches = (want.ceil() as u64).clamp(1, 200);
+
+        let mut total_ns = 0f64;
+        let mut min_ns = f64::INFINITY;
+        let mut max_ns = 0f64;
+        for _ in 0..batches {
+            inputs.extend((0..batch).map(|_| setup()));
+            let t0 = Instant::now();
+            for input in inputs.drain(..) {
+                black_box(routine(input));
+            }
+            let ns = t0.elapsed().as_nanos() as f64 / batch as f64;
+            total_ns += ns;
+            min_ns = min_ns.min(ns);
+            max_ns = max_ns.max(ns);
+        }
+        self.sample = Some(Sample {
+            mean_ns: total_ns / batches as f64,
+            min_ns,
+            max_ns,
+            iters: batch * batches,
+        });
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn run_one(id: &str, measure_for: Duration, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher::new(measure_for);
+    f(&mut b);
+    match b.sample {
+        Some(s) => println!(
+            "{id:<50} time: [{} {} {}]  ({} iters)",
+            fmt_ns(s.min_ns),
+            fmt_ns(s.mean_ns),
+            fmt_ns(s.max_ns),
+            s.iters
+        ),
+        None => println!("{id:<50} (no measurement taken)"),
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    measure_for: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // PASO_BENCH_MS lets CI shrink the window; 300ms default keeps a
+        // full `cargo bench` run in the tens of seconds.
+        let ms = std::env::var("PASO_BENCH_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300);
+        Criterion {
+            measure_for: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a single benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(&id.into().id, self.measure_for, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            measure_for: self.measure_for,
+            _parent: self,
+        }
+    }
+}
+
+/// A named collection of benchmarks (`group/bench` ids).
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    measure_for: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_one(&full, self.measure_for, f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(&full, self.measure_for, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (reporting is immediate, so this is bookkeeping only).
+    pub fn finish(self) {}
+}
+
+/// Bundles bench functions into a runnable group fn.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running each group; ignores harness CLI flags.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench`/`cargo test` pass harness flags (e.g. --bench);
+            // a plain-binary harness has nothing to do with them.
+            let _ = ::std::env::args();
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_records_a_sample() {
+        let mut b = Bencher::new(Duration::from_millis(5));
+        b.iter(|| black_box(2u64 + 2));
+        let s = b.sample.expect("sample");
+        assert!(s.iters > 0);
+        assert!(s.mean_ns > 0.0);
+        assert!(s.min_ns <= s.mean_ns && s.mean_ns <= s.max_ns);
+    }
+
+    #[test]
+    fn iter_batched_consumes_fresh_inputs() {
+        let mut b = Bencher::new(Duration::from_millis(5));
+        b.iter_batched(
+            || vec![1u8, 2, 3],
+            |mut v| {
+                v.push(4);
+                v
+            },
+            BatchSize::SmallInput,
+        );
+        assert!(b.sample.is_some());
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("hash", 32).id, "hash/32");
+        assert_eq!(BenchmarkId::from_parameter(7).id, "7");
+    }
+}

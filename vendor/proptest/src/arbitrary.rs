@@ -1,0 +1,102 @@
+//! `any::<T>()` strategies for primitive types, biased toward edge values.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+/// Types with a canonical "anything" strategy.
+pub trait Arbitrary: Sized + Debug {
+    /// The strategy `any::<Self>()` returns.
+    type Strategy: Strategy<Value = Self>;
+
+    /// Builds the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `A`.
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+/// Full-range integer strategy that surfaces boundary values often.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IntAny<T>(PhantomData<T>);
+
+macro_rules! impl_int_any {
+    ($($ty:ty),*) => {$(
+        impl Strategy for IntAny<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                // One draw in eight lands on a boundary value; edge cases
+                // are where property tests earn their keep.
+                const SPECIAL: [$ty; 4] = [0, 1, <$ty>::MIN, <$ty>::MAX];
+                if rng.below(8) == 0 {
+                    SPECIAL[rng.below(SPECIAL.len() as u64) as usize]
+                } else {
+                    rng.next_u64() as $ty
+                }
+            }
+        }
+
+        impl Arbitrary for $ty {
+            type Strategy = IntAny<$ty>;
+
+            fn arbitrary() -> Self::Strategy {
+                IntAny(PhantomData)
+            }
+        }
+    )*};
+}
+
+impl_int_any!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Fair-coin strategy for `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BoolAny;
+
+impl Strategy for BoolAny {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = BoolAny;
+
+    fn arbitrary() -> Self::Strategy {
+        BoolAny
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_hits_boundaries_eventually() {
+        let mut rng = TestRng::for_test("any_bounds");
+        let s = any::<i64>();
+        let mut saw_min = false;
+        let mut saw_max = false;
+        for _ in 0..2000 {
+            match s.generate(&mut rng) {
+                i64::MIN => saw_min = true,
+                i64::MAX => saw_max = true,
+                _ => {}
+            }
+        }
+        assert!(saw_min && saw_max);
+    }
+
+    #[test]
+    fn bool_takes_both_values() {
+        let mut rng = TestRng::for_test("any_bool");
+        let s = any::<bool>();
+        let trues = (0..100).filter(|_| s.generate(&mut rng)).count();
+        assert!(trues > 20 && trues < 80, "suspicious coin: {trues}/100");
+    }
+}

@@ -1,0 +1,169 @@
+//! Minimal offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace uses:
+//! `Strategy` (generate-only, no shrinking), `any::<T>()` for primitives,
+//! integer/float range strategies, tuple strategies, `Just`, weighted and
+//! unweighted `prop_oneof!`, `proptest::collection::vec`, simple
+//! `[a-z]{m,n}`-style string-regex strategies, and the `proptest!` /
+//! `prop_assert*!` macros.
+//!
+//! Generation is deterministic: the RNG is seeded from the test name, so a
+//! failing case reproduces on every run. On failure the generated inputs
+//! are printed (there is no shrinking, so inputs may be large).
+
+pub mod arbitrary;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Builds one strategy out of several alternatives, optionally weighted:
+/// `prop_oneof![a, b]` or `prop_oneof![3 => a, 1 => b]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body; on failure the case is
+/// reported together with its generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// `prop_assert!`-style equality check with `Debug` output of both sides.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `left == right`\n  left: {:?}\n right: {:?}",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `left == right`\n  left: {:?}\n right: {:?}\n {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// `prop_assert!`-style inequality check.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `left != right`\n  both: {:?}",
+            left
+        );
+    }};
+}
+
+/// Discards the current case without counting it against `cases`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Declares property tests:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn prop(xs in collection::vec(any::<u8>(), 0..10), n in 0u64..5) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                let mut executed: u32 = 0;
+                let mut attempts: u32 = 0;
+                let limit = config.cases.saturating_mul(config.max_rejects.max(1));
+                while executed < config.cases {
+                    attempts += 1;
+                    assert!(
+                        attempts <= limit.max(1024),
+                        "proptest {}: too many rejected cases ({} attempts)",
+                        stringify!($name),
+                        attempts
+                    );
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    let mut inputs = String::new();
+                    $(inputs.push_str(&format!(
+                        concat!("\n  ", stringify!($arg), " = {:?}"), &$arg
+                    ));)+
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(
+                            move || -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                                $body
+                                ::core::result::Result::Ok(())
+                            },
+                        ),
+                    );
+                    if $crate::test_runner::settle_case(stringify!($name), &inputs, outcome) {
+                        executed += 1;
+                    }
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,253 @@
+//! The `Strategy` trait and combinators (generate-only, no shrinking).
+
+use crate::test_runner::TestRng;
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always generates a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `prop_map` combinator.
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Weighted choice between boxed alternatives (`prop_oneof!`).
+pub struct Union<V> {
+    arms: Vec<(u32, BoxedStrategy<V>)>,
+    total: u64,
+}
+
+impl<V: Debug> Union<V> {
+    /// Builds a union; weights must not all be zero.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+        let total: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof! needs at least one nonzero weight");
+        Union { arms, total }
+    }
+}
+
+impl<V: Debug> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let mut pick = rng.below(self.total);
+        for (w, arm) in &self.arms {
+            if pick < *w as u64 {
+                return arm.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weighted pick out of range")
+    }
+}
+
+/// Types uniformly samplable from half-open and closed ranges.
+pub trait SampleUniform: Sized + Copy + Debug {
+    /// Uniform draw from `[lo, hi)`.
+    fn sample_exclusive(rng: &mut TestRng, lo: Self, hi: Self) -> Self;
+    /// Uniform draw from `[lo, hi]`.
+    fn sample_inclusive(rng: &mut TestRng, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($ty:ty),*) => {$(
+        impl SampleUniform for $ty {
+            fn sample_exclusive(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "empty range strategy {lo}..{hi}");
+                let span = (hi as i128).wrapping_sub(lo as i128) as u128;
+                (lo as i128 + rng.below128(span) as i128) as $ty
+            }
+
+            fn sample_inclusive(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "empty range strategy {lo}..={hi}");
+                let span = (hi as i128).wrapping_sub(lo as i128) as u128 + 1;
+                (lo as i128 + rng.below128(span) as i128) as $ty
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_exclusive(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "empty range strategy {lo}..{hi}");
+        lo + rng.unit_f64() * (hi - lo)
+    }
+
+    fn sample_inclusive(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+        Self::sample_exclusive(rng, lo, f64::from_bits(hi.to_bits() + 1))
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_exclusive(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "empty range strategy {lo}..{hi}");
+        lo + (rng.unit_f64() as f32) * (hi - lo)
+    }
+
+    fn sample_inclusive(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+        Self::sample_exclusive(rng, lo, f32::from_bits(hi.to_bits() + 1))
+    }
+}
+
+impl<T: SampleUniform> Strategy for Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::sample_exclusive(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_test("strategy")
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let v = (3u8..9).generate(&mut r);
+            assert!((3..9).contains(&v));
+            let w = (-5i64..=5).generate(&mut r);
+            assert!((-5..=5).contains(&w));
+            let f = (-1.0e6f64..1.0e6).generate(&mut r);
+            assert!((-1.0e6..1.0e6).contains(&f));
+        }
+    }
+
+    #[test]
+    fn map_and_just_compose() {
+        let mut r = rng();
+        let s = Just(7u8).prop_map(|v| v + 1);
+        assert_eq!(s.generate(&mut r), 8);
+    }
+
+    #[test]
+    fn union_honors_weights() {
+        let mut r = rng();
+        let s = crate::prop_oneof![
+            9 => Just(true),
+            1 => Just(false),
+        ];
+        let trues = (0..1000).filter(|_| s.generate(&mut r)).count();
+        assert!(trues > 700, "expected mostly true, got {trues}/1000");
+    }
+
+    #[test]
+    fn unweighted_oneof_covers_all_arms() {
+        let mut r = rng();
+        let s = crate::prop_oneof![Just(0u8), Just(1u8), Just(2u8)];
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[s.generate(&mut r) as usize] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+}

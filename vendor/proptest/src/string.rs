@@ -1,0 +1,131 @@
+//! String strategies from a small regex subset.
+//!
+//! `&'static str` implements [`Strategy`] by interpreting the string as a
+//! pattern: a sequence of atoms, each a literal character or a character
+//! class `[a-z0-9_]`, optionally followed by `{n}` or `{m,n}`. That covers
+//! the `"[a-z]{0,6}"` style patterns this workspace uses; anything fancier
+//! (alternation, groups, `*`/`+`) panics loudly rather than silently
+//! generating the wrong language.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+struct Atom {
+    /// Candidate characters (singleton for a literal).
+    chars: Vec<char>,
+    /// Inclusive repetition bounds.
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let mut atoms = Vec::new();
+    let mut it = pattern.chars().peekable();
+    while let Some(c) = it.next() {
+        let chars = match c {
+            '[' => {
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    match it.next() {
+                        Some(']') => break,
+                        Some('-') if prev.is_some() && it.peek() != Some(&']') => {
+                            let lo = prev.take().expect("range start");
+                            let hi = it.next().expect("range end");
+                            assert!(lo <= hi, "bad char range in pattern {pattern:?}");
+                            for ch in lo..=hi {
+                                if !set.contains(&ch) {
+                                    set.push(ch);
+                                }
+                            }
+                        }
+                        Some(ch) => {
+                            if let Some(p) = prev.replace(ch) {
+                                set.push(p);
+                            }
+                        }
+                        None => panic!("unterminated [..] in pattern {pattern:?}"),
+                    }
+                }
+                if let Some(p) = prev {
+                    set.push(p);
+                }
+                assert!(!set.is_empty(), "empty char class in pattern {pattern:?}");
+                set
+            }
+            '{' | '}' | ']' | '*' | '+' | '?' | '(' | ')' | '|' | '\\' | '.' => {
+                panic!("unsupported regex construct {c:?} in pattern {pattern:?}")
+            }
+            lit => vec![lit],
+        };
+        let (min, max) = if it.peek() == Some(&'{') {
+            it.next();
+            let body: String = it.by_ref().take_while(|ch| *ch != '}').collect();
+            match body.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("repeat lower bound"),
+                    n.trim().parse().expect("repeat upper bound"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("repeat count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "bad repetition {{{min},{max}}} in {pattern:?}");
+        atoms.push(Atom { chars, min, max });
+    }
+    atoms
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in parse_pattern(self) {
+            let n = atom.min + rng.below((atom.max - atom.min + 1) as u64) as usize;
+            for _ in 0..n {
+                out.push(atom.chars[rng.below(atom.chars.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_repetition() {
+        let mut rng = TestRng::for_test("regex");
+        let mut lens = [false; 7];
+        for _ in 0..300 {
+            let s = "[a-z]{0,6}".generate(&mut rng);
+            assert!(s.len() <= 6);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            lens[s.len()] = true;
+        }
+        assert!(lens.iter().all(|b| *b), "lengths not covered: {lens:?}");
+    }
+
+    #[test]
+    fn literals_and_exact_counts() {
+        let mut rng = TestRng::for_test("regex2");
+        let s = "ab[0-9]{3}".generate(&mut rng);
+        assert_eq!(s.len(), 5);
+        assert!(s.starts_with("ab"));
+        assert!(s[2..].chars().all(|c| c.is_ascii_digit()));
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex construct")]
+    fn rejects_unsupported_syntax() {
+        let mut rng = TestRng::for_test("regex3");
+        let _ = "(a|b)*".generate(&mut rng);
+    }
+}

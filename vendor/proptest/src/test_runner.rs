@@ -1,0 +1,175 @@
+//! Deterministic case runner used by the `proptest!` macro expansion.
+
+use std::fmt;
+
+/// Knobs for a `proptest!` block, settable via `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+    /// Rejection budget multiplier (per case) before giving up.
+    pub max_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_rejects: 16,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// Config that runs exactly `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+/// Non-success outcome of one property case.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property was violated.
+    Fail(String),
+    /// The case should be discarded (`prop_assume!`).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failed-property error with `msg` as explanation.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A discarded-case marker (does not count toward `cases`).
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+        }
+    }
+}
+
+/// SplitMix64 generator; deterministic per test name so failures reproduce.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator from the test's name (FNV-1a hash).
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Next 32 random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform draw from `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Multiply-shift uniform sampling; bias is < 2^-64 per draw, far
+        // below what property tests can observe.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform draw from `[0, n)` over the full 128-bit span domain.
+    pub fn below128(&mut self, n: u128) -> u128 {
+        debug_assert!(n > 0);
+        if n <= u64::MAX as u128 {
+            self.below(n as u64) as u128
+        } else {
+            let wide = ((self.next_u64() as u128) << 64) | self.next_u64() as u128;
+            wide % n
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Resolves one case outcome: returns `true` if the case counts toward the
+/// success quota, `false` for a rejection, and panics (with the generated
+/// inputs) on failure.
+pub fn settle_case(
+    name: &str,
+    inputs: &str,
+    outcome: std::thread::Result<Result<(), TestCaseError>>,
+) -> bool {
+    match outcome {
+        Ok(Ok(())) => true,
+        Ok(Err(TestCaseError::Reject(_))) => false,
+        Ok(Err(TestCaseError::Fail(msg))) => {
+            panic!("proptest {name}: {msg}\ninputs:{inputs}")
+        }
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("<non-string panic payload>");
+            panic!("proptest {name}: case panicked: {msg}\ninputs:{inputs}")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = TestRng::for_test("t");
+        let mut b = TestRng::for_test("t");
+        let mut c = TestRng::for_test("u");
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut r = TestRng::for_test("below");
+        for n in [1u64, 2, 3, 10, 1000, u64::MAX] {
+            for _ in 0..100 {
+                assert!(r.below(n) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn unit_is_unit() {
+        let mut r = TestRng::for_test("unit");
+        for _ in 0..1000 {
+            let x = r.unit_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}
