@@ -69,7 +69,7 @@ fn store_gcast() -> NetMsg {
             origin: NodeId(3),
             seq: 17,
         },
-        payload,
+        payload: payload.into(),
     })
 }
 

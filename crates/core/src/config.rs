@@ -115,6 +115,13 @@ pub struct PasoConfig {
     /// Per-operation deadline for blocking operations, after which they
     /// report `TimedOut`.
     pub blocking_deadline_micros: u64,
+    /// How long an [`ReadMode::Anycast`] read waits for its single-member
+    /// answer before falling back to a full group cast.
+    pub anycast_fallback_micros: u64,
+    /// Interval at which servers gossip their per-class summaries for
+    /// client-side `sc-list` pruning. `0` disables gossip (reads then
+    /// visit the full `sc-list`, the pre-pruning behaviour).
+    pub summary_gossip_micros: u64,
     /// Re-initialization phase bounds (§3.1).
     pub init_min: SimTime,
     /// Upper bound of the initialization phase.
@@ -142,6 +149,8 @@ impl PasoConfig {
                     interval_micros: 5_000,
                 },
                 blocking_deadline_micros: 10_000_000,
+                anycast_fallback_micros: 100_000,
+                summary_gossip_micros: 0,
                 init_min: SimTime::from_millis(5),
                 init_max: SimTime::from_millis(10),
             },
@@ -168,6 +177,9 @@ impl PasoConfig {
         }
         if self.init_min > self.init_max {
             return Err(ConfigError::new("init_min must be ≤ init_max"));
+        }
+        if self.anycast_fallback_micros == 0 {
+            return Err(ConfigError::new("anycast fallback must be positive"));
         }
         Ok(())
     }
@@ -243,6 +255,18 @@ impl PasoConfigBuilder {
     /// Sets the blocking-operation deadline in microseconds.
     pub fn blocking_deadline_micros(mut self, d: u64) -> Self {
         self.cfg.blocking_deadline_micros = d;
+        self
+    }
+
+    /// Sets the anycast fallback delay in microseconds.
+    pub fn anycast_fallback_micros(mut self, d: u64) -> Self {
+        self.cfg.anycast_fallback_micros = d;
+        self
+    }
+
+    /// Sets the summary-gossip interval in microseconds (`0` disables).
+    pub fn summary_gossip_micros(mut self, d: u64) -> Self {
+        self.cfg.summary_gossip_micros = d;
         self
     }
 
@@ -330,6 +354,22 @@ mod tests {
                 .len()
                 == 2
         );
+    }
+
+    #[test]
+    fn read_path_tunables_default_and_validate() {
+        let cfg = PasoConfig::builder(4, 1).build();
+        assert_eq!(cfg.anycast_fallback_micros, 100_000);
+        assert_eq!(cfg.summary_gossip_micros, 0);
+        let cfg = PasoConfig::builder(4, 1)
+            .anycast_fallback_micros(25_000)
+            .summary_gossip_micros(40_000)
+            .build();
+        assert_eq!(cfg.anycast_fallback_micros, 25_000);
+        assert_eq!(cfg.summary_gossip_micros, 40_000);
+        let mut bad = cfg;
+        bad.anycast_fallback_micros = 0;
+        assert!(bad.validate().is_err());
     }
 
     #[test]

@@ -18,7 +18,7 @@ use std::sync::Arc;
 
 use paso_adaptive::{Advice, BasicCounter, ModelParams};
 use paso_simnet::NodeId;
-use paso_storage::{AutoStore, ClassStore, Rank, Snapshot};
+use paso_storage::{AutoStore, ClassStore, ClassSummary, Cost, Rank, Snapshot};
 use paso_types::{ClassId, Classifier, PasoObject, SearchCriterion};
 use paso_vsync::{Delivery, GcastError, GroupApp, GroupId, View, VsyncOps};
 
@@ -31,9 +31,10 @@ use crate::wire::{
 /// Token used for fire-and-forget gcasts (marker placement).
 const FIRE_AND_FORGET: u64 = u64::MAX;
 
-/// How long an anycast read waits for its single-target answer before
-/// falling back to a group cast (covers one crash-detection round).
-const ANYCAST_FALLBACK_MICROS: u64 = 100_000;
+/// Reserved timer tag for the periodic summary gossip. Sits far above any
+/// plausible op id and keeps the top bit clear (the vsync layer reserves
+/// bit 63 for its own timers).
+const SUMMARY_GOSSIP_TAG: u64 = 1 << 62;
 
 /// A read-marker left at a write-group member (§4.3's alternative to
 /// busy-waiting).
@@ -129,6 +130,11 @@ pub struct MemoryServer {
     clock: u64,
     /// Round-robin cursor for anycast target selection (load spreading).
     anycast_cursor: u64,
+    /// Latest gossiped per-class summaries from remote hosts, consulted by
+    /// the read path to demote classes that cannot match a criterion.
+    /// Advisory only: entries can be stale, so they reorder — never
+    /// truncate — a read's class walk.
+    remote_summaries: BTreeMap<ClassId, ClassSummary>,
     /// Most recent wire-decode failures (source node + cause), kept for
     /// diagnostics alongside the `wire.decode.error` counter. Bounded so a
     /// babbling peer cannot grow server state.
@@ -155,6 +161,7 @@ impl MemoryServer {
             up: BTreeSet::new(),
             clock: 0,
             anycast_cursor: 0,
+            remote_summaries: BTreeMap::new(),
             decode_errors: Vec::new(),
         }
     }
@@ -240,6 +247,75 @@ impl MemoryServer {
             .or_insert_with(|| BasicCounter::new(params))
     }
 
+    /// Reorders a read's `sc-list` so classes whose summaries rule the
+    /// criterion out are visited *last*: `O(#classes)` walks shrink to
+    /// `O(#candidates)` on the common path. Local summaries are exact;
+    /// gossiped ones can be stale, so pruned classes are demoted rather
+    /// than dropped — a read that misses every candidate still falls
+    /// through to them, and no object can ever be hidden.
+    fn prune_sc_list(
+        &self,
+        vs: &mut dyn VsyncOps<ClientDone>,
+        sc: &SearchCriterion,
+        classes: Vec<ClassId>,
+    ) -> Vec<ClassId> {
+        if self.cfg.summary_gossip_micros == 0 {
+            return classes;
+        }
+        vs.count("read.sc_list", classes.len() as f64);
+        let (mut candidates, pruned): (Vec<ClassId>, Vec<ClassId>) =
+            classes.into_iter().partition(|class| {
+                if vs.is_member(wg_group(*class)) {
+                    // We host a replica: our own summary is authoritative
+                    // (no entry means an empty store, which cannot match).
+                    self.stores
+                        .get(class)
+                        .is_some_and(|s| s.summary().may_match(sc))
+                } else if let Some(summary) = self.remote_summaries.get(class) {
+                    summary.may_match(sc)
+                } else {
+                    // No digest heard yet: stay a candidate.
+                    true
+                }
+            });
+        if !pruned.is_empty() {
+            vs.count("read.pruned", pruned.len() as f64);
+            candidates.extend(pruned);
+        }
+        candidates
+    }
+
+    /// Broadcasts this server's per-class summaries to every live peer.
+    /// Empty-store summaries are sent too — "this class is drained" is
+    /// exactly what lets peers prune it.
+    fn gossip_summaries(&mut self, vs: &mut dyn VsyncOps<ClientDone>) {
+        // Walk every class of the partition, not just ones with a store:
+        // a hosted class that never saw an insert must still be announced
+        // (as the empty summary) or peers could never prune it.
+        let summaries: Vec<(ClassId, ClassSummary)> = self
+            .classifier
+            .classes()
+            .into_iter()
+            .filter(|class| vs.is_member(wg_group(*class)))
+            .map(|class| {
+                let summary = self
+                    .stores
+                    .get(&class)
+                    .map_or_else(ClassSummary::new, |s| s.summary());
+                (class, summary)
+            })
+            .collect();
+        if summaries.is_empty() {
+            return;
+        }
+        let bytes = encode(&AppMsg::SummaryGossip { summaries });
+        let peers: Vec<NodeId> = self.up.iter().copied().filter(|p| *p != self.id).collect();
+        for peer in peers {
+            vs.count("gossip.summary.sent", 1.0);
+            vs.send_app(peer, bytes.clone());
+        }
+    }
+
     fn read_target(&self, class: ClassId) -> GroupId {
         if self.cfg.use_read_groups {
             rg_group(class)
@@ -293,7 +369,7 @@ impl MemoryServer {
                         let (found, cost) = self
                             .stores
                             .get(&class)
-                            .map_or((None, paso_storage::Cost(1)), |s| s.mem_read(&sc));
+                            .map_or((None, Cost::ZERO), |s| s.mem_read(&sc));
                         vs.charge_work(cost.0);
                         vs.count("op.read.local", 1.0);
                         if self.cfg.adaptive && !self.is_basic(class) {
@@ -323,7 +399,7 @@ impl MemoryServer {
                             vs.count("op.read.anycast", 1.0);
                             vs.send_app(target, encode(&msg));
                             // Fall back to a gcast if no answer arrives.
-                            vs.set_app_timer(ANYCAST_FALLBACK_MICROS, op_id);
+                            vs.set_app_timer(self.cfg.anycast_fallback_micros, op_id);
                             return;
                         }
                     }
@@ -451,10 +527,16 @@ impl GroupApp for MemoryServer {
 
     fn on_start(&mut self, vs: &mut dyn VsyncOps<ClientDone>) {
         self.up = (0..vs.n() as u32).map(NodeId).collect();
+        if self.cfg.summary_gossip_micros > 0 {
+            vs.set_app_timer(self.cfg.summary_gossip_micros, SUMMARY_GOSSIP_TAG);
+        }
     }
 
     fn on_recovered(&mut self, vs: &mut dyn VsyncOps<ClientDone>) {
         self.up = (0..vs.n() as u32).map(NodeId).collect();
+        if self.cfg.summary_gossip_micros > 0 {
+            vs.set_app_timer(self.cfg.summary_gossip_micros, SUMMARY_GOSSIP_TAG);
+        }
         // §4.2: "when a machine is restarted, the memory server residing
         // on it should determine which groups it belongs to, and, one by
         // one, g-join these groups." The write group comes first; the
@@ -487,7 +569,8 @@ impl GroupApp for MemoryServer {
                 let classes = match &req.op {
                     ClientOp::Insert { object } => vec![self.classifier.classify(object)],
                     ClientOp::Read { sc, .. } | ClientOp::ReadDel { sc, .. } => {
-                        self.classifier.sc_list(sc)
+                        let full = self.classifier.sc_list(sc);
+                        self.prune_sc_list(vs, sc, full)
                     }
                 };
                 self.pending.insert(
@@ -523,9 +606,9 @@ impl GroupApp for MemoryServer {
                 let (found, cost) = if served {
                     self.stores
                         .get(&class)
-                        .map_or((None, paso_storage::Cost(1)), |s| s.mem_read(&sc))
+                        .map_or((None, Cost::ZERO), |s| s.mem_read(&sc))
                 } else {
-                    (None, paso_storage::Cost(1))
+                    (None, Cost::ZERO)
                 };
                 vs.charge_work(cost.0);
                 let failed = self.failed_of(class);
@@ -578,11 +661,22 @@ impl GroupApp for MemoryServer {
                     }
                 }
             }
+            Ok(AppMsg::SummaryGossip { summaries }) => {
+                vs.count("gossip.summary.recv", 1.0);
+                for (class, summary) in summaries {
+                    self.remote_summaries.insert(class, summary);
+                }
+            }
             Err(err) => self.note_decode_error(vs, from, err),
         }
     }
 
     fn on_timer(&mut self, vs: &mut dyn VsyncOps<ClientDone>, tag: u64) {
+        if tag == SUMMARY_GOSSIP_TAG {
+            self.gossip_summaries(vs);
+            vs.set_app_timer(self.cfg.summary_gossip_micros, SUMMARY_GOSSIP_TAG);
+            return;
+        }
         let Some(p) = self.pending.get_mut(&tag) else {
             return;
         };
@@ -667,7 +761,7 @@ impl GroupApp for MemoryServer {
                 let (found, cost) = self
                     .stores
                     .get(&class)
-                    .map_or((None, paso_storage::Cost(1)), |s| s.mem_read(&sc));
+                    .map_or((None, Cost::ZERO), |s| s.mem_read(&sc));
                 let failed = self.failed_of(class);
                 Delivery {
                     response: encode(&OpResponse {
@@ -682,7 +776,7 @@ impl GroupApp for MemoryServer {
                     .stores
                     .get_mut(&class)
                     .map(|s| s.remove(&sc))
-                    .unwrap_or((None, paso_storage::Cost(1)));
+                    .unwrap_or((None, Cost::ZERO));
                 self.record_member_update(vs, class);
                 let failed = self.failed_of(class);
                 Delivery {

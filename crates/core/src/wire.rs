@@ -7,7 +7,7 @@
 //! the message path.
 
 use paso_simnet::NodeId;
-use paso_storage::Rank;
+use paso_storage::{ClassSummary, Rank};
 use paso_types::{ClassId, PasoObject, SearchCriterion};
 use paso_wire::{put_varint, Reader, Wire, WireError};
 
@@ -405,6 +405,14 @@ pub enum AppMsg {
         /// Piggybacked `|F(C)|` (§5.1).
         failed: u64,
     },
+    /// Periodic digest of the classes a server hosts, for client-side
+    /// `sc-list` pruning (the PR 3 fast read path). Summaries may
+    /// false-positive but never false-negative, so a receiver can safely
+    /// demote — never skip — classes whose digests rule a criterion out.
+    SummaryGossip {
+        /// Per-class constant-size summaries of the sender's stores.
+        summaries: Vec<(ClassId, ClassSummary)>,
+    },
 }
 
 impl Wire for AppMsg {
@@ -436,6 +444,14 @@ impl Wire for AppMsg {
                 found.encode(out);
                 put_varint(out, *failed);
             }
+            AppMsg::SummaryGossip { summaries } => {
+                out.push(4);
+                put_varint(out, summaries.len() as u64);
+                for (class, summary) in summaries {
+                    class.encode(out);
+                    summary.encode(out);
+                }
+            }
         }
     }
 
@@ -454,6 +470,14 @@ impl Wire for AppMsg {
                 found: Option::<PasoObject>::decode(r)?,
                 failed: r.varint()?,
             },
+            4 => {
+                let n = r.varint()? as usize;
+                let mut summaries = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    summaries.push((ClassId::decode(r)?, ClassSummary::decode(r)?));
+                }
+                AppMsg::SummaryGossip { summaries }
+            }
             tag => return Err(WireError::InvalidTag { ty: "AppMsg", tag }),
         })
     }
@@ -475,6 +499,13 @@ impl Wire for AppMsg {
                     + 1
                     + found.encoded_len()
                     + paso_wire::varint_len(*failed)
+            }
+            AppMsg::SummaryGossip { summaries } => {
+                paso_wire::varint_len(summaries.len() as u64)
+                    + summaries
+                        .iter()
+                        .map(|(c, s)| c.encoded_len() + s.encoded_len())
+                        .sum::<usize>()
             }
         }
     }
@@ -588,6 +619,26 @@ mod tests {
             assert_eq!(bytes.len(), m.encoded_len());
             let back: AppMsg = decode(&bytes).unwrap();
             assert_eq!(m, back);
+        }
+    }
+
+    #[test]
+    fn summary_gossip_round_trips() {
+        let mut summary = ClassSummary::new();
+        summary.note_insert(&obj());
+        for m in [
+            AppMsg::SummaryGossip { summaries: vec![] },
+            AppMsg::SummaryGossip {
+                summaries: vec![(ClassId(3), summary), (ClassId(9), ClassSummary::new())],
+            },
+        ] {
+            let bytes = encode(&m);
+            assert_eq!(bytes.len(), m.encoded_len());
+            let back: AppMsg = decode(&bytes).unwrap();
+            assert_eq!(m, back);
+            for cut in 0..bytes.len() {
+                assert!(try_decode::<AppMsg>(&bytes[..cut]).is_err());
+            }
         }
     }
 

@@ -24,10 +24,12 @@ mod cluster;
 mod node;
 pub mod shell;
 mod transport;
+mod workers;
 
 pub use cluster::{Cluster, ClusterError, TransportKind};
 pub use node::NodeStats;
 pub use transport::{ChannelMailbox, ChannelTransport, Envelope, Mailbox, Postman, TcpTransport};
+pub use workers::ClassPool;
 
 #[cfg(test)]
 mod tests {

@@ -66,6 +66,12 @@ pub(crate) fn run_node<A, F>(
                         stats.msgs_sent.fetch_add(1, Ordering::Relaxed);
                         postman.send(to, Envelope::Net { from: node, msg });
                     }
+                    Action::SendMany { to, msg } => {
+                        stats
+                            .msgs_sent
+                            .fetch_add(to.len() as u64, Ordering::Relaxed);
+                        postman.send_shared(&to, Envelope::Net { from: node, msg });
+                    }
                     Action::SendLocal { msg } => local.push_back(msg),
                     Action::SetTimer { delay, tag } => {
                         timers.push(Reverse((now() + delay, tag)));

@@ -118,6 +118,15 @@ pub trait Postman: Send + Sync {
     /// drops traffic, exactly as the simulator's bus does).
     fn send(&self, to: NodeId, envelope: Envelope);
 
+    /// Delivers one envelope to several mailboxes (a gcast fan-out). The
+    /// default clones per target; transports that serialize override this
+    /// to encode the frame **once** and share the bytes across all copies.
+    fn send_shared(&self, targets: &[NodeId], envelope: Envelope) {
+        for &to in targets {
+            self.send(to, envelope.clone());
+        }
+    }
+
     /// Bytes-on-the-wire estimate for stats.
     fn bytes_sent(&self) -> u64;
 }
@@ -206,8 +215,10 @@ pub struct TcpTransport {
     bytes: Arc<std::sync::atomic::AtomicU64>,
 }
 
-/// Frame queues keyed by (sender, receiver) connection identity.
-type ConnMap = HashMap<(NodeId, NodeId), Sender<Vec<u8>>>;
+/// Frame queues keyed by (sender, receiver) connection identity. Frames
+/// are refcounted so one encoded gcast payload can sit in every member's
+/// queue without being copied per connection.
+type ConnMap = HashMap<(NodeId, NodeId), Sender<Arc<[u8]>>>;
 
 impl TcpTransport {
     /// Binds `n` listeners on consecutive free ports and returns the
@@ -300,7 +311,7 @@ fn read_loop(mut stream: TcpStream, tx: Sender<Envelope>) {
 /// everything else already queued into the same batch buffer and writes it
 /// with one syscall. Exits (dropping the stream) on any write error; the
 /// send path reconnects lazily.
-fn write_loop(mut stream: TcpStream, rx: Receiver<Vec<u8>>) {
+fn write_loop(mut stream: TcpStream, rx: Receiver<Arc<[u8]>>) {
     let mut batch = Vec::new();
     while let Ok(first) = rx.recv() {
         batch.clear();
@@ -314,28 +325,22 @@ fn write_loop(mut stream: TcpStream, rx: Receiver<Vec<u8>>) {
     }
 }
 
-impl Postman for TcpTransport {
-    fn send(&self, to: NodeId, envelope: Envelope) {
+impl TcpTransport {
+    /// Queues one already-encoded frame toward `to`, reconnecting once if
+    /// the cached connection's writer died.
+    fn enqueue(&self, from: NodeId, to: NodeId, mut frame: Arc<[u8]>) {
         let Some(&port) = self.ports.get(to.index()) else {
             return;
         };
-        let from = match &envelope {
-            Envelope::Net { from, .. } => *from,
-            // Controller traffic shares one connection slot per target.
-            _ => NodeId(u32::MAX),
-        };
-        let mut frame = Vec::with_capacity(envelope.encoded_len() + 2);
-        push_frame(&mut frame, &envelope);
         self.bytes
             .fetch_add(frame.len() as u64, std::sync::atomic::Ordering::Relaxed);
         let key = (from, to);
         let mut conns = self.conns.lock();
-        // Try the cached connection's queue; reconnect once on failure.
         for attempt in 0..2 {
             if let std::collections::hash_map::Entry::Vacant(e) = conns.entry(key) {
                 match TcpStream::connect(("127.0.0.1", port)) {
                     Ok(s) => {
-                        let (ftx, frx) = unbounded::<Vec<u8>>();
+                        let (ftx, frx) = unbounded::<Arc<[u8]>>();
                         std::thread::spawn(move || write_loop(s, frx));
                         e.insert(ftx);
                     }
@@ -343,7 +348,7 @@ impl Postman for TcpTransport {
                 }
             }
             let queue = conns.get(&key).expect("just inserted");
-            match queue.send(std::mem::take(&mut frame)) {
+            match queue.send(frame) {
                 Ok(()) => return,
                 Err(err) => {
                     // Writer thread died (peer closed); take the frame
@@ -355,6 +360,34 @@ impl Postman for TcpTransport {
                     }
                 }
             }
+        }
+    }
+}
+
+/// The connection slot controller traffic uses (no sending node).
+fn conn_slot(envelope: &Envelope) -> NodeId {
+    match envelope {
+        Envelope::Net { from, .. } => *from,
+        _ => NodeId(u32::MAX),
+    }
+}
+
+impl Postman for TcpTransport {
+    fn send(&self, to: NodeId, envelope: Envelope) {
+        let mut frame = Vec::with_capacity(envelope.encoded_len() + 2);
+        push_frame(&mut frame, &envelope);
+        self.enqueue(conn_slot(&envelope), to, frame.into());
+    }
+
+    fn send_shared(&self, targets: &[NodeId], envelope: Envelope) {
+        // The frame is target-independent, so one encoding serves the
+        // whole fan-out; each queue holds a refcount, not a copy.
+        let mut frame = Vec::with_capacity(envelope.encoded_len() + 2);
+        push_frame(&mut frame, &envelope);
+        let frame: Arc<[u8]> = frame.into();
+        let from = conn_slot(&envelope);
+        for &to in targets {
+            self.enqueue(from, to, frame.clone());
         }
     }
 
@@ -464,6 +497,50 @@ mod tests {
             }
         ));
         assert!(postman.bytes_sent() > 0);
+    }
+
+    #[test]
+    fn send_shared_reaches_every_target() {
+        // Channel transport: default per-target clone path.
+        let (postman, mailboxes) = ChannelTransport::new(4);
+        postman.send_shared(&[NodeId(1), NodeId(2), NodeId(3)], net(0));
+        for mailbox in &mailboxes[1..] {
+            let got = mailbox
+                .recv_timeout(Duration::from_millis(100))
+                .expect("fan-out copy must arrive");
+            assert!(matches!(
+                got,
+                Envelope::Net {
+                    from: NodeId(0),
+                    ..
+                }
+            ));
+        }
+
+        // TCP transport: single-encode path, one frame refcounted across
+        // all connection queues.
+        let (postman, mailboxes) = TcpTransport::new(3);
+        postman.send_shared(&[NodeId(1), NodeId(2)], net(0));
+        for mailbox in &mailboxes[1..] {
+            let got = mailbox
+                .recv_timeout(Duration::from_secs(2))
+                .expect("fan-out frame must arrive over TCP");
+            assert!(matches!(
+                got,
+                Envelope::Net {
+                    from: NodeId(0),
+                    ..
+                }
+            ));
+        }
+        // Wire accounting charges every copy, even though one was encoded.
+        let one = {
+            let env = net(0);
+            let mut frame = Vec::new();
+            push_frame(&mut frame, &env);
+            frame.len() as u64
+        };
+        assert_eq!(postman.bytes_sent(), 2 * one);
     }
 
     #[test]

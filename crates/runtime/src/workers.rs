@@ -1,0 +1,171 @@
+//! Per-class parallel execution.
+//!
+//! PASO's correctness argument orders operations *per class*: every
+//! update to a class flows through that class's write-group leader, so
+//! two different classes never need to synchronize with each other. That
+//! makes classes a natural unit of parallelism — and [`ClassPool`]
+//! exploits it by sharding classes across a small fixed pool of worker
+//! threads. A class is hashed to **one** worker for the pool's lifetime,
+//! so all jobs for a given class run on the same thread in submission
+//! order (per-class FIFO, exactly the order the leader sequenced), while
+//! jobs for classes on different workers run concurrently.
+
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Sender};
+use paso_types::ClassId;
+
+/// A boxed unit of work bound for one worker thread.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed pool of worker threads sharded by [`ClassId`].
+///
+/// `submit(class, job)` routes every job for `class` to the same worker
+/// (hash modulo pool size), preserving per-class FIFO while letting
+/// distinct classes execute in parallel. Dropping the pool (or calling
+/// [`ClassPool::join`]) closes the queues and waits for all submitted
+/// jobs to finish.
+pub struct ClassPool {
+    queues: Vec<Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ClassPool {
+    /// Spawns `workers` threads (at least one).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let mut queues = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let (tx, rx) = unbounded::<Job>();
+            queues.push(tx);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("paso-class-worker-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            job();
+                        }
+                    })
+                    .expect("spawn class worker"),
+            );
+        }
+        ClassPool { queues, handles }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// The fixed worker index `class` is sharded to.
+    pub fn worker_for(&self, class: ClassId) -> usize {
+        // Fibonacci multiplicative hash: cheap and spreads the typically
+        // small, dense class-id space evenly across workers.
+        let h = (class.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (h >> 32) as usize % self.queues.len()
+    }
+
+    /// Runs `job` on the worker owning `class`. Jobs submitted for the
+    /// same class execute in submission order; jobs for classes owned by
+    /// different workers execute concurrently.
+    pub fn submit<F>(&self, class: ClassId, job: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let idx = self.worker_for(class);
+        // The queue only closes once the pool is dropped, so a live pool
+        // never fails to accept work.
+        let _ = self.queues[idx].send(Box::new(job));
+    }
+
+    /// Closes the queues and waits for every submitted job to finish.
+    pub fn join(mut self) {
+        self.drain();
+    }
+
+    fn drain(&mut self) {
+        self.queues.clear(); // close queues -> workers exit after draining
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ClassPool {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Mutex};
+    use std::time::Duration;
+
+    #[test]
+    fn same_class_jobs_run_in_submission_order() {
+        let pool = ClassPool::new(4);
+        let log: Arc<Mutex<Vec<(u32, usize)>>> = Arc::new(Mutex::new(Vec::new()));
+        for class in 0..8u32 {
+            for seq in 0..50usize {
+                let log = Arc::clone(&log);
+                pool.submit(ClassId(class), move || {
+                    log.lock().unwrap().push((class, seq));
+                });
+            }
+        }
+        pool.join();
+        let log = log.lock().unwrap();
+        assert_eq!(log.len(), 8 * 50);
+        for class in 0..8u32 {
+            let seqs: Vec<usize> = log
+                .iter()
+                .filter(|(c, _)| *c == class)
+                .map(|(_, s)| *s)
+                .collect();
+            assert_eq!(seqs, (0..50).collect::<Vec<_>>(), "class {class} FIFO");
+        }
+    }
+
+    #[test]
+    fn distinct_workers_run_concurrently() {
+        let pool = ClassPool::new(2);
+        // Find two classes owned by different workers.
+        let a = ClassId(0);
+        let b = (1..64)
+            .map(ClassId)
+            .find(|c| pool.worker_for(*c) != pool.worker_for(a))
+            .expect("some class must hash to the other worker");
+        let peak = Arc::new(AtomicUsize::new(0));
+        let live = Arc::new(AtomicUsize::new(0));
+        for class in [a, b] {
+            let peak = Arc::clone(&peak);
+            let live = Arc::clone(&live);
+            pool.submit(class, move || {
+                let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(100));
+                live.fetch_sub(1, Ordering::SeqCst);
+            });
+        }
+        pool.join();
+        assert_eq!(
+            peak.load(Ordering::SeqCst),
+            2,
+            "jobs on different workers must overlap in time"
+        );
+    }
+
+    #[test]
+    fn class_to_worker_mapping_is_stable() {
+        let pool = ClassPool::new(3);
+        for class in 0..32u32 {
+            let w = pool.worker_for(ClassId(class));
+            assert!(w < 3);
+            assert_eq!(w, pool.worker_for(ClassId(class)));
+        }
+    }
+}

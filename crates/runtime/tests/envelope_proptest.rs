@@ -35,7 +35,7 @@ fn arb_net_msg() -> impl Strategy<Value = NetMsg> {
                         origin: NodeId(o),
                         seq: s,
                     },
-                    payload,
+                    payload: payload.into(),
                 })
             }),
     ]

@@ -105,6 +105,15 @@ pub enum Action<M, O> {
         /// The message.
         msg: M,
     },
+    /// Send one `msg` to several destinations (a fan-out). The message is
+    /// encoded/sized once; transports may share one serialized frame
+    /// across all copies, though each copy is still charged `α + β·|m|`.
+    SendMany {
+        /// Destination nodes.
+        to: Vec<NodeId>,
+        /// The shared message.
+        msg: M,
+    },
     /// Deliver `msg` to this node itself, off the network.
     SendLocal {
         /// The message.
@@ -181,6 +190,14 @@ impl<M, O> Context<'_, M, O> {
     /// but dropped.
     pub fn send(&mut self, to: NodeId, msg: M) {
         self.actions.push(Action::Send { to, msg });
+    }
+
+    /// Sends one message to every node in `to` (a fan-out). Each copy is
+    /// charged and bus-serialized like a [`Context::send`], but the
+    /// message is sized once and transports can reuse one encoded frame
+    /// for all destinations.
+    pub fn send_many(&mut self, to: Vec<NodeId>, msg: M) {
+        self.actions.push(Action::SendMany { to, msg });
     }
 
     /// Delivers a message to this node itself without touching the bus

@@ -379,6 +379,32 @@ impl<A: Actor> Engine<A> {
                         },
                     );
                 }
+                Action::SendMany { to, msg } => {
+                    // Sized once for the whole fan-out; each copy still
+                    // pays α + β·|m| and serializes on the bus in turn.
+                    let bytes = msg.wire_size();
+                    let cost = self.config.cost_model.msg_cost(bytes);
+                    let tx = self.config.cost_model.tx_time(bytes);
+                    for target in to {
+                        let start = self.now.max(self.bus_free_at);
+                        let deliver_at = start + tx;
+                        self.bus_free_at = deliver_at;
+                        self.stats.bus_busy_micros += tx.as_micros();
+                        self.stats.msgs_sent += 1;
+                        self.stats.total_msg_cost += cost;
+                        self.stats.total_bytes += bytes as u64;
+                        self.push(
+                            deliver_at,
+                            Event::Deliver {
+                                to: target,
+                                from: node,
+                                msg: msg.clone(),
+                                bytes,
+                                via_bus: true,
+                            },
+                        );
+                    }
+                }
                 Action::SendLocal { msg } => {
                     let bytes = msg.wire_size();
                     self.push(

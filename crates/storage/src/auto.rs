@@ -129,6 +129,10 @@ impl ClassStore for AutoStore {
     fn objects(&self) -> Vec<PasoObject> {
         self.inner().objects()
     }
+
+    fn summary(&self) -> crate::ClassSummary {
+        self.inner().summary()
+    }
 }
 
 #[cfg(test)]

@@ -13,6 +13,7 @@ use paso_types::PasoObject;
 use paso_wire::{put_varint, Reader, Wire};
 
 use crate::store::{Rank, Snapshot, SnapshotError};
+use crate::summary::ClassSummary;
 
 /// Origin marker for locally auto-assigned ranks.
 const LOCAL_ORIGIN: u16 = u16::MAX;
@@ -33,17 +34,34 @@ const SNAPSHOT_VERSION: u8 = 1;
 /// `next_local` counter and a length-prefixed list of `(rank, object)`
 /// pairs. The size remains Θ(ℓ), which is what the `α + β·|m|`
 /// state-transfer cost model needs, at a fraction of the JSON byte count.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub(crate) struct Entries {
     map: BTreeMap<Rank, PasoObject>,
     next_local: u64,
+    /// Incrementally maintained digest of the live objects. Never
+    /// false-negative; over-approximates after removals until the
+    /// amortized rebuild below resets it.
+    summary: ClassSummary,
+    /// Removals since the summary was last rebuilt from the live set.
+    removed_since_rebuild: u64,
 }
+
+/// Summary state is derived from the map, so equality (used by snapshot
+/// round-trip tests) compares only the authoritative fields.
+impl PartialEq for Entries {
+    fn eq(&self, other: &Self) -> bool {
+        self.map == other.map && self.next_local == other.next_local
+    }
+}
+
+impl Eq for Entries {}
 
 impl Entries {
     /// Inserts an object with a locally assigned rank, returning it.
     pub fn push(&mut self, obj: PasoObject) -> Rank {
         let rank = Rank::new(self.next_local, LOCAL_ORIGIN);
         self.next_local += 1;
+        self.summary.note_insert(&obj);
         self.map.insert(rank, obj);
         rank
     }
@@ -53,7 +71,12 @@ impl Entries {
         // Keep the local counter ahead so auto-ranked and externally
         // ranked entries never collide in time.
         self.next_local = self.next_local.max(rank.time() + 1);
-        self.map.insert(rank, obj);
+        self.summary.note_insert(&obj);
+        if self.map.insert(rank, obj).is_some() {
+            // Rank collision replaced an object; the summary double-counted
+            // it. Rebuild to stay exact on `len`.
+            self.rebuild_summary();
+        }
     }
 
     pub fn get(&self, rank: Rank) -> Option<&PasoObject> {
@@ -61,7 +84,27 @@ impl Entries {
     }
 
     pub fn remove(&mut self, rank: Rank) -> Option<PasoObject> {
-        self.map.remove(&rank)
+        let removed = self.map.remove(&rank);
+        if removed.is_some() {
+            self.summary.note_remove();
+            self.removed_since_rebuild += 1;
+            // Amortized O(1): after more removals than survivors, pay one
+            // O(ℓ) rebuild to shed the stale Bloom bits.
+            if self.removed_since_rebuild > self.map.len() as u64 {
+                self.rebuild_summary();
+            }
+        }
+        removed
+    }
+
+    /// The live-object digest (see [`ClassSummary`]).
+    pub fn summary(&self) -> ClassSummary {
+        self.summary
+    }
+
+    fn rebuild_summary(&mut self) {
+        self.summary = ClassSummary::rebuild(self.map.values());
+        self.removed_since_rebuild = 0;
     }
 
     pub fn len(&self) -> usize {
@@ -75,6 +118,8 @@ impl Entries {
 
     pub fn clear(&mut self) {
         self.map.clear();
+        self.summary = ClassSummary::new();
+        self.removed_since_rebuild = 0;
         // next_local deliberately NOT reset: local ranks stay unique for
         // the lifetime of the store.
     }
@@ -139,6 +184,7 @@ impl Entries {
         let (next_local, map) = decoded;
         self.map = map;
         self.next_local = next_local.max(self.map.keys().last().map_or(0, |r| r.time() + 1));
+        self.rebuild_summary();
         Ok(())
     }
 }
@@ -277,6 +323,36 @@ mod tests {
             e.push(obj(n));
         }
         assert!(e.snapshot().len() > empty + 10);
+    }
+
+    #[test]
+    fn summary_tracks_inserts_and_heavy_removal_triggers_rebuild() {
+        use paso_types::{SearchCriterion, Template};
+        let mut e = Entries::default();
+        let ranks: Vec<Rank> = (0..8).map(|n| e.push(obj(n))).collect();
+        assert_eq!(e.summary().len(), 8);
+        let sc7 = SearchCriterion::from(Template::exact(vec![Value::Int(7)]));
+        assert!(e.summary().may_match(&sc7));
+        // Remove everything except object 0: more removals than survivors
+        // forces a rebuild, which must shed object 7's fingerprint.
+        for r in &ranks[1..] {
+            e.remove(*r);
+        }
+        assert_eq!(e.summary().len(), 1);
+        assert!(!e.summary().may_match(&sc7), "rebuild sheds stale bits");
+        let sc0 = SearchCriterion::from(Template::exact(vec![Value::Int(0)]));
+        assert!(e.summary().may_match(&sc0), "survivor stays visible");
+    }
+
+    #[test]
+    fn restore_rebuilds_summary() {
+        let mut e = Entries::default();
+        e.push(obj(3));
+        let snap = e.snapshot();
+        let mut f = Entries::default();
+        f.restore(&snap).unwrap();
+        assert_eq!(f.summary(), e.summary());
+        assert_eq!(f.summary().len(), 1);
     }
 
     #[test]

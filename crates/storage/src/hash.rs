@@ -55,8 +55,12 @@ impl HashStore {
     }
 
     /// Oldest match + cost. Dictionary queries use the index (1 probe);
-    /// everything else scans.
+    /// everything else scans. An empty store proves a miss for free (see
+    /// the miss-accounting rule on [`ClassStore`]).
     fn find_oldest(&self, sc: &SearchCriterion) -> (Option<Rank>, Cost) {
+        if self.entries.len() == 0 {
+            return (None, Cost::ZERO);
+        }
         if sc.query_kind() == QueryKind::Dictionary {
             let key: Vec<Value> = sc
                 .template()
@@ -81,7 +85,7 @@ impl HashStore {
                 return (Some(rank), Cost(inspected));
             }
         }
-        (None, Cost(inspected.max(1)))
+        (None, Cost(inspected))
     }
 }
 
@@ -150,6 +154,10 @@ impl ClassStore for HashStore {
 
     fn objects(&self) -> Vec<PasoObject> {
         self.entries.objects()
+    }
+
+    fn summary(&self) -> crate::ClassSummary {
+        self.entries.summary()
     }
 }
 

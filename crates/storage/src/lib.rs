@@ -45,6 +45,7 @@ mod multi;
 mod ordered;
 mod scan;
 mod store;
+mod summary;
 
 pub use auto::{store_for, AutoStore};
 pub use hash::HashStore;
@@ -52,6 +53,7 @@ pub use multi::MultiStore;
 pub use ordered::OrderedStore;
 pub use scan::ScanStore;
 pub use store::{ClassStore, Cost, Rank, Snapshot, SnapshotError, StoreKind};
+pub use summary::ClassSummary;
 
 #[cfg(test)]
 mod differential_tests {

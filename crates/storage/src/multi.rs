@@ -133,7 +133,13 @@ impl MultiStore {
         (best, Cost(self.log_len() + inspected))
     }
 
+    /// Oldest match + cost via the best index for the shape. An empty
+    /// store proves a miss for free (see the miss-accounting rule on
+    /// [`ClassStore`]).
     fn find_oldest(&self, sc: &SearchCriterion) -> (Option<Rank>, Cost) {
+        if self.entries.len() == 0 {
+            return (None, Cost::ZERO);
+        }
         match sc.query_kind() {
             QueryKind::Dictionary => {
                 let key: Vec<Value> = sc
@@ -154,7 +160,7 @@ impl MultiStore {
                         return (Some(rank), Cost(inspected));
                     }
                 }
-                (None, Cost(inspected.max(1)))
+                (None, Cost(inspected))
             }
         }
     }
@@ -221,6 +227,10 @@ impl ClassStore for MultiStore {
 
     fn objects(&self) -> Vec<PasoObject> {
         self.entries.objects()
+    }
+
+    fn summary(&self) -> crate::ClassSummary {
+        self.entries.summary()
     }
 }
 

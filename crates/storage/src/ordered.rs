@@ -84,8 +84,13 @@ impl OrderedStore {
         }
     }
 
-    /// Oldest match + cost, using the index where the shape permits.
+    /// Oldest match + cost, using the index where the shape permits. An
+    /// empty store proves a miss for free (see the miss-accounting rule on
+    /// [`ClassStore`]).
     fn find_oldest(&self, sc: &SearchCriterion) -> (Option<Rank>, Cost) {
+        if self.entries.len() == 0 {
+            return (None, Cost::ZERO);
+        }
         match sc.query_kind() {
             QueryKind::Dictionary => {
                 let key: Vec<Value> = sc
@@ -150,7 +155,7 @@ impl OrderedStore {
                         return (Some(rank), Cost(inspected));
                     }
                 }
-                (None, Cost(inspected.max(1)))
+                (None, Cost(inspected))
             }
         }
     }
@@ -215,6 +220,10 @@ impl ClassStore for OrderedStore {
 
     fn objects(&self) -> Vec<PasoObject> {
         self.entries.objects()
+    }
+
+    fn summary(&self) -> crate::ClassSummary {
+        self.entries.summary()
     }
 }
 

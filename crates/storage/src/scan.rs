@@ -36,6 +36,8 @@ impl ScanStore {
     }
 
     /// Scans oldest-first for the first match; cost = entries inspected.
+    /// An empty store proves a miss for free (see the miss-accounting rule
+    /// on [`ClassStore`]).
     fn find_oldest(&self, sc: &SearchCriterion) -> (Option<Rank>, Cost) {
         let mut inspected = 0;
         for (rank, obj) in self.entries.iter() {
@@ -44,7 +46,7 @@ impl ScanStore {
                 return (Some(rank), Cost(inspected));
             }
         }
-        (None, Cost(inspected.max(1)))
+        (None, Cost(inspected))
     }
 }
 
@@ -94,6 +96,10 @@ impl ClassStore for ScanStore {
 
     fn objects(&self) -> Vec<PasoObject> {
         self.entries.objects()
+    }
+
+    fn summary(&self) -> crate::ClassSummary {
+        self.entries.summary()
     }
 }
 

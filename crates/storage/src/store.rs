@@ -195,12 +195,13 @@ impl std::error::Error for SnapshotError {}
 ///
 /// All stores share one miss-cost rule, asserted by the cross-store suite
 /// in `tests/miss_cost.rs`: a failed `mem_read`/`remove` charges exactly
-/// the probes spent discovering the absence, floored at one unit (even an
-/// empty structure costs one probe to inspect). Concretely, a miss on an
-/// *empty* store costs `Cost(1)` for every store kind and query shape; a
-/// scan-shaped miss on a populated store costs `Cost(ℓ)`; and `remove`
-/// adds its deletion surcharge only on a hit, so a failed `remove` costs
-/// the same as the equivalent failed `mem_read`.
+/// the probes spent discovering the absence. An *empty* store proves the
+/// absence for free — its emptiness is a single flag check, not a probe —
+/// so every store kind charges `Cost(0)` for any miss on an empty store.
+/// A miss on a populated store is floored at one unit; a scan-shaped miss
+/// costs `Cost(ℓ)`; and `remove` adds its deletion surcharge only on a
+/// hit, so a failed `remove` costs the same as the equivalent failed
+/// `mem_read`.
 pub trait ClassStore: Send + fmt::Debug {
     /// Stores an object (the server-side of `insert`) with a locally
     /// assigned age rank. Cost is `I(ℓ)`. Replicated servers should use
@@ -246,6 +247,12 @@ pub trait ClassStore: Send + fmt::Debug {
     /// All live objects in insertion order (oldest first). Used by tests,
     /// the semantics checker, and debugging tools.
     fn objects(&self) -> Vec<PasoObject>;
+
+    /// A compact digest of the live objects, maintained incrementally on
+    /// `store`/`remove`. Used to prune read fan-out: `may_match == false`
+    /// is a proof that no live object matches (see
+    /// [`ClassSummary`](crate::ClassSummary)).
+    fn summary(&self) -> crate::ClassSummary;
 }
 
 #[cfg(test)]

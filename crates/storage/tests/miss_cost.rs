@@ -2,10 +2,11 @@
 //!
 //! Every store kind must account misses identically (see the "Miss
 //! accounting" section on [`ClassStore`]): the cost of a failed lookup is
-//! the probes actually spent, floored at one unit, and `remove` charges
-//! its deletion surcharge only on a hit. Keeping all four data structures
-//! on one rule keeps the simulator's `Q(·)`/`D(·)` columns comparable
-//! across adaptive reconfigurations that swap the backing structure.
+//! the probes actually spent — zero on an empty store, floored at one
+//! unit on a populated one — and `remove` charges its deletion surcharge
+//! only on a hit. Keeping all four data structures on one rule keeps the
+//! simulator's `Q(·)`/`D(·)` columns comparable across adaptive
+//! reconfigurations that swap the backing structure.
 
 use paso_storage::{ClassStore, Cost, HashStore, MultiStore, OrderedStore, ScanStore};
 use paso_types::{FieldMatcher, ObjectId, PasoObject, ProcessId, SearchCriterion, Template, Value};
@@ -48,16 +49,45 @@ fn scan_shaped() -> SearchCriterion {
 }
 
 #[test]
-fn empty_store_miss_costs_one_probe_for_every_kind_and_shape() {
+fn empty_store_miss_is_free_for_every_kind_and_shape() {
     for mut s in all_stores() {
         let kind = s.kind();
         for sc in [dict(1), range(0, 9), scan_shaped()] {
             let (found, cost) = s.mem_read(&sc);
             assert!(found.is_none());
-            assert_eq!(cost, Cost(1), "{kind} mem_read miss on empty, sc={sc}");
+            assert_eq!(cost, Cost(0), "{kind} mem_read miss on empty, sc={sc}");
             let (removed, cost) = s.remove(&sc);
             assert!(removed.is_none());
-            assert_eq!(cost, Cost(1), "{kind} remove miss on empty, sc={sc}");
+            assert_eq!(cost, Cost(0), "{kind} remove miss on empty, sc={sc}");
+        }
+    }
+}
+
+#[test]
+fn emptied_store_misses_free_again() {
+    // The zero-cost rule must also apply to a store that *became* empty,
+    // not just a freshly constructed one.
+    for mut s in all_stores() {
+        let kind = s.kind();
+        s.store(obj(0, 5));
+        let (removed, _) = s.remove(&dict(5));
+        assert!(removed.is_some());
+        for sc in [dict(5), range(0, 9), scan_shaped()] {
+            let (_, cost) = s.mem_read(&sc);
+            assert_eq!(cost, Cost(0), "{kind} emptied-store miss, sc={sc}");
+        }
+    }
+}
+
+#[test]
+fn populated_store_miss_is_floored_at_one_probe() {
+    for mut s in all_stores() {
+        let kind = s.kind();
+        s.store(obj(0, 5));
+        for sc in [dict(-1), range(100, 200), scan_shaped()] {
+            let (found, cost) = s.mem_read(&sc);
+            assert!(found.is_none());
+            assert!(cost >= Cost(1), "{kind} populated miss, sc={sc}");
         }
     }
 }

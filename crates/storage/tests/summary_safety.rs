@@ -1,0 +1,142 @@
+//! Summary false-positive safety.
+//!
+//! The pruning layer is only sound if a class summary never
+//! false-negatives: whenever `summary().may_match(sc)` answers `false`,
+//! the store must truly hold no object matching `sc` — otherwise pruning
+//! would hide a real match from a read. This property must hold for every
+//! store kind, at every point of an arbitrary store/remove history
+//! (including after the amortized summary rebuilds and snapshot restores).
+
+use paso_storage::{AutoStore, ClassStore, StoreKind};
+use paso_types::{FieldMatcher, ObjectId, PasoObject, ProcessId, SearchCriterion, Template, Value};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Store(Vec<i64>),
+    Remove(Sc),
+}
+
+/// Criterion shapes that exercise every pruning path: exact fields (the
+/// fingerprint check), wildcards (arity-only), ranges (conservative).
+#[derive(Debug, Clone)]
+enum Sc {
+    Exact(Vec<i64>),
+    FirstExact(i64, usize),
+    Wild(usize),
+    Range(i64, i64, usize),
+}
+
+fn to_sc(sc: &Sc) -> SearchCriterion {
+    match sc {
+        Sc::Exact(vs) => {
+            SearchCriterion::from(Template::exact(vs.iter().map(|v| Value::Int(*v)).collect()))
+        }
+        Sc::FirstExact(v, extra) => {
+            let mut ms = vec![FieldMatcher::Exact(Value::Int(*v))];
+            ms.extend(std::iter::repeat_n(FieldMatcher::Any, *extra));
+            SearchCriterion::from(Template::new(ms))
+        }
+        Sc::Wild(arity) => SearchCriterion::from(Template::wildcard(*arity)),
+        Sc::Range(lo, hi, extra) => {
+            let (lo, hi) = if lo <= hi { (*lo, *hi) } else { (*hi, *lo) };
+            let mut ms = vec![FieldMatcher::between(lo, hi)];
+            ms.extend(std::iter::repeat_n(FieldMatcher::Any, *extra));
+            SearchCriterion::from(Template::new(ms))
+        }
+    }
+}
+
+fn arb_sc() -> impl Strategy<Value = Sc> {
+    let small = -2i64..3;
+    prop_oneof![
+        proptest::collection::vec(small.clone(), 0..3).prop_map(Sc::Exact),
+        (small.clone(), 0usize..3).prop_map(|(v, e)| Sc::FirstExact(v, e)),
+        (0usize..4).prop_map(Sc::Wild),
+        (small.clone(), small, 0usize..2).prop_map(|(a, b, e)| Sc::Range(a, b, e)),
+    ]
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => proptest::collection::vec(-2i64..3, 0..3).prop_map(Op::Store),
+        2 => arb_sc().prop_map(Op::Remove),
+    ]
+}
+
+/// The safety property itself: summary-says-no implies store-has-no-match.
+fn assert_never_false_negative(s: &dyn ClassStore, sc: &SearchCriterion) {
+    if !s.summary().may_match(sc) {
+        let (found, _) = s.mem_read(sc);
+        assert!(
+            found.is_none(),
+            "summary pruned {sc} but {} store holds a match: {:?}",
+            s.kind(),
+            found
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn summary_says_no_implies_no_match(
+        ops in proptest::collection::vec(arb_op(), 0..40),
+        probes in proptest::collection::vec(arb_sc(), 1..8),
+    ) {
+        for kind in [StoreKind::Hash, StoreKind::Ordered, StoreKind::Scan, StoreKind::Multi] {
+            let mut s = AutoStore::for_kind(kind);
+            let mut next = 0u64;
+            for op in &ops {
+                match op {
+                    Op::Store(fields) => {
+                        s.store(PasoObject::new(
+                            ObjectId::new(ProcessId(0), next),
+                            fields.iter().map(|v| Value::Int(*v)).collect(),
+                        ));
+                        next += 1;
+                    }
+                    Op::Remove(sc) => {
+                        s.remove(&to_sc(sc));
+                    }
+                }
+                // Check after every step so the property covers summaries
+                // mid-history (stale Bloom bits, post-rebuild, emptied).
+                for probe in &probes {
+                    assert_never_false_negative(&s, &to_sc(probe));
+                }
+            }
+            // And across a snapshot round-trip.
+            let snap = s.snapshot();
+            let mut t = AutoStore::for_kind(kind);
+            t.restore(&snap).unwrap();
+            for probe in &probes {
+                assert_never_false_negative(&t, &to_sc(probe));
+            }
+        }
+    }
+
+    #[test]
+    fn summary_len_tracks_store_len(ops in proptest::collection::vec(arb_op(), 0..40)) {
+        for kind in [StoreKind::Hash, StoreKind::Ordered, StoreKind::Scan, StoreKind::Multi] {
+            let mut s = AutoStore::for_kind(kind);
+            let mut next = 0u64;
+            for op in &ops {
+                match op {
+                    Op::Store(fields) => {
+                        s.store(PasoObject::new(
+                            ObjectId::new(ProcessId(0), next),
+                            fields.iter().map(|v| Value::Int(*v)).collect(),
+                        ));
+                        next += 1;
+                    }
+                    Op::Remove(sc) => {
+                        s.remove(&to_sc(sc));
+                    }
+                }
+                prop_assert_eq!(s.summary().len(), s.len() as u64, "kind={}", kind);
+            }
+        }
+    }
+}

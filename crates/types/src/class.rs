@@ -267,6 +267,20 @@ pub fn sc_list_tightness(
     hits as f64 / listed.len() as f64
 }
 
+/// Stable 64-bit hash of a field value at a tuple position.
+///
+/// FNV-1a over the position followed by the value's `Hash` stream, so the
+/// same `(position, value)` pair hashes identically on every machine in an
+/// ensemble — the property class summaries need to compare fingerprints
+/// computed on different nodes (`std`'s `DefaultHasher` is randomized per
+/// process and would break that).
+pub fn stable_field_hash(position: usize, v: &Value) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_usize(position);
+    v.hash(&mut h);
+    h.finish()
+}
+
 /// Minimal FNV-1a 64-bit hasher, used for run-to-run stable bucketing
 /// (`std`'s `DefaultHasher` is randomized per process).
 struct Fnv1a(u64);

@@ -58,8 +58,8 @@ mod value;
 mod wire;
 
 pub use class::{
-    sc_list_tightness, ArityClassifier, ClassId, Classifier, FirstFieldClassifier,
-    SignatureClassifier,
+    sc_list_tightness, stable_field_hash, ArityClassifier, ClassId, Classifier,
+    FirstFieldClassifier, SignatureClassifier,
 };
 pub use criteria::{QueryKind, SearchCriterion};
 pub use object::{Lifecycle, LifecycleError, LifecycleEvent, ObjectId, PasoObject, ProcessId};

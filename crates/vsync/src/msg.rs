@@ -1,7 +1,7 @@
 //! Wire messages of the virtual synchrony protocol.
 
 use paso_simnet::{NodeId, WireSized};
-use paso_wire::{put_bytes, Reader, Wire, WireError};
+use paso_wire::{put_bytes, Frame, Reader, Wire, WireError};
 
 use crate::group::{GroupId, View, ViewId};
 
@@ -32,8 +32,9 @@ pub enum VsyncMsg {
         view: ViewId,
         /// Request identity (for dedup and retries).
         req: ReqId,
-        /// Application payload.
-        payload: Vec<u8>,
+        /// Application payload, encoded once by the origin and shared
+        /// (refcounted) across every per-member copy of the fan-out.
+        payload: Frame,
     },
     /// "Each of g-name's members sends an empty message to ... g-name's
     /// 'leader' indicating that it has finished processing" (§3.3).
@@ -170,7 +171,7 @@ impl Wire for VsyncMsg {
                 group.encode(out);
                 view.encode(out);
                 req.encode(out);
-                put_bytes(out, payload);
+                payload.encode(out);
             }
             VsyncMsg::GcastDone { group, req } => {
                 out.push(1);
@@ -245,7 +246,7 @@ impl Wire for VsyncMsg {
                 group: GroupId::decode(r)?,
                 view: ViewId::decode(r)?,
                 req: ReqId::decode(r)?,
-                payload: r.byte_string()?.to_vec(),
+                payload: Frame::decode(r)?,
             },
             1 => VsyncMsg::GcastDone {
                 group: GroupId::decode(r)?,
@@ -306,10 +307,7 @@ impl Wire for VsyncMsg {
                 req,
                 payload,
             } => {
-                group.encoded_len()
-                    + view.encoded_len()
-                    + req.encoded_len()
-                    + paso_wire::bytes_len(payload)
+                group.encoded_len() + view.encoded_len() + req.encoded_len() + payload.encoded_len()
             }
             VsyncMsg::GcastDone { group, req } => group.encoded_len() + req.encoded_len(),
             VsyncMsg::GcastResp {
@@ -428,7 +426,7 @@ mod tests {
             group: GroupId(1),
             view: ViewId(0),
             req,
-            payload: vec![0; 100],
+            payload: vec![0; 100].into(),
         };
         // tag + group + view + (origin, seq) + length-prefixed payload.
         assert_eq!(gcast.wire_size(), 1 + 1 + 1 + 2 + (1 + 100));
@@ -464,7 +462,7 @@ mod tests {
                 group: g,
                 view: ViewId(0),
                 req,
-                payload: vec![],
+                payload: Frame::empty(),
             },
             VsyncMsg::GcastDone { group: g, req },
             VsyncMsg::GcastResp {
@@ -524,7 +522,7 @@ mod tests {
                 group: g,
                 view: ViewId(1),
                 req,
-                payload: vec![1, 2, 3],
+                payload: vec![1, 2, 3].into(),
             }),
             NetMsg::Vsync(VsyncMsg::GcastDone { group: g, req }),
             NetMsg::Vsync(VsyncMsg::GcastResp {

@@ -31,6 +31,7 @@
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 
 use paso_simnet::{Actor, Context, NodeEvent, NodeId, SimTime};
+use paso_wire::Frame;
 use rand::RngCore;
 
 use crate::app::{Delivery, GcastError, GroupApp, VsyncOps};
@@ -117,7 +118,7 @@ struct GroupState {
     form_grant: Option<(NodeId, u64)>,
     pending_state: Option<Vec<u8>>,
     /// Fan-outs buffered while awaiting the join snapshot.
-    buffer: Vec<(NodeId, ReqId, Vec<u8>)>,
+    buffer: Vec<(NodeId, ReqId, Frame)>,
     /// Requests already delivered at this member.
     processed: HashSet<ReqId>,
     /// This member's own response per delivered request.
@@ -127,7 +128,9 @@ struct GroupState {
 #[derive(Debug)]
 struct Pending {
     group: GroupId,
-    payload: Vec<u8>,
+    /// Shared encoded payload: retries and fan-outs clone the refcount,
+    /// never the bytes.
+    payload: Frame,
     token: u64,
     retries: u32,
     /// Contacts already tried (and nacked) for this request; rotated
@@ -262,6 +265,9 @@ impl<O> VsyncOps<O> for Ops<'_, '_, O> {
     }
 
     fn gcast(&mut self, group: GroupId, payload: Vec<u8>, token: u64) {
+        // Convert to a shared frame exactly once; every retry and every
+        // per-member fan-out copy below reuses this buffer.
+        let payload = Frame::from(payload);
         let req = ReqId {
             origin: self.core.id,
             seq: self.core.next_req,
@@ -339,7 +345,7 @@ fn send_gcast_attempt<O>(
     ctx: &mut Context<'_, NetMsg, O>,
     group: GroupId,
     req: ReqId,
-    payload: Vec<u8>,
+    payload: Frame,
 ) {
     let view_id = core
         .groups
@@ -584,7 +590,7 @@ impl<A: GroupApp> VsyncNode<A> {
         ctx: &mut Context<'_, NetMsg, A::Output>,
         group: GroupId,
         req: ReqId,
-        payload: Vec<u8>,
+        payload: Frame,
     ) {
         if let Some(t) = self.core.tallies.get(&(group, req)) {
             if t.responded {
@@ -622,19 +628,23 @@ impl<A: GroupApp> VsyncNode<A> {
             (gs.view.members().collect(), gs.view.id())
         };
         // Fan-out to every other member (|g| messages incl. the leader's
-        // own local processing, per the §3.3 accounting).
-        for m in &members {
-            if *m != self.core.id {
-                ctx.send(
-                    *m,
-                    NetMsg::Vsync(VsyncMsg::Gcast {
-                        group,
-                        view: view_id,
-                        req,
-                        payload: payload.clone(),
-                    }),
-                );
-            }
+        // own local processing, per the §3.3 accounting). One shared frame
+        // backs every copy: a single send_many carrying refcount clones.
+        let targets: Vec<NodeId> = members
+            .iter()
+            .copied()
+            .filter(|m| *m != self.core.id)
+            .collect();
+        if !targets.is_empty() {
+            ctx.send_many(
+                targets,
+                NetMsg::Vsync(VsyncMsg::Gcast {
+                    group,
+                    view: view_id,
+                    req,
+                    payload: payload.clone(),
+                }),
+            );
         }
         let expected: BTreeSet<NodeId> = members.iter().copied().collect();
         let tally = self

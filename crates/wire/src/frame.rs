@@ -1,0 +1,122 @@
+//! Shared immutable payload frames.
+//!
+//! A gcast leader fans one payload out to every group member. Carrying the
+//! bytes as a [`Frame`] (`Arc<[u8]>`) lets the payload be encoded **once**
+//! and shared by every per-member copy — cloning a frame is a refcount
+//! bump, not a buffer copy — while staying byte-identical on the wire to a
+//! length-prefixed `Vec<u8>`.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+use crate::{bytes_len, put_bytes, Reader, Wire, WireError};
+
+/// An immutable, cheaply clonable byte payload.
+///
+/// # Examples
+///
+/// ```
+/// use paso_wire::Frame;
+///
+/// let f = Frame::from(vec![1u8, 2, 3]);
+/// let copy = f.clone(); // refcount bump, no byte copy
+/// assert_eq!(&*copy, &[1, 2, 3]);
+/// assert_eq!(f, copy);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame(Arc<[u8]>);
+
+impl Frame {
+    /// An empty frame.
+    pub fn empty() -> Self {
+        Frame(Arc::from(&[][..]))
+    }
+
+    /// The payload bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Is the payload empty?
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl Deref for Frame {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Frame {
+    fn from(bytes: Vec<u8>) -> Self {
+        Frame(bytes.into())
+    }
+}
+
+impl From<&[u8]> for Frame {
+    fn from(bytes: &[u8]) -> Self {
+        Frame(Arc::from(bytes))
+    }
+}
+
+impl AsRef<[u8]> for Frame {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// Byte-identical to the `Vec<u8>` encoding (varint length + bytes), so
+/// swapping a message field between the two is wire-compatible.
+impl Wire for Frame {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_bytes(out, &self.0);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Frame::from(r.byte_string()?))
+    }
+
+    fn encoded_len(&self) -> usize {
+        bytes_len(&self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{decode_exact, encode_to_vec};
+
+    #[test]
+    fn round_trips_and_matches_vec_encoding() {
+        for payload in [vec![], vec![7u8], vec![0u8; 300]] {
+            let frame = Frame::from(payload.clone());
+            let bytes = encode_to_vec(&frame);
+            assert_eq!(bytes.len(), frame.encoded_len());
+            // Identical on the wire to the plain Vec<u8> encoding.
+            let mut vec_bytes = Vec::new();
+            put_bytes(&mut vec_bytes, &payload);
+            assert_eq!(bytes, vec_bytes);
+            let back: Frame = decode_exact(&bytes).unwrap();
+            assert_eq!(back, frame);
+        }
+    }
+
+    #[test]
+    fn clones_share_the_buffer() {
+        let frame = Frame::from(vec![1u8, 2, 3]);
+        let copy = frame.clone();
+        assert!(std::ptr::eq(frame.as_bytes(), copy.as_bytes()));
+        assert_eq!(frame.len(), 3);
+        assert!(!frame.is_empty());
+        assert!(Frame::empty().is_empty());
+    }
+}

@@ -23,11 +23,13 @@
 pub mod mini_json;
 
 mod error;
+mod frame;
 mod primitives;
 mod reader;
 mod varint;
 
 pub use error::WireError;
+pub use frame::Frame;
 pub use primitives::{bytes_len, put_bytes};
 pub use reader::Reader;
 pub use varint::{put_varint, varint_len, zigzag, zigzag_len};
