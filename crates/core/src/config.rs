@@ -126,6 +126,20 @@ pub struct PasoConfig {
     pub init_min: SimTime,
     /// Upper bound of the initialization phase.
     pub init_max: SimTime,
+    /// Live runtime: depth of each per-connection bounded send queue.
+    /// Overflow frames are dropped (and counted) rather than buffered
+    /// without bound behind a dead or slow peer.
+    pub net_queue_depth: usize,
+    /// Live runtime: first redial delay after a failed connect, in
+    /// microseconds. Doubles per failure.
+    pub net_backoff_base_micros: u64,
+    /// Live runtime: ceiling for the exponential dial backoff, in
+    /// microseconds.
+    pub net_backoff_cap_micros: u64,
+    /// Live runtime: how many times the client re-issues a timed-out
+    /// *idempotent* operation (same op id; servers dedup) before giving
+    /// up. `0` disables retries.
+    pub client_retry_budget: u32,
 }
 
 impl PasoConfig {
@@ -153,6 +167,10 @@ impl PasoConfig {
                 summary_gossip_micros: 0,
                 init_min: SimTime::from_millis(5),
                 init_max: SimTime::from_millis(10),
+                net_queue_depth: 1024,
+                net_backoff_base_micros: 10_000,
+                net_backoff_cap_micros: 1_000_000,
+                client_retry_budget: 2,
             },
         }
     }
@@ -180,6 +198,15 @@ impl PasoConfig {
         }
         if self.anycast_fallback_micros == 0 {
             return Err(ConfigError::new("anycast fallback must be positive"));
+        }
+        if self.net_queue_depth == 0 {
+            return Err(ConfigError::new("net queue depth must be positive"));
+        }
+        if self.net_backoff_base_micros == 0 {
+            return Err(ConfigError::new("net backoff base must be positive"));
+        }
+        if self.net_backoff_cap_micros < self.net_backoff_base_micros {
+            return Err(ConfigError::new("net backoff cap must be ≥ base"));
         }
         Ok(())
     }
@@ -267,6 +294,26 @@ impl PasoConfigBuilder {
     /// Sets the summary-gossip interval in microseconds (`0` disables).
     pub fn summary_gossip_micros(mut self, d: u64) -> Self {
         self.cfg.summary_gossip_micros = d;
+        self
+    }
+
+    /// Sets the per-connection bounded send-queue depth (live runtime).
+    pub fn net_queue_depth(mut self, depth: usize) -> Self {
+        self.cfg.net_queue_depth = depth;
+        self
+    }
+
+    /// Sets the dial-backoff bounds in microseconds (live runtime).
+    pub fn net_backoff_micros(mut self, base: u64, cap: u64) -> Self {
+        self.cfg.net_backoff_base_micros = base;
+        self.cfg.net_backoff_cap_micros = cap;
+        self
+    }
+
+    /// Sets the client retry budget for timed-out idempotent operations
+    /// (live runtime).
+    pub fn client_retry_budget(mut self, budget: u32) -> Self {
+        self.cfg.client_retry_budget = budget;
         self
     }
 
@@ -369,6 +416,28 @@ mod tests {
         assert_eq!(cfg.summary_gossip_micros, 40_000);
         let mut bad = cfg;
         bad.anycast_fallback_micros = 0;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn net_tunables_default_and_validate() {
+        let cfg = PasoConfig::builder(4, 1).build();
+        assert_eq!(cfg.net_queue_depth, 1024);
+        assert_eq!(cfg.client_retry_budget, 2);
+        let cfg = PasoConfig::builder(4, 1)
+            .net_queue_depth(64)
+            .net_backoff_micros(5_000, 250_000)
+            .client_retry_budget(0)
+            .build();
+        assert_eq!(cfg.net_queue_depth, 64);
+        assert_eq!(cfg.net_backoff_base_micros, 5_000);
+        assert_eq!(cfg.net_backoff_cap_micros, 250_000);
+        assert_eq!(cfg.client_retry_budget, 0);
+        let mut bad = cfg.clone();
+        bad.net_queue_depth = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = cfg;
+        bad.net_backoff_cap_micros = 1;
         assert!(bad.validate().is_err());
     }
 

@@ -13,7 +13,7 @@
 //!   kernel analyzed in the competitive experiments;
 //! - serves state snapshots for joining servers and erases state on leave.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 
 use paso_adaptive::{Advice, BasicCounter, ModelParams};
@@ -139,10 +139,26 @@ pub struct MemoryServer {
     /// diagnostics alongside the `wire.decode.error` counter. Bounded so a
     /// babbling peer cannot grow server state.
     decode_errors: Vec<(NodeId, paso_wire::WireError)>,
+    /// Results of recently finished client ops, so a retried request
+    /// (client re-issued after a timeout, or the network duplicated it)
+    /// replays the cached answer instead of executing twice. Op ids are
+    /// globally unique and monotone per incarnation (§8's counter-jump
+    /// rule keeps them fresh across recoveries), so bounded FIFO history
+    /// is safe: a retry either finds its entry or re-executes an op that
+    /// never finished — never a *different* op's answer.
+    recent_done: BTreeMap<u64, ClientResult>,
+    /// FIFO eviction order for [`MemoryServer::recent_done`].
+    recent_order: VecDeque<u64>,
 }
 
 /// How many decode failures [`MemoryServer::decode_errors`] retains.
 const DECODE_ERROR_LOG_CAP: usize = 16;
+
+/// How many finished-op results [`MemoryServer::recent_done`] retains for
+/// retry dedup. Must exceed the number of ops a client can have in flight
+/// across one retry window; the runtime issues ops one at a time per
+/// controller call, so hundreds is generous.
+const RECENT_DONE_CAP: usize = 512;
 
 impl MemoryServer {
     /// Creates the server for machine `id` under a shared configuration
@@ -163,6 +179,8 @@ impl MemoryServer {
             anycast_cursor: 0,
             remote_summaries: BTreeMap::new(),
             decode_errors: Vec::new(),
+            recent_done: BTreeMap::new(),
+            recent_order: VecDeque::new(),
         }
     }
 
@@ -326,6 +344,14 @@ impl MemoryServer {
 
     fn finish(&mut self, vs: &mut dyn VsyncOps<ClientDone>, op_id: u64, result: ClientResult) {
         self.pending.remove(&op_id);
+        if self.recent_done.insert(op_id, result.clone()).is_none() {
+            self.recent_order.push_back(op_id);
+            while self.recent_order.len() > RECENT_DONE_CAP {
+                if let Some(old) = self.recent_order.pop_front() {
+                    self.recent_done.remove(&old);
+                }
+            }
+        }
         vs.emit(ClientDone { op_id, result });
     }
 
@@ -566,6 +592,24 @@ impl GroupApp for MemoryServer {
     fn on_app_message(&mut self, vs: &mut dyn VsyncOps<ClientDone>, from: NodeId, bytes: &[u8]) {
         match try_decode::<AppMsg>(bytes) {
             Ok(AppMsg::Client(req)) => {
+                // Retry dedup: a re-issued request must not execute twice
+                // (a duplicated Insert would duplicate the object — the
+                // store does not key by ObjectId).
+                if let Some(result) = self.recent_done.get(&req.op_id) {
+                    vs.count("op.retry.replayed", 1.0);
+                    let result = result.clone();
+                    vs.emit(ClientDone {
+                        op_id: req.op_id,
+                        result,
+                    });
+                    return;
+                }
+                if self.pending.contains_key(&req.op_id) {
+                    // Still executing; the in-flight expansion will
+                    // answer when it finishes.
+                    vs.count("op.retry.inflight", 1.0);
+                    return;
+                }
                 let classes = match &req.op {
                     ClientOp::Insert { object } => vec![self.classifier.classify(object)],
                     ClientOp::Read { sc, .. } | ClientOp::ReadDel { sc, .. } => {

@@ -3,7 +3,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -15,12 +15,12 @@ use paso_core::{
     assign_basic_support, encode, initial_groups, AppMsg, ClientDone, ClientOp, ClientRequest,
     ClientResult, MemoryServer, PasoConfig,
 };
-use paso_simnet::NodeId;
+use paso_simnet::{Fault, FaultPlan, FaultScript, NodeId};
 use paso_types::{ClassId, ObjectId, PasoObject, ProcessId, SearchCriterion, Value};
 use paso_vsync::{NetMsg, VsyncConfig, VsyncNode};
 
 use crate::node::{run_node, NodeStats};
-use crate::transport::{ChannelTransport, Envelope, Postman, TcpTransport};
+use crate::transport::{ChannelTransport, Envelope, Postman, TcpTransport, TransportTuning};
 
 /// Which transport the cluster runs over.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,6 +38,10 @@ pub enum ClusterError {
     NodeDown,
     /// No response within the client-side timeout.
     Timeout,
+    /// The servers answered, but the op's write group was unreachable —
+    /// more than λ members down (§4.1's fault-tolerance condition). The
+    /// op did not execute; re-issuing after recovery is safe.
+    Unavailable,
 }
 
 impl fmt::Display for ClusterError {
@@ -45,6 +49,7 @@ impl fmt::Display for ClusterError {
         match self {
             ClusterError::NodeDown => write!(f, "machine is down"),
             ClusterError::Timeout => write!(f, "no response within the timeout"),
+            ClusterError::Unavailable => write!(f, "write group unreachable (> λ failures)"),
         }
     }
 }
@@ -75,12 +80,45 @@ pub struct Cluster {
     postman: Arc<dyn Postman>,
     handles: Mutex<Vec<JoinHandle<()>>>,
     outputs: Receiver<(NodeId, ClientDone)>,
-    done: Mutex<BTreeMap<u64, ClientResult>>,
+    /// Results drained off `outputs` while waiting for a different op,
+    /// stamped with their arrival time. Entries nobody claims within an
+    /// op-timeout belong to dead waiters (the op already returned
+    /// `Timeout`, or a retry double-answered) and are evicted — the map
+    /// must not grow without bound over a long-lived cluster.
+    done: Mutex<BTreeMap<u64, (Instant, ClientResult)>>,
     down: Mutex<BTreeSet<NodeId>>,
     next_op: Mutex<u64>,
     next_obj: Mutex<u64>,
     stats: Vec<Arc<NodeStats>>,
     op_timeout: Duration,
+    retry_budget: u32,
+    client_retries: AtomicU64,
+    results_evicted: AtomicU64,
+}
+
+/// Cluster-wide counters: the node-side totals plus the transport's
+/// message-path accounting and the client API's retry/eviction activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClusterStats {
+    /// Messages sent by node protocol logic.
+    pub msgs_sent: u64,
+    /// Bytes handed to live writers (see `NetStats::bytes_sent`).
+    pub bytes_sent: u64,
+    /// Work units charged across all servers.
+    pub total_work: u64,
+    /// Frames handed off for delivery by the transport.
+    pub msgs_delivered: u64,
+    /// Frames dropped by the transport failure path (dead peer queue
+    /// overflow, missing port, writer loss).
+    pub msgs_dropped: u64,
+    /// Frames dropped by injected faults.
+    pub msgs_faulted: u64,
+    /// Frames deferred through the injected-delay line.
+    pub msgs_delayed: u64,
+    /// Timed-out idempotent client ops re-issued under the same op id.
+    pub client_retries: u64,
+    /// Unclaimed client results evicted from the done map.
+    pub results_evicted: u64,
 }
 
 impl fmt::Debug for Cluster {
@@ -98,6 +136,18 @@ impl Cluster {
     ///
     /// Panics on an invalid configuration or if TCP listeners cannot bind.
     pub fn start(cfg: PasoConfig, kind: TransportKind) -> Self {
+        Self::start_faulty(cfg, kind, FaultPlan::none())
+    }
+
+    /// Starts the cluster with a fault-injection plan already installed
+    /// on the transport (drops, delays, partitions; see
+    /// [`FaultPlan`]). The plan can be swapped at runtime with
+    /// [`Cluster::set_fault_plan`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration or if TCP listeners cannot bind.
+    pub fn start_faulty(cfg: PasoConfig, kind: TransportKind, plan: FaultPlan) -> Self {
         cfg.validate().expect("invalid PasoConfig");
         let n = cfg.n;
         let cfg = Arc::new(cfg);
@@ -111,16 +161,24 @@ impl Cluster {
             ..VsyncConfig::default()
         };
 
+        let tuning = TransportTuning {
+            queue_depth: cfg.net_queue_depth,
+            backoff_base: Duration::from_micros(cfg.net_backoff_base_micros),
+            backoff_cap: Duration::from_micros(cfg.net_backoff_cap_micros),
+            fault_seed: cfg.seed,
+            ..TransportTuning::default()
+        };
         let (postman, mailboxes): (Arc<dyn Postman>, Vec<_>) = match kind {
             TransportKind::Channel => {
-                let (p, m) = ChannelTransport::new(n);
+                let (p, m) = ChannelTransport::with_tuning(n, tuning);
                 (p, m)
             }
             TransportKind::Tcp => {
-                let (p, m) = TcpTransport::new(n);
+                let (p, m) = TcpTransport::with_tuning(n, tuning);
                 (p, m)
             }
         };
+        postman.set_fault_plan(plan);
         let (out_tx, out_rx) = unbounded();
         let mut handles = Vec::with_capacity(n);
         let mut stats = Vec::with_capacity(n);
@@ -160,12 +218,22 @@ impl Cluster {
             next_obj: Mutex::new(0),
             stats,
             op_timeout: Duration::from_secs(10),
+            retry_budget: cfg.client_retry_budget,
+            client_retries: AtomicU64::new(0),
+            results_evicted: AtomicU64::new(0),
         }
     }
 
     /// Number of machines.
     pub fn n(&self) -> usize {
         self.n
+    }
+
+    /// Overrides the client-side operation timeout (default 10s). The
+    /// retry budget slices this deadline across attempts, so shortening
+    /// it also tightens the retry cadence — useful in fault tests.
+    pub fn set_op_timeout(&mut self, timeout: Duration) {
+        self.op_timeout = timeout;
     }
 
     /// Total messages sent by all nodes.
@@ -189,7 +257,79 @@ impl Cluster {
             .sum()
     }
 
-    fn issue(&self, node: u32, op: ClientOp) -> Result<u64, ClusterError> {
+    /// Cluster-wide counters: node totals, transport message-path
+    /// accounting, and client retry/eviction activity.
+    pub fn stats(&self) -> ClusterStats {
+        let net = self.postman.net_stats();
+        ClusterStats {
+            msgs_sent: self.msgs_sent(),
+            bytes_sent: net.bytes_sent,
+            total_work: self.total_work(),
+            msgs_delivered: net.msgs_delivered,
+            msgs_dropped: net.msgs_dropped,
+            msgs_faulted: net.msgs_faulted,
+            msgs_delayed: net.msgs_delayed,
+            client_retries: self.client_retries.load(Ordering::SeqCst),
+            results_evicted: self.results_evicted.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Installs (replaces) the transport's fault-injection plan.
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        self.postman.set_fault_plan(plan);
+    }
+
+    /// Replays a simulator [`FaultScript`] against the live cluster,
+    /// mapping sim-micros to wall micros scaled by `time_scale` (e.g.
+    /// `0.1` runs the schedule 10× faster). Crash/repair events call
+    /// [`Cluster::crash`] / [`Cluster::recover`]; blocks until the last
+    /// event fired. This is what lets one fault schedule drive both the
+    /// simulated and the live twin of an experiment.
+    pub fn play_script(&self, script: &FaultScript, time_scale: f64) {
+        let start = Instant::now();
+        for &(at, fault) in script.events() {
+            let wall = Duration::from_micros((at.as_micros() as f64 * time_scale) as u64);
+            if let Some(nap) = wall.checked_sub(start.elapsed()) {
+                std::thread::sleep(nap);
+            }
+            match fault {
+                Fault::Crash(node) => self.crash(node.0),
+                Fault::Repair(node) => self.recover(node.0),
+            }
+        }
+    }
+
+    /// True iff a timed-out `op` may be re-issued under the same op id.
+    /// Inserts and non-blocking reads re-execute to the same observable
+    /// outcome under the servers' request-id dedup; `read&del` is
+    /// destructive and blocking ops hold server state, so those run
+    /// exactly once (a lost request surfaces as `Timeout`).
+    fn retryable(op: &ClientOp) -> bool {
+        matches!(
+            op,
+            ClientOp::Insert { .. }
+                | ClientOp::Read {
+                    blocking: false,
+                    ..
+                }
+        )
+    }
+
+    fn send_request(&self, node: u32, req: &ClientRequest) {
+        self.postman.send(
+            NodeId(node),
+            Envelope::Net {
+                from: NodeId(node),
+                msg: NetMsg::App(encode(&AppMsg::Client(req.clone()))),
+            },
+        );
+    }
+
+    /// Issues `op` from a process on `node` and waits for its result,
+    /// re-issuing timed-out idempotent requests up to the configured
+    /// retry budget (same op id — servers dedup, so a request that was
+    /// merely slow rather than lost cannot execute twice).
+    fn run_op(&self, node: u32, op: ClientOp) -> Result<ClientResult, ClusterError> {
         if self.down.lock().contains(&NodeId(node)) {
             return Err(ClusterError::NodeDown);
         }
@@ -199,21 +339,43 @@ impl Cluster {
             *next += 1;
             id
         };
+        let budget = if Self::retryable(&op) {
+            self.retry_budget
+        } else {
+            0
+        };
         let req = ClientRequest { op_id, op };
-        self.postman.send(
-            NodeId(node),
-            Envelope::Net {
-                from: NodeId(node),
-                msg: NetMsg::App(encode(&AppMsg::Client(req))),
-            },
-        );
-        Ok(op_id)
+        self.send_request(node, &req);
+        // Slice the overall deadline across the attempts so retries make
+        // the op *more* likely to land within the same client patience,
+        // instead of stretching it.
+        let attempts = budget + 1;
+        let slice = self.op_timeout / attempts;
+        for attempt in 0..attempts {
+            match self.wait_for(op_id, slice) {
+                Err(ClusterError::Timeout) if attempt + 1 < attempts => {
+                    if self.down.lock().contains(&NodeId(node)) {
+                        // The issuing machine crashed while we waited; a
+                        // re-send would be dropped on the floor. Keep
+                        // waiting out the remaining slices in case the
+                        // original execution's answer is still in flight.
+                        continue;
+                    }
+                    self.client_retries.fetch_add(1, Ordering::SeqCst);
+                    self.send_request(node, &req);
+                }
+                other => return other,
+            }
+        }
+        Err(ClusterError::Timeout)
     }
 
-    fn wait(&self, op: u64) -> Result<ClientResult, ClusterError> {
-        let deadline = Instant::now() + self.op_timeout;
+    /// Waits up to `timeout` for `op`'s result, stashing results of other
+    /// ops (concurrent callers) into the done map.
+    fn wait_for(&self, op: u64, timeout: Duration) -> Result<ClientResult, ClusterError> {
+        let deadline = Instant::now() + timeout;
         loop {
-            if let Some(r) = self.done.lock().remove(&op) {
+            if let Some((_, r)) = self.done.lock().remove(&op) {
                 return Ok(r);
             }
             let remaining = deadline.saturating_duration_since(Instant::now());
@@ -227,9 +389,25 @@ impl Cluster {
                 if op_id == op {
                     return Ok(result);
                 }
-                self.done.lock().insert(op_id, result);
+                self.stash_result(op_id, result);
             }
         }
+    }
+
+    /// Parks a result for whichever caller is waiting on it, evicting
+    /// entries nobody claimed within an op-timeout (their waiter already
+    /// gave up, or a retry produced a duplicate answer).
+    fn stash_result(&self, op_id: u64, result: ClientResult) {
+        let now = Instant::now();
+        let mut done = self.done.lock();
+        let before = done.len();
+        done.retain(|_, (at, _)| now.duration_since(*at) < self.op_timeout);
+        let evicted = before - done.len();
+        if evicted > 0 {
+            self.results_evicted
+                .fetch_add(evicted as u64, Ordering::SeqCst);
+        }
+        done.insert(op_id, (now, result));
     }
 
     /// Inserts a fresh object from a process on `node`.
@@ -246,9 +424,9 @@ impl Cluster {
             ObjectId::new(ProcessId(node as u64), seq)
         };
         let object = PasoObject::new(id, fields);
-        let op = self.issue(node, ClientOp::Insert { object })?;
-        match self.wait(op)? {
+        match self.run_op(node, ClientOp::Insert { object })? {
             ClientResult::Inserted => Ok(id),
+            ClientResult::Unavailable => Err(ClusterError::Unavailable),
             other => panic!("insert returned {other:?}"),
         }
     }
@@ -259,14 +437,16 @@ impl Cluster {
     ///
     /// See [`Cluster::insert`].
     pub fn read(&self, node: u32, sc: SearchCriterion) -> Result<Option<PasoObject>, ClusterError> {
-        let op = self.issue(
-            node,
-            ClientOp::Read {
-                sc,
-                blocking: false,
-            },
-        )?;
-        Ok(self.wait(op)?.object().cloned())
+        Ok(self
+            .run_op(
+                node,
+                ClientOp::Read {
+                    sc,
+                    blocking: false,
+                },
+            )?
+            .object()
+            .cloned())
     }
 
     /// Non-blocking `read&del` from a process on `node`.
@@ -279,14 +459,16 @@ impl Cluster {
         node: u32,
         sc: SearchCriterion,
     ) -> Result<Option<PasoObject>, ClusterError> {
-        let op = self.issue(
-            node,
-            ClientOp::ReadDel {
-                sc,
-                blocking: false,
-            },
-        )?;
-        Ok(self.wait(op)?.object().cloned())
+        Ok(self
+            .run_op(
+                node,
+                ClientOp::ReadDel {
+                    sc,
+                    blocking: false,
+                },
+            )?
+            .object()
+            .cloned())
     }
 
     /// Blocking `read&del` (waits server-side until a match appears or the
@@ -300,8 +482,10 @@ impl Cluster {
         node: u32,
         sc: SearchCriterion,
     ) -> Result<Option<PasoObject>, ClusterError> {
-        let op = self.issue(node, ClientOp::ReadDel { sc, blocking: true })?;
-        Ok(self.wait(op)?.object().cloned())
+        Ok(self
+            .run_op(node, ClientOp::ReadDel { sc, blocking: true })?
+            .object()
+            .cloned())
     }
 
     /// Crashes a machine: its thread erases all server state and drops

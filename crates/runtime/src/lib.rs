@@ -26,9 +26,12 @@ pub mod shell;
 mod transport;
 mod workers;
 
-pub use cluster::{Cluster, ClusterError, TransportKind};
+pub use cluster::{Cluster, ClusterError, ClusterStats, TransportKind};
 pub use node::NodeStats;
-pub use transport::{ChannelMailbox, ChannelTransport, Envelope, Mailbox, Postman, TcpTransport};
+pub use transport::{
+    ChannelMailbox, ChannelTransport, Envelope, Mailbox, NetStats, Postman, TcpTransport,
+    TransportTuning,
+};
 pub use workers::ClassPool;
 
 #[cfg(test)]

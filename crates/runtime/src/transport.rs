@@ -8,21 +8,43 @@
 //!
 //! A TCP frame is a varint length prefix followed by a paso-wire encoded
 //! [`Envelope`] — the same codec the simulator charges `α + β·|m|` for, so
-//! live bytes-on-the-wire match simulated message sizes. Each connection
-//! has a dedicated writer thread that *coalesces* every frame queued at
-//! the moment it wakes into one `write` syscall, and the reader reuses one
-//! frame buffer across messages instead of allocating per frame.
+//! live bytes-on-the-wire match simulated message sizes.
+//!
+//! ## Failure path and fault injection
+//!
+//! Every `(sender, receiver)` link owns a **connection worker** thread
+//! holding a *bounded* frame queue. The worker dials the peer off the
+//! connection-map lock with capped exponential backoff, so a dead or
+//! blackholed peer can never head-of-line-block sends to healthy peers;
+//! the send path only ever performs a non-blocking `try_send`. Frames that
+//! don't fit the bounded queue are dropped and **accounted** in
+//! [`NetStats::msgs_dropped`] — nothing is silently swallowed. The worker
+//! coalesces queued frames into one `write` syscall, capped at
+//! [`TransportTuning::max_batch_bytes`] so one slow reader cannot balloon
+//! memory, and `bytes_sent` counts only frames actually handed to a live,
+//! connected writer.
+//!
+//! Both transports consult a [`FaultPlan`] (shared with `paso-simnet`'s
+//! fault module) on every **network** envelope: per-link drop probability,
+//! per-link delay distribution, and partition sets. Controller traffic
+//! (crash/recover/membership, i.e. the oracle) always passes — the paper's
+//! failure detector is assumed reliable. The pass-through plan takes a
+//! single lock-and-check per send and consumes no randomness, so fault
+//! injection is pay-for-what-you-use.
 
-use std::collections::HashMap;
+use std::collections::{BinaryHeap, HashMap};
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, unbounded, BoundedSender, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 
-use paso_simnet::NodeId;
+use paso_simnet::{FaultPlan, LinkFate, NodeId};
 use paso_vsync::NetMsg;
 use paso_wire::{Reader as WireReader, Wire, WireError};
 
@@ -111,11 +133,32 @@ pub trait Mailbox: Send {
     fn recv_timeout(&self, timeout: Duration) -> Option<Envelope>;
 }
 
+/// Message-path counters a transport exposes. All counters are
+/// monotonic; `bytes_sent` covers only frames actually handed to a live
+/// writer, so bytes and delivered/dropped counts reconcile exactly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Bytes handed to a live, connected writer (TCP) or a mailbox
+    /// (channel transport). Network envelopes only.
+    pub bytes_sent: u64,
+    /// Frames handed off for delivery.
+    pub msgs_delivered: u64,
+    /// Frames dropped by the *failure path*: missing port, bounded queue
+    /// overflow, or loss with a dying connection.
+    pub msgs_dropped: u64,
+    /// Frames dropped by *injected* faults (lossy link or partition).
+    pub msgs_faulted: u64,
+    /// Frames that took the injected-delay line before delivery.
+    pub msgs_delayed: u64,
+}
+
 /// Sending side, cloneable, shared by all node threads and the controller.
 pub trait Postman: Send + Sync {
     /// Delivers an envelope to `to`'s mailbox. Delivery to a live node is
-    /// reliable and per-sender FIFO; errors are swallowed (a crashed node
-    /// drops traffic, exactly as the simulator's bus does).
+    /// reliable and per-sender FIFO (absent injected faults); failures are
+    /// *accounted* in [`Postman::net_stats`] rather than silently
+    /// swallowed (a crashed node drops traffic, exactly as the
+    /// simulator's bus does).
     fn send(&self, to: NodeId, envelope: Envelope);
 
     /// Delivers one envelope to several mailboxes (a gcast fan-out). The
@@ -129,13 +172,202 @@ pub trait Postman: Send + Sync {
 
     /// Bytes-on-the-wire estimate for stats.
     fn bytes_sent(&self) -> u64;
+
+    /// Installs (replaces) the fault-injection plan consulted on every
+    /// network envelope. The default transport ignores plans.
+    fn set_fault_plan(&self, _plan: FaultPlan) {}
+
+    /// Message-path counters. The default reports bytes only.
+    fn net_stats(&self) -> NetStats {
+        NetStats {
+            bytes_sent: self.bytes_sent(),
+            ..NetStats::default()
+        }
+    }
+}
+
+/// Tuning for the live transports' failure path.
+#[derive(Debug, Clone)]
+pub struct TransportTuning {
+    /// Depth of each per-connection bounded send queue; overflow frames
+    /// are dropped and counted, never buffered without bound.
+    pub queue_depth: usize,
+    /// First retry delay after a failed dial.
+    pub backoff_base: Duration,
+    /// Ceiling for the exponential dial backoff.
+    pub backoff_cap: Duration,
+    /// Max bytes one writer batch may coalesce before issuing the write
+    /// (a stalled reader can no longer balloon sender memory).
+    pub max_batch_bytes: usize,
+    /// Artificial latency added to every dial — emulates a SYN blackhole
+    /// (firewalled peer) in tests. Zero in production.
+    pub dial_stall: Duration,
+    /// Seed for the fault-injection RNG, so injected drop/delay schedules
+    /// replay identically.
+    pub fault_seed: u64,
+}
+
+impl Default for TransportTuning {
+    fn default() -> Self {
+        TransportTuning {
+            queue_depth: 1024,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_secs(1),
+            max_batch_bytes: 256 << 10,
+            dial_stall: Duration::ZERO,
+            fault_seed: 0,
+        }
+    }
+}
+
+/// Shared atomic counters behind [`NetStats`].
+#[derive(Debug, Default)]
+struct NetCounters {
+    bytes: AtomicU64,
+    delivered: AtomicU64,
+    dropped: AtomicU64,
+    faulted: AtomicU64,
+    delayed: AtomicU64,
+}
+
+impl NetCounters {
+    fn snapshot(&self) -> NetStats {
+        NetStats {
+            bytes_sent: self.bytes.load(Ordering::SeqCst),
+            msgs_delivered: self.delivered.load(Ordering::SeqCst),
+            msgs_dropped: self.dropped.load(Ordering::SeqCst),
+            msgs_faulted: self.faulted.load(Ordering::SeqCst),
+            msgs_delayed: self.delayed.load(Ordering::SeqCst),
+        }
+    }
+}
+
+/// One item waiting in a [`DelayLine`].
+struct Pending<T> {
+    at: Instant,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Pending<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for Pending<T> {}
+impl<T> PartialOrd for Pending<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Pending<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed so the earliest deadline is the BinaryHeap maximum.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+enum DelayCmd<T> {
+    Item(Instant, T),
+    Shutdown,
+}
+
+/// A single background thread holding injected-delay frames until their
+/// release time, then handing them to `deliver`. Items due at the same
+/// instant release in submission order.
+struct DelayLine<T: Send + 'static> {
+    tx: Sender<DelayCmd<T>>,
+}
+
+impl<T: Send + 'static> std::fmt::Debug for DelayLine<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("DelayLine")
+    }
+}
+
+impl<T: Send + 'static> DelayLine<T> {
+    fn start(deliver: impl Fn(T) + Send + 'static) -> Self {
+        let (tx, rx) = unbounded::<DelayCmd<T>>();
+        std::thread::spawn(move || {
+            let mut seq = 0u64;
+            let mut heap: BinaryHeap<Pending<T>> = BinaryHeap::new();
+            loop {
+                let now = Instant::now();
+                while heap.peek().is_some_and(|p| p.at <= now) {
+                    deliver(heap.pop().expect("peeked").item);
+                }
+                let cmd = match heap.peek() {
+                    Some(p) => match rx.recv_timeout(p.at.saturating_duration_since(now)) {
+                        Ok(cmd) => cmd,
+                        Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
+                        Err(_) => return,
+                    },
+                    None => match rx.recv() {
+                        Ok(cmd) => cmd,
+                        Err(_) => return,
+                    },
+                };
+                match cmd {
+                    DelayCmd::Item(at, item) => {
+                        heap.push(Pending { at, seq, item });
+                        seq += 1;
+                    }
+                    DelayCmd::Shutdown => return,
+                }
+            }
+        });
+        DelayLine { tx }
+    }
+
+    fn defer(&self, delay: Duration, item: T) {
+        let _ = self.tx.send(DelayCmd::Item(Instant::now() + delay, item));
+    }
+
+    fn shutdown(&self) {
+        let _ = self.tx.send(DelayCmd::Shutdown);
+    }
+}
+
+/// Lazily-started delay line, shared behind the transport handle.
+type DelaySlot<T> = Mutex<Option<Arc<DelayLine<T>>>>;
+
+/// A TCP frame parked by the fault gate: (from, to, encoded frame).
+type DelayedFrame = (NodeId, NodeId, Arc<[u8]>);
+
+/// The fault layer shared by both transports: a swappable plan plus the
+/// seeded RNG feeding its coin flips.
+#[derive(Debug)]
+struct FaultGate {
+    plan: Mutex<FaultPlan>,
+    rng: Mutex<ChaCha8Rng>,
+}
+
+impl FaultGate {
+    fn new(seed: u64) -> Self {
+        FaultGate {
+            plan: Mutex::new(FaultPlan::none()),
+            rng: Mutex::new(ChaCha8Rng::seed_from_u64(seed)),
+        }
+    }
+
+    /// Decides one network frame's fate. Pass-through plans never touch
+    /// the RNG lock.
+    fn fate(&self, from: NodeId, to: NodeId) -> LinkFate {
+        let plan = self.plan.lock();
+        if plan.is_pass_through() {
+            return LinkFate::Deliver;
+        }
+        plan.decide(from, to, &mut *self.rng.lock())
+    }
 }
 
 /// In-process channel transport.
 #[derive(Debug)]
 pub struct ChannelTransport {
     senders: Vec<Sender<Envelope>>,
-    bytes: Arc<std::sync::atomic::AtomicU64>,
+    counters: Arc<NetCounters>,
+    gate: FaultGate,
+    delay: DelaySlot<(NodeId, Envelope)>,
 }
 
 /// Mailbox for [`ChannelTransport`].
@@ -147,6 +379,12 @@ pub struct ChannelMailbox {
 impl ChannelTransport {
     /// Creates mailboxes for `n` nodes plus the shared postman.
     pub fn new(n: usize) -> (Arc<Self>, Vec<ChannelMailbox>) {
+        Self::with_tuning(n, TransportTuning::default())
+    }
+
+    /// As [`ChannelTransport::new`] with explicit tuning (only the fault
+    /// seed applies to the in-process transport).
+    pub fn with_tuning(n: usize, tuning: TransportTuning) -> (Arc<Self>, Vec<ChannelMailbox>) {
         let mut senders = Vec::with_capacity(n);
         let mut mailboxes = Vec::with_capacity(n);
         for _ in 0..n {
@@ -157,10 +395,52 @@ impl ChannelTransport {
         (
             Arc::new(ChannelTransport {
                 senders,
-                bytes: Arc::new(std::sync::atomic::AtomicU64::new(0)),
+                counters: Arc::new(NetCounters::default()),
+                gate: FaultGate::new(tuning.fault_seed),
+                delay: Mutex::new(None),
             }),
             mailboxes,
         )
+    }
+
+    fn deliver_now(
+        senders: &[Sender<Envelope>],
+        counters: &NetCounters,
+        to: NodeId,
+        envelope: Envelope,
+    ) {
+        if let Envelope::Net { .. } = &envelope {
+            // The exact binary size — the same |m| the simulator charges.
+            counters
+                .bytes
+                .fetch_add(envelope.encoded_len() as u64, Ordering::SeqCst);
+            counters.delivered.fetch_add(1, Ordering::SeqCst);
+        }
+        if let Some(tx) = senders.get(to.index()) {
+            let _ = tx.send(envelope);
+        }
+    }
+
+    fn delay_line(&self) -> Arc<DelayLine<(NodeId, Envelope)>> {
+        let mut slot = self.delay.lock();
+        if let Some(line) = slot.as_ref() {
+            return Arc::clone(line);
+        }
+        let senders = self.senders.clone();
+        let counters = Arc::clone(&self.counters);
+        let line = Arc::new(DelayLine::start(move |(to, env)| {
+            ChannelTransport::deliver_now(&senders, &counters, to, env);
+        }));
+        *slot = Some(Arc::clone(&line));
+        line
+    }
+}
+
+impl Drop for ChannelTransport {
+    fn drop(&mut self) {
+        if let Some(line) = self.delay.lock().take() {
+            line.shutdown();
+        }
     }
 }
 
@@ -172,20 +452,34 @@ impl Mailbox for ChannelMailbox {
 
 impl Postman for ChannelTransport {
     fn send(&self, to: NodeId, envelope: Envelope) {
-        if let Envelope::Net { .. } = &envelope {
-            // The exact binary size — the same |m| the simulator charges.
-            self.bytes.fetch_add(
-                envelope.encoded_len() as u64,
-                std::sync::atomic::Ordering::Relaxed,
-            );
+        if let Envelope::Net { from, .. } = &envelope {
+            match self.gate.fate(*from, to) {
+                LinkFate::Deliver => {}
+                LinkFate::Drop => {
+                    self.counters.faulted.fetch_add(1, Ordering::SeqCst);
+                    return;
+                }
+                LinkFate::Delay(micros) => {
+                    self.counters.delayed.fetch_add(1, Ordering::SeqCst);
+                    self.delay_line()
+                        .defer(Duration::from_micros(micros), (to, envelope));
+                    return;
+                }
+            }
         }
-        if let Some(tx) = self.senders.get(to.index()) {
-            let _ = tx.send(envelope);
-        }
+        ChannelTransport::deliver_now(&self.senders, &self.counters, to, envelope);
     }
 
     fn bytes_sent(&self) -> u64 {
-        self.bytes.load(std::sync::atomic::Ordering::Relaxed)
+        self.counters.bytes.load(Ordering::SeqCst)
+    }
+
+    fn set_fault_plan(&self, plan: FaultPlan) {
+        *self.gate.plan.lock() = plan;
+    }
+
+    fn net_stats(&self) -> NetStats {
+        self.counters.snapshot()
     }
 }
 
@@ -203,22 +497,34 @@ fn push_frame(batch: &mut Vec<u8>, envelope: &Envelope) {
 /// connection decodes frames into the node's channel, so the node loop is
 /// identical for both transports.
 ///
-/// Outbound frames are handed to a per-connection writer thread which
-/// drains its queue into one reusable batch buffer and issues a single
-/// `write_all` for everything queued — many small envelopes (done-empties,
-/// probe responses) share one syscall under load instead of paying one
-/// each.
+/// Outbound frames take a per-connection worker that dials in the
+/// background (capped exponential backoff) and coalesces queued frames
+/// into bounded-size batch writes; see the module docs for the failure
+/// path.
 #[derive(Debug)]
 pub struct TcpTransport {
-    ports: Vec<u16>,
-    conns: Mutex<ConnMap>,
-    bytes: Arc<std::sync::atomic::AtomicU64>,
+    shared: Arc<TcpShared>,
 }
 
-/// Frame queues keyed by (sender, receiver) connection identity. Frames
-/// are refcounted so one encoded gcast payload can sit in every member's
-/// queue without being copied per connection.
-type ConnMap = HashMap<(NodeId, NodeId), Sender<Arc<[u8]>>>;
+/// State shared between the send path, connection workers, and the delay
+/// line. Connection workers deliberately do NOT hold this (they receive
+/// only counters + shutdown flag), so dropping the transport disconnects
+/// their queues and lets them exit.
+#[derive(Debug)]
+struct TcpShared {
+    ports: Vec<u16>,
+    tuning: TransportTuning,
+    conns: Mutex<ConnMap>,
+    counters: Arc<NetCounters>,
+    shutdown: Arc<AtomicBool>,
+    gate: FaultGate,
+    delay: DelaySlot<DelayedFrame>,
+}
+
+/// Bounded frame queues keyed by (sender, receiver) connection identity.
+/// Frames are refcounted so one encoded gcast payload can sit in every
+/// member's queue without being copied per connection.
+type ConnMap = HashMap<(NodeId, NodeId), BoundedSender<Arc<[u8]>>>;
 
 impl TcpTransport {
     /// Binds `n` listeners on consecutive free ports and returns the
@@ -229,6 +535,15 @@ impl TcpTransport {
     ///
     /// Panics if binding a listener fails.
     pub fn new(n: usize) -> (Arc<Self>, Vec<ChannelMailbox>) {
+        Self::with_tuning(n, TransportTuning::default())
+    }
+
+    /// As [`TcpTransport::new`] with explicit failure-path tuning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if binding a listener fails.
+    pub fn with_tuning(n: usize, tuning: TransportTuning) -> (Arc<Self>, Vec<ChannelMailbox>) {
         let mut ports = Vec::with_capacity(n);
         let mut mailboxes = Vec::with_capacity(n);
         for _ in 0..n {
@@ -239,14 +554,35 @@ impl TcpTransport {
             mailboxes.push(ChannelMailbox { rx });
             std::thread::spawn(move || accept_loop(listener, tx));
         }
-        (
-            Arc::new(TcpTransport {
+        (Self::over_ports(ports, tuning), mailboxes)
+    }
+
+    /// Builds a transport that *sends* toward the given ports without
+    /// binding listeners of its own — the harness for dead-peer tests
+    /// (a port with no listener dials and backs off forever).
+    fn over_ports(ports: Vec<u16>, tuning: TransportTuning) -> Arc<Self> {
+        Arc::new(TcpTransport {
+            shared: Arc::new(TcpShared {
                 ports,
+                gate: FaultGate::new(tuning.fault_seed),
+                tuning,
                 conns: Mutex::new(HashMap::new()),
-                bytes: Arc::new(std::sync::atomic::AtomicU64::new(0)),
+                counters: Arc::new(NetCounters::default()),
+                shutdown: Arc::new(AtomicBool::new(false)),
+                delay: Mutex::new(None),
             }),
-            mailboxes,
-        )
+        })
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(line) = self.shared.delay.lock().take() {
+            line.shutdown();
+        }
+        // Dropping `conns` (with `shared`) disconnects the workers'
+        // queues; dialing workers notice the flag between backoff naps.
     }
 }
 
@@ -307,58 +643,163 @@ fn read_loop(mut stream: TcpStream, tx: Sender<Envelope>) {
     }
 }
 
-/// Per-connection writer: blocks for the first queued frame, then drains
-/// everything else already queued into the same batch buffer and writes it
-/// with one syscall. Exits (dropping the stream) on any write error; the
-/// send path reconnects lazily.
-fn write_loop(mut stream: TcpStream, rx: Receiver<Arc<[u8]>>) {
-    let mut batch = Vec::new();
-    while let Ok(first) = rx.recv() {
-        batch.clear();
-        batch.extend_from_slice(&first);
-        while let Ok(next) = rx.try_recv() {
-            batch.extend_from_slice(&next);
+/// Sleeps `total` in small slices, returning early (false) if the
+/// transport shut down meanwhile.
+fn nap(total: Duration, shutdown: &AtomicBool) -> bool {
+    let mut left = total;
+    while !left.is_zero() {
+        if shutdown.load(Ordering::SeqCst) {
+            return false;
         }
-        if stream.write_all(&batch).is_err() {
+        let slice = left.min(Duration::from_millis(25));
+        std::thread::sleep(slice);
+        left = left.saturating_sub(slice);
+    }
+    !shutdown.load(Ordering::SeqCst)
+}
+
+/// Per-connection worker: owns dialing AND writing, so `connect` latency
+/// never rides the send path. Dials with capped exponential backoff while
+/// the peer is unreachable (frames meanwhile accumulate in the bounded
+/// queue; overflow is dropped by the sender and accounted). Once
+/// connected, blocks for the first queued frame, drains up to
+/// `max_batch_bytes` more into one batch, counts the frames as sent, and
+/// writes them with a single syscall. On a write error the accounting is
+/// rolled back (those frames count as dropped, not sent) and the worker
+/// goes back to dialing — frames still queued survive the reconnect.
+fn conn_worker(
+    port: u16,
+    rx: Receiver<Arc<[u8]>>,
+    counters: Arc<NetCounters>,
+    shutdown: Arc<AtomicBool>,
+    tuning: TransportTuning,
+) {
+    let mut backoff = tuning.backoff_base;
+    'dial: loop {
+        if shutdown.load(Ordering::SeqCst) {
             return;
+        }
+        if !tuning.dial_stall.is_zero() && !nap(tuning.dial_stall, &shutdown) {
+            return;
+        }
+        let mut stream = match TcpStream::connect(("127.0.0.1", port)) {
+            Ok(s) => s,
+            Err(_) => {
+                if !nap(backoff, &shutdown) {
+                    return;
+                }
+                backoff = (backoff * 2).min(tuning.backoff_cap);
+                continue 'dial;
+            }
+        };
+        backoff = tuning.backoff_base;
+        let mut batch = Vec::new();
+        loop {
+            let first = match rx.recv() {
+                Ok(f) => f,
+                Err(_) => return, // transport dropped
+            };
+            batch.clear();
+            batch.extend_from_slice(&first);
+            let mut frames = 1u64;
+            while batch.len() < tuning.max_batch_bytes {
+                match rx.try_recv() {
+                    Ok(next) => {
+                        batch.extend_from_slice(&next);
+                        frames += 1;
+                    }
+                    Err(_) => break,
+                }
+            }
+            // Count BEFORE the write so `bytes_sent` is visible by the
+            // time the peer can observe the frames; rolled back on error.
+            counters
+                .bytes
+                .fetch_add(batch.len() as u64, Ordering::SeqCst);
+            counters.delivered.fetch_add(frames, Ordering::SeqCst);
+            if stream.write_all(&batch).is_err() {
+                counters
+                    .bytes
+                    .fetch_sub(batch.len() as u64, Ordering::SeqCst);
+                counters.delivered.fetch_sub(frames, Ordering::SeqCst);
+                counters.dropped.fetch_add(frames, Ordering::SeqCst);
+                continue 'dial;
+            }
+        }
+    }
+}
+
+impl TcpShared {
+    /// Queues one already-encoded frame toward `to`. Never blocks: the
+    /// connection worker dials in the background, and a full queue drops
+    /// the frame with accounting instead of waiting.
+    fn enqueue(&self, from: NodeId, to: NodeId, mut frame: Arc<[u8]>) {
+        if self.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Some(&port) = self.ports.get(to.index()) else {
+            self.counters.dropped.fetch_add(1, Ordering::SeqCst);
+            return;
+        };
+        let key = (from, to);
+        let mut conns = self.conns.lock();
+        for attempt in 0..2 {
+            let queue = conns.entry(key).or_insert_with(|| {
+                let (ftx, frx) = bounded::<Arc<[u8]>>(self.tuning.queue_depth);
+                let counters = Arc::clone(&self.counters);
+                let shutdown = Arc::clone(&self.shutdown);
+                let tuning = self.tuning.clone();
+                std::thread::spawn(move || conn_worker(port, frx, counters, shutdown, tuning));
+                ftx
+            });
+            match queue.try_send(frame) {
+                Ok(()) => return,
+                Err(TrySendError::Full(_)) => {
+                    // Bounded-queue overflow: the peer is unreachable or
+                    // reading too slowly. Accounted, not buffered.
+                    self.counters.dropped.fetch_add(1, Ordering::SeqCst);
+                    return;
+                }
+                Err(TrySendError::Disconnected(f)) => {
+                    // Worker exited (shutdown race); take the frame back
+                    // and retry over a fresh connection once.
+                    frame = f;
+                    conns.remove(&key);
+                    if attempt == 1 {
+                        self.counters.dropped.fetch_add(1, Ordering::SeqCst);
+                        return;
+                    }
+                }
+            }
         }
     }
 }
 
 impl TcpTransport {
-    /// Queues one already-encoded frame toward `to`, reconnecting once if
-    /// the cached connection's writer died.
-    fn enqueue(&self, from: NodeId, to: NodeId, mut frame: Arc<[u8]>) {
-        let Some(&port) = self.ports.get(to.index()) else {
-            return;
-        };
-        self.bytes
-            .fetch_add(frame.len() as u64, std::sync::atomic::Ordering::Relaxed);
-        let key = (from, to);
-        let mut conns = self.conns.lock();
-        for attempt in 0..2 {
-            if let std::collections::hash_map::Entry::Vacant(e) = conns.entry(key) {
-                match TcpStream::connect(("127.0.0.1", port)) {
-                    Ok(s) => {
-                        let (ftx, frx) = unbounded::<Arc<[u8]>>();
-                        std::thread::spawn(move || write_loop(s, frx));
-                        e.insert(ftx);
-                    }
-                    Err(_) => return,
-                }
+    fn delay_line(&self) -> Arc<DelayLine<DelayedFrame>> {
+        let mut slot = self.shared.delay.lock();
+        if let Some(line) = slot.as_ref() {
+            return Arc::clone(line);
+        }
+        let shared = Arc::clone(&self.shared);
+        let line = Arc::new(DelayLine::start(move |(from, to, frame)| {
+            shared.enqueue(from, to, frame);
+        }));
+        *slot = Some(Arc::clone(&line));
+        line
+    }
+
+    /// Routes one network frame through the fault gate, then the queue.
+    fn dispatch_net(&self, from: NodeId, to: NodeId, frame: Arc<[u8]>) {
+        match self.shared.gate.fate(from, to) {
+            LinkFate::Deliver => self.shared.enqueue(from, to, frame),
+            LinkFate::Drop => {
+                self.shared.counters.faulted.fetch_add(1, Ordering::SeqCst);
             }
-            let queue = conns.get(&key).expect("just inserted");
-            match queue.send(frame) {
-                Ok(()) => return,
-                Err(err) => {
-                    // Writer thread died (peer closed); take the frame
-                    // back and retry over a fresh connection.
-                    frame = err.0;
-                    conns.remove(&key);
-                    if attempt == 1 {
-                        return;
-                    }
-                }
+            LinkFate::Delay(micros) => {
+                self.shared.counters.delayed.fetch_add(1, Ordering::SeqCst);
+                self.delay_line()
+                    .defer(Duration::from_micros(micros), (from, to, frame));
             }
         }
     }
@@ -374,25 +815,45 @@ fn conn_slot(envelope: &Envelope) -> NodeId {
 
 impl Postman for TcpTransport {
     fn send(&self, to: NodeId, envelope: Envelope) {
+        let net = matches!(envelope, Envelope::Net { .. });
+        let from = conn_slot(&envelope);
         let mut frame = Vec::with_capacity(envelope.encoded_len() + 2);
         push_frame(&mut frame, &envelope);
-        self.enqueue(conn_slot(&envelope), to, frame.into());
+        if net {
+            self.dispatch_net(from, to, frame.into());
+        } else {
+            // Controller traffic: the membership oracle is reliable.
+            self.shared.enqueue(from, to, frame.into());
+        }
     }
 
     fn send_shared(&self, targets: &[NodeId], envelope: Envelope) {
         // The frame is target-independent, so one encoding serves the
         // whole fan-out; each queue holds a refcount, not a copy.
+        let net = matches!(envelope, Envelope::Net { .. });
         let mut frame = Vec::with_capacity(envelope.encoded_len() + 2);
         push_frame(&mut frame, &envelope);
         let frame: Arc<[u8]> = frame.into();
         let from = conn_slot(&envelope);
         for &to in targets {
-            self.enqueue(from, to, frame.clone());
+            if net {
+                self.dispatch_net(from, to, frame.clone());
+            } else {
+                self.shared.enqueue(from, to, frame.clone());
+            }
         }
     }
 
     fn bytes_sent(&self) -> u64 {
-        self.bytes.load(std::sync::atomic::Ordering::Relaxed)
+        self.shared.counters.bytes.load(Ordering::SeqCst)
+    }
+
+    fn set_fault_plan(&self, plan: FaultPlan) {
+        *self.shared.gate.plan.lock() = plan;
+    }
+
+    fn net_stats(&self) -> NetStats {
+        self.shared.counters.snapshot()
     }
 }
 
@@ -405,6 +866,18 @@ mod tests {
             from: NodeId(from),
             msg: NetMsg::App(vec![1, 2, 3]),
         }
+    }
+
+    /// Polls until `cond` holds or the deadline passes; asserts it held.
+    fn eventually(what: &str, timeout: Duration, mut cond: impl FnMut() -> bool) {
+        let deadline = Instant::now() + timeout;
+        while Instant::now() < deadline {
+            if cond() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(cond(), "timed out waiting for: {what}");
     }
 
     #[test]
@@ -540,7 +1013,15 @@ mod tests {
             push_frame(&mut frame, &env);
             frame.len() as u64
         };
-        assert_eq!(postman.bytes_sent(), 2 * one);
+        eventually(
+            "fan-out byte accounting settles",
+            Duration::from_secs(2),
+            || postman.bytes_sent() == 2 * one,
+        );
+        let stats = postman.net_stats();
+        assert_eq!(stats.msgs_delivered, 2);
+        assert_eq!(stats.msgs_dropped, 0);
+        assert_eq!(stats.msgs_faulted, 0);
     }
 
     #[test]
@@ -574,7 +1055,7 @@ mod tests {
         postman.send(NodeId(1), net(0));
         assert!(mailboxes[1].recv_timeout(Duration::from_secs(2)).is_some());
         // A raw connection spewing garbage must not take the node down.
-        let port = postman.ports[1];
+        let port = postman.shared.ports[1];
         {
             let mut s = TcpStream::connect(("127.0.0.1", port)).unwrap();
             // frame of length 3 with an invalid tag
@@ -583,5 +1064,157 @@ mod tests {
         // The legit connection still delivers.
         postman.send(NodeId(1), net(0));
         assert!(mailboxes[1].recv_timeout(Duration::from_secs(2)).is_some());
+    }
+
+    /// Satellite regression: a peer whose dial fails (port with no
+    /// listener — the worker is stuck in its backoff loop) must not delay
+    /// sends to a healthy peer. Pre-fix, `enqueue` held the `conns` lock
+    /// across `TcpStream::connect`, so one dead peer stalled everyone.
+    #[test]
+    fn dead_peer_does_not_block_live_sends() {
+        // A port that refuses connections: bind, grab the port, drop.
+        let dead_port = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        // A live listener feeding a mailbox.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let live_port = listener.local_addr().unwrap().port();
+        let (tx, rx) = unbounded::<Envelope>();
+        std::thread::spawn(move || accept_loop(listener, tx));
+        let mailbox = ChannelMailbox { rx };
+
+        let postman =
+            TcpTransport::over_ports(vec![live_port, dead_port], TransportTuning::default());
+        // Prod the dead peer first so its worker is dialing/backing off.
+        for _ in 0..4 {
+            postman.send(NodeId(1), net(0));
+        }
+        let start = Instant::now();
+        postman.send(NodeId(0), net(0));
+        let got = mailbox.recv_timeout(Duration::from_millis(100));
+        assert!(
+            got.is_some(),
+            "send to the healthy peer must deliver while the dead peer dials"
+        );
+        assert!(
+            start.elapsed() < Duration::from_millis(100),
+            "healthy-peer delivery took {:?}",
+            start.elapsed()
+        );
+        // The dead peer's frames were never counted as sent.
+        let one = {
+            let mut f = Vec::new();
+            push_frame(&mut f, &net(0));
+            f.len() as u64
+        };
+        eventually("only live frame counted", Duration::from_secs(1), || {
+            postman.net_stats().bytes_sent == one
+        });
+    }
+
+    /// Satellite regression: a *hanging* dial (SYN blackhole, emulated by
+    /// `dial_stall`) happens off the send path — `send` returns
+    /// immediately even though the connection cannot establish.
+    #[test]
+    fn hanging_dial_never_blocks_the_send_path() {
+        let tuning = TransportTuning {
+            dial_stall: Duration::from_secs(5),
+            ..TransportTuning::default()
+        };
+        let (postman, _mailboxes) = TcpTransport::with_tuning(2, tuning);
+        let start = Instant::now();
+        for _ in 0..16 {
+            postman.send(NodeId(1), net(0));
+        }
+        assert!(
+            start.elapsed() < Duration::from_millis(100),
+            "sends blocked for {:?} behind a stalled dial",
+            start.elapsed()
+        );
+        // Nothing handed to a live writer yet: the dial is still stalled.
+        assert_eq!(postman.net_stats().bytes_sent, 0);
+    }
+
+    /// Bounded queues: overflow while the peer is unreachable is dropped
+    /// and accounted, not buffered without bound.
+    #[test]
+    fn bounded_queue_overflow_drops_and_counts() {
+        let dead_port = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let tuning = TransportTuning {
+            queue_depth: 8,
+            // Long enough that the worker can't drain during the test.
+            dial_stall: Duration::from_secs(5),
+            ..TransportTuning::default()
+        };
+        let postman = TcpTransport::over_ports(vec![dead_port], tuning);
+        for _ in 0..20 {
+            postman.send(NodeId(0), net(0));
+        }
+        let stats = postman.net_stats();
+        assert_eq!(stats.bytes_sent, 0, "nothing reached a live writer");
+        assert!(
+            stats.msgs_dropped >= 11,
+            "expected ≥ 11 overflow drops, got {}",
+            stats.msgs_dropped
+        );
+    }
+
+    #[test]
+    fn fault_plan_drop_all_suppresses_net_but_not_controller_traffic() {
+        let (postman, mailboxes) = ChannelTransport::new(2);
+        postman.set_fault_plan(FaultPlan::none().drop_all(1.0));
+        postman.send(NodeId(1), net(0));
+        assert!(
+            mailboxes[1]
+                .recv_timeout(Duration::from_millis(30))
+                .is_none(),
+            "net frame must be dropped by the plan"
+        );
+        postman.send(NodeId(1), Envelope::Crash);
+        assert!(
+            matches!(
+                mailboxes[1].recv_timeout(Duration::from_millis(100)),
+                Some(Envelope::Crash)
+            ),
+            "controller traffic bypasses the fault layer"
+        );
+        let stats = postman.net_stats();
+        assert_eq!(stats.msgs_faulted, 1);
+        assert_eq!(stats.bytes_sent, 0, "dropped frames are not charged");
+    }
+
+    #[test]
+    fn fault_plan_delay_holds_then_delivers_over_tcp() {
+        let (postman, mailboxes) = TcpTransport::new(2);
+        postman.set_fault_plan(FaultPlan::none().delay_all(paso_simnet::DelayDist::fixed(60_000)));
+        let sent = Instant::now();
+        postman.send(NodeId(1), net(0));
+        let got = mailboxes[1].recv_timeout(Duration::from_secs(2));
+        assert!(got.is_some(), "delayed frame must still deliver");
+        assert!(
+            sent.elapsed() >= Duration::from_millis(55),
+            "frame arrived after only {:?}",
+            sent.elapsed()
+        );
+        assert_eq!(postman.net_stats().msgs_delayed, 1);
+    }
+
+    #[test]
+    fn fault_plan_partition_heals_on_replacement() {
+        let (postman, mailboxes) = TcpTransport::new(2);
+        let cells: [&[NodeId]; 2] = [&[NodeId(0)], &[NodeId(1)]];
+        postman.set_fault_plan(FaultPlan::none().partition(&cells));
+        postman.send(NodeId(1), net(0));
+        assert!(mailboxes[1]
+            .recv_timeout(Duration::from_millis(30))
+            .is_none());
+        postman.set_fault_plan(FaultPlan::none());
+        postman.send(NodeId(1), net(0));
+        assert!(mailboxes[1].recv_timeout(Duration::from_secs(2)).is_some());
+        assert_eq!(postman.net_stats().msgs_faulted, 1);
     }
 }

@@ -1,0 +1,497 @@
+//! Fault-injection tests for the live runtime: the wall-clock twin of the
+//! simulator's E9 fault-tolerance experiment, plus the transport failure
+//! path's accounting guarantees.
+//!
+//! The headline pair mirrors Theorem 1's boundary over real TCP:
+//!
+//! - **≤ λ crashes + message drops**: no acknowledged insert is ever
+//!   lost — crash-erase-rejoin plus vsync retransmission mask both the
+//!   storm and the lossy links;
+//! - **λ+1 crashes of one class's full basic support**: acknowledged data
+//!   *is* demonstrably lost, while the rest of the system stays live —
+//!   the guarantee is exactly λ, not more.
+//!
+//! Sizes default to a smoke cap that keeps the whole file under a minute
+//! (the CI budget); set `PASO_SOAK=1` for the larger seeded soak.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use paso_core::{assign_basic_support, PasoConfig};
+use paso_runtime::{
+    ChannelTransport, Cluster, ClusterError, Envelope, Mailbox, Postman, TcpTransport,
+    TransportKind,
+};
+use paso_simnet::{DelayDist, FaultPlan, NodeId};
+use paso_types::{FieldMatcher, ObjectId, PasoObject, ProcessId, SearchCriterion, Template, Value};
+use paso_vsync::NetMsg;
+use paso_wire::Wire;
+
+/// Fixed seed for every stochastic schedule in this file, so CI replays
+/// the exact same drop/churn pattern.
+const SEED: u64 = 0xE9;
+
+/// Serializes the cluster-churn tests: each spawns `n` node threads plus
+/// churn/client threads, and running several storms concurrently starves
+/// the timing the assertions depend on.
+static STORM_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn soak() -> bool {
+    std::env::var("PASO_SOAK").is_ok()
+}
+
+fn sc_exact(tag: &str, i: i64) -> SearchCriterion {
+    SearchCriterion::from(Template::new(vec![
+        FieldMatcher::Exact(Value::symbol(tag)),
+        FieldMatcher::Exact(Value::Int(i)),
+    ]))
+}
+
+fn item(tag: &str, i: i64) -> Vec<Value> {
+    vec![Value::symbol(tag), Value::Int(i)]
+}
+
+/// The basic-support members of the class a 2-field object belongs to
+/// under `cfg`'s classifier, and one machine outside that set.
+fn item_support(cfg: &PasoConfig) -> (Vec<NodeId>, u32) {
+    let classifier = cfg.classifier.build();
+    let probe = PasoObject::new(ObjectId::new(ProcessId(0), 0), item("probe", 0));
+    let class = classifier.classify(&probe);
+    let support = assign_basic_support(cfg.n, cfg.lambda, &classifier.classes());
+    let members = support
+        .iter()
+        .find(|(c, _)| *c == class)
+        .expect("class has support")
+        .1
+        .clone();
+    let outsider = (0..cfg.n as u32)
+        .find(|i| !members.contains(&NodeId(*i)))
+        .expect("some machine outside the support set");
+    (members, outsider)
+}
+
+/// Inserts, riding out transient `Unavailable`/`Timeout` answers (a
+/// write group mid-view-change can refuse an op; the op did not execute,
+/// so a fresh attempt is safe).
+fn insert_until_ok(cluster: &Cluster, node: u32, fields: Vec<Value>, patience: Duration) {
+    let deadline = Instant::now() + patience;
+    loop {
+        match cluster.insert(node, fields.clone()) {
+            Ok(_) => return,
+            Err(ClusterError::Unavailable | ClusterError::Timeout) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(e) => panic!("insert failed: {e}"),
+        }
+    }
+}
+
+/// Polls `read` until the object shows up, riding out transient
+/// `Timeout`s and `None`s (a rejoining replica can briefly leave a read
+/// unanswered or empty — unavailability is not loss). Returns `None`
+/// only once the object stayed invisible for the whole `patience`
+/// window, i.e. the data is genuinely gone.
+fn read_until_found(
+    cluster: &Cluster,
+    node: u32,
+    sc: &SearchCriterion,
+    patience: Duration,
+) -> Option<PasoObject> {
+    let deadline = Instant::now() + patience;
+    loop {
+        match cluster.read(node, sc.clone()) {
+            Ok(Some(found)) => return Some(found),
+            Ok(None) | Err(ClusterError::Timeout) => {
+                if Instant::now() >= deadline {
+                    return None;
+                }
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(e) => panic!("read failed: {e}"),
+        }
+    }
+}
+
+/// Asserts `sc` matches nothing for the whole `window` — a single hit
+/// means the data survived when it should have been erased.
+fn assert_never_found(cluster: &Cluster, node: u32, sc: &SearchCriterion, window: Duration) {
+    let deadline = Instant::now() + window;
+    while Instant::now() < deadline {
+        match cluster.read(node, sc.clone()) {
+            Ok(Some(found)) => panic!("erased object resurfaced: {found:?}"),
+            Ok(None) | Err(ClusterError::Timeout) => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(e) => panic!("read failed: {e}"),
+        }
+    }
+}
+
+/// Live E9 twin, positive side: a λ-bounded crash storm *plus* stochastic
+/// message drops over real TCP must lose no acknowledged insert.
+#[test]
+fn tcp_crash_storm_with_drops_loses_no_acknowledged_insert() {
+    let _storm = STORM_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let items: i64 = if soak() { 48 } else { 14 };
+    let cfg = PasoConfig::builder(5, 1).seed(SEED).build();
+    let (members, producer) = item_support(&cfg);
+    // Churn one basic member (≤ λ = 1 concurrent failure) while dropping
+    // 5% of all protocol traffic; vsync retransmission covers the drops.
+    let churned = members[0].0;
+    let cluster = Arc::new(Cluster::start_faulty(
+        cfg,
+        TransportKind::Tcp,
+        FaultPlan::none().drop_all(0.05),
+    ));
+
+    let storm = {
+        let c = Arc::clone(&cluster);
+        std::thread::spawn(move || {
+            for _ in 0..3 {
+                c.crash(churned);
+                std::thread::sleep(Duration::from_millis(40));
+                c.recover(churned);
+                std::thread::sleep(Duration::from_millis(120));
+            }
+        })
+    };
+    let mut acked = Vec::new();
+    for i in 0..items {
+        insert_until_ok(&cluster, producer, item("e9", i), Duration::from_secs(30));
+        acked.push(i);
+    }
+    storm.join().unwrap();
+
+    // Every acknowledged insert must still be readable — from a machine
+    // that is *not* a member of the class, over the still-lossy network.
+    for i in acked {
+        let got = read_until_found(
+            &cluster,
+            producer,
+            &sc_exact("e9", i),
+            Duration::from_secs(30),
+        );
+        assert!(got.is_some(), "acknowledged insert {i} lost in ≤λ storm");
+    }
+    let stats = cluster.stats();
+    assert!(
+        stats.msgs_faulted > 0,
+        "the drop plan never fired — the run exercised nothing"
+    );
+    cluster.shutdown();
+}
+
+/// Live E9 twin, negative control: crashing a class's *entire* basic
+/// support (λ+1 machines) loses acknowledged data, while the rest of the
+/// ensemble keeps serving — Theorem 1's bound is exactly λ.
+#[test]
+fn tcp_lambda_plus_one_crash_loses_acknowledged_data() {
+    let _storm = STORM_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let cfg = PasoConfig::builder(4, 1).seed(SEED).build();
+    let (members, outsider) = item_support(&cfg);
+    assert_eq!(members.len(), 2, "λ+1 = 2 under λ = 1");
+    let cluster = Cluster::start(cfg, TransportKind::Tcp);
+
+    insert_until_ok(
+        &cluster,
+        outsider,
+        item("doomed", 7),
+        Duration::from_secs(60),
+    );
+    assert!(
+        read_until_found(
+            &cluster,
+            outsider,
+            &sc_exact("doomed", 7),
+            Duration::from_secs(20)
+        )
+        .is_some(),
+        "positive control: object readable before the storm"
+    );
+
+    // λ+1 simultaneous crashes: every replica of the class erased.
+    for m in &members {
+        cluster.crash(m.0);
+    }
+    for m in &members {
+        cluster.recover(m.0);
+    }
+    // Let the erased members complete their initialization and rejoin.
+    std::thread::sleep(Duration::from_millis(400));
+
+    // The ensemble is healthy again — fresh inserts work end to end...
+    insert_until_ok(
+        &cluster,
+        outsider,
+        item("fresh", 1),
+        Duration::from_secs(60),
+    );
+    assert!(
+        read_until_found(
+            &cluster,
+            outsider,
+            &sc_exact("fresh", 1),
+            Duration::from_secs(20)
+        )
+        .is_some(),
+        "recovered support set must serve new data"
+    );
+    // ...but the pre-storm object is gone: λ+1 failures exceed the
+    // fault-tolerance degree and §3.1 crashes erase all local memory.
+    assert_never_found(
+        &cluster,
+        outsider,
+        &sc_exact("doomed", 7),
+        Duration::from_secs(2),
+    );
+    cluster.shutdown();
+}
+
+/// A client request deterministically dropped on its self-link is
+/// re-issued after the first attempt's slice of the timeout, and the
+/// server-side request-id dedup keeps the retried insert exactly-once.
+#[test]
+fn lost_client_request_is_retried_and_executes_once() {
+    let _storm = STORM_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // Only controller-injected client requests ride the (0,0) self-link
+    // (the protocol self-delivers locally), so this plan loses exactly
+    // the client request and nothing else.
+    let mut cluster = Cluster::start_faulty(
+        PasoConfig::builder(3, 1).seed(SEED).build(),
+        TransportKind::Channel,
+        FaultPlan::none().drop_link(NodeId(0), NodeId(0), 1.0),
+    );
+    cluster.set_op_timeout(Duration::from_secs(3));
+
+    let cluster = Arc::new(cluster);
+    let inserter = {
+        let c = Arc::clone(&cluster);
+        std::thread::spawn(move || c.insert(0, item("retry", 1)))
+    };
+    // Let the first attempt vanish into the drop plan, then heal the
+    // link; only a client retry can complete the op now.
+    std::thread::sleep(Duration::from_millis(300));
+    cluster.set_fault_plan(FaultPlan::none());
+    inserter
+        .join()
+        .unwrap()
+        .expect("retried insert must succeed");
+
+    let stats = cluster.stats();
+    assert!(
+        stats.client_retries >= 1,
+        "the op can only have landed via a retry"
+    );
+    // Exactly-once despite the re-issued request(s): consuming the object
+    // once must leave nothing behind (a duplicated execution would have
+    // stored a second copy).
+    let first = cluster.read_del(1, sc_exact("retry", 1)).unwrap();
+    assert!(first.is_some(), "the retried insert stored the object");
+    let second = cluster.read_del(1, sc_exact("retry", 1)).unwrap();
+    assert!(
+        second.is_none(),
+        "a second copy exists — the retry executed twice"
+    );
+    cluster.shutdown();
+}
+
+/// Results whose waiter already gave up must not accumulate in the done
+/// map forever: they are evicted (and counted) one op-timeout after
+/// arriving unclaimed.
+#[test]
+fn timed_out_results_are_evicted_from_the_done_map() {
+    let _storm = STORM_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let mut cluster = Cluster::start(
+        // Server-side blocking deadline (900ms) deliberately *outlives*
+        // the client-side op timeout (400ms): each blocking take times
+        // out at the client, and its server answer arrives orphaned.
+        PasoConfig::builder(3, 1)
+            .seed(SEED)
+            .blocking_deadline_micros(900_000)
+            .build(),
+        TransportKind::Channel,
+    );
+    cluster.set_op_timeout(Duration::from_millis(400));
+
+    let no_match = sc_exact("nothing", 404);
+    for _ in 0..2 {
+        assert_eq!(
+            cluster.take_blocking(0, no_match.clone()),
+            Err(ClusterError::Timeout),
+            "blocking take must give up client-side first"
+        );
+        // Wait out the server's deadline so the orphaned answer is
+        // actually emitted before the next op drains the output channel.
+        std::thread::sleep(Duration::from_millis(700));
+    }
+    // A live op drains the orphans into the done map; the second orphan's
+    // arrival finds the first one expired and evicts it.
+    cluster.insert(0, item("live", 1)).unwrap();
+    std::thread::sleep(Duration::from_millis(500));
+    cluster.insert(0, item("live", 2)).unwrap();
+    assert!(
+        cluster.stats().results_evicted >= 1,
+        "stale result leaked into the done map"
+    );
+    cluster.shutdown();
+}
+
+/// Seeded stochastic soak: repeated crash/recover churn under plan-wide
+/// drops and small delays, on the in-process transport for speed. Every
+/// acknowledged insert must survive; the schedule replays exactly from
+/// the fixed seed.
+#[test]
+fn seeded_soak_churn_under_drops_keeps_acked_inserts() {
+    let _storm = STORM_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let rounds = if soak() { 12 } else { 4 };
+    let burst: i64 = if soak() { 8 } else { 4 };
+    let cfg = PasoConfig::builder(6, 1).seed(SEED).build();
+    let (members, producer) = item_support(&cfg);
+    let cluster = Cluster::start_faulty(
+        cfg,
+        TransportKind::Channel,
+        FaultPlan::none()
+            .drop_all(0.04)
+            .delay_all(DelayDist::uniform(0, 2_000)),
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(SEED);
+    let mut acked = Vec::new();
+    for round in 0..rounds {
+        // One support member down at a time: the storm stays ≤ λ.
+        let victim = members[rng.gen_range(0..members.len())].0;
+        cluster.crash(victim);
+        for i in 0..burst {
+            let tag = round as i64 * burst + i;
+            insert_until_ok(
+                &cluster,
+                producer,
+                item("soak", tag),
+                Duration::from_secs(30),
+            );
+            acked.push(tag);
+        }
+        cluster.recover(victim);
+        std::thread::sleep(Duration::from_millis(60));
+    }
+    for tag in acked {
+        let got = read_until_found(
+            &cluster,
+            producer,
+            &sc_exact("soak", tag),
+            Duration::from_secs(30),
+        );
+        assert!(got.is_some(), "acknowledged insert {tag} lost in soak");
+    }
+    let stats = cluster.stats();
+    assert!(stats.msgs_faulted > 0, "drops never fired");
+    assert!(stats.msgs_delayed > 0, "delays never fired");
+    cluster.shutdown();
+}
+
+fn varint_len(mut v: u64) -> u64 {
+    let mut len = 1;
+    while v >= 0x80 {
+        v >>= 7;
+        len += 1;
+    }
+    len
+}
+
+fn app_frame(from: u32, payload_len: usize) -> Envelope {
+    Envelope::Net {
+        from: NodeId(from),
+        msg: NetMsg::App(vec![0xAB; payload_len]),
+    }
+}
+
+/// On-the-wire length of one framed envelope (varint prefix + body).
+fn framed_len(env: &Envelope) -> u64 {
+    let body = env.encoded_len() as u64;
+    varint_len(body) + body
+}
+
+/// Loopback reconciliation: `bytes_sent` matches the receiver-verified
+/// frame bytes *exactly*, and a clean run drops nothing.
+#[test]
+fn tcp_loopback_accounting_reconciles_exactly() {
+    let (postman, mailboxes) = TcpTransport::new(3);
+    let mut expected_bytes = 0u64;
+    let mut expected_frames = 0u64;
+    for (i, len) in [0usize, 1, 7, 64, 600, 4_096].iter().enumerate() {
+        let env = app_frame(0, *len);
+        if i % 2 == 0 {
+            postman.send(NodeId(1), env.clone());
+            expected_bytes += framed_len(&env);
+            expected_frames += 1;
+        } else {
+            // The fan-out encodes once but is *charged* per copy.
+            postman.send_shared(&[NodeId(1), NodeId(2)], env.clone());
+            expected_bytes += 2 * framed_len(&env);
+            expected_frames += 2;
+        }
+    }
+    // Receiver-verified: every frame actually arrives.
+    let mut received = 0u64;
+    for mailbox in &mailboxes[1..] {
+        while mailbox.recv_timeout(Duration::from_millis(300)).is_some() {
+            received += 1;
+        }
+    }
+    assert_eq!(received, expected_frames);
+    let deadline = Instant::now() + Duration::from_secs(2);
+    loop {
+        let stats = postman.net_stats();
+        if stats.bytes_sent == expected_bytes || Instant::now() > deadline {
+            assert_eq!(stats.bytes_sent, expected_bytes, "byte accounting drifted");
+            assert_eq!(stats.msgs_delivered, expected_frames);
+            assert_eq!(stats.msgs_dropped, 0);
+            assert_eq!(stats.msgs_faulted, 0);
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Pay-for-what-you-use: a transport carrying an explicit
+    /// [`FaultPlan::none`] behaves byte-identically to one that never
+    /// heard of fault injection — same deliveries, same accounting.
+    #[test]
+    fn none_plan_is_byte_identical_to_plain_transport(
+        sends in proptest::collection::vec((0u32..3, 0u32..3, 0usize..256), 1..40)
+    ) {
+        let (plain, plain_rx) = ChannelTransport::new(3);
+        let (gated, gated_rx) = ChannelTransport::new(3);
+        gated.set_fault_plan(FaultPlan::none());
+        for &(from, to, len) in &sends {
+            plain.send(NodeId(to), app_frame(from, len));
+            gated.send(NodeId(to), app_frame(from, len));
+        }
+        prop_assert_eq!(plain.net_stats(), gated.net_stats());
+        for (p, g) in plain_rx.iter().zip(gated_rx.iter()) {
+            loop {
+                let a = p.recv_timeout(Duration::from_millis(50));
+                let b = g.recv_timeout(Duration::from_millis(50));
+                match (a, b) {
+                    (None, None) => break,
+                    (Some(x), Some(y)) => prop_assert_eq!(
+                        paso_wire::encode_to_vec(&x),
+                        paso_wire::encode_to_vec(&y)
+                    ),
+                    (a, b) => prop_assert!(
+                        false,
+                        "delivery mismatch: {:?} vs {:?}",
+                        a.is_some(),
+                        b.is_some()
+                    ),
+                }
+            }
+        }
+    }
+}

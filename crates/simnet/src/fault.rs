@@ -7,11 +7,227 @@
 //! failure processes while (optionally) respecting the `≤ λ` simultaneous-
 //! failure assumption.
 
+use std::collections::{BTreeMap, BTreeSet};
+
 use crate::actor::NodeId;
 use crate::time::SimTime;
 use rand::Rng;
+use rand::RngCore;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+
+/// A per-link message delay distribution: uniform in
+/// `[min_micros, max_micros]`. The zero distribution means "deliver
+/// immediately" and is the default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DelayDist {
+    /// Lower bound of the injected delay, in microseconds.
+    pub min_micros: u64,
+    /// Upper bound of the injected delay, in microseconds.
+    pub max_micros: u64,
+}
+
+impl DelayDist {
+    /// No injected delay.
+    pub const ZERO: DelayDist = DelayDist {
+        min_micros: 0,
+        max_micros: 0,
+    };
+
+    /// A fixed delay of `micros`.
+    pub fn fixed(micros: u64) -> Self {
+        DelayDist {
+            min_micros: micros,
+            max_micros: micros,
+        }
+    }
+
+    /// A uniform delay in `[min, max]` microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max`.
+    pub fn uniform(min_micros: u64, max_micros: u64) -> Self {
+        assert!(min_micros <= max_micros, "delay bounds out of order");
+        DelayDist {
+            min_micros,
+            max_micros,
+        }
+    }
+
+    /// True iff this distribution never delays.
+    pub fn is_zero(&self) -> bool {
+        self.max_micros == 0
+    }
+
+    fn sample(&self, rng: &mut impl RngCore) -> u64 {
+        if self.is_zero() {
+            return 0;
+        }
+        if self.min_micros == self.max_micros {
+            return self.min_micros;
+        }
+        rng.gen_range(self.min_micros..=self.max_micros)
+    }
+}
+
+/// What the fault layer decided for one message on one link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkFate {
+    /// Deliver immediately.
+    Deliver,
+    /// Deliver after the given injected delay (microseconds).
+    Delay(u64),
+    /// Drop silently (a lossy link or a partition).
+    Drop,
+}
+
+/// A message-level fault-injection plan shared by the simulator and the
+/// live runtime: per-link drop probability, per-link delay distribution,
+/// and partition sets. Crash/repair scheduling stays in [`FaultScript`];
+/// a `FaultPlan` describes what the *network* does to messages between
+/// machines that are up.
+///
+/// Semantics:
+///
+/// - **Partitions** win over everything: a message whose endpoints sit in
+///   different partition cells is dropped. Nodes not named in any cell
+///   are unrestricted. An explicitly blocked directed link behaves like a
+///   one-way partition.
+/// - **Drop probability** is per directed link, with a plan-wide default;
+///   the per-link override wins.
+/// - **Delay** likewise: a per-link [`DelayDist`] overriding a plan-wide
+///   default. Delay applies only to messages that survive the drop coin.
+///
+/// The plan is plain data; randomness comes from the caller's RNG so the
+/// same seed gives the same fate sequence everywhere.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    default_drop: f64,
+    link_drop: BTreeMap<(NodeId, NodeId), f64>,
+    default_delay: DelayDist,
+    link_delay: BTreeMap<(NodeId, NodeId), DelayDist>,
+    blocked: BTreeSet<(NodeId, NodeId)>,
+}
+
+impl FaultPlan {
+    /// The pass-through plan: nothing dropped, nothing delayed.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Sets the plan-wide drop probability for every link without an
+    /// override.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn drop_all(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "drop probability out of range");
+        self.default_drop = p;
+        self
+    }
+
+    /// Sets the drop probability of the directed link `from → to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn drop_link(mut self, from: NodeId, to: NodeId, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "drop probability out of range");
+        self.link_drop.insert((from, to), p);
+        self
+    }
+
+    /// Sets the plan-wide delay distribution.
+    pub fn delay_all(mut self, d: DelayDist) -> Self {
+        self.default_delay = d;
+        self
+    }
+
+    /// Sets the delay distribution of the directed link `from → to`.
+    pub fn delay_link(mut self, from: NodeId, to: NodeId, d: DelayDist) -> Self {
+        self.link_delay.insert((from, to), d);
+        self
+    }
+
+    /// Blocks the directed link `from → to` entirely (a one-way
+    /// blackhole: SYNs and frames vanish).
+    pub fn block_link(mut self, from: NodeId, to: NodeId) -> Self {
+        self.blocked.insert((from, to));
+        self
+    }
+
+    /// Partitions the ensemble: nodes in different `cells` cannot
+    /// exchange messages in either direction. Nodes absent from every
+    /// cell are unrestricted. Cells accumulate onto any links already
+    /// blocked.
+    pub fn partition(mut self, cells: &[&[NodeId]]) -> Self {
+        for (i, a) in cells.iter().enumerate() {
+            for (j, b) in cells.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                for &x in a.iter() {
+                    for &y in b.iter() {
+                        self.blocked.insert((x, y));
+                    }
+                }
+            }
+        }
+        self
+    }
+
+    /// True iff the plan can never alter a message — the transport may
+    /// skip the fault layer entirely (pay-for-what-you-use).
+    pub fn is_pass_through(&self) -> bool {
+        self.default_drop == 0.0
+            && self.default_delay.is_zero()
+            && self.blocked.is_empty()
+            && self.link_drop.values().all(|p| *p == 0.0)
+            && self.link_delay.values().all(DelayDist::is_zero)
+    }
+
+    /// The drop probability in force on `from → to`.
+    pub fn drop_prob(&self, from: NodeId, to: NodeId) -> f64 {
+        *self
+            .link_drop
+            .get(&(from, to))
+            .unwrap_or(&self.default_drop)
+    }
+
+    /// The delay distribution in force on `from → to`.
+    pub fn delay(&self, from: NodeId, to: NodeId) -> DelayDist {
+        *self
+            .link_delay
+            .get(&(from, to))
+            .unwrap_or(&self.default_delay)
+    }
+
+    /// True iff `from → to` is blocked (partition or explicit block).
+    pub fn is_blocked(&self, from: NodeId, to: NodeId) -> bool {
+        self.blocked.contains(&(from, to))
+    }
+
+    /// Decides the fate of one message on `from → to`, consuming
+    /// randomness from `rng` only when the link is actually lossy or
+    /// delayed (so a pass-through plan leaves the RNG untouched).
+    pub fn decide(&self, from: NodeId, to: NodeId, rng: &mut impl RngCore) -> LinkFate {
+        if self.is_blocked(from, to) {
+            return LinkFate::Drop;
+        }
+        let p = self.drop_prob(from, to);
+        if p > 0.0 && rng.gen_bool(p) {
+            return LinkFate::Drop;
+        }
+        let d = self.delay(from, to);
+        if d.is_zero() {
+            LinkFate::Deliver
+        } else {
+            LinkFate::Delay(d.sample(rng))
+        }
+    }
+}
 
 /// One fault event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -307,5 +523,80 @@ mod tests {
     fn empty_script() {
         assert!(FaultScript::none().is_empty());
         assert!(FaultScript::none().validate(1, 0).is_ok());
+    }
+
+    #[test]
+    fn fault_plan_none_is_pass_through_and_spends_no_randomness() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_pass_through());
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let before = rng.next_u64();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for i in 0..8u32 {
+            assert_eq!(
+                plan.decide(NodeId(i), NodeId(i + 1), &mut rng),
+                LinkFate::Deliver
+            );
+        }
+        // The pass-through plan never touched the RNG stream.
+        assert_eq!(rng.next_u64(), before);
+    }
+
+    #[test]
+    fn fault_plan_partition_blocks_both_directions_only_across_cells() {
+        let a = [NodeId(0), NodeId(1)];
+        let b = [NodeId(2)];
+        let plan = FaultPlan::none().partition(&[&a, &b]);
+        assert!(!plan.is_pass_through());
+        assert!(plan.is_blocked(NodeId(0), NodeId(2)));
+        assert!(plan.is_blocked(NodeId(2), NodeId(1)));
+        assert!(!plan.is_blocked(NodeId(0), NodeId(1)));
+        // Node 3 is in no cell: unrestricted.
+        assert!(!plan.is_blocked(NodeId(3), NodeId(0)));
+        assert!(!plan.is_blocked(NodeId(2), NodeId(3)));
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert_eq!(plan.decide(NodeId(0), NodeId(2), &mut rng), LinkFate::Drop);
+        assert_eq!(
+            plan.decide(NodeId(0), NodeId(1), &mut rng),
+            LinkFate::Deliver
+        );
+    }
+
+    #[test]
+    fn fault_plan_link_overrides_beat_defaults() {
+        let plan = FaultPlan::none()
+            .drop_all(1.0)
+            .drop_link(NodeId(0), NodeId(1), 0.0)
+            .delay_all(DelayDist::fixed(500))
+            .delay_link(NodeId(0), NodeId(1), DelayDist::ZERO);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        // The exempted link delivers immediately; every other link drops.
+        assert_eq!(
+            plan.decide(NodeId(0), NodeId(1), &mut rng),
+            LinkFate::Deliver
+        );
+        assert_eq!(plan.decide(NodeId(1), NodeId(0), &mut rng), LinkFate::Drop);
+        assert_eq!(plan.drop_prob(NodeId(0), NodeId(1)), 0.0);
+        assert_eq!(plan.drop_prob(NodeId(1), NodeId(2)), 1.0);
+    }
+
+    #[test]
+    fn fault_plan_delay_samples_within_bounds_deterministically() {
+        let plan = FaultPlan::none().delay_all(DelayDist::uniform(100, 200));
+        let sample = |seed| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let mut out = Vec::new();
+            for _ in 0..32 {
+                match plan.decide(NodeId(0), NodeId(1), &mut rng) {
+                    LinkFate::Delay(d) => {
+                        assert!((100..=200).contains(&d), "delay {d} out of bounds");
+                        out.push(d);
+                    }
+                    other => panic!("expected a delay, got {other:?}"),
+                }
+            }
+            out
+        };
+        assert_eq!(sample(9), sample(9), "same seed, same fates");
     }
 }

@@ -57,6 +57,6 @@ mod time;
 pub use actor::{drive_actor, Action, Actor, Context, NodeEvent, NodeId};
 pub use cost::{CostModel, WireSized};
 pub use engine::{Engine, EngineConfig, MachineStatus, Trace, TraceEntry};
-pub use fault::{Fault, FaultScript, FaultScriptError};
+pub use fault::{DelayDist, Fault, FaultPlan, FaultScript, FaultScriptError, LinkFate};
 pub use stats::Stats;
 pub use time::SimTime;

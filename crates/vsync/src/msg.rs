@@ -110,6 +110,11 @@ pub enum VsyncMsg {
         /// unanimous set of grants and re-form a dead group (no split
         /// brain between concurrent probers).
         grant: bool,
+        /// On a denial: the joiner currently holding this responder's
+        /// grant. Lets competing probers order themselves (the one that
+        /// sees a smaller-id holder backs off past the grant window)
+        /// instead of refreshing split claims forever.
+        holder: Option<NodeId>,
     },
     /// State snapshot sent by the donor to a joiner.
     StateXfer {
@@ -225,11 +230,13 @@ impl Wire for VsyncMsg {
                 group,
                 member,
                 grant,
+                holder,
             } => {
                 out.push(8);
                 group.encode(out);
                 member.encode(out);
                 grant.encode(out);
+                holder.encode(out);
             }
             VsyncMsg::StateXfer { group, view, state } => {
                 out.push(9);
@@ -284,6 +291,7 @@ impl Wire for VsyncMsg {
                 group: GroupId::decode(r)?,
                 member: bool::decode(r)?,
                 grant: bool::decode(r)?,
+                holder: Option::<NodeId>::decode(r)?,
             },
             9 => VsyncMsg::StateXfer {
                 group: GroupId::decode(r)?,
@@ -332,7 +340,9 @@ impl Wire for VsyncMsg {
                     + joiner.encoded_len()
             }
             VsyncMsg::ProbeReq { group, joiner } => group.encoded_len() + joiner.encoded_len(),
-            VsyncMsg::ProbeResp { group, .. } => group.encoded_len() + 2,
+            VsyncMsg::ProbeResp { group, holder, .. } => {
+                group.encoded_len() + 2 + holder.encoded_len()
+            }
             VsyncMsg::StateXfer { group, view, state } => {
                 group.encoded_len() + view.encoded_len() + paso_wire::bytes_len(state)
             }
@@ -483,6 +493,7 @@ mod tests {
                 group: g,
                 member: false,
                 grant: true,
+                holder: None,
             },
             VsyncMsg::JoinReq {
                 group: g,
@@ -557,6 +568,7 @@ mod tests {
                 group: g,
                 member: true,
                 grant: false,
+                holder: Some(NodeId(1)),
             }),
             NetMsg::Vsync(VsyncMsg::StateXfer {
                 group: g,

@@ -116,6 +116,10 @@ struct GroupState {
     probe_grants: BTreeSet<NodeId>,
     /// Responder side: formation grant handed out `(joiner, expires_µs)`.
     form_grant: Option<(NodeId, u64)>,
+    /// A probe denial revealed a smaller-id prober holding grants: skip
+    /// the next re-probe (pause past the grant window) so our own split
+    /// claims lapse and the priority prober can reach unanimity.
+    probe_backoff: bool,
     pending_state: Option<Vec<u8>>,
     /// Fan-outs buffered while awaiting the join snapshot.
     buffer: Vec<(NodeId, ReqId, Frame)>,
@@ -398,6 +402,7 @@ fn start_join<O>(core: &mut Core, ctx: &mut Context<'_, NetMsg, O>, group: Group
     gs.joining = true;
     gs.probing = false;
     gs.probe_grants.clear();
+    gs.probe_backoff = false;
     // Find a live member to ask; never ask ourselves (a joiner is by
     // definition not a member).
     let candidate = {
@@ -968,11 +973,15 @@ impl<A: GroupApp> VsyncNode<A> {
                 let window = 4 * self.core.cfg.retry_timeout.as_micros();
                 let gs = self.core.group(group);
                 let member = gs.member;
+                let mut holder = None;
                 let grant = if member {
                     false
                 } else {
                     match gs.form_grant {
-                        Some((holder, exp)) if exp > now && holder != joiner => false,
+                        Some((h, exp)) if exp > now && h != joiner => {
+                            holder = Some(h);
+                            false
+                        }
                         _ => {
                             gs.form_grant = Some((joiner, now + window));
                             true
@@ -985,6 +994,7 @@ impl<A: GroupApp> VsyncNode<A> {
                         group,
                         member,
                         grant,
+                        holder,
                     }),
                 );
             }
@@ -992,6 +1002,7 @@ impl<A: GroupApp> VsyncNode<A> {
                 group,
                 member,
                 grant,
+                holder,
             } => {
                 let up = self.core.up.clone();
                 let gs = self.core.group(group);
@@ -1010,6 +1021,13 @@ impl<A: GroupApp> VsyncNode<A> {
                 }
                 if grant {
                     gs.probe_grants.insert(from);
+                } else if holder.is_some_and(|h| h < id) {
+                    // A concurrent prober with priority (smaller id)
+                    // holds this responder's grant. If we keep re-probing
+                    // every retry period we refresh our own grants at the
+                    // other responders and neither of us ever collects a
+                    // unanimous window — back off instead (see RetryJoin).
+                    gs.probe_backoff = true;
                 }
                 let unanimous = up
                     .iter()
@@ -1025,6 +1043,7 @@ impl<A: GroupApp> VsyncNode<A> {
                     gs.joining = false;
                     gs.probing = false;
                     gs.probe_grants.clear();
+                    gs.probe_backoff = false;
                     let mut ops = Ops {
                         core: &mut self.core,
                         ctx,
@@ -1204,9 +1223,24 @@ impl<A: GroupApp> VsyncNode<A> {
             TimerPurpose::RetryJoin(group) => {
                 let gs = self.core.group(group);
                 if gs.joining && !gs.member {
-                    gs.joining = false; // start_join re-sets it
-                    gs.probing = false;
-                    start_join(&mut self.core, ctx, group);
+                    if gs.probe_backoff {
+                        // Yield the formation race: stop re-probing for
+                        // longer than the grant window (4× retry), so the
+                        // grants we hold expire and the smaller-id prober
+                        // can collect a unanimous set. Then probe again —
+                        // by then it is a member we can join (or it died
+                        // and the race restarts from clean windows).
+                        gs.probe_backoff = false;
+                        gs.probing = false;
+                        let pause =
+                            SimTime::from_micros(5 * self.core.cfg.retry_timeout.as_micros());
+                        self.core
+                            .arm_timer(ctx, pause, TimerPurpose::RetryJoin(group));
+                    } else {
+                        gs.joining = false; // start_join re-sets it
+                        gs.probing = false;
+                        start_join(&mut self.core, ctx, group);
+                    }
                 } else if gs.member && gs.awaiting_state {
                     // View installed but the snapshot got lost (donor
                     // crashed mid-transfer): ask the current leader again.

@@ -240,3 +240,38 @@ fn gcasts_from_stable_nodes_always_complete() {
         "every gcast from the stable node must terminate"
     );
 }
+
+#[test]
+fn simultaneous_rejoin_after_total_group_death_reforms() {
+    // Both members of G crash (> λ — data loss is expected and fine),
+    // then BOTH recover at the same instant. Each rejoiner probes the
+    // ensemble for a live member; with none, formation grants can split
+    // across responders (some grant joiner 0, some joiner 1). The group
+    // must still re-form: split claims have to expire so one prober
+    // eventually collects a unanimous window.
+    for seed in 0..16u64 {
+        let cfg = VsyncConfig {
+            initial_groups: vec![(G, vec![NodeId(0), NodeId(1)])],
+            ..VsyncConfig::default()
+        };
+        let mut ecfg = EngineConfig::for_tests(5);
+        ecfg.seed = seed;
+        let mut e = Engine::new(ecfg, move |id| {
+            VsyncNode::new(id, cfg.clone(), LogApp::default())
+        });
+        e.run_until(e.now() + SimTime::from_millis(20));
+        e.crash_now(NodeId(0));
+        e.crash_now(NodeId(1));
+        e.run_until(e.now() + SimTime::from_millis(20));
+        e.repair_now(NodeId(0));
+        e.repair_now(NodeId(1));
+        e.run_to_quiescence(3_000_000);
+        let members: Vec<u32> = (0..5u32)
+            .filter(|m| e.actor(NodeId(*m)).is_member_of(G))
+            .collect();
+        assert!(
+            !members.is_empty(),
+            "seed {seed}: group never re-formed after simultaneous rejoin"
+        );
+    }
+}

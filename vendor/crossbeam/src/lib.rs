@@ -131,6 +131,81 @@ pub mod channel {
         )
     }
 
+    /// Error returned by [`BoundedSender::try_send`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is at capacity; the value is handed back.
+        Full(T),
+        /// Every receiver is gone; the value is handed back.
+        Disconnected(T),
+    }
+
+    impl<T> TrySendError<T> {
+        /// Recovers the value that failed to send.
+        pub fn into_inner(self) -> T {
+            match self {
+                TrySendError::Full(v) | TrySendError::Disconnected(v) => v,
+            }
+        }
+
+        /// True iff the channel was full (as opposed to disconnected).
+        pub fn is_full(&self) -> bool {
+            matches!(self, TrySendError::Full(_))
+        }
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("sending on a full channel"),
+                TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+            }
+        }
+    }
+
+    /// The sending half of a bounded channel; cloneable and `Sync`.
+    #[derive(Debug)]
+    pub struct BoundedSender<T> {
+        inner: mpsc::SyncSender<T>,
+    }
+
+    impl<T> Clone for BoundedSender<T> {
+        fn clone(&self) -> Self {
+            BoundedSender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> BoundedSender<T> {
+        /// Non-blocking enqueue: fails with [`TrySendError::Full`] when the
+        /// queue is at capacity instead of waiting for space.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            self.inner.try_send(value).map_err(|e| match e {
+                mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+                mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+            })
+        }
+
+        /// Blocking enqueue, failing only if every receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    /// Creates a bounded channel holding at most `cap` queued values.
+    pub fn bounded<T>(cap: usize) -> (BoundedSender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (
+            BoundedSender { inner: tx },
+            Receiver {
+                inner: Mutex::new(rx),
+            },
+        )
+    }
+
     #[cfg(test)]
     mod tests {
         use super::*;
@@ -172,6 +247,32 @@ pub mod channel {
             let (tx, rx) = unbounded::<u8>();
             drop(rx);
             assert_eq!(tx.send(3), Err(SendError(3)));
+        }
+
+        #[test]
+        fn bounded_try_send_reports_full_and_hands_value_back() {
+            let (tx, rx) = bounded::<u8>(2);
+            tx.try_send(1).unwrap();
+            tx.try_send(2).unwrap();
+            assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+            assert!(tx.try_send(3).unwrap_err().is_full());
+            assert_eq!(rx.recv().unwrap(), 1);
+            tx.try_send(3).unwrap();
+            assert_eq!(rx.recv().unwrap(), 2);
+            assert_eq!(rx.recv().unwrap(), 3);
+        }
+
+        #[test]
+        fn bounded_detects_disconnect() {
+            let (tx, rx) = bounded::<u8>(1);
+            drop(rx);
+            assert_eq!(tx.try_send(9), Err(TrySendError::Disconnected(9)));
+            let (tx, rx) = bounded::<u8>(1);
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(1)),
+                Err(RecvTimeoutError::Disconnected)
+            );
         }
     }
 }
