@@ -89,6 +89,11 @@ impl RunLog {
         self.ops.values()
     }
 
+    /// Looks up one operation's record.
+    pub fn get(&self, op_id: u64) -> Option<&OpRecord> {
+        self.ops.get(&op_id)
+    }
+
     /// Number of recorded operations.
     pub fn len(&self) -> usize {
         self.ops.len()

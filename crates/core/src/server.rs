@@ -984,6 +984,11 @@ impl GroupApp for MemoryServer {
     }
 
     fn on_view(&mut self, vs: &mut dyn VsyncOps<ClientDone>, group: GroupId, view: &View) {
+        vs.trace(paso_telemetry::TraceKind::ViewChange {
+            group: group.0,
+            view: view.id().0,
+            members: view.members().count() as u32,
+        });
         let (class, kind) = group_class(group);
         if kind != GroupKind::Write {
             return;

@@ -11,6 +11,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use paso_simnet::{Engine, EngineConfig, FaultScript, MachineStatus, NodeId, SimTime, Stats};
+use paso_telemetry::{ObjRef, OpKind, Outcome, Telemetry, TraceBuf, TraceEvent, TraceKind};
 use paso_types::{ClassId, Classifier, ObjectId, PasoObject, ProcessId, SearchCriterion, Value};
 use paso_vsync::{VsyncConfig, VsyncNode};
 
@@ -43,6 +44,31 @@ pub struct SystemReport {
     pub up: Vec<u32>,
     /// Does the §4.1 fault-tolerance condition hold?
     pub fault_tolerance_ok: bool,
+}
+
+/// Maps a native object id onto the telemetry trace's driver-neutral pair.
+pub fn obj_ref(id: ObjectId) -> ObjRef {
+    ObjRef {
+        origin: id.creator.0,
+        seq: id.seq,
+    }
+}
+
+fn op_kind(op: &ClientOp) -> OpKind {
+    match op {
+        ClientOp::Insert { .. } => OpKind::Insert,
+        ClientOp::Read { .. } => OpKind::Read,
+        ClientOp::ReadDel { .. } => OpKind::ReadDel,
+    }
+}
+
+fn outcome_of(result: &ClientResult) -> Outcome {
+    match result {
+        ClientResult::Inserted => Outcome::Inserted,
+        ClientResult::Found(o) => Outcome::Found(obj_ref(o.id())),
+        ClientResult::Fail => Outcome::Fail,
+        ClientResult::TimedOut | ClientResult::Unavailable => Outcome::Error,
+    }
 }
 
 impl std::fmt::Display for SystemReport {
@@ -171,6 +197,23 @@ impl SimSystem {
         &self.log
     }
 
+    /// The unified metrics registry (same metric names as the live
+    /// runtime's `Cluster::telemetry()`).
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        self.engine.telemetry()
+    }
+
+    /// The structured trace stream, stamped with sim-time micros.
+    pub fn trace_buf(&self) -> &Arc<TraceBuf> {
+        self.engine.trace_buf()
+    }
+
+    /// Copy of the recorded trace events — feed to
+    /// [`paso_telemetry::check_trace`] for an A1–A3 verdict.
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.engine.trace_buf().events()
+    }
+
     /// The memory server on `node` (for state assertions).
     pub fn server(&self, node: u32) -> &MemoryServer {
         self.engine.actor(NodeId(node)).app()
@@ -195,6 +238,21 @@ impl SimSystem {
         self.next_op += 1;
         self.log
             .issued(op_id, NodeId(node), op.clone(), self.engine.now());
+        let (ctr, obj) = match &op {
+            ClientOp::Insert { object } => ("client.op.insert", Some(obj_ref(object.id()))),
+            ClientOp::Read { .. } => ("client.op.read", None),
+            ClientOp::ReadDel { .. } => ("client.op.readdel", None),
+        };
+        self.engine.telemetry().count(ctr, 1.0);
+        self.engine.trace_buf().record(
+            self.engine.now().as_micros(),
+            node,
+            TraceKind::OpBegin {
+                op_id,
+                op: op_kind(&op),
+                obj,
+            },
+        );
         let req = ClientRequest { op_id, op };
         self.engine.inject(
             self.engine.now(),
@@ -225,6 +283,25 @@ impl SimSystem {
 
     fn pump(&mut self) {
         for (time, _node, ClientDone { op_id, result }) in self.engine.take_outputs() {
+            if let Some(rec) = self.log.get(op_id) {
+                let kind = op_kind(&rec.op);
+                let lat = time.saturating_since(rec.issued).as_micros();
+                let hist = match kind {
+                    OpKind::Insert => "op.insert.latency_micros",
+                    OpKind::Read => "op.read.latency_micros",
+                    OpKind::ReadDel => "op.readdel.latency_micros",
+                };
+                self.engine.telemetry().record(hist, lat);
+                self.engine.trace_buf().record(
+                    time.as_micros(),
+                    rec.node.0,
+                    TraceKind::OpEnd {
+                        op_id,
+                        op: kind,
+                        outcome: outcome_of(&result),
+                    },
+                );
+            }
             self.log.returned(op_id, result.clone(), time);
             self.done.insert(op_id, result);
         }
@@ -260,10 +337,20 @@ impl SimSystem {
     ///
     /// Panics if the operation does not complete (protocol bug).
     pub fn insert(&mut self, node: u32, fields: Vec<Value>) -> ObjectId {
+        let cost0 = self.engine.stats().total_msg_cost;
         let (op, id) = self.issue_insert(node, fields);
         let r = self.wait(op, 1_000_000).expect("insert must complete");
         assert!(matches!(r, ClientResult::Inserted), "insert failed: {r:?}");
+        self.record_op_cost("op.insert.msg_cost", cost0);
         id
+    }
+
+    /// Attributes the marginal bus cost since `cost0` to one synchronous
+    /// operation (the Figure 1 per-primitive measurement: ops are
+    /// serialized, so the delta is exactly this op's expansion).
+    fn record_op_cost(&mut self, hist: &'static str, cost0: f64) {
+        let delta = self.engine.stats().total_msg_cost - cost0;
+        self.engine.telemetry().record(hist, delta.round() as u64);
     }
 
     /// Synchronous non-blocking `read`.
@@ -272,8 +359,10 @@ impl SimSystem {
     ///
     /// Panics if the operation does not complete.
     pub fn read(&mut self, node: u32, sc: SearchCriterion) -> Option<PasoObject> {
+        let cost0 = self.engine.stats().total_msg_cost;
         let op = self.issue_read(node, sc, false);
         let r = self.wait(op, 1_000_000).expect("read must complete");
+        self.record_op_cost("op.read.msg_cost", cost0);
         match r {
             ClientResult::Found(o) => Some(o),
             _ => None,
@@ -286,8 +375,10 @@ impl SimSystem {
     ///
     /// Panics if the operation does not complete.
     pub fn read_del(&mut self, node: u32, sc: SearchCriterion) -> Option<PasoObject> {
+        let cost0 = self.engine.stats().total_msg_cost;
         let op = self.issue_read_del(node, sc, false);
         let r = self.wait(op, 1_000_000).expect("read&del must complete");
+        self.record_op_cost("op.readdel.msg_cost", cost0);
         match r {
             ClientResult::Found(o) => Some(o),
             _ => None,

@@ -81,6 +81,14 @@ fn main() {
                 cluster.bytes_sent(),
                 cluster.total_work()
             ),
+            Command::Telemetry { json } => {
+                let snap = cluster.telemetry().snapshot();
+                if json {
+                    println!("{}", snap.dump_json());
+                } else {
+                    print!("{}", snap.dump_text());
+                }
+            }
             Command::Help => println!("{HELP}"),
             Command::Quit => break,
         }

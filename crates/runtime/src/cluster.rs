@@ -16,6 +16,7 @@ use paso_core::{
     ClientResult, MemoryServer, PasoConfig,
 };
 use paso_simnet::{Fault, FaultPlan, FaultScript, NodeId};
+use paso_telemetry::{ObjRef, OpKind, Outcome, Telemetry, TraceBuf, TraceEvent, TraceKind};
 use paso_types::{ClassId, ObjectId, PasoObject, ProcessId, SearchCriterion, Value};
 use paso_vsync::{NetMsg, VsyncConfig, VsyncNode};
 
@@ -94,6 +95,10 @@ pub struct Cluster {
     retry_budget: u32,
     client_retries: AtomicU64,
     results_evicted: AtomicU64,
+    telemetry: Arc<Telemetry>,
+    trace: Arc<TraceBuf>,
+    /// Monotonic zero for every trace timestamp this cluster records.
+    epoch: Instant,
 }
 
 /// Cluster-wide counters: the node-side totals plus the transport's
@@ -119,6 +124,30 @@ pub struct ClusterStats {
     pub client_retries: u64,
     /// Unclaimed client results evicted from the done map.
     pub results_evicted: u64,
+}
+
+fn obj_ref(id: ObjectId) -> ObjRef {
+    ObjRef {
+        origin: id.creator.0,
+        seq: id.seq,
+    }
+}
+
+fn op_kind(op: &ClientOp) -> OpKind {
+    match op {
+        ClientOp::Insert { .. } => OpKind::Insert,
+        ClientOp::Read { .. } => OpKind::Read,
+        ClientOp::ReadDel { .. } => OpKind::ReadDel,
+    }
+}
+
+fn outcome_of(result: &Result<ClientResult, ClusterError>) -> Outcome {
+    match result {
+        Ok(ClientResult::Inserted) => Outcome::Inserted,
+        Ok(ClientResult::Found(o)) => Outcome::Found(obj_ref(o.id())),
+        Ok(ClientResult::Fail) => Outcome::Fail,
+        Ok(ClientResult::TimedOut) | Ok(ClientResult::Unavailable) | Err(_) => Outcome::Error,
+    }
 }
 
 impl fmt::Debug for Cluster {
@@ -179,6 +208,10 @@ impl Cluster {
             }
         };
         postman.set_fault_plan(plan);
+        let telemetry = Arc::new(Telemetry::new());
+        let trace = Arc::new(TraceBuf::new());
+        let epoch = Instant::now();
+        postman.set_trace_sink(Arc::clone(&trace), epoch);
         let (out_tx, out_rx) = unbounded();
         let mut handles = Vec::with_capacity(n);
         let mut stats = Vec::with_capacity(n);
@@ -191,6 +224,8 @@ impl Cluster {
             let out_tx = out_tx.clone();
             let st = Arc::new(NodeStats::default());
             stats.push(Arc::clone(&st));
+            let tel = Arc::clone(&telemetry);
+            let tr = Arc::clone(&trace);
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("paso-node-{i}"))
@@ -202,7 +237,9 @@ impl Cluster {
                                 MemoryServer::new(id, Arc::clone(&cfg), basic.clone()),
                             )
                         };
-                        run_node(node, n, factory, mailbox, postman, out_tx, st);
+                        run_node(
+                            node, n, factory, mailbox, postman, out_tx, st, tel, tr, epoch,
+                        );
                     })
                     .expect("spawn node thread"),
             );
@@ -221,6 +258,9 @@ impl Cluster {
             retry_budget: cfg.client_retry_budget,
             client_retries: AtomicU64::new(0),
             results_evicted: AtomicU64::new(0),
+            telemetry,
+            trace,
+            epoch,
         }
     }
 
@@ -272,6 +312,43 @@ impl Cluster {
             client_retries: self.client_retries.load(Ordering::SeqCst),
             results_evicted: self.results_evicted.load(Ordering::SeqCst),
         }
+    }
+
+    /// The unified metrics registry. Node threads and the client API
+    /// write into it continuously; transport-side totals (which live in
+    /// `NetStats` atomics, not the registry) are synced in here on every
+    /// call so a snapshot always carries the full picture under the same
+    /// metric names the simnet engine uses.
+    pub fn telemetry(&self) -> Arc<Telemetry> {
+        let net = self.postman.net_stats();
+        self.telemetry
+            .counter("net.bytes_sent")
+            .set(net.bytes_sent as f64);
+        self.telemetry
+            .counter("net.msgs_delivered")
+            .set(net.msgs_delivered as f64);
+        self.telemetry
+            .counter("net.msgs_dropped")
+            .set(net.msgs_dropped as f64);
+        self.telemetry
+            .counter("net.msgs_faulted")
+            .set(net.msgs_faulted as f64);
+        self.telemetry
+            .counter("net.msgs_delayed")
+            .set(net.msgs_delayed as f64);
+        Arc::clone(&self.telemetry)
+    }
+
+    /// The structured trace stream (op begin/end, view changes, gcast
+    /// fan-outs, fault injections), timestamped in micros since cluster
+    /// start.
+    pub fn trace_buf(&self) -> Arc<TraceBuf> {
+        Arc::clone(&self.trace)
+    }
+
+    /// Snapshot of all trace events recorded so far, in arrival order.
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.trace.events()
     }
 
     /// Installs (replaces) the transport's fault-injection plan.
@@ -344,7 +421,54 @@ impl Cluster {
         } else {
             0
         };
-        let req = ClientRequest { op_id, op };
+        // Issue-time accounting: one count per op regardless of retries,
+        // so op-level totals are directly comparable with a simnet run of
+        // the same workload.
+        let kind = op_kind(&op);
+        let (ctr, obj) = match &op {
+            ClientOp::Insert { object } => ("client.op.insert", Some(obj_ref(object.id()))),
+            ClientOp::Read { .. } => ("client.op.read", None),
+            ClientOp::ReadDel { .. } => ("client.op.readdel", None),
+        };
+        self.telemetry.count(ctr, 1.0);
+        let issued_micros = self.epoch.elapsed().as_micros() as u64;
+        let issued = Instant::now();
+        self.trace.record(
+            issued_micros,
+            node,
+            TraceKind::OpBegin {
+                op_id,
+                op: kind,
+                obj,
+            },
+        );
+        let result = self.run_op_inner(node, op_id, budget, ClientRequest { op_id, op });
+        let lat = issued.elapsed().as_micros() as u64;
+        let hist = match kind {
+            OpKind::Insert => "op.insert.latency_micros",
+            OpKind::Read => "op.read.latency_micros",
+            OpKind::ReadDel => "op.readdel.latency_micros",
+        };
+        self.telemetry.record(hist, lat);
+        self.trace.record(
+            self.epoch.elapsed().as_micros() as u64,
+            node,
+            TraceKind::OpEnd {
+                op_id,
+                op: kind,
+                outcome: outcome_of(&result),
+            },
+        );
+        result
+    }
+
+    fn run_op_inner(
+        &self,
+        node: u32,
+        op_id: u64,
+        budget: u32,
+        req: ClientRequest,
+    ) -> Result<ClientResult, ClusterError> {
         self.send_request(node, &req);
         // Slice the overall deadline across the attempts so retries make
         // the op *more* likely to land within the same client patience,
@@ -362,6 +486,7 @@ impl Cluster {
                         continue;
                     }
                     self.client_retries.fetch_add(1, Ordering::SeqCst);
+                    self.telemetry.count("client.retries", 1.0);
                     self.send_request(node, &req);
                 }
                 other => return other,
@@ -406,6 +531,8 @@ impl Cluster {
         if evicted > 0 {
             self.results_evicted
                 .fetch_add(evicted as u64, Ordering::SeqCst);
+            self.telemetry
+                .count("client.results_evicted", evicted as f64);
         }
         done.insert(op_id, (now, result));
     }
@@ -494,6 +621,12 @@ impl Cluster {
     pub fn crash(&self, node: u32) {
         let target = NodeId(node);
         self.down.lock().insert(target);
+        self.telemetry.count("fault.crashes", 1.0);
+        self.trace.record(
+            self.epoch.elapsed().as_micros() as u64,
+            node,
+            TraceKind::Crash,
+        );
         self.postman.send(target, Envelope::Crash);
         for i in 0..self.n as u32 {
             if i != node {
@@ -507,6 +640,12 @@ impl Cluster {
     pub fn recover(&self, node: u32) {
         let target = NodeId(node);
         self.down.lock().remove(&target);
+        self.telemetry.count("fault.recoveries", 1.0);
+        self.trace.record(
+            self.epoch.elapsed().as_micros() as u64,
+            node,
+            TraceKind::Recover,
+        );
         self.postman.send(target, Envelope::Recover);
         let down = self.down.lock().clone();
         for d in down {

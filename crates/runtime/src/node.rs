@@ -15,7 +15,8 @@ use crossbeam::channel::Sender;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use paso_simnet::{drive_actor, Action, Actor, NodeEvent, NodeId, SimTime};
+use paso_simnet::{drive_actor, Action, Actor, NodeEvent, NodeId, SimTime, WireSized};
+use paso_telemetry::{Telemetry, TraceBuf};
 use paso_vsync::NetMsg;
 
 use crate::transport::{Envelope, Mailbox, Postman};
@@ -33,7 +34,11 @@ pub struct NodeStats {
 
 /// Runs a node until [`Envelope::Shutdown`]. `factory` builds the fresh
 /// actor at start and after every crash.
-#[allow(clippy::collapsible_match, clippy::collapsible_else_if)]
+#[allow(
+    clippy::collapsible_match,
+    clippy::collapsible_else_if,
+    clippy::too_many_arguments
+)]
 pub(crate) fn run_node<A, F>(
     node: NodeId,
     n: usize,
@@ -42,6 +47,9 @@ pub(crate) fn run_node<A, F>(
     postman: Arc<dyn Postman>,
     outputs: Sender<(NodeId, A::Output)>,
     stats: Arc<NodeStats>,
+    telemetry: Arc<Telemetry>,
+    trace: Arc<TraceBuf>,
+    epoch: Instant,
 ) where
     A: Actor<Msg = NetMsg>,
     A::Output: Send + 'static,
@@ -49,6 +57,11 @@ pub(crate) fn run_node<A, F>(
 {
     let start = Instant::now();
     let now = || SimTime::from_micros(start.elapsed().as_micros() as u64);
+    // Hot-path registry handles, resolved once (same names the simnet
+    // engine uses, so both drivers report through one schema).
+    let tel_msgs = telemetry.counter("net.msgs_sent");
+    let tel_work = telemetry.counter("work.total");
+    let tel_msg_bytes = telemetry.histogram("net.msg_bytes");
     let mut rng = ChaCha8Rng::seed_from_u64(node.0 as u64 + 1);
     let mut actor = factory(node);
     let mut down = false;
@@ -64,12 +77,19 @@ pub(crate) fn run_node<A, F>(
                 match action {
                     Action::Send { to, msg } => {
                         stats.msgs_sent.fetch_add(1, Ordering::Relaxed);
+                        tel_msgs.add(1.0);
+                        tel_msg_bytes.record(msg.wire_size() as u64);
                         postman.send(to, Envelope::Net { from: node, msg });
                     }
                     Action::SendMany { to, msg } => {
                         stats
                             .msgs_sent
                             .fetch_add(to.len() as u64, Ordering::Relaxed);
+                        tel_msgs.add(to.len() as f64);
+                        let bytes = msg.wire_size() as u64;
+                        for _ in 0..to.len() {
+                            tel_msg_bytes.record(bytes);
+                        }
                         postman.send_shared(&to, Envelope::Net { from: node, msg });
                     }
                     Action::SendLocal { msg } => local.push_back(msg),
@@ -81,8 +101,12 @@ pub(crate) fn run_node<A, F>(
                     }
                     Action::Work(units) => {
                         stats.work.fetch_add(units, Ordering::Relaxed);
+                        tel_work.add(units as f64);
                     }
-                    Action::Count(_, _) => {}
+                    Action::Count(name, delta) => telemetry.count(name, delta),
+                    Action::Trace(kind) => {
+                        trace.record(epoch.elapsed().as_micros() as u64, node.0, kind);
+                    }
                 }
             }
         }};

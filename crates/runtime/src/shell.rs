@@ -57,6 +57,11 @@ pub enum Command {
     ),
     /// Print cluster statistics.
     Stats,
+    /// Dump the telemetry registry (counters, gauges, histograms).
+    Telemetry {
+        /// Emit JSON instead of the aligned-text table.
+        json: bool,
+    },
     /// Print the help text.
     Help,
     /// Exit the shell.
@@ -249,6 +254,9 @@ pub fn parse_command(line: &str, n: u32) -> Result<Option<Command>, ParseError> 
         "crash" => Command::Crash(parse_node(tokens.get(1), n)?),
         "recover" => Command::Recover(parse_node(tokens.get(1), n)?),
         "stats" => Command::Stats,
+        "telemetry" | "tel" => Command::Telemetry {
+            json: tokens.get(1).is_some_and(|t| t == "json"),
+        },
         "help" | "?" => Command::Help,
         "quit" | "exit" | "q" => Command::Quit,
         other => return err(format!("unknown command {other:?} (try 'help')")),
@@ -264,6 +272,7 @@ commands:
   take   <m> <t>...        read&del by template           (alias: in)
   take!  <m> <t>...        blocking read&del              (alias: in!)
   crash <m> | recover <m>  fault injection
+  telemetry [json]         dump the metrics registry  (alias: tel)
   stats | help | quit
 values:   42  3.14  true  \"text\"  :symbol
 matchers: ?  ?int ?str …  lo..hi  ^prefix  ~substring  or any value";
@@ -373,6 +382,14 @@ mod tests {
             Some(Command::Recover(3))
         );
         assert_eq!(parse_command("stats", 4).unwrap(), Some(Command::Stats));
+        assert_eq!(
+            parse_command("telemetry", 4).unwrap(),
+            Some(Command::Telemetry { json: false })
+        );
+        assert_eq!(
+            parse_command("tel json", 4).unwrap(),
+            Some(Command::Telemetry { json: true })
+        );
         assert_eq!(parse_command("quit", 4).unwrap(), Some(Command::Quit));
         assert_eq!(parse_command("help", 4).unwrap(), Some(Command::Help));
     }

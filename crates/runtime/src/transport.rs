@@ -45,6 +45,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use paso_simnet::{FaultPlan, LinkFate, NodeId};
+use paso_telemetry::{TraceBuf, TraceKind};
 use paso_vsync::NetMsg;
 use paso_wire::{Reader as WireReader, Wire, WireError};
 
@@ -177,6 +178,11 @@ pub trait Postman: Send + Sync {
     /// network envelope. The default transport ignores plans.
     fn set_fault_plan(&self, _plan: FaultPlan) {}
 
+    /// Attaches a trace sink: injected drops/delays become
+    /// `TraceKind::NetDrop`/`NetDelay` events stamped with monotonic
+    /// micros since `epoch`. The default transport records nothing.
+    fn set_trace_sink(&self, _trace: Arc<TraceBuf>, _epoch: Instant) {}
+
     /// Message-path counters. The default reports bytes only.
     fn net_stats(&self) -> NetStats {
         NetStats {
@@ -229,6 +235,35 @@ struct NetCounters {
     faulted: AtomicU64,
     delayed: AtomicU64,
 }
+
+/// Trace sink for fault-injection events on the live transports.
+#[derive(Clone, Debug)]
+struct TraceSink {
+    trace: Arc<TraceBuf>,
+    epoch: Instant,
+}
+
+impl TraceSink {
+    fn dropped(&self, from: NodeId, to: NodeId) {
+        self.trace.record(
+            self.epoch.elapsed().as_micros() as u64,
+            from.0,
+            TraceKind::NetDrop { to: to.0 },
+        );
+    }
+
+    fn delayed(&self, from: NodeId, to: NodeId, micros: u64) {
+        self.trace.record(
+            self.epoch.elapsed().as_micros() as u64,
+            from.0,
+            TraceKind::NetDelay { to: to.0, micros },
+        );
+    }
+}
+
+/// Shared optional sink slot (set once at cluster start, read on the
+/// rarely-taken fault path).
+type SinkSlot = Mutex<Option<TraceSink>>;
 
 impl NetCounters {
     fn snapshot(&self) -> NetStats {
@@ -368,6 +403,7 @@ pub struct ChannelTransport {
     counters: Arc<NetCounters>,
     gate: FaultGate,
     delay: DelaySlot<(NodeId, Envelope)>,
+    sink: SinkSlot,
 }
 
 /// Mailbox for [`ChannelTransport`].
@@ -398,6 +434,7 @@ impl ChannelTransport {
                 counters: Arc::new(NetCounters::default()),
                 gate: FaultGate::new(tuning.fault_seed),
                 delay: Mutex::new(None),
+                sink: Mutex::new(None),
             }),
             mailboxes,
         )
@@ -457,10 +494,16 @@ impl Postman for ChannelTransport {
                 LinkFate::Deliver => {}
                 LinkFate::Drop => {
                     self.counters.faulted.fetch_add(1, Ordering::SeqCst);
+                    if let Some(sink) = self.sink.lock().as_ref() {
+                        sink.dropped(*from, to);
+                    }
                     return;
                 }
                 LinkFate::Delay(micros) => {
                     self.counters.delayed.fetch_add(1, Ordering::SeqCst);
+                    if let Some(sink) = self.sink.lock().as_ref() {
+                        sink.delayed(*from, to, micros);
+                    }
                     self.delay_line()
                         .defer(Duration::from_micros(micros), (to, envelope));
                     return;
@@ -476,6 +519,10 @@ impl Postman for ChannelTransport {
 
     fn set_fault_plan(&self, plan: FaultPlan) {
         *self.gate.plan.lock() = plan;
+    }
+
+    fn set_trace_sink(&self, trace: Arc<TraceBuf>, epoch: Instant) {
+        *self.sink.lock() = Some(TraceSink { trace, epoch });
     }
 
     fn net_stats(&self) -> NetStats {
@@ -519,6 +566,7 @@ struct TcpShared {
     shutdown: Arc<AtomicBool>,
     gate: FaultGate,
     delay: DelaySlot<DelayedFrame>,
+    sink: SinkSlot,
 }
 
 /// Bounded frame queues keyed by (sender, receiver) connection identity.
@@ -570,6 +618,7 @@ impl TcpTransport {
                 counters: Arc::new(NetCounters::default()),
                 shutdown: Arc::new(AtomicBool::new(false)),
                 delay: Mutex::new(None),
+                sink: Mutex::new(None),
             }),
         })
     }
@@ -795,9 +844,15 @@ impl TcpTransport {
             LinkFate::Deliver => self.shared.enqueue(from, to, frame),
             LinkFate::Drop => {
                 self.shared.counters.faulted.fetch_add(1, Ordering::SeqCst);
+                if let Some(sink) = self.shared.sink.lock().as_ref() {
+                    sink.dropped(from, to);
+                }
             }
             LinkFate::Delay(micros) => {
                 self.shared.counters.delayed.fetch_add(1, Ordering::SeqCst);
+                if let Some(sink) = self.shared.sink.lock().as_ref() {
+                    sink.delayed(from, to, micros);
+                }
                 self.delay_line()
                     .defer(Duration::from_micros(micros), (from, to, frame));
             }
@@ -850,6 +905,10 @@ impl Postman for TcpTransport {
 
     fn set_fault_plan(&self, plan: FaultPlan) {
         *self.shared.gate.plan.lock() = plan;
+    }
+
+    fn set_trace_sink(&self, trace: Arc<TraceBuf>, epoch: Instant) {
+        *self.shared.sink.lock() = Some(TraceSink { trace, epoch });
     }
 
     fn net_stats(&self) -> NetStats {

@@ -27,6 +27,7 @@ use paso_runtime::{
     TransportKind,
 };
 use paso_simnet::{DelayDist, FaultPlan, NodeId};
+use paso_telemetry::{check_trace, TraceKind};
 use paso_types::{FieldMatcher, ObjectId, PasoObject, ProcessId, SearchCriterion, Template, Value};
 use paso_vsync::NetMsg;
 use paso_wire::Wire;
@@ -389,6 +390,82 @@ fn seeded_soak_churn_under_drops_keeps_acked_inserts() {
     let stats = cluster.stats();
     assert!(stats.msgs_faulted > 0, "drops never fired");
     assert!(stats.msgs_delayed > 0, "delays never fired");
+    cluster.shutdown();
+}
+
+/// Live E9 telemetry twin (the CI axiom-check job): the trace recorded
+/// under the seeded crash storm with message drops must satisfy A1–A3,
+/// and the storm itself must be visible in both the trace stream and the
+/// registry — under the same names the simulator reports.
+#[test]
+fn live_e9_fault_trace_passes_axiom_checker() {
+    let _storm = STORM_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let items: i64 = if soak() { 24 } else { 10 };
+    let cfg = PasoConfig::builder(5, 1).seed(SEED).build();
+    let (members, producer) = item_support(&cfg);
+    let churned = members[0].0;
+    let mut cluster = Cluster::start_faulty(
+        cfg,
+        TransportKind::Channel,
+        FaultPlan::none().drop_all(0.04),
+    );
+    cluster.set_op_timeout(Duration::from_secs(3));
+    let cluster = Arc::new(cluster);
+
+    let storm = {
+        let c = Arc::clone(&cluster);
+        std::thread::spawn(move || {
+            for _ in 0..3 {
+                c.crash(churned);
+                std::thread::sleep(Duration::from_millis(40));
+                c.recover(churned);
+                std::thread::sleep(Duration::from_millis(120));
+            }
+        })
+    };
+    for i in 0..items {
+        insert_until_ok(&cluster, producer, item("e9t", i), Duration::from_secs(30));
+    }
+    storm.join().unwrap();
+
+    // Heal the links, then read and consume what the storm left behind.
+    cluster.set_fault_plan(FaultPlan::none());
+    let mut consumed = 0usize;
+    for i in 0..items {
+        let sc = sc_exact("e9t", i);
+        if read_until_found(&cluster, producer, &sc, Duration::from_secs(20)).is_some()
+            && matches!(cluster.read_del(producer, sc), Ok(Some(_)))
+        {
+            consumed += 1;
+        }
+    }
+    assert!(
+        consumed >= items as usize / 2,
+        "most items consumable after a ≤λ storm (got {consumed}/{items})"
+    );
+
+    let events = cluster.trace_events();
+    let report = check_trace(&events);
+    assert!(
+        report.ok(),
+        "live-E9 trace violates the axioms: {:?}",
+        report.violations
+    );
+    assert!(report.inserts >= items as usize);
+    assert_eq!(report.consumes, consumed, "one trace consume per take");
+
+    // The injected faults are first-class trace events...
+    assert!(events.iter().any(|e| matches!(e.kind, TraceKind::Crash)));
+    assert!(events.iter().any(|e| matches!(e.kind, TraceKind::Recover)));
+    assert!(events
+        .iter()
+        .any(|e| matches!(e.kind, TraceKind::NetDrop { .. })));
+    // ...and registry counters under the simulator's schema.
+    let snap = cluster.telemetry().snapshot();
+    assert_eq!(snap.counter("fault.crashes"), 3.0);
+    assert_eq!(snap.counter("fault.recoveries"), 3.0);
+    assert!(snap.counter("net.msgs_faulted") > 0.0);
+    assert_eq!(snap.counter("client.op.insert"), report.inserts as f64);
     cluster.shutdown();
 }
 

@@ -12,6 +12,7 @@ use std::fmt;
 
 use crate::cost::WireSized;
 use crate::time::SimTime;
+use paso_telemetry::TraceKind;
 use rand_chacha::ChaCha8Rng;
 
 /// Identifier of a machine in the ensemble (an element of the paper's
@@ -132,6 +133,10 @@ pub enum Action<M, O> {
     Work(u64),
     /// Bump a labeled statistics counter.
     Count(&'static str, f64),
+    /// Record a structured trace event. The driver stamps it with the
+    /// current time (sim-time under the engine, monotonic time live) and
+    /// this node's id before appending it to the run's trace stream.
+    Trace(TraceKind),
 }
 
 /// Runs one event through an actor outside the simulator, returning the
@@ -227,6 +232,12 @@ impl<M, O> Context<'_, M, O> {
     /// Bumps a labeled statistics counter.
     pub fn count(&mut self, counter: &'static str, delta: f64) {
         self.actions.push(Action::Count(counter, delta));
+    }
+
+    /// Records a structured trace event (gcast fan-outs, view changes, ...)
+    /// into the run's trace stream.
+    pub fn trace(&mut self, kind: TraceKind) {
+        self.actions.push(Action::Trace(kind));
     }
 
     /// Deterministic per-engine random stream.

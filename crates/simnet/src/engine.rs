@@ -12,12 +12,14 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 use crate::actor::{Action, Actor, Context, NodeEvent, NodeId};
 use crate::cost::{CostModel, WireSized};
 use crate::fault::{Fault, FaultScript};
 use crate::stats::Stats;
 use crate::time::SimTime;
+use paso_telemetry::{Counter, Histogram, Telemetry, TraceBuf, TraceKind};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -204,9 +206,36 @@ pub struct Engine<A: Actor> {
     bus_free_at: SimTime,
     rng: ChaCha8Rng,
     stats: Stats,
+    telemetry: Arc<Telemetry>,
+    tel_hot: TelHot,
+    trace_buf: Arc<TraceBuf>,
     outputs: Vec<(SimTime, NodeId, A::Output)>,
     trace: Trace,
     concurrent_failures: usize,
+}
+
+/// Cached handles for metrics on the per-message hot path, so the engine
+/// never takes the registry's name-table lock while dispatching.
+struct TelHot {
+    msgs_sent: Arc<Counter>,
+    bytes_sent: Arc<Counter>,
+    msg_cost: Arc<Counter>,
+    msgs_dropped: Arc<Counter>,
+    work_total: Arc<Counter>,
+    msg_bytes: Arc<Histogram>,
+}
+
+impl TelHot {
+    fn new(t: &Telemetry) -> Self {
+        TelHot {
+            msgs_sent: t.counter("net.msgs_sent"),
+            bytes_sent: t.counter("net.bytes_sent"),
+            msg_cost: t.counter("net.msg_cost"),
+            msgs_dropped: t.counter("net.msgs_dropped"),
+            work_total: t.counter("work.total"),
+            msg_bytes: t.histogram("net.msg_bytes"),
+        }
+    }
 }
 
 impl<A: Actor> std::fmt::Debug for Engine<A> {
@@ -234,6 +263,8 @@ impl<A: Actor> Engine<A> {
             .collect();
         let rng = ChaCha8Rng::seed_from_u64(config.seed);
         let stats = Stats::new(config.n);
+        let telemetry = Arc::new(Telemetry::new());
+        let tel_hot = TelHot::new(&telemetry);
         let mut engine = Engine {
             nodes,
             factory: Box::new(factory),
@@ -243,6 +274,9 @@ impl<A: Actor> Engine<A> {
             bus_free_at: SimTime::ZERO,
             rng,
             stats,
+            telemetry,
+            tel_hot,
+            trace_buf: Arc::new(TraceBuf::new()),
             outputs: Vec::new(),
             trace: Vec::new(),
             concurrent_failures: 0,
@@ -273,6 +307,19 @@ impl<A: Actor> Engine<A> {
     /// Run statistics so far.
     pub fn stats(&self) -> &Stats {
         &self.stats
+    }
+
+    /// The unified metrics registry mirroring every engine statistic and
+    /// actor counter under the shared metric names (see DESIGN.md §6e).
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
+    }
+
+    /// The structured trace-event stream (op events recorded by the
+    /// harness, gcast/view/fault events recorded in here), stamped with
+    /// sim-time micros.
+    pub fn trace_buf(&self) -> &Arc<TraceBuf> {
+        &self.trace_buf
     }
 
     /// The recorded trace (empty unless `record_trace` was set).
@@ -368,6 +415,10 @@ impl<A: Actor> Engine<A> {
                     self.stats.msgs_sent += 1;
                     self.stats.total_msg_cost += cost;
                     self.stats.total_bytes += bytes as u64;
+                    self.tel_hot.msgs_sent.add(1.0);
+                    self.tel_hot.msg_cost.add(cost);
+                    self.tel_hot.bytes_sent.add(bytes as f64);
+                    self.tel_hot.msg_bytes.record(bytes as u64);
                     self.push(
                         deliver_at,
                         Event::Deliver {
@@ -393,6 +444,10 @@ impl<A: Actor> Engine<A> {
                         self.stats.msgs_sent += 1;
                         self.stats.total_msg_cost += cost;
                         self.stats.total_bytes += bytes as u64;
+                        self.tel_hot.msgs_sent.add(1.0);
+                        self.tel_hot.msg_cost.add(cost);
+                        self.tel_hot.bytes_sent.add(bytes as f64);
+                        self.tel_hot.msg_bytes.record(bytes as u64);
                         self.push(
                             deliver_at,
                             Event::Deliver {
@@ -424,8 +479,15 @@ impl<A: Actor> Engine<A> {
                 Action::Emit(out) => self.outputs.push((self.now, node, out)),
                 Action::Work(units) => {
                     self.stats.work[node.index()] += units;
+                    self.tel_hot.work_total.add(units as f64);
                 }
-                Action::Count(name, delta) => self.stats.bump(name, delta),
+                Action::Count(name, delta) => {
+                    self.stats.bump(name, delta);
+                    self.telemetry.count(name, delta);
+                }
+                Action::Trace(kind) => {
+                    self.trace_buf.record(self.now.as_micros(), node.0, kind);
+                }
             }
         }
     }
@@ -475,6 +537,7 @@ impl<A: Actor> Engine<A> {
                 } else {
                     if via_bus {
                         self.stats.dropped_msgs += 1;
+                        self.tel_hot.msgs_dropped.add(1.0);
                     }
                     if self.config.record_trace {
                         self.trace.push(TraceEntry::Drop { time: self.now, to });
@@ -503,6 +566,9 @@ impl<A: Actor> Engine<A> {
                     .stats
                     .max_concurrent_failures
                     .max(self.concurrent_failures);
+                self.telemetry.count("fault.crashes", 1.0);
+                self.trace_buf
+                    .record(self.now.as_micros(), node.0, TraceKind::Crash);
                 if self.config.record_trace {
                     self.trace.push(TraceEntry::Crash {
                         time: self.now,
@@ -531,6 +597,9 @@ impl<A: Actor> Engine<A> {
                 slot.status = MachineStatus::Up;
                 self.concurrent_failures -= 1;
                 self.stats.recoveries += 1;
+                self.telemetry.count("fault.recoveries", 1.0);
+                self.trace_buf
+                    .record(self.now.as_micros(), node.0, TraceKind::Recover);
                 if self.config.record_trace {
                     self.trace.push(TraceEntry::Recover {
                         time: self.now,

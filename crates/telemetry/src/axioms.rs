@@ -1,0 +1,421 @@
+//! Trace-based A1–A3 axiom checker (§2 of the paper).
+//!
+//! Works over a recorded [`TraceEvent`] stream from *either* driver — the
+//! deterministic simulator or the live runtime — using only op begin/end
+//! events and interval reasoning, so it is sound under true concurrency:
+//!
+//! - **A1 (insert-before-read)** — an object returned by a read/read&del
+//!   must have an insert whose `[begin, end]` window can precede the
+//!   return: a returned object with no insert at all, or whose insert began
+//!   only after the returning op ended, is flagged.
+//! - **A2 (consume exactly once)** — at most one insert per object and at
+//!   most one `read&del` may return (consume) it.
+//! - **A3 (no resurrection)** — once a consuming `read&del` has returned,
+//!   an operation issued strictly later may not return the object.  Reads
+//!   overlapping the consume are legal, exactly as the paper's interval
+//!   semantics allows.
+//!
+//! The checker never flags a legal run: live windows are bounded outward
+//! by begin/end timestamps (`[insert.begin, consume.end]`), mirroring the
+//! simnet-only `paso_core::semantics` checker, but with no dependence on
+//! object payloads so it runs over live-runtime traces too.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::trace::{ObjRef, OpKind, Outcome, TraceEvent, TraceKind};
+
+/// One reconstructed operation interval.
+#[derive(Debug, Clone)]
+struct OpInterval {
+    op_id: u64,
+    op: OpKind,
+    begin: u64,
+    end: u64,
+    outcome: Outcome,
+    inserted_obj: Option<ObjRef>,
+}
+
+/// A violation of axioms A1–A3.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AxiomViolation {
+    /// A1: op returned an object that was never inserted, or whose insert
+    /// began only after the op had already returned.
+    ReadBeforeInsert { op: u64, object: ObjRef },
+    /// A2: the same object was inserted by two different ops.
+    DuplicateInsert { object: ObjRef, ops: (u64, u64) },
+    /// A2: the same object was consumed by two `read&del`s.
+    DoubleConsume { object: ObjRef, ops: (u64, u64) },
+    /// A3: an op issued strictly after the consuming `read&del` returned
+    /// still returned the object.
+    Resurrection {
+        op: u64,
+        object: ObjRef,
+        consumed_by: u64,
+    },
+}
+
+impl fmt::Display for AxiomViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AxiomViolation::ReadBeforeInsert { op, object } => {
+                write!(
+                    f,
+                    "A1: op {op} returned {object:?} before/without its insert"
+                )
+            }
+            AxiomViolation::DuplicateInsert { object, ops } => {
+                write!(f, "A2: {object:?} inserted by ops {} and {}", ops.0, ops.1)
+            }
+            AxiomViolation::DoubleConsume { object, ops } => {
+                write!(f, "A2: {object:?} consumed by ops {} and {}", ops.0, ops.1)
+            }
+            AxiomViolation::Resurrection {
+                op,
+                object,
+                consumed_by,
+            } => write!(
+                f,
+                "A3: op {op} returned {object:?} after op {consumed_by} consumed it"
+            ),
+        }
+    }
+}
+
+/// Summary of an axiom check over one trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AxiomReport {
+    /// Completed operations reconstructed from the trace.
+    pub ops_checked: usize,
+    /// Inserts seen.
+    pub inserts: usize,
+    /// Reads / read&dels that returned an object.
+    pub found: usize,
+    /// Consuming read&dels.
+    pub consumes: usize,
+    /// All discovered violations.
+    pub violations: Vec<AxiomViolation>,
+}
+
+impl AxiomReport {
+    /// Did the trace satisfy A1–A3?
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Checks a recorded trace against axioms A1–A3.
+///
+/// Only `OpBegin`/`OpEnd` events participate; everything else (gcasts,
+/// view changes, faults) is ignored.  Begin/end are paired by `op_id`;
+/// unmatched events (ops still in flight when the trace was captured) are
+/// skipped, mirroring the simnet semantics checker.
+pub fn check_trace(events: &[TraceEvent]) -> AxiomReport {
+    let mut report = AxiomReport::default();
+
+    // Pair up begin/end by op id.
+    let mut begins: BTreeMap<u64, (u64, OpKind, Option<ObjRef>)> = BTreeMap::new();
+    let mut ops: Vec<OpInterval> = Vec::new();
+    for ev in events {
+        match &ev.kind {
+            TraceKind::OpBegin { op_id, op, obj } => {
+                begins.insert(*op_id, (ev.at_micros, *op, *obj));
+            }
+            TraceKind::OpEnd { op_id, op, outcome } => {
+                if let Some((begin, bk, obj)) = begins.remove(op_id) {
+                    debug_assert_eq!(bk, *op, "op {op_id} kind changed between begin and end");
+                    ops.push(OpInterval {
+                        op_id: *op_id,
+                        op: *op,
+                        begin,
+                        end: ev.at_micros,
+                        outcome: *outcome,
+                        inserted_obj: obj,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    report.ops_checked = ops.len();
+
+    // Pass 1: inserts — A2 uniqueness of insertion.
+    struct Life {
+        insert_op: u64,
+        insert_begin: u64,
+        consume: Option<(u64, u64, u64)>, // (op, begin, end)
+    }
+    let mut lives: BTreeMap<ObjRef, Life> = BTreeMap::new();
+    for op in ops.iter().filter(|o| o.op == OpKind::Insert) {
+        report.inserts += 1;
+        let Some(obj) = op.inserted_obj else { continue };
+        if let Some(prev) = lives.get(&obj) {
+            report.violations.push(AxiomViolation::DuplicateInsert {
+                object: obj,
+                ops: (prev.insert_op, op.op_id),
+            });
+        } else {
+            lives.insert(
+                obj,
+                Life {
+                    insert_op: op.op_id,
+                    insert_begin: op.begin,
+                    consume: None,
+                },
+            );
+        }
+    }
+
+    // Pass 2: consuming read&dels — A2 consume-exactly-once.
+    for op in ops.iter().filter(|o| o.op == OpKind::ReadDel) {
+        let Outcome::Found(obj) = op.outcome else {
+            continue;
+        };
+        report.consumes += 1;
+        match lives.get_mut(&obj) {
+            None => report.violations.push(AxiomViolation::ReadBeforeInsert {
+                op: op.op_id,
+                object: obj,
+            }),
+            Some(life) => {
+                if let Some((other, _, _)) = life.consume {
+                    report.violations.push(AxiomViolation::DoubleConsume {
+                        object: obj,
+                        ops: (other, op.op_id),
+                    });
+                } else {
+                    life.consume = Some((op.op_id, op.begin, op.end));
+                }
+            }
+        }
+    }
+
+    // Pass 3: every returning op against the object's live window
+    // [insert.begin, consume.end] — A1 on the left edge, A3 on the right.
+    for op in &ops {
+        let Outcome::Found(obj) = op.outcome else {
+            continue;
+        };
+        report.found += 1;
+        let Some(life) = lives.get(&obj) else {
+            // Read of a never-inserted object; read&dels were already
+            // flagged in pass 2.
+            if op.op != OpKind::ReadDel {
+                report.violations.push(AxiomViolation::ReadBeforeInsert {
+                    op: op.op_id,
+                    object: obj,
+                });
+            }
+            continue;
+        };
+        // A1: the op's return must not precede the insert's begin.
+        if op.end < life.insert_begin {
+            report.violations.push(AxiomViolation::ReadBeforeInsert {
+                op: op.op_id,
+                object: obj,
+            });
+        }
+        // A3: an op issued strictly after the consume returned cannot
+        // still see the object (unless it *is* the consumer).
+        if let Some((consumer, _, consume_end)) = life.consume {
+            if consumer != op.op_id && op.begin > consume_end {
+                report.violations.push(AxiomViolation::Resurrection {
+                    op: op.op_id,
+                    object: obj,
+                    consumed_by: consumer,
+                });
+            }
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at: u64, kind: TraceKind) -> TraceEvent {
+        TraceEvent {
+            at_micros: at,
+            node: 0,
+            kind,
+        }
+    }
+
+    fn obj(seq: u64) -> ObjRef {
+        ObjRef { origin: 1, seq }
+    }
+
+    fn insert(at: (u64, u64), op_id: u64, o: ObjRef) -> [TraceEvent; 2] {
+        [
+            ev(
+                at.0,
+                TraceKind::OpBegin {
+                    op_id,
+                    op: OpKind::Insert,
+                    obj: Some(o),
+                },
+            ),
+            ev(
+                at.1,
+                TraceKind::OpEnd {
+                    op_id,
+                    op: OpKind::Insert,
+                    outcome: Outcome::Inserted,
+                },
+            ),
+        ]
+    }
+
+    fn found(at: (u64, u64), op_id: u64, kind: OpKind, o: ObjRef) -> [TraceEvent; 2] {
+        [
+            ev(
+                at.0,
+                TraceKind::OpBegin {
+                    op_id,
+                    op: kind,
+                    obj: None,
+                },
+            ),
+            ev(
+                at.1,
+                TraceKind::OpEnd {
+                    op_id,
+                    op: kind,
+                    outcome: Outcome::Found(o),
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn legal_insert_read_consume_passes() {
+        let mut t = Vec::new();
+        t.extend(insert((0, 10), 1, obj(1)));
+        t.extend(found((20, 30), 2, OpKind::Read, obj(1)));
+        t.extend(found((40, 50), 3, OpKind::ReadDel, obj(1)));
+        let r = check_trace(&t);
+        assert!(r.ok(), "{:?}", r.violations);
+        assert_eq!(r.inserts, 1);
+        assert_eq!(r.found, 2);
+        assert_eq!(r.consumes, 1);
+    }
+
+    #[test]
+    fn read_overlapping_consume_is_legal() {
+        let mut t = Vec::new();
+        t.extend(insert((0, 10), 1, obj(1)));
+        t.extend(found((20, 40), 2, OpKind::ReadDel, obj(1)));
+        t.extend(found((25, 35), 3, OpKind::Read, obj(1)));
+        assert!(check_trace(&t).ok());
+    }
+
+    #[test]
+    fn double_consume_flagged() {
+        let mut t = Vec::new();
+        t.extend(insert((0, 10), 1, obj(1)));
+        t.extend(found((20, 25), 2, OpKind::ReadDel, obj(1)));
+        t.extend(found((30, 35), 3, OpKind::ReadDel, obj(1)));
+        let r = check_trace(&t);
+        assert_eq!(
+            r.violations,
+            vec![
+                AxiomViolation::DoubleConsume {
+                    object: obj(1),
+                    ops: (2, 3)
+                },
+                AxiomViolation::Resurrection {
+                    op: 3,
+                    object: obj(1),
+                    consumed_by: 2
+                }
+            ]
+        );
+    }
+
+    #[test]
+    fn read_of_dead_object_flagged() {
+        let mut t = Vec::new();
+        t.extend(insert((0, 10), 1, obj(1)));
+        t.extend(found((20, 25), 2, OpKind::ReadDel, obj(1)));
+        t.extend(found((30, 40), 3, OpKind::Read, obj(1)));
+        let r = check_trace(&t);
+        assert_eq!(
+            r.violations,
+            vec![AxiomViolation::Resurrection {
+                op: 3,
+                object: obj(1),
+                consumed_by: 2
+            }]
+        );
+    }
+
+    #[test]
+    fn insert_reordered_after_read_flagged() {
+        let mut t = Vec::new();
+        // Read returns at t=5, but the insert only begins at t=20.
+        t.extend(found((0, 5), 2, OpKind::Read, obj(1)));
+        t.extend(insert((20, 30), 1, obj(1)));
+        let r = check_trace(&t);
+        assert_eq!(
+            r.violations,
+            vec![AxiomViolation::ReadBeforeInsert {
+                op: 2,
+                object: obj(1)
+            }]
+        );
+    }
+
+    #[test]
+    fn read_of_never_inserted_object_flagged() {
+        let t: Vec<_> = found((0, 5), 2, OpKind::Read, obj(9)).into();
+        let r = check_trace(&t);
+        assert_eq!(
+            r.violations,
+            vec![AxiomViolation::ReadBeforeInsert {
+                op: 2,
+                object: obj(9)
+            }]
+        );
+    }
+
+    #[test]
+    fn duplicate_insert_flagged() {
+        let mut t = Vec::new();
+        t.extend(insert((0, 10), 1, obj(1)));
+        t.extend(insert((20, 30), 2, obj(1)));
+        let r = check_trace(&t);
+        assert_eq!(
+            r.violations,
+            vec![AxiomViolation::DuplicateInsert {
+                object: obj(1),
+                ops: (1, 2)
+            }]
+        );
+    }
+
+    #[test]
+    fn in_flight_ops_are_skipped() {
+        let t = vec![ev(
+            0,
+            TraceKind::OpBegin {
+                op_id: 1,
+                op: OpKind::Read,
+                obj: None,
+            },
+        )];
+        let r = check_trace(&t);
+        assert!(r.ok());
+        assert_eq!(r.ops_checked, 0);
+    }
+
+    #[test]
+    fn read_overlapping_insert_is_legal() {
+        // Read returns at t=15, insert began at t=10: windows intersect.
+        let mut t = Vec::new();
+        t.extend(insert((10, 30), 1, obj(1)));
+        t.extend(found((5, 15), 2, OpKind::Read, obj(1)));
+        assert!(check_trace(&t).ok());
+    }
+}

@@ -1,0 +1,154 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of power-of-two buckets.  Bucket `i` (for `i >= 1`) holds samples
+/// in `[2^(i-1), 2^i)`; bucket 0 holds the value 0.  Bucket 63 additionally
+/// absorbs everything `>= 2^62`, so no sample is ever out of range.
+pub const N_BUCKETS: usize = 64;
+
+/// Lock-free fixed-bucket histogram for latencies, message sizes and costs.
+///
+/// All updates are relaxed atomics; a [`HistSnapshot`] taken while writers
+/// are active may be torn across fields (count vs. sum) but every completed
+/// `record` call is eventually visible, and snapshots of quiescent
+/// histograms are exact.  Snapshots merge associatively and commutatively,
+/// which is what lets per-node histograms roll up into cluster totals.
+pub struct Histogram {
+    buckets: [AtomicU64; N_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (64 - v.leading_zeros() as usize).min(N_BUCKETS - 1)
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Plain-data view of a [`Histogram`], mergeable across nodes and threads.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistSnapshot {
+    pub buckets: [u64; N_BUCKETS],
+    pub count: u64,
+    pub sum: u64,
+    /// `u64::MAX` when empty.
+    pub min: u64,
+    pub max: u64,
+}
+
+impl HistSnapshot {
+    pub fn empty() -> Self {
+        HistSnapshot {
+            buckets: [0; N_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b = b.wrapping_add(*o);
+        }
+        self.count = self.count.wrapping_add(other.count);
+        // Wrapping, to match the wrap-on-overflow of `AtomicU64::fetch_add`
+        // in `Histogram::record` — keeps merge exactly associative.
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile from bucket boundaries: returns the upper edge
+    /// of the bucket containing the q-th sample (exact for bucket 0).
+    pub fn approx_quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return if i == 0 { 0 } else { 1u64 << i };
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_all_u64() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), N_BUCKETS - 1);
+    }
+
+    #[test]
+    fn record_and_stats() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 5, 100] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 106);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 100);
+        assert!((s.mean() - 26.5).abs() < 1e-9);
+    }
+}

@@ -160,6 +160,10 @@ pub trait VsyncOps<O> {
     /// Bumps a labeled stats counter.
     fn count(&mut self, counter: &'static str, delta: f64);
 
+    /// Records a structured trace event into the run's trace stream.
+    /// Default no-op so bare test harnesses need not care.
+    fn trace(&mut self, _kind: paso_telemetry::TraceKind) {}
+
     /// Sets an application timer. `tag` must have the top bit clear (the
     /// vsync layer owns tags with the top bit set).
     ///

@@ -329,6 +329,10 @@ impl<O> VsyncOps<O> for Ops<'_, '_, O> {
         self.ctx.count(counter, delta);
     }
 
+    fn trace(&mut self, kind: paso_telemetry::TraceKind) {
+        self.ctx.trace(kind);
+    }
+
     fn set_app_timer(&mut self, delay_micros: u64, tag: u64) {
         assert!(
             tag & VSYNC_TAG_BIT == 0,
@@ -641,6 +645,11 @@ impl<A: GroupApp> VsyncNode<A> {
             .filter(|m| *m != self.core.id)
             .collect();
         if !targets.is_empty() {
+            ctx.trace(paso_telemetry::TraceKind::Gcast {
+                group: group.0,
+                targets: targets.len() as u32,
+                bytes: payload.len() as u64,
+            });
             ctx.send_many(
                 targets,
                 NetMsg::Vsync(VsyncMsg::Gcast {

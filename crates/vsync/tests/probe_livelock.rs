@@ -116,7 +116,7 @@ impl Net {
                 Action::SetTimer { delay, tag } => {
                     self.timers.push((self.now + delay, node, tag));
                 }
-                Action::Emit(_) | Action::Work(_) | Action::Count(..) => {}
+                Action::Emit(_) | Action::Work(_) | Action::Count(..) | Action::Trace(_) => {}
             }
         }
     }

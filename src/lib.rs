@@ -16,6 +16,8 @@
 //!   semantics;
 //! - [`adaptive`] — the Basic and doubling/halving algorithms with exact
 //!   offline optima, the paging problem, and support selection;
+//! - [`telemetry`] — the unified metrics registry, trace-event stream,
+//!   and the §2 axiom checker shared by both drivers;
 //! - [`workload`] — seeded workload and failure-trace generators;
 //! - [`runtime`] — a live threaded cluster (channels or real TCP) running
 //!   the same protocol state machines.
@@ -41,6 +43,7 @@ pub use paso_core as core;
 pub use paso_runtime as runtime;
 pub use paso_simnet as simnet;
 pub use paso_storage as storage;
+pub use paso_telemetry as telemetry;
 pub use paso_types as types;
 pub use paso_vsync as vsync;
 pub use paso_workload as workload;

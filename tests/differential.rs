@@ -103,5 +103,9 @@ proptest! {
         // And of course the run is semantically legal.
         let report = sys.check_semantics();
         prop_assert!(report.ok(), "{:?}", report.violations);
+        // The telemetry trace agrees: every random history passes A1–A3.
+        let axioms = paso::telemetry::check_trace(&sys.trace_events());
+        prop_assert!(axioms.ok(), "{:?}", axioms.violations);
+        prop_assert_eq!(axioms.ops_checked, issued as usize);
     }
 }

@@ -4,6 +4,7 @@
 
 use paso::core::{ClientResult, PasoConfig, SimSystem};
 use paso::simnet::{FaultScript, SimTime};
+use paso::telemetry::check_trace;
 use paso::types::{ClassId, FieldMatcher, SearchCriterion, Template, Value};
 use paso::workload::{ops, OpSpec};
 
@@ -42,6 +43,10 @@ fn bag_of_tasks_script_runs_exactly_once() {
     assert_eq!(dedup.len(), takes.len(), "exactly-once consumption");
     let report = sys.check_semantics();
     assert!(report.ok(), "{:?}", report.violations);
+    // The recorded trace stream independently satisfies A1–A3.
+    let axioms = check_trace(&sys.trace_events());
+    assert!(axioms.ok(), "{:?}", axioms.violations);
+    assert_eq!(axioms.consumes, 24, "every take is a consume in the trace");
 }
 
 #[test]
@@ -98,6 +103,10 @@ fn mixed_script_under_poisson_faults() {
     assert!(completed > 100, "most ops complete despite the fault storm");
     let report = sys.check_semantics();
     assert!(report.ok(), "{:?}", report.violations);
+    // Under the same fault storm, the trace must stay axiom-legal too
+    // (no double-consume or resurrection slipped through a recovery).
+    let axioms = check_trace(&sys.trace_events());
+    assert!(axioms.ok(), "{:?}", axioms.violations);
 }
 
 #[test]

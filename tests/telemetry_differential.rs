@@ -1,0 +1,146 @@
+//! Differential telemetry: one workload, two drivers, one metric schema.
+//!
+//! The same deterministic op script runs on the seeded simulator and on a
+//! live loopback-TCP cluster. Both report through `paso-telemetry`, so
+//! the op-level counter totals (`client.op.*` — counted once at issue,
+//! retries excluded by design) must be *identical*, and both recorded
+//! trace streams must satisfy the §2 axioms A1–A3.
+
+use paso::core::{PasoConfig, SimSystem};
+use paso::runtime::{Cluster, TransportKind};
+use paso::telemetry::{check_trace, Snapshot};
+use paso::types::{SearchCriterion, Template, Value};
+
+const SEED: u64 = 7;
+const N: usize = 4;
+const LAMBDA: usize = 1;
+
+/// The shared workload: (op, value) pairs, issued round-robin across
+/// machines. Values are chosen so every read/take finds something.
+#[derive(Clone, Copy)]
+enum Op {
+    Insert(i64),
+    Read(i64),
+    Take(i64),
+}
+
+fn script() -> Vec<Op> {
+    use Op::*;
+    vec![
+        Insert(1),
+        Insert(2),
+        Insert(3),
+        Read(1),
+        Take(2),
+        Insert(4),
+        Read(3),
+        Take(1),
+        Insert(5),
+        Take(3),
+        Read(4),
+        Take(4),
+        Insert(6),
+        Read(5),
+        Take(5),
+        Take(6),
+    ]
+}
+
+fn sc_eq(v: i64) -> SearchCriterion {
+    SearchCriterion::from(Template::exact(vec![Value::symbol("d"), Value::Int(v)]))
+}
+
+fn fields(v: i64) -> Vec<Value> {
+    vec![Value::symbol("d"), Value::Int(v)]
+}
+
+fn op_totals(snap: &Snapshot) -> (f64, f64, f64) {
+    (
+        snap.counter("client.op.insert"),
+        snap.counter("client.op.read"),
+        snap.counter("client.op.readdel"),
+    )
+}
+
+#[test]
+fn simnet_and_tcp_report_identical_op_totals_and_legal_traces() {
+    // --- Driver 1: the deterministic simulator ---
+    let mut sys = SimSystem::new(PasoConfig::builder(N, LAMBDA).seed(SEED).build());
+    for (i, op) in script().iter().enumerate() {
+        let node = (i % N) as u32;
+        match *op {
+            Op::Insert(v) => {
+                sys.insert(node, fields(v));
+            }
+            Op::Read(v) => {
+                assert!(sys.read(node, sc_eq(v)).is_some(), "sim read({v})");
+            }
+            Op::Take(v) => {
+                assert!(sys.read_del(node, sc_eq(v)).is_some(), "sim take({v})");
+            }
+        }
+    }
+    sys.settle(5_000_000);
+    let sim_snap = sys.telemetry().snapshot();
+    let sim_trace = sys.trace_events();
+
+    // --- Driver 2: live threads over loopback TCP ---
+    let cluster = Cluster::start(
+        PasoConfig::builder(N, LAMBDA).seed(SEED).build(),
+        TransportKind::Tcp,
+    );
+    for (i, op) in script().iter().enumerate() {
+        let node = (i % N) as u32;
+        match *op {
+            Op::Insert(v) => {
+                cluster.insert(node, fields(v)).expect("live insert");
+            }
+            Op::Read(v) => {
+                assert!(
+                    cluster.read(node, sc_eq(v)).expect("live read").is_some(),
+                    "live read({v})"
+                );
+            }
+            Op::Take(v) => {
+                assert!(
+                    cluster
+                        .read_del(node, sc_eq(v))
+                        .expect("live take")
+                        .is_some(),
+                    "live take({v})"
+                );
+            }
+        }
+    }
+    let live_snap = cluster.telemetry().snapshot();
+    let live_trace = cluster.trace_events();
+    cluster.shutdown();
+
+    // Same schema, same totals: the op-level counters agree exactly.
+    let sim = op_totals(&sim_snap);
+    let live = op_totals(&live_snap);
+    assert_eq!(sim, live, "op-level counter totals diverged");
+    let inserts = script()
+        .iter()
+        .filter(|o| matches!(o, Op::Insert(_)))
+        .count() as f64;
+    assert_eq!(sim.0, inserts);
+
+    // Both drivers also count the low-level activity under the same
+    // names (values differ — wall-clock vs virtual time — but the
+    // schema must not).
+    for name in ["net.msgs_sent", "work.total"] {
+        assert!(sim_snap.counter(name) > 0.0, "sim missing {name}");
+        assert!(live_snap.counter(name) > 0.0, "live missing {name}");
+    }
+
+    // And both recorded histories are axiom-legal.
+    let sim_report = check_trace(&sim_trace);
+    assert!(sim_report.ok(), "sim trace: {:?}", sim_report.violations);
+    let live_report = check_trace(&live_trace);
+    assert!(live_report.ok(), "live trace: {:?}", live_report.violations);
+    assert_eq!(
+        sim_report.ops_checked, live_report.ops_checked,
+        "both drivers saw the same completed ops"
+    );
+}
