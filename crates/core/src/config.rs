@@ -136,6 +136,14 @@ pub struct PasoConfig {
     /// Live runtime: ceiling for the exponential dial backoff, in
     /// microseconds.
     pub net_backoff_cap_micros: u64,
+    /// Live runtime: number of reactor poller threads driving every TCP
+    /// socket. This is the whole I/O thread budget regardless of peer
+    /// count — one node driving hundreds of peers still uses only this
+    /// many I/O threads (plus one background dialer).
+    pub net_poller_threads: usize,
+    /// Live runtime: max frames one vectored write may drain from a
+    /// connection's queue in a single `writev`.
+    pub net_max_batch_frames: usize,
     /// Live runtime: how many times the client re-issues a timed-out
     /// *idempotent* operation (same op id; servers dedup) before giving
     /// up. `0` disables retries.
@@ -170,6 +178,8 @@ impl PasoConfig {
                 net_queue_depth: 1024,
                 net_backoff_base_micros: 10_000,
                 net_backoff_cap_micros: 1_000_000,
+                net_poller_threads: 2,
+                net_max_batch_frames: 64,
                 client_retry_budget: 2,
             },
         }
@@ -207,6 +217,12 @@ impl PasoConfig {
         }
         if self.net_backoff_cap_micros < self.net_backoff_base_micros {
             return Err(ConfigError::new("net backoff cap must be ≥ base"));
+        }
+        if self.net_poller_threads == 0 {
+            return Err(ConfigError::new("net poller threads must be positive"));
+        }
+        if self.net_max_batch_frames == 0 {
+            return Err(ConfigError::new("net max batch frames must be positive"));
         }
         Ok(())
     }
@@ -307,6 +323,19 @@ impl PasoConfigBuilder {
     pub fn net_backoff_micros(mut self, base: u64, cap: u64) -> Self {
         self.cfg.net_backoff_base_micros = base;
         self.cfg.net_backoff_cap_micros = cap;
+        self
+    }
+
+    /// Sets the reactor poller-thread count — the live transport's whole
+    /// I/O thread budget (live runtime).
+    pub fn net_poller_threads(mut self, threads: usize) -> Self {
+        self.cfg.net_poller_threads = threads;
+        self
+    }
+
+    /// Sets the max frames per vectored write batch (live runtime).
+    pub fn net_max_batch_frames(mut self, frames: usize) -> Self {
+        self.cfg.net_max_batch_frames = frames;
         self
     }
 
@@ -424,17 +453,29 @@ mod tests {
         let cfg = PasoConfig::builder(4, 1).build();
         assert_eq!(cfg.net_queue_depth, 1024);
         assert_eq!(cfg.client_retry_budget, 2);
+        assert_eq!(cfg.net_poller_threads, 2);
+        assert_eq!(cfg.net_max_batch_frames, 64);
         let cfg = PasoConfig::builder(4, 1)
             .net_queue_depth(64)
             .net_backoff_micros(5_000, 250_000)
+            .net_poller_threads(4)
+            .net_max_batch_frames(128)
             .client_retry_budget(0)
             .build();
         assert_eq!(cfg.net_queue_depth, 64);
         assert_eq!(cfg.net_backoff_base_micros, 5_000);
         assert_eq!(cfg.net_backoff_cap_micros, 250_000);
+        assert_eq!(cfg.net_poller_threads, 4);
+        assert_eq!(cfg.net_max_batch_frames, 128);
         assert_eq!(cfg.client_retry_budget, 0);
         let mut bad = cfg.clone();
         bad.net_queue_depth = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = cfg.clone();
+        bad.net_poller_threads = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = cfg.clone();
+        bad.net_max_batch_frames = 0;
         assert!(bad.validate().is_err());
         let mut bad = cfg;
         bad.net_backoff_cap_micros = 1;

@@ -194,6 +194,8 @@ impl Cluster {
             queue_depth: cfg.net_queue_depth,
             backoff_base: Duration::from_micros(cfg.net_backoff_base_micros),
             backoff_cap: Duration::from_micros(cfg.net_backoff_cap_micros),
+            poller_threads: cfg.net_poller_threads,
+            max_batch_frames: cfg.net_max_batch_frames,
             fault_seed: cfg.seed,
             ..TransportTuning::default()
         };
@@ -212,6 +214,7 @@ impl Cluster {
         let trace = Arc::new(TraceBuf::new());
         let epoch = Instant::now();
         postman.set_trace_sink(Arc::clone(&trace), epoch);
+        postman.set_telemetry(&telemetry);
         let (out_tx, out_rx) = unbounded();
         let mut handles = Vec::with_capacity(n);
         let mut stats = Vec::with_capacity(n);

@@ -22,6 +22,7 @@
 
 mod cluster;
 mod node;
+mod reactor;
 pub mod shell;
 mod transport;
 mod workers;
@@ -29,8 +30,8 @@ mod workers;
 pub use cluster::{Cluster, ClusterError, ClusterStats, TransportKind};
 pub use node::NodeStats;
 pub use transport::{
-    ChannelMailbox, ChannelTransport, Envelope, Mailbox, NetStats, Postman, TcpTransport,
-    TransportTuning,
+    push_frame, ChannelMailbox, ChannelTransport, Envelope, Mailbox, NetStats, Postman,
+    TcpTransport, TransportTuning,
 };
 pub use workers::ClassPool;
 

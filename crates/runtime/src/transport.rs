@@ -10,19 +10,32 @@
 //! [`Envelope`] — the same codec the simulator charges `α + β·|m|` for, so
 //! live bytes-on-the-wire match simulated message sizes.
 //!
+//! ## Event-driven I/O core
+//!
+//! All TCP sockets — listeners, inbound, outbound — are driven by a
+//! fixed pool of poller threads (the [`reactor`](crate::reactor) module:
+//! a thin hand-rolled `poll(2)` loop, no async runtime), so one node
+//! talking to hundreds of peers costs [`TransportTuning::poller_threads`]
+//! I/O threads plus one background dialer instead of threads per
+//! connection. The paper's `α` (per-message overhead) is what this buys
+//! down: sends are a lock-free-ish queue push, writes are vectored
+//! batches of refcounted frames with zero per-send payload copies, reads
+//! are incremental into one reusable buffer per connection.
+//!
 //! ## Failure path and fault injection
 //!
-//! Every `(sender, receiver)` link owns a **connection worker** thread
-//! holding a *bounded* frame queue. The worker dials the peer off the
-//! connection-map lock with capped exponential backoff, so a dead or
+//! Every `(sender, receiver)` link owns a *bounded* frame queue
+//! ([`reactor::OutConn`](crate::reactor)). Dialing happens on the
+//! background dialer with capped exponential backoff, so a dead or
 //! blackholed peer can never head-of-line-block sends to healthy peers;
-//! the send path only ever performs a non-blocking `try_send`. Frames that
+//! the send path only ever performs a non-blocking push. Frames that
 //! don't fit the bounded queue are dropped and **accounted** in
-//! [`NetStats::msgs_dropped`] — nothing is silently swallowed. The worker
-//! coalesces queued frames into one `write` syscall, capped at
-//! [`TransportTuning::max_batch_bytes`] so one slow reader cannot balloon
-//! memory, and `bytes_sent` counts only frames actually handed to a live,
-//! connected writer.
+//! [`NetStats::msgs_dropped`] — nothing is silently swallowed. The
+//! owning poller coalesces queued frames into one `writev` syscall,
+//! capped at [`TransportTuning::max_batch_bytes`] /
+//! [`TransportTuning::max_batch_frames`] so one slow reader cannot
+//! balloon memory, and `bytes_sent` counts only frames fully written to
+//! a live, connected socket.
 //!
 //! Both transports consult a [`FaultPlan`] (shared with `paso-simnet`'s
 //! fault module) on every **network** envelope: per-link drop probability,
@@ -33,21 +46,22 @@
 //! injection is pay-for-what-you-use.
 
 use std::collections::{BinaryHeap, HashMap};
-use std::io::{Read, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::TcpListener;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, unbounded, BoundedSender, Receiver, Sender, TrySendError};
+use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use paso_simnet::{FaultPlan, LinkFate, NodeId};
-use paso_telemetry::{TraceBuf, TraceKind};
+use paso_telemetry::{Telemetry, TraceBuf, TraceKind};
 use paso_vsync::NetMsg;
 use paso_wire::{Reader as WireReader, Wire, WireError};
+
+use crate::reactor::{Frame, HistSlot, NetHists, OutConn, Reactor};
 
 /// An envelope routed between nodes (or from the cluster controller).
 #[derive(Debug, Clone)]
@@ -183,6 +197,13 @@ pub trait Postman: Send + Sync {
     /// micros since `epoch`. The default transport records nothing.
     fn set_trace_sink(&self, _trace: Arc<TraceBuf>, _epoch: Instant) {}
 
+    /// Attaches the unified metrics registry. Transports with internal
+    /// I/O machinery (the TCP reactor) resolve their histogram handles —
+    /// `net.poll.wakeups`, `net.writev.batch_frames`,
+    /// `net.writev.batch_bytes` — from it; the default transport records
+    /// nothing.
+    fn set_telemetry(&self, _telemetry: &Telemetry) {}
+
     /// Message-path counters. The default reports bytes only.
     fn net_stats(&self) -> NetStats {
         NetStats {
@@ -205,6 +226,13 @@ pub struct TransportTuning {
     /// Max bytes one writer batch may coalesce before issuing the write
     /// (a stalled reader can no longer balloon sender memory).
     pub max_batch_bytes: usize,
+    /// Max frames one vectored write may gather from a connection's
+    /// queue (bounds the iovec and the header scratch buffer).
+    pub max_batch_frames: usize,
+    /// Number of reactor poller threads sharing every socket the
+    /// transport owns. This is the whole I/O thread budget regardless of
+    /// peer count (plus one background dialer).
+    pub poller_threads: usize,
     /// Artificial latency added to every dial — emulates a SYN blackhole
     /// (firewalled peer) in tests. Zero in production.
     pub dial_stall: Duration,
@@ -220,18 +248,22 @@ impl Default for TransportTuning {
             backoff_base: Duration::from_millis(10),
             backoff_cap: Duration::from_secs(1),
             max_batch_bytes: 256 << 10,
+            max_batch_frames: 64,
+            poller_threads: 2,
             dial_stall: Duration::ZERO,
             fault_seed: 0,
         }
     }
 }
 
-/// Shared atomic counters behind [`NetStats`].
+/// Shared atomic counters behind [`NetStats`]. The reactor updates
+/// `bytes`/`delivered` as frames fully cross a live socket and `dropped`
+/// on mid-write failures; everything else is the transport's.
 #[derive(Debug, Default)]
-struct NetCounters {
-    bytes: AtomicU64,
-    delivered: AtomicU64,
-    dropped: AtomicU64,
+pub(crate) struct NetCounters {
+    pub(crate) bytes: AtomicU64,
+    pub(crate) delivered: AtomicU64,
+    pub(crate) dropped: AtomicU64,
     faulted: AtomicU64,
     delayed: AtomicU64,
 }
@@ -312,6 +344,7 @@ enum DelayCmd<T> {
 /// instant release in submission order.
 struct DelayLine<T: Send + 'static> {
     tx: Sender<DelayCmd<T>>,
+    handle: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
 
 impl<T: Send + 'static> std::fmt::Debug for DelayLine<T> {
@@ -323,7 +356,7 @@ impl<T: Send + 'static> std::fmt::Debug for DelayLine<T> {
 impl<T: Send + 'static> DelayLine<T> {
     fn start(deliver: impl Fn(T) + Send + 'static) -> Self {
         let (tx, rx) = unbounded::<DelayCmd<T>>();
-        std::thread::spawn(move || {
+        let handle = std::thread::spawn(move || {
             let mut seq = 0u64;
             let mut heap: BinaryHeap<Pending<T>> = BinaryHeap::new();
             loop {
@@ -351,15 +384,23 @@ impl<T: Send + 'static> DelayLine<T> {
                 }
             }
         });
-        DelayLine { tx }
+        DelayLine {
+            tx,
+            handle: Mutex::new(Some(handle)),
+        }
     }
 
     fn defer(&self, delay: Duration, item: T) {
         let _ = self.tx.send(DelayCmd::Item(Instant::now() + delay, item));
     }
 
+    /// Stops and joins the delay thread (pending items are discarded —
+    /// callers only shut down when the whole transport is going away).
     fn shutdown(&self) {
         let _ = self.tx.send(DelayCmd::Shutdown);
+        if let Some(handle) = self.handle.lock().take() {
+            let _ = handle.join();
+        }
     }
 }
 
@@ -531,53 +572,53 @@ impl Postman for ChannelTransport {
 }
 
 /// Frames a connection refuses to accept (corrupt length prefix guard).
-const MAX_FRAME: usize = 64 << 20;
+pub(crate) const MAX_FRAME: usize = 64 << 20;
 
-/// Appends one `[varint length][envelope bytes]` frame to `batch`.
-fn push_frame(batch: &mut Vec<u8>, envelope: &Envelope) {
+/// Appends one `[varint length][envelope bytes]` frame to `batch` — the
+/// exact wire format of the TCP transport. Public so benches and tests
+/// can produce byte-identical frames (e.g. a thread-per-connection
+/// baseline sender in `exp_saturation`).
+pub fn push_frame(batch: &mut Vec<u8>, envelope: &Envelope) {
     paso_wire::put_varint(batch, envelope.encoded_len() as u64);
     envelope.encode(batch);
 }
 
-/// Localhost TCP transport: every node listens on `127.0.0.1:base+i`;
-/// senders keep persistent connections. A reader thread per accepted
-/// connection decodes frames into the node's channel, so the node loop is
-/// identical for both transports.
+/// Localhost TCP transport: every node listens on `127.0.0.1:port_i`;
+/// senders keep persistent connections. All sockets are driven by the
+/// fixed poller pool of the [`reactor`](crate::reactor) — accepts, frame
+/// reads into the node's channel, and vectored zero-copy writes — so the
+/// node loop is identical for both transports and the thread count is
+/// independent of the peer count.
 ///
-/// Outbound frames take a per-connection worker that dials in the
-/// background (capped exponential backoff) and coalesces queued frames
-/// into bounded-size batch writes; see the module docs for the failure
-/// path.
+/// Outbound frames land in a bounded per-link queue; a background dialer
+/// connects (capped exponential backoff) off the send path; see the
+/// module docs for the failure path.
 #[derive(Debug)]
 pub struct TcpTransport {
     shared: Arc<TcpShared>,
 }
 
-/// State shared between the send path, connection workers, and the delay
-/// line. Connection workers deliberately do NOT hold this (they receive
-/// only counters + shutdown flag), so dropping the transport disconnects
-/// their queues and lets them exit.
+/// State shared between the send path, the reactor, and the delay line.
 #[derive(Debug)]
 struct TcpShared {
     ports: Vec<u16>,
     tuning: TransportTuning,
-    conns: Mutex<ConnMap>,
+    /// Outbound connections keyed by (sender, receiver) identity. Frames
+    /// are refcounted so one encoded gcast payload sits in every member's
+    /// queue without being copied per connection.
+    conns: Mutex<HashMap<(NodeId, NodeId), Arc<OutConn>>>,
     counters: Arc<NetCounters>,
     shutdown: Arc<AtomicBool>,
+    reactor: Reactor,
+    hists: Arc<HistSlot>,
     gate: FaultGate,
     delay: DelaySlot<DelayedFrame>,
     sink: SinkSlot,
 }
 
-/// Bounded frame queues keyed by (sender, receiver) connection identity.
-/// Frames are refcounted so one encoded gcast payload can sit in every
-/// member's queue without being copied per connection.
-type ConnMap = HashMap<(NodeId, NodeId), BoundedSender<Arc<[u8]>>>;
-
 impl TcpTransport {
-    /// Binds `n` listeners on consecutive free ports and returns the
-    /// transport plus the mailboxes. Reader threads are detached and exit
-    /// when their peer closes.
+    /// Binds `n` listeners on free ports and returns the transport plus
+    /// the mailboxes. All I/O runs on the reactor's poller pool.
     ///
     /// # Panics
     ///
@@ -593,6 +634,7 @@ impl TcpTransport {
     /// Panics if binding a listener fails.
     pub fn with_tuning(n: usize, tuning: TransportTuning) -> (Arc<Self>, Vec<ChannelMailbox>) {
         let mut ports = Vec::with_capacity(n);
+        let mut listeners = Vec::with_capacity(n);
         let mut mailboxes = Vec::with_capacity(n);
         for _ in 0..n {
             let listener = TcpListener::bind("127.0.0.1:0").expect("bind listener");
@@ -600,27 +642,48 @@ impl TcpTransport {
             ports.push(port);
             let (tx, rx) = unbounded::<Envelope>();
             mailboxes.push(ChannelMailbox { rx });
-            std::thread::spawn(move || accept_loop(listener, tx));
+            listeners.push((listener, tx));
         }
-        (Self::over_ports(ports, tuning), mailboxes)
+        let transport = Self::over_ports(ports, tuning);
+        for (i, (listener, tx)) in listeners.into_iter().enumerate() {
+            transport.shared.reactor.add_listener(i, listener, tx);
+        }
+        (transport, mailboxes)
     }
 
     /// Builds a transport that *sends* toward the given ports without
     /// binding listeners of its own — the harness for dead-peer tests
     /// (a port with no listener dials and backs off forever).
     fn over_ports(ports: Vec<u16>, tuning: TransportTuning) -> Arc<Self> {
+        let counters = Arc::new(NetCounters::default());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let hists = Arc::new(HistSlot::new());
+        let reactor = Reactor::start(
+            tuning.clone(),
+            Arc::clone(&counters),
+            Arc::clone(&hists),
+            Arc::clone(&shutdown),
+        );
         Arc::new(TcpTransport {
             shared: Arc::new(TcpShared {
-                ports,
                 gate: FaultGate::new(tuning.fault_seed),
+                ports,
                 tuning,
                 conns: Mutex::new(HashMap::new()),
-                counters: Arc::new(NetCounters::default()),
-                shutdown: Arc::new(AtomicBool::new(false)),
+                counters,
+                shutdown,
+                reactor,
+                hists,
                 delay: Mutex::new(None),
                 sink: Mutex::new(None),
             }),
         })
+    }
+
+    /// The transport's fixed I/O thread budget: reactor pollers (the
+    /// background dialer rides on top). Independent of peer count.
+    pub fn io_threads(&self) -> usize {
+        self.shared.reactor.pollers()
     }
 }
 
@@ -630,159 +693,17 @@ impl Drop for TcpTransport {
         if let Some(line) = self.shared.delay.lock().take() {
             line.shutdown();
         }
-        // Dropping `conns` (with `shared`) disconnects the workers'
-        // queues; dialing workers notice the flag between backoff naps.
-    }
-}
-
-fn accept_loop(listener: TcpListener, tx: Sender<Envelope>) {
-    for stream in listener.incoming() {
-        let Ok(stream) = stream else { return };
-        let tx = tx.clone();
-        std::thread::spawn(move || read_loop(stream, tx));
-    }
-}
-
-/// Reads one varint, one byte at a time, off the stream.
-fn read_stream_varint(stream: &mut TcpStream) -> std::io::Result<u64> {
-    let mut value = 0u64;
-    let mut shift = 0u32;
-    loop {
-        let mut b = [0u8; 1];
-        stream.read_exact(&mut b)?;
-        let b = b[0];
-        if shift == 63 && b > 1 {
-            return Err(std::io::ErrorKind::InvalidData.into());
-        }
-        value |= u64::from(b & 0x7f) << shift;
-        if b & 0x80 == 0 {
-            return Ok(value);
-        }
-        shift += 7;
-        if shift > 63 {
-            return Err(std::io::ErrorKind::InvalidData.into());
-        }
-    }
-}
-
-fn read_loop(mut stream: TcpStream, tx: Sender<Envelope>) {
-    // One frame buffer for the connection's lifetime: resized per frame,
-    // never reallocated while frames stay within the high-water mark.
-    let mut buf = Vec::new();
-    loop {
-        let len = match read_stream_varint(&mut stream) {
-            Ok(len) => len as usize,
-            Err(_) => return,
-        };
-        if len > MAX_FRAME {
-            return; // insane frame; drop the connection
-        }
-        buf.resize(len, 0);
-        if stream.read_exact(&mut buf).is_err() {
-            return;
-        }
-        match paso_wire::decode_exact::<Envelope>(&buf) {
-            Ok(env) => {
-                if tx.send(env).is_err() {
-                    return;
-                }
-            }
-            Err(_) => return,
-        }
-    }
-}
-
-/// Sleeps `total` in small slices, returning early (false) if the
-/// transport shut down meanwhile.
-fn nap(total: Duration, shutdown: &AtomicBool) -> bool {
-    let mut left = total;
-    while !left.is_zero() {
-        if shutdown.load(Ordering::SeqCst) {
-            return false;
-        }
-        let slice = left.min(Duration::from_millis(25));
-        std::thread::sleep(slice);
-        left = left.saturating_sub(slice);
-    }
-    !shutdown.load(Ordering::SeqCst)
-}
-
-/// Per-connection worker: owns dialing AND writing, so `connect` latency
-/// never rides the send path. Dials with capped exponential backoff while
-/// the peer is unreachable (frames meanwhile accumulate in the bounded
-/// queue; overflow is dropped by the sender and accounted). Once
-/// connected, blocks for the first queued frame, drains up to
-/// `max_batch_bytes` more into one batch, counts the frames as sent, and
-/// writes them with a single syscall. On a write error the accounting is
-/// rolled back (those frames count as dropped, not sent) and the worker
-/// goes back to dialing — frames still queued survive the reconnect.
-fn conn_worker(
-    port: u16,
-    rx: Receiver<Arc<[u8]>>,
-    counters: Arc<NetCounters>,
-    shutdown: Arc<AtomicBool>,
-    tuning: TransportTuning,
-) {
-    let mut backoff = tuning.backoff_base;
-    'dial: loop {
-        if shutdown.load(Ordering::SeqCst) {
-            return;
-        }
-        if !tuning.dial_stall.is_zero() && !nap(tuning.dial_stall, &shutdown) {
-            return;
-        }
-        let mut stream = match TcpStream::connect(("127.0.0.1", port)) {
-            Ok(s) => s,
-            Err(_) => {
-                if !nap(backoff, &shutdown) {
-                    return;
-                }
-                backoff = (backoff * 2).min(tuning.backoff_cap);
-                continue 'dial;
-            }
-        };
-        backoff = tuning.backoff_base;
-        let mut batch = Vec::new();
-        loop {
-            let first = match rx.recv() {
-                Ok(f) => f,
-                Err(_) => return, // transport dropped
-            };
-            batch.clear();
-            batch.extend_from_slice(&first);
-            let mut frames = 1u64;
-            while batch.len() < tuning.max_batch_bytes {
-                match rx.try_recv() {
-                    Ok(next) => {
-                        batch.extend_from_slice(&next);
-                        frames += 1;
-                    }
-                    Err(_) => break,
-                }
-            }
-            // Count BEFORE the write so `bytes_sent` is visible by the
-            // time the peer can observe the frames; rolled back on error.
-            counters
-                .bytes
-                .fetch_add(batch.len() as u64, Ordering::SeqCst);
-            counters.delivered.fetch_add(frames, Ordering::SeqCst);
-            if stream.write_all(&batch).is_err() {
-                counters
-                    .bytes
-                    .fetch_sub(batch.len() as u64, Ordering::SeqCst);
-                counters.delivered.fetch_sub(frames, Ordering::SeqCst);
-                counters.dropped.fetch_add(frames, Ordering::SeqCst);
-                continue 'dial;
-            }
-        }
+        // Joins every poller and the dialer; dropping their entries
+        // closes every socket fd (asserted by the lifecycle leak test).
+        self.shared.reactor.shutdown();
     }
 }
 
 impl TcpShared {
     /// Queues one already-encoded frame toward `to`. Never blocks: the
-    /// connection worker dials in the background, and a full queue drops
-    /// the frame with accounting instead of waiting.
-    fn enqueue(&self, from: NodeId, to: NodeId, mut frame: Arc<[u8]>) {
+    /// dialer connects in the background, and a full queue drops the
+    /// frame with accounting instead of waiting.
+    fn enqueue(&self, from: NodeId, to: NodeId, frame: Frame) {
         if self.shutdown.load(Ordering::SeqCst) {
             return;
         }
@@ -790,35 +711,27 @@ impl TcpShared {
             self.counters.dropped.fetch_add(1, Ordering::SeqCst);
             return;
         };
-        let key = (from, to);
-        let mut conns = self.conns.lock();
-        for attempt in 0..2 {
-            let queue = conns.entry(key).or_insert_with(|| {
-                let (ftx, frx) = bounded::<Arc<[u8]>>(self.tuning.queue_depth);
-                let counters = Arc::clone(&self.counters);
-                let shutdown = Arc::clone(&self.shutdown);
-                let tuning = self.tuning.clone();
-                std::thread::spawn(move || conn_worker(port, frx, counters, shutdown, tuning));
-                ftx
-            });
-            match queue.try_send(frame) {
-                Ok(()) => return,
-                Err(TrySendError::Full(_)) => {
-                    // Bounded-queue overflow: the peer is unreachable or
-                    // reading too slowly. Accounted, not buffered.
-                    self.counters.dropped.fetch_add(1, Ordering::SeqCst);
-                    return;
+        let conn = {
+            let mut conns = self.conns.lock();
+            match conns.entry((from, to)) {
+                std::collections::hash_map::Entry::Occupied(e) => Arc::clone(e.get()),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    let conn = Arc::new(OutConn::new(port, self.tuning.queue_depth));
+                    e.insert(Arc::clone(&conn));
+                    self.reactor.dial(Arc::clone(&conn));
+                    conn
                 }
-                Err(TrySendError::Disconnected(f)) => {
-                    // Worker exited (shutdown race); take the frame back
-                    // and retry over a fresh connection once.
-                    frame = f;
-                    conns.remove(&key);
-                    if attempt == 1 {
-                        self.counters.dropped.fetch_add(1, Ordering::SeqCst);
-                        return;
-                    }
-                }
+            }
+        };
+        match conn.try_push(frame) {
+            // Empty→nonempty: the owning poller may be parked in poll(2)
+            // with no write interest; poke it.
+            Ok(true) => self.reactor.wake_owner(&conn),
+            Ok(false) => {}
+            Err(_) => {
+                // Bounded-queue overflow: the peer is unreachable or
+                // reading too slowly. Accounted, not buffered.
+                self.counters.dropped.fetch_add(1, Ordering::SeqCst);
             }
         }
     }
@@ -872,23 +785,24 @@ impl Postman for TcpTransport {
     fn send(&self, to: NodeId, envelope: Envelope) {
         let net = matches!(envelope, Envelope::Net { .. });
         let from = conn_slot(&envelope);
-        let mut frame = Vec::with_capacity(envelope.encoded_len() + 2);
-        push_frame(&mut frame, &envelope);
+        // The frame carries the envelope body only — the owning poller
+        // prepends the varint header from its per-connection scratch
+        // buffer at write time (`bytes_sent` still counts header+body).
+        let frame: Frame = paso_wire::encode_to_vec(&envelope).into();
         if net {
-            self.dispatch_net(from, to, frame.into());
+            self.dispatch_net(from, to, frame);
         } else {
             // Controller traffic: the membership oracle is reliable.
-            self.shared.enqueue(from, to, frame.into());
+            self.shared.enqueue(from, to, frame);
         }
     }
 
     fn send_shared(&self, targets: &[NodeId], envelope: Envelope) {
         // The frame is target-independent, so one encoding serves the
-        // whole fan-out; each queue holds a refcount, not a copy.
+        // whole fan-out; each queue holds a refcount, not a copy, and
+        // the writers read the payload bytes in place.
         let net = matches!(envelope, Envelope::Net { .. });
-        let mut frame = Vec::with_capacity(envelope.encoded_len() + 2);
-        push_frame(&mut frame, &envelope);
-        let frame: Arc<[u8]> = frame.into();
+        let frame: Frame = paso_wire::encode_to_vec(&envelope).into();
         let from = conn_slot(&envelope);
         for &to in targets {
             if net {
@@ -911,6 +825,14 @@ impl Postman for TcpTransport {
         *self.shared.sink.lock() = Some(TraceSink { trace, epoch });
     }
 
+    fn set_telemetry(&self, telemetry: &Telemetry) {
+        self.shared.hists.set(NetHists {
+            wakeups: telemetry.histogram("net.poll.wakeups"),
+            batch_frames: telemetry.histogram("net.writev.batch_frames"),
+            batch_bytes: telemetry.histogram("net.writev.batch_bytes"),
+        });
+    }
+
     fn net_stats(&self) -> NetStats {
         self.shared.counters.snapshot()
     }
@@ -919,6 +841,8 @@ impl Postman for TcpTransport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::Write;
+    use std::net::TcpStream;
 
     fn net(from: u32) -> Envelope {
         Envelope::Net {
@@ -1126,9 +1050,10 @@ mod tests {
     }
 
     /// Satellite regression: a peer whose dial fails (port with no
-    /// listener — the worker is stuck in its backoff loop) must not delay
-    /// sends to a healthy peer. Pre-fix, `enqueue` held the `conns` lock
-    /// across `TcpStream::connect`, so one dead peer stalled everyone.
+    /// listener — the dialer keeps backing off) must not delay sends to a
+    /// healthy peer. Pre-PR-4, `enqueue` held the `conns` lock across
+    /// `TcpStream::connect`, so one dead peer stalled everyone; on the
+    /// reactor, dead dials live in the dialer's deadline heap.
     #[test]
     fn dead_peer_does_not_block_live_sends() {
         // A port that refuses connections: bind, grab the port, drop.
@@ -1136,22 +1061,19 @@ mod tests {
             let l = TcpListener::bind("127.0.0.1:0").unwrap();
             l.local_addr().unwrap().port()
         };
-        // A live listener feeding a mailbox.
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let live_port = listener.local_addr().unwrap().port();
-        let (tx, rx) = unbounded::<Envelope>();
-        std::thread::spawn(move || accept_loop(listener, tx));
-        let mailbox = ChannelMailbox { rx };
+        // A live receiver transport feeding a real mailbox.
+        let (receiver, mailboxes) = TcpTransport::new(1);
+        let live_port = receiver.shared.ports[0];
 
         let postman =
             TcpTransport::over_ports(vec![live_port, dead_port], TransportTuning::default());
-        // Prod the dead peer first so its worker is dialing/backing off.
+        // Prod the dead peer first so its dial is failing/backing off.
         for _ in 0..4 {
             postman.send(NodeId(1), net(0));
         }
         let start = Instant::now();
         postman.send(NodeId(0), net(0));
-        let got = mailbox.recv_timeout(Duration::from_millis(100));
+        let got = mailboxes[0].recv_timeout(Duration::from_millis(100));
         assert!(
             got.is_some(),
             "send to the healthy peer must deliver while the dead peer dials"
@@ -1170,6 +1092,96 @@ mod tests {
         eventually("only live frame counted", Duration::from_secs(1), || {
             postman.net_stats().bytes_sent == one
         });
+    }
+
+    /// Zero-copy fan-out, end to end: `send_shared` encodes once, and the
+    /// *same allocation* (pointer identity) sits in every peer's send
+    /// queue, holding the bare envelope body the writer will prefix from
+    /// its scratch buffer.
+    #[test]
+    fn send_shared_queues_the_same_allocation_for_every_peer() {
+        let mut dead_ports = Vec::new();
+        for _ in 0..2 {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            dead_ports.push(l.local_addr().unwrap().port());
+        }
+        // Stall dialing so the frames stay observable in the queues.
+        let tuning = TransportTuning {
+            dial_stall: Duration::from_secs(5),
+            ..TransportTuning::default()
+        };
+        let postman = TcpTransport::over_ports(dead_ports, tuning);
+        let env = net(7);
+        postman.send_shared(&[NodeId(0), NodeId(1)], env);
+        let conns = postman.shared.conns.lock();
+        let frames: Vec<Frame> = conns.values().flat_map(|c| c.queued_frames()).collect();
+        assert_eq!(frames.len(), 2, "one frame queued per target");
+        assert!(
+            Arc::ptr_eq(&frames[0], &frames[1]),
+            "fan-out must share one allocation across queues"
+        );
+        assert_eq!(
+            frames[0].as_ref(),
+            paso_wire::encode_to_vec(&net(7)).as_slice(),
+            "queued frame is the bare envelope body (header added at write time)"
+        );
+    }
+
+    /// A peer that accepts but never reads: sender memory stays bounded
+    /// (queue depth × frame size plus the kernel socket buffer), the
+    /// overflow is dropped *and counted*, and
+    /// `delivered + dropped + queued` reconciles exactly with the number
+    /// of sends.
+    #[test]
+    fn slow_reader_bounds_memory_and_accounts_drops() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let port = listener.local_addr().unwrap().port();
+        // Accept and hold the socket open without ever reading it.
+        let held = std::thread::spawn(move || listener.accept().map(|(s, _)| s));
+        let tuning = TransportTuning {
+            queue_depth: 16,
+            ..TransportTuning::default()
+        };
+        let postman = TcpTransport::over_ports(vec![port], tuning);
+        let total = 64u64;
+        for _ in 0..total {
+            postman.send(
+                NodeId(0),
+                Envelope::Net {
+                    from: NodeId(0),
+                    msg: NetMsg::App(vec![0u8; 256 << 10]),
+                },
+            );
+        }
+        let _socket = held.join().unwrap().expect("accept");
+        eventually(
+            "delivered + dropped + queued == sent",
+            Duration::from_secs(5),
+            || {
+                let stats = postman.net_stats();
+                let queued: u64 = postman
+                    .shared
+                    .conns
+                    .lock()
+                    .values()
+                    .map(|c| c.queued() as u64)
+                    .sum();
+                stats.msgs_delivered + stats.msgs_dropped + queued == total
+            },
+        );
+        let stats = postman.net_stats();
+        assert!(
+            stats.msgs_dropped > 0,
+            "overflow past the bounded queue must be dropped and counted"
+        );
+        let queued: u64 = postman
+            .shared
+            .conns
+            .lock()
+            .values()
+            .map(|c| c.queued() as u64)
+            .sum();
+        assert!(queued <= 16, "queue depth bounds sender memory");
     }
 
     /// Satellite regression: a *hanging* dial (SYN blackhole, emulated by

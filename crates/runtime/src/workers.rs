@@ -33,7 +33,23 @@ pub struct ClassPool {
 impl ClassPool {
     /// Spawns `workers` threads (at least one).
     pub fn new(workers: usize) -> Self {
+        Self::spawn(workers, false)
+    }
+
+    /// As [`ClassPool::new`], but pins worker `i` to CPU `i % cores` so
+    /// the per-class shards actually spread across the machine instead of
+    /// migrating under the scheduler — the configuration the saturation
+    /// bench measures. Pinning is best-effort: on non-Linux targets, or
+    /// if `sched_setaffinity(2)` fails, the pool runs unpinned.
+    pub fn pinned(workers: usize) -> Self {
+        Self::spawn(workers, true)
+    }
+
+    fn spawn(workers: usize, pin: bool) -> Self {
         let workers = workers.max(1);
+        let cores = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
         let mut queues = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
         for i in 0..workers {
@@ -43,6 +59,9 @@ impl ClassPool {
                 std::thread::Builder::new()
                     .name(format!("paso-class-worker-{i}"))
                     .spawn(move || {
+                        if pin {
+                            pin_current_thread(i % cores);
+                        }
                         while let Ok(job) = rx.recv() {
                             job();
                         }
@@ -97,6 +116,26 @@ impl Drop for ClassPool {
         self.drain();
     }
 }
+
+/// Best-effort pin of the calling thread to one CPU.
+#[cfg(target_os = "linux")]
+fn pin_current_thread(cpu: usize) {
+    // A 1024-bit mask covers every cpu_set_t Linux accepts by default.
+    let mut mask = [0 as libc::c_ulong; 16];
+    let bits = std::mem::size_of::<libc::c_ulong>() * 8;
+    if cpu / bits >= mask.len() {
+        return;
+    }
+    mask[cpu / bits] = 1 << (cpu % bits);
+    unsafe {
+        // pid 0 = this thread; failure (e.g. a restricted cpuset) just
+        // leaves the thread unpinned.
+        let _ = libc::sched_setaffinity(0, std::mem::size_of_val(&mask), mask.as_ptr());
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+fn pin_current_thread(_cpu: usize) {}
 
 #[cfg(test)]
 mod tests {
@@ -157,6 +196,21 @@ mod tests {
             2,
             "jobs on different workers must overlap in time"
         );
+    }
+
+    #[test]
+    fn pinned_pool_runs_every_job_exactly_once() {
+        // Pinning is best-effort; semantics must be identical either way.
+        let pool = ClassPool::pinned(2);
+        let hits = Arc::new(AtomicUsize::new(0));
+        for class in 0..16u32 {
+            let hits = Arc::clone(&hits);
+            pool.submit(ClassId(class), move || {
+                hits.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.join();
+        assert_eq!(hits.load(Ordering::SeqCst), 16);
     }
 
     #[test]

@@ -223,6 +223,13 @@ struct TelHot {
     msgs_dropped: Arc<Counter>,
     work_total: Arc<Counter>,
     msg_bytes: Arc<Histogram>,
+    /// Shared-name mirrors of the live reactor's I/O histograms, with
+    /// driver-specific semantics (DESIGN.md §6e): one "wakeup" per bus
+    /// delivery, one "batch" per send action (a fan-out is one batch of
+    /// `targets` frames).
+    poll_wakeups: Arc<Histogram>,
+    writev_batch_frames: Arc<Histogram>,
+    writev_batch_bytes: Arc<Histogram>,
 }
 
 impl TelHot {
@@ -234,6 +241,9 @@ impl TelHot {
             msgs_dropped: t.counter("net.msgs_dropped"),
             work_total: t.counter("work.total"),
             msg_bytes: t.histogram("net.msg_bytes"),
+            poll_wakeups: t.histogram("net.poll.wakeups"),
+            writev_batch_frames: t.histogram("net.writev.batch_frames"),
+            writev_batch_bytes: t.histogram("net.writev.batch_bytes"),
         }
     }
 }
@@ -419,6 +429,8 @@ impl<A: Actor> Engine<A> {
                     self.tel_hot.msg_cost.add(cost);
                     self.tel_hot.bytes_sent.add(bytes as f64);
                     self.tel_hot.msg_bytes.record(bytes as u64);
+                    self.tel_hot.writev_batch_frames.record(1);
+                    self.tel_hot.writev_batch_bytes.record(bytes as u64);
                     self.push(
                         deliver_at,
                         Event::Deliver {
@@ -436,6 +448,10 @@ impl<A: Actor> Engine<A> {
                     let bytes = msg.wire_size();
                     let cost = self.config.cost_model.msg_cost(bytes);
                     let tx = self.config.cost_model.tx_time(bytes);
+                    self.tel_hot.writev_batch_frames.record(to.len() as u64);
+                    self.tel_hot
+                        .writev_batch_bytes
+                        .record((bytes * to.len()) as u64);
                     for target in to {
                         let start = self.now.max(self.bus_free_at);
                         let deliver_at = start + tx;
@@ -524,6 +540,11 @@ impl<A: Actor> Engine<A> {
                 via_bus,
             } => {
                 let up = self.nodes[to.index()].status.is_up();
+                if via_bus {
+                    // One delivery = one readiness wakeup of the
+                    // receiving node (the simulator's poll(2) analog).
+                    self.tel_hot.poll_wakeups.record(1);
+                }
                 if up {
                     if self.config.record_trace {
                         self.trace.push(TraceEntry::Deliver {

@@ -134,6 +134,26 @@ fn simnet_and_tcp_report_identical_op_totals_and_legal_traces() {
         assert!(live_snap.counter(name) > 0.0, "live missing {name}");
     }
 
+    // The reactor's I/O histograms share names across drivers too: the
+    // live side records real poll(2) wakeups and writev batches, the sim
+    // records its bus analogs (one wakeup per delivery, one batch per
+    // send action — DESIGN.md §6e). Name parity means dashboards built
+    // on either driver read the other unchanged.
+    for name in [
+        "net.poll.wakeups",
+        "net.writev.batch_frames",
+        "net.writev.batch_bytes",
+    ] {
+        assert!(
+            sim_snap.hist(name).count > 0,
+            "sim recorded no samples under {name}"
+        );
+        assert!(
+            live_snap.hist(name).count > 0,
+            "live recorded no samples under {name}"
+        );
+    }
+
     // And both recorded histories are axiom-legal.
     let sim_report = check_trace(&sim_trace);
     assert!(sim_report.ok(), "sim trace: {:?}", sim_report.violations);

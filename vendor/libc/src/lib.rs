@@ -1,0 +1,132 @@
+//! Minimal offline stand-in for `libc`.
+//!
+//! Declares exactly the raw C bindings this workspace's event-driven
+//! transport (`poll(2)`, a self-pipe wakeup) and CPU-pinned worker pools
+//! (`sched_setaffinity(2)`) require — nothing else. ABI constants match
+//! Linux on the usual 64-bit targets (x86_64, aarch64), the only
+//! platform the live runtime's reactor targets; the higher layers gate
+//! their use behind `cfg(target_os = "linux")`.
+
+#![warn(missing_docs)]
+#![allow(non_camel_case_types)]
+
+/// C `int`.
+pub type c_int = i32;
+/// C `short`.
+pub type c_short = i16;
+/// C `unsigned long` (64-bit on the supported targets).
+pub type c_ulong = u64;
+/// POSIX `nfds_t`: the fd-count argument of [`poll`].
+pub type nfds_t = c_ulong;
+/// POSIX `ssize_t`.
+pub type ssize_t = isize;
+/// POSIX `size_t`.
+pub type size_t = usize;
+/// POSIX `pid_t`.
+pub type pid_t = i32;
+
+/// One entry of a [`poll`] interest set.
+#[repr(C)]
+#[derive(Clone, Copy, Debug)]
+pub struct pollfd {
+    /// File descriptor (negative entries are ignored by the kernel).
+    pub fd: c_int,
+    /// Requested readiness events.
+    pub events: c_short,
+    /// Kernel-reported readiness events.
+    pub revents: c_short,
+}
+
+/// Readable (or a peer hang-up that `read` will report as EOF).
+pub const POLLIN: c_short = 0x001;
+/// Writable without blocking.
+pub const POLLOUT: c_short = 0x004;
+/// Error condition (always reported, never requested).
+pub const POLLERR: c_short = 0x008;
+/// Peer hung up (always reported, never requested).
+pub const POLLHUP: c_short = 0x010;
+/// Invalid fd in the set (always reported, never requested).
+pub const POLLNVAL: c_short = 0x020;
+
+/// `fcntl` command: get file status flags.
+pub const F_GETFL: c_int = 3;
+/// `fcntl` command: set file status flags.
+pub const F_SETFL: c_int = 4;
+/// Non-blocking I/O flag (Linux `O_NONBLOCK`).
+pub const O_NONBLOCK: c_int = 0o4000;
+
+extern "C" {
+    /// Waits for readiness on a set of fds. `timeout` in milliseconds,
+    /// `-1` blocks indefinitely.
+    pub fn poll(fds: *mut pollfd, nfds: nfds_t, timeout: c_int) -> c_int;
+    /// Creates a unidirectional pipe: `fds[0]` read end, `fds[1]` write
+    /// end.
+    pub fn pipe(fds: *mut c_int) -> c_int;
+    /// Raw read from an fd.
+    pub fn read(fd: c_int, buf: *mut u8, count: size_t) -> ssize_t;
+    /// Raw write to an fd.
+    pub fn write(fd: c_int, buf: *const u8, count: size_t) -> ssize_t;
+    /// Closes an fd.
+    pub fn close(fd: c_int) -> c_int;
+    /// File-descriptor control (variadic; used with [`F_GETFL`] /
+    /// [`F_SETFL`] and an int argument here).
+    pub fn fcntl(fd: c_int, cmd: c_int, ...) -> c_int;
+    /// Pins the calling thread (`pid == 0`) to the CPU set in `mask`,
+    /// a bitmask of `cpusetsize` bytes.
+    pub fn sched_setaffinity(pid: pid_t, cpusetsize: size_t, mask: *const c_ulong) -> c_int;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipe_write_poll_read_round_trip() {
+        unsafe {
+            let mut fds = [0 as c_int; 2];
+            assert_eq!(pipe(fds.as_mut_ptr()), 0);
+            assert_eq!(write(fds[1], [7u8].as_ptr(), 1), 1);
+            let mut pfd = pollfd {
+                fd: fds[0],
+                events: POLLIN,
+                revents: 0,
+            };
+            assert_eq!(poll(&mut pfd, 1, 1000), 1);
+            assert!(pfd.revents & POLLIN != 0);
+            let mut b = [0u8; 1];
+            assert_eq!(read(fds[0], b.as_mut_ptr(), 1), 1);
+            assert_eq!(b[0], 7);
+            assert_eq!(close(fds[0]), 0);
+            assert_eq!(close(fds[1]), 0);
+        }
+    }
+
+    #[test]
+    fn nonblocking_pipe_read_returns_error_when_empty() {
+        unsafe {
+            let mut fds = [0 as c_int; 2];
+            assert_eq!(pipe(fds.as_mut_ptr()), 0);
+            let flags = fcntl(fds[0], F_GETFL);
+            assert!(flags >= 0);
+            assert_eq!(fcntl(fds[0], F_SETFL, flags | O_NONBLOCK), 0);
+            let mut b = [0u8; 1];
+            assert_eq!(read(fds[0], b.as_mut_ptr(), 1), -1);
+            close(fds[0]);
+            close(fds[1]);
+        }
+    }
+
+    #[test]
+    fn pinning_current_thread_to_cpu0_succeeds_on_linux() {
+        if !cfg!(target_os = "linux") {
+            return;
+        }
+        let mask: [c_ulong; 16] = {
+            let mut m = [0; 16];
+            m[0] = 1;
+            m
+        };
+        let rc = unsafe { sched_setaffinity(0, std::mem::size_of_val(&mask), mask.as_ptr()) };
+        assert_eq!(rc, 0);
+    }
+}
