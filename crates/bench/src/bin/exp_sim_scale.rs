@@ -1,0 +1,420 @@
+//! Experiment (PR 7) — the million-process simnet.
+//!
+//! Three questions, answered with numbers:
+//!
+//! 1. **Does one engine process hold a million machines?** We sweep
+//!    n ∈ {1k, 10k, 100k, 1M} [`ShardActor`] machines under a Zipf-skewed
+//!    insert/read stream with Poisson churn and report events/sec, wall
+//!    time, and resident memory. The membership oracle is off, so a churn
+//!    crash costs O(1) regardless of n.
+//!
+//! 2. **What does a checkpoint cost at scale?** After each run we
+//!    [`snapshot`](paso_simnet::Engine::snapshot) the engine, time the
+//!    save and the [`from_checkpoint`](paso_simnet::Engine::from_checkpoint)
+//!    restore, and report blob size — the practical bound on pause/resume
+//!    for long simulation campaigns.
+//!
+//! 3. **Do the §5 competitive bounds survive at n = 10k?** The 10k run's
+//!    completion stream is replayed as a Theorem 2/3 request sequence
+//!    (`Inserted` → `Insert`, `Read{found}` → `Read{failed}`) and measured
+//!    against the exact DP optimum: Basic vs `3 + λ/K`, doubling/halving
+//!    vs `6 + 2λ/K`.
+//!
+//! Usage:
+//!   `cargo run --release -p paso-bench --bin exp_sim_scale`
+//!   `cargo run --release -p paso-bench --bin exp_sim_scale -- --smoke`
+//!   `cargo run --release -p paso-bench --bin exp_sim_scale -- --smoke --floor 100000`
+//!
+//! Always writes `BENCH_PR7.json` (CI uploads it as an artifact). With
+//! `--floor N` the process exits non-zero if simulated-event throughput
+//! falls below `N` events/sec at any n — the CI regression gate.
+
+use std::time::Instant;
+
+use paso_adaptive::{
+    measure, optimum_variable_k, run_strategy, BasicStrategy, DoublingStrategy, Event, ModelParams,
+};
+use paso_bench::{f1, f2, Table};
+use paso_simnet::{ChurnModel, DelayDist, Engine, EngineConfig, LatencyModel, NetModel, SimTime};
+use paso_wire::mini_json::Json;
+use paso_workload::{ShardActor, ShardMsg, ShardOut, Zipf};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const SEED: u64 = 7;
+/// Replication degree of the shard workload (λ successors per key).
+const LAMBDA: u32 = 2;
+/// Aggregate churn: crashes/sec across the whole ensemble, so churn
+/// pressure is constant as n grows (per-machine rate scales as 1/n).
+const CHURN_AGGREGATE_HZ: f64 = 200.0;
+
+fn proc_status_field(field: &str) -> u64 {
+    let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix(field))
+        .and_then(|v| v.split_whitespace().next().and_then(|n| n.parse().ok()))
+        .unwrap_or(0)
+}
+
+fn scale_config(n: usize) -> EngineConfig {
+    EngineConfig {
+        n,
+        seed: SEED,
+        record_trace: false,
+        // A switched fabric, not the classic bus: a million machines
+        // sharing one serializing bus would be throughput-bound by the
+        // medium, not the engine — the sweep measures the engine.
+        net: NetModel::Switched(
+            LatencyModel::uniform(DelayDist::uniform(5, 25)).with_jitter(DelayDist::uniform(0, 5)),
+        ),
+        // Churn never notifies n-1 peers: the shard protocol routes by
+        // key arithmetic, not membership views.
+        membership_oracle: false,
+        churn: Some(ChurnModel::new(
+            CHURN_AGGREGATE_HZ / n as f64,
+            SimTime::from_millis(5),
+            16,
+        )),
+        ..EngineConfig::for_tests(n)
+    }
+}
+
+/// One measured ensemble size.
+struct ScaleRun {
+    n: usize,
+    ops: u64,
+    events: u64,
+    wall_ms: f64,
+    completions: u64,
+    churn_crashes: u64,
+    rss_kb: u64,
+    ckpt_bytes: u64,
+    save_micros: u64,
+    restore_micros: u64,
+    /// The 10k run keeps its completion stream for the theorem replay.
+    outputs: Vec<ShardOut>,
+}
+
+impl ScaleRun {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / (self.wall_ms / 1e3)
+    }
+}
+
+/// Runs `ops` Zipf-targeted shard operations on an n-machine engine,
+/// then checkpoints and restores it.
+fn run_scale(n: usize, ops: u64) -> ScaleRun {
+    let mut engine = Engine::new(scale_config(n), ShardActor::factory(LAMBDA));
+
+    // Table-free Zipf over the key space: hot keys concentrate on a few
+    // home machines, the tail touches the whole ensemble.
+    let zipf = Zipf::rejection(n, 0.99);
+    let mut rng = ChaCha8Rng::seed_from_u64(SEED ^ n as u64);
+    for i in 0..ops {
+        let key = zipf.sample(&mut rng) as u64;
+        let at = SimTime::from_micros(i);
+        let home = ShardActor::home(key, n);
+        // 2:1 insert/read mix; reads may hit or miss depending on what
+        // churn erased — both outcomes are legitimate completions.
+        let msg = if i % 3 == 2 {
+            ShardMsg::Read { key }
+        } else {
+            ShardMsg::Insert {
+                key,
+                val: key.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            }
+        };
+        engine.inject(at, home, msg);
+    }
+
+    let wall = Instant::now();
+    // Churn re-arms forever, so run to a horizon, not to quiescence:
+    // every op lands by `ops` µs; the tail covers replication rounds.
+    engine.run_until(SimTime::from_micros(ops + 100_000));
+    let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+
+    let events = engine.stats().events_processed;
+    let churn_crashes = engine.stats().crashes;
+    let outputs: Vec<ShardOut> = engine
+        .take_outputs()
+        .into_iter()
+        .map(|(_, _, out)| out)
+        .collect();
+    let rss_kb = proc_status_field("VmRSS:");
+
+    let save = Instant::now();
+    let ckpt = engine.snapshot();
+    let save_micros = save.elapsed().as_micros() as u64;
+    let restore = Instant::now();
+    let restored = Engine::from_checkpoint(scale_config(n), ShardActor::factory(LAMBDA), &ckpt)
+        .expect("restore own checkpoint");
+    let restore_micros = restore.elapsed().as_micros() as u64;
+    assert_eq!(restored.now(), engine.now(), "restore resumes at save time");
+
+    ScaleRun {
+        n,
+        ops,
+        events,
+        wall_ms,
+        completions: outputs.len() as u64,
+        churn_crashes,
+        rss_kb,
+        ckpt_bytes: ckpt.size() as u64,
+        save_micros,
+        restore_micros,
+        outputs,
+    }
+}
+
+/// Replays a shard completion stream as a §5 request sequence: each
+/// finished insert grows the class, each read is a mem-read whose
+/// `failed` count reflects whether churn had erased the copy.
+fn to_adaptive_events(outputs: &[ShardOut], cap: usize) -> Vec<Event> {
+    outputs
+        .iter()
+        .take(cap)
+        .map(|out| match out {
+            ShardOut::Inserted { .. } => Event::Insert,
+            ShardOut::Read { found, .. } => Event::Read {
+                failed: u64::from(!found),
+            },
+        })
+        .collect()
+}
+
+struct TheoremPoint {
+    algorithm: &'static str,
+    lambda: u64,
+    k: u64,
+    events: usize,
+    online: u64,
+    opt: u64,
+    ratio: f64,
+    bound: f64,
+    within: bool,
+}
+
+/// Theorem 2 (Basic, `3 + λ/K`) and Theorem 3 (doubling, `6 + 2λ/K`)
+/// on the engine-derived sequence.
+fn run_theorems(events: &[Event]) -> Vec<TheoremPoint> {
+    let mut points = Vec::new();
+    for lambda in [1u64, 4] {
+        for k in [4u64, 16] {
+            let params = ModelParams::uniform(lambda, k);
+            let mut basic = BasicStrategy::new(params);
+            let r = measure(&mut basic, events, &params);
+            points.push(TheoremPoint {
+                algorithm: "basic",
+                lambda,
+                k,
+                events: events.len(),
+                online: r.online,
+                opt: r.opt,
+                ratio: r.ratio,
+                bound: r.bound,
+                within: r.within_bound,
+            });
+        }
+        // Doubling tracks a drifting ℓ; the bound is evaluated at the
+        // smallest working K (= 1), matching exp_thm3.
+        let params = ModelParams::uniform(lambda, 1);
+        let mut doubling = DoublingStrategy::new(params, 0);
+        let online = run_strategy(&mut doubling, events);
+        let opt = optimum_variable_k(events, &params).max(1);
+        let bound = 6.0 + 2.0 * lambda as f64;
+        let additive = 2.0 * 256.0 + lambda as f64;
+        points.push(TheoremPoint {
+            algorithm: "doubling",
+            lambda,
+            k: 1,
+            events: events.len(),
+            online,
+            opt,
+            ratio: online as f64 / opt as f64,
+            bound,
+            within: online as f64 <= bound * opt as f64 + additive,
+        });
+    }
+    points
+}
+
+fn scale_run_json(run: &ScaleRun) -> Json {
+    Json::obj([
+        ("n", Json::UInt(run.n as u64)),
+        ("ops", Json::UInt(run.ops)),
+        ("events", Json::UInt(run.events)),
+        ("wall_ms", Json::Num(run.wall_ms)),
+        ("events_per_sec", Json::Num(run.events_per_sec())),
+        ("completions", Json::UInt(run.completions)),
+        ("churn_crashes", Json::UInt(run.churn_crashes)),
+        ("rss_kb", Json::UInt(run.rss_kb)),
+        ("checkpoint_bytes", Json::UInt(run.ckpt_bytes)),
+        ("checkpoint_save_micros", Json::UInt(run.save_micros)),
+        ("checkpoint_restore_micros", Json::UInt(run.restore_micros)),
+    ])
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let floor: Option<f64> = args
+        .iter()
+        .position(|a| a == "--floor")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--floor takes a number"));
+
+    let sizes: &[usize] = if smoke {
+        &[1_000, 10_000]
+    } else {
+        &[1_000, 10_000, 100_000, 1_000_000]
+    };
+
+    println!("PR 7 — million-process simnet: scale sweep, checkpoints, theorem replay");
+    println!(
+        "shard workload: λ = {LAMBDA}, Zipf(0.99) keys, 2:1 insert/read, \
+         {CHURN_AGGREGATE_HZ} aggregate churn crashes/s\n"
+    );
+
+    let mut table = Table::new([
+        "n",
+        "ops",
+        "events",
+        "events/s",
+        "rss MB",
+        "ckpt MB",
+        "save ms",
+        "restore ms",
+    ]);
+    let mut runs: Vec<ScaleRun> = Vec::new();
+    for &n in sizes {
+        // Constant per-run op budget: the sweep varies the *ensemble*,
+        // not the traffic, so rss growth isolates per-machine cost.
+        let ops: u64 = if smoke { 30_000 } else { 100_000 };
+        let run = run_scale(n, ops);
+        table.row([
+            run.n.to_string(),
+            run.ops.to_string(),
+            run.events.to_string(),
+            f1(run.events_per_sec()),
+            f1(run.rss_kb as f64 / 1024.0),
+            f2(run.ckpt_bytes as f64 / (1 << 20) as f64),
+            f1(run.save_micros as f64 / 1e3),
+            f1(run.restore_micros as f64 / 1e3),
+        ]);
+        runs.push(run);
+    }
+    table.print();
+
+    // --- Theorem 2/3 replay from the 10k-machine run ---
+    let ten_k = runs
+        .iter()
+        .find(|r| r.n == 10_000)
+        .expect("sweep includes n = 10k");
+    // The exact DP optimum is quadratic in sequence length; 2000 events
+    // matches the §5 experiments' budget.
+    let events = to_adaptive_events(&ten_k.outputs, 2000);
+    let misses = events
+        .iter()
+        .filter(|e| matches!(e, Event::Read { failed } if *failed > 0))
+        .count();
+    println!(
+        "\nTheorem 2/3 replay at n = 10k: {} events from the engine ({} churn-miss reads)",
+        events.len(),
+        misses
+    );
+    let points = run_theorems(&events);
+    let mut ttable = Table::new([
+        "algorithm",
+        "λ",
+        "K",
+        "online",
+        "opt",
+        "ratio",
+        "bound",
+        "within",
+    ]);
+    let mut all_within = true;
+    for p in &points {
+        all_within &= p.within;
+        ttable.row([
+            p.algorithm.to_string(),
+            p.lambda.to_string(),
+            p.k.to_string(),
+            p.online.to_string(),
+            p.opt.to_string(),
+            f2(p.ratio),
+            f2(p.bound),
+            if p.within {
+                "yes".into()
+            } else {
+                "NO".to_string()
+            },
+        ]);
+    }
+    ttable.print();
+    println!(
+        "all points within their theorem bound: {}",
+        if all_within {
+            "YES"
+        } else {
+            "NO — REPRODUCTION FAILURE"
+        }
+    );
+
+    let doc = Json::obj([
+        ("bench", Json::Str("sim_scale".into())),
+        ("smoke", Json::Bool(smoke)),
+        ("lambda", Json::UInt(LAMBDA as u64)),
+        ("churn_aggregate_hz", Json::Num(CHURN_AGGREGATE_HZ)),
+        (
+            "scale",
+            Json::Arr(runs.iter().map(scale_run_json).collect()),
+        ),
+        (
+            "theorems",
+            Json::Arr(
+                points
+                    .iter()
+                    .map(|p| {
+                        Json::obj([
+                            ("algorithm", Json::Str(p.algorithm.into())),
+                            ("lambda", Json::UInt(p.lambda)),
+                            ("k", Json::UInt(p.k)),
+                            ("events", Json::UInt(p.events as u64)),
+                            ("online", Json::UInt(p.online)),
+                            ("opt", Json::UInt(p.opt)),
+                            ("ratio", Json::Num(p.ratio)),
+                            ("bound", Json::Num(p.bound)),
+                            ("within", Json::Bool(p.within)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("theorems_all_within", Json::Bool(all_within)),
+        ("peak_rss_kb", Json::UInt(proc_status_field("VmHWM:"))),
+        ("floor_events_per_sec", floor.map_or(Json::Null, Json::Num)),
+    ]);
+    std::fs::write("BENCH_PR7.json", doc.render() + "\n").expect("write BENCH_PR7.json");
+    println!("\nwrote BENCH_PR7.json");
+
+    if !all_within {
+        eprintln!("FAIL: a competitive ratio exceeded its theorem bound");
+        std::process::exit(1);
+    }
+    if let Some(floor) = floor {
+        let worst = runs
+            .iter()
+            .map(ScaleRun::events_per_sec)
+            .fold(f64::INFINITY, f64::min);
+        if worst < floor {
+            eprintln!(
+                "FAIL: simulation throughput {worst:.0} events/s fell below the floor \
+                 of {floor:.0} events/s"
+            );
+            std::process::exit(1);
+        }
+        println!("floor check passed: min throughput {worst:.0} >= {floor:.0} events/s");
+    }
+}

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use paso_simnet::{CostModel, SimTime};
+use paso_simnet::{ChurnModel, CostModel, FaultPlan, NetModel, SimTime};
 use paso_storage::StoreKind;
 use paso_types::{
     ArityClassifier, Classifier, FirstFieldClassifier, SignatureClassifier, ValueType,
@@ -148,6 +148,22 @@ pub struct PasoConfig {
     /// *idempotent* operation (same op id; servers dedup) before giving
     /// up. `0` disables retries.
     pub client_retry_budget: u32,
+    /// Simulation: which network the ensemble runs on — the paper's
+    /// serializing bus (default) or a switched fabric with per-link
+    /// latency, jitter, and asymmetry.
+    pub net_model: NetModel,
+    /// Message-level fault injection, shared vocabulary with the live
+    /// runtime's `Postman::set_fault_plan` (drops, delays, jitter,
+    /// partitions). Pass-through by default.
+    pub fault_plan: FaultPlan,
+    /// Simulation: engine-driven Poisson crash/rejoin churn. `None`
+    /// (default) disables churn.
+    pub churn: Option<ChurnModel>,
+    /// Simulation: whether the perfect membership oracle broadcasts
+    /// peer-crash/recover events (O(n) per fault). Required by the PASO
+    /// protocol layers; scale experiments with oracle-free actors turn
+    /// it off.
+    pub membership_oracle: bool,
 }
 
 impl PasoConfig {
@@ -181,6 +197,10 @@ impl PasoConfig {
                 net_poller_threads: 2,
                 net_max_batch_frames: 64,
                 client_retry_budget: 2,
+                net_model: NetModel::Bus,
+                fault_plan: FaultPlan::none(),
+                churn: None,
+                membership_oracle: true,
             },
         }
     }
@@ -223,6 +243,13 @@ impl PasoConfig {
         }
         if self.net_max_batch_frames == 0 {
             return Err(ConfigError::new("net max batch frames must be positive"));
+        }
+        if let Some(churn) = &self.churn {
+            if churn.max_concurrent > self.lambda {
+                return Err(ConfigError::new(
+                    "churn max_concurrent must be ≤ λ (the §3.1 failure budget)",
+                ));
+            }
         }
         Ok(())
     }
@@ -343,6 +370,32 @@ impl PasoConfigBuilder {
     /// (live runtime).
     pub fn client_retry_budget(mut self, budget: u32) -> Self {
         self.cfg.client_retry_budget = budget;
+        self
+    }
+
+    /// Sets the simulated network model (bus or switched fabric).
+    pub fn net_model(mut self, net: NetModel) -> Self {
+        self.cfg.net_model = net;
+        self
+    }
+
+    /// Sets the message-level fault-injection plan (simulation and live
+    /// runtime share the vocabulary).
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.cfg.fault_plan = plan;
+        self
+    }
+
+    /// Enables engine-driven Poisson churn (simulation).
+    pub fn churn(mut self, churn: ChurnModel) -> Self {
+        self.cfg.churn = Some(churn);
+        self
+    }
+
+    /// Enables or disables the membership oracle's peer broadcasts
+    /// (simulation).
+    pub fn membership_oracle(mut self, on: bool) -> Self {
+        self.cfg.membership_oracle = on;
         self
     }
 

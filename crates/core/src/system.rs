@@ -157,6 +157,10 @@ impl SimSystem {
             init_min: cfg.init_min,
             init_max: cfg.init_max,
             record_trace: false,
+            net: cfg.net_model.clone(),
+            fault_plan: cfg.fault_plan.clone(),
+            churn: cfg.churn,
+            membership_oracle: cfg.membership_oracle,
         };
         let cfg_for_factory = Arc::clone(&cfg);
         let engine = Engine::new(engine_cfg, move |id| {

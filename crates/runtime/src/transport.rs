@@ -57,7 +57,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use paso_simnet::{FaultPlan, LinkFate, NodeId};
-use paso_telemetry::{Telemetry, TraceBuf, TraceKind};
+use paso_telemetry::{Histogram, Telemetry, TraceBuf, TraceKind};
 use paso_vsync::NetMsg;
 use paso_wire::{Reader as WireReader, Wire, WireError};
 
@@ -410,12 +410,27 @@ type DelaySlot<T> = Mutex<Option<Arc<DelayLine<T>>>>;
 /// A TCP frame parked by the fault gate: (from, to, encoded frame).
 type DelayedFrame = (NodeId, NodeId, Arc<[u8]>);
 
+/// Injected-latency histogram handles, cached once at cluster start.
+/// Same metric names the simulator's engine records, so dashboards read
+/// either driver unchanged.
+struct LinkHists {
+    latency: Arc<Histogram>,
+    jitter: Arc<Histogram>,
+}
+
+impl std::fmt::Debug for LinkHists {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("LinkHists")
+    }
+}
+
 /// The fault layer shared by both transports: a swappable plan plus the
 /// seeded RNG feeding its coin flips.
 #[derive(Debug)]
 struct FaultGate {
     plan: Mutex<FaultPlan>,
     rng: Mutex<ChaCha8Rng>,
+    hists: Mutex<Option<LinkHists>>,
 }
 
 impl FaultGate {
@@ -423,17 +438,35 @@ impl FaultGate {
         FaultGate {
             plan: Mutex::new(FaultPlan::none()),
             rng: Mutex::new(ChaCha8Rng::seed_from_u64(seed)),
+            hists: Mutex::new(None),
         }
     }
 
     /// Decides one network frame's fate. Pass-through plans never touch
-    /// the RNG lock.
+    /// the RNG lock. Injected delays are recorded under the link-latency
+    /// histograms (`net.link.latency_micros` / `net.link.jitter_micros`)
+    /// when telemetry is attached — the jitter component separately, so a
+    /// dashboard can tell a slow link from a noisy one.
     fn fate(&self, from: NodeId, to: NodeId) -> LinkFate {
         let plan = self.plan.lock();
         if plan.is_pass_through() {
             return LinkFate::Deliver;
         }
-        plan.decide(from, to, &mut *self.rng.lock())
+        let decision = plan.decide_detailed(from, to, &mut *self.rng.lock());
+        if let LinkFate::Delay(micros) = decision.fate {
+            if let Some(h) = self.hists.lock().as_ref() {
+                h.latency.record(micros);
+                h.jitter.record(decision.jitter_micros);
+            }
+        }
+        decision.fate
+    }
+
+    fn set_telemetry(&self, telemetry: &Telemetry) {
+        *self.hists.lock() = Some(LinkHists {
+            latency: telemetry.histogram("net.link.latency_micros"),
+            jitter: telemetry.histogram("net.link.jitter_micros"),
+        });
     }
 }
 
@@ -564,6 +597,10 @@ impl Postman for ChannelTransport {
 
     fn set_trace_sink(&self, trace: Arc<TraceBuf>, epoch: Instant) {
         *self.sink.lock() = Some(TraceSink { trace, epoch });
+    }
+
+    fn set_telemetry(&self, telemetry: &Telemetry) {
+        self.gate.set_telemetry(telemetry);
     }
 
     fn net_stats(&self) -> NetStats {
@@ -831,6 +868,7 @@ impl Postman for TcpTransport {
             batch_frames: telemetry.histogram("net.writev.batch_frames"),
             batch_bytes: telemetry.histogram("net.writev.batch_bytes"),
         });
+        self.shared.gate.set_telemetry(telemetry);
     }
 
     fn net_stats(&self) -> NetStats {

@@ -1,0 +1,54 @@
+//! Flat arena of actor slots, struct-of-arrays.
+//!
+//! The engine used to keep `Vec<Slot<A>>` with status and epoch embedded
+//! next to each actor. At millions of nodes the hot metadata (status,
+//! epoch) is scanned far more often than actor state is touched, so the
+//! arena splits them into dense parallel columns indexed by `NodeId` —
+//! the membership scan in `notify_peers` walks a contiguous byte-per-node
+//! status column instead of striding over whole actor structs.
+//!
+//! The arena also owns each node's pending-timer keys, which is what
+//! turns a crash from "leave tombstones for every outstanding timer" into
+//! O(timers · log n) cancellations against the indexed event queue.
+
+use crate::actor::NodeId;
+use crate::engine::MachineStatus;
+use crate::queue::EventKey;
+
+/// Dense per-node simulation state: one column per field, all indexed by
+/// `NodeId::index()`.
+pub(crate) struct ActorArena<A> {
+    pub(crate) actors: Vec<A>,
+    pub(crate) status: Vec<MachineStatus>,
+    /// Incarnation counter: bumped on crash so stale timers/init events
+    /// die with the incarnation that scheduled them.
+    pub(crate) epoch: Vec<u64>,
+    /// Down because of the churn process (as opposed to a script/test
+    /// crash); cleared when initialization completes.
+    pub(crate) churned: Vec<bool>,
+    /// Keys of pending `Timer` events per node. May contain stale keys
+    /// (fired timers); compacted opportunistically and drained on crash.
+    pub(crate) timers: Vec<Vec<EventKey>>,
+}
+
+impl<A> ActorArena<A> {
+    pub(crate) fn new(n: usize, factory: impl Fn(NodeId) -> A) -> Self {
+        ActorArena {
+            actors: (0..n).map(|i| factory(NodeId(i as u32))).collect(),
+            status: vec![MachineStatus::Up; n],
+            epoch: vec![0; n],
+            churned: vec![false; n],
+            timers: vec![Vec::new(); n],
+        }
+    }
+
+    #[inline]
+    pub(crate) fn status(&self, node: NodeId) -> MachineStatus {
+        self.status[node.index()]
+    }
+
+    #[inline]
+    pub(crate) fn is_up(&self, node: NodeId) -> bool {
+        self.status[node.index()].is_up()
+    }
+}

@@ -6,21 +6,32 @@
 //! failure-detection layer of §3.2, surfaced as `PeerCrashed` /
 //! `PeerRecovered` events).
 //!
+//! Large-`n` design (see DESIGN.md §7): actor state lives in a flat
+//! struct-of-arrays arena indexed by dense `NodeId`s; the event queue is
+//! an indexed binary heap with O(log n) cancellation, so crashed nodes'
+//! timers are removed instead of tombstoned; per-message metrics
+//! accumulate in plain (non-atomic) buffers flushed into the shared
+//! registry at run boundaries; and the whole engine state is
+//! checkpointable (`snapshot`/`restore`, see `checkpoint.rs`) whenever
+//! the actor and message types implement `paso_wire::Wire`.
+//!
 //! Determinism: all randomness flows from one seeded ChaCha stream, and the
 //! event queue breaks time ties by insertion sequence, so the same
 //! configuration and inputs always produce the same trace.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use crate::actor::{Action, Actor, Context, NodeEvent, NodeId};
+use crate::arena::ActorArena;
 use crate::cost::{CostModel, WireSized};
-use crate::fault::{Fault, FaultScript};
+use crate::fault::{ChurnModel, Fault, FaultPlan, FaultScript, LinkFate, NetModel};
+use crate::queue::EventQueue;
 use crate::stats::Stats;
 use crate::time::SimTime;
-use paso_telemetry::{Counter, Histogram, Telemetry, TraceBuf, TraceKind};
+use paso_telemetry::{Counter, HistSnapshot, Histogram, Telemetry, TraceBuf, TraceKind};
 use rand::Rng;
+use rand::RngCore;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -40,6 +51,20 @@ pub struct EngineConfig {
     pub init_max: SimTime,
     /// Record a [`Trace`] of everything that happens.
     pub record_trace: bool,
+    /// Which network the ensemble runs on: the classic serializing bus,
+    /// or a switched fabric with per-link latency/jitter/asymmetry.
+    pub net: NetModel,
+    /// Message-level fault injection (drop/delay/jitter/partition),
+    /// consulted on every networked send. The pass-through plan costs
+    /// nothing and consumes no randomness.
+    pub fault_plan: FaultPlan,
+    /// Engine-driven Poisson crash/rejoin churn, or `None` for none.
+    pub churn: Option<ChurnModel>,
+    /// Whether the perfect membership oracle broadcasts `PeerCrashed` /
+    /// `PeerRecovered` to every up node (O(n) per fault). Protocols that
+    /// do not rely on the oracle can turn it off, making faults O(1) —
+    /// mandatory at millions of nodes.
+    pub membership_oracle: bool,
 }
 
 impl EngineConfig {
@@ -53,6 +78,10 @@ impl EngineConfig {
             init_min: SimTime::from_millis(1),
             init_max: SimTime::from_millis(2),
             record_trace: false,
+            net: NetModel::Bus,
+            fault_plan: FaultPlan::none(),
+            churn: None,
+            membership_oracle: true,
         }
     }
 }
@@ -69,6 +98,10 @@ impl Default for EngineConfig {
             init_min: SimTime::from_secs(2),
             init_max: SimTime::from_secs(5),
             record_trace: false,
+            net: NetModel::Bus,
+            fault_plan: FaultPlan::none(),
+            churn: None,
+            membership_oracle: true,
         }
     }
 }
@@ -106,7 +139,8 @@ pub enum TraceEntry {
         /// Wire size in bytes.
         bytes: usize,
     },
-    /// A message was dropped (destination down).
+    /// A message was dropped (destination down, or injected by the fault
+    /// plan).
     Drop {
         /// Drop time.
         time: SimTime,
@@ -132,7 +166,8 @@ pub enum TraceEntry {
 /// The full event trace of a run (when enabled in [`EngineConfig`]).
 pub type Trace = Vec<TraceEntry>;
 
-enum Event<M> {
+#[derive(Debug)]
+pub(crate) enum Event<M> {
     Deliver {
         to: NodeId,
         from: NodeId,
@@ -147,48 +182,18 @@ enum Event<M> {
     },
     Crash {
         node: NodeId,
+        churn: bool,
     },
     Repair {
         node: NodeId,
+        churn: bool,
     },
     InitDone {
         node: NodeId,
         epoch: u64,
     },
-}
-
-struct Queued<M> {
-    time: SimTime,
-    seq: u64,
-    event: Event<M>,
-}
-
-impl<M> PartialEq for Queued<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-
-impl<M> Eq for Queued<M> {}
-
-impl<M> PartialOrd for Queued<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<M> Ord for Queued<M> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
-    }
-}
-
-struct Slot<A> {
-    actor: A,
-    status: MachineStatus,
-    /// Incarnation counter: bumped on crash so stale timers die with the
-    /// incarnation that set them.
-    epoch: u64,
+    /// One arrival of the engine-driven churn process.
+    ChurnTick,
 }
 
 /// The discrete-event engine driving `n` copies of an [`Actor`].
@@ -197,53 +202,149 @@ struct Slot<A> {
 ///
 /// See the crate-level documentation for a complete ping-pong example.
 pub struct Engine<A: Actor> {
-    config: EngineConfig,
-    nodes: Vec<Slot<A>>,
-    factory: Box<dyn Fn(NodeId) -> A>,
-    queue: BinaryHeap<Reverse<Queued<A::Msg>>>,
-    seq: u64,
-    now: SimTime,
-    bus_free_at: SimTime,
-    rng: ChaCha8Rng,
-    stats: Stats,
-    telemetry: Arc<Telemetry>,
-    tel_hot: TelHot,
-    trace_buf: Arc<TraceBuf>,
-    outputs: Vec<(SimTime, NodeId, A::Output)>,
-    trace: Trace,
-    concurrent_failures: usize,
+    pub(crate) config: EngineConfig,
+    pub(crate) arena: ActorArena<A>,
+    pub(crate) factory: Box<dyn Fn(NodeId) -> A>,
+    pub(crate) queue: EventQueue<Event<A::Msg>>,
+    pub(crate) now: SimTime,
+    pub(crate) bus_free_at: SimTime,
+    pub(crate) rng: ChaCha8Rng,
+    pub(crate) stats: Stats,
+    pub(crate) telemetry: Arc<Telemetry>,
+    pub(crate) tel: TelBuf,
+    pub(crate) trace_buf: Arc<TraceBuf>,
+    pub(crate) outputs: Vec<(SimTime, NodeId, A::Output)>,
+    pub(crate) trace: Trace,
+    pub(crate) concurrent_failures: usize,
+    /// Cached `config.fault_plan.is_pass_through()` so the per-send hot
+    /// path skips the plan without walking its maps.
+    pub(crate) fault_pass_through: bool,
 }
 
-/// Cached handles for metrics on the per-message hot path, so the engine
-/// never takes the registry's name-table lock while dispatching.
-struct TelHot {
+/// Buffered engine telemetry: plain local accumulators on the per-message
+/// hot path, flushed into the shared registry's atomics at run boundaries
+/// (`run_until`, `run_to_quiescence`, `take_outputs`, `snapshot`). At
+/// millions of events per second the previous per-message CAS loops and
+/// atomic histogram updates dominated the profile; buffering makes the
+/// hot path pure arithmetic while external observers still see totals at
+/// every point they could legitimately read them.
+pub(crate) struct TelBuf {
+    handles: TelHandles,
+    msgs_sent: u64,
+    bytes_sent: u64,
+    msg_cost: f64,
+    msgs_dropped: u64,
+    work_total: u64,
+    crashes: u64,
+    recoveries: u64,
+    churn_crashes: u64,
+    churn_recoveries: u64,
+    msg_bytes: HistSnapshot,
+    poll_wakeups: HistSnapshot,
+    writev_batch_frames: HistSnapshot,
+    writev_batch_bytes: HistSnapshot,
+    link_latency: HistSnapshot,
+    link_jitter: HistSnapshot,
+    counts: BTreeMap<&'static str, f64>,
+}
+
+/// Cached registry handles so flushes never take the name-table lock.
+struct TelHandles {
     msgs_sent: Arc<Counter>,
     bytes_sent: Arc<Counter>,
     msg_cost: Arc<Counter>,
     msgs_dropped: Arc<Counter>,
     work_total: Arc<Counter>,
-    msg_bytes: Arc<Histogram>,
+    crashes: Arc<Counter>,
+    recoveries: Arc<Counter>,
+    churn_crashes: Arc<Counter>,
+    churn_recoveries: Arc<Counter>,
     /// Shared-name mirrors of the live reactor's I/O histograms, with
     /// driver-specific semantics (DESIGN.md §6e): one "wakeup" per bus
     /// delivery, one "batch" per send action (a fan-out is one batch of
     /// `targets` frames).
+    msg_bytes: Arc<Histogram>,
     poll_wakeups: Arc<Histogram>,
     writev_batch_frames: Arc<Histogram>,
     writev_batch_bytes: Arc<Histogram>,
+    link_latency: Arc<Histogram>,
+    link_jitter: Arc<Histogram>,
 }
 
-impl TelHot {
-    fn new(t: &Telemetry) -> Self {
-        TelHot {
-            msgs_sent: t.counter("net.msgs_sent"),
-            bytes_sent: t.counter("net.bytes_sent"),
-            msg_cost: t.counter("net.msg_cost"),
-            msgs_dropped: t.counter("net.msgs_dropped"),
-            work_total: t.counter("work.total"),
-            msg_bytes: t.histogram("net.msg_bytes"),
-            poll_wakeups: t.histogram("net.poll.wakeups"),
-            writev_batch_frames: t.histogram("net.writev.batch_frames"),
-            writev_batch_bytes: t.histogram("net.writev.batch_bytes"),
+impl TelBuf {
+    pub(crate) fn new(t: &Telemetry) -> Self {
+        TelBuf {
+            handles: TelHandles {
+                msgs_sent: t.counter("net.msgs_sent"),
+                bytes_sent: t.counter("net.bytes_sent"),
+                msg_cost: t.counter("net.msg_cost"),
+                msgs_dropped: t.counter("net.msgs_dropped"),
+                work_total: t.counter("work.total"),
+                crashes: t.counter("fault.crashes"),
+                recoveries: t.counter("fault.recoveries"),
+                churn_crashes: t.counter("fault.churn.crashes"),
+                churn_recoveries: t.counter("fault.churn.recoveries"),
+                msg_bytes: t.histogram("net.msg_bytes"),
+                poll_wakeups: t.histogram("net.poll.wakeups"),
+                writev_batch_frames: t.histogram("net.writev.batch_frames"),
+                writev_batch_bytes: t.histogram("net.writev.batch_bytes"),
+                link_latency: t.histogram("net.link.latency_micros"),
+                link_jitter: t.histogram("net.link.jitter_micros"),
+            },
+            msgs_sent: 0,
+            bytes_sent: 0,
+            msg_cost: 0.0,
+            msgs_dropped: 0,
+            work_total: 0,
+            crashes: 0,
+            recoveries: 0,
+            churn_crashes: 0,
+            churn_recoveries: 0,
+            msg_bytes: HistSnapshot::empty(),
+            poll_wakeups: HistSnapshot::empty(),
+            writev_batch_frames: HistSnapshot::empty(),
+            writev_batch_bytes: HistSnapshot::empty(),
+            link_latency: HistSnapshot::empty(),
+            link_jitter: HistSnapshot::empty(),
+            counts: BTreeMap::new(),
+        }
+    }
+
+    /// Pushes every buffered delta into the registry and resets.
+    pub(crate) fn flush(&mut self, t: &Telemetry) {
+        fn counter(handle: &Counter, value: &mut u64) {
+            if *value > 0 {
+                handle.add(*value as f64);
+                *value = 0;
+            }
+        }
+        fn hist(handle: &Histogram, local: &mut HistSnapshot) {
+            if !local.is_empty() {
+                handle.absorb(local);
+                *local = HistSnapshot::empty();
+            }
+        }
+        let h = &self.handles;
+        counter(&h.msgs_sent, &mut self.msgs_sent);
+        counter(&h.bytes_sent, &mut self.bytes_sent);
+        counter(&h.msgs_dropped, &mut self.msgs_dropped);
+        counter(&h.work_total, &mut self.work_total);
+        counter(&h.crashes, &mut self.crashes);
+        counter(&h.recoveries, &mut self.recoveries);
+        counter(&h.churn_crashes, &mut self.churn_crashes);
+        counter(&h.churn_recoveries, &mut self.churn_recoveries);
+        if self.msg_cost != 0.0 {
+            h.msg_cost.add(self.msg_cost);
+            self.msg_cost = 0.0;
+        }
+        hist(&h.msg_bytes, &mut self.msg_bytes);
+        hist(&h.poll_wakeups, &mut self.poll_wakeups);
+        hist(&h.writev_batch_frames, &mut self.writev_batch_frames);
+        hist(&h.writev_batch_bytes, &mut self.writev_batch_bytes);
+        hist(&h.link_latency, &mut self.link_latency);
+        hist(&h.link_jitter, &mut self.link_jitter);
+        while let Some((name, delta)) = self.counts.pop_first() {
+            t.count(name, delta);
         }
     }
 }
@@ -258,45 +359,59 @@ impl<A: Actor> std::fmt::Debug for Engine<A> {
     }
 }
 
+/// Exponential sample with the given mean (microseconds).
+fn exp_micros(rng: &mut impl RngCore, mean_us: f64) -> u64 {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    (-u.ln() * mean_us) as u64
+}
+
 impl<A: Actor> Engine<A> {
     /// Creates an engine; `factory` builds the (fresh) actor for a machine,
     /// both at startup and after each crash (modeling full memory erasure).
     pub fn new(config: EngineConfig, factory: impl Fn(NodeId) -> A + 'static) -> Self {
+        let mut engine = Self::new_unstarted(config, factory);
+        if let Some(churn) = engine.config.churn {
+            engine.schedule_churn_tick(&churn);
+        }
+        // Start events for every node at t=0.
+        for i in 0..engine.config.n {
+            engine.dispatch_now(NodeId(i as u32), NodeEvent::Start);
+        }
+        engine.tel.flush(&engine.telemetry);
+        engine
+    }
+
+    /// Engine with empty queue and no `Start` events dispatched — the
+    /// shell that checkpoint restore fills in.
+    pub(crate) fn new_unstarted(
+        config: EngineConfig,
+        factory: impl Fn(NodeId) -> A + 'static,
+    ) -> Self {
         assert!(config.n > 0, "need at least one machine");
         assert!(config.init_min <= config.init_max);
-        let nodes = (0..config.n)
-            .map(|i| Slot {
-                actor: factory(NodeId(i as u32)),
-                status: MachineStatus::Up,
-                epoch: 0,
-            })
-            .collect();
+        let arena = ActorArena::new(config.n, &factory);
         let rng = ChaCha8Rng::seed_from_u64(config.seed);
         let stats = Stats::new(config.n);
         let telemetry = Arc::new(Telemetry::new());
-        let tel_hot = TelHot::new(&telemetry);
-        let mut engine = Engine {
-            nodes,
+        let tel = TelBuf::new(&telemetry);
+        let fault_pass_through = config.fault_plan.is_pass_through();
+        Engine {
+            arena,
             factory: Box::new(factory),
-            queue: BinaryHeap::new(),
-            seq: 0,
+            queue: EventQueue::new(),
             now: SimTime::ZERO,
             bus_free_at: SimTime::ZERO,
             rng,
             stats,
             telemetry,
-            tel_hot,
+            tel,
             trace_buf: Arc::new(TraceBuf::new()),
             outputs: Vec::new(),
             trace: Vec::new(),
             concurrent_failures: 0,
+            fault_pass_through,
             config,
-        };
-        // Start events for every node at t=0.
-        for i in 0..engine.config.n {
-            engine.dispatch_now(NodeId(i as u32), NodeEvent::Start);
         }
-        engine
     }
 
     /// Number of machines.
@@ -311,7 +426,7 @@ impl<A: Actor> Engine<A> {
 
     /// Status of a machine.
     pub fn status(&self, node: NodeId) -> MachineStatus {
-        self.nodes[node.index()].status
+        self.arena.status(node)
     }
 
     /// Run statistics so far.
@@ -321,8 +436,17 @@ impl<A: Actor> Engine<A> {
 
     /// The unified metrics registry mirroring every engine statistic and
     /// actor counter under the shared metric names (see DESIGN.md §6e).
+    ///
+    /// Engine-internal metrics are buffered on the hot path and flushed
+    /// at run boundaries; call [`flush_telemetry`](Self::flush_telemetry)
+    /// first when reading between single [`step`](Self::step) calls.
     pub fn telemetry(&self) -> &Arc<Telemetry> {
         &self.telemetry
+    }
+
+    /// Flushes buffered engine metrics into the registry.
+    pub fn flush_telemetry(&mut self) {
+        self.tel.flush(&self.telemetry);
     }
 
     /// The structured trace-event stream (op events recorded by the
@@ -340,11 +464,13 @@ impl<A: Actor> Engine<A> {
     /// Immutable access to a node's actor (for assertions in tests and for
     /// the harness to inspect server state).
     pub fn actor(&self, node: NodeId) -> &A {
-        &self.nodes[node.index()].actor
+        &self.arena.actors[node.index()]
     }
 
-    /// Drains the outputs emitted since the last call.
+    /// Drains the outputs emitted since the last call, flushing buffered
+    /// telemetry on the way (harnesses read metrics after draining).
     pub fn take_outputs(&mut self) -> Vec<(SimTime, NodeId, A::Output)> {
+        self.tel.flush(&self.telemetry);
         std::mem::take(&mut self.outputs)
     }
 
@@ -357,7 +483,7 @@ impl<A: Actor> Engine<A> {
     pub fn inject(&mut self, at: SimTime, node: NodeId, msg: A::Msg) {
         assert!(at >= self.now, "cannot inject into the past");
         let bytes = msg.wire_size();
-        self.push(
+        self.queue.push(
             at,
             Event::Deliver {
                 to: node,
@@ -373,33 +499,150 @@ impl<A: Actor> Engine<A> {
     pub fn apply_faults(&mut self, script: &FaultScript) {
         for (t, ev) in script.events() {
             match ev {
-                Fault::Crash(m) => self.push(*t, Event::Crash { node: *m }),
-                Fault::Repair(m) => self.push(*t, Event::Repair { node: *m }),
+                Fault::Crash(m) => {
+                    self.queue.push(
+                        *t,
+                        Event::Crash {
+                            node: *m,
+                            churn: false,
+                        },
+                    );
+                }
+                Fault::Repair(m) => {
+                    self.queue.push(
+                        *t,
+                        Event::Repair {
+                            node: *m,
+                            churn: false,
+                        },
+                    );
+                }
             }
         }
     }
 
     /// Crashes a machine right now (test convenience).
     pub fn crash_now(&mut self, node: NodeId) {
-        self.push(self.now, Event::Crash { node });
+        self.queue
+            .push(self.now, Event::Crash { node, churn: false });
     }
 
     /// Repairs a machine right now; it completes initialization after the
     /// configured bounded delay (test convenience).
     pub fn repair_now(&mut self, node: NodeId) {
-        self.push(self.now, Event::Repair { node });
+        self.queue
+            .push(self.now, Event::Repair { node, churn: false });
     }
 
-    fn push(&mut self, time: SimTime, event: Event<A::Msg>) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(Reverse(Queued { time, seq, event }));
+    fn schedule_churn_tick(&mut self, churn: &ChurnModel) {
+        // Aggregate arrival rate n·r, thinned at tick time by the up
+        // check — an exact simulation of per-up-machine rate r.
+        let mean_us = 1e6 / (churn.crash_rate_hz * self.config.n as f64);
+        let gap = SimTime::from_micros(exp_micros(&mut self.rng, mean_us).max(1));
+        self.queue.push(self.now + gap, Event::ChurnTick);
+    }
+
+    /// Sends one already-costed message: consults the fault plan, applies
+    /// the network model, and queues the delivery.
+    fn send_one(&mut self, from: NodeId, to: NodeId, msg: A::Msg, bytes: usize) {
+        let cost = self.config.cost_model.msg_cost(bytes);
+        let tx = self.config.cost_model.tx_time(bytes);
+        self.stats.msgs_sent += 1;
+        self.stats.total_msg_cost += cost;
+        self.stats.total_bytes += bytes as u64;
+        self.tel.msgs_sent += 1;
+        self.tel.msg_cost += cost;
+        self.tel.bytes_sent += bytes as u64;
+        self.tel.msg_bytes.record(bytes as u64);
+
+        // Injected link faults (messages are paid for whether or not the
+        // network then mangles them).
+        let mut injected = 0u64;
+        let mut jitter = 0u64;
+        if !self.fault_pass_through {
+            let d = self
+                .config
+                .fault_plan
+                .decide_detailed(from, to, &mut self.rng);
+            match d.fate {
+                LinkFate::Drop => {
+                    self.stats.dropped_msgs += 1;
+                    self.tel.msgs_dropped += 1;
+                    self.trace_buf.record(
+                        self.now.as_micros(),
+                        from.0,
+                        TraceKind::NetDrop { to: to.0 },
+                    );
+                    if self.config.record_trace {
+                        self.trace.push(TraceEntry::Drop { time: self.now, to });
+                    }
+                    // The frame still went out: on the bus model it
+                    // occupied the shared medium before being lost.
+                    if self.config.net == NetModel::Bus {
+                        let start = self.now.max(self.bus_free_at);
+                        self.bus_free_at = start + tx;
+                        self.stats.bus_busy_micros += tx.as_micros();
+                    }
+                    return;
+                }
+                LinkFate::Delay(d_us) => {
+                    injected = d_us;
+                    jitter = d.jitter_micros;
+                }
+                LinkFate::Deliver => {}
+            }
+        }
+
+        let mut deliver_at = match &self.config.net {
+            NetModel::Bus => {
+                let start = self.now.max(self.bus_free_at);
+                let t = start + tx;
+                self.bus_free_at = t;
+                self.stats.bus_busy_micros += tx.as_micros();
+                t
+            }
+            NetModel::Switched(model) => {
+                let s = model.sample(from, to, &mut self.rng);
+                injected += s.total_micros;
+                jitter += s.jitter_micros;
+                self.now + tx + SimTime::from_micros(s.total_micros)
+            }
+        };
+        if injected > 0 || matches!(self.config.net, NetModel::Switched(_)) {
+            self.tel.link_latency.record(injected);
+            self.tel.link_jitter.record(jitter);
+        }
+        if injected > 0 {
+            // Under the bus model the fault-plan delay happens after the
+            // transmission slot (the switch's latency already includes it
+            // in `injected`).
+            if self.config.net == NetModel::Bus {
+                deliver_at += SimTime::from_micros(injected);
+            }
+            self.trace_buf.record(
+                self.now.as_micros(),
+                from.0,
+                TraceKind::NetDelay {
+                    to: to.0,
+                    micros: injected,
+                },
+            );
+        }
+        self.queue.push(
+            deliver_at,
+            Event::Deliver {
+                to,
+                from,
+                msg,
+                bytes,
+                via_bus: true,
+            },
+        );
     }
 
     /// Runs the actor's handler for one event and applies its actions.
     fn dispatch_now(&mut self, node: NodeId, event: NodeEvent<A::Msg>) {
-        let slot = &mut self.nodes[node.index()];
-        if !slot.status.is_up() {
+        if !self.arena.is_up(node) {
             return;
         }
         let mut ctx = Context {
@@ -409,76 +652,32 @@ impl<A: Actor> Engine<A> {
             rng: &mut self.rng,
             actions: Vec::new(),
         };
-        slot.actor.handle(&mut ctx, event);
+        self.arena.actors[node.index()].handle(&mut ctx, event);
         let actions = ctx.actions;
-        let epoch = slot.epoch;
+        let epoch = self.arena.epoch[node.index()];
         for action in actions {
             match action {
                 Action::Send { to, msg } => {
                     let bytes = msg.wire_size();
-                    let cost = self.config.cost_model.msg_cost(bytes);
-                    let tx = self.config.cost_model.tx_time(bytes);
-                    let start = self.now.max(self.bus_free_at);
-                    let deliver_at = start + tx;
-                    self.bus_free_at = deliver_at;
-                    self.stats.bus_busy_micros += tx.as_micros();
-                    self.stats.msgs_sent += 1;
-                    self.stats.total_msg_cost += cost;
-                    self.stats.total_bytes += bytes as u64;
-                    self.tel_hot.msgs_sent.add(1.0);
-                    self.tel_hot.msg_cost.add(cost);
-                    self.tel_hot.bytes_sent.add(bytes as f64);
-                    self.tel_hot.msg_bytes.record(bytes as u64);
-                    self.tel_hot.writev_batch_frames.record(1);
-                    self.tel_hot.writev_batch_bytes.record(bytes as u64);
-                    self.push(
-                        deliver_at,
-                        Event::Deliver {
-                            to,
-                            from: node,
-                            msg,
-                            bytes,
-                            via_bus: true,
-                        },
-                    );
+                    self.tel.writev_batch_frames.record(1);
+                    self.tel.writev_batch_bytes.record(bytes as u64);
+                    self.send_one(node, to, msg, bytes);
                 }
                 Action::SendMany { to, msg } => {
                     // Sized once for the whole fan-out; each copy still
                     // pays α + β·|m| and serializes on the bus in turn.
                     let bytes = msg.wire_size();
-                    let cost = self.config.cost_model.msg_cost(bytes);
-                    let tx = self.config.cost_model.tx_time(bytes);
-                    self.tel_hot.writev_batch_frames.record(to.len() as u64);
-                    self.tel_hot
+                    self.tel.writev_batch_frames.record(to.len() as u64);
+                    self.tel
                         .writev_batch_bytes
                         .record((bytes * to.len()) as u64);
                     for target in to {
-                        let start = self.now.max(self.bus_free_at);
-                        let deliver_at = start + tx;
-                        self.bus_free_at = deliver_at;
-                        self.stats.bus_busy_micros += tx.as_micros();
-                        self.stats.msgs_sent += 1;
-                        self.stats.total_msg_cost += cost;
-                        self.stats.total_bytes += bytes as u64;
-                        self.tel_hot.msgs_sent.add(1.0);
-                        self.tel_hot.msg_cost.add(cost);
-                        self.tel_hot.bytes_sent.add(bytes as f64);
-                        self.tel_hot.msg_bytes.record(bytes as u64);
-                        self.push(
-                            deliver_at,
-                            Event::Deliver {
-                                to: target,
-                                from: node,
-                                msg: msg.clone(),
-                                bytes,
-                                via_bus: true,
-                            },
-                        );
+                        self.send_one(node, target, msg.clone(), bytes);
                     }
                 }
                 Action::SendLocal { msg } => {
                     let bytes = msg.wire_size();
-                    self.push(
+                    self.queue.push(
                         self.now,
                         Event::Deliver {
                             to: node,
@@ -490,16 +689,26 @@ impl<A: Actor> Engine<A> {
                     );
                 }
                 Action::SetTimer { delay, tag } => {
-                    self.push(self.now + delay, Event::Timer { node, tag, epoch });
+                    let key = self
+                        .queue
+                        .push(self.now + delay, Event::Timer { node, tag, epoch });
+                    let timers = &mut self.arena.timers[node.index()];
+                    // Opportunistic compaction keeps the list at the true
+                    // number of outstanding timers (amortized O(1)).
+                    if timers.len() >= 16 {
+                        let queue = &self.queue;
+                        timers.retain(|k| queue.is_live(*k));
+                    }
+                    timers.push(key);
                 }
                 Action::Emit(out) => self.outputs.push((self.now, node, out)),
                 Action::Work(units) => {
                     self.stats.work[node.index()] += units;
-                    self.tel_hot.work_total.add(units as f64);
+                    self.tel.work_total += units;
                 }
                 Action::Count(name, delta) => {
                     self.stats.bump(name, delta);
-                    self.telemetry.count(name, delta);
+                    *self.tel.counts.entry(name).or_insert(0.0) += delta;
                 }
                 Action::Trace(kind) => {
                     self.trace_buf.record(self.now.as_micros(), node.0, kind);
@@ -512,7 +721,7 @@ impl<A: Actor> Engine<A> {
     fn notify_peers(&mut self, about: NodeId, crashed: bool) {
         for i in 0..self.config.n {
             let peer = NodeId(i as u32);
-            if peer != about && self.nodes[i].status.is_up() {
+            if peer != about && self.arena.status[i].is_up() {
                 let ev = if crashed {
                     NodeEvent::PeerCrashed(about)
                 } else {
@@ -523,15 +732,63 @@ impl<A: Actor> Engine<A> {
         }
     }
 
+    /// Crashes `node` at the current instant (shared by scripted crashes
+    /// and churn ticks). No-op when already crashed.
+    fn do_crash(&mut self, node: NodeId, churn: bool) {
+        let i = node.index();
+        if self.arena.status[i] == MachineStatus::Crashed {
+            return; // already down; ignore
+        }
+        self.arena.status[i] = MachineStatus::Crashed;
+        self.arena.epoch[i] += 1;
+        // Memory erasure: replace the actor with a blank one now so
+        // no state survives even if inspected.
+        self.arena.actors[i] = (self.factory)(node);
+        // The incarnation's timers die with it — cancelled outright
+        // instead of tombstoning the queue.
+        let timers = std::mem::take(&mut self.arena.timers[i]);
+        for key in timers {
+            let _ = self.queue.cancel(key);
+        }
+        self.concurrent_failures += 1;
+        self.stats.crashes += 1;
+        self.stats.max_concurrent_failures = self
+            .stats
+            .max_concurrent_failures
+            .max(self.concurrent_failures);
+        self.tel.crashes += 1;
+        if churn {
+            self.arena.churned[i] = true;
+            self.tel.churn_crashes += 1;
+            let churn_model = self.config.churn.expect("churn crash without model");
+            let downtime = exp_micros(&mut self.rng, churn_model.mean_downtime.as_micros() as f64);
+            self.queue.push(
+                self.now + SimTime::from_micros(downtime),
+                Event::Repair { node, churn: true },
+            );
+        }
+        self.trace_buf
+            .record(self.now.as_micros(), node.0, TraceKind::Crash);
+        if self.config.record_trace {
+            self.trace.push(TraceEntry::Crash {
+                time: self.now,
+                node,
+            });
+        }
+        if self.config.membership_oracle {
+            self.notify_peers(node, true);
+        }
+    }
+
     /// Processes one event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
-        let Reverse(q) = match self.queue.pop() {
-            Some(q) => q,
-            None => return false,
+        let Some((time, _seq, event)) = self.queue.pop() else {
+            return false;
         };
-        debug_assert!(q.time >= self.now);
-        self.now = q.time;
-        match q.event {
+        debug_assert!(time >= self.now);
+        self.now = time;
+        self.stats.events_processed += 1;
+        match event {
             Event::Deliver {
                 to,
                 from,
@@ -539,11 +796,11 @@ impl<A: Actor> Engine<A> {
                 bytes,
                 via_bus,
             } => {
-                let up = self.nodes[to.index()].status.is_up();
+                let up = self.arena.is_up(to);
                 if via_bus {
                     // One delivery = one readiness wakeup of the
                     // receiving node (the simulator's poll(2) analog).
-                    self.tel_hot.poll_wakeups.record(1);
+                    self.tel.poll_wakeups.record(1);
                 }
                 if up {
                     if self.config.record_trace {
@@ -558,7 +815,7 @@ impl<A: Actor> Engine<A> {
                 } else {
                     if via_bus {
                         self.stats.dropped_msgs += 1;
-                        self.tel_hot.msgs_dropped.add(1.0);
+                        self.tel.msgs_dropped += 1;
                     }
                     if self.config.record_trace {
                         self.trace.push(TraceEntry::Drop { time: self.now, to });
@@ -566,59 +823,42 @@ impl<A: Actor> Engine<A> {
                 }
             }
             Event::Timer { node, tag, epoch } => {
-                let slot = &self.nodes[node.index()];
-                if slot.status.is_up() && slot.epoch == epoch {
+                let i = node.index();
+                if self.arena.status[i].is_up() && self.arena.epoch[i] == epoch {
                     self.dispatch_now(node, NodeEvent::Timer { tag });
                 }
             }
-            Event::Crash { node } => {
-                let slot = &mut self.nodes[node.index()];
-                if slot.status == MachineStatus::Crashed {
-                    return true; // already down; ignore
-                }
-                slot.status = MachineStatus::Crashed;
-                slot.epoch += 1;
-                // Memory erasure: replace the actor with a blank one now so
-                // no state survives even if inspected.
-                slot.actor = (self.factory)(node);
-                self.concurrent_failures += 1;
-                self.stats.crashes += 1;
-                self.stats.max_concurrent_failures = self
-                    .stats
-                    .max_concurrent_failures
-                    .max(self.concurrent_failures);
-                self.telemetry.count("fault.crashes", 1.0);
-                self.trace_buf
-                    .record(self.now.as_micros(), node.0, TraceKind::Crash);
-                if self.config.record_trace {
-                    self.trace.push(TraceEntry::Crash {
-                        time: self.now,
-                        node,
-                    });
-                }
-                self.notify_peers(node, true);
+            Event::Crash { node, churn } => {
+                self.do_crash(node, churn);
             }
-            Event::Repair { node } => {
-                let slot = &mut self.nodes[node.index()];
-                if slot.status != MachineStatus::Crashed {
+            Event::Repair { node, .. } => {
+                let i = node.index();
+                if self.arena.status[i] != MachineStatus::Crashed {
                     return true; // spurious repair; ignore
                 }
-                slot.status = MachineStatus::Initializing;
-                let epoch = slot.epoch;
+                self.arena.status[i] = MachineStatus::Initializing;
+                let epoch = self.arena.epoch[i];
                 let lo = self.config.init_min.as_micros();
                 let hi = self.config.init_max.as_micros().max(lo + 1);
                 let d = SimTime::from_micros(self.rng.gen_range(lo..hi));
-                self.push(self.now + d, Event::InitDone { node, epoch });
+                self.queue
+                    .push(self.now + d, Event::InitDone { node, epoch });
             }
             Event::InitDone { node, epoch } => {
-                let slot = &mut self.nodes[node.index()];
-                if slot.status != MachineStatus::Initializing || slot.epoch != epoch {
+                let i = node.index();
+                if self.arena.status[i] != MachineStatus::Initializing
+                    || self.arena.epoch[i] != epoch
+                {
                     return true;
                 }
-                slot.status = MachineStatus::Up;
+                self.arena.status[i] = MachineStatus::Up;
                 self.concurrent_failures -= 1;
                 self.stats.recoveries += 1;
-                self.telemetry.count("fault.recoveries", 1.0);
+                self.tel.recoveries += 1;
+                if self.arena.churned[i] {
+                    self.arena.churned[i] = false;
+                    self.tel.churn_recoveries += 1;
+                }
                 self.trace_buf
                     .record(self.now.as_micros(), node.0, TraceKind::Recover);
                 if self.config.record_trace {
@@ -628,16 +868,29 @@ impl<A: Actor> Engine<A> {
                     });
                 }
                 self.dispatch_now(node, NodeEvent::Recovered);
-                // Brief the fresh incarnation on peers that are currently
-                // down, so its view of the ensemble matches the oracle's.
-                let down: Vec<NodeId> = (0..self.config.n)
-                    .map(|i| NodeId(i as u32))
-                    .filter(|p| *p != node && !self.nodes[p.index()].status.is_up())
-                    .collect();
-                for p in down {
-                    self.dispatch_now(node, NodeEvent::PeerCrashed(p));
+                if self.config.membership_oracle {
+                    // Brief the fresh incarnation on peers that are
+                    // currently down, so its view of the ensemble matches
+                    // the oracle's.
+                    let down: Vec<NodeId> = (0..self.config.n)
+                        .map(|i| NodeId(i as u32))
+                        .filter(|p| *p != node && !self.arena.is_up(*p))
+                        .collect();
+                    for p in down {
+                        self.dispatch_now(node, NodeEvent::PeerCrashed(p));
+                    }
+                    self.notify_peers(node, false);
                 }
-                self.notify_peers(node, false);
+            }
+            Event::ChurnTick => {
+                let churn = self.config.churn.expect("churn tick without model");
+                // Fixed draw order: victim, next gap, then (inside the
+                // crash) the downtime.
+                let victim = NodeId(self.rng.gen_range(0..self.config.n as u32));
+                self.schedule_churn_tick(&churn);
+                if self.arena.is_up(victim) && self.concurrent_failures < churn.max_concurrent {
+                    self.do_crash(victim, true);
+                }
             }
         }
         true
@@ -646,17 +899,20 @@ impl<A: Actor> Engine<A> {
     /// Runs until the queue is empty or simulated time would exceed
     /// `until`. Returns the time of the last processed event.
     pub fn run_until(&mut self, until: SimTime) -> SimTime {
-        while let Some(Reverse(head)) = self.queue.peek() {
-            if head.time > until {
+        while let Some((head, _)) = self.queue.peek() {
+            if head > until {
                 break;
             }
             self.step();
         }
-        self.now = self.now.max(until.min(self.now + SimTime::ZERO));
+        self.tel.flush(&self.telemetry);
         self.now
     }
 
     /// Runs to quiescence (empty queue), with a safety cap on event count.
+    ///
+    /// Note: with churn enabled the queue never drains (the next tick is
+    /// always pending); use [`run_until`](Self::run_until) instead.
     ///
     /// # Panics
     ///
@@ -671,6 +927,7 @@ impl<A: Actor> Engine<A> {
                 "no quiescence after {max_events} events — livelock?"
             );
         }
+        self.tel.flush(&self.telemetry);
         self.now
     }
 }
@@ -678,6 +935,7 @@ impl<A: Actor> Engine<A> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{DelayDist, LatencyModel};
 
     /// A toy actor: forwards a counter around the ring `k` times.
     struct Ring {
@@ -731,6 +989,7 @@ mod tests {
         assert_eq!(e.stats().msgs_sent, 7);
         assert_eq!(e.stats().total_bytes, 7 * 64);
         assert_eq!(e.stats().total_work(), 8);
+        assert!(e.stats().events_processed >= 8);
     }
 
     #[test]
@@ -768,6 +1027,92 @@ mod tests {
         let tx = CostModel::new(10.0, 0.1).tx_time(100);
         assert_eq!(outs[0].0, tx);
         assert_eq!(outs[1].0, tx + tx, "second message waits for the bus");
+    }
+
+    #[test]
+    fn switched_net_does_not_serialize_transmissions() {
+        struct Burst;
+        #[derive(Debug, Clone)]
+        struct B;
+        impl WireSized for B {
+            fn wire_size(&self) -> usize {
+                100
+            }
+        }
+        impl Actor for Burst {
+            type Msg = B;
+            type Output = SimTime;
+            fn handle(&mut self, ctx: &mut Context<'_, B, SimTime>, event: NodeEvent<B>) {
+                match event {
+                    NodeEvent::Start if ctx.id() == NodeId(0) => {
+                        ctx.send(NodeId(1), B);
+                        ctx.send(NodeId(1), B);
+                    }
+                    NodeEvent::Message { .. } => {
+                        let t = ctx.now();
+                        ctx.emit(t);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let mut cfg = EngineConfig::for_tests(2);
+        cfg.net = NetModel::Switched(LatencyModel::uniform(DelayDist::fixed(500)));
+        let mut e = Engine::new(cfg, |_| Burst);
+        e.run_to_quiescence(100);
+        let outs = e.take_outputs();
+        assert_eq!(outs.len(), 2);
+        let tx = CostModel::new(10.0, 0.1).tx_time(100);
+        let expect = tx + SimTime::from_micros(500);
+        assert_eq!(outs[0].0, expect);
+        assert_eq!(
+            outs[1].0, expect,
+            "point-to-point links do not queue behind each other"
+        );
+        // Both messages still paid full cost, and the latency histogram
+        // saw both traversals.
+        assert_eq!(e.stats().msgs_sent, 2);
+        let snap = e.telemetry().snapshot();
+        assert_eq!(snap.hist("net.link.latency_micros").count, 2);
+        assert_eq!(snap.hist("net.link.latency_micros").min, 500);
+    }
+
+    #[test]
+    fn fault_plan_drops_and_delays_inside_the_engine() {
+        // Drop everything: the token dies on its first hop.
+        let mut cfg = EngineConfig::for_tests(3);
+        cfg.fault_plan = FaultPlan::none().drop_all(1.0);
+        let mut e = Engine::new(cfg, |id| Ring {
+            id,
+            received: Vec::new(),
+        });
+        e.inject(SimTime::ZERO, NodeId(0), Token(5));
+        e.run_to_quiescence(100);
+        assert_eq!(e.take_outputs().len(), 1, "only the injected delivery");
+        assert_eq!(e.stats().msgs_sent, 1);
+        assert_eq!(e.stats().dropped_msgs, 1);
+        let snap = e.telemetry().snapshot();
+        assert_eq!(snap.counter("net.msgs_dropped"), 1.0);
+
+        // Delay with jitter: delivery is late and both histograms fill.
+        let mut cfg = EngineConfig::for_tests(3);
+        cfg.fault_plan = FaultPlan::none()
+            .delay_all(DelayDist::fixed(1000))
+            .jitter_all(DelayDist::uniform(1, 9));
+        let mut e = Engine::new(cfg, |id| Ring {
+            id,
+            received: Vec::new(),
+        });
+        e.inject(SimTime::ZERO, NodeId(0), Token(1));
+        e.run_to_quiescence(100);
+        let outs = e.take_outputs();
+        assert_eq!(outs.len(), 2);
+        assert!(outs[1].0 >= SimTime::from_micros(1000), "delayed delivery");
+        let snap = e.telemetry().snapshot();
+        let lat = snap.hist("net.link.latency_micros");
+        assert_eq!(lat.count, 1);
+        assert!(lat.min >= 1001 && lat.max <= 1009);
+        assert_eq!(snap.hist("net.link.jitter_micros").count, 1);
     }
 
     #[test]
@@ -814,6 +1159,42 @@ mod tests {
         assert_eq!(e.actor(NodeId(1)).counter, 0);
         assert_eq!(e.stats().crashes, 1);
         assert_eq!(e.stats().max_concurrent_failures, 1);
+    }
+
+    #[test]
+    fn membership_oracle_off_suppresses_peer_events() {
+        struct Watch {
+            saw: u32,
+        }
+        #[derive(Debug, Clone)]
+        struct Nop;
+        impl WireSized for Nop {
+            fn wire_size(&self) -> usize {
+                1
+            }
+        }
+        impl Actor for Watch {
+            type Msg = Nop;
+            type Output = ();
+            fn handle(&mut self, ctx: &mut Context<'_, Nop, ()>, event: NodeEvent<Nop>) {
+                if matches!(
+                    event,
+                    NodeEvent::PeerCrashed(_) | NodeEvent::PeerRecovered(_)
+                ) {
+                    self.saw += 1;
+                    ctx.emit(());
+                }
+            }
+        }
+        let mut cfg = EngineConfig::for_tests(3);
+        cfg.membership_oracle = false;
+        let mut e = Engine::new(cfg, |_| Watch { saw: 0 });
+        e.crash_now(NodeId(1));
+        e.run_to_quiescence(100);
+        e.repair_now(NodeId(1));
+        e.run_to_quiescence(100);
+        assert!(e.take_outputs().is_empty(), "oracle is off");
+        assert_eq!(e.status(NodeId(1)), MachineStatus::Up);
     }
 
     #[test]
@@ -877,6 +1258,43 @@ mod tests {
     }
 
     #[test]
+    fn crash_cancels_timers_out_of_the_queue() {
+        // The O(log n) cancellation path: after the crash the timer is
+        // *gone from the queue*, not tombstoned — quiescence arrives
+        // without ever processing it.
+        struct T;
+        #[derive(Debug, Clone)]
+        struct Nop;
+        impl WireSized for Nop {
+            fn wire_size(&self) -> usize {
+                1
+            }
+        }
+        impl Actor for T {
+            type Msg = Nop;
+            type Output = ();
+            fn handle(&mut self, ctx: &mut Context<'_, Nop, ()>, event: NodeEvent<Nop>) {
+                if matches!(event, NodeEvent::Start) {
+                    for tag in 0..40 {
+                        ctx.set_timer(SimTime::from_secs(1000 + tag), tag);
+                    }
+                }
+            }
+        }
+        let mut e = Engine::new(EngineConfig::for_tests(1), |_| T);
+        let pending_before = e.queue.len();
+        assert!(pending_before >= 40);
+        e.crash_now(NodeId(0));
+        assert!(e.step()); // the crash event
+        assert!(
+            e.queue.is_empty(),
+            "all 40 timers cancelled in place, queue now empty"
+        );
+        // And the far-future timers never execute (fast quiescence).
+        assert_eq!(e.stats().events_processed, 1);
+    }
+
+    #[test]
     fn deterministic_under_same_seed() {
         let run = |seed| {
             let mut cfg = EngineConfig::for_tests(4);
@@ -893,6 +1311,49 @@ mod tests {
             (e.trace().clone(), e.stats().total_msg_cost)
         };
         assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn churn_crashes_and_recovers_machines() {
+        let mut cfg = EngineConfig::for_tests(8);
+        cfg.churn = Some(ChurnModel::new(
+            20.0, // per-machine crashes/s — fast, so a short run churns
+            SimTime::from_millis(5),
+            2,
+        ));
+        let mut e = Engine::new(cfg, |id| Ring {
+            id,
+            received: Vec::new(),
+        });
+        e.run_until(SimTime::from_secs(2));
+        let stats = e.stats();
+        assert!(stats.crashes > 0, "churn produced no crashes");
+        assert!(stats.recoveries > 0, "churn produced no recoveries");
+        assert!(
+            stats.max_concurrent_failures <= 2,
+            "churn exceeded its λ cap: {}",
+            stats.max_concurrent_failures
+        );
+        let snap = e.telemetry().snapshot();
+        assert_eq!(snap.counter("fault.churn.crashes"), stats.crashes as f64);
+        assert!(snap.counter("fault.churn.recoveries") > 0.0);
+    }
+
+    #[test]
+    fn churn_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut cfg = EngineConfig::for_tests(6);
+            cfg.seed = seed;
+            cfg.record_trace = true;
+            cfg.churn = Some(ChurnModel::new(10.0, SimTime::from_millis(10), 3));
+            let mut e = Engine::new(cfg, |id| Ring {
+                id,
+                received: Vec::new(),
+            });
+            e.run_until(SimTime::from_secs(3));
+            (e.trace().clone(), e.stats().crashes, e.stats().recoveries)
+        };
+        assert_eq!(run(9), run(9));
     }
 
     #[test]

@@ -82,6 +82,163 @@ pub enum LinkFate {
     Drop,
 }
 
+/// A [`LinkFate`] with its jitter component broken out, so drivers can
+/// record `net.link.latency_micros` and `net.link.jitter_micros` under
+/// the shared schema. `fate`'s delay (when any) already *includes* the
+/// jitter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkDecision {
+    /// The overall fate (delay totals include jitter).
+    pub fate: LinkFate,
+    /// The jitter portion of an injected delay, in microseconds.
+    pub jitter_micros: u64,
+}
+
+/// Per-link latency for the switched network model: every message pays
+/// `base + jitter` of propagation delay, with optional per-link overrides
+/// of the base and an asymmetry factor scaling links that point "down"
+/// the id space (`from > to`) — modeling asymmetric up/down paths.
+///
+/// Plain data; randomness comes from the caller's RNG, so one seed gives
+/// one delay sequence everywhere.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyModel {
+    base: DelayDist,
+    jitter: DelayDist,
+    asymmetry: f64,
+    link_base: BTreeMap<(NodeId, NodeId), DelayDist>,
+}
+
+/// One sampled link traversal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkLatency {
+    /// Total injected latency in microseconds (base + jitter, scaled).
+    pub total_micros: u64,
+    /// The jitter component alone, in microseconds.
+    pub jitter_micros: u64,
+}
+
+impl LatencyModel {
+    /// A symmetric model: every link pays `base`, no jitter.
+    pub fn uniform(base: DelayDist) -> Self {
+        LatencyModel {
+            base,
+            jitter: DelayDist::ZERO,
+            asymmetry: 1.0,
+            link_base: BTreeMap::new(),
+        }
+    }
+
+    /// Adds a jitter distribution sampled independently per message on
+    /// top of the base latency.
+    pub fn with_jitter(mut self, jitter: DelayDist) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Scales the base latency of every link with `from > to` by
+    /// `factor` (≥ 0) — a cheap stand-in for asymmetric routes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or not finite.
+    pub fn with_asymmetry(mut self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "asymmetry factor out of range"
+        );
+        self.asymmetry = factor;
+        self
+    }
+
+    /// Overrides the base latency of the directed link `from → to`.
+    pub fn link(mut self, from: NodeId, to: NodeId, base: DelayDist) -> Self {
+        self.link_base.insert((from, to), base);
+        self
+    }
+
+    /// The base distribution in force on `from → to`.
+    pub fn base(&self, from: NodeId, to: NodeId) -> DelayDist {
+        *self.link_base.get(&(from, to)).unwrap_or(&self.base)
+    }
+
+    /// The asymmetry factor.
+    pub fn asymmetry(&self) -> f64 {
+        self.asymmetry
+    }
+
+    /// Samples one traversal of `from → to`. Draw order is fixed (base,
+    /// then jitter) and zero distributions consume no randomness, keeping
+    /// seeded streams stable across model configurations.
+    pub fn sample(&self, from: NodeId, to: NodeId, rng: &mut impl RngCore) -> LinkLatency {
+        let mut base = self.base(from, to).sample(rng);
+        if self.asymmetry != 1.0 && from > to {
+            base = (base as f64 * self.asymmetry) as u64;
+        }
+        let jitter = self.jitter.sample(rng);
+        LinkLatency {
+            total_micros: base + jitter,
+            jitter_micros: jitter,
+        }
+    }
+}
+
+/// Which network the simulated ensemble runs on.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub enum NetModel {
+    /// The paper's §3.3 bus LAN: one message at a time, transmissions
+    /// serialize on the shared medium (`bus_free_at`).
+    #[default]
+    Bus,
+    /// A switched point-to-point fabric: transmissions do not serialize;
+    /// each message pays its transmission time plus a sampled per-link
+    /// latency from the model. Message *cost* (`α + β·|m|`) is charged
+    /// identically in both models.
+    Switched(LatencyModel),
+}
+
+/// A Poisson crash/rejoin ("churn") process executed by the engine
+/// itself, rather than pre-expanded into a [`FaultScript`] — script
+/// expansion is O(events · n) and unusable at millions of nodes, while
+/// the engine draws one exponential gap per *event*.
+///
+/// Semantics: the ensemble crashes at aggregate rate `n · crash_rate_hz`
+/// with the victim drawn uniformly; a tick whose victim is already down
+/// is discarded (exact thinning, so each *up* machine fails at
+/// `crash_rate_hz`). Crashed machines rejoin after an exponential
+/// downtime with mean `mean_downtime` plus the configured init phase.
+/// Ticks that would exceed `max_concurrent` simultaneous failures are
+/// suppressed, enforcing the paper's `≤ λ` assumption.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnModel {
+    /// Per-machine crash rate while up, in crashes per simulated second.
+    pub crash_rate_hz: f64,
+    /// Mean of the exponential downtime before repair begins.
+    pub mean_downtime: SimTime,
+    /// Cap on simultaneous failures (the `λ` budget).
+    pub max_concurrent: usize,
+}
+
+impl ChurnModel {
+    /// A churn process with the given rate, mean downtime, and `λ` cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is not finite and positive or the cap is 0.
+    pub fn new(crash_rate_hz: f64, mean_downtime: SimTime, max_concurrent: usize) -> Self {
+        assert!(
+            crash_rate_hz.is_finite() && crash_rate_hz > 0.0,
+            "churn rate must be positive"
+        );
+        assert!(max_concurrent > 0, "churn with a zero failure budget");
+        ChurnModel {
+            crash_rate_hz,
+            mean_downtime,
+            max_concurrent,
+        }
+    }
+}
+
 /// A message-level fault-injection plan shared by the simulator and the
 /// live runtime: per-link drop probability, per-link delay distribution,
 /// and partition sets. Crash/repair scheduling stays in [`FaultScript`];
@@ -107,6 +264,8 @@ pub struct FaultPlan {
     link_drop: BTreeMap<(NodeId, NodeId), f64>,
     default_delay: DelayDist,
     link_delay: BTreeMap<(NodeId, NodeId), DelayDist>,
+    default_jitter: DelayDist,
+    link_jitter: BTreeMap<(NodeId, NodeId), DelayDist>,
     blocked: BTreeSet<(NodeId, NodeId)>,
 }
 
@@ -151,6 +310,20 @@ impl FaultPlan {
         self
     }
 
+    /// Sets the plan-wide jitter distribution: an extra random delay
+    /// component sampled per message *on top of* the delay distribution,
+    /// and reported separately (`net.link.jitter_micros`).
+    pub fn jitter_all(mut self, d: DelayDist) -> Self {
+        self.default_jitter = d;
+        self
+    }
+
+    /// Sets the jitter distribution of the directed link `from → to`.
+    pub fn jitter_link(mut self, from: NodeId, to: NodeId, d: DelayDist) -> Self {
+        self.link_jitter.insert((from, to), d);
+        self
+    }
+
     /// Blocks the directed link `from → to` entirely (a one-way
     /// blackhole: SYNs and frames vanish).
     pub fn block_link(mut self, from: NodeId, to: NodeId) -> Self {
@@ -183,9 +356,11 @@ impl FaultPlan {
     pub fn is_pass_through(&self) -> bool {
         self.default_drop == 0.0
             && self.default_delay.is_zero()
+            && self.default_jitter.is_zero()
             && self.blocked.is_empty()
             && self.link_drop.values().all(|p| *p == 0.0)
             && self.link_delay.values().all(DelayDist::is_zero)
+            && self.link_jitter.values().all(DelayDist::is_zero)
     }
 
     /// The drop probability in force on `from → to`.
@@ -204,6 +379,14 @@ impl FaultPlan {
             .unwrap_or(&self.default_delay)
     }
 
+    /// The jitter distribution in force on `from → to`.
+    pub fn jitter(&self, from: NodeId, to: NodeId) -> DelayDist {
+        *self
+            .link_jitter
+            .get(&(from, to))
+            .unwrap_or(&self.default_jitter)
+    }
+
     /// True iff `from → to` is blocked (partition or explicit block).
     pub fn is_blocked(&self, from: NodeId, to: NodeId) -> bool {
         self.blocked.contains(&(from, to))
@@ -213,18 +396,48 @@ impl FaultPlan {
     /// randomness from `rng` only when the link is actually lossy or
     /// delayed (so a pass-through plan leaves the RNG untouched).
     pub fn decide(&self, from: NodeId, to: NodeId, rng: &mut impl RngCore) -> LinkFate {
+        self.decide_detailed(from, to, rng).fate
+    }
+
+    /// Like [`decide`](Self::decide) but with the jitter component of an
+    /// injected delay broken out, so drivers can record latency and
+    /// jitter under separate metric names. Draw order is fixed — drop
+    /// coin, delay, jitter — and zero distributions consume no
+    /// randomness.
+    pub fn decide_detailed(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        rng: &mut impl RngCore,
+    ) -> LinkDecision {
+        let deliver = LinkDecision {
+            fate: LinkFate::Deliver,
+            jitter_micros: 0,
+        };
         if self.is_blocked(from, to) {
-            return LinkFate::Drop;
+            return LinkDecision {
+                fate: LinkFate::Drop,
+                jitter_micros: 0,
+            };
         }
         let p = self.drop_prob(from, to);
         if p > 0.0 && rng.gen_bool(p) {
-            return LinkFate::Drop;
+            return LinkDecision {
+                fate: LinkFate::Drop,
+                jitter_micros: 0,
+            };
         }
         let d = self.delay(from, to);
-        if d.is_zero() {
-            LinkFate::Deliver
+        let delay = if d.is_zero() { 0 } else { d.sample(rng) };
+        let j = self.jitter(from, to);
+        let jitter = if j.is_zero() { 0 } else { j.sample(rng) };
+        if delay + jitter == 0 {
+            deliver
         } else {
-            LinkFate::Delay(d.sample(rng))
+            LinkDecision {
+                fate: LinkFate::Delay(delay + jitter),
+                jitter_micros: jitter,
+            }
         }
     }
 }
@@ -578,6 +791,58 @@ mod tests {
         assert_eq!(plan.decide(NodeId(1), NodeId(0), &mut rng), LinkFate::Drop);
         assert_eq!(plan.drop_prob(NodeId(0), NodeId(1)), 0.0);
         assert_eq!(plan.drop_prob(NodeId(1), NodeId(2)), 1.0);
+    }
+
+    #[test]
+    fn jitter_rides_on_top_of_delay_and_is_reported_separately() {
+        let plan = FaultPlan::none()
+            .delay_all(DelayDist::fixed(100))
+            .jitter_all(DelayDist::uniform(1, 50));
+        assert!(!plan.is_pass_through());
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        for _ in 0..32 {
+            let d = plan.decide_detailed(NodeId(0), NodeId(1), &mut rng);
+            assert!((1..=50).contains(&d.jitter_micros));
+            match d.fate {
+                LinkFate::Delay(total) => assert_eq!(total, 100 + d.jitter_micros),
+                other => panic!("expected a delay, got {other:?}"),
+            }
+        }
+        // Jitter alone (no delay) still delays the message.
+        let plan = FaultPlan::none().jitter_all(DelayDist::fixed(7));
+        let d = plan.decide_detailed(NodeId(0), NodeId(1), &mut rng);
+        assert_eq!(d.fate, LinkFate::Delay(7));
+        assert_eq!(d.jitter_micros, 7);
+    }
+
+    #[test]
+    fn latency_model_samples_base_jitter_and_asymmetry() {
+        let m = LatencyModel::uniform(DelayDist::fixed(200))
+            .with_jitter(DelayDist::uniform(1, 20))
+            .with_asymmetry(2.0)
+            .link(NodeId(0), NodeId(1), DelayDist::fixed(500));
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        // Per-link override, forward direction: 500 + jitter.
+        let s = m.sample(NodeId(0), NodeId(1), &mut rng);
+        assert_eq!(s.total_micros - s.jitter_micros, 500);
+        // Default base, forward (from < to): unscaled.
+        let s = m.sample(NodeId(1), NodeId(2), &mut rng);
+        assert_eq!(s.total_micros - s.jitter_micros, 200);
+        // Reverse direction (from > to): base scaled by the asymmetry.
+        let s = m.sample(NodeId(2), NodeId(1), &mut rng);
+        assert_eq!(s.total_micros - s.jitter_micros, 400);
+        assert!((1..=20).contains(&s.jitter_micros));
+    }
+
+    #[test]
+    fn net_model_default_is_bus() {
+        assert_eq!(NetModel::default(), NetModel::Bus);
+    }
+
+    #[test]
+    #[should_panic(expected = "churn rate")]
+    fn churn_model_rejects_nonpositive_rate() {
+        let _ = ChurnModel::new(0.0, SimTime::from_secs(1), 1);
     }
 
     #[test]

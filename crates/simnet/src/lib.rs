@@ -48,15 +48,23 @@
 #![warn(missing_docs)]
 
 mod actor;
+mod arena;
+mod checkpoint;
 mod cost;
 mod engine;
 mod fault;
+mod queue;
 mod stats;
 mod time;
 
 pub use actor::{drive_actor, Action, Actor, Context, NodeEvent, NodeId};
+pub use checkpoint::{CheckpointError, SimCheckpoint, CHECKPOINT_MAGIC, CHECKPOINT_VERSION};
 pub use cost::{CostModel, WireSized};
 pub use engine::{Engine, EngineConfig, MachineStatus, Trace, TraceEntry};
-pub use fault::{DelayDist, Fault, FaultPlan, FaultScript, FaultScriptError, LinkFate};
+pub use fault::{
+    ChurnModel, DelayDist, Fault, FaultPlan, FaultScript, FaultScriptError, LatencyModel,
+    LinkDecision, LinkFate, LinkLatency, NetModel,
+};
+pub use queue::{EventKey, EventQueue};
 pub use stats::Stats;
 pub use time::SimTime;

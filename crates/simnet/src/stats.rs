@@ -34,6 +34,9 @@ pub struct Stats {
     /// Peak number of simultaneously failed machines (to check the `≤ λ`
     /// assumption held).
     pub max_concurrent_failures: usize,
+    /// Total simulation events processed by the engine (throughput
+    /// denominator for the scale benchmarks).
+    pub events_processed: u64,
     /// Free-form labeled counters bumped by actors.
     pub counters: BTreeMap<String, f64>,
 }

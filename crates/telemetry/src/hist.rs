@@ -56,6 +56,25 @@ impl Histogram {
             max: self.max.load(Ordering::Relaxed),
         }
     }
+
+    /// Folds a locally accumulated [`HistSnapshot`] into this histogram —
+    /// the flush half of the buffer-locally-merge-at-snapshot-points
+    /// pattern the simulation engine uses to keep atomics off its hot
+    /// path. Equivalent to replaying every sample the snapshot holds.
+    pub fn absorb(&self, delta: &HistSnapshot) {
+        if delta.count == 0 {
+            return;
+        }
+        for (bucket, d) in self.buckets.iter().zip(delta.buckets.iter()) {
+            if *d != 0 {
+                bucket.fetch_add(*d, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(delta.count, Ordering::Relaxed);
+        self.sum.fetch_add(delta.sum, Ordering::Relaxed);
+        self.min.fetch_min(delta.min, Ordering::Relaxed);
+        self.max.fetch_max(delta.max, Ordering::Relaxed);
+    }
 }
 
 impl Default for Histogram {
@@ -84,6 +103,22 @@ impl HistSnapshot {
             min: u64::MAX,
             max: 0,
         }
+    }
+
+    /// Records one sample into this plain-data snapshot (no atomics) —
+    /// the accumulate half of the engine's buffered-telemetry pattern;
+    /// see [`Histogram::absorb`].
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] = self.buckets[bucket_index(v)].wrapping_add(1);
+        self.count = self.count.wrapping_add(1);
+        self.sum = self.sum.wrapping_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// True iff no sample was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
     }
 
     pub fn merge(&mut self, other: &HistSnapshot) {
@@ -150,5 +185,22 @@ mod tests {
         assert_eq!(s.min, 0);
         assert_eq!(s.max, 100);
         assert!((s.mean() - 26.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn local_record_then_absorb_equals_direct_record() {
+        let direct = Histogram::new();
+        let buffered = Histogram::new();
+        let mut local = HistSnapshot::empty();
+        for v in [0u64, 1, 3, 7, 120, 4096] {
+            direct.record(v);
+            local.record(v);
+        }
+        assert!(!local.is_empty());
+        buffered.absorb(&local);
+        assert_eq!(direct.snapshot(), buffered.snapshot());
+        // Absorbing an empty delta is a no-op (min stays untouched).
+        buffered.absorb(&HistSnapshot::empty());
+        assert_eq!(direct.snapshot(), buffered.snapshot());
     }
 }

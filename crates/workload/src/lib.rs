@@ -11,7 +11,10 @@
 //!   skew);
 //! - [`ops`] — full system-level PASO scripts (bag-of-tasks,
 //!   read-heavy lookup, mixed traffic) replayable against `SimSystem`;
-//! - [`Zipf`] — exact Zipf sampling for skewed popularity.
+//! - [`scale`] — the checkpointable [`ShardActor`] shard workload driven
+//!   by the million-process simnet benchmarks;
+//! - [`Zipf`] — Zipf sampling for skewed popularity (exact table or
+//!   table-free rejection-inversion for domains in the millions).
 //!
 //! Everything is seeded: the same arguments always produce the same
 //! workload.
@@ -33,7 +36,9 @@
 pub mod failures;
 pub mod ops;
 pub mod requests;
+pub mod scale;
 mod zipf;
 
 pub use ops::{OpSpec, Script};
+pub use scale::{ShardActor, ShardMsg, ShardOut};
 pub use zipf::Zipf;

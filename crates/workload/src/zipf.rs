@@ -3,8 +3,20 @@
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 
-/// A Zipf(θ) sampler over `0..n` using inverse-CDF with a precomputed
-/// table — exact, deterministic, O(log n) per sample.
+/// A Zipf(θ) sampler over `0..n`.
+///
+/// Two interchangeable backends behind one API:
+///
+/// - [`Zipf::new`] — exact inverse-CDF with a precomputed table: O(n)
+///   memory, O(log n) per sample. The right choice up to ~100k ids.
+/// - [`Zipf::rejection`] — Hörmann–Derflinger rejection-inversion: O(1)
+///   memory, O(1) expected draws per sample, no table build. The only
+///   viable choice when the domain is millions of ids (a table for
+///   n = 10⁶ costs 8 MB and a full pass to build).
+///
+/// Both are deterministic given the RNG seed; they draw different
+/// uniforms, so the two backends produce different (equally Zipfian)
+/// streams.
 ///
 /// # Examples
 ///
@@ -16,15 +28,56 @@ use rand_chacha::ChaCha8Rng;
 /// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
 /// let x = zipf.sample(&mut rng);
 /// assert!(x < 100);
+///
+/// let big = Zipf::rejection(1_000_000, 0.99);
+/// assert!(big.sample(&mut rng) < 1_000_000);
 /// ```
 #[derive(Debug, Clone)]
 pub struct Zipf {
-    cdf: Vec<f64>,
+    repr: Repr,
+}
+
+#[derive(Debug, Clone)]
+enum Repr {
+    Table {
+        cdf: Vec<f64>,
+    },
+    Rejection {
+        n: usize,
+        s: f64,
+        /// `H(1.5) - h(1)` — left edge of the inversion range.
+        h_x1: f64,
+        /// `H(n + 0.5)` — right edge.
+        h_n: f64,
+        /// Acceptance shortcut threshold (see Hörmann & Derflinger §4).
+        thresh: f64,
+    },
+}
+
+/// `H(x) = ∫ x^{-s} dx`, the tail integral of the unnormalized pmf.
+fn h_integral(x: f64, s: f64) -> f64 {
+    if (s - 1.0).abs() < 1e-12 {
+        x.ln()
+    } else {
+        (x.powf(1.0 - s) - 1.0) / (1.0 - s)
+    }
+}
+
+fn h_integral_inv(x: f64, s: f64) -> f64 {
+    if (s - 1.0).abs() < 1e-12 {
+        x.exp()
+    } else {
+        (1.0 + x * (1.0 - s)).powf(1.0 / (1.0 - s))
+    }
+}
+
+fn h(x: f64, s: f64) -> f64 {
+    x.powf(-s)
 }
 
 impl Zipf {
-    /// Creates a sampler over `0..n` with skew `theta ≥ 0` (`0` =
-    /// uniform; `1` = classic Zipf).
+    /// Creates an exact table-backed sampler over `0..n` with skew
+    /// `theta ≥ 0` (`0` = uniform; `1` = classic Zipf).
     ///
     /// # Panics
     ///
@@ -42,18 +95,72 @@ impl Zipf {
         for c in &mut cdf {
             *c /= total;
         }
-        Zipf { cdf }
+        Zipf {
+            repr: Repr::Table { cdf },
+        }
+    }
+
+    /// Creates a table-free rejection-inversion sampler over `0..n` with
+    /// skew `theta ≥ 0` — constant memory and constant expected time per
+    /// sample regardless of `n`, for domains where building the exact CDF
+    /// table is unaffordable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta < 0`.
+    pub fn rejection(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "need a non-empty domain");
+        assert!(theta >= 0.0, "skew must be non-negative");
+        let s = theta;
+        let h_x1 = h_integral(1.5, s) - 1.0;
+        let h_n = h_integral(n as f64 + 0.5, s);
+        let thresh = 2.0 - h_integral_inv(h_integral(2.5, s) - h(2.0, s), s);
+        Zipf {
+            repr: Repr::Rejection {
+                n,
+                s,
+                h_x1,
+                h_n,
+                thresh,
+            },
+        }
     }
 
     /// Domain size.
     pub fn n(&self) -> usize {
-        self.cdf.len()
+        match &self.repr {
+            Repr::Table { cdf } => cdf.len(),
+            Repr::Rejection { n, .. } => *n,
+        }
     }
 
     /// Draws one value in `0..n`.
     pub fn sample(&self, rng: &mut ChaCha8Rng) -> usize {
-        let u: f64 = rng.gen_range(0.0..1.0);
-        self.cdf.partition_point(|c| *c < u).min(self.cdf.len() - 1)
+        match &self.repr {
+            Repr::Table { cdf } => {
+                let u: f64 = rng.gen_range(0.0..1.0);
+                cdf.partition_point(|c| *c < u).min(cdf.len() - 1)
+            }
+            Repr::Rejection {
+                n,
+                s,
+                h_x1,
+                h_n,
+                thresh,
+            } => {
+                // Hörmann & Derflinger rejection-inversion over 1..=n,
+                // shifted to 0-based on return. Expected < 2 iterations
+                // for any s ≥ 0.
+                loop {
+                    let u = h_n + rng.gen_range(0.0..1.0) * (h_x1 - h_n);
+                    let x = h_integral_inv(u, *s);
+                    let k = (x + 0.5).floor().clamp(1.0, *n as f64);
+                    if k - x <= *thresh || u >= h_integral(k + 0.5, *s) - h(k, *s) {
+                        return k as usize - 1;
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -110,5 +217,68 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn rejects_empty_domain() {
         let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejection_rejects_empty_domain() {
+        let _ = Zipf::rejection(0, 1.0);
+    }
+
+    #[test]
+    fn rejection_samples_stay_in_range() {
+        for theta in [0.0, 0.5, 1.0, 1.0001, 1.5] {
+            let z = Zipf::rejection(1_000_000, theta);
+            let mut rng = ChaCha8Rng::seed_from_u64(3);
+            for _ in 0..5_000 {
+                assert!(z.sample(&mut rng) < 1_000_000, "theta={theta}");
+            }
+        }
+        // Degenerate single-element domain always returns 0.
+        let z = Zipf::rejection(1, 1.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn rejection_marginals_match_exact_table() {
+        // Same distribution, different algorithms: rank-0 frequency must
+        // agree with the exact sampler's within sampling noise.
+        let n = 1000;
+        let theta = 1.0;
+        let exact = Zipf::new(n, theta);
+        let fast = Zipf::rejection(n, theta);
+        let mut rng_a = ChaCha8Rng::seed_from_u64(11);
+        let mut rng_b = ChaCha8Rng::seed_from_u64(12);
+        let trials = 60_000;
+        let mut head_exact = 0u32;
+        let mut head_fast = 0u32;
+        for _ in 0..trials {
+            if exact.sample(&mut rng_a) == 0 {
+                head_exact += 1;
+            }
+            if fast.sample(&mut rng_b) == 0 {
+                head_fast += 1;
+            }
+        }
+        let a = head_exact as f64 / trials as f64;
+        let b = head_fast as f64 / trials as f64;
+        assert!(
+            (a - b).abs() < 0.01,
+            "head mass diverged: exact={a:.4} rejection={b:.4}"
+        );
+    }
+
+    #[test]
+    fn rejection_is_deterministic() {
+        let z = Zipf::rejection(100_000, 0.9);
+        let draw = |seed| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            (0..100).map(|_| z.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7), draw(8));
     }
 }

@@ -1,0 +1,95 @@
+//! One process holds 100 000 simulated machines (PR 7 acceptance).
+//!
+//! A 100k-machine [`ShardActor`] ensemble on the switched-fabric network
+//! model runs a Zipf-skewed insert/read workload under Poisson churn with
+//! the membership oracle off (so a churn crash costs O(1), not O(n)),
+//! completes the overwhelming majority of operations, and then survives
+//! a full checkpoint/restore round trip byte-identically. This is the
+//! debug-mode sibling of `exp_sim_scale` (which sweeps to one million
+//! machines in release mode and gates CI on events/sec).
+
+use paso::simnet::{ChurnModel, DelayDist, Engine, EngineConfig, LatencyModel, NetModel, SimTime};
+use paso::workload::{ShardActor, ShardMsg, ShardOut, Zipf};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const N: usize = 100_000;
+const LAMBDA: u32 = 2;
+const OPS: u64 = 20_000;
+
+fn config() -> EngineConfig {
+    EngineConfig {
+        n: N,
+        seed: 7,
+        record_trace: false,
+        net: NetModel::Switched(
+            LatencyModel::uniform(DelayDist::uniform(5, 25)).with_jitter(DelayDist::uniform(0, 5)),
+        ),
+        membership_oracle: false,
+        // ~100 crashes/sec across the ensemble, 5ms mean downtime.
+        churn: Some(ChurnModel::new(
+            100.0 / N as f64,
+            SimTime::from_millis(5),
+            16,
+        )),
+        ..EngineConfig::for_tests(N)
+    }
+}
+
+#[test]
+fn hundred_thousand_machines_complete_a_zipf_workload() {
+    let mut engine = Engine::new(config(), ShardActor::factory(LAMBDA));
+
+    let zipf = Zipf::rejection(N, 0.99);
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let mut reads = 0u64;
+    for i in 0..OPS {
+        let key = zipf.sample(&mut rng) as u64;
+        let home = ShardActor::home(key, N);
+        let msg = if i % 3 == 2 {
+            reads += 1;
+            ShardMsg::Read { key }
+        } else {
+            ShardMsg::Insert { key, val: key }
+        };
+        engine.inject(SimTime::from_micros(i), home, msg);
+    }
+
+    // Churn keeps the queue alive forever; run to a horizon that covers
+    // the last injection plus every replication round-trip.
+    engine.run_until(SimTime::from_micros(OPS + 100_000));
+
+    let outputs = engine.take_outputs();
+    let read_outs = outputs
+        .iter()
+        .filter(|(_, _, o)| matches!(o, ShardOut::Read { .. }))
+        .count() as u64;
+    // Ops can strand when churn crashes a machine mid-round (reads to a
+    // down home are dropped, inserts lose their ack collector), but the
+    // overwhelming majority must complete.
+    assert!(read_outs <= reads);
+    assert!(
+        read_outs >= reads * 9 / 10,
+        "{read_outs} of {reads} reads answered — churn ate too many"
+    );
+    assert!(
+        outputs.len() as u64 >= OPS * 9 / 10,
+        "{} of {OPS} ops completed — churn ate too many",
+        outputs.len()
+    );
+    assert!(
+        engine.stats().crashes > 0,
+        "churn must actually exercise the fault path"
+    );
+
+    // The whole 100k-machine world round-trips through a checkpoint.
+    let ckpt = engine.snapshot();
+    let mut restored = Engine::from_checkpoint(config(), ShardActor::factory(LAMBDA), &ckpt)
+        .expect("restore 100k-machine checkpoint");
+    assert_eq!(restored.now(), engine.now());
+    assert_eq!(
+        restored.snapshot().as_bytes(),
+        ckpt.as_bytes(),
+        "re-snapshot of the restored engine is byte-identical"
+    );
+}

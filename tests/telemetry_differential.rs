@@ -8,6 +8,7 @@
 
 use paso::core::{PasoConfig, SimSystem};
 use paso::runtime::{Cluster, TransportKind};
+use paso::simnet::{ChurnModel, DelayDist, FaultPlan, SimTime};
 use paso::telemetry::{check_trace, Snapshot};
 use paso::types::{SearchCriterion, Template, Value};
 
@@ -163,4 +164,107 @@ fn simnet_and_tcp_report_identical_op_totals_and_legal_traces() {
         sim_report.ops_checked, live_report.ops_checked,
         "both drivers saw the same completed ops"
     );
+}
+
+/// Injected link latency keeps name parity across drivers: the same
+/// delay+jitter fault plan drives the simulator's engine and a live TCP
+/// cluster, and both must populate `net.link.latency_micros` /
+/// `net.link.jitter_micros` — values differ (independent RNG streams),
+/// the schema must not.
+#[test]
+fn injected_link_latency_histograms_share_names_across_drivers() {
+    let plan = FaultPlan::none()
+        .delay_all(DelayDist::uniform(100, 400))
+        .jitter_all(DelayDist::fixed(50));
+
+    // --- Driver 1: the simulator, plan installed through PasoConfig ---
+    let mut sys = SimSystem::new(
+        PasoConfig::builder(N, LAMBDA)
+            .seed(SEED)
+            .fault_plan(plan.clone())
+            .build(),
+    );
+    for v in 1..=4 {
+        sys.insert(0, fields(v));
+    }
+    for v in 1..=4 {
+        assert!(sys.read(1, sc_eq(v)).is_some(), "sim read({v})");
+    }
+    sys.settle(5_000_000);
+    let sim_snap = sys.telemetry().snapshot();
+
+    // --- Driver 2: live TCP, same plan installed on the transport ---
+    let cluster = Cluster::start_faulty(
+        PasoConfig::builder(N, LAMBDA).seed(SEED).build(),
+        TransportKind::Tcp,
+        plan,
+    );
+    for v in 1..=4 {
+        cluster.insert(0, fields(v)).expect("live insert");
+    }
+    for v in 1..=4 {
+        assert!(
+            cluster.read(1, sc_eq(v)).expect("live read").is_some(),
+            "live read({v})"
+        );
+    }
+    let live_snap = cluster.telemetry().snapshot();
+    cluster.shutdown();
+
+    for name in ["net.link.latency_micros", "net.link.jitter_micros"] {
+        assert!(
+            sim_snap.hist(name).count > 0,
+            "sim recorded no samples under {name}"
+        );
+        assert!(
+            live_snap.hist(name).count > 0,
+            "live recorded no samples under {name}"
+        );
+    }
+    // Every delayed frame records both histograms in lockstep, and the
+    // jitter component is the fixed 50µs rider on each.
+    for snap in [&sim_snap, &live_snap] {
+        let lat = snap.hist("net.link.latency_micros");
+        let jit = snap.hist("net.link.jitter_micros");
+        assert_eq!(lat.count, jit.count, "latency/jitter recorded in pairs");
+        assert_eq!(jit.min, 50, "jitter rider is the fixed 50µs");
+        assert!(lat.min >= 150, "total delay includes base + jitter");
+    }
+}
+
+/// Churn counters extend the shared fault schema: the simulator's
+/// Poisson churn counts `fault.churn.*` alongside the `fault.crashes` /
+/// `fault.recoveries` names the live cluster's controller also uses.
+#[test]
+fn churn_counters_extend_the_shared_fault_schema() {
+    // --- Driver 1: simulator with engine-driven churn, no client ops ---
+    let mut sys = SimSystem::new(
+        PasoConfig::builder(N, LAMBDA)
+            .seed(SEED)
+            .churn(ChurnModel::new(25.0, SimTime::from_micros(20_000), LAMBDA))
+            .build(),
+    );
+    sys.run_for(SimTime::from_micros(2_000_000));
+    let sim_snap = sys.telemetry().snapshot();
+    let churn_crashes = sim_snap.counter("fault.churn.crashes");
+    assert!(churn_crashes > 0.0, "2s at 100 ticks/s must crash someone");
+    assert!(sim_snap.counter("fault.churn.recoveries") > 0.0);
+    // Churn counters refine, not replace, the base fault schema.
+    assert!(sim_snap.counter("fault.crashes") >= churn_crashes);
+    assert!(sim_snap.counter("fault.recoveries") > 0.0);
+
+    // --- Driver 2: live cluster, controller-driven crash/recover ---
+    let cluster = Cluster::start(
+        PasoConfig::builder(N, LAMBDA).seed(SEED).build(),
+        TransportKind::Channel,
+    );
+    cluster.crash(2);
+    cluster.recover(2);
+    let live_snap = cluster.telemetry().snapshot();
+    cluster.shutdown();
+    assert_eq!(live_snap.counter("fault.crashes"), 1.0);
+    assert_eq!(live_snap.counter("fault.recoveries"), 1.0);
+    // The live controller plays scripts, not Poisson churn, so the churn
+    // refinements stay zero there — same schema, one driver's extension.
+    assert_eq!(live_snap.counter("fault.churn.crashes"), 0.0);
 }

@@ -42,6 +42,42 @@ impl ChaCha8Rng {
     const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
     const ROUNDS: usize = 8;
 
+    /// The 32-byte seed this generator was created from.
+    pub fn get_seed(&self) -> [u8; 32] {
+        let mut seed = [0u8; 32];
+        for (chunk, word) in seed.chunks_exact_mut(4).zip(self.key) {
+            chunk.copy_from_slice(&word.to_le_bytes());
+        }
+        seed
+    }
+
+    /// Position in the keystream, counted in 32-bit words consumed since
+    /// seeding. A fresh generator is at position 0.
+    pub fn get_word_pos(&self) -> u64 {
+        // `counter` is the index of the *next* block to generate; the
+        // buffered block (when one exists) is `counter - 1` with `idx`
+        // words already consumed. Fresh state (counter 0, idx 16)
+        // deliberately maps to 0.
+        (self.counter * 16)
+            .wrapping_sub(16)
+            .wrapping_add(self.idx as u64)
+    }
+
+    /// Seeks the keystream to an absolute word position, as previously
+    /// returned by [`get_word_pos`](Self::get_word_pos). After seeking,
+    /// the generator emits exactly the words it would have emitted had it
+    /// advanced there by consumption — which is what makes externally
+    /// serialized RNG state restorable.
+    pub fn set_word_pos(&mut self, pos: u64) {
+        self.counter = pos / 16;
+        self.idx = 16;
+        let within = (pos % 16) as usize;
+        if within != 0 {
+            self.refill(); // generates block `counter`, bumps counter
+            self.idx = within;
+        }
+    }
+
     fn refill(&mut self) {
         let mut s: Block = [0; 16];
         s[..4].copy_from_slice(&Self::SIGMA);
@@ -147,6 +183,47 @@ mod tests {
         for count in ones {
             assert!((1228..=2867).contains(&count), "biased bit: {count}/4096");
         }
+    }
+
+    #[test]
+    fn word_pos_roundtrip_resumes_stream() {
+        let mut r = ChaCha8Rng::seed_from_u64(99);
+        assert_eq!(r.get_word_pos(), 0);
+        // Advance to an unaligned position (neither 0 nor a block edge).
+        let _: Vec<u32> = (0..21).map(|_| r.next_u32()).collect();
+        let pos = r.get_word_pos();
+        assert_eq!(pos, 21);
+        let expected: Vec<u64> = (0..32).map(|_| r.next_u64()).collect();
+
+        let mut s = ChaCha8Rng::from_seed(r.get_seed());
+        s.set_word_pos(pos);
+        assert_eq!(s.get_word_pos(), pos);
+        let resumed: Vec<u64> = (0..32).map(|_| s.next_u64()).collect();
+        assert_eq!(resumed, expected, "seek must resume the exact stream");
+    }
+
+    #[test]
+    fn word_pos_roundtrip_at_block_edges() {
+        for consumed in [0usize, 16, 32] {
+            let mut r = ChaCha8Rng::seed_from_u64(5);
+            for _ in 0..consumed {
+                r.next_u32();
+            }
+            let expected = {
+                let mut c = r.clone();
+                c.next_u32()
+            };
+            let mut s = ChaCha8Rng::seed_from_u64(5);
+            s.set_word_pos(r.get_word_pos());
+            assert_eq!(s.next_u32(), expected, "edge at {consumed} words");
+        }
+    }
+
+    #[test]
+    fn get_seed_matches_seeding() {
+        let seed = [7u8; 32];
+        let r = ChaCha8Rng::from_seed(seed);
+        assert_eq!(r.get_seed(), seed);
     }
 
     #[test]
