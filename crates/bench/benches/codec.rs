@@ -69,6 +69,7 @@ fn store_gcast() -> NetMsg {
             origin: NodeId(3),
             seq: 17,
         },
+        seq: 23,
         payload: payload.into(),
     })
 }

@@ -416,5 +416,23 @@ fn main() {
             std::process::exit(1);
         }
         println!("floor check passed: min throughput {worst:.0} >= {floor:.0} events/s");
+        // Restore must stay commensurate with save: `from_checkpoint`
+        // preallocates the actor arena and event queue, so rebuilding
+        // costs the same order as serializing. A large multiple here
+        // means the preallocation regressed (the n=1M restore was once
+        // ~10× save for exactly that reason). The absolute slack absorbs
+        // sub-millisecond timer noise on small smoke runs.
+        for run in &runs {
+            let cap = 4 * run.save_micros + 2_000;
+            if run.restore_micros > cap {
+                eprintln!(
+                    "FAIL: n={} checkpoint restore took {}µs vs {}µs save \
+                     (cap {}µs) — restore-side preallocation regressed",
+                    run.n, run.restore_micros, run.save_micros, cap
+                );
+                std::process::exit(1);
+            }
+        }
+        println!("restore check passed: every restore within 4× its save (+2ms slack)");
     }
 }

@@ -164,6 +164,27 @@ pub struct PasoConfig {
     /// protocol layers; scale experiments with oracle-free actors turn
     /// it off.
     pub membership_oracle: bool,
+    /// Attach a per-node write-ahead log that survives crashes. A
+    /// recovering node replays it locally and rejoins with a durable
+    /// watermark, so the donor ships a delta instead of the full state —
+    /// shrinking the adaptive join cost `K` from `O(|store|)` to
+    /// `O(missed deliveries)`.
+    pub durable: bool,
+    /// Fsync batching window in microseconds: appends within the window
+    /// share one sync. `0` syncs every append (strictest durability,
+    /// highest per-append cost).
+    pub durability_interval_micros: u64,
+    /// WAL compaction cadence: after this many logged deliveries the log
+    /// is rewritten as one snapshot per group. `0` disables compaction.
+    pub wal_snapshot_every: u64,
+    /// In-memory delivery-log horizon per group member (the donor side of
+    /// delta state transfer). Rejoiners further behind get a full
+    /// transfer.
+    pub log_horizon: usize,
+    /// Live runtime: directory for `node-<id>.wal` files. `None` keeps
+    /// WALs in memory (they still survive actor crashes — the hub
+    /// outlives the actor — just not process restarts).
+    pub wal_dir: Option<std::path::PathBuf>,
 }
 
 impl PasoConfig {
@@ -201,6 +222,11 @@ impl PasoConfig {
                 fault_plan: FaultPlan::none(),
                 churn: None,
                 membership_oracle: true,
+                durable: false,
+                durability_interval_micros: 500,
+                wal_snapshot_every: 64,
+                log_horizon: 512,
+                wal_dir: None,
             },
         }
     }
@@ -250,6 +276,12 @@ impl PasoConfig {
                     "churn max_concurrent must be ≤ λ (the §3.1 failure budget)",
                 ));
             }
+        }
+        if self.log_horizon == 0 {
+            return Err(ConfigError::new("log horizon must be positive"));
+        }
+        if self.wal_dir.is_some() && !self.durable {
+            return Err(ConfigError::new("wal_dir requires durable = true"));
         }
         Ok(())
     }
@@ -406,6 +438,40 @@ impl PasoConfigBuilder {
         self
     }
 
+    /// Enables the durable per-node write-ahead log (crash recovery via
+    /// local replay + delta rejoin).
+    pub fn durable(mut self, on: bool) -> Self {
+        self.cfg.durable = on;
+        self
+    }
+
+    /// Sets the fsync batching window in microseconds (`0` = sync every
+    /// append).
+    pub fn durability_interval_micros(mut self, d: u64) -> Self {
+        self.cfg.durability_interval_micros = d;
+        self
+    }
+
+    /// Sets the WAL compaction cadence in logged deliveries (`0`
+    /// disables compaction).
+    pub fn wal_snapshot_every(mut self, every: u64) -> Self {
+        self.cfg.wal_snapshot_every = every;
+        self
+    }
+
+    /// Sets the in-memory delivery-log horizon for delta state transfer.
+    pub fn log_horizon(mut self, horizon: usize) -> Self {
+        self.cfg.log_horizon = horizon;
+        self
+    }
+
+    /// Directs live-runtime WALs to files under `dir` (implies nothing
+    /// for simulation, which always uses the in-memory medium).
+    pub fn wal_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.cfg.wal_dir = Some(dir.into());
+        self
+    }
+
     /// Finishes the build.
     ///
     /// # Panics
@@ -533,6 +599,34 @@ mod tests {
         let mut bad = cfg;
         bad.net_backoff_cap_micros = 1;
         assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn durability_knobs_default_and_validate() {
+        let cfg = PasoConfig::builder(4, 1).build();
+        assert!(!cfg.durable, "durability must be opt-in");
+        assert_eq!(cfg.durability_interval_micros, 500);
+        assert_eq!(cfg.wal_snapshot_every, 64);
+        assert_eq!(cfg.log_horizon, 512);
+        assert!(cfg.wal_dir.is_none());
+        let cfg = PasoConfig::builder(4, 1)
+            .durable(true)
+            .durability_interval_micros(0)
+            .wal_snapshot_every(128)
+            .log_horizon(64)
+            .wal_dir("/tmp/paso-wal")
+            .build();
+        assert!(cfg.durable);
+        assert_eq!(cfg.durability_interval_micros, 0);
+        assert_eq!(cfg.wal_snapshot_every, 128);
+        assert_eq!(cfg.log_horizon, 64);
+        assert!(cfg.wal_dir.is_some());
+        let mut bad = cfg.clone();
+        bad.log_horizon = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = cfg;
+        bad.durable = false;
+        assert!(bad.validate().is_err(), "wal_dir without durable");
     }
 
     #[test]

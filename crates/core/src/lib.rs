@@ -63,7 +63,7 @@ pub use groups::{
 };
 pub use semantics::{check_run, LatencyStats, OpRecord, RunLog, SemanticsReport, Violation};
 pub use server::MemoryServer;
-pub use system::{ClassReport, SimSystem, SystemReport};
+pub use system::{register_durability_metrics, ClassReport, SimSystem, SystemReport};
 pub use wire::{
     decode, encode, try_decode, AppMsg, ClientDone, ClientOp, ClientRequest, ClientResult,
     OpResponse, ReplOp,

@@ -10,6 +10,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+use paso_durable::{DurabilityHub, DurableConfig};
 use paso_simnet::{Engine, EngineConfig, FaultScript, MachineStatus, NodeId, SimTime, Stats};
 use paso_telemetry::{ObjRef, OpKind, Outcome, Telemetry, TraceBuf, TraceEvent, TraceKind};
 use paso_types::{ClassId, Classifier, ObjectId, PasoObject, ProcessId, SearchCriterion, Value};
@@ -44,6 +45,29 @@ pub struct SystemReport {
     pub up: Vec<u32>,
     /// Does the §4.1 fault-tolerance condition hold?
     pub fault_tolerance_ok: bool,
+}
+
+/// Pre-registers the durability metric family on a telemetry registry so
+/// both substrates (simnet and live) expose the identical schema — every
+/// `wal.*` / `join.*` name, with its counter-vs-histogram kind — even
+/// before the first crash or join exercises it.
+pub fn register_durability_metrics(telemetry: &Telemetry) {
+    for c in [
+        "wal.compactions",
+        "wal.recovered_records",
+        "join.delta_hit",
+        "join.full_xfer",
+    ] {
+        telemetry.counter(c);
+    }
+    telemetry.counter("wal.append_bytes");
+    for h in [
+        "wal.fsync_micros",
+        "join.transfer_bytes",
+        "join.latency_micros",
+    ] {
+        telemetry.histogram(h);
+    }
 }
 
 /// Maps a native object id onto the telemetry trace's driver-neutral pair.
@@ -115,6 +139,7 @@ impl std::fmt::Display for SystemReport {
 pub struct SimSystem {
     engine: Engine<VsyncNode<MemoryServer>>,
     cfg: Arc<PasoConfig>,
+    hub: Option<Arc<DurabilityHub>>,
     classifier: Box<dyn Classifier>,
     next_op: u64,
     next_obj: u64,
@@ -148,6 +173,7 @@ impl SimSystem {
         let basic: BTreeMap<ClassId, Vec<NodeId>> = support.into_iter().collect();
         let vcfg = VsyncConfig {
             initial_groups: groups,
+            log_horizon: cfg.log_horizon,
             ..VsyncConfig::default()
         };
         let engine_cfg = EngineConfig {
@@ -162,23 +188,48 @@ impl SimSystem {
             churn: cfg.churn,
             membership_oracle: cfg.membership_oracle,
         };
+        // Simulated deployments always use the in-memory WAL medium:
+        // crash-survival is modeled (a crashed actor is rebuilt but its
+        // hub-held log persists), and fsync cost comes from the
+        // deterministic model in `paso-durable`.
+        let hub = cfg.durable.then(|| {
+            DurabilityHub::new_mem(DurableConfig {
+                durability_interval_micros: cfg.durability_interval_micros,
+                snapshot_every: cfg.wal_snapshot_every,
+            })
+        });
         let cfg_for_factory = Arc::clone(&cfg);
+        let hub_for_factory = hub.clone();
         let engine = Engine::new(engine_cfg, move |id| {
-            VsyncNode::new(
+            let node = VsyncNode::new(
                 id,
                 vcfg.clone(),
                 MemoryServer::new(id, Arc::clone(&cfg_for_factory), basic.clone()),
-            )
+            );
+            match &hub_for_factory {
+                Some(h) => node.with_wal(h.handle(id.0)),
+                None => node,
+            }
         });
+        if hub.is_some() {
+            register_durability_metrics(engine.telemetry());
+        }
         SimSystem {
             engine,
             cfg,
+            hub,
             classifier,
             next_op: 0,
             next_obj: 0,
             log: RunLog::new(),
             done: BTreeMap::new(),
         }
+    }
+
+    /// The shared durability hub, when `cfg.durable` is set — exposes
+    /// per-node WAL byte accounting for experiments.
+    pub fn durability_hub(&self) -> Option<&Arc<DurabilityHub>> {
+        self.hub.as_ref()
     }
 
     /// The configuration in force.

@@ -129,9 +129,13 @@ fn insert_cost_histogram_matches_figure1() {
         sys.settle(5_000_000);
         let h = sys.telemetry().snapshot().hist("op.insert.msg_cost");
         assert_eq!(h.count, OPS, "one sample per synchronous insert");
-        // Identical serialized inserts cost the same up to the rounding
-        // of a fractional β·|m| term into integer histogram samples.
-        assert!(h.max - h.min <= 1, "min {} max {}", h.min, h.max);
+        // Identical inserts differ only by the varint width of the rank
+        // timestamp inside the payload (±1 byte across the |g| copies
+        // that carry it: the origin hop and the |g|−1 fan-outs), plus
+        // the rounding of the fractional β·|m| term into integer
+        // histogram samples.
+        let slack = 1 + (lambda as u64 + 1).div_ceil(2);
+        assert!(h.max - h.min <= slack, "min {} max {}", h.min, h.max);
         assert_fig1_band(
             &format!("insert λ={lambda}"),
             h.mean(),

@@ -1,0 +1,59 @@
+//! Hand-rolled CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+//!
+//! Vendored-only build: no `crc32fast` in-tree, and the WAL only checksums
+//! record bodies (tens to a few thousand bytes), so a table-driven
+//! byte-at-a-time implementation is plenty.
+
+const POLY: u32 = 0xEDB8_8320;
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// CRC-32 of `bytes` (IEEE, as used by zlib/ethernet).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for the ASCII digits.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn detects_single_bit_flip() {
+        let mut data = b"the quick brown fox".to_vec();
+        let clean = crc32(&data);
+        data[7] ^= 0x01;
+        assert_ne!(crc32(&data), clean);
+    }
+}

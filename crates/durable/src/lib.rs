@@ -1,0 +1,43 @@
+//! # paso-durable — per-node write-ahead log and snapshots
+//!
+//! The paper assumes a crash erases all memory, so a rejoining node pays the
+//! full join cost `K` (complete state transfer). This crate makes `K` a
+//! tunable quantity: every group delivery is appended to a per-node
+//! write-ahead log, periodically compacted into store snapshots, and on
+//! crash-recovery the node replays snapshot + tail to rebuild its group state
+//! locally. The vsync layer then rejoins with a durable `(epoch, seq)`
+//! watermark so a donor can ship only the delta since the watermark.
+//!
+//! Layering: this crate depends only on `paso-wire`. It knows nothing about
+//! telemetry or the actor substrate — append operations return an
+//! [`AppendReceipt`] and the caller (vsync) records metrics through its own
+//! ops channel, which guarantees identical metric names under simnet and live.
+//!
+//! ## Log format
+//!
+//! ```text
+//! +----------------+---------+-------------------------------+
+//! | magic PASOWAL1 | version |  record*                      |
+//! +----------------+---------+-------------------------------+
+//! record := varint(len(body)) | body | crc32(body) LE
+//! body   := WalRecord wire encoding (tag 0 = Delivery, 1 = Snapshot)
+//! ```
+//!
+//! Recovery scans records until the first framing or CRC failure and
+//! truncates the torn tail, so a crash mid-append loses at most the last
+//! (incomplete) record and never corrupts earlier history.
+
+mod crc;
+mod hub;
+mod medium;
+mod record;
+mod wal;
+
+pub use crc::crc32;
+pub use hub::{DurabilityHub, WalHandle};
+pub use medium::{FileMedium, Medium, MemMedium};
+pub use record::WalRecord;
+pub use wal::{
+    AppendReceipt, DurableConfig, GroupRecovery, NodeWal, TailDelivery, WalRecovery, WAL_MAGIC,
+    WAL_VERSION,
+};

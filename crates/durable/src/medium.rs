@@ -1,0 +1,134 @@
+//! Storage media behind a [`crate::NodeWal`].
+//!
+//! The WAL logic is identical under simulation and live deployment; only the
+//! byte sink differs. [`MemMedium`] is an in-memory buffer owned by the
+//! durability hub — it survives a *simulated* crash (the actor is rebuilt,
+//! the hub is not) and reports no real fsync cost, so the WAL models one
+//! deterministically. [`FileMedium`] is a real append-mode file whose
+//! `sync_data` is measured with a wall clock.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// A byte sink the WAL appends to and recovers from.
+pub trait Medium: Send + std::fmt::Debug {
+    /// Appends raw bytes at the end of the log.
+    fn append(&mut self, bytes: &[u8]);
+    /// Makes appended bytes durable. Returns the measured cost in
+    /// microseconds, or `None` when the medium has no real sync (the WAL
+    /// then substitutes a deterministic model).
+    fn sync(&mut self) -> Option<u64>;
+    /// Reads the entire log contents.
+    fn read_all(&self) -> Vec<u8>;
+    /// Atomically replaces the log contents (truncation / compaction).
+    fn reset(&mut self, bytes: &[u8]);
+    /// Current log length in bytes.
+    fn len(&self) -> u64;
+    /// Whether the log is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// In-memory medium used under the simulator (and in tests).
+#[derive(Debug, Default)]
+pub struct MemMedium {
+    buf: Vec<u8>,
+}
+
+impl MemMedium {
+    /// New empty medium.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A medium pre-loaded with `bytes` — used by recovery tests to model a
+    /// torn log found on disk.
+    pub fn with_bytes(bytes: Vec<u8>) -> Self {
+        MemMedium { buf: bytes }
+    }
+}
+
+impl Medium for MemMedium {
+    fn append(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    fn sync(&mut self) -> Option<u64> {
+        None
+    }
+
+    fn read_all(&self) -> Vec<u8> {
+        self.buf.clone()
+    }
+
+    fn reset(&mut self, bytes: &[u8]) {
+        self.buf.clear();
+        self.buf.extend_from_slice(bytes);
+    }
+
+    fn len(&self) -> u64 {
+        self.buf.len() as u64
+    }
+}
+
+/// File-backed medium used by live deployments when `wal_dir` is set.
+#[derive(Debug)]
+pub struct FileMedium {
+    path: PathBuf,
+    file: File,
+    len: u64,
+}
+
+impl FileMedium {
+    /// Opens (or creates) the log file at `path` in append mode.
+    pub fn open(path: PathBuf) -> std::io::Result<Self> {
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .read(true)
+            .open(&path)?;
+        let len = file.metadata()?.len();
+        Ok(FileMedium { path, file, len })
+    }
+}
+
+impl Medium for FileMedium {
+    fn append(&mut self, bytes: &[u8]) {
+        // A full disk mid-run is unrecoverable for the node anyway; recovery
+        // will truncate whatever partial frame landed.
+        let _ = self.file.write_all(bytes);
+        self.len += bytes.len() as u64;
+    }
+
+    fn sync(&mut self) -> Option<u64> {
+        let t0 = Instant::now();
+        let _ = self.file.sync_data();
+        Some(t0.elapsed().as_micros() as u64)
+    }
+
+    fn read_all(&self) -> Vec<u8> {
+        std::fs::read(&self.path).unwrap_or_default()
+    }
+
+    fn reset(&mut self, bytes: &[u8]) {
+        // Write-then-rename so a crash during compaction leaves either the
+        // old log or the new one, never a mix.
+        let tmp = self.path.with_extension("wal.tmp");
+        let ok = std::fs::write(&tmp, bytes)
+            .and_then(|_| File::open(&tmp).and_then(|f| f.sync_data()))
+            .and_then(|_| std::fs::rename(&tmp, &self.path));
+        if ok.is_ok() {
+            if let Ok(reopened) = OpenOptions::new().append(true).read(true).open(&self.path) {
+                self.file = reopened;
+                self.len = bytes.len() as u64;
+            }
+        }
+    }
+
+    fn len(&self) -> u64 {
+        self.len
+    }
+}

@@ -1,0 +1,583 @@
+//! The per-node write-ahead log: framing, fsync batching, compaction, and
+//! torn-tail recovery.
+
+use std::collections::BTreeMap;
+
+use paso_wire::{encode_to_vec, put_varint, Reader, WireError};
+
+use crate::crc::crc32;
+use crate::medium::Medium;
+use crate::record::WalRecord;
+
+/// Magic bytes opening every WAL file.
+pub const WAL_MAGIC: &[u8; 8] = b"PASOWAL1";
+/// Format version written after the magic.
+pub const WAL_VERSION: u8 = 1;
+
+/// Tuning knobs for a [`NodeWal`], lifted from `PasoConfig`.
+#[derive(Debug, Clone, Copy)]
+pub struct DurableConfig {
+    /// Minimum microseconds between fsyncs. `0` syncs on every append;
+    /// larger values batch appends and amortize the sync cost at the price
+    /// of a wider torn-tail window.
+    pub durability_interval_micros: u64,
+    /// Compact the log into per-group snapshots after this many delivery
+    /// records. `0` disables snapshot compaction.
+    pub snapshot_every: u64,
+}
+
+impl Default for DurableConfig {
+    fn default() -> Self {
+        DurableConfig {
+            durability_interval_micros: 500,
+            snapshot_every: 64,
+        }
+    }
+}
+
+/// What one append cost. The caller turns this into telemetry
+/// (`wal.append_bytes` / `wal.fsync_micros`) through its own ops channel.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AppendReceipt {
+    /// Framed bytes written to the medium.
+    pub bytes: u64,
+    /// Fsync cost, when this append triggered one. Measured on a real
+    /// medium, deterministically modeled on [`crate::MemMedium`].
+    pub fsync_micros: Option<u64>,
+}
+
+/// A delivery record recovered from the log tail, ready for replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TailDelivery {
+    /// Leader-stamped sequence of the delivery.
+    pub seq: u64,
+    /// Originating node of the request.
+    pub origin: u32,
+    /// Per-origin request counter.
+    pub req_seq: u64,
+    /// Application payload to replay.
+    pub payload: Vec<u8>,
+}
+
+/// Recovered durable state for one group.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GroupRecovery {
+    /// History-lineage id of the recovered state.
+    pub epoch: u64,
+    /// Latest snapshot `(seq, state_bytes)`, if any.
+    pub snapshot: Option<(u64, Vec<u8>)>,
+    /// Deliveries after the snapshot, in ascending `seq` order.
+    pub tail: Vec<TailDelivery>,
+}
+
+/// Result of [`NodeWal::recover`].
+#[derive(Debug, Clone, Default)]
+pub struct WalRecovery {
+    /// Per-group recovered state, keyed by group id.
+    pub groups: BTreeMap<u64, GroupRecovery>,
+    /// Whole records accepted from the log.
+    pub records: usize,
+    /// Torn-tail bytes truncated from the end of the log.
+    pub truncated_bytes: u64,
+}
+
+/// A single node's write-ahead log.
+#[derive(Debug)]
+pub struct NodeWal {
+    medium: Box<dyn Medium>,
+    cfg: DurableConfig,
+    /// Bytes appended since the last sync.
+    pending_bytes: u64,
+    /// Timestamp (caller clock, micros) of the last sync.
+    last_sync_micros: u64,
+    /// Delivery records appended since the last compaction.
+    deliveries_since_snapshot: u64,
+}
+
+/// Modeled fsync cost for media without a real sync: a fixed setup cost plus
+/// a throughput term over the batch being flushed. Deterministic, so simnet
+/// runs reproduce byte-for-byte.
+fn modeled_fsync_micros(pending_bytes: u64) -> u64 {
+    50 + pending_bytes / 64
+}
+
+impl NodeWal {
+    /// Wraps `medium` with the given tuning. Writes the file header if the
+    /// medium is empty.
+    pub fn new(mut medium: Box<dyn Medium>, cfg: DurableConfig) -> Self {
+        if medium.is_empty() {
+            let mut header = Vec::with_capacity(WAL_MAGIC.len() + 1);
+            header.extend_from_slice(WAL_MAGIC);
+            header.push(WAL_VERSION);
+            medium.append(&header);
+        }
+        NodeWal {
+            medium,
+            cfg,
+            pending_bytes: 0,
+            last_sync_micros: 0,
+            deliveries_since_snapshot: 0,
+        }
+    }
+
+    /// Frames `body` as `varint(len) | body | crc32(body)`.
+    fn frame(body: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(body.len() + 9);
+        put_varint(&mut out, body.len() as u64);
+        out.extend_from_slice(body);
+        out.extend_from_slice(&crc32(body).to_le_bytes());
+        out
+    }
+
+    /// Appends one record, batching fsyncs per `durability_interval_micros`.
+    /// `now_micros` is the caller's clock (simulated or wall).
+    pub fn append(&mut self, record: &WalRecord, now_micros: u64) -> AppendReceipt {
+        let framed = Self::frame(&encode_to_vec(record));
+        self.medium.append(&framed);
+        self.pending_bytes += framed.len() as u64;
+        if matches!(record, WalRecord::Delivery { .. }) {
+            self.deliveries_since_snapshot += 1;
+        }
+        AppendReceipt {
+            bytes: framed.len() as u64,
+            fsync_micros: self.maybe_sync(now_micros),
+        }
+    }
+
+    fn maybe_sync(&mut self, now_micros: u64) -> Option<u64> {
+        if self.pending_bytes == 0 {
+            return None;
+        }
+        let due = self.cfg.durability_interval_micros == 0
+            || now_micros >= self.last_sync_micros + self.cfg.durability_interval_micros;
+        if due {
+            Some(self.sync_now(now_micros))
+        } else {
+            None
+        }
+    }
+
+    fn sync_now(&mut self, now_micros: u64) -> u64 {
+        let micros = self
+            .medium
+            .sync()
+            .unwrap_or_else(|| modeled_fsync_micros(self.pending_bytes));
+        self.pending_bytes = 0;
+        self.last_sync_micros = now_micros;
+        micros
+    }
+
+    /// Forces any batched appends down to the medium. Returns the fsync cost
+    /// if a sync actually ran.
+    pub fn flush(&mut self, now_micros: u64) -> Option<u64> {
+        if self.pending_bytes == 0 {
+            None
+        } else {
+            Some(self.sync_now(now_micros))
+        }
+    }
+
+    /// True when enough deliveries accumulated that the owner should build
+    /// group snapshots and call [`NodeWal::compact`].
+    pub fn wants_snapshot(&self) -> bool {
+        self.cfg.snapshot_every > 0 && self.deliveries_since_snapshot >= self.cfg.snapshot_every
+    }
+
+    /// Rewrites the log as one snapshot record per group, truncating all
+    /// earlier history. `snapshots` is `(group, epoch, seq, state_bytes)`.
+    pub fn compact(
+        &mut self,
+        snapshots: &[(u64, u64, u64, Vec<u8>)],
+        now_micros: u64,
+    ) -> AppendReceipt {
+        let mut fresh = Vec::new();
+        fresh.extend_from_slice(WAL_MAGIC);
+        fresh.push(WAL_VERSION);
+        for (group, epoch, seq, state) in snapshots {
+            let rec = WalRecord::Snapshot {
+                group: *group,
+                epoch: *epoch,
+                seq: *seq,
+                state: state.clone(),
+            };
+            fresh.extend_from_slice(&Self::frame(&encode_to_vec(&rec)));
+        }
+        let bytes = fresh.len() as u64;
+        self.medium.reset(&fresh);
+        self.pending_bytes = bytes;
+        self.deliveries_since_snapshot = 0;
+        let fsync_micros = Some(self.sync_now(now_micros));
+        AppendReceipt {
+            bytes,
+            fsync_micros,
+        }
+    }
+
+    /// Scans the log, truncates any torn tail, and folds the surviving
+    /// records into per-group recovered state.
+    ///
+    /// Fold rules: a snapshot supersedes everything earlier for its group
+    /// (an `epoch == 0` snapshot is a tombstone that forgets the group); a
+    /// delivery with a different epoch than the group's current recovered
+    /// state starts a fresh lineage; deliveries at or below the recovered
+    /// watermark are skipped, so replay can never resurrect or duplicate an
+    /// entry.
+    pub fn recover(&mut self) -> WalRecovery {
+        let bytes = self.medium.read_all();
+        let (records, good_len) = Self::parse(&bytes);
+        let truncated = bytes.len() as u64 - good_len as u64;
+        if truncated > 0 {
+            self.medium.reset(&bytes[..good_len]);
+        }
+
+        let mut out = WalRecovery {
+            truncated_bytes: truncated,
+            records: records.len(),
+            ..WalRecovery::default()
+        };
+        for rec in records {
+            match rec {
+                WalRecord::Snapshot {
+                    group, epoch: 0, ..
+                } => {
+                    out.groups.remove(&group);
+                }
+                WalRecord::Snapshot {
+                    group,
+                    epoch,
+                    seq,
+                    state,
+                } => {
+                    out.groups.insert(
+                        group,
+                        GroupRecovery {
+                            epoch,
+                            snapshot: Some((seq, state)),
+                            tail: Vec::new(),
+                        },
+                    );
+                }
+                WalRecord::Delivery {
+                    group,
+                    epoch,
+                    seq,
+                    origin,
+                    req_seq,
+                    payload,
+                } => {
+                    let gr = out.groups.entry(group).or_default();
+                    if gr.epoch != epoch {
+                        // A later lineage supersedes whatever came before.
+                        *gr = GroupRecovery {
+                            epoch,
+                            ..GroupRecovery::default()
+                        };
+                    }
+                    let watermark = gr
+                        .tail
+                        .last()
+                        .map(|t| t.seq)
+                        .or(gr.snapshot.as_ref().map(|(s, _)| *s))
+                        .unwrap_or(0);
+                    if seq > watermark {
+                        gr.tail.push(TailDelivery {
+                            seq,
+                            origin,
+                            req_seq,
+                            payload,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses framed records, stopping at the first framing or CRC failure.
+    /// Returns the accepted records and the byte length of the valid prefix.
+    fn parse(bytes: &[u8]) -> (Vec<WalRecord>, usize) {
+        let header_len = WAL_MAGIC.len() + 1;
+        if bytes.len() < header_len
+            || &bytes[..WAL_MAGIC.len()] != WAL_MAGIC
+            || bytes[WAL_MAGIC.len()] != WAL_VERSION
+        {
+            // Unrecognized or absent header: treat the whole log as torn.
+            return (Vec::new(), 0);
+        }
+        let mut records = Vec::new();
+        let mut good = header_len;
+        let mut r = Reader::new(&bytes[header_len..]);
+        loop {
+            if r.remaining() == 0 {
+                break;
+            }
+            let parsed = (|| -> Result<WalRecord, WireError> {
+                let len = r.length()?;
+                let body = r.bytes(len)?;
+                let crc_bytes = r.bytes(4)?;
+                let expect =
+                    u32::from_le_bytes([crc_bytes[0], crc_bytes[1], crc_bytes[2], crc_bytes[3]]);
+                if crc32(body) != expect {
+                    return Err(WireError::Malformed("WAL record CRC mismatch"));
+                }
+                paso_wire::decode_exact::<WalRecord>(body)
+            })();
+            match parsed {
+                Ok(rec) => {
+                    records.push(rec);
+                    good = header_len + r.position();
+                }
+                Err(_) => break,
+            }
+        }
+        (records, good)
+    }
+
+    /// Current log size in bytes.
+    pub fn log_bytes(&self) -> u64 {
+        self.medium.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::medium::MemMedium;
+    use proptest::prelude::*;
+
+    fn wal() -> NodeWal {
+        NodeWal::new(
+            Box::new(MemMedium::new()),
+            DurableConfig {
+                durability_interval_micros: 0,
+                snapshot_every: 0,
+            },
+        )
+    }
+
+    fn delivery(group: u64, seq: u64) -> WalRecord {
+        WalRecord::Delivery {
+            group,
+            epoch: 1,
+            seq,
+            origin: 2,
+            req_seq: 100 + seq,
+            payload: format!("payload-{seq}").into_bytes(),
+        }
+    }
+
+    #[test]
+    fn append_then_recover_round_trips() {
+        let mut w = wal();
+        for seq in 1..=5 {
+            let r = w.append(&delivery(9, seq), seq);
+            assert!(r.bytes > 0);
+            assert!(r.fsync_micros.is_some(), "interval 0 syncs every append");
+        }
+        let rec = w.recover();
+        assert_eq!(rec.records, 5);
+        assert_eq!(rec.truncated_bytes, 0);
+        let g = &rec.groups[&9];
+        assert_eq!(g.epoch, 1);
+        assert!(g.snapshot.is_none());
+        assert_eq!(g.tail.len(), 5);
+        assert_eq!(g.tail[4].seq, 5);
+        assert_eq!(g.tail[4].payload, b"payload-5");
+    }
+
+    #[test]
+    fn fsync_batching_respects_interval() {
+        let mut w = NodeWal::new(
+            Box::new(MemMedium::new()),
+            DurableConfig {
+                durability_interval_micros: 1000,
+                snapshot_every: 0,
+            },
+        );
+        // Header bytes count as pending, so the very first append syncs
+        // (now >= 0 + interval is false at t=1... use t past the interval).
+        let r1 = w.append(&delivery(1, 1), 2000);
+        assert!(r1.fsync_micros.is_some());
+        let r2 = w.append(&delivery(1, 2), 2100);
+        assert!(r2.fsync_micros.is_none(), "within interval: batched");
+        let r3 = w.append(&delivery(1, 3), 3100);
+        assert!(r3.fsync_micros.is_some(), "interval elapsed");
+        assert!(w.flush(3200).is_none(), "nothing pending after sync");
+    }
+
+    #[test]
+    fn snapshot_supersedes_and_tombstone_forgets() {
+        let mut w = wal();
+        w.append(&delivery(9, 1), 1);
+        w.append(&delivery(9, 2), 2);
+        w.append(
+            &WalRecord::Snapshot {
+                group: 9,
+                epoch: 1,
+                seq: 2,
+                state: b"snap".to_vec(),
+            },
+            3,
+        );
+        w.append(&delivery(9, 3), 4);
+        w.append(&delivery(8, 1), 5);
+        w.append(
+            &WalRecord::Snapshot {
+                group: 8,
+                epoch: 0,
+                seq: 0,
+                state: Vec::new(),
+            },
+            6,
+        );
+        let rec = w.recover();
+        let g9 = &rec.groups[&9];
+        assert_eq!(g9.snapshot, Some((2, b"snap".to_vec())));
+        assert_eq!(g9.tail.len(), 1);
+        assert_eq!(g9.tail[0].seq, 3);
+        assert!(!rec.groups.contains_key(&8), "tombstone forgets group 8");
+    }
+
+    #[test]
+    fn epoch_change_resets_lineage() {
+        let mut w = wal();
+        w.append(&delivery(9, 1), 1);
+        w.append(
+            &WalRecord::Delivery {
+                group: 9,
+                epoch: 2,
+                seq: 1,
+                origin: 0,
+                req_seq: 7,
+                payload: b"new".to_vec(),
+            },
+            2,
+        );
+        let rec = w.recover();
+        let g = &rec.groups[&9];
+        assert_eq!(g.epoch, 2);
+        assert_eq!(g.tail.len(), 1);
+        assert_eq!(g.tail[0].payload, b"new");
+    }
+
+    #[test]
+    fn compaction_truncates_history() {
+        let mut w = NodeWal::new(
+            Box::new(MemMedium::new()),
+            DurableConfig {
+                durability_interval_micros: 0,
+                snapshot_every: 3,
+            },
+        );
+        for seq in 1..=3 {
+            w.append(&delivery(9, seq), seq);
+        }
+        assert!(w.wants_snapshot());
+        let before = w.log_bytes();
+        let receipt = w.compact(&[(9, 1, 3, b"state-at-3".to_vec())], 10);
+        assert!(receipt.fsync_micros.is_some());
+        assert!(w.log_bytes() < before);
+        assert!(!w.wants_snapshot());
+        let rec = w.recover();
+        let g = &rec.groups[&9];
+        assert_eq!(g.snapshot, Some((3, b"state-at-3".to_vec())));
+        assert!(g.tail.is_empty());
+    }
+
+    #[test]
+    fn torn_tail_truncates_to_last_whole_record() {
+        let mut w = wal();
+        for seq in 1..=4 {
+            w.append(&delivery(9, seq), seq);
+        }
+        let full = w.medium.read_all();
+        // Chop mid-way through the last record.
+        let cut = full.len() - 5;
+        let mut torn = NodeWal::new(
+            Box::new(MemMedium::with_bytes(full[..cut].to_vec())),
+            DurableConfig::default(),
+        );
+        let rec = torn.recover();
+        assert_eq!(rec.groups[&9].tail.len(), 3, "last record dropped");
+        assert!(rec.truncated_bytes > 0);
+        assert_eq!(torn.log_bytes() + rec.truncated_bytes, cut as u64);
+        // Recovery truncated the medium: a second scan is clean.
+        let again = torn.recover();
+        assert_eq!(again.truncated_bytes, 0);
+        assert_eq!(again.groups[&9].tail.len(), 3);
+    }
+
+    #[test]
+    fn corrupt_crc_stops_replay_at_damage() {
+        let mut w = wal();
+        for seq in 1..=3 {
+            w.append(&delivery(9, seq), seq);
+        }
+        let mut bytes = w.medium.read_all();
+        // Flip a byte in the middle record's body.
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        let mut damaged = NodeWal::new(
+            Box::new(MemMedium::with_bytes(bytes)),
+            DurableConfig::default(),
+        );
+        let rec = damaged.recover();
+        assert!(rec.groups.get(&9).map_or(0, |g| g.tail.len()) < 3);
+        assert!(rec.truncated_bytes > 0);
+    }
+
+    proptest! {
+        /// Satellite 1: record codec round-trips for arbitrary field values.
+        #[test]
+        fn prop_record_round_trip(
+            group in 0u64..1 << 40,
+            epoch in 0u64..1 << 40,
+            seq in 0u64..1 << 40,
+            origin in 0u32..u32::MAX,
+            req_seq in any::<u64>(),
+            payload in proptest::collection::vec(any::<u8>(), 0..256),
+        ) {
+            let d = WalRecord::Delivery { group, epoch, seq, origin, req_seq, payload: payload.clone() };
+            let bytes = paso_wire::encode_to_vec(&d);
+            prop_assert_eq!(bytes.len(), paso_wire::Wire::encoded_len(&d));
+            prop_assert_eq!(paso_wire::decode_exact::<WalRecord>(&bytes).unwrap(), d);
+
+            let s = WalRecord::Snapshot { group, epoch, seq, state: payload };
+            let bytes = paso_wire::encode_to_vec(&s);
+            prop_assert_eq!(bytes.len(), paso_wire::Wire::encoded_len(&s));
+            prop_assert_eq!(paso_wire::decode_exact::<WalRecord>(&bytes).unwrap(), s);
+        }
+
+        /// Satellite 1 + acceptance: ANY prefix truncation recovers to a
+        /// prefix-consistent subset — replay stops cleanly at the last whole
+        /// record and never invents entries.
+        #[test]
+        fn prop_any_prefix_truncation_recovers_prefix(
+            n_records in 1usize..12,
+            cut_frac in 0.0f64..1.0,
+        ) {
+            let mut w = wal();
+            for seq in 1..=n_records as u64 {
+                w.append(&delivery(5, seq), seq);
+            }
+            let full = w.medium.read_all();
+            let cut = (full.len() as f64 * cut_frac) as usize;
+            let mut torn = NodeWal::new(
+                Box::new(MemMedium::with_bytes(full[..cut].to_vec())),
+                DurableConfig::default(),
+            );
+            let rec = torn.recover();
+            let tail = rec.groups.get(&5).map(|g| g.tail.clone()).unwrap_or_default();
+            // Recovered tail is a prefix of what was written: seqs 1..=k.
+            prop_assert!(tail.len() <= n_records);
+            for (i, t) in tail.iter().enumerate() {
+                prop_assert_eq!(t.seq, i as u64 + 1);
+                prop_assert_eq!(t.payload.clone(), format!("payload-{}", i + 1).into_bytes());
+            }
+            // And the medium was healed: re-recovery is stable.
+            let again = torn.recover();
+            prop_assert_eq!(again.truncated_bytes, 0);
+            prop_assert_eq!(again.groups.get(&5).map(|g| g.tail.len()).unwrap_or(0), tail.len());
+        }
+    }
+}

@@ -12,9 +12,10 @@ use crossbeam::channel::{unbounded, Receiver};
 use parking_lot::Mutex;
 
 use paso_core::{
-    assign_basic_support, encode, initial_groups, AppMsg, ClientDone, ClientOp, ClientRequest,
-    ClientResult, MemoryServer, PasoConfig,
+    assign_basic_support, encode, initial_groups, register_durability_metrics, AppMsg, ClientDone,
+    ClientOp, ClientRequest, ClientResult, MemoryServer, PasoConfig,
 };
+use paso_durable::{DurabilityHub, DurableConfig};
 use paso_simnet::{Fault, FaultPlan, FaultScript, NodeId};
 use paso_telemetry::{ObjRef, OpKind, Outcome, Telemetry, TraceBuf, TraceEvent, TraceKind};
 use paso_types::{ClassId, ObjectId, PasoObject, ProcessId, SearchCriterion, Value};
@@ -97,6 +98,7 @@ pub struct Cluster {
     results_evicted: AtomicU64,
     telemetry: Arc<Telemetry>,
     trace: Arc<TraceBuf>,
+    hub: Option<Arc<DurabilityHub>>,
     /// Monotonic zero for every trace timestamp this cluster records.
     epoch: Instant,
 }
@@ -187,8 +189,26 @@ impl Cluster {
         let basic: BTreeMap<ClassId, Vec<NodeId>> = support.into_iter().collect();
         let vcfg = VsyncConfig {
             initial_groups: groups,
+            log_horizon: cfg.log_horizon,
             ..VsyncConfig::default()
         };
+        // Durable mode: one hub shared by every node thread. A crash
+        // replaces the actor (`factory(node)`) but the hub-held WAL
+        // survives, so the rebuilt node replays it on `Recover`. With
+        // `wal_dir` set the log additionally lives on disk and real
+        // fsyncs are timed; otherwise the in-memory medium models them.
+        let hub: Option<Arc<DurabilityHub>> = cfg.durable.then(|| {
+            let dcfg = DurableConfig {
+                durability_interval_micros: cfg.durability_interval_micros,
+                snapshot_every: cfg.wal_snapshot_every,
+            };
+            match &cfg.wal_dir {
+                Some(dir) => {
+                    DurabilityHub::new_file(dcfg, dir.clone()).expect("open WAL directory")
+                }
+                None => DurabilityHub::new_mem(dcfg),
+            }
+        });
 
         let tuning = TransportTuning {
             queue_depth: cfg.net_queue_depth,
@@ -211,6 +231,9 @@ impl Cluster {
         };
         postman.set_fault_plan(plan);
         let telemetry = Arc::new(Telemetry::new());
+        if hub.is_some() {
+            register_durability_metrics(&telemetry);
+        }
         let trace = Arc::new(TraceBuf::new());
         let epoch = Instant::now();
         postman.set_trace_sink(Arc::clone(&trace), epoch);
@@ -229,16 +252,21 @@ impl Cluster {
             stats.push(Arc::clone(&st));
             let tel = Arc::clone(&telemetry);
             let tr = Arc::clone(&trace);
+            let hub = hub.clone();
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("paso-node-{i}"))
                     .spawn(move || {
                         let factory = move |id: NodeId| {
-                            VsyncNode::new(
+                            let node = VsyncNode::new(
                                 id,
                                 vcfg.clone(),
                                 MemoryServer::new(id, Arc::clone(&cfg), basic.clone()),
-                            )
+                            );
+                            match &hub {
+                                Some(h) => node.with_wal(h.handle(id.0)),
+                                None => node,
+                            }
                         };
                         run_node(
                             node, n, factory, mailbox, postman, out_tx, st, tel, tr, epoch,
@@ -263,8 +291,15 @@ impl Cluster {
             results_evicted: AtomicU64::new(0),
             telemetry,
             trace,
+            hub,
             epoch,
         }
+    }
+
+    /// The shared durability hub, when `cfg.durable` is set — exposes
+    /// per-node WAL byte accounting for experiments.
+    pub fn durability_hub(&self) -> Option<&Arc<DurabilityHub>> {
+        self.hub.as_ref()
     }
 
     /// Number of machines.

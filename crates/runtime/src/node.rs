@@ -104,6 +104,7 @@ pub(crate) fn run_node<A, F>(
                         tel_work.add(units as f64);
                     }
                     Action::Count(name, delta) => telemetry.count(name, delta),
+                    Action::Record(name, value) => telemetry.record(name, value),
                     Action::Trace(kind) => {
                         trace.record(epoch.elapsed().as_micros() as u64, node.0, kind);
                     }

@@ -25,9 +25,10 @@ fn arb_net_msg() -> impl Strategy<Value = NetMsg> {
             any::<u64>(),
             any::<u32>(),
             any::<u64>(),
+            any::<u64>(),
             proptest::collection::vec(any::<u8>(), 0..32)
         )
-            .prop_map(|(g, v, o, s, payload)| {
+            .prop_map(|(g, v, o, s, oseq, payload)| {
                 NetMsg::Vsync(VsyncMsg::Gcast {
                     group: GroupId(g),
                     view: ViewId(v),
@@ -35,6 +36,7 @@ fn arb_net_msg() -> impl Strategy<Value = NetMsg> {
                         origin: NodeId(o),
                         seq: s,
                     },
+                    seq: oseq,
                     payload: payload.into(),
                 })
             }),

@@ -469,6 +469,89 @@ fn live_e9_fault_trace_passes_axiom_checker() {
     cluster.shutdown();
 }
 
+/// Live E9 twin with durability on (the CI `durable-faults` job): the
+/// same seeded λ-bounded crash storm with message drops, but each crash
+/// now recovers through the WAL — the victim replays snapshot + tail
+/// locally and rejoins by advertising its durable watermark, so at least
+/// one rejoin must ship a delta instead of the full store. As ever, no
+/// acknowledged insert may be lost.
+#[test]
+fn durable_crash_storm_recovers_via_wal_and_delta_rejoin() {
+    let _storm = STORM_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let items: i64 = if soak() { 32 } else { 12 };
+    let cfg = PasoConfig::builder(5, 1).seed(SEED).durable(true).build();
+    let (members, producer) = item_support(&cfg);
+    let churned = members[0].0;
+    let mut cluster = Cluster::start_faulty(
+        cfg,
+        TransportKind::Channel,
+        FaultPlan::none().drop_all(0.04),
+    );
+    cluster.set_op_timeout(Duration::from_secs(3));
+    let cluster = Arc::new(cluster);
+
+    let storm = {
+        let c = Arc::clone(&cluster);
+        std::thread::spawn(move || {
+            for _ in 0..3 {
+                c.crash(churned);
+                std::thread::sleep(Duration::from_millis(40));
+                c.recover(churned);
+                std::thread::sleep(Duration::from_millis(150));
+            }
+        })
+    };
+    let mut acked = Vec::new();
+    for i in 0..items {
+        insert_until_ok(&cluster, producer, item("e9d", i), Duration::from_secs(30));
+        acked.push(i);
+    }
+    storm.join().unwrap();
+
+    // Heal the links; every acknowledged insert must still be readable.
+    cluster.set_fault_plan(FaultPlan::none());
+    for i in acked {
+        let got = read_until_found(
+            &cluster,
+            producer,
+            &sc_exact("e9d", i),
+            Duration::from_secs(30),
+        );
+        assert!(got.is_some(), "acknowledged insert {i} lost in ≤λ storm");
+    }
+
+    // Give the last rejoin time to finish its joins, then check the
+    // durable path actually carried the recovery.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let snap = loop {
+        let snap = cluster.telemetry().snapshot();
+        if snap.counter("join.delta_hit") >= 1.0 || Instant::now() > deadline {
+            break snap;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert!(
+        snap.counter("wal.recovered_records") > 0.0,
+        "recovery must replay the WAL, not start empty"
+    );
+    assert!(
+        snap.counter("join.delta_hit") >= 1.0,
+        "at least one rejoin must take the incremental path (delta {}, full {})",
+        snap.counter("join.delta_hit"),
+        snap.counter("join.full_xfer"),
+    );
+    assert!(snap.counter("wal.append_bytes") > 0.0);
+
+    // The durable storm's history is still axiom-legal.
+    let report = check_trace(&cluster.trace_events());
+    assert!(
+        report.ok(),
+        "durable-E9 trace violates the axioms: {:?}",
+        report.violations
+    );
+    cluster.shutdown();
+}
+
 fn varint_len(mut v: u64) -> u64 {
     let mut len = 1;
     while v >= 0x80 {

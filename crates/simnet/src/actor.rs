@@ -133,6 +133,9 @@ pub enum Action<M, O> {
     Work(u64),
     /// Bump a labeled statistics counter.
     Count(&'static str, f64),
+    /// Record a value into a labeled telemetry histogram (e.g. fsync
+    /// latencies, state-transfer sizes).
+    Record(&'static str, u64),
     /// Record a structured trace event. The driver stamps it with the
     /// current time (sim-time under the engine, monotonic time live) and
     /// this node's id before appending it to the run's trace stream.
@@ -232,6 +235,11 @@ impl<M, O> Context<'_, M, O> {
     /// Bumps a labeled statistics counter.
     pub fn count(&mut self, counter: &'static str, delta: f64) {
         self.actions.push(Action::Count(counter, delta));
+    }
+
+    /// Records a value into a labeled telemetry histogram.
+    pub fn record(&mut self, hist: &'static str, value: u64) {
+        self.actions.push(Action::Record(hist, value));
     }
 
     /// Records a structured trace event (gcast fan-outs, view changes, ...)

@@ -42,6 +42,20 @@ impl<A> ActorArena<A> {
         }
     }
 
+    /// An arena with every column sized for `n` nodes but NO actors built.
+    /// Used by checkpoint restore, which decodes all `n` actors from the
+    /// snapshot anyway — running the factory first would construct (and
+    /// immediately discard) `n` throwaway actors.
+    pub(crate) fn shell(n: usize) -> Self {
+        ActorArena {
+            actors: Vec::with_capacity(n),
+            status: vec![MachineStatus::Up; n],
+            epoch: vec![0; n],
+            churned: vec![false; n],
+            timers: vec![Vec::new(); n],
+        }
+    }
+
     #[inline]
     pub(crate) fn status(&self, node: NodeId) -> MachineStatus {
         self.status[node.index()]

@@ -379,6 +379,7 @@ where
 
         let n_events = u64::decode(&mut r)? as usize;
         let mut queue = EventQueue::new();
+        queue.reserve(n_events);
         let mut timers: Vec<Vec<crate::queue::EventKey>> = vec![Vec::new(); n];
         for _ in 0..n_events {
             let time = SimTime::from_micros(u64::decode(&mut r)?);
@@ -458,7 +459,9 @@ where
         factory: impl Fn(NodeId) -> A + 'static,
         ckpt: &SimCheckpoint,
     ) -> Result<Self, CheckpointError> {
-        let mut engine = Engine::new_unstarted(config, factory);
+        // Shell arena: restore decodes every actor from the snapshot, so
+        // building n factory actors here would be pure throwaway work.
+        let mut engine = Engine::new_unstarted(config, factory, false);
         engine.restore(ckpt)?;
         Ok(engine)
     }

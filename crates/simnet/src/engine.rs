@@ -246,6 +246,9 @@ pub(crate) struct TelBuf {
     link_latency: HistSnapshot,
     link_jitter: HistSnapshot,
     counts: BTreeMap<&'static str, f64>,
+    /// Actor-labeled histogram values (`Action::Record`), buffered like
+    /// `counts` and resolved against the registry at flush time.
+    records: BTreeMap<&'static str, HistSnapshot>,
 }
 
 /// Cached registry handles so flushes never take the name-table lock.
@@ -307,6 +310,7 @@ impl TelBuf {
             link_latency: HistSnapshot::empty(),
             link_jitter: HistSnapshot::empty(),
             counts: BTreeMap::new(),
+            records: BTreeMap::new(),
         }
     }
 
@@ -346,6 +350,11 @@ impl TelBuf {
         while let Some((name, delta)) = self.counts.pop_first() {
             t.count(name, delta);
         }
+        while let Some((name, local)) = self.records.pop_first() {
+            if !local.is_empty() {
+                t.histogram(name).absorb(&local);
+            }
+        }
     }
 }
 
@@ -369,7 +378,7 @@ impl<A: Actor> Engine<A> {
     /// Creates an engine; `factory` builds the (fresh) actor for a machine,
     /// both at startup and after each crash (modeling full memory erasure).
     pub fn new(config: EngineConfig, factory: impl Fn(NodeId) -> A + 'static) -> Self {
-        let mut engine = Self::new_unstarted(config, factory);
+        let mut engine = Self::new_unstarted(config, factory, true);
         if let Some(churn) = engine.config.churn {
             engine.schedule_churn_tick(&churn);
         }
@@ -382,14 +391,23 @@ impl<A: Actor> Engine<A> {
     }
 
     /// Engine with empty queue and no `Start` events dispatched — the
-    /// shell that checkpoint restore fills in.
+    /// shell that checkpoint restore fills in. With `build_actors` false
+    /// the arena columns are sized but no actors are constructed: restore
+    /// decodes all `n` actors from the snapshot, so running the factory
+    /// first would build `n` throwaway actors (the dominant term in the
+    /// old restore-vs-save asymmetry at n=1M).
     pub(crate) fn new_unstarted(
         config: EngineConfig,
         factory: impl Fn(NodeId) -> A + 'static,
+        build_actors: bool,
     ) -> Self {
         assert!(config.n > 0, "need at least one machine");
         assert!(config.init_min <= config.init_max);
-        let arena = ActorArena::new(config.n, &factory);
+        let arena = if build_actors {
+            ActorArena::new(config.n, &factory)
+        } else {
+            ActorArena::shell(config.n)
+        };
         let rng = ChaCha8Rng::seed_from_u64(config.seed);
         let stats = Stats::new(config.n);
         let telemetry = Arc::new(Telemetry::new());
@@ -709,6 +727,13 @@ impl<A: Actor> Engine<A> {
                 Action::Count(name, delta) => {
                     self.stats.bump(name, delta);
                     *self.tel.counts.entry(name).or_insert(0.0) += delta;
+                }
+                Action::Record(name, value) => {
+                    self.tel
+                        .records
+                        .entry(name)
+                        .or_insert_with(HistSnapshot::empty)
+                        .record(value);
                 }
                 Action::Trace(kind) => {
                     self.trace_buf.record(self.now.as_micros(), node.0, kind);

@@ -61,6 +61,14 @@ impl<T> EventQueue<T> {
         }
     }
 
+    /// Pre-sizes the queue for `additional` pending events. Checkpoint
+    /// restore knows the exact event count up front; growing a million-entry
+    /// slab by doubling was a visible slice of the restore/save asymmetry.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+        self.entries.reserve(additional);
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.heap.len()

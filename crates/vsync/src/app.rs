@@ -160,6 +160,10 @@ pub trait VsyncOps<O> {
     /// Bumps a labeled stats counter.
     fn count(&mut self, counter: &'static str, delta: f64);
 
+    /// Records a value into a labeled telemetry histogram. Default no-op
+    /// so bare test harnesses need not care.
+    fn record(&mut self, _hist: &'static str, _value: u64) {}
+
     /// Records a structured trace event into the run's trace stream.
     /// Default no-op so bare test harnesses need not care.
     fn trace(&mut self, _kind: paso_telemetry::TraceKind) {}

@@ -83,7 +83,7 @@ mod node;
 
 pub use app::{Delivery, GcastError, GroupApp, VsyncOps};
 pub use group::{GroupId, View, ViewId};
-pub use msg::{NetMsg, ReqId, VsyncMsg};
+pub use msg::{LogEntry, NetMsg, ReqId, VsyncMsg};
 pub use node::{VsyncConfig, VsyncNode};
 
 #[cfg(test)]

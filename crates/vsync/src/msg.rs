@@ -6,7 +6,7 @@ use paso_wire::{put_bytes, Frame, Reader, Wire, WireError};
 use crate::group::{GroupId, View, ViewId};
 
 /// A gcast request id, unique per origin node: `(origin, seq)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ReqId {
     /// The issuing node.
     pub origin: NodeId,
@@ -17,6 +17,39 @@ pub struct ReqId {
 impl std::fmt::Display for ReqId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{}:{}", self.origin, self.seq)
+    }
+}
+
+/// One leader-sequenced delivery, as shipped in a delta state transfer:
+/// the receiver replays these through its app layer to catch up from its
+/// durable watermark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogEntry {
+    /// Leader-stamped total-order sequence within the group's epoch.
+    pub seq: u64,
+    /// Identity of the delivered request (dedup on replay).
+    pub req: ReqId,
+    /// The application payload.
+    pub payload: Frame,
+}
+
+impl Wire for LogEntry {
+    fn encode(&self, out: &mut Vec<u8>) {
+        paso_wire::put_varint(out, self.seq);
+        self.req.encode(out);
+        self.payload.encode(out);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(LogEntry {
+            seq: r.varint()?,
+            req: ReqId::decode(r)?,
+            payload: Frame::decode(r)?,
+        })
+    }
+
+    fn encoded_len(&self) -> usize {
+        paso_wire::varint_len(self.seq) + self.req.encoded_len() + self.payload.encoded_len()
     }
 }
 
@@ -32,6 +65,11 @@ pub enum VsyncMsg {
         view: ViewId,
         /// Request identity (for dedup and retries).
         req: ReqId,
+        /// Leader-stamped total-order sequence. `0` on the unsequenced
+        /// origin→leader hop; the leader stamps a positive value before
+        /// fanning out, and members log `(seq, req, payload)` for delta
+        /// state transfer and the durable WAL.
+        seq: u64,
         /// Application payload, encoded once by the origin and shared
         /// (refcounted) across every per-member copy of the fan-out.
         payload: Frame,
@@ -65,11 +103,24 @@ pub enum VsyncMsg {
         view: View,
     },
     /// Ask the group manager (leader) to admit `joiner`.
+    ///
+    /// The joiner advertises its last durable watermark so the donor can
+    /// ship a delta instead of the full state. `(epoch, seq) = (0, 0)`
+    /// means "no durable history — send everything".
     JoinReq {
         /// Target group.
         group: GroupId,
         /// The node wishing to join.
         joiner: NodeId,
+        /// History-lineage id of the joiner's durable state (0 = none).
+        epoch: u64,
+        /// Highest delivery sequence the joiner holds durably.
+        seq: u64,
+        /// The request the joiner applied at `seq` — a divergence guard:
+        /// if the donor's log disagrees about what `seq` was, the
+        /// histories forked (e.g. leader-failover seq reuse) and the
+        /// donor falls back to a full transfer.
+        req: ReqId,
     },
     /// Ask the group manager to remove `leaver`.
     LeaveReq {
@@ -125,6 +176,21 @@ pub enum VsyncMsg {
         /// Serialized application state for the group's classes.
         state: Vec<u8>,
     },
+    /// Incremental state transfer: only the deliveries since the joiner's
+    /// advertised durable watermark. Sent instead of [`VsyncMsg::StateXfer`]
+    /// when the donor's delivery log still covers the gap.
+    StateXferDelta {
+        /// Target group.
+        group: GroupId,
+        /// View in which the delta was taken.
+        view: ViewId,
+        /// History-lineage id both sides agreed on.
+        epoch: u64,
+        /// The watermark the delta starts after (exclusive).
+        from_seq: u64,
+        /// Deliveries in `(from_seq, donor.applied_seq]`, ascending.
+        entries: Vec<LogEntry>,
+    },
 }
 
 impl VsyncMsg {
@@ -140,7 +206,8 @@ impl VsyncMsg {
             | VsyncMsg::NewView { group, .. }
             | VsyncMsg::ProbeReq { group, .. }
             | VsyncMsg::ProbeResp { group, .. }
-            | VsyncMsg::StateXfer { group, .. } => *group,
+            | VsyncMsg::StateXfer { group, .. }
+            | VsyncMsg::StateXferDelta { group, .. } => *group,
         }
     }
 }
@@ -170,12 +237,14 @@ impl Wire for VsyncMsg {
                 group,
                 view,
                 req,
+                seq,
                 payload,
             } => {
                 out.push(0);
                 group.encode(out);
                 view.encode(out);
                 req.encode(out);
+                paso_wire::put_varint(out, *seq);
                 payload.encode(out);
             }
             VsyncMsg::GcastDone { group, req } => {
@@ -199,10 +268,19 @@ impl Wire for VsyncMsg {
                 req.encode(out);
                 view.encode(out);
             }
-            VsyncMsg::JoinReq { group, joiner } => {
+            VsyncMsg::JoinReq {
+                group,
+                joiner,
+                epoch,
+                seq,
+                req,
+            } => {
                 out.push(4);
                 group.encode(out);
                 joiner.encode(out);
+                paso_wire::put_varint(out, *epoch);
+                paso_wire::put_varint(out, *seq);
+                req.encode(out);
             }
             VsyncMsg::LeaveReq { group, leaver } => {
                 out.push(5);
@@ -244,6 +322,20 @@ impl Wire for VsyncMsg {
                 view.encode(out);
                 put_bytes(out, state);
             }
+            VsyncMsg::StateXferDelta {
+                group,
+                view,
+                epoch,
+                from_seq,
+                entries,
+            } => {
+                out.push(10);
+                group.encode(out);
+                view.encode(out);
+                paso_wire::put_varint(out, *epoch);
+                paso_wire::put_varint(out, *from_seq);
+                entries.encode(out);
+            }
         }
     }
 
@@ -253,6 +345,7 @@ impl Wire for VsyncMsg {
                 group: GroupId::decode(r)?,
                 view: ViewId::decode(r)?,
                 req: ReqId::decode(r)?,
+                seq: r.varint()?,
                 payload: Frame::decode(r)?,
             },
             1 => VsyncMsg::GcastDone {
@@ -272,6 +365,9 @@ impl Wire for VsyncMsg {
             4 => VsyncMsg::JoinReq {
                 group: GroupId::decode(r)?,
                 joiner: NodeId::decode(r)?,
+                epoch: r.varint()?,
+                seq: r.varint()?,
+                req: ReqId::decode(r)?,
             },
             5 => VsyncMsg::LeaveReq {
                 group: GroupId::decode(r)?,
@@ -298,6 +394,13 @@ impl Wire for VsyncMsg {
                 view: ViewId::decode(r)?,
                 state: r.byte_string()?.to_vec(),
             },
+            10 => VsyncMsg::StateXferDelta {
+                group: GroupId::decode(r)?,
+                view: ViewId::decode(r)?,
+                epoch: r.varint()?,
+                from_seq: r.varint()?,
+                entries: Vec::<LogEntry>::decode(r)?,
+            },
             tag => {
                 return Err(WireError::InvalidTag {
                     ty: "VsyncMsg",
@@ -313,9 +416,14 @@ impl Wire for VsyncMsg {
                 group,
                 view,
                 req,
+                seq,
                 payload,
             } => {
-                group.encoded_len() + view.encoded_len() + req.encoded_len() + payload.encoded_len()
+                group.encoded_len()
+                    + view.encoded_len()
+                    + req.encoded_len()
+                    + paso_wire::varint_len(*seq)
+                    + payload.encoded_len()
             }
             VsyncMsg::GcastDone { group, req } => group.encoded_len() + req.encoded_len(),
             VsyncMsg::GcastResp {
@@ -326,7 +434,19 @@ impl Wire for VsyncMsg {
             VsyncMsg::GcastNack { group, req, view } => {
                 group.encoded_len() + req.encoded_len() + view.encoded_len()
             }
-            VsyncMsg::JoinReq { group, joiner } => group.encoded_len() + joiner.encoded_len(),
+            VsyncMsg::JoinReq {
+                group,
+                joiner,
+                epoch,
+                seq,
+                req,
+            } => {
+                group.encoded_len()
+                    + joiner.encoded_len()
+                    + paso_wire::varint_len(*epoch)
+                    + paso_wire::varint_len(*seq)
+                    + req.encoded_len()
+            }
             VsyncMsg::LeaveReq { group, leaver } => group.encoded_len() + leaver.encoded_len(),
             VsyncMsg::NewView {
                 group,
@@ -345,6 +465,19 @@ impl Wire for VsyncMsg {
             }
             VsyncMsg::StateXfer { group, view, state } => {
                 group.encoded_len() + view.encoded_len() + paso_wire::bytes_len(state)
+            }
+            VsyncMsg::StateXferDelta {
+                group,
+                view,
+                epoch,
+                from_seq,
+                entries,
+            } => {
+                group.encoded_len()
+                    + view.encoded_len()
+                    + paso_wire::varint_len(*epoch)
+                    + paso_wire::varint_len(*from_seq)
+                    + entries.encoded_len()
             }
         }
     }
@@ -436,10 +569,11 @@ mod tests {
             group: GroupId(1),
             view: ViewId(0),
             req,
+            seq: 0,
             payload: vec![0; 100].into(),
         };
-        // tag + group + view + (origin, seq) + length-prefixed payload.
-        assert_eq!(gcast.wire_size(), 1 + 1 + 1 + 2 + (1 + 100));
+        // tag + group + view + (origin, seq) + order-seq + payload.
+        assert_eq!(gcast.wire_size(), 1 + 1 + 1 + 2 + 1 + (1 + 100));
         let done = VsyncMsg::GcastDone {
             group: GroupId(1),
             req,
@@ -472,6 +606,7 @@ mod tests {
                 group: g,
                 view: ViewId(0),
                 req,
+                seq: 0,
                 payload: Frame::empty(),
             },
             VsyncMsg::GcastDone { group: g, req },
@@ -498,6 +633,9 @@ mod tests {
             VsyncMsg::JoinReq {
                 group: g,
                 joiner: NodeId(0),
+                epoch: 0,
+                seq: 0,
+                req: ReqId::default(),
             },
             VsyncMsg::LeaveReq {
                 group: g,
@@ -513,6 +651,13 @@ mod tests {
                 group: g,
                 view: ViewId(1),
                 state: vec![],
+            },
+            VsyncMsg::StateXferDelta {
+                group: g,
+                view: ViewId(1),
+                epoch: 1,
+                from_seq: 0,
+                entries: vec![],
             },
         ];
         for m in msgs {
@@ -533,6 +678,7 @@ mod tests {
                 group: g,
                 view: ViewId(1),
                 req,
+                seq: 17,
                 payload: vec![1, 2, 3].into(),
             }),
             NetMsg::Vsync(VsyncMsg::GcastDone { group: g, req }),
@@ -549,6 +695,12 @@ mod tests {
             NetMsg::Vsync(VsyncMsg::JoinReq {
                 group: g,
                 joiner: NodeId(1),
+                epoch: 3,
+                seq: 288,
+                req: ReqId {
+                    origin: NodeId(4),
+                    seq: 12,
+                },
             }),
             NetMsg::Vsync(VsyncMsg::LeaveReq {
                 group: g,
@@ -574,6 +726,27 @@ mod tests {
                 group: g,
                 view: ViewId(2),
                 state: vec![1, 2, 3],
+            }),
+            NetMsg::Vsync(VsyncMsg::StateXferDelta {
+                group: g,
+                view: ViewId(2),
+                epoch: 9,
+                from_seq: 41,
+                entries: vec![
+                    LogEntry {
+                        seq: 42,
+                        req,
+                        payload: vec![5, 6].into(),
+                    },
+                    LogEntry {
+                        seq: 43,
+                        req: ReqId {
+                            origin: NodeId(1),
+                            seq: 7,
+                        },
+                        payload: Frame::empty(),
+                    },
+                ],
             }),
             NetMsg::App(vec![9; 40]),
         ];

@@ -28,15 +28,16 @@
 //!   *any* member that becomes leader can answer a retried request
 //!   ("all responses are equal", §3.2).
 
-use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
 
+use paso_durable::WalHandle;
 use paso_simnet::{Actor, Context, NodeEvent, NodeId, SimTime};
-use paso_wire::Frame;
+use paso_wire::{Frame, Wire};
 use rand::RngCore;
 
 use crate::app::{Delivery, GcastError, GroupApp, VsyncOps};
 use crate::group::{GroupId, View, ViewId};
-use crate::msg::{NetMsg, ReqId, VsyncMsg};
+use crate::msg::{LogEntry, NetMsg, ReqId, VsyncMsg};
 
 /// Timer tags with this bit set belong to the vsync layer.
 const VSYNC_TAG_BIT: u64 = 1 << 63;
@@ -52,6 +53,10 @@ pub struct VsyncConfig {
     /// Statically known initial membership per group (the paper's basic
     /// support `B(C)`; every node is configured with the same table).
     pub initial_groups: Vec<(GroupId, Vec<NodeId>)>,
+    /// How many recent deliveries each member keeps for incremental
+    /// (delta) state transfer. A rejoiner whose durable watermark fell
+    /// further behind than this horizon gets a full transfer instead.
+    pub log_horizon: usize,
 }
 
 impl Default for VsyncConfig {
@@ -60,6 +65,7 @@ impl Default for VsyncConfig {
             retry_timeout: SimTime::from_millis(50),
             max_retries: 40,
             initial_groups: Vec::new(),
+            log_horizon: 512,
         }
     }
 }
@@ -72,6 +78,12 @@ struct GroupSnapshot {
     processed: Vec<ReqId>,
     resps: Vec<(ReqId, Vec<u8>)>,
     app: Vec<u8>,
+    /// History-lineage id of the donor's group incarnation.
+    epoch: u64,
+    /// Leader-order sequence the snapshot reflects (deliveries `1..=seq`).
+    seq: u64,
+    /// The request applied at `seq` (divergence guard for delta rejoins).
+    last_req: ReqId,
 }
 
 impl paso_wire::Wire for GroupSnapshot {
@@ -83,6 +95,9 @@ impl paso_wire::Wire for GroupSnapshot {
             paso_wire::put_bytes(out, resp);
         }
         paso_wire::put_bytes(out, &self.app);
+        paso_wire::put_varint(out, self.epoch);
+        paso_wire::put_varint(out, self.seq);
+        self.last_req.encode(out);
     }
 
     fn decode(r: &mut paso_wire::Reader<'_>) -> Result<Self, paso_wire::WireError> {
@@ -95,15 +110,34 @@ impl paso_wire::Wire for GroupSnapshot {
             resps.push((req, resp));
         }
         let app = r.byte_string()?.to_vec();
+        let epoch = r.varint()?;
+        let seq = r.varint()?;
+        let last_req = ReqId::decode(r)?;
         Ok(GroupSnapshot {
             processed,
             resps,
             app,
+            epoch,
+            seq,
+            last_req,
         })
     }
 }
 
-#[derive(Debug, Default)]
+/// A state transfer received before this node's admitting view.
+#[derive(Debug)]
+enum PendingXfer {
+    /// Full snapshot bytes ([`VsyncMsg::StateXfer`]).
+    Full(Vec<u8>),
+    /// Incremental transfer ([`VsyncMsg::StateXferDelta`]).
+    Delta {
+        epoch: u64,
+        from_seq: u64,
+        entries: Vec<LogEntry>,
+    },
+}
+
+#[derive(Debug)]
 struct GroupState {
     view: View,
     member: bool,
@@ -120,13 +154,59 @@ struct GroupState {
     /// the next re-probe (pause past the grant window) so our own split
     /// claims lapse and the priority prober can reach unanimity.
     probe_backoff: bool,
-    pending_state: Option<Vec<u8>>,
+    pending_state: Option<PendingXfer>,
     /// Fan-outs buffered while awaiting the join snapshot.
-    buffer: Vec<(NodeId, ReqId, Frame)>,
+    buffer: Vec<(NodeId, ReqId, u64, Frame)>,
     /// Requests already delivered at this member.
     processed: HashSet<ReqId>,
     /// This member's own response per delivered request.
     resps: BTreeMap<ReqId, Vec<u8>>,
+    /// History-lineage id: fresh formations pick a new one, state
+    /// transfers adopt the donor's, 0 = not part of any lineage. A delta
+    /// rejoin is only legal within one epoch.
+    epoch: u64,
+    /// Highest leader-order sequence applied at this member.
+    applied_seq: u64,
+    /// Leader side: next sequence to stamp on a fan-out.
+    next_seq: u64,
+    /// The request applied at `applied_seq` (divergence guard).
+    last_req: ReqId,
+    /// Recent applied deliveries `(seq, req, payload)`, ascending — the
+    /// donor side of delta state transfer. Bounded by `cfg.log_horizon`.
+    delivery_log: VecDeque<(u64, ReqId, Frame)>,
+    /// Does `delivery_log` reach back to the epoch's first delivery?
+    /// (Falsified when the horizon drops an entry or a full snapshot is
+    /// installed mid-history.)
+    log_complete: bool,
+    /// When the current join attempt started (for `join.latency_micros`).
+    join_started: Option<u64>,
+}
+
+impl Default for GroupState {
+    fn default() -> Self {
+        GroupState {
+            view: View::default(),
+            member: false,
+            joining: false,
+            leaving: false,
+            awaiting_state: false,
+            probing: false,
+            probe_grants: BTreeSet::new(),
+            form_grant: None,
+            probe_backoff: false,
+            pending_state: None,
+            buffer: Vec::new(),
+            processed: HashSet::new(),
+            resps: BTreeMap::new(),
+            epoch: 0,
+            applied_seq: 0,
+            next_seq: 1,
+            last_req: ReqId::default(),
+            delivery_log: VecDeque::new(),
+            log_complete: true,
+            join_started: None,
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -228,6 +308,15 @@ impl Core {
             .is_some_and(|gs| gs.member && gs.view.leader() == Some(self.id))
     }
 
+    /// This node's durable watermark for `g`, advertised in join requests
+    /// so the donor can ship a delta: `(epoch, applied_seq, last_req)`.
+    fn watermark(&self, g: GroupId) -> (u64, u64, ReqId) {
+        self.groups
+            .get(&g)
+            .map(|gs| (gs.epoch, gs.applied_seq, gs.last_req))
+            .unwrap_or((0, 0, ReqId::default()))
+    }
+
     fn arm_timer<O>(
         &mut self,
         ctx: &mut Context<'_, NetMsg, O>,
@@ -247,6 +336,10 @@ impl Core {
 pub struct VsyncNode<A: GroupApp> {
     app: A,
     core: Core,
+    /// Write-ahead log surviving actor crashes (None = durability off).
+    wal: Option<WalHandle>,
+    /// True while replaying the WAL into the app — suppresses re-appends.
+    wal_mute: bool,
 }
 
 /// `VsyncOps` implementation handed to app callbacks.
@@ -329,6 +422,10 @@ impl<O> VsyncOps<O> for Ops<'_, '_, O> {
         self.ctx.count(counter, delta);
     }
 
+    fn record(&mut self, hist: &'static str, value: u64) {
+        self.ctx.record(hist, value);
+    }
+
     fn trace(&mut self, kind: paso_telemetry::TraceKind) {
         self.ctx.trace(kind);
     }
@@ -364,6 +461,7 @@ fn send_gcast_attempt<O>(
         group,
         view: view_id,
         req,
+        seq: 0, // unsequenced origin hop; the leader stamps the order
         payload,
     });
     if core.is_leader(group) {
@@ -399,6 +497,7 @@ fn send_gcast_attempt<O>(
 
 fn start_join<O>(core: &mut Core, ctx: &mut Context<'_, NetMsg, O>, group: GroupId) {
     let id = core.id;
+    let now = ctx.now().as_micros();
     let gs = core.group(group);
     if gs.member {
         return;
@@ -407,6 +506,7 @@ fn start_join<O>(core: &mut Core, ctx: &mut Context<'_, NetMsg, O>, group: Group
     gs.probing = false;
     gs.probe_grants.clear();
     gs.probe_backoff = false;
+    gs.join_started.get_or_insert(now);
     // Find a live member to ask; never ask ourselves (a joiner is by
     // definition not a member).
     let candidate = {
@@ -415,9 +515,16 @@ fn start_join<O>(core: &mut Core, ctx: &mut Context<'_, NetMsg, O>, group: Group
     };
     match candidate {
         Some(target) => {
+            let (epoch, seq, req) = core.watermark(group);
             ctx.send(
                 target,
-                NetMsg::Vsync(VsyncMsg::JoinReq { group, joiner: id }),
+                NetMsg::Vsync(VsyncMsg::JoinReq {
+                    group,
+                    joiner: id,
+                    epoch,
+                    seq,
+                    req,
+                }),
             );
         }
         None => {
@@ -426,12 +533,19 @@ fn start_join<O>(core: &mut Core, ctx: &mut Context<'_, NetMsg, O>, group: Group
             // probe every live node for what it knows first.
             let others: Vec<NodeId> = core.up.iter().copied().filter(|m| *m != id).collect();
             if others.is_empty() {
-                // Sole live node in the ensemble: re-form around self.
+                // Sole live node in the ensemble: re-form around self. A
+                // durable survivor (nonzero epoch restored from its WAL)
+                // continues its lineage; otherwise start a fresh one.
+                let epoch = ctx.rng().next_u64() | 1;
                 let gs = core.group(group);
                 let new_view = View::new(gs.view.id().next(), [id]);
                 gs.view = new_view;
                 gs.member = true;
                 gs.joining = false;
+                gs.join_started = None;
+                if gs.epoch == 0 {
+                    gs.epoch = epoch;
+                }
                 return;
             }
             core.group(group).probing = true;
@@ -473,7 +587,18 @@ impl<A: GroupApp> VsyncNode<A> {
         VsyncNode {
             app,
             core: Core::new(id, cfg),
+            wal: None,
+            wal_mute: false,
         }
+    }
+
+    /// Attaches a durable write-ahead log. Every applied delivery is
+    /// appended; on [`NodeEvent::Recovered`] the log is replayed to
+    /// rebuild local state before re-joining (so the join can be a delta).
+    #[must_use]
+    pub fn with_wal(mut self, wal: WalHandle) -> Self {
+        self.wal = Some(wal);
+        self
     }
 
     /// The wrapped application (for assertions in tests and experiments).
@@ -504,6 +629,11 @@ impl<A: GroupApp> VsyncNode<A> {
             if fresh {
                 gs.view = View::new(ViewId(0), members.iter().copied());
                 gs.member = members.contains(&id);
+                if gs.member {
+                    // All fresh basic members agree on the configured
+                    // lineage id for the group's first incarnation.
+                    gs.epoch = 1;
+                }
             } else {
                 gs.view = View::new(ViewId(0), members.iter().copied().filter(|m| *m != id));
                 gs.member = false;
@@ -511,14 +641,16 @@ impl<A: GroupApp> VsyncNode<A> {
         }
     }
 
-    /// Delivers `req` at this member: dedup, apply, cache response.
-    /// Returns whether it was newly processed.
+    /// Delivers `req` at this member: dedup, apply, cache response, log
+    /// the delivery (in-memory for delta transfer, durably when a WAL is
+    /// attached). Returns whether it was newly processed.
     fn deliver_at_member(
         &mut self,
         ctx: &mut Context<'_, NetMsg, A::Output>,
         group: GroupId,
         req: ReqId,
-        payload: &[u8],
+        seq: u64,
+        payload: &Frame,
     ) -> bool {
         if self
             .core
@@ -536,10 +668,102 @@ impl<A: GroupApp> VsyncNode<A> {
             self.app.deliver(&mut ops, group, req.origin, payload)
         };
         ctx.charge_work(work);
-        let gs = self.core.group(group);
-        gs.processed.insert(req);
-        gs.resps.insert(req, response);
+        let horizon = self.core.cfg.log_horizon;
+        let epoch = {
+            let gs = self.core.group(group);
+            gs.processed.insert(req);
+            gs.resps.insert(req, response);
+            // `seq == 0` marks an unsequenced (origin-hop) delivery; only
+            // leader-stamped fan-outs advance the order bookkeeping.
+            if seq > gs.applied_seq {
+                gs.applied_seq = seq;
+                gs.last_req = req;
+                if gs.next_seq <= seq {
+                    gs.next_seq = seq + 1;
+                }
+                gs.delivery_log.push_back((seq, req, payload.clone()));
+                while gs.delivery_log.len() > horizon {
+                    gs.delivery_log.pop_front();
+                    gs.log_complete = false;
+                }
+            }
+            gs.epoch
+        };
+        if seq > 0 && epoch != 0 && !self.wal_mute {
+            if let Some(wal) = &self.wal {
+                let r = wal.append_delivery(
+                    group.0,
+                    epoch,
+                    seq,
+                    req.origin.0,
+                    req.seq,
+                    payload,
+                    ctx.now().as_micros(),
+                );
+                ctx.count("wal.append_bytes", r.bytes as f64);
+                if let Some(us) = r.fsync_micros {
+                    ctx.record("wal.fsync_micros", us);
+                }
+                if wal.wants_snapshot() {
+                    self.maybe_compact(ctx);
+                }
+            }
+        }
         true
+    }
+
+    /// Rewrites the WAL as one snapshot per member group, truncating the
+    /// delivery history it supersedes. Deferred while any group is
+    /// mid-join: compaction snapshots must reflect settled state.
+    fn maybe_compact(&mut self, ctx: &mut Context<'_, NetMsg, A::Output>) {
+        let Some(wal) = self.wal.clone() else {
+            return;
+        };
+        let settled = self
+            .core
+            .groups
+            .values()
+            .all(|gs| gs.epoch == 0 || (gs.member && !gs.joining && !gs.awaiting_state));
+        if !settled {
+            return;
+        }
+        let groups: Vec<GroupId> = self
+            .core
+            .groups
+            .iter()
+            .filter(|(_, gs)| gs.epoch != 0 && gs.member)
+            .map(|(g, _)| *g)
+            .collect();
+        let mut snaps = Vec::with_capacity(groups.len());
+        for g in groups {
+            let snap = self.snapshot_group(g);
+            let bytes = paso_wire::encode_to_vec(&snap);
+            snaps.push((g.0, snap.epoch, snap.seq, bytes));
+        }
+        let r = wal.compact(&snaps, ctx.now().as_micros());
+        ctx.count("wal.compactions", 1.0);
+        ctx.count("wal.append_bytes", r.bytes as f64);
+        if let Some(us) = r.fsync_micros {
+            ctx.record("wal.fsync_micros", us);
+        }
+    }
+
+    /// Serializes this member's join-time state for `group` (used both
+    /// for donor-side state transfer and for WAL compaction snapshots).
+    fn snapshot_group(&self, group: GroupId) -> GroupSnapshot {
+        let gs = &self.core.groups[&group];
+        GroupSnapshot {
+            processed: {
+                let mut v: Vec<ReqId> = gs.processed.iter().copied().collect();
+                v.sort_unstable();
+                v
+            },
+            resps: gs.resps.iter().map(|(k, v)| (*k, v.clone())).collect(),
+            app: self.app.snapshot(group),
+            epoch: gs.epoch,
+            seq: gs.applied_seq,
+            last_req: gs.last_req,
+        }
     }
 
     fn check_tally(
@@ -632,9 +856,14 @@ impl<A: GroupApp> VsyncNode<A> {
             // Else: a lazy tally from early dones — fall through and
             // sequence the request now, keeping the dones already seen.
         }
-        let (members, view_id): (Vec<NodeId>, ViewId) = {
+        let (members, view_id, seq): (Vec<NodeId>, ViewId, u64) = {
             let gs = self.core.group(group);
-            (gs.view.members().collect(), gs.view.id())
+            // Stamp the total-order sequence. `max(applied_seq + 1)`
+            // guards against reuse: a retried request that dedups at the
+            // leader must never recycle a sequence members already hold.
+            let seq = gs.next_seq.max(gs.applied_seq + 1);
+            gs.next_seq = seq + 1;
+            (gs.view.members().collect(), gs.view.id(), seq)
         };
         // Fan-out to every other member (|g| messages incl. the leader's
         // own local processing, per the §3.3 accounting). One shared frame
@@ -656,6 +885,7 @@ impl<A: GroupApp> VsyncNode<A> {
                     group,
                     view: view_id,
                     req,
+                    seq,
                     payload: payload.clone(),
                 }),
             );
@@ -672,7 +902,7 @@ impl<A: GroupApp> VsyncNode<A> {
                 responded: false,
             });
         tally.expected = expected;
-        self.deliver_at_member(ctx, group, req, &payload);
+        self.deliver_at_member(ctx, group, req, seq, &payload);
         self.core
             .tallies
             .get_mut(&(group, req))
@@ -682,13 +912,18 @@ impl<A: GroupApp> VsyncNode<A> {
         self.check_tally(ctx, group, req);
     }
 
-    /// Leader-side join admission: broadcast the new view, then snapshot
-    /// and transfer state to the joiner.
+    /// Leader-side join admission: broadcast the new view, then transfer
+    /// state to the joiner — a delta (just the deliveries past the
+    /// joiner's durable watermark) when the in-memory delivery log still
+    /// covers the gap, the full snapshot otherwise.
     fn admit_join(
         &mut self,
         ctx: &mut Context<'_, NetMsg, A::Output>,
         group: GroupId,
         joiner: NodeId,
+        wm_epoch: u64,
+        wm_seq: u64,
+        wm_req: ReqId,
     ) {
         let id = self.core.id;
         let (new_view, already) = {
@@ -715,29 +950,95 @@ impl<A: GroupApp> VsyncNode<A> {
                 );
             }
         }
-        // Snapshot *now*: as sequencer, the leader's state reflects exactly
-        // the deliveries ordered before this view change.
-        let snap = {
+        // Can the gap since the joiner's watermark be served from the
+        // delivery log? Same epoch, watermark not ahead of us, and the
+        // log must still contain the entry the joiner stopped at (with a
+        // matching request id — otherwise the histories diverged and only
+        // a full transfer is safe).
+        let delta: Option<Vec<LogEntry>> = {
             let gs = self.core.group(group);
-            GroupSnapshot {
-                processed: {
-                    let mut v: Vec<ReqId> = gs.processed.iter().copied().collect();
-                    v.sort_unstable();
-                    v
-                },
-                resps: gs.resps.iter().map(|(k, v)| (*k, v.clone())).collect(),
-                app: self.app.snapshot(group),
+            if wm_epoch == 0 || wm_epoch != gs.epoch || wm_seq > gs.applied_seq {
+                None
+            } else if wm_seq == gs.applied_seq {
+                // Fully caught up already (e.g. a fast crash-recover
+                // cycle with no traffic in between).
+                if wm_seq == 0 || wm_req == gs.last_req {
+                    Some(Vec::new())
+                } else {
+                    None
+                }
+            } else if wm_seq == 0 {
+                // Joiner has the epoch but no deliveries: legal only if
+                // the log reaches back to the epoch's first delivery.
+                if gs.log_complete {
+                    Some(
+                        gs.delivery_log
+                            .iter()
+                            .map(|(s, r, p)| LogEntry {
+                                seq: *s,
+                                req: *r,
+                                payload: p.clone(),
+                            })
+                            .collect(),
+                    )
+                } else {
+                    None
+                }
+            } else {
+                match gs.delivery_log.iter().position(|(s, _, _)| *s == wm_seq) {
+                    Some(pos) if gs.delivery_log[pos].1 == wm_req => Some(
+                        gs.delivery_log
+                            .iter()
+                            .skip(pos + 1)
+                            .map(|(s, r, p)| LogEntry {
+                                seq: *s,
+                                req: *r,
+                                payload: p.clone(),
+                            })
+                            .collect(),
+                    ),
+                    _ => None, // fell past the horizon, or histories forked
+                }
             }
         };
-        let bytes = paso_wire::encode_to_vec(&snap);
-        ctx.send(
-            joiner,
-            NetMsg::Vsync(VsyncMsg::StateXfer {
-                group,
-                view: new_view.id(),
-                state: bytes,
-            }),
-        );
+        match delta {
+            Some(entries) => {
+                let (epoch, from_seq) = {
+                    let gs = self.core.group(group);
+                    (gs.epoch, wm_seq)
+                };
+                ctx.count("join.delta_hit", 1.0);
+                let bytes: u64 = entries.iter().map(|e| e.encoded_len() as u64).sum();
+                ctx.record("join.transfer_bytes", bytes);
+                ctx.send(
+                    joiner,
+                    NetMsg::Vsync(VsyncMsg::StateXferDelta {
+                        group,
+                        view: new_view.id(),
+                        epoch,
+                        from_seq,
+                        entries,
+                    }),
+                );
+            }
+            None => {
+                // Snapshot *now*: as sequencer, the leader's state
+                // reflects exactly the deliveries ordered before this
+                // view change.
+                let snap = self.snapshot_group(group);
+                let bytes = paso_wire::encode_to_vec(&snap);
+                ctx.count("join.full_xfer", 1.0);
+                ctx.record("join.transfer_bytes", bytes.len() as u64);
+                ctx.send(
+                    joiner,
+                    NetMsg::Vsync(VsyncMsg::StateXfer {
+                        group,
+                        view: new_view.id(),
+                        state: bytes,
+                    }),
+                );
+            }
+        }
         if !already {
             let view = new_view;
             let mut ops = Ops {
@@ -779,9 +1080,16 @@ impl<A: GroupApp> VsyncNode<A> {
                 gs.joining = false;
                 let pending = gs.pending_state.take();
                 match pending {
-                    Some(state) => {
+                    Some(PendingXfer::Full(state)) => {
                         // install_state fires on_view itself.
                         self.install_state(ctx, group, &state);
+                    }
+                    Some(PendingXfer::Delta {
+                        epoch,
+                        from_seq,
+                        entries,
+                    }) => {
+                        self.install_delta(ctx, group, epoch, from_seq, entries);
                     }
                     None => {
                         gs.awaiting_state = true;
@@ -796,13 +1104,28 @@ impl<A: GroupApp> VsyncNode<A> {
             };
             self.app.on_view(&mut ops, group, &effective);
         } else if gs.member {
-            // Removed (our leave acknowledged, or admin decision).
+            // Removed (our leave acknowledged, or admin decision). The
+            // lineage ends here: erase the order bookkeeping and tombstone
+            // the WAL so a later re-join starts from a clean watermark.
             gs.member = false;
             gs.leaving = false;
             gs.view = effective;
             gs.processed.clear();
             gs.resps.clear();
+            gs.epoch = 0;
+            gs.applied_seq = 0;
+            gs.next_seq = 1;
+            gs.last_req = ReqId::default();
+            gs.delivery_log.clear();
+            gs.log_complete = true;
             self.app.erase(group);
+            if let Some(wal) = &self.wal {
+                let r = wal.append_erase(group.0, ctx.now().as_micros());
+                ctx.count("wal.append_bytes", r.bytes as f64);
+                if let Some(us) = r.fsync_micros {
+                    ctx.record("wal.fsync_micros", us);
+                }
+            }
         } else {
             gs.view = effective;
         }
@@ -818,13 +1141,22 @@ impl<A: GroupApp> VsyncNode<A> {
             Ok(s) => s,
             Err(_) => return, // corrupt snapshot: keep waiting; retry refetches
         };
-        {
+        let epoch = {
             let gs = self.core.group(group);
             gs.processed = snap.processed.into_iter().collect();
             gs.resps = snap.resps.into_iter().collect();
+            gs.epoch = snap.epoch;
+            gs.applied_seq = snap.seq;
+            gs.next_seq = gs.next_seq.max(snap.seq + 1);
+            gs.last_req = snap.last_req;
+            gs.delivery_log.clear();
+            // A snapshot collapses history: the log no longer reaches
+            // back to the epoch's first delivery (unless there were none).
+            gs.log_complete = snap.seq == 0;
             gs.awaiting_state = false;
             gs.joining = false;
-        }
+            gs.epoch
+        };
         {
             let mut ops = Ops {
                 core: &mut self.core,
@@ -832,15 +1164,126 @@ impl<A: GroupApp> VsyncNode<A> {
             };
             self.app.install(&mut ops, group, &snap.app);
         }
-        // Replay fan-outs that arrived while the snapshot was in flight:
-        // the dedup set from the snapshot filters the ones already covered,
-        // and every one is acknowledged so the leader's tally completes.
+        // Persist the installed snapshot: on recovery the joiner replays
+        // from here instead of needing another full transfer.
+        if epoch != 0 && !self.wal_mute {
+            if let Some(wal) = &self.wal {
+                let r = wal.append_snapshot(group.0, epoch, snap.seq, state, ctx.now().as_micros());
+                ctx.count("wal.append_bytes", r.bytes as f64);
+                if let Some(us) = r.fsync_micros {
+                    ctx.record("wal.fsync_micros", us);
+                }
+            }
+        }
+        self.finish_install(ctx, group);
+    }
+
+    /// Installs an incremental state transfer: replays the shipped
+    /// deliveries on top of this node's durable (WAL-restored) state.
+    fn install_delta(
+        &mut self,
+        ctx: &mut Context<'_, NetMsg, A::Output>,
+        group: GroupId,
+        epoch: u64,
+        from_seq: u64,
+        entries: Vec<LogEntry>,
+    ) {
+        {
+            let gs = self.core.group(group);
+            if gs.epoch != epoch || gs.applied_seq != from_seq {
+                // The delta no longer lines up with our local state
+                // (stale retransmission, or local state moved): drop it
+                // and let the RetryJoin timer re-request.
+                return;
+            }
+            gs.awaiting_state = false;
+            gs.joining = false;
+        }
+        // Replay through the normal delivery path: the app applies each
+        // payload and (when a WAL is attached) each replayed delivery is
+        // appended durably — it is new information for this node.
+        for e in &entries {
+            self.deliver_at_member(ctx, group, e.req, e.seq, &e.payload);
+        }
+        self.finish_install(ctx, group);
+    }
+
+    /// Rebuilds group state from the durable WAL after a crash: install
+    /// the latest snapshot per group, then replay the delivery tail.
+    /// Afterwards the node re-joins advertising its restored watermark,
+    /// so the donor ships only the gap (the whole point of the WAL:
+    /// the join cost K shrinks from |state| to |missed deliveries|).
+    fn replay_wal(&mut self, ctx: &mut Context<'_, NetMsg, A::Output>) {
+        let Some(wal) = self.wal.clone() else {
+            return;
+        };
+        let rec = wal.recover();
+        if rec.groups.is_empty() {
+            return;
+        }
+        // Replayed deliveries are already in the log; re-appending them
+        // would double the WAL on every crash.
+        self.wal_mute = true;
+        let mut replayed = 0u64;
+        for (gid, grec) in rec.groups {
+            let group = GroupId(gid);
+            {
+                let gs = self.core.group(group);
+                gs.epoch = grec.epoch;
+                gs.log_complete = true;
+            }
+            if let Some((seq, state)) = &grec.snapshot {
+                if let Ok(snap) = paso_wire::decode_exact::<GroupSnapshot>(state) {
+                    {
+                        let gs = self.core.group(group);
+                        gs.processed = snap.processed.into_iter().collect();
+                        gs.resps = snap.resps.into_iter().collect();
+                        gs.applied_seq = *seq;
+                        gs.next_seq = gs.next_seq.max(seq + 1);
+                        gs.last_req = snap.last_req;
+                        gs.log_complete = *seq == 0;
+                    }
+                    let mut ops = Ops {
+                        core: &mut self.core,
+                        ctx,
+                    };
+                    self.app.install(&mut ops, group, &snap.app);
+                    replayed += 1;
+                }
+            }
+            for d in grec.tail {
+                let req = ReqId {
+                    origin: NodeId(d.origin),
+                    seq: d.req_seq,
+                };
+                self.deliver_at_member(ctx, group, req, d.seq, &Frame::from(d.payload));
+                replayed += 1;
+            }
+        }
+        self.wal_mute = false;
+        ctx.count("wal.recovered_records", replayed as f64);
+    }
+
+    /// Common tail of both install paths: replay fan-outs that arrived
+    /// while the transfer was in flight (the dedup set filters the ones
+    /// already covered, and every one is acknowledged so the leader's
+    /// tally completes), record join latency, and fire `on_view`.
+    fn finish_install(&mut self, ctx: &mut Context<'_, NetMsg, A::Output>, group: GroupId) {
         let buffered = std::mem::take(&mut self.core.group(group).buffer);
-        for (from, req, payload) in buffered {
-            self.deliver_at_member(ctx, group, req, &payload);
+        for (from, req, seq, payload) in buffered {
+            self.deliver_at_member(ctx, group, req, seq, &payload);
             ctx.send(from, NetMsg::Vsync(VsyncMsg::GcastDone { group, req }));
         }
-        let view = self.core.group(group).view.clone();
+        let (view, started) = {
+            let gs = self.core.group(group);
+            (gs.view.clone(), gs.join_started.take())
+        };
+        if let Some(t0) = started {
+            ctx.record(
+                "join.latency_micros",
+                ctx.now().as_micros().saturating_sub(t0),
+            );
+        }
         let mut ops = Ops {
             core: &mut self.core,
             ctx,
@@ -860,6 +1303,7 @@ impl<A: GroupApp> VsyncNode<A> {
                 group,
                 view,
                 req,
+                seq,
                 payload,
             } => {
                 let (member, awaiting, from_is_peer_member) = {
@@ -886,6 +1330,7 @@ impl<A: GroupApp> VsyncNode<A> {
                                         group,
                                         view,
                                         req,
+                                        seq,
                                         payload,
                                     }),
                                 );
@@ -894,9 +1339,12 @@ impl<A: GroupApp> VsyncNode<A> {
                         return;
                     }
                     if awaiting {
-                        self.core.group(group).buffer.push((from, req, payload));
+                        self.core
+                            .group(group)
+                            .buffer
+                            .push((from, req, seq, payload));
                     } else {
-                        self.deliver_at_member(ctx, group, req, &payload);
+                        self.deliver_at_member(ctx, group, req, seq, &payload);
                         if from == id {
                             // Degenerate self-delivery; tally handled above.
                         } else {
@@ -959,9 +1407,15 @@ impl<A: GroupApp> VsyncNode<A> {
                     }
                 }
             }
-            VsyncMsg::JoinReq { group, joiner } => {
+            VsyncMsg::JoinReq {
+                group,
+                joiner,
+                epoch,
+                seq,
+                req,
+            } => {
                 if self.core.is_leader(group) {
-                    self.admit_join(ctx, group, joiner);
+                    self.admit_join(ctx, group, joiner, epoch, seq, req);
                 } else {
                     // Redirect: share our view so the joiner can find the
                     // real leader.
@@ -1025,7 +1479,17 @@ impl<A: GroupApp> VsyncNode<A> {
                     if !gs.view.contains(from) {
                         gs.view = gs.view.with_member(from);
                     }
-                    ctx.send(from, NetMsg::Vsync(VsyncMsg::JoinReq { group, joiner: id }));
+                    let (epoch, seq, req) = self.core.watermark(group);
+                    ctx.send(
+                        from,
+                        NetMsg::Vsync(VsyncMsg::JoinReq {
+                            group,
+                            joiner: id,
+                            epoch,
+                            seq,
+                            req,
+                        }),
+                    );
                     return;
                 }
                 if grant {
@@ -1045,7 +1509,10 @@ impl<A: GroupApp> VsyncNode<A> {
                 if unanimous {
                     // Every live node granted: nobody is a member and no
                     // concurrent prober can also win this window — re-form
-                    // the group with empty state (the >λ data-loss case).
+                    // the group (with empty state in the >λ data-loss
+                    // case; a durable survivor carries its WAL-restored
+                    // state and lineage forward instead).
+                    let epoch = ctx.rng().next_u64() | 1;
                     let new_view = View::new(gs.view.id().next(), [id]);
                     gs.view = new_view.clone();
                     gs.member = true;
@@ -1053,6 +1520,10 @@ impl<A: GroupApp> VsyncNode<A> {
                     gs.probing = false;
                     gs.probe_grants.clear();
                     gs.probe_backoff = false;
+                    gs.join_started = None;
+                    if gs.epoch == 0 {
+                        gs.epoch = epoch;
+                    }
                     let mut ops = Ops {
                         core: &mut self.core,
                         ctx,
@@ -1125,7 +1596,26 @@ impl<A: GroupApp> VsyncNode<A> {
                 if gs.awaiting_state {
                     self.install_state(ctx, group, &state);
                 } else if gs.joining {
-                    gs.pending_state = Some(state);
+                    gs.pending_state = Some(PendingXfer::Full(state));
+                }
+                // Otherwise: stale transfer; ignore.
+            }
+            VsyncMsg::StateXferDelta {
+                group,
+                epoch,
+                from_seq,
+                entries,
+                ..
+            } => {
+                let gs = self.core.group(group);
+                if gs.awaiting_state {
+                    self.install_delta(ctx, group, epoch, from_seq, entries);
+                } else if gs.joining {
+                    gs.pending_state = Some(PendingXfer::Delta {
+                        epoch,
+                        from_seq,
+                        entries,
+                    });
                 }
                 // Otherwise: stale transfer; ignore.
             }
@@ -1254,6 +1744,7 @@ impl<A: GroupApp> VsyncNode<A> {
                     // View installed but the snapshot got lost (donor
                     // crashed mid-transfer): ask the current leader again.
                     let leader = gs.view.leader();
+                    let (epoch, seq, req) = self.core.watermark(group);
                     if let Some(l) = leader {
                         if l != self.core.id {
                             ctx.send(
@@ -1261,6 +1752,9 @@ impl<A: GroupApp> VsyncNode<A> {
                                 NetMsg::Vsync(VsyncMsg::JoinReq {
                                     group,
                                     joiner: self.core.id,
+                                    epoch,
+                                    seq,
+                                    req,
                                 }),
                             );
                         } else {
@@ -1275,6 +1769,9 @@ impl<A: GroupApp> VsyncNode<A> {
                                     NetMsg::Vsync(VsyncMsg::JoinReq {
                                         group,
                                         joiner: self.core.id,
+                                        epoch,
+                                        seq,
+                                        req,
                                     }),
                                 );
                             } else {
@@ -1333,6 +1830,10 @@ impl<A: GroupApp> Actor for VsyncNode<A> {
                     .core
                     .next_req
                     .max(ctx.now().as_micros().saturating_mul(1 << 16));
+                // Durable recovery: rebuild local state from the WAL so
+                // the g-joins issued by on_recovered can advertise a
+                // watermark and receive deltas instead of full state.
+                self.replay_wal(ctx);
                 let mut ops = Ops {
                     core: &mut self.core,
                     ctx,

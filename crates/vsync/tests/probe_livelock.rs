@@ -116,7 +116,11 @@ impl Net {
                 Action::SetTimer { delay, tag } => {
                     self.timers.push((self.now + delay, node, tag));
                 }
-                Action::Emit(_) | Action::Work(_) | Action::Count(..) | Action::Trace(_) => {}
+                Action::Emit(_)
+                | Action::Work(_)
+                | Action::Count(..)
+                | Action::Record(..)
+                | Action::Trace(_) => {}
             }
         }
     }

@@ -232,6 +232,118 @@ fn injected_link_latency_histograms_share_names_across_drivers() {
     }
 }
 
+/// Durability extends the shared schema: with `durable` on, both
+/// drivers must expose the identical `wal.*` / `join.*` metric family —
+/// same names, same counter-vs-histogram kinds — and both must account
+/// WAL appends for the same delivered workload. Values beyond that
+/// differ (rank timestamps change payload varint widths across
+/// sim-time and wall-time), but the schema may not.
+#[test]
+fn durable_wal_and_join_metrics_share_schema_across_drivers() {
+    let durable = |seed: u64| {
+        PasoConfig::builder(N, LAMBDA)
+            .seed(seed)
+            .durable(true)
+            .build()
+    };
+
+    // --- Driver 1: the simulator, with a crash/rejoin to exercise the
+    // recovery metrics end-to-end ---
+    let mut sys = SimSystem::new(durable(SEED));
+    for (i, op) in script().iter().enumerate() {
+        let node = (i % N) as u32;
+        match *op {
+            Op::Insert(v) => {
+                sys.insert(node, fields(v));
+            }
+            Op::Read(v) => {
+                assert!(sys.read(node, sc_eq(v)).is_some(), "sim read({v})");
+            }
+            Op::Take(v) => {
+                assert!(sys.read_del(node, sc_eq(v)).is_some(), "sim take({v})");
+            }
+        }
+    }
+    sys.settle(5_000_000);
+    let sim_snap = sys.telemetry().snapshot();
+
+    // --- Driver 2: live threads, same durable workload ---
+    let cluster = Cluster::start(durable(SEED), TransportKind::Channel);
+    for (i, op) in script().iter().enumerate() {
+        let node = (i % N) as u32;
+        match *op {
+            Op::Insert(v) => {
+                cluster.insert(node, fields(v)).expect("live insert");
+            }
+            Op::Read(v) => {
+                assert!(
+                    cluster.read(node, sc_eq(v)).expect("live read").is_some(),
+                    "live read({v})"
+                );
+            }
+            Op::Take(v) => {
+                assert!(
+                    cluster
+                        .read_del(node, sc_eq(v))
+                        .expect("live take")
+                        .is_some(),
+                    "live take({v})"
+                );
+            }
+        }
+    }
+    let live_snap = cluster.telemetry().snapshot();
+    cluster.shutdown();
+
+    // Identical schema: the durable name family partitions into the same
+    // counters and the same histograms on both drivers (pre-registered,
+    // so even paths a run never exercised are visible at zero).
+    let family = |m: &std::collections::BTreeMap<String, f64>| -> Vec<String> {
+        m.keys()
+            .filter(|k| k.starts_with("wal.") || k.starts_with("join."))
+            .cloned()
+            .collect()
+    };
+    let hist_family = |snap: &Snapshot| -> Vec<String> {
+        snap.hists
+            .keys()
+            .filter(|k| k.starts_with("wal.") || k.starts_with("join."))
+            .cloned()
+            .collect()
+    };
+    let sim_counters = family(&sim_snap.counters);
+    let live_counters = family(&live_snap.counters);
+    assert_eq!(sim_counters, live_counters, "counter schema diverged");
+    assert_eq!(
+        sim_counters,
+        vec![
+            "join.delta_hit",
+            "join.full_xfer",
+            "wal.append_bytes",
+            "wal.compactions",
+            "wal.recovered_records",
+        ]
+    );
+    let sim_hists = hist_family(&sim_snap);
+    assert_eq!(
+        sim_hists,
+        hist_family(&live_snap),
+        "histogram schema diverged"
+    );
+    assert_eq!(
+        sim_hists,
+        vec![
+            "join.latency_micros",
+            "join.transfer_bytes",
+            "wal.fsync_micros",
+        ]
+    );
+
+    // Both drivers actually journal the delivered workload.
+    assert!(sim_snap.counter("wal.append_bytes") > 0.0, "sim WAL idle");
+    assert!(live_snap.counter("wal.append_bytes") > 0.0, "live WAL idle");
+}
+
 /// Churn counters extend the shared fault schema: the simulator's
 /// Poisson churn counts `fault.churn.*` alongside the `fault.crashes` /
 /// `fault.recoveries` names the live cluster's controller also uses.
