@@ -148,6 +148,20 @@ pub struct PasoConfig {
     /// *idempotent* operation (same op id; servers dedup) before giving
     /// up. `0` disables retries.
     pub client_retry_budget: u32,
+    /// Live runtime: number of gateway mailbox slots reserved *behind*
+    /// the `n` server nodes for front-end proxies. Slot `j` answers to
+    /// `NodeId(n + j)`; servers learn a gateway's address from its first
+    /// message and include it in summary gossip. `0` (default) reserves
+    /// nothing — the transport is sized exactly `n`, as before.
+    pub proxy_slots: usize,
+    /// Proxy tier: per-client-connection pipelining window — how many
+    /// ops one client may have in flight before the proxy answers
+    /// `Busy` instead of forwarding.
+    pub proxy_pipeline_depth: usize,
+    /// Proxy tier: flush threshold for the per-server op batch. Ops
+    /// accumulate into one `ClientBatch` frame until their encoded size
+    /// reaches this many bytes (or the input burst drains).
+    pub proxy_batch_bytes: usize,
     /// Simulation: which network the ensemble runs on — the paper's
     /// serializing bus (default) or a switched fabric with per-link
     /// latency, jitter, and asymmetry.
@@ -218,6 +232,9 @@ impl PasoConfig {
                 net_poller_threads: 2,
                 net_max_batch_frames: 64,
                 client_retry_budget: 2,
+                proxy_slots: 0,
+                proxy_pipeline_depth: 32,
+                proxy_batch_bytes: 16 << 10,
                 net_model: NetModel::Bus,
                 fault_plan: FaultPlan::none(),
                 churn: None,
@@ -283,7 +300,28 @@ impl PasoConfig {
         if self.wal_dir.is_some() && !self.durable {
             return Err(ConfigError::new("wal_dir requires durable = true"));
         }
+        if self.proxy_pipeline_depth == 0 {
+            return Err(ConfigError::new("proxy pipeline depth must be positive"));
+        }
+        if self.proxy_batch_bytes == 0 {
+            return Err(ConfigError::new("proxy batch bytes must be positive"));
+        }
         Ok(())
+    }
+
+    /// Sizing of each server's op-id dedup cache (`recent_done`).
+    ///
+    /// A retried op is only replayed (instead of re-executed) while its
+    /// first completion is still cached, so the cache must outlive the
+    /// whole retry horizon of every client that can pipeline into one
+    /// server. Each gateway keeps up to `proxy_pipeline_depth` ops in
+    /// flight per client *connection slot*, and each of those may be
+    /// re-issued `client_retry_budget` times — hence the product, across
+    /// all configured gateways. The floor preserves the pre-proxy
+    /// capacity (512) for direct in-process clients.
+    pub fn dedup_cache_ops(&self) -> usize {
+        let retries = self.client_retry_budget as usize + 1;
+        (retries * self.proxy_pipeline_depth * self.proxy_slots.max(1)).max(512)
     }
 }
 
@@ -402,6 +440,25 @@ impl PasoConfigBuilder {
     /// (live runtime).
     pub fn client_retry_budget(mut self, budget: u32) -> Self {
         self.cfg.client_retry_budget = budget;
+        self
+    }
+
+    /// Reserves gateway mailbox slots behind the server nodes for
+    /// front-end proxies (live runtime).
+    pub fn proxy_slots(mut self, slots: usize) -> Self {
+        self.cfg.proxy_slots = slots;
+        self
+    }
+
+    /// Sets the proxy's per-client pipelining window.
+    pub fn proxy_pipeline_depth(mut self, depth: usize) -> Self {
+        self.cfg.proxy_pipeline_depth = depth;
+        self
+    }
+
+    /// Sets the proxy's per-server batch flush threshold in bytes.
+    pub fn proxy_batch_bytes(mut self, bytes: usize) -> Self {
+        self.cfg.proxy_batch_bytes = bytes;
         self
     }
 
@@ -599,6 +656,51 @@ mod tests {
         let mut bad = cfg;
         bad.net_backoff_cap_micros = 1;
         assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn proxy_knobs_default_and_validate() {
+        let cfg = PasoConfig::builder(4, 1).build();
+        assert_eq!(cfg.proxy_slots, 0);
+        assert_eq!(cfg.proxy_pipeline_depth, 32);
+        assert_eq!(cfg.proxy_batch_bytes, 16 << 10);
+        let cfg = PasoConfig::builder(4, 1)
+            .proxy_slots(3)
+            .proxy_pipeline_depth(256)
+            .proxy_batch_bytes(4096)
+            .build();
+        assert_eq!(cfg.proxy_slots, 3);
+        assert_eq!(cfg.proxy_pipeline_depth, 256);
+        assert_eq!(cfg.proxy_batch_bytes, 4096);
+        let mut bad = cfg.clone();
+        bad.proxy_pipeline_depth = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = cfg;
+        bad.proxy_batch_bytes = 0;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn dedup_cache_scales_with_retry_horizon() {
+        // No proxies: the pre-proxy floor (direct clients issue one op
+        // at a time; 512 comfortably covers their retry horizon).
+        let cfg = PasoConfig::builder(4, 1).build();
+        assert_eq!(cfg.dedup_cache_ops(), 512);
+        // A pipelining gateway stretches the horizon past the old
+        // constant: (budget+1) × depth × gateways.
+        let cfg = PasoConfig::builder(4, 1)
+            .proxy_slots(2)
+            .proxy_pipeline_depth(1024)
+            .build();
+        assert_eq!(cfg.dedup_cache_ops(), 3 * 1024 * 2);
+        assert!(cfg.dedup_cache_ops() > 512, "must outgrow the old cap");
+        // Small depths never shrink below the floor.
+        let cfg = PasoConfig::builder(4, 1)
+            .proxy_slots(1)
+            .proxy_pipeline_depth(8)
+            .client_retry_budget(0)
+            .build();
+        assert_eq!(cfg.dedup_cache_ops(), 512);
     }
 
     #[test]

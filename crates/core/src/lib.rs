@@ -63,8 +63,10 @@ pub use groups::{
 };
 pub use semantics::{check_run, LatencyStats, OpRecord, RunLog, SemanticsReport, Violation};
 pub use server::MemoryServer;
-pub use system::{register_durability_metrics, ClassReport, SimSystem, SystemReport};
+pub use system::{
+    register_durability_metrics, register_proxy_metrics, ClassReport, SimSystem, SystemReport,
+};
 pub use wire::{
-    decode, encode, try_decode, AppMsg, ClientDone, ClientOp, ClientRequest, ClientResult,
-    OpResponse, ReplOp,
+    auth_token, decode, encode, try_decode, AppMsg, ClientDone, ClientOp, ClientRequest,
+    ClientResult, OpResponse, ProxyClientFrame, ProxyServerFrame, ReplOp,
 };

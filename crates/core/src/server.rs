@@ -100,6 +100,11 @@ impl paso_wire::Wire for ClassState {
 #[derive(Debug)]
 struct PendingOp {
     op: ClientOp,
+    /// Who asked: the server itself for locally injected requests, or a
+    /// gateway slot (`NodeId ≥ n`) for proxied ones. Completions go back
+    /// the way they came — the output channel locally, an
+    /// [`AppMsg::Done`] over the wire for gateways.
+    origin: NodeId,
     classes: Vec<ClassId>,
     idx: usize,
     start_micros: u64,
@@ -149,22 +154,28 @@ pub struct MemoryServer {
     recent_done: BTreeMap<u64, ClientResult>,
     /// FIFO eviction order for [`MemoryServer::recent_done`].
     recent_order: VecDeque<u64>,
+    /// Capacity of `recent_done`, derived from the configuration's retry
+    /// horizon ([`PasoConfig::dedup_cache_ops`]). A hard constant here
+    /// was a correctness bug: a pipelining gateway can hold more ops in
+    /// its retry window than any constant, and once a result is evicted
+    /// a retry *re-executes* (double-insert) instead of replaying.
+    recent_cap: usize,
+    /// Gateway slots (`NodeId ≥ n`) this server has heard from. Learned
+    /// from traffic rather than configured, so the simulator (which has
+    /// no gateways) never addresses a non-existent actor; used to extend
+    /// summary gossip to the proxy tier's routing tables.
+    gateways: BTreeSet<NodeId>,
 }
 
 /// How many decode failures [`MemoryServer::decode_errors`] retains.
 const DECODE_ERROR_LOG_CAP: usize = 16;
-
-/// How many finished-op results [`MemoryServer::recent_done`] retains for
-/// retry dedup. Must exceed the number of ops a client can have in flight
-/// across one retry window; the runtime issues ops one at a time per
-/// controller call, so hundreds is generous.
-const RECENT_DONE_CAP: usize = 512;
 
 impl MemoryServer {
     /// Creates the server for machine `id` under a shared configuration
     /// and basic-support table.
     pub fn new(id: NodeId, cfg: Arc<PasoConfig>, basic: BTreeMap<ClassId, Vec<NodeId>>) -> Self {
         let classifier = cfg.classifier.build();
+        let recent_cap = cfg.dedup_cache_ops();
         MemoryServer {
             id,
             cfg,
@@ -181,6 +192,8 @@ impl MemoryServer {
             decode_errors: Vec::new(),
             recent_done: BTreeMap::new(),
             recent_order: VecDeque::new(),
+            recent_cap,
+            gateways: BTreeSet::new(),
         }
     }
 
@@ -327,7 +340,13 @@ impl MemoryServer {
             return;
         }
         let bytes = encode(&AppMsg::SummaryGossip { summaries });
-        let peers: Vec<NodeId> = self.up.iter().copied().filter(|p| *p != self.id).collect();
+        let peers: Vec<NodeId> = self
+            .up
+            .iter()
+            .chain(self.gateways.iter())
+            .copied()
+            .filter(|p| *p != self.id)
+            .collect();
         for peer in peers {
             vs.count("gossip.summary.sent", 1.0);
             vs.send_app(peer, bytes.clone());
@@ -343,16 +362,99 @@ impl MemoryServer {
     }
 
     fn finish(&mut self, vs: &mut dyn VsyncOps<ClientDone>, op_id: u64, result: ClientResult) {
-        self.pending.remove(&op_id);
+        let origin = self.pending.remove(&op_id).map_or(self.id, |p| p.origin);
         if self.recent_done.insert(op_id, result.clone()).is_none() {
             self.recent_order.push_back(op_id);
-            while self.recent_order.len() > RECENT_DONE_CAP {
+            while self.recent_order.len() > self.recent_cap {
                 if let Some(old) = self.recent_order.pop_front() {
                     self.recent_done.remove(&old);
                 }
             }
         }
-        vs.emit(ClientDone { op_id, result });
+        self.answer(vs, origin, ClientDone { op_id, result });
+    }
+
+    /// Routes a completion back to whoever injected the request: the
+    /// local output channel for in-process clients, a wire-level
+    /// [`AppMsg::Done`] for gateway-originated ones.
+    fn answer(&mut self, vs: &mut dyn VsyncOps<ClientDone>, origin: NodeId, done: ClientDone) {
+        if origin == self.id {
+            vs.emit(done);
+        } else {
+            vs.send_app(origin, encode(&AppMsg::Done(done)));
+        }
+    }
+
+    /// Remembers `from` as a gateway if it sits behind the server range
+    /// (`NodeId ≥ n`). Gateways are discovered from their traffic, never
+    /// configured, so deployments without a proxy tier are unaffected.
+    fn note_gateway(&mut self, vs: &mut dyn VsyncOps<ClientDone>, from: NodeId) {
+        if from != self.id && from.0 as usize >= vs.n() {
+            self.gateways.insert(from);
+        }
+    }
+
+    /// Admits one client request (local or gateway-forwarded): replays a
+    /// cached result for retries, otherwise starts the macro expansion.
+    fn handle_client(
+        &mut self,
+        vs: &mut dyn VsyncOps<ClientDone>,
+        from: NodeId,
+        req: crate::wire::ClientRequest,
+    ) {
+        // Retry dedup: a re-issued request must not execute twice
+        // (a duplicated Insert would duplicate the object — the
+        // store does not key by ObjectId).
+        if let Some(result) = self.recent_done.get(&req.op_id) {
+            vs.count("op.retry.replayed", 1.0);
+            let result = result.clone();
+            let origin = if from.0 as usize >= vs.n() {
+                from
+            } else {
+                self.id
+            };
+            self.answer(
+                vs,
+                origin,
+                ClientDone {
+                    op_id: req.op_id,
+                    result,
+                },
+            );
+            return;
+        }
+        if self.pending.contains_key(&req.op_id) {
+            // Still executing; the in-flight expansion will
+            // answer when it finishes.
+            vs.count("op.retry.inflight", 1.0);
+            return;
+        }
+        let classes = match &req.op {
+            ClientOp::Insert { object } => vec![self.classifier.classify(object)],
+            ClientOp::Read { sc, .. } | ClientOp::ReadDel { sc, .. } => {
+                let full = self.classifier.sc_list(sc);
+                self.prune_sc_list(vs, sc, full)
+            }
+        };
+        let origin = if from.0 as usize >= vs.n() {
+            from
+        } else {
+            self.id
+        };
+        self.pending.insert(
+            req.op_id,
+            PendingOp {
+                op: req.op,
+                origin,
+                classes,
+                idx: 0,
+                start_micros: vs.now_micros(),
+                waiting: false,
+                anycast_waiting: false,
+                force_gcast: false,
+            },
+        );
+        self.drive(vs, req.op_id);
     }
 
     /// Runs (or resumes) the Appendix-A macro expansion for a pending op.
@@ -592,44 +694,22 @@ impl GroupApp for MemoryServer {
     fn on_app_message(&mut self, vs: &mut dyn VsyncOps<ClientDone>, from: NodeId, bytes: &[u8]) {
         match try_decode::<AppMsg>(bytes) {
             Ok(AppMsg::Client(req)) => {
-                // Retry dedup: a re-issued request must not execute twice
-                // (a duplicated Insert would duplicate the object — the
-                // store does not key by ObjectId).
-                if let Some(result) = self.recent_done.get(&req.op_id) {
-                    vs.count("op.retry.replayed", 1.0);
-                    let result = result.clone();
-                    vs.emit(ClientDone {
-                        op_id: req.op_id,
-                        result,
-                    });
-                    return;
+                self.note_gateway(vs, from);
+                self.handle_client(vs, from, req);
+            }
+            Ok(AppMsg::ClientBatch(reqs)) => {
+                // An empty batch is a gateway subscription ping (it only
+                // teaches us the sender's address, see `note_gateway`).
+                self.note_gateway(vs, from);
+                for req in reqs {
+                    self.handle_client(vs, from, req);
                 }
-                if self.pending.contains_key(&req.op_id) {
-                    // Still executing; the in-flight expansion will
-                    // answer when it finishes.
-                    vs.count("op.retry.inflight", 1.0);
-                    return;
-                }
-                let classes = match &req.op {
-                    ClientOp::Insert { object } => vec![self.classifier.classify(object)],
-                    ClientOp::Read { sc, .. } | ClientOp::ReadDel { sc, .. } => {
-                        let full = self.classifier.sc_list(sc);
-                        self.prune_sc_list(vs, sc, full)
-                    }
-                };
-                self.pending.insert(
-                    req.op_id,
-                    PendingOp {
-                        op: req.op,
-                        classes,
-                        idx: 0,
-                        start_micros: vs.now_micros(),
-                        waiting: false,
-                        anycast_waiting: false,
-                        force_gcast: false,
-                    },
-                );
-                self.drive(vs, req.op_id);
+            }
+            Ok(AppMsg::Done(_)) => {
+                // Completions address gateways, never servers; a stray
+                // one (e.g. a gateway slot reused as a server id by a
+                // misconfigured peer) is dropped loudly.
+                vs.count("wire.decode.error", 1.0);
             }
             Ok(AppMsg::MarkerWake { op_id }) => {
                 if let Some(p) = self.pending.get_mut(&op_id) {

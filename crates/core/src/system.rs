@@ -70,6 +70,38 @@ pub fn register_durability_metrics(telemetry: &Telemetry) {
     }
 }
 
+/// Pre-registers the proxy-tier metric family (`proxy.*`) so both
+/// substrates expose the identical schema whenever gateway slots are
+/// configured — the simulator has no live proxies, but dashboards built
+/// against either driver must read the other unchanged (same contract as
+/// [`register_durability_metrics`]).
+pub fn register_proxy_metrics(telemetry: &Telemetry) {
+    for c in [
+        "proxy.clients.accepted",
+        "proxy.clients.closed",
+        "proxy.auth.denied",
+        "proxy.frames.in",
+        "proxy.ops.forwarded",
+        "proxy.ops.completed",
+        "proxy.retries",
+        "proxy.backpressure",
+        "proxy.batch.flushes",
+        "proxy.gossip.recv",
+    ] {
+        telemetry.counter(c);
+    }
+    for g in ["proxy.clients.open", "proxy.tenants"] {
+        telemetry.gauge(g);
+    }
+    for h in [
+        "proxy.batch.ops",
+        "proxy.batch.bytes",
+        "proxy.op.latency_micros",
+    ] {
+        telemetry.histogram(h);
+    }
+}
+
 /// Maps a native object id onto the telemetry trace's driver-neutral pair.
 pub fn obj_ref(id: ObjectId) -> ObjRef {
     ObjRef {
@@ -214,6 +246,9 @@ impl SimSystem {
         if hub.is_some() {
             register_durability_metrics(engine.telemetry());
         }
+        if cfg.proxy_slots > 0 {
+            register_proxy_metrics(engine.telemetry());
+        }
         SimSystem {
             engine,
             cfg,
@@ -336,9 +371,48 @@ impl SimSystem {
         self.inject_request(node, ClientOp::ReadDel { sc, blocking })
     }
 
+    /// Re-injects an already-issued request under the **same** op id —
+    /// what a timed-out client's retry (or a proxy's idempotent
+    /// re-forward) puts on the wire. The server must recognise the id in
+    /// its `recent_done` dedup cache and replay the cached result; if
+    /// the id has been evicted, the request executes again, which for an
+    /// insert duplicates the object. No `client.op.*` counter or
+    /// `OpBegin` trace is recorded: a retry is the *same* op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` was never issued or its machine is down.
+    pub fn resend(&mut self, op: u64) {
+        let rec = self.log.get(op).expect("resend of an op never issued");
+        let (node, body) = (rec.node, rec.op.clone());
+        assert!(
+            self.engine.status(node).is_up(),
+            "m{} is down: a halted machine cannot re-issue requests",
+            node.0
+        );
+        self.engine.telemetry().count("client.retries", 1.0);
+        let req = ClientRequest {
+            op_id: op,
+            op: body,
+        };
+        self.engine.inject(
+            self.engine.now(),
+            node,
+            paso_vsync::NetMsg::App(encode(&AppMsg::Client(req))),
+        );
+    }
+
     fn pump(&mut self) {
         for (time, _node, ClientDone { op_id, result }) in self.engine.take_outputs() {
             if let Some(rec) = self.log.get(op_id) {
+                if rec.returned.is_some() {
+                    // A retry's duplicate answer: the op already
+                    // returned to the client. Dropped and counted, the
+                    // same way the live cluster's done-map eviction
+                    // discards answers nobody is waiting for.
+                    self.engine.telemetry().count("client.dup_answers", 1.0);
+                    continue;
+                }
                 let kind = op_kind(&rec.op);
                 let lat = time.saturating_since(rec.issued).as_micros();
                 let hist = match kind {

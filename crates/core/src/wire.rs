@@ -413,6 +413,15 @@ pub enum AppMsg {
         /// Per-class constant-size summaries of the sender's stores.
         summaries: Vec<(ClassId, ClassSummary)>,
     },
+    /// A completed operation, sent back to the *originating* gateway
+    /// (the proxy tier's reply path). Requests injected locally keep
+    /// using the in-process output channel instead.
+    Done(ClientDone),
+    /// A pipelined batch of client requests from a gateway, flushed as
+    /// one frame (`proxy_batch_bytes`). An *empty* batch is a gateway
+    /// subscription ping: it teaches the server the gateway's address
+    /// (for summary gossip) without enqueuing work.
+    ClientBatch(Vec<ClientRequest>),
 }
 
 impl Wire for AppMsg {
@@ -452,6 +461,17 @@ impl Wire for AppMsg {
                     summary.encode(out);
                 }
             }
+            AppMsg::Done(done) => {
+                out.push(5);
+                done.encode(out);
+            }
+            AppMsg::ClientBatch(reqs) => {
+                out.push(6);
+                put_varint(out, reqs.len() as u64);
+                for req in reqs {
+                    req.encode(out);
+                }
+            }
         }
     }
 
@@ -477,6 +497,15 @@ impl Wire for AppMsg {
                     summaries.push((ClassId::decode(r)?, ClassSummary::decode(r)?));
                 }
                 AppMsg::SummaryGossip { summaries }
+            }
+            5 => AppMsg::Done(ClientDone::decode(r)?),
+            6 => {
+                let n = r.varint()? as usize;
+                let mut reqs = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    reqs.push(ClientRequest::decode(r)?);
+                }
+                AppMsg::ClientBatch(reqs)
             }
             tag => return Err(WireError::InvalidTag { ty: "AppMsg", tag }),
         })
@@ -507,8 +536,173 @@ impl Wire for AppMsg {
                         .map(|(c, s)| c.encoded_len() + s.encoded_len())
                         .sum::<usize>()
             }
+            AppMsg::Done(done) => done.encoded_len(),
+            AppMsg::ClientBatch(reqs) => {
+                paso_wire::varint_len(reqs.len() as u64)
+                    + reqs.iter().map(Wire::encoded_len).sum::<usize>()
+            }
         }
     }
+}
+
+/// A frame from an external client to a front-end proxy. Client
+/// connections carry a varint length prefix followed by one of these —
+/// deliberately *thinner* than the inter-server protocol so terminating
+/// 10k+ connections stays cheap (no ranks, no classes, no group state).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProxyClientFrame {
+    /// First frame on every connection: identify the tenant and prove
+    /// knowledge of the shared secret. Anything else before a `Hello`
+    /// (or a bad token) is answered with `Denied` and the connection is
+    /// closed.
+    Hello {
+        /// Tenant identity (feeds the per-tenant cardinality gauge).
+        tenant: u64,
+        /// `auth_token(tenant, secret)` — a keyed FNV-1a MAC.
+        token: u64,
+    },
+    /// One pipelined operation. `seq` is connection-local and echoed in
+    /// the matching `Done`/`Busy`; clients may keep up to the proxy's
+    /// `proxy_pipeline_depth` of these outstanding.
+    Op {
+        /// Connection-local sequence number (echoed back).
+        seq: u64,
+        /// The operation.
+        op: ClientOp,
+    },
+}
+
+impl Wire for ProxyClientFrame {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ProxyClientFrame::Hello { tenant, token } => {
+                out.push(0);
+                put_varint(out, *tenant);
+                put_varint(out, *token);
+            }
+            ProxyClientFrame::Op { seq, op } => {
+                out.push(1);
+                put_varint(out, *seq);
+                op.encode(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match r.u8()? {
+            0 => ProxyClientFrame::Hello {
+                tenant: r.varint()?,
+                token: r.varint()?,
+            },
+            1 => ProxyClientFrame::Op {
+                seq: r.varint()?,
+                op: ClientOp::decode(r)?,
+            },
+            tag => {
+                return Err(WireError::InvalidTag {
+                    ty: "ProxyClientFrame",
+                    tag,
+                })
+            }
+        })
+    }
+
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            ProxyClientFrame::Hello { tenant, token } => {
+                paso_wire::varint_len(*tenant) + paso_wire::varint_len(*token)
+            }
+            ProxyClientFrame::Op { seq, op } => paso_wire::varint_len(*seq) + op.encoded_len(),
+        }
+    }
+}
+
+/// A frame from a proxy back to an external client.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProxyServerFrame {
+    /// The `Hello` was accepted; ops may now be pipelined.
+    Welcome,
+    /// Authentication failed (or an op arrived before `Hello`). The
+    /// proxy closes the connection after sending this.
+    Denied,
+    /// The pipelining window (`proxy_pipeline_depth`) is full; the op
+    /// was *not* forwarded. Back off and re-issue.
+    Busy {
+        /// The rejected op's sequence number.
+        seq: u64,
+    },
+    /// The operation completed (or conclusively failed/timed out).
+    Done {
+        /// The completed op's sequence number.
+        seq: u64,
+        /// The outcome, verbatim from the cluster.
+        result: ClientResult,
+    },
+}
+
+impl Wire for ProxyServerFrame {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ProxyServerFrame::Welcome => out.push(0),
+            ProxyServerFrame::Denied => out.push(1),
+            ProxyServerFrame::Busy { seq } => {
+                out.push(2);
+                put_varint(out, *seq);
+            }
+            ProxyServerFrame::Done { seq, result } => {
+                out.push(3);
+                put_varint(out, *seq);
+                result.encode(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match r.u8()? {
+            0 => ProxyServerFrame::Welcome,
+            1 => ProxyServerFrame::Denied,
+            2 => ProxyServerFrame::Busy { seq: r.varint()? },
+            3 => ProxyServerFrame::Done {
+                seq: r.varint()?,
+                result: ClientResult::decode(r)?,
+            },
+            tag => {
+                return Err(WireError::InvalidTag {
+                    ty: "ProxyServerFrame",
+                    tag,
+                })
+            }
+        })
+    }
+
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            ProxyServerFrame::Welcome | ProxyServerFrame::Denied => 0,
+            ProxyServerFrame::Busy { seq } => paso_wire::varint_len(*seq),
+            ProxyServerFrame::Done { seq, result } => {
+                paso_wire::varint_len(*seq) + result.encoded_len()
+            }
+        }
+    }
+}
+
+/// The keyed MAC a client presents in [`ProxyClientFrame::Hello`]:
+/// FNV-1a over the tenant id and the deployment's shared secret. Not
+/// cryptographic — it gates accidental cross-deployment traffic, not a
+/// determined adversary (DESIGN.md §6h).
+pub fn auth_token(tenant: u64, secret: u64) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    for b in tenant
+        .to_le_bytes()
+        .iter()
+        .chain(secret.to_le_bytes().iter())
+    {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
 }
 
 /// Encodes any wire message into gcast/app payload bytes.
@@ -671,6 +865,97 @@ mod tests {
             assert_eq!(bytes.len(), done.encoded_len());
             assert_eq!(decode::<ClientDone>(&bytes).unwrap(), done);
         }
+    }
+
+    #[test]
+    fn gateway_messages_round_trip() {
+        let sc = SearchCriterion::from(Template::wildcard(1));
+        for m in [
+            AppMsg::Done(ClientDone {
+                op_id: (7 << 48) | 3,
+                result: ClientResult::Found(obj()),
+            }),
+            AppMsg::ClientBatch(vec![]),
+            AppMsg::ClientBatch(vec![
+                ClientRequest {
+                    op_id: 1,
+                    op: ClientOp::Insert { object: obj() },
+                },
+                ClientRequest {
+                    op_id: 2,
+                    op: ClientOp::Read {
+                        sc,
+                        blocking: false,
+                    },
+                },
+            ]),
+        ] {
+            let bytes = encode(&m);
+            assert_eq!(bytes.len(), m.encoded_len());
+            let back: AppMsg = decode(&bytes).unwrap();
+            assert_eq!(m, back);
+            for cut in 0..bytes.len() {
+                assert!(try_decode::<AppMsg>(&bytes[..cut]).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn proxy_frames_round_trip() {
+        let sc = SearchCriterion::from(Template::exact(vec![Value::Int(9)]));
+        for f in [
+            ProxyClientFrame::Hello {
+                tenant: 42,
+                token: auth_token(42, 0xBEEF),
+            },
+            ProxyClientFrame::Op {
+                seq: 300,
+                op: ClientOp::Insert { object: obj() },
+            },
+            ProxyClientFrame::Op {
+                seq: 0,
+                op: ClientOp::ReadDel {
+                    sc,
+                    blocking: false,
+                },
+            },
+        ] {
+            let bytes = encode(&f);
+            assert_eq!(bytes.len(), f.encoded_len());
+            let back: ProxyClientFrame = decode(&bytes).unwrap();
+            assert_eq!(f, back);
+            for cut in 0..bytes.len() {
+                assert!(try_decode::<ProxyClientFrame>(&bytes[..cut]).is_err());
+            }
+        }
+        for f in [
+            ProxyServerFrame::Welcome,
+            ProxyServerFrame::Denied,
+            ProxyServerFrame::Busy { seq: 77 },
+            ProxyServerFrame::Done {
+                seq: 78,
+                result: ClientResult::Found(obj()),
+            },
+            ProxyServerFrame::Done {
+                seq: 79,
+                result: ClientResult::TimedOut,
+            },
+        ] {
+            let bytes = encode(&f);
+            assert_eq!(bytes.len(), f.encoded_len());
+            let back: ProxyServerFrame = decode(&bytes).unwrap();
+            assert_eq!(f, back);
+            for cut in 0..bytes.len() {
+                assert!(try_decode::<ProxyServerFrame>(&bytes[..cut]).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn auth_token_is_keyed() {
+        assert_eq!(auth_token(1, 2), auth_token(1, 2));
+        assert_ne!(auth_token(1, 2), auth_token(1, 3), "secret must matter");
+        assert_ne!(auth_token(1, 2), auth_token(2, 2), "tenant must matter");
     }
 
     #[test]

@@ -1,0 +1,111 @@
+//! Retry-dedup regression tests: `recent_done` must be sized for the
+//! retry horizon a pipelining proxy creates, not a hard constant.
+//!
+//! Before PR 9 the cache capacity was a literal `512`. A proxy keeping
+//! `proxy_pipeline_depth` ops in flight per slot, each retryable
+//! `client_retry_budget` times, can push far more than 512 completions
+//! through a server between a request's first execution and its retry —
+//! evicting the dedup entry and turning an idempotent re-send into a
+//! double execution (a duplicated insert). The capacity is now derived:
+//! `(budget + 1) × pipeline_depth × slots`, floored at the old constant.
+
+use paso_core::{ClientResult, PasoConfig, SimSystem};
+use paso_types::{SearchCriterion, Template, Value};
+
+fn sc_task(n: i64) -> SearchCriterion {
+    SearchCriterion::from(Template::exact(vec![Value::symbol("task"), Value::Int(n)]))
+}
+
+fn task(n: i64) -> Vec<Value> {
+    vec![Value::symbol("task"), Value::Int(n)]
+}
+
+/// How many completions to push through between an op and its retry:
+/// comfortably past the old hard cap of 512.
+const FLOOD: i64 = 600;
+
+/// Runs FLOOD+1 inserts on one machine, then re-sends the *first*
+/// insert's request (same op id) and reports how many copies of its
+/// object the store ends up holding.
+fn copies_after_flooded_retry(cfg: PasoConfig) -> (usize, f64) {
+    let mut sys = SimSystem::new(cfg);
+    let (first_op, _) = sys.issue_insert(0, task(0));
+    sys.wait(first_op, 1_000_000).expect("insert completes");
+    for i in 1..=FLOOD {
+        sys.insert(0, task(i));
+    }
+    // The straggler retry arrives long after the flood.
+    sys.resend(first_op);
+    sys.settle(1_000_000);
+    let mut copies = 0;
+    while sys.read_del(0, sc_task(0)).is_some() {
+        copies += 1;
+    }
+    let replayed = sys
+        .telemetry()
+        .snapshot()
+        .counters
+        .get("op.retry.replayed")
+        .copied()
+        .unwrap_or(0.0);
+    (copies, replayed)
+}
+
+#[test]
+fn proxy_scaled_dedup_cache_survives_a_flood_of_completions() {
+    // 4 slots × depth 64 × (budget 3 + 1) = 1024 ≥ FLOOD: the retry is
+    // replayed from cache and the object stays unique.
+    let cfg = PasoConfig::builder(3, 1)
+        .seed(9)
+        .proxy_slots(4)
+        .proxy_pipeline_depth(64)
+        .client_retry_budget(3)
+        .build();
+    assert!(cfg.dedup_cache_ops() as i64 > FLOOD);
+    let (copies, replayed) = copies_after_flooded_retry(cfg);
+    assert_eq!(copies, 1, "retry must be deduped, not re-executed");
+    assert!(
+        replayed >= 1.0,
+        "replay must be visible in op.retry.replayed"
+    );
+}
+
+#[test]
+fn old_hard_cap_would_double_execute_the_same_flood() {
+    // With no proxy slots the derived capacity bottoms out at the old
+    // constant (512 < FLOOD): the dedup entry is evicted and the retry
+    // re-executes, duplicating the insert. This documents the failure
+    // mode the derived sizing exists to prevent — if the cache policy
+    // ever changes such that this starts deduping, the companion test
+    // above stops being load-bearing and both should be revisited.
+    let cfg = PasoConfig::builder(3, 1)
+        .seed(9)
+        .client_retry_budget(3)
+        .build();
+    assert_eq!(cfg.dedup_cache_ops(), 512);
+    let (copies, _) = copies_after_flooded_retry(cfg);
+    assert_eq!(
+        copies, 2,
+        "eviction past the cache horizon re-executes the retry"
+    );
+}
+
+#[test]
+fn replayed_retry_answers_with_the_cached_result() {
+    // Within the cache horizon a re-sent read&del must return the same
+    // (destructive) outcome, not consume a second object.
+    let cfg = PasoConfig::builder(3, 1).seed(11).build();
+    let mut sys = SimSystem::new(cfg);
+    sys.insert(0, task(1));
+    sys.insert(0, task(1));
+    let op = sys.issue_read_del(0, sc_task(1), false);
+    let first = sys.wait(op, 1_000_000).expect("read&del completes");
+    assert!(matches!(first, ClientResult::Found(_)));
+    sys.resend(op);
+    sys.settle(1_000_000);
+    // Exactly one of the two identical objects was consumed.
+    assert!(sys.read_del(0, sc_task(1)).is_some());
+    assert!(sys.read_del(0, sc_task(1)).is_none());
+    let report = sys.check_semantics();
+    assert!(report.ok(), "{:?}", report.violations);
+}

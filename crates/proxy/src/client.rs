@@ -1,0 +1,146 @@
+//! A minimal blocking client for the proxy's varint-framed protocol —
+//! what tests and the `exp_proxy` driver speak. Real deployments would
+//! wrap this in a connection pool; one instance is one TCP connection.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use paso_core::{
+    auth_token, encode, try_decode, ClientOp, ClientResult, ProxyClientFrame, ProxyServerFrame,
+};
+use paso_wire::put_varint;
+
+/// One authenticated client connection to a [`Proxy`](crate::Proxy).
+pub struct ProxyClient {
+    stream: TcpStream,
+    next_seq: u64,
+}
+
+impl std::fmt::Debug for ProxyClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProxyClient")
+            .field("next_seq", &self.next_seq)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ProxyClient {
+    /// Connects to a proxy on localhost, authenticates as `tenant`, and
+    /// waits for the `Welcome`.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures, protocol violations, or an auth denial (the
+    /// denial surfaces as [`io::ErrorKind::PermissionDenied`]).
+    pub fn connect(port: u16, tenant: u64, secret: u64) -> io::Result<ProxyClient> {
+        let stream = TcpStream::connect(("127.0.0.1", port))?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_nodelay(true)?;
+        let mut client = ProxyClient {
+            stream,
+            next_seq: 0,
+        };
+        client.send(&ProxyClientFrame::Hello {
+            tenant,
+            token: auth_token(tenant, secret),
+        })?;
+        match client.recv()? {
+            ProxyServerFrame::Welcome => Ok(client),
+            ProxyServerFrame::Denied => Err(io::Error::new(
+                io::ErrorKind::PermissionDenied,
+                "proxy denied the hello",
+            )),
+            other => Err(protocol_error(&other)),
+        }
+    }
+
+    /// Sends one pipelined op without waiting; returns its sequence
+    /// number (echoed in the eventual `Done`/`Busy`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write failures.
+    pub fn send_op(&mut self, op: &ClientOp) -> io::Result<u64> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.send(&ProxyClientFrame::Op {
+            seq,
+            op: op.clone(),
+        })?;
+        Ok(seq)
+    }
+
+    /// Reads the next server frame (a `Done` or `Busy` for some
+    /// outstanding op).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket read failures and undecodable frames.
+    pub fn recv(&mut self) -> io::Result<ProxyServerFrame> {
+        let payload = self.read_frame()?;
+        try_decode::<ProxyServerFrame>(&payload)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e:?}")))
+    }
+
+    /// Synchronous round trip: sends `op`, re-issues on `Busy` with a
+    /// small backoff, returns the final result. Out-of-order `Done`s for
+    /// other (pipelined) seqs are an error here — mix `op` with
+    /// [`ProxyClient::send_op`] only if you drain completions yourself.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors; `Busy` and `TimedOut` are *values*,
+    /// not errors.
+    pub fn op(&mut self, op: &ClientOp) -> io::Result<ClientResult> {
+        loop {
+            let seq = self.send_op(op)?;
+            match self.recv()? {
+                ProxyServerFrame::Done { seq: s, result } if s == seq => return Ok(result),
+                ProxyServerFrame::Busy { seq: s } if s == seq => {
+                    // Back off briefly, then re-issue under a fresh seq.
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                other => return Err(protocol_error(&other)),
+            }
+        }
+    }
+
+    fn send(&mut self, frame: &ProxyClientFrame) -> io::Result<()> {
+        let payload = encode(frame);
+        let mut buf = Vec::with_capacity(payload.len() + 5);
+        put_varint(&mut buf, payload.len() as u64);
+        buf.extend_from_slice(&payload);
+        self.stream.write_all(&buf)
+    }
+
+    fn read_frame(&mut self) -> io::Result<Vec<u8>> {
+        let mut len = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let mut byte = [0u8; 1];
+            self.stream.read_exact(&mut byte)?;
+            len |= u64::from(byte[0] & 0x7f) << shift;
+            if byte[0] & 0x80 == 0 {
+                break;
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "oversized varint header",
+                ));
+            }
+        }
+        let mut payload = vec![0u8; len as usize];
+        self.stream.read_exact(&mut payload)?;
+        Ok(payload)
+    }
+}
+
+fn protocol_error(frame: &ProxyServerFrame) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("unexpected server frame: {frame:?}"),
+    )
+}

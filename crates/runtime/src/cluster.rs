@@ -12,8 +12,9 @@ use crossbeam::channel::{unbounded, Receiver};
 use parking_lot::Mutex;
 
 use paso_core::{
-    assign_basic_support, encode, initial_groups, register_durability_metrics, AppMsg, ClientDone,
-    ClientOp, ClientRequest, ClientResult, MemoryServer, PasoConfig,
+    assign_basic_support, encode, initial_groups, register_durability_metrics,
+    register_proxy_metrics, AppMsg, ClientDone, ClientOp, ClientRequest, ClientResult,
+    MemoryServer, PasoConfig,
 };
 use paso_durable::{DurabilityHub, DurableConfig};
 use paso_simnet::{Fault, FaultPlan, FaultScript, NodeId};
@@ -22,7 +23,9 @@ use paso_types::{ClassId, ObjectId, PasoObject, ProcessId, SearchCriterion, Valu
 use paso_vsync::{NetMsg, VsyncConfig, VsyncNode};
 
 use crate::node::{run_node, NodeStats};
-use crate::transport::{ChannelTransport, Envelope, Postman, TcpTransport, TransportTuning};
+use crate::transport::{
+    ChannelMailbox, ChannelTransport, Envelope, Mailbox, Postman, TcpTransport, TransportTuning,
+};
 
 /// Which transport the cluster runs over.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -101,6 +104,104 @@ pub struct Cluster {
     hub: Option<Arc<DurabilityHub>>,
     /// Monotonic zero for every trace timestamp this cluster records.
     epoch: Instant,
+    /// Unclaimed gateway attachment points (`cfg.proxy_slots` of them),
+    /// indexed by slot. `Cluster::gateway_link` takes one.
+    gateway_mail: Mutex<Vec<Option<ChannelMailbox>>>,
+}
+
+/// A front-end gateway's attachment point into the cluster fabric.
+///
+/// Gateways occupy the [`NodeId`] slots *behind* the `n` servers
+/// (`NodeId(n + slot)`): full transport peers that send and receive
+/// [`AppMsg`]s, but run no memory server, join no groups, and hold no
+/// state the λ-fault-tolerance argument has to cover. The link shares
+/// the cluster's telemetry registry and trace buffer so ops flowing
+/// through a proxy land in the same `client.op.*` counters and A1–A3
+/// trace stream as ops issued directly — that equivalence is exactly
+/// what the proxy differential test asserts.
+pub struct GatewayLink {
+    node: NodeId,
+    servers: usize,
+    postman: Arc<dyn Postman>,
+    mailbox: ChannelMailbox,
+    telemetry: Arc<Telemetry>,
+    trace: Arc<TraceBuf>,
+    epoch: Instant,
+}
+
+impl fmt::Debug for GatewayLink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GatewayLink")
+            .field("node", &self.node)
+            .field("servers", &self.servers)
+            .finish_non_exhaustive()
+    }
+}
+
+impl GatewayLink {
+    /// The gateway's own address on the fabric (`NodeId(n + slot)`).
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Number of memory servers (valid send targets are `0..servers`).
+    pub fn servers(&self) -> usize {
+        self.servers
+    }
+
+    /// Sends one application message to a memory server, stamped with
+    /// the gateway's own address so the server can answer with
+    /// [`AppMsg::Done`] (and learn the gateway for summary gossip).
+    pub fn send(&self, server: u32, msg: &AppMsg) {
+        debug_assert!((server as usize) < self.servers, "not a server id");
+        self.postman.send(
+            NodeId(server),
+            Envelope::Net {
+                from: self.node,
+                msg: NetMsg::App(encode(msg)),
+            },
+        );
+    }
+
+    /// Blocks up to `timeout` for the next application message addressed
+    /// to this gateway (op completions, summary gossip), tagged with the
+    /// sending server. Non-app envelopes on the mailbox are skipped
+    /// within the same deadline.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<(NodeId, AppMsg)> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            // Gateways are not in the membership oracle's audience; any
+            // envelope other than an app frame (a stray control message)
+            // is ignored.
+            if let Envelope::Net {
+                from,
+                msg: NetMsg::App(bytes),
+            } = self.mailbox.recv_timeout(remaining)?
+            {
+                if let Some(msg) = paso_core::decode::<AppMsg>(&bytes) {
+                    return Some((from, msg));
+                }
+                self.telemetry.count("wire.decode.error", 1.0);
+            }
+        }
+    }
+
+    /// The cluster's shared metrics registry.
+    pub fn telemetry(&self) -> Arc<Telemetry> {
+        Arc::clone(&self.telemetry)
+    }
+
+    /// The cluster's shared structured trace stream.
+    pub fn trace_buf(&self) -> Arc<TraceBuf> {
+        Arc::clone(&self.trace)
+    }
+
+    /// Micros since cluster start — the timebase every trace event in
+    /// the shared stream uses.
+    pub fn now_micros(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
 }
 
 /// Cluster-wide counters: the node-side totals plus the transport's
@@ -127,6 +228,12 @@ pub struct ClusterStats {
     /// Unclaimed client results evicted from the done map.
     pub results_evicted: u64,
 }
+
+/// Floor on the per-attempt wait in the retry loop: however the retry
+/// budget slices the op deadline, every attempt gets at least this long
+/// for its answer to arrive before the next re-send (or the final
+/// `Timeout`) fires.
+const MIN_RETRY_SLICE: Duration = Duration::from_millis(1);
 
 fn obj_ref(id: ObjectId) -> ObjRef {
     ObjRef {
@@ -219,20 +326,29 @@ impl Cluster {
             fault_seed: cfg.seed,
             ..TransportTuning::default()
         };
-        let (postman, mailboxes): (Arc<dyn Postman>, Vec<_>) = match kind {
+        // The transport is sized for the servers *plus* the configured
+        // gateway slots: gateways are ordinary peers on the fabric, they
+        // just run a proxy front half instead of a memory server.
+        let total = n + cfg.proxy_slots;
+        let (postman, mut mailboxes): (Arc<dyn Postman>, Vec<_>) = match kind {
             TransportKind::Channel => {
-                let (p, m) = ChannelTransport::with_tuning(n, tuning);
+                let (p, m) = ChannelTransport::with_tuning(total, tuning);
                 (p, m)
             }
             TransportKind::Tcp => {
-                let (p, m) = TcpTransport::with_tuning(n, tuning);
+                let (p, m) = TcpTransport::with_tuning(total, tuning);
                 (p, m)
             }
         };
+        let gateway_mail: Vec<Option<ChannelMailbox>> =
+            mailboxes.split_off(n).into_iter().map(Some).collect();
         postman.set_fault_plan(plan);
         let telemetry = Arc::new(Telemetry::new());
         if hub.is_some() {
             register_durability_metrics(&telemetry);
+        }
+        if cfg.proxy_slots > 0 {
+            register_proxy_metrics(&telemetry);
         }
         let trace = Arc::new(TraceBuf::new());
         let epoch = Instant::now();
@@ -293,6 +409,33 @@ impl Cluster {
             trace,
             hub,
             epoch,
+            gateway_mail: Mutex::new(gateway_mail),
+        }
+    }
+
+    /// Claims gateway slot `slot` (of `cfg.proxy_slots`), handing out its
+    /// transport mailbox and address. Each slot can be claimed once; the
+    /// returned link is what a `paso-proxy` front end drives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= cfg.proxy_slots` or the slot was already taken.
+    pub fn gateway_link(&self, slot: usize) -> GatewayLink {
+        let mut mail = self.gateway_mail.lock();
+        assert!(
+            slot < mail.len(),
+            "gateway slot {slot} out of range (proxy_slots = {})",
+            mail.len()
+        );
+        let mailbox = mail[slot].take().expect("gateway slot already claimed");
+        GatewayLink {
+            node: NodeId((self.n + slot) as u32),
+            servers: self.n,
+            postman: Arc::clone(&self.postman),
+            mailbox,
+            telemetry: Arc::clone(&self.telemetry),
+            trace: Arc::clone(&self.trace),
+            epoch: self.epoch,
         }
     }
 
@@ -374,6 +517,9 @@ impl Cluster {
         self.telemetry
             .counter("net.msgs_delayed")
             .set(net.msgs_delayed as f64);
+        self.telemetry
+            .counter("net.poll.errors")
+            .set(net.poll_errors as f64);
         Arc::clone(&self.telemetry)
     }
 
@@ -510,9 +656,12 @@ impl Cluster {
         self.send_request(node, &req);
         // Slice the overall deadline across the attempts so retries make
         // the op *more* likely to land within the same client patience,
-        // instead of stretching it.
+        // instead of stretching it. Clamp the slice: with a large budget
+        // or a sub-millisecond timeout the division hands each attempt a
+        // near-zero wait, and the op burns its whole budget (or its only
+        // attempt) without giving the first request a chance to land.
         let attempts = budget + 1;
-        let slice = self.op_timeout / attempts;
+        let slice = (self.op_timeout / attempts).max(MIN_RETRY_SLICE);
         for attempt in 0..attempts {
             match self.wait_for(op_id, slice) {
                 Err(ClusterError::Timeout) if attempt + 1 < attempts => {

@@ -21,14 +21,17 @@
 #![warn(missing_docs)]
 
 mod cluster;
+mod frame_server;
 mod node;
 mod reactor;
 pub mod shell;
 mod transport;
 mod workers;
 
-pub use cluster::{Cluster, ClusterError, ClusterStats, TransportKind};
+pub use cluster::{Cluster, ClusterError, ClusterStats, GatewayLink, TransportKind};
+pub use frame_server::{FrameServer, SendOutcome};
 pub use node::NodeStats;
+pub use reactor::{ClientEvent, ClientId};
 pub use transport::{
     push_frame, ChannelMailbox, ChannelTransport, Envelope, Mailbox, NetStats, Postman,
     TcpTransport, TransportTuning,
@@ -54,6 +57,89 @@ mod tests {
 
     fn task(n: i64) -> Vec<Value> {
         vec![Value::symbol("t"), Value::Int(n)]
+    }
+
+    #[test]
+    fn zero_retry_budget_waits_the_full_deadline() {
+        // budget = 0 is a legal config: the single attempt must get the
+        // whole op timeout (not a zero-length slice) and succeed on a
+        // healthy cluster.
+        let cfg = PasoConfig::builder(3, 1).client_retry_budget(0).build();
+        let cluster = Cluster::start(cfg, TransportKind::Channel);
+        cluster.insert(0, task(1)).unwrap();
+        assert!(cluster.read(1, sc_task(1)).unwrap().is_some());
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn submillisecond_timeout_is_clamped_not_zero_sliced() {
+        // 200µs / 51 attempts truncates to ~4µs per attempt — without
+        // the clamp every attempt expires before a reply can possibly
+        // arrive and the op fails on a perfectly healthy cluster. The
+        // 1ms floor gives the retry loop ~51ms of real patience.
+        let cfg = PasoConfig::builder(3, 1).client_retry_budget(50).build();
+        let mut cluster = Cluster::start(cfg, TransportKind::Channel);
+        cluster.set_op_timeout(std::time::Duration::from_micros(200));
+        let mut landed = false;
+        for i in 0..5 {
+            if cluster.insert(0, task(i)).is_ok() {
+                landed = true;
+                break;
+            }
+        }
+        assert!(
+            landed,
+            "sub-ms timeout with retries must still land on a healthy cluster"
+        );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn gateway_link_round_trips_an_op() {
+        use paso_core::{AppMsg, ClientOp, ClientRequest, ClientResult};
+        use paso_types::{ObjectId, PasoObject, ProcessId};
+
+        let cfg = PasoConfig::builder(3, 1).proxy_slots(1).build();
+        let cluster = Cluster::start(cfg, TransportKind::Channel);
+        let link = cluster.gateway_link(0);
+        assert_eq!(link.node_id().0, 3, "gateways sit behind the servers");
+        assert_eq!(link.servers(), 3);
+
+        // Gateway op ids are namespaced by the gateway's NodeId so they
+        // can never collide with the direct client API's counter.
+        let op_id = (u64::from(link.node_id().0) << 40) | 1;
+        let object = PasoObject::new(
+            ObjectId::new(ProcessId(u64::from(link.node_id().0)), 1),
+            task(42),
+        );
+        link.send(
+            0,
+            &AppMsg::ClientBatch(vec![ClientRequest {
+                op_id,
+                op: ClientOp::Insert { object },
+            }]),
+        );
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        let result = loop {
+            assert!(std::time::Instant::now() < deadline, "no Done within 5s");
+            match link.recv_timeout(std::time::Duration::from_millis(100)) {
+                Some((_, AppMsg::Done(done))) if done.op_id == op_id => break done.result,
+                _ => continue,
+            }
+        };
+        assert_eq!(result, ClientResult::Inserted);
+        // The object a gateway inserted is visible to direct clients.
+        assert!(cluster.read(1, sc_task(42)).unwrap().is_some());
+        cluster.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "already claimed")]
+    fn gateway_slot_claimed_once() {
+        let cfg = PasoConfig::builder(3, 1).proxy_slots(1).build();
+        let cluster = Cluster::start(cfg, TransportKind::Channel);
+        let _first = cluster.gateway_link(0);
+        let _second = cluster.gateway_link(0);
     }
 
     #[test]

@@ -35,7 +35,7 @@
 //! dropping the entries closes every fd — asserted by the
 //! transport-lifecycle leak test.
 
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::io::{self, IoSlice, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
@@ -49,6 +49,57 @@ use parking_lot::Mutex;
 use paso_telemetry::Histogram;
 
 use crate::transport::{Envelope, NetCounters, TransportTuning, MAX_FRAME};
+
+/// Opaque handle for one accepted client connection on a
+/// [`FrameServer`](crate::FrameServer). Ids are unique for the lifetime
+/// of the server and never reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClientId(pub u64);
+
+/// What a [`FrameServer`](crate::FrameServer) reports about its clients.
+/// Events for one client are in order (accept → frames → disconnect);
+/// events for different clients interleave arbitrarily.
+#[derive(Debug)]
+pub enum ClientEvent {
+    /// A new connection was accepted.
+    Connected(ClientId),
+    /// One complete `[varint len][payload]` frame arrived; the payload is
+    /// handed through opaque — the serving tier owns the client protocol.
+    Frame(ClientId, Vec<u8>),
+    /// The connection is gone (EOF, I/O error, oversize frame, or a
+    /// [`kick`](crate::FrameServer::kick)). The id is dead afterwards.
+    Disconnected(ClientId),
+}
+
+/// Shared state between a client listener's poller entries and the
+/// [`FrameServer`](crate::FrameServer) front half: the id → connection
+/// map used by `send`/`kick`, and the event channel into the serving
+/// tier. Client connections differ from peer connections in exactly two
+/// ways: they are *accepted* (never dialed, so death means
+/// [`ClientEvent::Disconnected`], not a redial) and their frames are
+/// opaque payload bytes rather than [`Envelope`]s.
+pub(crate) struct ClientRegistry {
+    next_id: AtomicU64,
+    pub(crate) conns: Mutex<HashMap<u64, Arc<OutConn>>>,
+    sink: Sender<ClientEvent>,
+    /// Send-queue depth for each client connection.
+    depth: usize,
+    /// Frame-size cap for *client* traffic (tighter than the peer
+    /// [`MAX_FRAME`]: clients are untrusted).
+    max_frame: usize,
+}
+
+impl ClientRegistry {
+    pub(crate) fn new(sink: Sender<ClientEvent>, depth: usize, max_frame: usize) -> Self {
+        ClientRegistry {
+            next_id: AtomicU64::new(0),
+            conns: Mutex::new(HashMap::new()),
+            sink,
+            depth,
+            max_frame,
+        }
+    }
+}
 
 /// A refcounted, already-encoded envelope body (no length prefix — the
 /// writer prepends the varint header from its scratch buffer). One
@@ -82,6 +133,9 @@ pub(crate) struct OutConn {
     /// Index of the poller currently owning the connected socket, or
     /// [`NO_OWNER`] while dialing.
     owner: AtomicUsize,
+    /// Administrative close (client kick): the owning poller drops the
+    /// entry at its next wakeup instead of draining further.
+    closed: AtomicBool,
 }
 
 impl OutConn {
@@ -92,7 +146,17 @@ impl OutConn {
             len: AtomicUsize::new(0),
             depth,
             owner: AtomicUsize::new(NO_OWNER),
+            closed: AtomicBool::new(false),
         }
+    }
+
+    /// Marks the connection administratively closed (see `closed`).
+    pub(crate) fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+    }
+
+    pub(crate) fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
     }
 
     /// Appends a frame. `Ok(true)` means the queue was empty (the caller
@@ -197,6 +261,9 @@ impl HistCache {
 enum Cmd {
     /// Adopt a listener (accepted streams stay on this poller).
     Listener(TcpListener, Sender<Envelope>),
+    /// Adopt a client-facing listener: accepted streams become
+    /// [`Entry::Client`]s registered with the [`ClientRegistry`].
+    ClientListener(TcpListener, Arc<ClientRegistry>),
     /// Adopt a freshly dialed outbound socket.
     Outbound(Arc<OutConn>, TcpStream),
     /// Drop every entry and exit.
@@ -365,6 +432,20 @@ impl Reactor {
         inbox.send(Cmd::Listener(listener, tx));
     }
 
+    /// Hands a client-facing listener to poller `slot % pollers`.
+    pub(crate) fn add_client_listener(
+        &self,
+        slot: usize,
+        listener: TcpListener,
+        reg: Arc<ClientRegistry>,
+    ) {
+        listener
+            .set_nonblocking(true)
+            .expect("nonblocking listener");
+        let inbox = &self.shared.inboxes[slot % self.shared.inboxes.len()];
+        inbox.send(Cmd::ClientListener(listener, reg));
+    }
+
     /// Schedules the first dial for a fresh connection.
     pub(crate) fn dial(&self, conn: Arc<OutConn>) {
         let _ = self.shared.dial_tx.send(DialCmd::Dial {
@@ -445,19 +526,29 @@ fn dialer_loop(rx: Receiver<DialCmd>, shared: Arc<ReactorShared>) {
         }
         let now = Instant::now();
         while heap.peek().is_some_and(|d| d.at <= now) {
-            let due = heap.pop().expect("peeked");
+            let Some(due) = heap.pop() else { break };
             if shared.shutdown.load(Ordering::SeqCst) {
                 return;
             }
-            match TcpStream::connect(("127.0.0.1", due.conn.port)) {
-                Ok(stream) => {
+            let stream = match TcpStream::connect(("127.0.0.1", due.conn.port)) {
+                // A connect that succeeds but cannot be made nonblocking
+                // is unusable for the poller: count it and retry like any
+                // other dial failure rather than panicking the dialer.
+                Ok(stream) if stream.set_nonblocking(true).is_ok() => Some(stream),
+                Ok(_) => {
+                    shared.counters.errors.fetch_add(1, Ordering::SeqCst);
+                    None
+                }
+                Err(_) => None,
+            };
+            match stream {
+                Some(stream) => {
                     let _ = stream.set_nodelay(true);
-                    stream.set_nonblocking(true).expect("nonblocking stream");
                     let idx = shared.next.fetch_add(1, Ordering::Relaxed) % shared.inboxes.len();
                     // The poller sets `owner` when it installs the entry.
                     shared.inboxes[idx].send(Cmd::Outbound(due.conn, stream));
                 }
-                Err(_) => {
+                None => {
                     heap.push(DialAt {
                         at: Instant::now() + due.backoff + tuning.dial_stall,
                         seq,
@@ -552,6 +643,10 @@ enum Entry {
         listener: TcpListener,
         tx: Sender<Envelope>,
     },
+    ClientListener {
+        listener: TcpListener,
+        reg: Arc<ClientRegistry>,
+    },
     Inbound {
         stream: TcpStream,
         tx: Sender<Envelope>,
@@ -561,20 +656,35 @@ enum Entry {
         filled: usize,
     },
     Outbound(OutEntry),
+    /// One accepted client connection: full duplex on a single fd. Reads
+    /// deliver opaque payload frames as [`ClientEvent::Frame`]s; writes
+    /// drain the registered [`OutConn`] exactly like a peer connection.
+    Client {
+        id: u64,
+        reg: Arc<ClientRegistry>,
+        out: OutEntry,
+        buf: Vec<u8>,
+        filled: usize,
+    },
 }
 
 impl Entry {
     fn fd(&self) -> libc::c_int {
         match self {
-            Entry::Listener { listener, .. } => listener.as_raw_fd(),
+            Entry::Listener { listener, .. } | Entry::ClientListener { listener, .. } => {
+                listener.as_raw_fd()
+            }
             Entry::Inbound { stream, .. } => stream.as_raw_fd(),
             Entry::Outbound(o) => o.stream.as_raw_fd(),
+            Entry::Client { out, .. } => out.stream.as_raw_fd(),
         }
     }
 
     fn interest(&self) -> libc::c_short {
         match self {
-            Entry::Listener { .. } | Entry::Inbound { .. } => libc::POLLIN,
+            Entry::Listener { .. } | Entry::ClientListener { .. } | Entry::Inbound { .. } => {
+                libc::POLLIN
+            }
             // Idle outbound connections stay in the set with no requested
             // events: POLLERR/POLLHUP are reported regardless, so a dead
             // peer is noticed without waiting for the next send.
@@ -583,6 +693,15 @@ impl Entry {
                     libc::POLLOUT
                 } else {
                     0
+                }
+            }
+            // A kicked client requests POLLOUT so the (always-writable)
+            // socket forces a dispatch that notices `closed`.
+            Entry::Client { out, .. } => {
+                if out.wants_write() || out.conn.is_closed() {
+                    libc::POLLIN | libc::POLLOUT
+                } else {
+                    libc::POLLIN
                 }
             }
         }
@@ -604,6 +723,9 @@ fn poller_loop(index: usize, wake_rd: libc::c_int, shared: Arc<ReactorShared>) {
         for cmd in cmds {
             match cmd {
                 Cmd::Listener(listener, tx) => entries.push(Entry::Listener { listener, tx }),
+                Cmd::ClientListener(listener, reg) => {
+                    entries.push(Entry::ClientListener { listener, reg })
+                }
                 Cmd::Outbound(conn, stream) => {
                     conn.owner.store(index, Ordering::Release);
                     let mut entry = OutEntry::new(conn, stream);
@@ -661,7 +783,14 @@ fn poller_loop(index: usize, wake_rd: libc::c_int, shared: Arc<ReactorShared>) {
             match &mut entries[i] {
                 Entry::Listener { listener, tx } => {
                     if revents & libc::POLLIN != 0 {
-                        accept_ready(listener, tx, &mut accepted);
+                        accept_ready(listener, tx, &shared.counters, &mut accepted);
+                    } else if hangup {
+                        dead.push(i);
+                    }
+                }
+                Entry::ClientListener { listener, reg } => {
+                    if revents & libc::POLLIN != 0 {
+                        accept_clients(listener, reg, index, &shared.counters, &mut accepted);
                     } else if hangup {
                         dead.push(i);
                     }
@@ -672,7 +801,7 @@ fn poller_loop(index: usize, wake_rd: libc::c_int, shared: Arc<ReactorShared>) {
                     buf,
                     filled,
                 } => {
-                    if !read_ready(stream, tx, buf, filled) {
+                    if !read_ready(stream, tx, buf, filled, &shared.counters) {
                         dead.push(i);
                     }
                 }
@@ -685,6 +814,30 @@ fn poller_loop(index: usize, wake_rd: libc::c_int, shared: Arc<ReactorShared>) {
                         dead.push(i); // idle peer hung up: reconnect
                     }
                 }
+                Entry::Client {
+                    id,
+                    reg,
+                    out,
+                    buf,
+                    filled,
+                } => {
+                    let kicked = out.conn.is_closed();
+                    let mut gone = false;
+                    if !kicked && revents & libc::POLLIN != 0 {
+                        gone = !client_read_ready(*id, reg, out, buf, filled, &shared.counters);
+                    }
+                    // A kicked connection still drains: replies queued
+                    // before the kick (e.g. an auth denial) must reach
+                    // the wire before the socket drops. `interest()`
+                    // keeps POLLOUT set while `closed`, so a partial
+                    // flush retries next wakeup.
+                    if revents & libc::POLLOUT != 0 || (hangup && out.wants_write()) {
+                        gone |= matches!(drain_write(out, &shared, &mut cache), WriteOutcome::Dead);
+                    }
+                    if gone || hangup || (kicked && !out.wants_write()) {
+                        dead.push(i);
+                    }
+                }
             }
             entries.extend(accepted);
         }
@@ -692,8 +845,14 @@ fn poller_loop(index: usize, wake_rd: libc::c_int, shared: Arc<ReactorShared>) {
         // yet polled) entry into a dispatched slot, which is harmless.
         for &i in dead.iter().rev() {
             // Listener/inbound entries just drop, which closes the fd.
-            if let Entry::Outbound(o) = entries.swap_remove(i) {
-                redial(o, &shared);
+            match entries.swap_remove(i) {
+                Entry::Outbound(o) => redial(o, &shared),
+                Entry::Client { id, reg, .. } => {
+                    // Clients are accepted, never dialed: death is final.
+                    reg.conns.lock().remove(&id);
+                    let _ = reg.sink.send(ClientEvent::Disconnected(ClientId(id)));
+                }
+                _ => {}
             }
         }
     }
@@ -717,11 +876,17 @@ fn redial(entry: OutEntry, shared: &ReactorShared) {
 }
 
 /// Accepts every pending connection on a ready listener.
-fn accept_ready(listener: &TcpListener, tx: &Sender<Envelope>, out: &mut Vec<Entry>) {
+fn accept_ready(
+    listener: &TcpListener,
+    tx: &Sender<Envelope>,
+    counters: &NetCounters,
+    out: &mut Vec<Entry>,
+) {
     loop {
         match listener.accept() {
             Ok((stream, _)) => {
                 if stream.set_nonblocking(true).is_err() {
+                    counters.errors.fetch_add(1, Ordering::SeqCst);
                     continue;
                 }
                 out.push(Entry::Inbound {
@@ -733,7 +898,56 @@ fn accept_ready(listener: &TcpListener, tx: &Sender<Envelope>, out: &mut Vec<Ent
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-            Err(_) => return, // transient accept error; retry next wakeup
+            Err(_) => {
+                // Transient accept error (e.g. fd exhaustion under a
+                // client swarm): count it, retry next wakeup.
+                counters.errors.fetch_add(1, Ordering::SeqCst);
+                return;
+            }
+        }
+    }
+}
+
+/// Accepts every pending *client* connection: each one gets a fresh id,
+/// a registered send queue, and a [`ClientEvent::Connected`].
+fn accept_clients(
+    listener: &TcpListener,
+    reg: &Arc<ClientRegistry>,
+    poller: usize,
+    counters: &NetCounters,
+    out: &mut Vec<Entry>,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if stream.set_nonblocking(true).is_err() {
+                    counters.errors.fetch_add(1, Ordering::SeqCst);
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                let id = reg.next_id.fetch_add(1, Ordering::Relaxed);
+                let conn = Arc::new(OutConn::new(0, reg.depth));
+                conn.owner.store(poller, Ordering::Release);
+                reg.conns.lock().insert(id, Arc::clone(&conn));
+                if reg.sink.send(ClientEvent::Connected(ClientId(id))).is_err() {
+                    // Server gone: undo and stop accepting.
+                    reg.conns.lock().remove(&id);
+                    return;
+                }
+                out.push(Entry::Client {
+                    id,
+                    reg: Arc::clone(reg),
+                    out: OutEntry::new(conn, stream),
+                    buf: Vec::new(),
+                    filled: 0,
+                });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                counters.errors.fetch_add(1, Ordering::SeqCst);
+                return;
+            }
         }
     }
 }
@@ -741,12 +955,15 @@ fn accept_ready(listener: &TcpListener, tx: &Sender<Envelope>, out: &mut Vec<Ent
 /// Reads whatever is available on an inbound connection (up to the
 /// budget), then decodes every complete frame. Returns `false` when the
 /// connection must be dropped (EOF, I/O error, oversize or corrupt
-/// frame, or a closed mailbox).
+/// frame, or a closed mailbox). Every drop that loses data — anything
+/// but a clean EOF on a frame boundary or local shutdown — bumps
+/// `poll_errors`; the connection dies, the poller does not.
 fn read_ready(
     stream: &mut TcpStream,
     tx: &Sender<Envelope>,
     buf: &mut Vec<u8>,
     filled: &mut usize,
+    counters: &NetCounters,
 ) -> bool {
     let mut fresh = 0usize;
     let mut eof = false;
@@ -765,7 +982,10 @@ fn read_ready(
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-            Err(_) => return false,
+            Err(_) => {
+                counters.errors.fetch_add(1, Ordering::SeqCst);
+                return false;
+            }
         }
     }
 
@@ -777,6 +997,7 @@ fn read_ready(
             break; // incomplete header
         };
         if len > MAX_FRAME as u64 {
+            counters.errors.fetch_add(1, Ordering::SeqCst);
             return false; // insane frame; drop the connection
         }
         let len = len as usize;
@@ -789,13 +1010,89 @@ fn read_ready(
                     return false; // mailbox gone: node shut down
                 }
             }
-            Err(_) => return false, // corrupt frame; drop the connection
+            Err(_) => {
+                counters.errors.fetch_add(1, Ordering::SeqCst);
+                return false; // corrupt frame; drop the connection
+            }
         }
         pos += header + len;
     }
     if pos > 0 {
         buf.copy_within(pos..*filled, 0);
         *filled -= pos;
+    }
+    if eof && *filled > 0 {
+        // Peer died mid-frame: the partial tail is lost for good.
+        counters.errors.fetch_add(1, Ordering::SeqCst);
+    }
+    !eof
+}
+
+/// [`read_ready`] for a client connection: identical framing, but
+/// payloads are handed through opaque as [`ClientEvent::Frame`]s and the
+/// size cap is the registry's (client frames are untrusted input).
+fn client_read_ready(
+    id: u64,
+    reg: &ClientRegistry,
+    out: &mut OutEntry,
+    buf: &mut Vec<u8>,
+    filled: &mut usize,
+    counters: &NetCounters,
+) -> bool {
+    let mut fresh = 0usize;
+    let mut eof = false;
+    while fresh < READ_BUDGET {
+        if buf.len() < *filled + READ_CHUNK {
+            buf.resize(*filled + READ_CHUNK, 0);
+        }
+        match out.stream.read(&mut buf[*filled..]) {
+            Ok(0) => {
+                eof = true;
+                break;
+            }
+            Ok(n) => {
+                *filled += n;
+                fresh += n;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                counters.errors.fetch_add(1, Ordering::SeqCst);
+                return false;
+            }
+        }
+    }
+
+    let mut pos = 0usize;
+    loop {
+        let avail = &buf[pos..*filled];
+        let Some((len, header)) = peek_varint(avail) else {
+            break;
+        };
+        if len > reg.max_frame as u64 {
+            counters.errors.fetch_add(1, Ordering::SeqCst);
+            return false; // oversize client frame: kick, don't buffer
+        }
+        let len = len as usize;
+        if avail.len() < header + len {
+            break;
+        }
+        let payload = avail[header..header + len].to_vec();
+        if reg
+            .sink
+            .send(ClientEvent::Frame(ClientId(id), payload))
+            .is_err()
+        {
+            return false; // server gone
+        }
+        pos += header + len;
+    }
+    if pos > 0 {
+        buf.copy_within(pos..*filled, 0);
+        *filled -= pos;
+    }
+    if eof && *filled > 0 {
+        counters.errors.fetch_add(1, Ordering::SeqCst);
     }
     !eof
 }
@@ -895,7 +1192,7 @@ fn drain_write(o: &mut OutEntry, shared: &ReactorShared, cache: &mut HistCache) 
                     let framed = (bf.header.1 - bf.header.0) + bf.frame.len();
                     counters.bytes.fetch_add(framed as u64, Ordering::SeqCst);
                     counters.delivered.fetch_add(1, Ordering::SeqCst);
-                    pop_front(&o.conn, &bf.frame);
+                    pop_front(&o.conn, &bf.frame, counters);
                     o.batch_done += 1;
                 }
                 // Loop: either more of this batch, or start the next.
@@ -911,12 +1208,13 @@ fn drain_write(o: &mut OutEntry, shared: &ReactorShared, cache: &mut HistCache) 
 /// dead stream; resending it whole on a new connection could duplicate),
 /// keep everything else queued, and reconnect.
 fn fail_batch(o: &mut OutEntry, counters: &NetCounters) -> WriteOutcome {
+    counters.errors.fetch_add(1, Ordering::SeqCst);
     if o.batch_done < o.batch.len() {
         let bf = &o.batch[o.batch_done];
         let start = bf.end - (bf.header.1 - bf.header.0) - bf.frame.len();
         if o.written > start {
             counters.dropped.fetch_add(1, Ordering::SeqCst);
-            pop_front(&o.conn, &bf.frame);
+            pop_front(&o.conn, &bf.frame, counters);
         }
     }
     o.batch.clear();
@@ -927,11 +1225,18 @@ fn fail_batch(o: &mut OutEntry, counters: &NetCounters) -> WriteOutcome {
     WriteOutcome::Dead
 }
 
-/// Pops the queue front, asserting it is the batch frame just completed
-/// (senders only push; this poller is the only popper).
-fn pop_front(conn: &OutConn, expect: &Frame) {
+/// Pops the queue front, which must be the batch frame just completed
+/// (senders only push; this poller is the only popper). An empty queue
+/// here is a desync bug — counted and asserted in debug builds, but
+/// never worth killing a production poller over.
+fn pop_front(conn: &OutConn, expect: &Frame, counters: &NetCounters) {
     let mut q = conn.queue.lock();
-    let popped = q.pop_front().expect("queue front must exist");
-    debug_assert!(Arc::ptr_eq(&popped, expect), "queue/batch desync");
+    match q.pop_front() {
+        Some(popped) => debug_assert!(Arc::ptr_eq(&popped, expect), "queue/batch desync"),
+        None => {
+            debug_assert!(false, "queue front must exist");
+            counters.errors.fetch_add(1, Ordering::SeqCst);
+        }
+    }
     conn.len.store(q.len(), Ordering::Release);
 }

@@ -165,6 +165,11 @@ pub struct NetStats {
     pub msgs_faulted: u64,
     /// Frames that took the injected-delay line before delivery.
     pub msgs_delayed: u64,
+    /// I/O errors the reactor absorbed instead of panicking: mid-frame
+    /// peer death, corrupt length prefixes, failed dials it could not
+    /// make non-blocking. Each one killed at most a connection, never a
+    /// poller thread.
+    pub poll_errors: u64,
 }
 
 /// Sending side, cloneable, shared by all node threads and the controller.
@@ -266,6 +271,9 @@ pub(crate) struct NetCounters {
     pub(crate) dropped: AtomicU64,
     faulted: AtomicU64,
     delayed: AtomicU64,
+    /// Counted error paths on the poller/dialer hot loops (see
+    /// [`NetStats::poll_errors`]).
+    pub(crate) errors: AtomicU64,
 }
 
 /// Trace sink for fault-injection events on the live transports.
@@ -298,13 +306,14 @@ impl TraceSink {
 type SinkSlot = Mutex<Option<TraceSink>>;
 
 impl NetCounters {
-    fn snapshot(&self) -> NetStats {
+    pub(crate) fn snapshot(&self) -> NetStats {
         NetStats {
             bytes_sent: self.bytes.load(Ordering::SeqCst),
             msgs_delivered: self.delivered.load(Ordering::SeqCst),
             msgs_dropped: self.dropped.load(Ordering::SeqCst),
             msgs_faulted: self.faulted.load(Ordering::SeqCst),
             msgs_delayed: self.delayed.load(Ordering::SeqCst),
+            poll_errors: self.errors.load(Ordering::SeqCst),
         }
     }
 }
@@ -1085,6 +1094,48 @@ mod tests {
         // The legit connection still delivers.
         postman.send(NodeId(1), net(0));
         assert!(mailboxes[1].recv_timeout(Duration::from_secs(2)).is_some());
+    }
+
+    /// Satellite regression for the unwrap sweep: a peer dying *mid
+    /// frame* (header promised more bytes than ever arrive) was one of
+    /// the paths that used to `unwrap()` inside the poller thread —
+    /// aborting the poller took every connection it owned down with it.
+    /// The poller must absorb the death as a counted error
+    /// (`net.poll.errors`) and keep serving its other sockets.
+    #[test]
+    fn mid_frame_peer_death_kills_the_peer_not_the_poller() {
+        // One poller thread: the victim connection and the healthy one
+        // are guaranteed to share it.
+        let tuning = TransportTuning {
+            poller_threads: 1,
+            ..TransportTuning::default()
+        };
+        let (postman, mailboxes) = TcpTransport::with_tuning(2, tuning);
+        postman.send(NodeId(1), net(0));
+        assert!(mailboxes[1].recv_timeout(Duration::from_secs(2)).is_some());
+        let errors_before = postman.net_stats().poll_errors;
+
+        let port = postman.shared.ports[1];
+        {
+            let mut s = TcpStream::connect(("127.0.0.1", port)).unwrap();
+            // Varint header promising a 100-byte frame, then 10 bytes,
+            // then a hard close: EOF lands mid-frame.
+            let _ = s.write_all(&[100]);
+            let _ = s.write_all(&[0u8; 10]);
+        }
+        eventually(
+            "mid-frame death is a counted error",
+            Duration::from_secs(2),
+            || postman.net_stats().poll_errors > errors_before,
+        );
+        // The poller that absorbed it still drives the healthy pair.
+        for _ in 0..10 {
+            postman.send(NodeId(1), net(0));
+            assert!(
+                mailboxes[1].recv_timeout(Duration::from_secs(2)).is_some(),
+                "poller died with the peer"
+            );
+        }
     }
 
     /// Satellite regression: a peer whose dial fails (port with no

@@ -276,6 +276,10 @@ struct TelHandles {
 
 impl TelBuf {
     pub(crate) fn new(t: &Telemetry) -> Self {
+        // Schema parity with the live reactor: the simulated bus cannot
+        // fail a poll(2), but the name must exist in both snapshots so
+        // dashboards and the differential tests see one schema.
+        t.counter("net.poll.errors");
         TelBuf {
             handles: TelHandles {
                 msgs_sent: t.counter("net.msgs_sent"),

@@ -13,13 +13,19 @@
 //!   start under the live runtime.
 //! * [`check_trace`] — an A1–A3 axiom checker (§2 of the paper) that any
 //!   test can run over a recorded trace to decide whether the run was legal.
+//!
+//! Plus one sketch: [`HyperLogLog`], a 256-byte lock-free distinct-count
+//! estimator feeding cardinality gauges (e.g. the proxy tier's
+//! `proxy.tenants`) where an exact set would grow with the key space.
 
 mod axioms;
 mod hist;
+mod hll;
 mod registry;
 mod trace;
 
 pub use axioms::{check_trace, AxiomReport, AxiomViolation};
 pub use hist::{HistSnapshot, Histogram, N_BUCKETS};
+pub use hll::{hash64, HyperLogLog};
 pub use registry::{Counter, Gauge, Snapshot, Telemetry};
 pub use trace::{ObjRef, OpKind, Outcome, TraceBuf, TraceEvent, TraceKind};

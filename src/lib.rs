@@ -20,7 +20,10 @@
 //!   and the §2 axiom checker shared by both drivers;
 //! - [`workload`] — seeded workload and failure-trace generators;
 //! - [`runtime`] — a live threaded cluster (channels or real TCP) running
-//!   the same protocol state machines.
+//!   the same protocol state machines;
+//! - [`proxy`] — the serving tier: stateless gateways terminating many
+//!   cheap client TCP connections and pipelining ops into the cluster's
+//!   binary wire protocol.
 //!
 //! # Quickstart
 //!
@@ -40,6 +43,7 @@
 
 pub use paso_adaptive as adaptive;
 pub use paso_core as core;
+pub use paso_proxy as proxy;
 pub use paso_runtime as runtime;
 pub use paso_simnet as simnet;
 pub use paso_storage as storage;

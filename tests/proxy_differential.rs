@@ -1,0 +1,186 @@
+//! Differential serving tier: one op script, two client paths, one
+//! accounting.
+//!
+//! The same deterministic script runs (a) through the in-process
+//! `Cluster` client API and (b) through a real TCP connection into a
+//! `Proxy` that pipelines into the cluster's wire protocol. Ops through
+//! the proxy are counted at admission and traced at the gateway node with
+//! the *same* counter names and trace grammar as the direct path, so the
+//! `client.op.*` totals must be identical and both recorded histories
+//! must satisfy the §2 axioms A1–A3.
+
+use paso::core::{ClientOp, ClientResult, PasoConfig};
+use paso::proxy::{Proxy, ProxyClient, ProxyOptions};
+use paso::runtime::{Cluster, TransportKind};
+use paso::telemetry::{check_trace, Snapshot};
+use paso::types::{ObjectId, PasoObject, ProcessId, SearchCriterion, Template, Value};
+
+const SEED: u64 = 7;
+const N: usize = 4;
+const LAMBDA: usize = 1;
+const SECRET: u64 = 0xd1ff;
+
+#[derive(Clone, Copy)]
+enum Op {
+    Insert(i64),
+    Read(i64),
+    Take(i64),
+}
+
+/// Same shape as the sim/live differential script: every read and take
+/// finds the value an earlier insert put there.
+fn script() -> Vec<Op> {
+    use Op::*;
+    vec![
+        Insert(1),
+        Insert(2),
+        Insert(3),
+        Read(1),
+        Take(2),
+        Insert(4),
+        Read(3),
+        Take(1),
+        Insert(5),
+        Take(3),
+        Read(4),
+        Take(4),
+        Insert(6),
+        Read(5),
+        Take(5),
+        Take(6),
+    ]
+}
+
+fn sc_eq(v: i64) -> SearchCriterion {
+    SearchCriterion::from(Template::exact(vec![Value::symbol("d"), Value::Int(v)]))
+}
+
+fn fields(v: i64) -> Vec<Value> {
+    vec![Value::symbol("d"), Value::Int(v)]
+}
+
+fn op_totals(snap: &Snapshot) -> (f64, f64, f64) {
+    (
+        snap.counter("client.op.insert"),
+        snap.counter("client.op.read"),
+        snap.counter("client.op.readdel"),
+    )
+}
+
+#[test]
+fn proxy_and_direct_paths_report_identical_op_totals_and_legal_traces() {
+    // --- Path 1: the in-process client API ---
+    let direct = Cluster::start(
+        PasoConfig::builder(N, LAMBDA).seed(SEED).build(),
+        TransportKind::Channel,
+    );
+    for (i, op) in script().iter().enumerate() {
+        let node = (i % N) as u32;
+        match *op {
+            Op::Insert(v) => {
+                direct.insert(node, fields(v)).expect("direct insert");
+            }
+            Op::Read(v) => {
+                assert!(
+                    direct.read(node, sc_eq(v)).expect("direct read").is_some(),
+                    "direct read({v})"
+                );
+            }
+            Op::Take(v) => {
+                assert!(
+                    direct
+                        .read_del(node, sc_eq(v))
+                        .expect("direct take")
+                        .is_some(),
+                    "direct take({v})"
+                );
+            }
+        }
+    }
+    let direct_snap = direct.telemetry().snapshot();
+    let direct_trace = direct.trace_events();
+    direct.shutdown();
+
+    // --- Path 2: a real TCP client through the proxy tier ---
+    let cfg = PasoConfig::builder(N, LAMBDA)
+        .seed(SEED)
+        .proxy_slots(1)
+        .build();
+    let opts = ProxyOptions::from_config(&cfg, SECRET);
+    let cluster = Cluster::start(cfg, TransportKind::Channel);
+    let proxy = Proxy::start(cluster.gateway_link(0), opts).expect("proxy start");
+    let mut client = ProxyClient::connect(proxy.port(), 42, SECRET).expect("connect");
+    for (i, op) in script().iter().enumerate() {
+        match *op {
+            Op::Insert(v) => {
+                // Same object-id scheme the direct path uses internally:
+                // creator process + fresh sequence number.
+                let object = PasoObject::new(ObjectId::new(ProcessId(9000), i as u64), fields(v));
+                assert_eq!(
+                    client
+                        .op(&ClientOp::Insert { object })
+                        .expect("proxy insert"),
+                    ClientResult::Inserted
+                );
+            }
+            Op::Read(v) => {
+                let r = client
+                    .op(&ClientOp::Read {
+                        sc: sc_eq(v),
+                        blocking: false,
+                    })
+                    .expect("proxy read");
+                assert!(
+                    matches!(r, ClientResult::Found(_)),
+                    "proxy read({v}): {r:?}"
+                );
+            }
+            Op::Take(v) => {
+                let r = client
+                    .op(&ClientOp::ReadDel {
+                        sc: sc_eq(v),
+                        blocking: false,
+                    })
+                    .expect("proxy take");
+                assert!(
+                    matches!(r, ClientResult::Found(_)),
+                    "proxy take({v}): {r:?}"
+                );
+            }
+        }
+    }
+    let proxy_snap = cluster.telemetry().snapshot();
+    let proxy_trace = cluster.trace_events();
+    drop(client);
+    drop(proxy);
+    cluster.shutdown();
+
+    // Identical op-level accounting: ops through the proxy land in the
+    // same counters, once each, retries excluded by design.
+    let d = op_totals(&direct_snap);
+    let p = op_totals(&proxy_snap);
+    assert_eq!(d, p, "op totals diverged between client paths");
+    let inserts = script()
+        .iter()
+        .filter(|o| matches!(o, Op::Insert(_)))
+        .count() as f64;
+    assert_eq!(p.0, inserts);
+
+    // Both histories are axiom-legal, and both saw every op complete.
+    let d_report = check_trace(&direct_trace);
+    assert!(d_report.ok(), "direct trace: {:?}", d_report.violations);
+    let p_report = check_trace(&proxy_trace);
+    assert!(p_report.ok(), "proxy trace: {:?}", p_report.violations);
+    assert_eq!(
+        d_report.ops_checked, p_report.ops_checked,
+        "both paths completed the same number of ops"
+    );
+
+    // The proxy path additionally reports its own tier: every scripted op
+    // was forwarded and completed through the gateway.
+    let total_ops = script().len() as f64;
+    assert!(proxy_snap.counter("proxy.ops.forwarded") >= total_ops);
+    assert_eq!(proxy_snap.counter("proxy.ops.completed"), total_ops);
+    // The direct path routed nothing through a gateway.
+    assert_eq!(direct_snap.counter("proxy.ops.forwarded"), 0.0);
+}

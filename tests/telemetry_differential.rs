@@ -344,6 +344,79 @@ fn durable_wal_and_join_metrics_share_schema_across_drivers() {
     assert!(live_snap.counter("wal.append_bytes") > 0.0, "live WAL idle");
 }
 
+/// The proxy tier extends the shared schema the same way durability
+/// does: configuring gateway slots pre-registers the identical `proxy.*`
+/// metric family on both drivers — same names, same
+/// counter-vs-gauge-vs-histogram kinds — even though the simulator runs
+/// no live proxies. Dashboards built on either driver read the other
+/// unchanged.
+#[test]
+fn proxy_metric_family_shares_schema_across_drivers() {
+    let gated = |seed: u64| {
+        PasoConfig::builder(N, LAMBDA)
+            .seed(seed)
+            .proxy_slots(2)
+            .build()
+    };
+
+    let sys = SimSystem::new(gated(SEED));
+    let sim_snap = sys.telemetry().snapshot();
+
+    let cluster = Cluster::start(gated(SEED), TransportKind::Channel);
+    let live_snap = cluster.telemetry().snapshot();
+    cluster.shutdown();
+
+    let family = |m: &std::collections::BTreeMap<String, f64>| -> Vec<String> {
+        m.keys()
+            .filter(|k| k.starts_with("proxy."))
+            .cloned()
+            .collect()
+    };
+    let sim_counters = family(&sim_snap.counters);
+    assert_eq!(
+        sim_counters,
+        family(&live_snap.counters),
+        "proxy counter schema diverged"
+    );
+    assert_eq!(
+        sim_counters,
+        vec![
+            "proxy.auth.denied",
+            "proxy.backpressure",
+            "proxy.batch.flushes",
+            "proxy.clients.accepted",
+            "proxy.clients.closed",
+            "proxy.frames.in",
+            "proxy.gossip.recv",
+            "proxy.ops.completed",
+            "proxy.ops.forwarded",
+            "proxy.retries",
+        ]
+    );
+    assert_eq!(
+        family(&sim_snap.gauges),
+        family(&live_snap.gauges),
+        "proxy gauge schema diverged"
+    );
+    let hist_family = |snap: &Snapshot| -> Vec<String> {
+        snap.hists
+            .keys()
+            .filter(|k| k.starts_with("proxy."))
+            .cloned()
+            .collect()
+    };
+    assert_eq!(
+        hist_family(&sim_snap),
+        hist_family(&live_snap),
+        "proxy histogram schema diverged"
+    );
+
+    // Without gateway slots the family stays out of the schema entirely
+    // on both drivers — it is gated, not unconditional.
+    let ungated = SimSystem::new(PasoConfig::builder(N, LAMBDA).seed(SEED).build());
+    assert!(family(&ungated.telemetry().snapshot().counters).is_empty());
+}
+
 /// Churn counters extend the shared fault schema: the simulator's
 /// Poisson churn counts `fault.churn.*` alongside the `fault.crashes` /
 /// `fault.recoveries` names the live cluster's controller also uses.
