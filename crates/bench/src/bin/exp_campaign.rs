@@ -1,0 +1,243 @@
+//! Experiment E14 (PR 10) — checkpoint fan-out campaigns and bisection.
+//!
+//! Two demonstrations on the [`paso_campaign`] driver:
+//!
+//! 1. **Branch fan-out.** A seeded tuple-store run advances to time T
+//!    under a periodic checkpoint cadence, then fans out across parameter
+//!    branches — the uninterrupted control, a λ-retargeted future, a
+//!    lossy network, a churning ensemble, and a costlier bus — all
+//!    restored from the *same byte-identical checkpoint*.  The per-branch
+//!    counter deltas quantify exactly what each future costs, which is
+//!    the trajectory comparison Theorems 2/3 reason about and no live
+//!    system can perform.
+//!
+//! 2. **First-bad-event bisection.** The same scenario with the planted
+//!    leaky-take bug (a take returns its object but forgets to remove it)
+//!    runs to T; the A1–A3 tracker state stored at each checkpoint is
+//!    binary-searched for the first failing checkpoint and the final
+//!    window is replayed event-by-event.  The experiment runs the whole
+//!    campaign **twice from scratch** and exits non-zero unless both runs
+//!    pin the *same* first bad event — the determinism gate — and also
+//!    re-loads the emitted repro artifact and replays it live, requiring
+//!    the violation to reappear within `2 × checkpoint_every` events.
+//!
+//! Usage:
+//!   `cargo run --release -p paso-bench --bin exp_campaign`
+//!   `cargo run --release -p paso-bench --bin exp_campaign -- --smoke`
+//!   `cargo run --release -p paso-bench --bin exp_campaign -- --smoke --floor 10000`
+//!
+//! Always writes `BENCH_PR10.json` (CI uploads it as an artifact).  With
+//! `--floor N` the process exits non-zero if campaign throughput (trunk +
+//! branch events per wall-second) falls below `N`.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use paso_bench::{f1, Table};
+use paso_campaign::{
+    tuple_scenario, AxiomInvariant, BranchSpec, Campaign, ReproArtifact, TupleActor, TupleMsg,
+    TupleScenarioSpec,
+};
+use paso_simnet::{ChurnModel, CostModel, FaultPlan, NodeId, SimTime};
+use paso_wire::mini_json::Json;
+
+const SEED: u64 = 10;
+
+fn spec(smoke: bool, leak: bool) -> TupleScenarioSpec {
+    TupleScenarioSpec {
+        n: 6,
+        lambda: 1,
+        seed: SEED,
+        ops: if smoke { 400 } else { 4_000 },
+        keys: 12,
+        gap: SimTime::from_micros(300),
+        leak_takes: leak,
+        faults: None,
+    }
+}
+
+fn horizon(smoke: bool) -> SimTime {
+    // Injections span ops·gap; leave headroom for replication traffic.
+    SimTime::from_micros(if smoke { 200_000 } else { 2_000_000 })
+}
+
+fn branch_time(smoke: bool) -> SimTime {
+    SimTime::from_micros(if smoke { 60_000 } else { 600_000 })
+}
+
+fn new_campaign(smoke: bool, leak: bool, every: u64) -> Campaign<TupleActor> {
+    Campaign::new(tuple_scenario(&spec(smoke, leak)), every)
+        .with_invariant(|| Box::new(AxiomInvariant::new()))
+}
+
+fn branches(n: usize, at: SimTime) -> Vec<BranchSpec<TupleMsg>> {
+    let mut lambda3 = BranchSpec::new("lambda3");
+    for node in 0..n as u32 {
+        lambda3 = lambda3.inject(at, NodeId(node), TupleMsg::SetLambda { lambda: 3 });
+    }
+    vec![
+        BranchSpec::new("control"),
+        lambda3,
+        BranchSpec::new("lossy").fault_plan(FaultPlan::default().drop_all(0.2)),
+        BranchSpec::new("churn").churn(Some(ChurnModel::new(50.0, SimTime::from_micros(5_000), 2))),
+        BranchSpec::new("pricey-bus").cost_model(CostModel {
+            alpha: 40.0,
+            beta: 0.4,
+        }),
+    ]
+}
+
+/// One full planted-violation campaign from scratch: run, bisect, return
+/// (first_bad_event, outcome JSON, artifact, trunk events, cadence).
+fn bisect_run(smoke: bool, every: u64) -> (u64, Json, ReproArtifact, u64) {
+    let mut campaign = new_campaign(smoke, true, every);
+    campaign.run_to(horizon(smoke));
+    let trunk_events = campaign.engine().stats().events_processed;
+    let outcome = campaign
+        .bisect()
+        .expect("bisection errored")
+        .expect("planted leak produced no violation");
+    (
+        outcome.first_bad_event,
+        outcome.to_json(),
+        outcome.artifact,
+        trunk_events,
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let floor: Option<f64> = args
+        .iter()
+        .position(|a| a == "--floor")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--floor takes a number"));
+
+    let every = if smoke { 64 } else { 256 };
+    let mut failed = false;
+    let mut total_events = 0u64;
+    let wall = Instant::now();
+
+    // ── Phase 1: branch fan-out from a common checkpoint ────────────────
+    println!("# campaign fan-out (n=6, cadence {every} events)");
+    let mut campaign = new_campaign(smoke, false, every);
+    campaign.run_to(branch_time(smoke));
+    let base_events = campaign.engine().stats().events_processed;
+    let report = campaign
+        .fan_out(horizon(smoke), &branches(6, branch_time(smoke)))
+        .expect("fan-out failed");
+    total_events += base_events;
+
+    let mut table = Table::new([
+        "branch",
+        "events",
+        "outputs",
+        "msgs_sent",
+        "take_hits",
+        "violations",
+    ]);
+    for b in &report.branches {
+        total_events += b.events;
+        table.row([
+            b.name.clone(),
+            b.events.to_string(),
+            b.outputs.to_string(),
+            f1(b.counters.get("net.msgs_sent").copied().unwrap_or(0.0)),
+            f1(b.counters.get("tuple.take_hits").copied().unwrap_or(0.0)),
+            b.violations.len().to_string(),
+        ]);
+    }
+    table.print();
+    println!(
+        "branched at event {} (t={}us) from {} stored checkpoints\n",
+        report.base_events,
+        report.base_time.as_micros(),
+        report.checkpoints
+    );
+    for b in &report.branches {
+        if !b.violations.is_empty() {
+            failed = true;
+            println!("FAIL: clean branch {} reported violations", b.name);
+        }
+    }
+
+    // ── Phase 2: planted-violation bisection, twice from scratch ────────
+    println!("# bisection determinism (leaky take planted, cadence {every})");
+    let (idx_a, json_a, artifact, trunk_a) = bisect_run(smoke, every);
+    let (idx_b, _, _, _) = bisect_run(smoke, every);
+    total_events += 2 * trunk_a;
+    println!("run A pinned first bad event {idx_a}; run B pinned {idx_b}");
+    if idx_a != idx_b {
+        failed = true;
+        println!("FAIL: bisection is nondeterministic ({idx_a} != {idx_b})");
+    }
+
+    // Artifact gate: serialize, re-parse, replay live; the violation must
+    // reappear within two checkpoint windows.
+    let bytes = artifact.to_bytes();
+    let parsed = ReproArtifact::from_bytes(&bytes).expect("artifact failed to re-parse");
+    let scenario = tuple_scenario(&spec(smoke, true));
+    match parsed.replay(
+        scenario.config.clone(),
+        Arc::clone(&scenario.factory),
+        || Box::new(AxiomInvariant::new()),
+    ) {
+        Ok(replay) => {
+            println!(
+                "artifact ({} bytes) replayed {} events and reproduced: {}",
+                bytes.len(),
+                replay.replayed,
+                replay.violation
+            );
+            if replay.first_bad_event != idx_a {
+                failed = true;
+                println!(
+                    "FAIL: artifact replay pinned event {} != {idx_a}",
+                    replay.first_bad_event
+                );
+            }
+        }
+        Err(e) => {
+            failed = true;
+            println!("FAIL: artifact replay did not reproduce the violation: {e}");
+        }
+    }
+
+    let elapsed = wall.elapsed().as_secs_f64();
+    let events_per_sec = total_events as f64 / elapsed.max(1e-9);
+    println!(
+        "\n{total_events} events across trunk+branches in {:.2}s ({:.0} events/s)",
+        elapsed, events_per_sec
+    );
+
+    let doc = Json::obj([
+        ("experiment", Json::Str("exp_campaign".into())),
+        ("smoke", Json::Bool(smoke)),
+        ("checkpoint_every", Json::UInt(every)),
+        ("fan_out", report.to_json()),
+        ("bisect", json_a),
+        ("bisect_deterministic", Json::Bool(idx_a == idx_b)),
+        ("artifact_bytes", Json::UInt(bytes.len() as u64)),
+        ("total_events", Json::UInt(total_events)),
+        ("events_per_sec", Json::Num(events_per_sec)),
+        ("floor_events_per_sec", floor.map_or(Json::Null, Json::Num)),
+    ]);
+    std::fs::write("BENCH_PR10.json", doc.render() + "\n").expect("write BENCH_PR10.json");
+    println!("wrote BENCH_PR10.json");
+
+    if let Some(floor) = floor {
+        if events_per_sec < floor {
+            failed = true;
+            println!(
+                "FAIL: campaign throughput {events_per_sec:.0} events/s fell below the \
+                 floor of {floor:.0} events/s"
+            );
+        } else {
+            println!("floor check passed: {events_per_sec:.0} >= {floor:.0} events/s");
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,532 @@
+//! First-bad-event bisection and the minimal repro artifact.
+//!
+//! When an invariant fails somewhere on the trunk, the checkpoint trail
+//! answers "had it failed by event N?" in O(1) per probe: load the
+//! checkpointed invariant state into a fresh instance and `check` it —
+//! no replay.  Because invariants are monotone, that predicate partitions
+//! the trail, so a binary search finds the *first failing checkpoint* in
+//! `O(log #checkpoints)` probes.  The final window — from the last clean
+//! checkpoint to the first failing one, at most `checkpoint_every` events —
+//! is then replayed one engine event at a time, checking after each, which
+//! pins the exact event index where the violation appears.  Determinism of
+//! the engine guarantees the same index on every run.
+//!
+//! The result carries a [`ReproArtifact`]: the clean base checkpoint, the
+//! invariant's state at that point, and the residual trace up to the bad
+//! event — everything a test needs to reproduce the violation in at most
+//! one checkpoint window of replayed events, without the original
+//! scenario's full history.
+
+use std::sync::Arc;
+
+use paso_simnet::{Actor, CheckpointError, Engine, EngineConfig, NodeId, SimCheckpoint, SimTime};
+use paso_telemetry::TraceEvent;
+use paso_wire::mini_json::Json;
+use paso_wire::{put_bytes, Reader, Wire, WireError};
+
+use crate::codec;
+use crate::driver::Campaign;
+use crate::invariant::Invariant;
+
+/// Why a bisection could not complete.
+#[derive(Debug)]
+pub enum BisectError {
+    /// Restoring a checkpoint failed.
+    Checkpoint(CheckpointError),
+    /// A stored invariant state failed to decode.
+    Corrupt(WireError),
+    /// The replay window ended without the violation reappearing — the
+    /// invariant is not monotone or the scenario is nondeterministic.
+    NotReproduced { window_end: u64 },
+}
+
+impl std::fmt::Display for BisectError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BisectError::Checkpoint(e) => write!(f, "checkpoint restore failed: {e}"),
+            BisectError::Corrupt(e) => write!(f, "stored invariant state corrupt: {e}"),
+            BisectError::NotReproduced { window_end } => write!(
+                f,
+                "violation did not reappear by event {window_end} — non-monotone invariant \
+                 or nondeterministic scenario"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BisectError {}
+
+impl From<CheckpointError> for BisectError {
+    fn from(e: CheckpointError) -> Self {
+        BisectError::Checkpoint(e)
+    }
+}
+
+impl From<WireError> for BisectError {
+    fn from(e: WireError) -> Self {
+        BisectError::Corrupt(e)
+    }
+}
+
+/// The product of a successful bisection.
+#[derive(Debug)]
+pub struct BisectOutcome {
+    /// Name of the invariant that failed.
+    pub invariant: &'static str,
+    /// Description of the violation at the moment it first appeared.
+    pub violation: String,
+    /// Global engine event index (`events_processed` after the breaking
+    /// event) — the first event whose absorption makes the check fail.
+    pub first_bad_event: u64,
+    /// Simulated time of the breaking event.
+    pub at: SimTime,
+    /// Events replayed in the final window (≤ the checkpoint cadence).
+    pub replayed: u64,
+    /// `events_processed` of the clean checkpoint the replay started from.
+    pub base_events: u64,
+    /// Invariant-state probes made during the binary search.
+    pub probes: usize,
+    /// Everything needed to reproduce the violation standalone.
+    pub artifact: ReproArtifact,
+}
+
+impl BisectOutcome {
+    /// Renders the outcome (sans artifact payload) as JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("invariant", Json::Str(self.invariant.into())),
+            ("violation", Json::Str(self.violation.clone())),
+            ("first_bad_event", Json::UInt(self.first_bad_event)),
+            ("at_micros", Json::UInt(self.at.as_micros())),
+            ("replayed", Json::UInt(self.replayed)),
+            ("base_events", Json::UInt(self.base_events)),
+            ("probes", Json::UInt(self.probes as u64)),
+            (
+                "artifact_bytes",
+                Json::UInt(self.artifact.to_bytes().len() as u64),
+            ),
+        ])
+    }
+}
+
+const REPRO_MAGIC: &[u8; 8] = b"PASOREPR";
+const REPRO_VERSION: u32 = 1;
+
+/// A minimal, self-contained reproduction of an invariant violation: the
+/// last clean checkpoint, the invariant state at that point, and the
+/// residual trace through the breaking event.  Two ways to consume it:
+///
+/// * **offline** — load the invariant state, absorb `residual_trace`, and
+///   the check fails with `violation`; no engine required.
+/// * **live** — [`replay`](Self::replay) restores the engine checkpoint
+///   and re-executes until the violation reappears, proving it against
+///   the real simulation rather than the recorded trace.
+#[derive(Debug)]
+pub struct ReproArtifact {
+    /// Name of the violated invariant.
+    pub invariant: String,
+    /// The violation as first observed.
+    pub violation: String,
+    /// Event index the violation first appeared at.
+    pub first_bad_event: u64,
+    /// `events_processed` of the embedded checkpoint.
+    pub base_events: u64,
+    /// Checkpoint cadence of the campaign that produced this (the replay
+    /// bound: `first_bad_event - base_events ≤ checkpoint_every`).
+    pub checkpoint_every: u64,
+    /// Serialized [`SimCheckpoint`] of the last clean state.
+    pub engine: Vec<u8>,
+    /// Serialized invariant state at the checkpoint.
+    pub invariant_state: Vec<u8>,
+    /// Trace events from the checkpoint through the breaking event.
+    pub residual_trace: Vec<TraceEvent>,
+}
+
+impl ReproArtifact {
+    /// Serializes the artifact (`PASOREPR` v1).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.engine.len() + self.invariant_state.len());
+        out.extend_from_slice(REPRO_MAGIC);
+        REPRO_VERSION.encode(&mut out);
+        self.invariant.encode(&mut out);
+        self.violation.encode(&mut out);
+        self.first_bad_event.encode(&mut out);
+        self.base_events.encode(&mut out);
+        self.checkpoint_every.encode(&mut out);
+        put_bytes(&mut out, &self.engine);
+        put_bytes(&mut out, &self.invariant_state);
+        codec::encode_trace(&self.residual_trace, &mut out);
+        out
+    }
+
+    /// Parses an artifact produced by [`to_bytes`](Self::to_bytes).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, WireError> {
+        if bytes.len() < 8 || &bytes[..8] != REPRO_MAGIC {
+            return Err(WireError::Malformed("not a PASOREPR artifact"));
+        }
+        let mut r = Reader::new(&bytes[8..]);
+        let version = u32::decode(&mut r)?;
+        if version != REPRO_VERSION {
+            return Err(WireError::Malformed("unsupported PASOREPR version"));
+        }
+        let invariant = String::decode(&mut r)?;
+        let violation = String::decode(&mut r)?;
+        let first_bad_event = u64::decode(&mut r)?;
+        let base_events = u64::decode(&mut r)?;
+        let checkpoint_every = u64::decode(&mut r)?;
+        let engine = r.byte_string()?.to_vec();
+        let invariant_state = r.byte_string()?.to_vec();
+        let residual_trace = codec::decode_trace(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(WireError::TrailingBytes {
+                count: r.remaining(),
+            });
+        }
+        Ok(ReproArtifact {
+            invariant,
+            violation,
+            first_bad_event,
+            base_events,
+            checkpoint_every,
+            engine,
+            invariant_state,
+            residual_trace,
+        })
+    }
+
+    /// Reproduces the violation offline: loads the invariant state into
+    /// `inv` and absorbs the residual trace.  Returns the violation
+    /// description, which the caller should compare against
+    /// [`violation`](Self::violation).
+    pub fn reproduce_offline<O>(
+        &self,
+        inv: &mut dyn Invariant<O>,
+    ) -> Result<Option<String>, WireError> {
+        inv.load(&self.invariant_state)?;
+        inv.absorb_events(&self.residual_trace);
+        Ok(inv.check())
+    }
+
+    /// Reproduces the violation live: restores the embedded checkpoint
+    /// under `config` with `factory`, loads the invariant state into a
+    /// fresh instance from `inv_factory`, and replays event by event until
+    /// the check fails.  Fails with [`BisectError::NotReproduced`] if the
+    /// violation has not reappeared after `2 × checkpoint_every` events —
+    /// twice the bound the artifact promises.
+    pub fn replay<A>(
+        &self,
+        config: EngineConfig,
+        factory: Arc<dyn Fn(NodeId) -> A>,
+        inv_factory: impl Fn() -> Box<dyn Invariant<A::Output>>,
+    ) -> Result<ReproReplay, BisectError>
+    where
+        A: Actor + Wire + 'static,
+        A::Msg: Wire,
+    {
+        let ckpt = SimCheckpoint::from_bytes(self.engine.clone())?;
+        let f = Arc::clone(&factory);
+        let mut engine = Engine::from_checkpoint(config, move |id| f(id), &ckpt)?;
+        let mut inv = inv_factory();
+        inv.load(&self.invariant_state)?;
+        let mut replayed = 0u64;
+        let limit = 2 * self.checkpoint_every;
+        while replayed < limit {
+            if !engine.step() {
+                break;
+            }
+            replayed += 1;
+            let outputs = engine.take_outputs();
+            let events = engine.trace_buf().events();
+            engine.trace_buf().clear();
+            inv.absorb_events(&events);
+            inv.absorb_outputs(&outputs);
+            if let Some(violation) = inv.check() {
+                return Ok(ReproReplay {
+                    violation,
+                    replayed,
+                    first_bad_event: engine.stats().events_processed,
+                });
+            }
+        }
+        Err(BisectError::NotReproduced {
+            window_end: self.base_events + replayed,
+        })
+    }
+}
+
+/// Outcome of a live artifact replay.
+#[derive(Debug)]
+pub struct ReproReplay {
+    /// The violation as reproduced.
+    pub violation: String,
+    /// Events replayed before it appeared.
+    pub replayed: u64,
+    /// Global event index it appeared at.
+    pub first_bad_event: u64,
+}
+
+impl<A> Campaign<A>
+where
+    A: Actor + Wire + 'static,
+    A::Msg: Wire,
+{
+    /// Probes whether checkpoint `idx`'s saved state of invariant `slot`
+    /// already contains a violation.
+    fn checkpoint_fails(&self, idx: usize, slot: usize) -> Result<bool, BisectError> {
+        let mut inv = (self.invariants[slot].factory)();
+        inv.load(&self.checkpoints[idx].invariants[slot])?;
+        Ok(inv.check().is_some())
+    }
+
+    /// Pins the exact first event that breaks the currently-failing
+    /// invariant.  Returns `Ok(None)` when no invariant is in violation.
+    ///
+    /// Binary-searches the checkpoint trail for the first failing
+    /// checkpoint, restores the one before it, and replays that window
+    /// event by event.  Deterministic: repeated calls (and repeated runs
+    /// of the same scenario) produce the same `first_bad_event`.
+    pub fn bisect(&mut self) -> Result<Option<BisectOutcome>, BisectError> {
+        self.drain();
+        self.store_checkpoint();
+        let Some((slot, name, _)) = self.first_violation() else {
+            return Ok(None);
+        };
+
+        // Partition point: first stored checkpoint whose invariant state
+        // fails.  The trail ends in the live (failing) state, so `lo`
+        // lands in range.
+        let mut probes = 0usize;
+        let (mut lo, mut hi) = (0usize, self.checkpoints.len());
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            probes += 1;
+            if self.checkpoint_fails(mid, slot)? {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        debug_assert!(
+            lo < self.checkpoints.len(),
+            "live state fails but trail clean"
+        );
+
+        if lo == 0 {
+            // Violated before the first event — degenerate, but report it
+            // honestly with an empty replay window.
+            let base = &self.checkpoints[0];
+            let mut inv = (self.invariants[slot].factory)();
+            inv.load(&base.invariants[slot])?;
+            let violation = inv.check().unwrap_or_default();
+            let artifact = ReproArtifact {
+                invariant: name.to_string(),
+                violation: violation.clone(),
+                first_bad_event: 0,
+                base_events: base.events_processed,
+                checkpoint_every: self.checkpoint_every,
+                engine: base.engine.as_bytes().to_vec(),
+                invariant_state: base.invariants[slot].clone(),
+                residual_trace: Vec::new(),
+            };
+            return Ok(Some(BisectOutcome {
+                invariant: name,
+                violation,
+                first_bad_event: 0,
+                at: base.at,
+                replayed: 0,
+                base_events: base.events_processed,
+                probes,
+                artifact,
+            }));
+        }
+
+        // Replay the window [lo-1, lo] one event at a time.
+        let base_idx = lo - 1;
+        let window_end = self.checkpoints[lo].events_processed;
+        let base = &self.checkpoints[base_idx];
+        let f = Arc::clone(&self.scenario.factory);
+        let mut engine =
+            Engine::from_checkpoint(self.scenario.config.clone(), move |id| f(id), &base.engine)?;
+        let mut inv = (self.invariants[slot].factory)();
+        inv.load(&base.invariants[slot])?;
+        let mut residual = Vec::new();
+        let mut replayed = 0u64;
+        loop {
+            if engine.stats().events_processed >= window_end || !engine.step() {
+                return Err(BisectError::NotReproduced {
+                    window_end: engine.stats().events_processed,
+                });
+            }
+            replayed += 1;
+            let outputs = engine.take_outputs();
+            let events = engine.trace_buf().events();
+            engine.trace_buf().clear();
+            residual.extend(events.iter().cloned());
+            inv.absorb_events(&events);
+            inv.absorb_outputs(&outputs);
+            if let Some(violation) = inv.check() {
+                let first_bad_event = engine.stats().events_processed;
+                let artifact = ReproArtifact {
+                    invariant: name.to_string(),
+                    violation: violation.clone(),
+                    first_bad_event,
+                    base_events: base.events_processed,
+                    checkpoint_every: self.checkpoint_every,
+                    engine: base.engine.as_bytes().to_vec(),
+                    invariant_state: base.invariants[slot].clone(),
+                    residual_trace: residual,
+                };
+                return Ok(Some(BisectOutcome {
+                    invariant: name,
+                    violation,
+                    first_bad_event,
+                    at: engine.now(),
+                    replayed,
+                    base_events: base.events_processed,
+                    probes,
+                    artifact,
+                }));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::invariant::AxiomInvariant;
+    use crate::workload::{tuple_scenario, TupleScenarioSpec};
+    use paso_telemetry::AxiomTracker;
+
+    fn horizon() -> SimTime {
+        SimTime::from_micros(60_000)
+    }
+
+    fn leaky_spec(seed: u64) -> TupleScenarioSpec {
+        TupleScenarioSpec {
+            leak_takes: true,
+            ..TupleScenarioSpec::small(seed)
+        }
+    }
+
+    /// Ground truth: single-step the scenario from scratch, absorbing the
+    /// trace after every event, and report the index of the event whose
+    /// absorption first produces a violation.
+    fn scan_first_bad(seed: u64) -> Option<u64> {
+        let scenario = tuple_scenario(&leaky_spec(seed));
+        let mut engine = scenario.build();
+        let mut tracker = AxiomTracker::new();
+        loop {
+            match engine.next_event_at() {
+                Some(t) if t <= horizon() => {
+                    engine.step();
+                }
+                _ => return None,
+            }
+            engine.take_outputs();
+            let events = engine.trace_buf().events();
+            engine.trace_buf().clear();
+            tracker.absorb_all(&events);
+            if !tracker.ok() {
+                return Some(engine.stats().events_processed);
+            }
+        }
+    }
+
+    fn campaign_for(seed: u64, every: u64) -> Campaign<crate::workload::TupleActor> {
+        Campaign::new(tuple_scenario(&leaky_spec(seed)), every)
+            .with_invariant(|| Box::new(AxiomInvariant::new()))
+    }
+
+    #[test]
+    fn bisection_matches_exhaustive_scan() {
+        let truth = scan_first_bad(42).expect("leak never tripped");
+        for every in [7, 25, 64, 1000] {
+            let mut campaign = campaign_for(42, every);
+            campaign.run_to(horizon());
+            let outcome = campaign
+                .bisect()
+                .unwrap()
+                .expect("campaign saw no violation");
+            assert_eq!(
+                outcome.first_bad_event, truth,
+                "cadence {every} pinned a different event"
+            );
+            assert!(outcome.replayed <= every, "window exceeded the cadence");
+            assert!(outcome.violation.contains("A2"), "{}", outcome.violation);
+        }
+    }
+
+    #[test]
+    fn bisection_is_deterministic_across_runs() {
+        let mut first = None;
+        for _ in 0..2 {
+            let mut campaign = campaign_for(7, 16);
+            campaign.run_to(horizon());
+            let outcome = campaign.bisect().unwrap().expect("no violation");
+            match first {
+                None => first = Some(outcome.first_bad_event),
+                Some(idx) => assert_eq!(outcome.first_bad_event, idx),
+            }
+        }
+    }
+
+    #[test]
+    fn clean_run_bisects_to_none() {
+        let mut campaign = Campaign::new(tuple_scenario(&TupleScenarioSpec::small(42)), 32)
+            .with_invariant(|| Box::new(AxiomInvariant::new()));
+        campaign.run_to(horizon());
+        assert!(campaign.bisect().unwrap().is_none());
+    }
+
+    #[test]
+    fn artifact_round_trips_and_reproduces_offline() {
+        let mut campaign = campaign_for(42, 25);
+        campaign.run_to(horizon());
+        let outcome = campaign.bisect().unwrap().expect("no violation");
+        let bytes = outcome.artifact.to_bytes();
+        let back = ReproArtifact::from_bytes(&bytes).expect("artifact corrupt");
+        assert_eq!(back.first_bad_event, outcome.first_bad_event);
+        assert_eq!(back.violation, outcome.violation);
+        let mut inv = AxiomInvariant::new();
+        let reproduced = back
+            .reproduce_offline::<crate::workload::TupleOut>(&mut inv)
+            .expect("state corrupt")
+            .expect("violation did not reproduce");
+        assert_eq!(reproduced, back.violation);
+    }
+
+    #[test]
+    fn artifact_replays_live_within_two_windows() {
+        let spec = leaky_spec(42);
+        let mut campaign = campaign_for(42, 25);
+        campaign.run_to(horizon());
+        let outcome = campaign.bisect().unwrap().expect("no violation");
+        let scenario = tuple_scenario(&spec);
+        let replay = outcome
+            .artifact
+            .replay(
+                scenario.config.clone(),
+                Arc::clone(&scenario.factory),
+                || Box::new(AxiomInvariant::new()),
+            )
+            .expect("live replay failed");
+        assert_eq!(replay.first_bad_event, outcome.first_bad_event);
+        assert!(replay.replayed <= 2 * campaign.checkpoint_every());
+        assert_eq!(replay.violation, outcome.violation);
+    }
+
+    #[test]
+    fn truncated_artifacts_error_instead_of_panicking() {
+        let mut campaign = campaign_for(42, 25);
+        campaign.run_to(horizon());
+        let outcome = campaign.bisect().unwrap().expect("no violation");
+        let bytes = outcome.artifact.to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                ReproArtifact::from_bytes(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes parsed"
+            );
+        }
+    }
+}

@@ -1,0 +1,577 @@
+//! The campaign driver: periodic checkpoints, branch fan-out, reports.
+//!
+//! A [`Campaign`] wraps one seeded [`Scenario`] and advances it in windows
+//! of exactly `checkpoint_every` engine events, storing a
+//! [`StoredCheckpoint`] (engine snapshot + every invariant's saved state)
+//! at each boundary.  From any point it can [`fan_out`](Campaign::fan_out):
+//! restore copies of the latest checkpoint under *different* configs —
+//! λ-retargeting injections, churn on/off, drop-everything fault plans,
+//! alternate cost models — and run each branch to a horizon, so futures
+//! are compared from a byte-identical past.  Per-branch deltas (telemetry
+//! counters, events, outputs, invariant verdicts) land in a
+//! [`CampaignReport`] that renders to JSON.
+//!
+//! The same checkpoint trail powers first-bad-event bisection; see
+//! [`crate::bisect`].
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use paso_simnet::{
+    Actor, CheckpointError, ChurnModel, CostModel, Engine, EngineConfig, FaultPlan, FaultScript,
+    NetModel, NodeId, SimCheckpoint, SimTime,
+};
+use paso_telemetry::{Snapshot, TraceEvent};
+use paso_wire::mini_json::Json;
+use paso_wire::Wire;
+
+use crate::invariant::Invariant;
+
+/// A reproducible simulation setup: config, actor factory, client
+/// injections, and an optional fault script.  `build` always yields the
+/// same engine, so a scenario can be rebuilt for replay verification.
+pub struct Scenario<A: Actor> {
+    pub config: EngineConfig,
+    pub factory: Arc<dyn Fn(NodeId) -> A>,
+    pub injections: Vec<(SimTime, NodeId, A::Msg)>,
+    pub faults: Option<FaultScript>,
+}
+
+impl<A: Actor + 'static> Scenario<A> {
+    /// Builds a fresh engine with all injections and faults scheduled.
+    pub fn build(&self) -> Engine<A> {
+        let f = Arc::clone(&self.factory);
+        let mut engine = Engine::new(self.config.clone(), move |id| f(id));
+        for (at, node, msg) in &self.injections {
+            engine.inject(*at, *node, msg.clone());
+        }
+        if let Some(script) = &self.faults {
+            engine.apply_faults(script);
+        }
+        engine
+    }
+}
+
+/// One stored point on the campaign's checkpoint trail.
+#[derive(Debug)]
+pub struct StoredCheckpoint {
+    /// Engine events processed when this checkpoint was taken.
+    pub events_processed: u64,
+    /// Simulated time at the checkpoint.
+    pub at: SimTime,
+    /// The byte-identical engine snapshot.
+    pub engine: SimCheckpoint,
+    /// Saved state of every registered invariant, in registration order.
+    pub invariants: Vec<Vec<u8>>,
+}
+
+pub(crate) struct InvariantSlot<O> {
+    pub(crate) factory: Box<dyn Fn() -> Box<dyn Invariant<O>>>,
+    pub(crate) live: Box<dyn Invariant<O>>,
+}
+
+/// Config overrides and extra stimulus for one branch of a fan-out.  Every
+/// field left `None` inherits the base scenario's value, so a default spec
+/// is the "control" branch: the uninterrupted continuation.
+#[derive(Debug, Clone)]
+pub struct BranchSpec<M> {
+    pub name: String,
+    pub cost_model: Option<CostModel>,
+    pub net: Option<NetModel>,
+    pub fault_plan: Option<FaultPlan>,
+    /// `Some(new)` replaces the churn setting outright — `Some(None)`
+    /// disables churn on a churning base, `Some(Some(m))` enables it.
+    pub churn: Option<Option<ChurnModel>>,
+    /// Extra messages injected after restore (times before the branch
+    /// point are clamped to it).
+    pub injections: Vec<(SimTime, NodeId, M)>,
+    /// Extra crash/repair events scheduled after restore.
+    pub faults: Option<FaultScript>,
+}
+
+impl<M> BranchSpec<M> {
+    pub fn new(name: impl Into<String>) -> Self {
+        BranchSpec {
+            name: name.into(),
+            cost_model: None,
+            net: None,
+            fault_plan: None,
+            churn: None,
+            injections: Vec::new(),
+            faults: None,
+        }
+    }
+
+    pub fn cost_model(mut self, m: CostModel) -> Self {
+        self.cost_model = Some(m);
+        self
+    }
+
+    pub fn net(mut self, m: NetModel) -> Self {
+        self.net = Some(m);
+        self
+    }
+
+    pub fn fault_plan(mut self, p: FaultPlan) -> Self {
+        self.fault_plan = Some(p);
+        self
+    }
+
+    pub fn churn(mut self, c: Option<ChurnModel>) -> Self {
+        self.churn = Some(c);
+        self
+    }
+
+    pub fn inject(mut self, at: SimTime, node: NodeId, msg: M) -> Self {
+        self.injections.push((at, node, msg));
+        self
+    }
+
+    pub fn faults(mut self, script: FaultScript) -> Self {
+        self.faults = Some(script);
+        self
+    }
+
+    fn apply(&self, base: &EngineConfig) -> EngineConfig {
+        let mut config = base.clone();
+        if let Some(m) = self.cost_model {
+            config.cost_model = m;
+        }
+        if let Some(m) = &self.net {
+            config.net = m.clone();
+        }
+        if let Some(p) = &self.fault_plan {
+            config.fault_plan = p.clone();
+        }
+        if let Some(c) = self.churn {
+            config.churn = c;
+        }
+        config
+    }
+}
+
+/// Outcome of running one branch from the common checkpoint.
+#[derive(Debug)]
+pub struct BranchResult {
+    pub name: String,
+    /// Events processed by this branch (delta from the branch point).
+    pub events: u64,
+    /// Simulated time the branch reached.
+    pub end_time: SimTime,
+    /// Outputs the branch emitted.
+    pub outputs: u64,
+    /// Telemetry counter deltas over the branch (branch-point → end),
+    /// zero-delta entries omitted.
+    pub counters: BTreeMap<String, f64>,
+    /// First violation per invariant that failed during this branch.
+    pub violations: Vec<(&'static str, String)>,
+}
+
+/// The machine-readable product of a fan-out.
+#[derive(Debug)]
+pub struct CampaignReport {
+    /// Ensemble size.
+    pub n: usize,
+    /// Events processed on the trunk before branching.
+    pub base_events: u64,
+    /// Simulated time at the branch point.
+    pub base_time: SimTime,
+    /// The campaign's checkpoint cadence.
+    pub checkpoint_every: u64,
+    /// Checkpoints stored on the trunk so far.
+    pub checkpoints: usize,
+    pub branches: Vec<BranchResult>,
+}
+
+impl CampaignReport {
+    /// Renders the report as JSON (schema `paso.campaign.report.v1`).
+    pub fn to_json(&self) -> Json {
+        let branches = self
+            .branches
+            .iter()
+            .map(|b| {
+                let counters = b
+                    .counters
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                    .collect();
+                let violations = b
+                    .violations
+                    .iter()
+                    .map(|(name, msg)| {
+                        Json::obj([
+                            ("invariant", Json::Str((*name).into())),
+                            ("detail", Json::Str(msg.clone())),
+                        ])
+                    })
+                    .collect();
+                Json::obj([
+                    ("name", Json::Str(b.name.clone())),
+                    ("events", Json::UInt(b.events)),
+                    ("end_time_micros", Json::UInt(b.end_time.as_micros())),
+                    ("outputs", Json::UInt(b.outputs)),
+                    ("counters", Json::Obj(counters)),
+                    ("violations", Json::Arr(violations)),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("schema", Json::Str("paso.campaign.report.v1".into())),
+            ("n", Json::UInt(self.n as u64)),
+            ("base_events", Json::UInt(self.base_events)),
+            ("base_time_micros", Json::UInt(self.base_time.as_micros())),
+            ("checkpoint_every", Json::UInt(self.checkpoint_every)),
+            ("checkpoints", Json::UInt(self.checkpoints as u64)),
+            ("branches", Json::Arr(branches)),
+        ])
+    }
+}
+
+/// Counter deltas between two telemetry snapshots, dropping zero entries.
+pub fn counter_deltas(base: &Snapshot, end: &Snapshot) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    for (k, v) in &end.counters {
+        let delta = v - base.counters.get(k).copied().unwrap_or(0.0);
+        if delta != 0.0 {
+            out.insert(k.clone(), delta);
+        }
+    }
+    out
+}
+
+/// A scenario advanced under periodic checkpoints, ready to branch or
+/// bisect.  See the module docs for the lifecycle.
+pub struct Campaign<A>
+where
+    A: Actor + Wire + 'static,
+    A::Msg: Wire,
+{
+    pub(crate) scenario: Scenario<A>,
+    pub(crate) engine: Engine<A>,
+    pub(crate) invariants: Vec<InvariantSlot<A::Output>>,
+    pub(crate) checkpoint_every: u64,
+    pub(crate) checkpoints: Vec<StoredCheckpoint>,
+    outputs_seen: u64,
+}
+
+impl<A> Campaign<A>
+where
+    A: Actor + Wire + 'static,
+    A::Msg: Wire,
+{
+    /// Starts a campaign.  `checkpoint_every` is the checkpoint cadence in
+    /// *engine events* — the bisector's replay window is bounded by it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `checkpoint_every` is zero.
+    pub fn new(scenario: Scenario<A>, checkpoint_every: u64) -> Self {
+        assert!(checkpoint_every > 0, "checkpoint cadence must be positive");
+        let engine = scenario.build();
+        Campaign {
+            scenario,
+            engine,
+            invariants: Vec::new(),
+            checkpoint_every,
+            checkpoints: Vec::new(),
+            outputs_seen: 0,
+        }
+    }
+
+    /// Registers an invariant.  The factory builds *empty* instances: the
+    /// driver needs fresh copies to load checkpointed states into during
+    /// bisection and branch verification.  Must be called before the first
+    /// [`run_to`](Self::run_to).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the campaign has already started checkpointing.
+    pub fn with_invariant(
+        mut self,
+        factory: impl Fn() -> Box<dyn Invariant<A::Output>> + 'static,
+    ) -> Self {
+        assert!(
+            self.checkpoints.is_empty(),
+            "invariants must be registered before the campaign runs"
+        );
+        let live = factory();
+        self.invariants.push(InvariantSlot {
+            factory: Box::new(factory),
+            live,
+        });
+        self
+    }
+
+    /// The underlying engine (read-only).
+    pub fn engine(&self) -> &Engine<A> {
+        &self.engine
+    }
+
+    /// The checkpoint trail so far.
+    pub fn checkpoints(&self) -> &[StoredCheckpoint] {
+        &self.checkpoints
+    }
+
+    /// The checkpoint cadence in engine events.
+    pub fn checkpoint_every(&self) -> u64 {
+        self.checkpoint_every
+    }
+
+    /// Outputs drained from the trunk so far.
+    pub fn outputs_seen(&self) -> u64 {
+        self.outputs_seen
+    }
+
+    /// Drains outputs + trace since the last drain into every invariant.
+    /// Returns the drained trace (bisection keeps it as residue).
+    pub(crate) fn drain(&mut self) -> Vec<TraceEvent> {
+        let outputs = self.engine.take_outputs();
+        let events = self.engine.trace_buf().events();
+        self.engine.trace_buf().clear();
+        self.outputs_seen += outputs.len() as u64;
+        for slot in &mut self.invariants {
+            slot.live.absorb_events(&events);
+            slot.live.absorb_outputs(&outputs);
+        }
+        events
+    }
+
+    pub(crate) fn store_checkpoint(&mut self) {
+        let events_processed = self.engine.stats().events_processed;
+        if self
+            .checkpoints
+            .last()
+            .is_some_and(|c| c.events_processed == events_processed)
+        {
+            return;
+        }
+        let engine = self.engine.snapshot();
+        let invariants = self.invariants.iter().map(|s| s.live.save()).collect();
+        self.checkpoints.push(StoredCheckpoint {
+            events_processed,
+            at: self.engine.now(),
+            engine,
+            invariants,
+        });
+    }
+
+    /// Advances the trunk to `horizon` (or queue exhaustion), storing a
+    /// checkpoint every `checkpoint_every` events and a final one at the
+    /// stopping point.
+    pub fn run_to(&mut self, horizon: SimTime) {
+        if self.checkpoints.is_empty() {
+            // Checkpoint 0: the pristine start (Start events have run
+            // during engine construction, before the first step).
+            self.drain();
+            self.store_checkpoint();
+        }
+        loop {
+            let target = self.engine.stats().events_processed + self.checkpoint_every;
+            let mut more = true;
+            while self.engine.stats().events_processed < target {
+                match self.engine.next_event_at() {
+                    Some(t) if t <= horizon => {
+                        self.engine.step();
+                    }
+                    _ => {
+                        more = false;
+                        break;
+                    }
+                }
+            }
+            self.drain();
+            self.store_checkpoint();
+            if !more {
+                break;
+            }
+        }
+    }
+
+    /// First invariant currently in violation on the trunk:
+    /// `(slot index, name, description)`.
+    pub fn first_violation(&mut self) -> Option<(usize, &'static str, String)> {
+        self.invariants
+            .iter_mut()
+            .enumerate()
+            .find_map(|(i, slot)| slot.live.check().map(|msg| (i, slot.live.name(), msg)))
+    }
+
+    /// Restores copies of the latest checkpoint under each branch's
+    /// overrides and runs them to `horizon`.  Branch configs are validated
+    /// by the restore path, so a nonsensical override surfaces as
+    /// [`CheckpointError::InvalidConfig`] rather than a corrupt run.
+    pub fn fan_out(
+        &mut self,
+        horizon: SimTime,
+        branches: &[BranchSpec<A::Msg>],
+    ) -> Result<CampaignReport, CheckpointError> {
+        self.drain();
+        self.store_checkpoint();
+        let base = self.checkpoints.last().expect("checkpoint trail non-empty");
+        let mut results = Vec::with_capacity(branches.len());
+        for spec in branches {
+            let config = spec.apply(&self.scenario.config);
+            let f = Arc::clone(&self.scenario.factory);
+            let mut engine = Engine::from_checkpoint(config, move |id| f(id), &base.engine)?;
+            let base_snap = engine.telemetry().snapshot();
+            for (at, node, msg) in &spec.injections {
+                engine.inject((*at).max(engine.now()), *node, msg.clone());
+            }
+            if let Some(script) = &spec.faults {
+                engine.apply_faults(script);
+            }
+            engine.run_until(horizon);
+            let outputs = engine.take_outputs();
+            let events = engine.trace_buf().events();
+            let end_snap = engine.telemetry().snapshot();
+
+            let mut violations = Vec::new();
+            for (i, slot) in self.invariants.iter().enumerate() {
+                let mut inv = (slot.factory)();
+                if inv.load(&base.invariants[i]).is_err() {
+                    violations.push((inv.name(), "checkpointed state corrupt".to_string()));
+                    continue;
+                }
+                inv.absorb_events(&events);
+                inv.absorb_outputs(&outputs);
+                if let Some(msg) = inv.check() {
+                    violations.push((inv.name(), msg));
+                }
+            }
+
+            results.push(BranchResult {
+                name: spec.name.clone(),
+                events: engine.stats().events_processed - base.events_processed,
+                end_time: engine.now(),
+                outputs: outputs.len() as u64,
+                counters: counter_deltas(&base_snap, &end_snap),
+                violations,
+            });
+        }
+        Ok(CampaignReport {
+            n: self.scenario.config.n,
+            base_events: base.events_processed,
+            base_time: base.at,
+            checkpoint_every: self.checkpoint_every,
+            checkpoints: self.checkpoints.len(),
+            branches: results,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::invariant::AxiomInvariant;
+    use crate::workload::{tuple_scenario, TupleMsg, TupleScenarioSpec};
+    use paso_simnet::ChurnModel;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    fn campaign(seed: u64) -> Campaign<crate::workload::TupleActor> {
+        Campaign::new(tuple_scenario(&TupleScenarioSpec::small(seed)), 50)
+            .with_invariant(|| Box::new(AxiomInvariant::new()))
+    }
+
+    #[test]
+    fn trunk_checkpoints_on_the_event_cadence() {
+        let mut c = campaign(1);
+        c.run_to(t(60_000));
+        let ckpts = c.checkpoints();
+        assert!(ckpts.len() > 2, "only {} checkpoints", ckpts.len());
+        assert_eq!(ckpts[0].events_processed, 0);
+        for w in ckpts.windows(2) {
+            let gap = w[1].events_processed - w[0].events_processed;
+            assert!(gap <= 50, "cadence exceeded: {gap}");
+        }
+        // Interior boundaries land exactly on the cadence.
+        for c in &ckpts[1..ckpts.len() - 1] {
+            assert_eq!(c.events_processed % 50, 0);
+        }
+    }
+
+    #[test]
+    fn control_branch_equals_uninterrupted_continuation() {
+        // Trunk A: run to the branch point, fan out a no-override branch.
+        let mut c = campaign(3);
+        c.run_to(t(20_000));
+        let report = c.fan_out(t(60_000), &[BranchSpec::new("control")]).unwrap();
+        let control = &report.branches[0];
+
+        // Trunk B: the same scenario run straight through.
+        let mut straight = campaign(3);
+        straight.run_to(t(60_000));
+
+        assert_eq!(
+            report.base_events + control.events,
+            straight.engine().stats().events_processed,
+            "control branch diverged from the uninterrupted run"
+        );
+        assert_eq!(control.end_time, straight.engine().now());
+        assert!(control.violations.is_empty());
+    }
+
+    #[test]
+    fn branches_share_a_past_but_diverge_in_the_future() {
+        let mut c = campaign(5);
+        c.run_to(t(20_000));
+        let n = c.engine().n();
+        let lambda_up: Vec<_> = (0..n as u32)
+            .map(|i| (t(20_001), NodeId(i), TupleMsg::SetLambda { lambda: 3 }))
+            .collect();
+        let mut spec = BranchSpec::new("lambda3");
+        spec.injections = lambda_up;
+        let report = c
+            .fan_out(t(60_000), &[BranchSpec::new("control"), spec])
+            .unwrap();
+        let [control, lambda3] = &report.branches[..] else {
+            panic!("expected two branches");
+        };
+        // Higher replication degree → more replicate/ack traffic.
+        let sent = |b: &BranchResult| b.counters.get("net.msgs_sent").copied().unwrap_or(0.0);
+        assert!(
+            sent(lambda3) > sent(control),
+            "λ=3 branch sent {} msgs vs control {}",
+            sent(lambda3),
+            sent(control)
+        );
+        assert_eq!(control.violations.len(), 0);
+        assert_eq!(lambda3.violations.len(), 0);
+    }
+
+    #[test]
+    fn invalid_branch_override_is_rejected_not_propagated() {
+        let mut c = campaign(9);
+        c.run_to(t(10_000));
+        let bad = BranchSpec::new("bad-churn").churn(Some(ChurnModel {
+            crash_rate_hz: 0.0,
+            mean_downtime: t(1_000),
+            max_concurrent: 1,
+        }));
+        let err = c.fan_out(t(20_000), &[bad]).unwrap_err();
+        assert!(
+            matches!(err, CheckpointError::InvalidConfig(_)),
+            "wrong error: {err:?}"
+        );
+    }
+
+    #[test]
+    fn report_renders_the_documented_schema() {
+        let mut c = campaign(11);
+        c.run_to(t(15_000));
+        let report = c.fan_out(t(30_000), &[BranchSpec::new("control")]).unwrap();
+        let json = report.to_json().render();
+        for key in [
+            "paso.campaign.report.v1",
+            "base_events",
+            "checkpoint_every",
+            "branches",
+            "counters",
+            "violations",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+}

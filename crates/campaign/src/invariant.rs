@@ -1,0 +1,318 @@
+//! Resumable invariants: the properties a campaign watches for.
+//!
+//! An invariant is fed the run incrementally (trace events + harness
+//! outputs, in order) and can be asked at any point whether it has been
+//! violated.  Two requirements distinguish it from a plain assertion:
+//!
+//! * **Checkpointable** — `save`/`load` round-trip the invariant's state as
+//!   bytes, stored alongside each engine checkpoint.  Bisection depends on
+//!   this: a stored state answers "had the invariant failed by event N?"
+//!   without replaying the prefix.
+//! * **Monotone** — once violated, absorbing more of the run never clears
+//!   the violation.  This is what makes binary search over checkpoints
+//!   sound (the predicate "checkpoint state fails" is monotone in N).
+//!
+//! Two implementations ship: [`AxiomInvariant`] (the paper's A1–A3 safety
+//! axioms, via the incremental [`AxiomTracker`]) and [`BoundInvariant`]
+//! (Theorem 2's competitive bound, replayed over the output stream).
+
+use paso_adaptive::{measure, BasicStrategy, Event as CostEvent, ModelParams};
+use paso_simnet::{NodeId, SimTime};
+use paso_telemetry::{AxiomTracker, TraceEvent};
+use paso_wire::{Reader, Wire, WireError};
+
+use crate::codec;
+
+/// A resumable, monotone run property.  `O` is the engine output type.
+pub trait Invariant<O> {
+    /// Stable name, used in reports and repro artifacts.
+    fn name(&self) -> &'static str;
+
+    /// Feed trace events recorded since the last call (time-ordered).
+    fn absorb_events(&mut self, _events: &[TraceEvent]) {}
+
+    /// Feed harness outputs drained since the last call (time-ordered).
+    fn absorb_outputs(&mut self, _outputs: &[(SimTime, NodeId, O)]) {}
+
+    /// `Some(description)` iff the property has been violated by what has
+    /// been absorbed so far.  May be expensive; the driver calls it at
+    /// checkpoint boundaries and per-event only inside a bisection window.
+    fn check(&mut self) -> Option<String>;
+
+    /// Serializes the current state.
+    fn save(&self) -> Vec<u8>;
+
+    /// Replaces the current state with a previously-saved one.
+    fn load(&mut self, bytes: &[u8]) -> Result<(), WireError>;
+}
+
+/// The A1–A3 safety axioms (§2), tracked incrementally.
+#[derive(Debug, Default)]
+pub struct AxiomInvariant {
+    tracker: AxiomTracker,
+}
+
+impl AxiomInvariant {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The underlying tracker (report access in tests).
+    pub fn tracker(&self) -> &AxiomTracker {
+        &self.tracker
+    }
+}
+
+impl<O> Invariant<O> for AxiomInvariant {
+    fn name(&self) -> &'static str {
+        "axioms-a1-a3"
+    }
+
+    fn absorb_events(&mut self, events: &[TraceEvent]) {
+        self.tracker.absorb_all(events);
+    }
+
+    fn check(&mut self) -> Option<String> {
+        self.tracker.first_violation().map(|v| v.to_string())
+    }
+
+    fn save(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        codec::encode_tracker_state(&self.tracker.save_state(), &mut out);
+        out
+    }
+
+    fn load(&mut self, bytes: &[u8]) -> Result<(), WireError> {
+        let mut r = Reader::new(bytes);
+        let state = codec::decode_tracker_state(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(WireError::TrailingBytes {
+                count: r.remaining(),
+            });
+        }
+        self.tracker = AxiomTracker::from_state(state);
+        Ok(())
+    }
+}
+
+/// Theorem 2's competitive bound, checked over the request stream a run
+/// actually served.  A mapper projects engine outputs onto the paper's
+/// cost-model events; `check` replays the accumulated stream through the
+/// basic counter strategy and compares against the exact optimum.
+pub struct BoundInvariant<O> {
+    params: ModelParams,
+    map: fn(&O) -> Option<CostEvent>,
+    events: Vec<CostEvent>,
+    /// Don't judge a run shorter than this many cost events — `measure`'s
+    /// additive constant dominates tiny streams.
+    min_events: usize,
+}
+
+impl<O> BoundInvariant<O> {
+    pub fn new(params: ModelParams, map: fn(&O) -> Option<CostEvent>) -> Self {
+        BoundInvariant {
+            params,
+            map,
+            events: Vec::new(),
+            min_events: 16,
+        }
+    }
+
+    /// Cost events accumulated so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+impl<O> Invariant<O> for BoundInvariant<O> {
+    fn name(&self) -> &'static str {
+        "theorem2-bound"
+    }
+
+    fn absorb_outputs(&mut self, outputs: &[(SimTime, NodeId, O)]) {
+        for (_, _, o) in outputs {
+            if let Some(ev) = (self.map)(o) {
+                self.events.push(ev);
+            }
+        }
+    }
+
+    fn check(&mut self) -> Option<String> {
+        if self.events.len() < self.min_events {
+            return None;
+        }
+        let mut strategy = BasicStrategy::new(self.params);
+        let r = measure(&mut strategy, &self.events, &self.params);
+        (!r.within_bound).then(|| {
+            format!(
+                "Theorem 2: online {} > {:.2}·OPT {} + {} over {} events",
+                r.online,
+                r.bound,
+                r.opt,
+                r.additive,
+                self.events.len()
+            )
+        })
+    }
+
+    fn save(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.params.lambda.encode(&mut out);
+        self.params.k_join.encode(&mut out);
+        self.params.q.encode(&mut out);
+        (self.min_events as u64).encode(&mut out);
+        (self.events.len() as u64).encode(&mut out);
+        for ev in &self.events {
+            match ev {
+                CostEvent::Read { failed } => {
+                    out.push(0);
+                    failed.encode(&mut out);
+                }
+                CostEvent::Insert => out.push(1),
+                CostEvent::Delete => out.push(2),
+            }
+        }
+        out
+    }
+
+    fn load(&mut self, bytes: &[u8]) -> Result<(), WireError> {
+        let mut r = Reader::new(bytes);
+        let lambda = u64::decode(&mut r)?;
+        let k_join = u64::decode(&mut r)?;
+        let q = u64::decode(&mut r)?;
+        let min_events = u64::decode(&mut r)? as usize;
+        let n = u64::decode(&mut r)? as usize;
+        if n > bytes.len() {
+            return Err(WireError::LengthOverrun {
+                claimed: n,
+                available: bytes.len(),
+            });
+        }
+        let mut events = Vec::with_capacity(n);
+        for _ in 0..n {
+            events.push(match r.u8()? {
+                0 => CostEvent::Read {
+                    failed: u64::decode(&mut r)?,
+                },
+                1 => CostEvent::Insert,
+                2 => CostEvent::Delete,
+                tag => {
+                    return Err(WireError::InvalidTag {
+                        ty: "CostEvent",
+                        tag,
+                    })
+                }
+            });
+        }
+        if r.remaining() != 0 {
+            return Err(WireError::TrailingBytes {
+                count: r.remaining(),
+            });
+        }
+        self.params = ModelParams::with_query_cost(lambda, k_join, q);
+        self.min_events = min_events;
+        self.events = events;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paso_telemetry::{ObjRef, OpKind, Outcome, TraceKind};
+
+    fn ev(at: u64, kind: TraceKind) -> TraceEvent {
+        TraceEvent {
+            at_micros: at,
+            node: 0,
+            kind,
+        }
+    }
+
+    #[test]
+    fn axiom_invariant_survives_save_load_mid_violation() {
+        let obj = ObjRef { origin: 1, seq: 1 };
+        let trace = [
+            ev(
+                1,
+                TraceKind::OpBegin {
+                    op_id: 1,
+                    op: OpKind::Insert,
+                    obj: Some(obj),
+                },
+            ),
+            ev(
+                2,
+                TraceKind::OpEnd {
+                    op_id: 1,
+                    op: OpKind::Insert,
+                    outcome: Outcome::Inserted,
+                },
+            ),
+            ev(
+                3,
+                TraceKind::OpBegin {
+                    op_id: 2,
+                    op: OpKind::ReadDel,
+                    obj: None,
+                },
+            ),
+            ev(
+                4,
+                TraceKind::OpEnd {
+                    op_id: 2,
+                    op: OpKind::ReadDel,
+                    outcome: Outcome::Found(obj),
+                },
+            ),
+            ev(
+                5,
+                TraceKind::OpBegin {
+                    op_id: 3,
+                    op: OpKind::ReadDel,
+                    obj: None,
+                },
+            ),
+            ev(
+                6,
+                TraceKind::OpEnd {
+                    op_id: 3,
+                    op: OpKind::ReadDel,
+                    outcome: Outcome::Found(obj),
+                },
+            ),
+        ];
+        for split in 0..trace.len() {
+            let mut a = AxiomInvariant::new();
+            Invariant::<()>::absorb_events(&mut a, &trace[..split]);
+            let saved = Invariant::<()>::save(&a);
+            let mut b = AxiomInvariant::new();
+            Invariant::<()>::load(&mut b, &saved).unwrap();
+            Invariant::<()>::absorb_events(&mut b, &trace[split..]);
+            let msg = Invariant::<()>::check(&mut b).expect("double consume not flagged");
+            assert!(msg.contains("A2"), "unexpected violation: {msg}");
+        }
+    }
+
+    #[test]
+    fn bound_invariant_round_trips_and_stays_quiet_on_reads() {
+        let mut inv: BoundInvariant<CostEvent> =
+            BoundInvariant::new(ModelParams::uniform(1, 4), |o| Some(*o));
+        let outputs: Vec<(SimTime, NodeId, CostEvent)> = (0..40)
+            .map(|i| (SimTime::from_micros(i), NodeId(0), CostEvent::READ))
+            .collect();
+        inv.absorb_outputs(&outputs);
+        assert_eq!(inv.len(), 40);
+        assert!(inv.check().is_none(), "read-only stream is within bound");
+        let saved = inv.save();
+        let mut back: BoundInvariant<CostEvent> =
+            BoundInvariant::new(ModelParams::uniform(9, 9), |o| Some(*o));
+        back.load(&saved).unwrap();
+        assert_eq!(back.len(), 40);
+        assert_eq!(back.params, ModelParams::uniform(1, 4));
+    }
+}

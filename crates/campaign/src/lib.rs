@@ -1,0 +1,47 @@
+//! Checkpoint fan-out campaigns and first-bad-event bisection.
+//!
+//! The paper's competitive bounds (Theorems 2/3) are statements about
+//! *trajectories*: how the counter algorithms behave as λ, churn, and `K`
+//! vary from an identical starting state.  A live system can never hold
+//! the past fixed while varying the future — the simulator can.  This
+//! crate turns `paso-simnet`'s byte-identical checkpoints into that
+//! instrument:
+//!
+//! * [`Campaign`] runs a seeded [`Scenario`] under a periodic checkpoint
+//!   cadence, feeding every drained trace event and output into registered
+//!   [`Invariant`]s whose states are checkpointed alongside the engine.
+//! * [`Campaign::fan_out`] restores copies of the latest checkpoint under
+//!   *different* configurations (replication degree, churn, fault plans,
+//!   network and cost models) and reports per-branch metric deltas — the
+//!   adversary-schedule comparison Aspnes' methodology calls for, from a
+//!   byte-identical past.
+//! * [`Campaign::bisect`] pins the *exact first event* that breaks a
+//!   failing invariant: binary search over checkpointed invariant states
+//!   (no replay), then an event-by-event replay of one checkpoint window.
+//!   The result embeds a [`ReproArtifact`] (checkpoint, invariant state,
+//!   and residual trace) that reproduces the violation standalone in at
+//!   most `2 × checkpoint_every` replayed events.
+//!
+//! [`TupleActor`] supplies the campaign workload: a λ-replicated
+//! tuple-store speaking the shared trace vocabulary, with a plantable
+//! leaky-take bug whose A2 `DoubleConsume` gives the bisector a
+//! deterministic target.
+
+mod bisect;
+mod codec;
+mod driver;
+mod invariant;
+mod workload;
+
+pub use bisect::{BisectError, BisectOutcome, ReproArtifact, ReproReplay};
+pub use codec::{
+    decode_obj_ref, decode_trace, decode_trace_event, decode_trace_kind, decode_tracker_state,
+    encode_obj_ref, encode_trace, encode_trace_event, encode_trace_kind, encode_tracker_state,
+};
+pub use driver::{
+    counter_deltas, BranchResult, BranchSpec, Campaign, CampaignReport, Scenario, StoredCheckpoint,
+};
+pub use invariant::{AxiomInvariant, BoundInvariant, Invariant};
+pub use workload::{
+    tuple_engine, tuple_scenario, TupleActor, TupleMsg, TupleOut, TupleScenarioSpec,
+};

@@ -11,6 +11,71 @@ use paso_core::{
 };
 use paso_wire::put_varint;
 
+/// Largest frame a client will accept from a proxy, mirroring the
+/// server-side `ProxyOptions::max_client_frame` default.  A declared
+/// length beyond this is rejected *before* any buffer is allocated, so a
+/// corrupt or malicious length prefix cannot OOM the client.
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// Writes one varint-length-prefixed frame.
+///
+/// # Errors
+///
+/// Rejects payloads over [`MAX_FRAME_BYTES`] (the receiving side would
+/// drop the connection anyway) and propagates write failures.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "frame of {} bytes exceeds cap {MAX_FRAME_BYTES}",
+                payload.len()
+            ),
+        ));
+    }
+    let mut buf = Vec::with_capacity(payload.len() + 5);
+    put_varint(&mut buf, payload.len() as u64);
+    buf.extend_from_slice(payload);
+    w.write_all(&buf)
+}
+
+/// Reads one varint-length-prefixed frame.
+///
+/// # Errors
+///
+/// `InvalidData` on a malformed varint or a declared length beyond
+/// [`MAX_FRAME_BYTES`]; `UnexpectedEof` (from `read_exact`) on a
+/// truncated header or payload.  Never panics and never allocates more
+/// than the cap.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
+    let mut len = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let mut byte = [0u8; 1];
+        r.read_exact(&mut byte)?;
+        len |= u64::from(byte[0] & 0x7f) << shift;
+        if byte[0] & 0x80 == 0 {
+            break;
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "oversized varint header",
+            ));
+        }
+    }
+    if len > MAX_FRAME_BYTES as u64 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("declared frame length {len} exceeds cap {MAX_FRAME_BYTES}"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
 /// One authenticated client connection to a [`Proxy`](crate::Proxy).
 pub struct ProxyClient {
     stream: TcpStream,
@@ -107,34 +172,11 @@ impl ProxyClient {
     }
 
     fn send(&mut self, frame: &ProxyClientFrame) -> io::Result<()> {
-        let payload = encode(frame);
-        let mut buf = Vec::with_capacity(payload.len() + 5);
-        put_varint(&mut buf, payload.len() as u64);
-        buf.extend_from_slice(&payload);
-        self.stream.write_all(&buf)
+        write_frame(&mut self.stream, &encode(frame))
     }
 
     fn read_frame(&mut self) -> io::Result<Vec<u8>> {
-        let mut len = 0u64;
-        let mut shift = 0u32;
-        loop {
-            let mut byte = [0u8; 1];
-            self.stream.read_exact(&mut byte)?;
-            len |= u64::from(byte[0] & 0x7f) << shift;
-            if byte[0] & 0x80 == 0 {
-                break;
-            }
-            shift += 7;
-            if shift > 63 {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    "oversized varint header",
-                ));
-            }
-        }
-        let mut payload = vec![0u8; len as usize];
-        self.stream.read_exact(&mut payload)?;
-        Ok(payload)
+        read_frame(&mut self.stream)
     }
 }
 

@@ -48,7 +48,7 @@
 
 mod client;
 
-pub use client::ProxyClient;
+pub use client::{read_frame, write_frame, ProxyClient, MAX_FRAME_BYTES};
 
 use std::collections::{BTreeSet, HashMap};
 use std::io;

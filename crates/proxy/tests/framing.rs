@@ -1,0 +1,188 @@
+//! Property tests for the proxy client protocol framing: every
+//! `ProxyClientFrame`/`ProxyServerFrame` variant survives the
+//! `encode → write_frame → read_frame → try_decode` round trip over an
+//! in-memory stream, and truncated or oversized frames are rejected with
+//! a clean `Err` — never a panic, never an allocation past the cap.
+
+use std::io::Cursor;
+
+use proptest::prelude::*;
+
+use paso_core::{encode, try_decode, ClientOp, ClientResult, ProxyClientFrame, ProxyServerFrame};
+use paso_proxy::{read_frame, write_frame, MAX_FRAME_BYTES};
+use paso_types::{FieldMatcher, ObjectId, PasoObject, ProcessId, SearchCriterion, Template, Value};
+use paso_wire::put_varint;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i64>().prop_map(Value::Int),
+        any::<bool>().prop_map(Value::Bool),
+        "[a-z]{0,8}".prop_map(Value::from),
+        proptest::collection::vec(any::<u8>(), 0..6).prop_map(Value::Bytes),
+        "[a-z]{1,6}".prop_map(Value::symbol),
+    ]
+}
+
+fn arb_object() -> impl Strategy<Value = PasoObject> {
+    (
+        any::<u32>(),
+        any::<u64>(),
+        proptest::collection::vec(arb_value(), 0..4),
+    )
+        .prop_map(|(p, seq, fields)| {
+            PasoObject::new(ObjectId::new(ProcessId(p.into()), seq), fields)
+        })
+}
+
+fn arb_sc() -> impl Strategy<Value = SearchCriterion> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just(FieldMatcher::Any),
+            arb_value().prop_map(FieldMatcher::Exact),
+            "[a-z]{0,5}".prop_map(FieldMatcher::Prefix),
+        ],
+        0..4,
+    )
+    .prop_map(|ms| SearchCriterion::from(Template::new(ms)))
+}
+
+fn arb_client_op() -> impl Strategy<Value = ClientOp> {
+    prop_oneof![
+        arb_object().prop_map(|object| ClientOp::Insert { object }),
+        (arb_sc(), any::<bool>()).prop_map(|(sc, blocking)| ClientOp::Read { sc, blocking }),
+        (arb_sc(), any::<bool>()).prop_map(|(sc, blocking)| ClientOp::ReadDel { sc, blocking }),
+    ]
+}
+
+fn arb_client_frame() -> impl Strategy<Value = ProxyClientFrame> {
+    prop_oneof![
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(tenant, token)| ProxyClientFrame::Hello { tenant, token }),
+        (any::<u64>(), arb_client_op()).prop_map(|(seq, op)| ProxyClientFrame::Op { seq, op }),
+    ]
+}
+
+fn arb_server_frame() -> impl Strategy<Value = ProxyServerFrame> {
+    prop_oneof![
+        Just(ProxyServerFrame::Welcome),
+        Just(ProxyServerFrame::Denied),
+        any::<u64>().prop_map(|seq| ProxyServerFrame::Busy { seq }),
+        (
+            any::<u64>(),
+            prop_oneof![
+                Just(ClientResult::Inserted),
+                arb_object().prop_map(ClientResult::Found),
+                Just(ClientResult::Fail),
+                Just(ClientResult::TimedOut),
+                Just(ClientResult::Unavailable),
+            ]
+        )
+            .prop_map(|(seq, result)| ProxyServerFrame::Done { seq, result }),
+    ]
+}
+
+/// Frame `payload` into a fresh byte stream exactly as a client/proxy
+/// would put it on the wire.
+fn framed(payload: &[u8]) -> Vec<u8> {
+    let mut wire = Vec::new();
+    write_frame(&mut wire, payload).expect("in-memory write cannot fail under the cap");
+    wire
+}
+
+proptest! {
+    #[test]
+    fn client_frames_round_trip_through_the_stream(frame in arb_client_frame()) {
+        let wire = framed(&encode(&frame));
+        let payload = read_frame(&mut Cursor::new(&wire)).unwrap();
+        let back: ProxyClientFrame = try_decode(&payload).unwrap();
+        prop_assert_eq!(back, frame);
+    }
+
+    #[test]
+    fn server_frames_round_trip_through_the_stream(frame in arb_server_frame()) {
+        let wire = framed(&encode(&frame));
+        let payload = read_frame(&mut Cursor::new(&wire)).unwrap();
+        let back: ProxyServerFrame = try_decode(&payload).unwrap();
+        prop_assert_eq!(back, frame);
+    }
+
+    #[test]
+    fn pipelined_frames_arrive_in_order(frames in proptest::collection::vec(arb_client_frame(), 1..6)) {
+        // Several frames back-to-back on one stream — the pipelining the
+        // proxy relies on — must parse back in order with nothing left.
+        let mut wire = Vec::new();
+        for f in &frames {
+            write_frame(&mut wire, &encode(f)).unwrap();
+        }
+        let mut cursor = Cursor::new(&wire);
+        for f in &frames {
+            let payload = read_frame(&mut cursor).unwrap();
+            let back: ProxyClientFrame = try_decode(&payload).unwrap();
+            prop_assert_eq!(&back, f);
+        }
+        prop_assert_eq!(cursor.position(), wire.len() as u64);
+    }
+
+    #[test]
+    fn truncated_streams_error_instead_of_panicking(frame in arb_client_frame()) {
+        let wire = framed(&encode(&frame));
+        for cut in 0..wire.len() {
+            prop_assert!(read_frame(&mut Cursor::new(&wire[..cut])).is_err());
+        }
+    }
+
+    #[test]
+    fn truncated_payloads_fail_decode_without_panic(frame in arb_server_frame()) {
+        // Framing can deliver an intact frame whose *payload* was built
+        // by a buggy peer — every strict prefix must decode to Err.
+        let payload = encode(&frame);
+        for cut in 0..payload.len() {
+            let wire = framed(&payload[..cut]);
+            let short = read_frame(&mut Cursor::new(&wire)).unwrap();
+            prop_assert!(try_decode::<ProxyServerFrame>(&short).is_err());
+        }
+    }
+
+    #[test]
+    fn oversized_declared_lengths_are_rejected_before_allocation(
+        excess in 1u64..=u64::MAX - MAX_FRAME_BYTES as u64,
+    ) {
+        // A length prefix over the cap must be refused from the header
+        // alone — no payload bytes follow, so reaching the allocation
+        // would mean an EOF error (or an OOM) instead of InvalidData.
+        let mut wire = Vec::new();
+        put_varint(&mut wire, MAX_FRAME_BYTES as u64 + excess);
+        let err = read_frame(&mut Cursor::new(&wire)).unwrap_err();
+        prop_assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn random_garbage_never_panics_the_reader(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        // Any outcome is fine as long as it is a clean Ok/Err.
+        let _ = read_frame(&mut Cursor::new(&bytes));
+    }
+}
+
+#[test]
+fn oversized_payloads_are_refused_at_the_writer() {
+    let mut wire = Vec::new();
+    let err = write_frame(&mut wire, &vec![0u8; MAX_FRAME_BYTES + 1]).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    assert!(wire.is_empty(), "nothing may reach the stream");
+}
+
+#[test]
+fn unterminated_varint_headers_are_rejected() {
+    // Ten continuation bytes exceed a u64's 63-bit shift budget.
+    let wire = [0x80u8; 10];
+    let err = read_frame(&mut Cursor::new(&wire[..])).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+}
+
+#[test]
+fn frame_at_exactly_the_cap_round_trips() {
+    let payload = vec![0xABu8; MAX_FRAME_BYTES];
+    let mut wire = Vec::new();
+    write_frame(&mut wire, &payload).unwrap();
+    assert_eq!(read_frame(&mut Cursor::new(&wire)).unwrap(), payload);
+}

@@ -89,6 +89,9 @@ pub enum CheckpointError {
     },
     /// The payload failed to decode.
     Decode(WireError),
+    /// The restoring engine's configuration violates an [`EngineConfig`]
+    /// invariant (branch-time overrides are validated, not trusted).
+    InvalidConfig(String),
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -106,6 +109,9 @@ impl std::fmt::Display for CheckpointError {
                 "checkpoint is for n={found} machines but the engine has n={expected}"
             ),
             CheckpointError::Decode(e) => write!(f, "malformed checkpoint payload: {e}"),
+            CheckpointError::InvalidConfig(why) => {
+                write!(f, "invalid engine configuration for restore: {why}")
+            }
         }
     }
 }
@@ -447,18 +453,37 @@ where
         self.tel = TelBuf::new(&telemetry);
         self.telemetry = telemetry;
         self.trace_buf = Arc::new(TraceBuf::new());
+        // A checkpoint taken without churn has no pending tick; if this
+        // engine's config turns churn *on* (a campaign branch), arm the
+        // process now. Restoring under the original config leaves the
+        // checkpointed tick as-is, so identical-config restores stay
+        // byte-identical.
+        if let Some(churn) = self.config.churn {
+            let has_tick = self
+                .queue
+                .iter_pending()
+                .any(|(_, _, ev)| matches!(ev, Event::ChurnTick));
+            if !has_tick {
+                self.schedule_churn_tick(&churn);
+            }
+        }
         Ok(())
     }
 
-    /// Builds a new engine directly in `ckpt`'s state. `config` must
-    /// match the checkpointed run's configuration (same `n`, and — for
-    /// the continuation to mean anything — the same cost model, network
-    /// model, fault plan, and churn settings).
+    /// Builds a new engine directly in `ckpt`'s state. `config` must have
+    /// the checkpoint's `n`; everything else (cost model, network model,
+    /// fault plan, churn) may deliberately *differ* — that is how campaign
+    /// branches explore alternate futures from an identical past. The
+    /// config is validated first: branch-time overrides are user input by
+    /// the time they reach a restore, so violations surface as
+    /// [`CheckpointError::InvalidConfig`] rather than panics or silently
+    /// nonsensical runs.
     pub fn from_checkpoint(
         config: EngineConfig,
         factory: impl Fn(NodeId) -> A + 'static,
         ckpt: &SimCheckpoint,
     ) -> Result<Self, CheckpointError> {
+        config.validate().map_err(CheckpointError::InvalidConfig)?;
         // Shell arena: restore decodes every actor from the snapshot, so
         // building n factory actors here would be pure throwaway work.
         let mut engine = Engine::new_unstarted(config, factory, false);
@@ -641,6 +666,100 @@ mod tests {
                 expected: 8,
                 found: 4
             }
+        );
+    }
+
+    #[test]
+    fn from_checkpoint_validates_branch_time_config_overrides() {
+        use crate::fault::ChurnModel;
+
+        let mut e = fresh(3);
+        drive(&mut e, 2);
+        let ckpt = e.snapshot();
+
+        // Inverted init window.
+        let mut cfg = EngineConfig::for_tests(4);
+        cfg.init_min = SimTime::from_millis(5);
+        cfg.init_max = SimTime::from_millis(1);
+        let err = Engine::from_checkpoint(cfg, |id| Counting { id, seen: 0 }, &ckpt).unwrap_err();
+        assert!(matches!(err, CheckpointError::InvalidConfig(_)), "{err}");
+
+        // Churn model built by hand (bypassing the constructor's asserts),
+        // as a branch override would.
+        let mut cfg = EngineConfig::for_tests(4);
+        cfg.churn = Some(ChurnModel {
+            crash_rate_hz: 0.0,
+            mean_downtime: SimTime::from_millis(5),
+            max_concurrent: 2,
+        });
+        let err = Engine::from_checkpoint(cfg, |id| Counting { id, seen: 0 }, &ckpt).unwrap_err();
+        assert!(matches!(err, CheckpointError::InvalidConfig(_)), "{err}");
+
+        // Non-finite cost model.
+        let mut cfg = EngineConfig::for_tests(4);
+        cfg.cost_model = crate::cost::CostModel {
+            alpha: f64::NAN,
+            beta: 0.1,
+        };
+        let err = Engine::from_checkpoint(cfg, |id| Counting { id, seen: 0 }, &ckpt).unwrap_err();
+        assert!(matches!(err, CheckpointError::InvalidConfig(_)), "{err}");
+
+        // The unmodified config still restores.
+        let mut cfg = EngineConfig::for_tests(4);
+        cfg.seed = 3;
+        cfg.record_trace = true;
+        cfg.fault_plan = FaultPlanForTest::plan();
+        assert!(Engine::from_checkpoint(cfg, |id| Counting { id, seen: 0 }, &ckpt).is_ok());
+    }
+
+    #[test]
+    fn branch_can_disable_churn_from_a_churning_checkpoint() {
+        use crate::fault::ChurnModel;
+
+        let mut cfg = EngineConfig::for_tests(4);
+        cfg.churn = Some(ChurnModel::new(200.0, SimTime::from_millis(2), 2));
+        let mut e = Engine::new(cfg, |id| Counting { id, seen: 0 });
+        e.run_until(SimTime::from_millis(50));
+        e.take_outputs();
+        let crashes_so_far = e.stats().crashes;
+        assert!(crashes_so_far > 0, "base run must churn");
+        let ckpt = e.snapshot();
+
+        // The checkpoint carries a pending ChurnTick; with churn turned
+        // off it must expire harmlessly instead of panicking.
+        let mut quiet = Engine::from_checkpoint(
+            EngineConfig::for_tests(4),
+            |id| Counting { id, seen: 0 },
+            &ckpt,
+        )
+        .expect("restore with churn disabled");
+        quiet.run_until(SimTime::from_secs(2));
+        assert_eq!(
+            quiet.stats().crashes,
+            crashes_so_far,
+            "no new crashes once churn is off"
+        );
+    }
+
+    #[test]
+    fn branch_can_enable_churn_on_a_churn_free_checkpoint() {
+        use crate::fault::ChurnModel;
+
+        let mut e = Engine::new(EngineConfig::for_tests(4), |id| Counting { id, seen: 0 });
+        e.run_until(SimTime::from_millis(20));
+        e.take_outputs();
+        let ckpt = e.snapshot();
+        assert_eq!(e.stats().crashes, 0);
+
+        // No tick in the checkpoint, so restore must arm the process.
+        let mut cfg = EngineConfig::for_tests(4);
+        cfg.churn = Some(ChurnModel::new(200.0, SimTime::from_millis(2), 2));
+        let mut churny = Engine::from_checkpoint(cfg, |id| Counting { id, seen: 0 }, &ckpt)
+            .expect("restore with churn enabled");
+        churny.run_until(SimTime::from_secs(1));
+        assert!(
+            churny.stats().crashes > 0,
+            "enabled churn must actually crash machines"
         );
     }
 

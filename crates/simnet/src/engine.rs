@@ -68,6 +68,54 @@ pub struct EngineConfig {
 }
 
 impl EngineConfig {
+    /// Checks the configuration's invariants, returning a description of
+    /// the first problem found.
+    ///
+    /// [`Engine::new`] panics on an invalid configuration (a programming
+    /// error at construction time), but configurations can also arrive at
+    /// a running system from *outside* — campaign branch overrides applied
+    /// before `Engine::from_checkpoint` — where a typo must surface as an
+    /// error, not a panic deep inside the restore, and never as a silently
+    /// nonsensical simulation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n == 0 {
+            return Err("n must be at least 1".into());
+        }
+        if self.init_min > self.init_max {
+            return Err(format!(
+                "init_min ({:?}) exceeds init_max ({:?})",
+                self.init_min, self.init_max
+            ));
+        }
+        let CostModel { alpha, beta } = self.cost_model;
+        if !(alpha.is_finite() && alpha >= 0.0 && beta.is_finite() && beta >= 0.0) {
+            return Err(format!(
+                "cost model must have finite non-negative α, β (got α={alpha}, β={beta})"
+            ));
+        }
+        if let Some(churn) = &self.churn {
+            if !(churn.crash_rate_hz.is_finite() && churn.crash_rate_hz > 0.0) {
+                return Err(format!(
+                    "churn crash rate must be finite and positive (got {})",
+                    churn.crash_rate_hz
+                ));
+            }
+            if churn.max_concurrent == 0 {
+                return Err("churn with a zero concurrent-failure budget never fires".into());
+            }
+            if churn.mean_downtime == SimTime::ZERO {
+                return Err("churn mean downtime must be positive".into());
+            }
+        }
+        if let NetModel::Switched(model) = &self.net {
+            let a = model.asymmetry();
+            if !(a.is_finite() && a > 0.0) {
+                return Err(format!("switched-net asymmetry must be positive (got {a})"));
+            }
+        }
+        Ok(())
+    }
+
     /// A small, fast configuration for tests: `n` nodes, cheap messages,
     /// 1 ms ≤ init ≤ 2 ms.
     pub fn for_tests(n: usize) -> Self {
@@ -405,8 +453,9 @@ impl<A: Actor> Engine<A> {
         factory: impl Fn(NodeId) -> A + 'static,
         build_actors: bool,
     ) -> Self {
-        assert!(config.n > 0, "need at least one machine");
-        assert!(config.init_min <= config.init_max);
+        if let Err(why) = config.validate() {
+            panic!("invalid EngineConfig: {why}");
+        }
         let arena = if build_actors {
             ActorArena::new(config.n, &factory)
         } else {
@@ -444,6 +493,13 @@ impl<A: Actor> Engine<A> {
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// Time of the next pending event, if any.  Drivers that must stop on
+    /// an exact event-count boundary (the campaign checkpointer) peek here
+    /// before [`step`](Self::step) so they never process past a horizon.
+    pub fn next_event_at(&self) -> Option<SimTime> {
+        self.queue.peek().map(|(t, _)| t)
     }
 
     /// Status of a machine.
@@ -556,7 +612,7 @@ impl<A: Actor> Engine<A> {
             .push(self.now, Event::Repair { node, churn: false });
     }
 
-    fn schedule_churn_tick(&mut self, churn: &ChurnModel) {
+    pub(crate) fn schedule_churn_tick(&mut self, churn: &ChurnModel) {
         // Aggregate arrival rate n·r, thinned at tick time by the up
         // check — an exact simulation of per-up-machine rate r.
         let mean_us = 1e6 / (churn.crash_rate_hz * self.config.n as f64);
@@ -912,7 +968,12 @@ impl<A: Actor> Engine<A> {
                 }
             }
             Event::ChurnTick => {
-                let churn = self.config.churn.expect("churn tick without model");
+                // A checkpoint taken under churn carries a pending tick; a
+                // branch that restores it with churn disabled just lets the
+                // tick expire instead of panicking.
+                let Some(churn) = self.config.churn else {
+                    return true;
+                };
                 // Fixed draw order: victim, next gap, then (inside the
                 // crash) the downtime.
                 let victim = NodeId(self.rng.gen_range(0..self.config.n as u32));

@@ -231,6 +231,262 @@ pub fn check_trace(events: &[TraceEvent]) -> AxiomReport {
     report
 }
 
+/// One begun-but-not-yet-ended operation inside an [`AxiomTracker`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingOp {
+    /// The op id pairing begin with end.
+    pub op_id: u64,
+    /// Begin timestamp (micros).
+    pub begin: u64,
+    /// Operation kind recorded at begin.
+    pub op: OpKind,
+    /// Object being inserted (inserts only).
+    pub obj: Option<ObjRef>,
+}
+
+/// The tracked lifetime of one object: insert window and (at most one
+/// legal) consume.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjLife {
+    /// The object.
+    pub obj: ObjRef,
+    /// The op that inserted it.
+    pub insert_op: u64,
+    /// When that insert began.
+    pub insert_begin: u64,
+    /// Whether the insert's end has been absorbed yet.
+    pub insert_done: bool,
+    /// The consuming `read&del`, as `(op_id, end_micros)`.
+    pub consume: Option<(u64, u64)>,
+}
+
+/// The complete, externally serializable state of an [`AxiomTracker`].
+///
+/// Plain data with public fields so a checkpointing layer above this crate
+/// (which deliberately has no codec dependency) can encode it however it
+/// likes and rebuild an identical tracker with
+/// [`AxiomTracker::from_state`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AxiomTrackerState {
+    /// In-flight ops, ascending by op id.
+    pub pending: Vec<PendingOp>,
+    /// Object lifetimes, ascending by object.
+    pub lives: Vec<ObjLife>,
+    /// The running report (violations in discovery order).
+    pub report: AxiomReport,
+}
+
+/// Incremental A1–A3 checker: [`check_trace`]'s interval logic, one event
+/// at a time.
+///
+/// Two properties make it the right shape for checkpoint bisection where
+/// the batch checker is not:
+///
+/// - **Monotone.** Violations only accumulate: once `ok()` is false it
+///   stays false no matter what is absorbed next, so "first event after
+///   which the tracker is not ok" is well-defined and binary-searchable.
+///   To get that, an insert's object is registered when its *begin* is
+///   absorbed (the object is known at begin), so a read overlapping an
+///   in-flight insert is legal at every prefix — the batch checker, which
+///   only sees completed inserts, would transiently flag it.
+/// - **Resumable.** [`save_state`](Self::save_state) /
+///   [`from_state`](Self::from_state) round-trip the full tracker, so a
+///   campaign can checkpoint the checker alongside the engine and resume
+///   either from any boundary.
+///
+/// Equivalent to [`check_trace`] (same report, same violation multiset)
+/// on any time-ordered trace in which every begun insert eventually ends —
+/// asserted by proptest below.
+#[derive(Debug, Clone, Default)]
+pub struct AxiomTracker {
+    pending: BTreeMap<u64, (u64, OpKind, Option<ObjRef>)>,
+    lives: BTreeMap<ObjRef, ObjLife>,
+    report: AxiomReport,
+}
+
+impl AxiomTracker {
+    /// A fresh tracker that has seen nothing.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rebuilds a tracker from a previously saved state.
+    pub fn from_state(state: AxiomTrackerState) -> Self {
+        AxiomTracker {
+            pending: state
+                .pending
+                .into_iter()
+                .map(|p| (p.op_id, (p.begin, p.op, p.obj)))
+                .collect(),
+            lives: state.lives.into_iter().map(|l| (l.obj, l)).collect(),
+            report: state.report,
+        }
+    }
+
+    /// Serializes the tracker into plain data (see [`AxiomTrackerState`]).
+    pub fn save_state(&self) -> AxiomTrackerState {
+        AxiomTrackerState {
+            pending: self
+                .pending
+                .iter()
+                .map(|(&op_id, &(begin, op, obj))| PendingOp {
+                    op_id,
+                    begin,
+                    op,
+                    obj,
+                })
+                .collect(),
+            lives: self.lives.values().cloned().collect(),
+            report: self.report.clone(),
+        }
+    }
+
+    /// The running report. `violations` is append-only across absorbs.
+    pub fn report(&self) -> &AxiomReport {
+        &self.report
+    }
+
+    /// No violations so far?
+    pub fn ok(&self) -> bool {
+        self.report.violations.is_empty()
+    }
+
+    /// The earliest violation discovered, if any.
+    pub fn first_violation(&self) -> Option<&AxiomViolation> {
+        self.report.violations.first()
+    }
+
+    /// Absorbs a batch in order; returns violations added.
+    pub fn absorb_all(&mut self, events: &[TraceEvent]) -> usize {
+        events.iter().map(|ev| self.absorb(ev)).sum()
+    }
+
+    /// Absorbs one trace event; returns the number of violations this
+    /// event added (0 almost always).
+    pub fn absorb(&mut self, ev: &TraceEvent) -> usize {
+        let before = self.report.violations.len();
+        match &ev.kind {
+            TraceKind::OpBegin { op_id, op, obj } => {
+                self.pending.insert(*op_id, (ev.at_micros, *op, *obj));
+                if *op == OpKind::Insert {
+                    if let Some(o) = obj {
+                        // Register the life at begin (duplicates are
+                        // flagged when the second insert *ends*, matching
+                        // the batch checker's completed-inserts-only A2).
+                        self.lives.entry(*o).or_insert(ObjLife {
+                            obj: *o,
+                            insert_op: *op_id,
+                            insert_begin: ev.at_micros,
+                            insert_done: false,
+                            consume: None,
+                        });
+                    }
+                }
+            }
+            TraceKind::OpEnd { op_id, op, outcome } => {
+                if let Some((begin, _, obj)) = self.pending.remove(op_id) {
+                    self.finish_op(*op_id, *op, begin, ev.at_micros, *outcome, obj);
+                }
+            }
+            _ => {}
+        }
+        self.report.violations.len() - before
+    }
+
+    fn finish_op(
+        &mut self,
+        op_id: u64,
+        op: OpKind,
+        begin: u64,
+        end: u64,
+        outcome: Outcome,
+        inserted_obj: Option<ObjRef>,
+    ) {
+        self.report.ops_checked += 1;
+        if op == OpKind::Insert {
+            self.report.inserts += 1;
+            if let Some(o) = inserted_obj {
+                match self.lives.get_mut(&o) {
+                    Some(life) if life.insert_op == op_id => life.insert_done = true,
+                    Some(life) => {
+                        // A2: someone else already owns this object's life
+                        // (the first insert wins, as in the batch checker).
+                        let first = life.insert_op;
+                        self.report
+                            .violations
+                            .push(AxiomViolation::DuplicateInsert {
+                                object: o,
+                                ops: (first, op_id),
+                            });
+                    }
+                    None => {
+                        self.lives.insert(
+                            o,
+                            ObjLife {
+                                obj: o,
+                                insert_op: op_id,
+                                insert_begin: begin,
+                                insert_done: true,
+                                consume: None,
+                            },
+                        );
+                    }
+                }
+            }
+            return;
+        }
+        let Outcome::Found(obj) = outcome else {
+            return;
+        };
+        self.report.found += 1;
+        if op == OpKind::ReadDel {
+            self.report.consumes += 1;
+        }
+        let Some(life) = self.lives.get_mut(&obj) else {
+            // A1: returned an object with no insert at all.
+            self.report
+                .violations
+                .push(AxiomViolation::ReadBeforeInsert {
+                    op: op_id,
+                    object: obj,
+                });
+            return;
+        };
+        if op == OpKind::ReadDel {
+            match life.consume {
+                Some((other, _)) => {
+                    // A2: consumed twice.
+                    self.report.violations.push(AxiomViolation::DoubleConsume {
+                        object: obj,
+                        ops: (other, op_id),
+                    });
+                }
+                None => life.consume = Some((op_id, end)),
+            }
+        }
+        // A1: the op's return must not precede the insert's begin.
+        if end < life.insert_begin {
+            self.report
+                .violations
+                .push(AxiomViolation::ReadBeforeInsert {
+                    op: op_id,
+                    object: obj,
+                });
+        }
+        // A3: issued strictly after the consume returned, yet still saw
+        // the object (and is not the consumer itself).
+        if let Some((consumer, consume_end)) = life.consume {
+            if consumer != op_id && begin > consume_end {
+                self.report.violations.push(AxiomViolation::Resurrection {
+                    op: op_id,
+                    object: obj,
+                    consumed_by: consumer,
+                });
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -417,5 +673,269 @@ mod tests {
         t.extend(insert((10, 30), 1, obj(1)));
         t.extend(found((5, 15), 2, OpKind::Read, obj(1)));
         assert!(check_trace(&t).ok());
+    }
+
+    // ------------------------------------------------------------------
+    // Incremental tracker
+    // ------------------------------------------------------------------
+
+    /// Every batch-checker scenario above, absorbed one event at a time,
+    /// must land on the identical report.
+    #[test]
+    fn tracker_matches_batch_on_fixed_scenarios() {
+        let scenarios: Vec<Vec<TraceEvent>> = vec![
+            // legal insert/read/consume
+            {
+                let mut t = Vec::new();
+                t.extend(insert((0, 10), 1, obj(1)));
+                t.extend(found((20, 30), 2, OpKind::Read, obj(1)));
+                t.extend(found((40, 50), 3, OpKind::ReadDel, obj(1)));
+                t
+            },
+            // read overlapping consume
+            {
+                let mut t = Vec::new();
+                t.extend(insert((0, 10), 1, obj(1)));
+                t.extend(found((20, 40), 2, OpKind::ReadDel, obj(1)));
+                t.extend(found((25, 35), 3, OpKind::Read, obj(1)));
+                t
+            },
+            // double consume + resurrection
+            {
+                let mut t = Vec::new();
+                t.extend(insert((0, 10), 1, obj(1)));
+                t.extend(found((20, 25), 2, OpKind::ReadDel, obj(1)));
+                t.extend(found((30, 35), 3, OpKind::ReadDel, obj(1)));
+                t
+            },
+            // read of dead object
+            {
+                let mut t = Vec::new();
+                t.extend(insert((0, 10), 1, obj(1)));
+                t.extend(found((20, 25), 2, OpKind::ReadDel, obj(1)));
+                t.extend(found((30, 40), 3, OpKind::Read, obj(1)));
+                t
+            },
+            // read of never-inserted object
+            found((0, 5), 2, OpKind::Read, obj(9)).into(),
+            // sequential duplicate insert
+            {
+                let mut t = Vec::new();
+                t.extend(insert((0, 10), 1, obj(1)));
+                t.extend(insert((20, 30), 2, obj(1)));
+                t
+            },
+        ];
+        for t in scenarios {
+            let batch = check_trace(&t);
+            let mut tracker = AxiomTracker::new();
+            tracker.absorb_all(&t);
+            assert_eq!(tracker.report(), &batch, "trace: {t:?}");
+        }
+    }
+
+    /// The property bisection depends on: a read whose object's insert is
+    /// still in flight is legal at *every prefix* — the tracker registers
+    /// the insert at its begin, so violations never appear and then
+    /// retroactively vanish.
+    #[test]
+    fn tracker_is_monotone_across_in_flight_inserts() {
+        let mut t = Vec::new();
+        t.extend(insert((10, 30), 1, obj(1)));
+        t.extend(found((5, 15), 2, OpKind::Read, obj(1)));
+        // Interleave: insert begin, read begin, read end, insert end.
+        t.sort_by_key(|e| e.at_micros);
+        let mut tracker = AxiomTracker::new();
+        for ev in &t {
+            let added = tracker.absorb(ev);
+            assert_eq!(added, 0, "prefix flagged a legal overlap: {ev:?}");
+        }
+        assert!(tracker.ok());
+        assert_eq!(tracker.report().found, 1);
+    }
+
+    #[test]
+    fn tracker_reports_violation_at_the_breaking_event() {
+        let mut t = Vec::new();
+        t.extend(insert((0, 10), 1, obj(1)));
+        t.extend(found((20, 25), 2, OpKind::ReadDel, obj(1)));
+        t.extend(found((30, 35), 3, OpKind::ReadDel, obj(1)));
+        let mut tracker = AxiomTracker::new();
+        // Everything before the second consume's end is clean.
+        for ev in &t[..5] {
+            assert_eq!(tracker.absorb(ev), 0);
+        }
+        // The second consume's OpEnd adds DoubleConsume + Resurrection.
+        assert_eq!(tracker.absorb(&t[5]), 2);
+        assert_eq!(
+            tracker.first_violation(),
+            Some(&AxiomViolation::DoubleConsume {
+                object: obj(1),
+                ops: (2, 3)
+            })
+        );
+    }
+
+    #[test]
+    fn tracker_state_roundtrip_preserves_everything() {
+        let mut t = Vec::new();
+        t.extend(insert((0, 10), 1, obj(1)));
+        t.extend(insert((12, 40), 4, obj(2))); // left in flight below
+        t.extend(found((20, 25), 2, OpKind::ReadDel, obj(1)));
+        t.extend(found((30, 35), 3, OpKind::Read, obj(1)));
+        // Split mid-stream: absorb a prefix, round-trip, absorb the rest.
+        for split in 0..=t.len() {
+            let mut whole = AxiomTracker::new();
+            whole.absorb_all(&t);
+            let mut first = AxiomTracker::new();
+            first.absorb_all(&t[..split]);
+            let mut resumed = AxiomTracker::from_state(first.save_state());
+            resumed.absorb_all(&t[split..]);
+            assert_eq!(resumed.report(), whole.report(), "split at {split}");
+            assert_eq!(resumed.save_state(), whole.save_state(), "split at {split}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tracker_proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// One sequential (non-overlapping) operation in a generated history.
+    #[derive(Debug, Clone, Copy)]
+    struct GenOp {
+        kind: u8, // 0 insert, 1 read, 2 read&del
+        obj_seq: u64,
+        len: u64,
+        gap: u64,
+        /// For reads: return Found even if we could know better (the
+        /// generator doesn't model a store — illegal histories are the
+        /// point).
+        hit: bool,
+    }
+
+    fn gen_ops() -> impl Strategy<Value = Vec<GenOp>> {
+        proptest::collection::vec(
+            (0u8..3, 0u64..6, 0u64..20, 0u64..10, any::<bool>()).prop_map(
+                |(kind, obj_seq, len, gap, hit)| GenOp {
+                    kind,
+                    obj_seq,
+                    len,
+                    gap,
+                    hit,
+                },
+            ),
+            0..60,
+        )
+    }
+
+    /// Renders a generated history into a trace: ops run back to back
+    /// (non-overlapping), so batch and incremental semantics coincide
+    /// exactly, while duplicate inserts, double consumes, resurrections
+    /// and ghost reads all arise freely. The one shape excluded is a read
+    /// returning an object whose *only* insert comes later in the
+    /// history: the batch checker retroactively adopts that read into the
+    /// future object's lifetime (it can see the whole trace), which a
+    /// stream-order checker by design does not — both still flag the read
+    /// itself as A1-illegal.
+    fn render(ops: &[GenOp]) -> Vec<TraceEvent> {
+        let mut first_insert = std::collections::BTreeMap::new();
+        for (i, g) in ops.iter().enumerate() {
+            if g.kind == 0 {
+                first_insert.entry(g.obj_seq).or_insert(i);
+            }
+        }
+        let mut t = Vec::new();
+        let mut clock = 0u64;
+        for (i, g) in ops.iter().enumerate() {
+            let op_id = i as u64 + 1;
+            let o = ObjRef {
+                origin: 7,
+                seq: g.obj_seq,
+            };
+            let (kind, begin_obj) = match g.kind {
+                0 => (OpKind::Insert, Some(o)),
+                1 => (OpKind::Read, None),
+                _ => (OpKind::ReadDel, None),
+            };
+            t.push(TraceEvent {
+                at_micros: clock,
+                node: 0,
+                kind: TraceKind::OpBegin {
+                    op_id,
+                    op: kind,
+                    obj: begin_obj,
+                },
+            });
+            clock += g.len;
+            let hit = g.hit && first_insert.get(&g.obj_seq).is_none_or(|&j| j < i);
+            let outcome = match kind {
+                OpKind::Insert => Outcome::Inserted,
+                _ if hit => Outcome::Found(o),
+                _ => Outcome::Fail,
+            };
+            t.push(TraceEvent {
+                at_micros: clock,
+                node: 0,
+                kind: TraceKind::OpEnd {
+                    op_id,
+                    op: kind,
+                    outcome,
+                },
+            });
+            clock += g.gap + 1;
+        }
+        t
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Incremental ≡ batch on complete histories: identical counters
+        /// and the identical violation multiset (the batch checker orders
+        /// violations by pass, the tracker by stream position).
+        #[test]
+        fn tracker_equals_batch_checker(ops in gen_ops()) {
+            let t = render(&ops);
+            let batch = check_trace(&t);
+            let mut tracker = AxiomTracker::new();
+            tracker.absorb_all(&t);
+            let inc = tracker.report();
+            prop_assert_eq!(inc.ops_checked, batch.ops_checked);
+            prop_assert_eq!(inc.inserts, batch.inserts);
+            prop_assert_eq!(inc.found, batch.found);
+            prop_assert_eq!(inc.consumes, batch.consumes);
+            let sorted = |r: &AxiomReport| {
+                let mut v: Vec<String> =
+                    r.violations.iter().map(|x| format!("{x:?}")).collect();
+                v.sort();
+                v
+            };
+            prop_assert_eq!(sorted(inc), sorted(&batch));
+        }
+
+        /// Violations are monotone, and save/resume at any boundary is
+        /// invisible.
+        #[test]
+        fn tracker_is_monotone_and_resumable(ops in gen_ops(), split_frac in 0.0f64..1.0) {
+            let t = render(&ops);
+            let split = ((t.len() as f64) * split_frac) as usize;
+
+            let mut whole = AxiomTracker::new();
+            let mut last = 0usize;
+            for ev in &t {
+                whole.absorb(ev);
+                let now = whole.report().violations.len();
+                prop_assert!(now >= last, "violations shrank");
+                last = now;
+            }
+
+            let mut first = AxiomTracker::new();
+            first.absorb_all(&t[..split]);
+            let mut resumed = AxiomTracker::from_state(first.save_state());
+            resumed.absorb_all(&t[split..]);
+            prop_assert_eq!(resumed.report(), whole.report());
+        }
     }
 }

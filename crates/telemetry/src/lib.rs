@@ -24,7 +24,9 @@ mod hll;
 mod registry;
 mod trace;
 
-pub use axioms::{check_trace, AxiomReport, AxiomViolation};
+pub use axioms::{
+    check_trace, AxiomReport, AxiomTracker, AxiomTrackerState, AxiomViolation, ObjLife, PendingOp,
+};
 pub use hist::{HistSnapshot, Histogram, N_BUCKETS};
 pub use hll::{hash64, HyperLogLog};
 pub use registry::{Counter, Gauge, Snapshot, Telemetry};

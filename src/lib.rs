@@ -16,6 +16,9 @@
 //!   semantics;
 //! - [`adaptive`] — the Basic and doubling/halving algorithms with exact
 //!   offline optima, the paging problem, and support selection;
+//! - [`campaign`] — checkpoint fan-out campaigns: branch a seeded run
+//!   across parameter futures from a byte-identical past, and bisect
+//!   invariant violations to the exact first bad event;
 //! - [`telemetry`] — the unified metrics registry, trace-event stream,
 //!   and the §2 axiom checker shared by both drivers;
 //! - [`workload`] — seeded workload and failure-trace generators;
@@ -42,6 +45,7 @@
 //! ```
 
 pub use paso_adaptive as adaptive;
+pub use paso_campaign as campaign;
 pub use paso_core as core;
 pub use paso_proxy as proxy;
 pub use paso_runtime as runtime;

@@ -8,35 +8,15 @@
 //! actor states, same client-visible outputs. This is the contract that
 //! makes long simulation campaigns pausable.
 
-use paso::simnet::{
-    ChurnModel, DelayDist, Engine, EngineConfig, Fault, FaultPlan, FaultScript, NodeId, SimTime,
-    TraceEntry,
-};
-use paso::workload::{ShardActor, ShardMsg};
+mod common;
+
+use common::{ShardScenario, HORIZON_MICROS, LAMBDA, N};
+use paso::simnet::{Engine, NodeId, SimTime, TraceEntry};
+use paso::workload::ShardActor;
 use proptest::prelude::*;
 
-const N: usize = 6;
-const LAMBDA: u32 = 2;
-/// Fixed horizon: churn never drains the queue, so runs end by time.
-const HORIZON_MICROS: u64 = 60_000;
-
-#[derive(Debug, Clone)]
-struct Scenario {
-    seed: u64,
-    /// Drop probability in permille (0..=300).
-    drop_permille: u32,
-    delay: (u64, u64),
-    jitter_max: u64,
-    churn: bool,
-    /// (key, is_read) pairs, injected 300µs apart.
-    ops: Vec<(u64, bool)>,
-    /// (node, crash time ms); each crash is repaired 25ms later.
-    faults: Vec<(u8, u64)>,
-    /// When the checkpoint is taken.
-    mid_micros: u64,
-}
-
-fn scenario() -> impl Strategy<Value = Scenario> {
+/// A [`ShardScenario`] plus when the checkpoint is taken.
+fn scenario() -> impl Strategy<Value = (ShardScenario, u64)> {
     (
         (any::<u64>(), 0u32..=300, (0u64..100, 0u64..100), 0u64..50),
         (
@@ -48,85 +28,33 @@ fn scenario() -> impl Strategy<Value = Scenario> {
     )
         .prop_map(
             |((seed, drop_permille, delay, jitter_max), (churn, ops, faults, mid_micros))| {
-                Scenario {
-                    seed,
-                    drop_permille,
-                    delay,
-                    jitter_max,
-                    churn,
-                    ops,
-                    faults,
+                (
+                    ShardScenario {
+                        seed,
+                        drop_permille,
+                        delay,
+                        jitter_max,
+                        churn,
+                        ops,
+                        faults,
+                    },
                     mid_micros,
-                }
+                )
             },
         )
-}
-
-fn config(s: &Scenario) -> EngineConfig {
-    let (a, b) = s.delay;
-    let (lo, hi) = (a.min(b), a.max(b));
-    let mut plan = FaultPlan::none().drop_all(f64::from(s.drop_permille) / 1000.0);
-    if hi > 0 {
-        plan = plan.delay_all(DelayDist::uniform(lo, hi));
-    }
-    if s.jitter_max > 0 {
-        plan = plan.jitter_all(DelayDist::uniform(0, s.jitter_max));
-    }
-    EngineConfig {
-        n: N,
-        seed: s.seed,
-        record_trace: true,
-        fault_plan: plan,
-        churn: s
-            .churn
-            .then(|| ChurnModel::new(50.0, SimTime::from_millis(3), 2)),
-        ..EngineConfig::for_tests(N)
-    }
-}
-
-fn build(s: &Scenario) -> Engine<ShardActor> {
-    let mut e = Engine::new(config(s), ShardActor::factory(LAMBDA));
-    for (i, &(key, is_read)) in s.ops.iter().enumerate() {
-        let at = SimTime::from_micros(i as u64 * 300);
-        let home = ShardActor::home(key, N);
-        let msg = if is_read {
-            ShardMsg::Read { key }
-        } else {
-            ShardMsg::Insert { key, val: key * 7 }
-        };
-        e.inject(at, home, msg);
-    }
-    let script = FaultScript::scripted(
-        s.faults
-            .iter()
-            .flat_map(|&(node, at_ms)| {
-                [
-                    (
-                        SimTime::from_millis(at_ms),
-                        Fault::Crash(NodeId(node.into())),
-                    ),
-                    (
-                        SimTime::from_millis(at_ms + 25),
-                        Fault::Repair(NodeId(node.into())),
-                    ),
-                ]
-            })
-            .collect(),
-    );
-    e.apply_faults(&script);
-    e
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     #[test]
-    fn restore_resumes_the_exact_trajectory(s in scenario()) {
+    fn restore_resumes_the_exact_trajectory(case in scenario()) {
+        let (s, mid_micros) = case;
         let horizon = SimTime::from_micros(HORIZON_MICROS);
-        let mid = SimTime::from_micros(s.mid_micros);
+        let mid = SimTime::from_micros(mid_micros);
 
         // Uninterrupted reference run.
-        let mut reference = build(&s);
+        let mut reference = s.build();
         reference.run_until(mid);
         let mid_trace_len = reference.trace().len();
         reference.run_until(horizon);
@@ -135,12 +63,12 @@ proptest! {
         let ref_snap = reference.telemetry().snapshot();
 
         // Same run, checkpointed at `mid` and restored into a fresh engine.
-        let mut original = build(&s);
+        let mut original = s.build();
         original.run_until(mid);
         let mut outputs = original.take_outputs();
         let ckpt = original.snapshot();
         let mut restored =
-            Engine::from_checkpoint(config(&s), ShardActor::factory(LAMBDA), &ckpt)
+            Engine::from_checkpoint(s.config(), ShardActor::factory(LAMBDA), &ckpt)
                 .expect("restore own checkpoint");
         restored.run_until(horizon);
         outputs.extend(restored.take_outputs());

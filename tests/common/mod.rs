@@ -1,0 +1,166 @@
+//! Seeded scenario builders shared by the workspace-level integration
+//! tests.  Before this module existed, `checkpoint_determinism.rs`,
+//! `durable_recovery.rs`, and `sim_scale.rs` each carried their own copy
+//! of the same fault-environment plumbing; campaigns (`campaign.rs`) now
+//! reuse it too, so a change to "the standard seeded fault environment"
+//! lands in exactly one place.
+
+#![allow(dead_code)] // each test binary uses its own slice of this module
+
+use paso::core::{PasoConfig, PasoConfigBuilder, SimSystem};
+use paso::simnet::{
+    ChurnModel, DelayDist, Engine, EngineConfig, Fault, FaultPlan, FaultScript, LatencyModel,
+    NetModel, NodeId, SimTime,
+};
+use paso::types::{SearchCriterion, Template, Value};
+use paso::workload::{ShardActor, ShardMsg};
+
+/// Standard small-ensemble size for seeded shard scenarios.
+pub const N: usize = 6;
+/// Standard replication degree for seeded shard scenarios.
+pub const LAMBDA: u32 = 2;
+/// Fixed horizon: churn never drains the queue, so runs end by time.
+pub const HORIZON_MICROS: u64 = 60_000;
+/// Spacing between injected client ops.
+pub const OP_GAP_MICROS: u64 = 300;
+
+/// A seeded shard workload under a seeded fault environment — drops,
+/// delays, jitter, a crash/repair script, optional Poisson churn.  The
+/// checkpoint-determinism proptest draws these at random; the campaign
+/// tests pin specific ones.
+#[derive(Debug, Clone)]
+pub struct ShardScenario {
+    pub seed: u64,
+    /// Drop probability in permille (0..=300).
+    pub drop_permille: u32,
+    /// Uniform base delay bounds, in either order.
+    pub delay: (u64, u64),
+    pub jitter_max: u64,
+    pub churn: bool,
+    /// (key, is_read) pairs, injected [`OP_GAP_MICROS`] apart.
+    pub ops: Vec<(u64, bool)>,
+    /// (node, crash time ms); each crash is repaired 25ms later.
+    pub faults: Vec<(u8, u64)>,
+}
+
+impl ShardScenario {
+    /// The scenario's network fault environment as a composable plan.
+    pub fn fault_plan(&self) -> FaultPlan {
+        let (a, b) = self.delay;
+        let (lo, hi) = (a.min(b), a.max(b));
+        let mut plan = FaultPlan::none().drop_all(f64::from(self.drop_permille) / 1000.0);
+        if hi > 0 {
+            plan = plan.delay_all(DelayDist::uniform(lo, hi));
+        }
+        if self.jitter_max > 0 {
+            plan = plan.jitter_all(DelayDist::uniform(0, self.jitter_max));
+        }
+        plan
+    }
+
+    /// Full engine config: bus network, trace recording on, churn when
+    /// the scenario asks for it.
+    pub fn config(&self) -> EngineConfig {
+        EngineConfig {
+            n: N,
+            seed: self.seed,
+            record_trace: true,
+            fault_plan: self.fault_plan(),
+            churn: self
+                .churn
+                .then(|| ChurnModel::new(50.0, SimTime::from_millis(3), 2)),
+            ..EngineConfig::for_tests(N)
+        }
+    }
+
+    /// Builds the engine, injects the op stream, and arms the
+    /// crash/repair script.
+    pub fn build(&self) -> Engine<ShardActor> {
+        let mut e = Engine::new(self.config(), ShardActor::factory(LAMBDA));
+        for (i, &(key, is_read)) in self.ops.iter().enumerate() {
+            let at = SimTime::from_micros(i as u64 * OP_GAP_MICROS);
+            let home = ShardActor::home(key, N);
+            let msg = if is_read {
+                ShardMsg::Read { key }
+            } else {
+                ShardMsg::Insert { key, val: key * 7 }
+            };
+            e.inject(at, home, msg);
+        }
+        e.apply_faults(&crash_repair_script(&self.faults, 25));
+        e
+    }
+}
+
+/// A scripted crash for each `(node, at_ms)` pair, repaired
+/// `repair_after_ms` later — the standard "crash storms, nobody stays
+/// dead" environment.
+pub fn crash_repair_script(faults: &[(u8, u64)], repair_after_ms: u64) -> FaultScript {
+    FaultScript::scripted(
+        faults
+            .iter()
+            .flat_map(|&(node, at_ms)| {
+                [
+                    (
+                        SimTime::from_millis(at_ms),
+                        Fault::Crash(NodeId(node.into())),
+                    ),
+                    (
+                        SimTime::from_millis(at_ms + repair_after_ms),
+                        Fault::Repair(NodeId(node.into())),
+                    ),
+                ]
+            })
+            .collect(),
+    )
+}
+
+/// The large-ensemble config used by the scale tests: switched fabric
+/// with uniform latency + jitter, membership oracle off (so a churn
+/// crash costs O(1), not O(n)), ~100 crashes/sec across the ensemble
+/// with 5ms mean downtime.
+pub fn switched_scale_config(n: usize, seed: u64) -> EngineConfig {
+    EngineConfig {
+        n,
+        seed,
+        record_trace: false,
+        net: NetModel::Switched(
+            LatencyModel::uniform(DelayDist::uniform(5, 25)).with_jitter(DelayDist::uniform(0, 5)),
+        ),
+        membership_oracle: false,
+        churn: Some(ChurnModel::new(
+            100.0 / n as f64,
+            SimTime::from_millis(5),
+            16,
+        )),
+        ..EngineConfig::for_tests(n)
+    }
+}
+
+/// Arity-2 test object fields: `(d, v)`.
+pub fn fields(v: i64) -> Vec<Value> {
+    vec![Value::symbol("d"), Value::Int(v)]
+}
+
+/// Exact-match criterion for [`fields`]`(v)`.
+pub fn sc_eq(v: i64) -> SearchCriterion {
+    SearchCriterion::from(Template::exact(vec![Value::symbol("d"), Value::Int(v)]))
+}
+
+/// The standard 5-machine durable config: WAL on, membership static so
+/// the only join in the run is a rejoin under test.  Callers tweak the
+/// builder (e.g. `.log_horizon(4)`) before sealing.
+pub fn durable_builder(seed: u64) -> PasoConfigBuilder {
+    PasoConfig::builder(5, 1)
+        .seed(seed)
+        .durable(true)
+        .adaptive(false)
+}
+
+/// [`durable_builder`] sealed and warmed up: the system has run 10ms so
+/// the initial views are installed before the test starts injecting.
+pub fn durable_sys(seed: u64) -> SimSystem {
+    let mut sys = SimSystem::new(durable_builder(seed).build());
+    sys.run_for(SimTime::from_millis(10));
+    sys
+}

@@ -5,33 +5,17 @@
 //! O(missed deliveries). The recorded trace must stay A1–A3 legal
 //! across the crash, and no acknowledged insert may be lost.
 
-use paso::core::{PasoConfig, SimSystem};
+mod common;
+
+use common::{durable_builder, durable_sys, fields, sc_eq};
+use paso::core::SimSystem;
 use paso::simnet::SimTime;
 use paso::telemetry::check_trace;
-use paso::types::{ClassId, SearchCriterion, Template, Value};
-
-fn fields(v: i64) -> Vec<Value> {
-    vec![Value::symbol("d"), Value::Int(v)]
-}
-
-fn sc_eq(v: i64) -> SearchCriterion {
-    SearchCriterion::from(Template::exact(vec![Value::symbol("d"), Value::Int(v)]))
-}
-
-fn durable_sys() -> SimSystem {
-    let cfg = PasoConfig::builder(5, 1)
-        .seed(11)
-        .durable(true)
-        .adaptive(false) // keep membership static so the only join is the rejoin
-        .build();
-    let mut sys = SimSystem::new(cfg);
-    sys.run_for(SimTime::from_millis(10));
-    sys
-}
+use paso::types::ClassId;
 
 #[test]
 fn crashed_member_replays_wal_and_rejoins_via_delta() {
-    let mut sys = durable_sys();
+    let mut sys = durable_sys(11);
     let class = ClassId(2); // arity-2 objects
     let victim = (0..5u32)
         .find(|m| sys.server(*m).is_basic(class))
@@ -93,12 +77,8 @@ fn crashed_member_replays_wal_and_rejoins_via_delta() {
 /// state transfer — correctness never depends on the horizon.
 #[test]
 fn gap_beyond_log_horizon_falls_back_to_full_transfer() {
-    let cfg = PasoConfig::builder(5, 1)
-        .seed(13)
-        .durable(true)
-        .adaptive(false)
-        .log_horizon(4) // tiny horizon: any real gap overruns it
-        .build();
+    // tiny log horizon: any real gap overruns it
+    let cfg = durable_builder(13).log_horizon(4).build();
     let mut sys = SimSystem::new(cfg);
     sys.run_for(SimTime::from_millis(10));
     let class = ClassId(2);

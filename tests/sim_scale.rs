@@ -8,7 +8,10 @@
 //! debug-mode sibling of `exp_sim_scale` (which sweeps to one million
 //! machines in release mode and gates CI on events/sec).
 
-use paso::simnet::{ChurnModel, DelayDist, Engine, EngineConfig, LatencyModel, NetModel, SimTime};
+mod common;
+
+use common::switched_scale_config;
+use paso::simnet::{Engine, EngineConfig, SimTime};
 use paso::workload::{ShardActor, ShardMsg, ShardOut, Zipf};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -18,22 +21,7 @@ const LAMBDA: u32 = 2;
 const OPS: u64 = 20_000;
 
 fn config() -> EngineConfig {
-    EngineConfig {
-        n: N,
-        seed: 7,
-        record_trace: false,
-        net: NetModel::Switched(
-            LatencyModel::uniform(DelayDist::uniform(5, 25)).with_jitter(DelayDist::uniform(0, 5)),
-        ),
-        membership_oracle: false,
-        // ~100 crashes/sec across the ensemble, 5ms mean downtime.
-        churn: Some(ChurnModel::new(
-            100.0 / N as f64,
-            SimTime::from_millis(5),
-            16,
-        )),
-        ..EngineConfig::for_tests(N)
-    }
+    switched_scale_config(N, 7)
 }
 
 #[test]
